@@ -1,0 +1,83 @@
+// Ablation (extension): two vs three hardware levels — the paper's future
+// work ("explore approaches based on an increased number of hardware
+// levels"). On a NUMA machine the 2-level HAN treats each node as flat
+// shared memory, dragging every far-socket reader across the inter-socket
+// link; the 3-level pipeline (ib → nb → sb) crosses it once per segment.
+#include "bench_util.hpp"
+#include "coll_support.hpp"
+#include "han/han3.hpp"
+
+namespace han::bench {
+
+struct Numa3World : HanWorld {
+  explicit Numa3World(machine::MachineProfile profile)
+      : HanWorld(std::move(profile)), han3(han) {}
+  core::Han3 han3;
+};
+
+double timed(Numa3World& hw, bool three_level, std::size_t bytes,
+             const core::HanConfig& cfg) {
+  auto sync = std::make_shared<mpi::SyncDomain>(hw.world.engine(),
+                                                hw.world.world_size());
+  auto worst = std::make_shared<double>(0.0);
+  hw.world.run([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](Numa3World& hw, std::shared_ptr<mpi::SyncDomain> sync,
+              std::shared_ptr<double> worst, bool three_level,
+              std::size_t bytes, core::HanConfig cfg, int me) -> sim::CoTask {
+      co_await *sync->arrive();
+      const double t0 = hw.world.now();
+      mpi::Request r =
+          three_level
+              ? hw.han3.ibcast(hw.world.world_comm(), me, 0,
+                               mpi::BufView::timing_only(bytes),
+                               mpi::Datatype::Byte, cfg)
+              : hw.han.ibcast_cfg(hw.world.world_comm(), me, 0,
+                                  mpi::BufView::timing_only(bytes),
+                                  mpi::Datatype::Byte, cfg);
+      co_await *r;
+      *worst = std::max(*worst, hw.world.now() - t0);
+    }(hw, sync, worst, three_level, bytes, cfg, rank.world_rank);
+  });
+  return *worst;
+}
+
+}  // namespace han::bench
+
+int main(int argc, char** argv) {
+  using namespace han;
+  bench::Args args(argc, argv);
+  const bench::Scale scale = bench::pick_scale(args, {16, 16}, {64, 32});
+  const int domains = static_cast<int>(args.get_long("--numa", 2));
+
+  bench::print_header(
+      "Ablation (extension) — 2-level vs 3-level HAN bcast on NUMA nodes",
+      "machine=aries nodes=" + std::to_string(scale.nodes) +
+          " ppn=" + std::to_string(scale.ppn) + " numa=" +
+          std::to_string(domains));
+
+  core::HanConfig cfg;
+  cfg.fs = 512 << 10;
+  cfg.imod = "adapt";
+  cfg.smod = "sm";
+  cfg.ibalg = coll::Algorithm::Chain;
+  cfg.iralg = coll::Algorithm::Chain;
+  cfg.ibs = 64 << 10;
+
+  sim::Table t({"bytes", "2-level us", "3-level us", "3-level speedup"});
+  for (std::size_t bytes : {1u << 20, 4u << 20, 16u << 20}) {
+    bench::Numa3World hw(machine::with_numa(
+        machine::make_aries(scale.nodes, scale.ppn), domains));
+    const double t2 = bench::timed(hw, false, bytes, cfg);
+    const double t3 = bench::timed(hw, true, bytes, cfg);
+    t.begin_row()
+        .cell(sim::format_bytes(bytes))
+        .cell(t2 * 1e6)
+        .cell(t3 * 1e6)
+        .cell(bench::speedup(t2, t3), 2);
+  }
+  t.print("hierarchy-depth ablation (MPI_Bcast)");
+  std::printf(
+      "\nExpected: the third level wins once the inter-socket link would "
+      "otherwise carry every far-socket reader.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared plumbing for the per-figure bench binaries: tiny flag parser,
+// scale presets, and result-table helpers.
+//
+// Every bench defaults to a scale that finishes in roughly a minute on a
+// laptop-class core while preserving the paper's figure shapes; pass
+// --full to run the paper's exact process counts (slower), or override
+// --nodes/--ppn/--max-bytes directly. EXPERIMENTS.md records the defaults
+// used for the committed results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "simbase/table.hpp"
+#include "simbase/units.hpp"
+
+namespace han::bench {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has(const std::string& flag) const {
+    for (const auto& a : args_) {
+      if (a == flag) return true;
+    }
+    return false;
+  }
+
+  long get_long(const std::string& flag, long fallback) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == flag) return std::atol(args_[i + 1].c_str());
+    }
+    return fallback;
+  }
+
+  std::size_t get_bytes(const std::string& flag, std::size_t fallback) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == flag) {
+        bool ok = false;
+        const std::size_t v = sim::parse_bytes(args_[i + 1], &ok);
+        if (ok) return v;
+      }
+    }
+    return fallback;
+  }
+
+  std::string get_string(const std::string& flag,
+                         const std::string& fallback) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == flag) return args_[i + 1];
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// Cluster shape for a figure: the paper's scale under --full, a
+/// minutes-not-hours default otherwise, both overridable.
+struct Scale {
+  int nodes;
+  int ppn;
+};
+
+inline Scale pick_scale(const Args& args, Scale dflt, Scale full) {
+  Scale s = args.has("--full") ? full : dflt;
+  s.nodes = static_cast<int>(args.get_long("--nodes", s.nodes));
+  s.ppn = static_cast<int>(args.get_long("--ppn", s.ppn));
+  return s;
+}
+
+/// x4 message ladder from `lo` to `hi` (IMB-style sweep, quarter-decade
+/// sampling keeps bench runtime manageable; shapes are unaffected).
+inline std::vector<std::size_t> ladder4(std::size_t lo, std::size_t hi) {
+  std::vector<std::size_t> out;
+  for (std::size_t s = lo; s <= hi; s *= 4) out.push_back(s);
+  return out;
+}
+
+inline void print_header(const char* figure, const std::string& detail) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", figure, detail.c_str());
+  std::printf("==============================================================\n");
+  std::fflush(stdout);
+}
+
+inline double speedup(double baseline, double value) {
+  return value > 0.0 ? baseline / value : 0.0;
+}
+
+}  // namespace han::bench

@@ -1,0 +1,69 @@
+// Fig. 8 reproduction: time of total searches for MPI_Bcast and
+// MPI_Allreduce under the four strategies — exhaustive, exhaustive with
+// heuristics, HAN's task-based model, and the combined approach. The
+// tuning cost is the *simulated* time spent benchmarking (the quantity a
+// machine owner pays when installing the MPI).
+//
+// Paper outcome to match in shape: heuristics ≈ 26.8% of exhaustive,
+// task-based ≈ 23%, combined ≈ 4.3%.
+#include "autotune/search.hpp"
+#include "bench_util.hpp"
+#include "coll_support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace han;
+  bench::Args args(argc, argv);
+  const bench::Scale scale = bench::pick_scale(args, {16, 8}, {64, 12});
+  const std::vector<std::size_t> sizes{256 << 10, 1 << 20, 4 << 20,
+                                       16 << 20};
+
+  bench::print_header(
+      "Fig. 8 — time of total searches (tuning cost)",
+      "machine=aries nodes=" + std::to_string(scale.nodes) +
+          " ppn=" + std::to_string(scale.ppn) +
+          " message grid=256K,1M,4M,16M");
+
+  sim::Table t({"collective", "strategy", "tuning time (sim s)",
+                "% of exhaustive", "configs evaluated"});
+
+  for (coll::CollKind kind :
+       {coll::CollKind::Bcast, coll::CollKind::Allreduce}) {
+    double exhaustive_cost = 0.0;
+    // Fresh world per strategy so clocks/caches don't leak across bars.
+    for (int strategy = 0; strategy < 4; ++strategy) {
+      const bool task_based = strategy >= 2;
+      const bool heuristics = strategy == 1 || strategy == 3;
+      bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+      tune::Searcher s(hw.world, hw.han, hw.world.world_comm());
+
+      int evaluations = 0;
+      if (task_based) {
+        s.prepare(kind, heuristics);
+        for (std::size_t m : sizes) {
+          evaluations += s.estimate(kind, m, heuristics).evaluations;
+        }
+      } else {
+        for (std::size_t m : sizes) {
+          evaluations += s.exhaustive(kind, m, heuristics).evaluations;
+        }
+      }
+      const double cost = s.tuning_cost();
+      if (strategy == 0) exhaustive_cost = cost;
+
+      static const char* kNames[] = {"exhaustive", "exhaustive+heuristics",
+                                     "task model (HAN)",
+                                     "task model+heuristics"};
+      t.begin_row()
+          .cell(coll::coll_kind_name(kind))
+          .cell(kNames[strategy])
+          .cell(cost, 4)
+          .cell(100.0 * cost / exhaustive_cost, 1)
+          .cell(evaluations);
+      std::printf("  done: %s / %s\n", coll::coll_kind_name(kind),
+                  kNames[strategy]);
+      std::fflush(stdout);
+    }
+  }
+  t.print("search cost comparison");
+  return 0;
+}

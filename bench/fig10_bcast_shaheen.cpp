@@ -1,0 +1,33 @@
+// Fig. 10 reproduction: MPI_Bcast on the Shaheen II-like machine (paper:
+// 4096 processes = 128 nodes x 32 ppn), HAN vs Cray MPI vs default Open
+// MPI, small (<=128KB) and large message ranges.
+//
+// Paper shapes to match: HAN up to ~4.7x (small) / ~7.4x (large) over the
+// default Open MPI; Cray MPI slightly ahead of HAN on small messages
+// (better P2P, Fig. 11), HAN up to ~2.3x ahead on large messages
+// (cross-level pipelining).
+#include "imb_figure.hpp"
+
+int main(int argc, char** argv) {
+  using namespace han;
+  bench::Args args(argc, argv);
+  const bench::Scale scale = bench::pick_scale(args, {32, 16}, {128, 32});
+  const std::size_t max_bytes =
+      args.get_bytes("--max-bytes", args.has("--full") ? 128 << 20
+                                                       : 32 << 20);
+
+  bench::print_header(
+      "Fig. 10 — MPI_Bcast on Shaheen II (aries profile)",
+      "nodes=" + std::to_string(scale.nodes) +
+          " ppn=" + std::to_string(scale.ppn) + " (" +
+          std::to_string(scale.nodes * scale.ppn) + " procs), up to " +
+          sim::format_bytes(max_bytes));
+
+  bench::ImbFigureOptions opt;
+  opt.profile = machine::make_aries(scale.nodes, scale.ppn);
+  opt.kind = coll::CollKind::Bcast;
+  opt.stacks = {"ompi", "cray", "han"};
+  opt.sizes = bench::ladder4(4, max_bytes);
+  bench::run_imb_figure(opt);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 11 reproduction: Netpipe-style point-to-point performance of Open
+// MPI vs Cray MPI on the Shaheen II-like machine.
+//
+// Paper shape: Open MPI's achieved bandwidth sits below Cray MPI's
+// between 512B and 2MB — worst between 16KB and 512KB — and both reach
+// the same peak. This explains Cray MPI's small-message bcast edge in
+// Fig. 10.
+#include "bench_util.hpp"
+#include "benchkit/netpipe.hpp"
+#include "vendor/stack.hpp"
+
+int main(int argc, char** argv) {
+  using namespace han;
+  bench::Args args(argc, argv);
+  const std::size_t max_bytes = args.get_bytes("--max-bytes", 64 << 20);
+
+  bench::print_header("Fig. 11 — P2P performance on Shaheen II (Netpipe)",
+                      "ping-pong between the first ranks of two nodes");
+
+  const machine::MachineProfile profile = machine::make_aries(2, 2);
+  benchkit::NetpipeOptions opt;
+  opt.sizes = bench::ladder4(4, max_bytes);
+
+  mpi::SimWorld ompi_world(profile);
+  const auto ompi_pts = benchkit::netpipe(ompi_world, opt);
+
+  const machine::P2pParams cray = vendor::cray_p2p();
+  mpi::SimWorld::Options wo;
+  wo.p2p_override = &cray;
+  mpi::SimWorld cray_world(profile, wo);
+  const auto cray_pts = benchkit::netpipe(cray_world, opt);
+
+  sim::Table t({"bytes", "ompi GB/s", "cray GB/s", "ompi lat us",
+                "cray lat us", "cray/ompi bw"});
+  for (std::size_t i = 0; i < opt.sizes.size(); ++i) {
+    t.begin_row()
+        .cell(sim::format_bytes(opt.sizes[i]))
+        .cell(ompi_pts[i].bandwidth_gbps, 3)
+        .cell(cray_pts[i].bandwidth_gbps, 3)
+        .cell(ompi_pts[i].one_way_sec * 1e6)
+        .cell(cray_pts[i].one_way_sec * 1e6)
+        .cell(cray_pts[i].bandwidth_gbps / ompi_pts[i].bandwidth_gbps, 2);
+  }
+  t.print("Netpipe sweep");
+  std::printf(
+      "\nExpected: cray/ompi ratio well above 1 between 16KB and 512KB, "
+      "near 1 at the peak.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 12 reproduction: MPI_Bcast on the Stampede2-like machine (paper:
+// 1536 processes = 32 nodes x 48 ppn), HAN vs Intel MPI vs MVAPICH2 vs
+// default Open MPI.
+//
+// Paper shapes: HAN fastest across the range — up to 1.15x/2.28x/5.35x
+// (small) and 1.39x/3.83x/1.73x (large) over Intel / MVAPICH2 / Open MPI.
+#include "imb_figure.hpp"
+
+int main(int argc, char** argv) {
+  using namespace han;
+  bench::Args args(argc, argv);
+  const bench::Scale scale = bench::pick_scale(args, {16, 24}, {32, 48});
+  const std::size_t max_bytes =
+      args.get_bytes("--max-bytes", args.has("--full") ? 128 << 20
+                                                       : 32 << 20);
+
+  bench::print_header(
+      "Fig. 12 — MPI_Bcast on Stampede2 (opath profile)",
+      "nodes=" + std::to_string(scale.nodes) +
+          " ppn=" + std::to_string(scale.ppn) + " (" +
+          std::to_string(scale.nodes * scale.ppn) + " procs), up to " +
+          sim::format_bytes(max_bytes));
+
+  bench::ImbFigureOptions opt;
+  opt.profile = machine::make_opath(scale.nodes, scale.ppn);
+  opt.kind = coll::CollKind::Bcast;
+  opt.stacks = {"ompi", "intel", "mvapich", "han"};
+  opt.sizes = bench::ladder4(4, max_bytes);
+  bench::run_imb_figure(opt);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 13 reproduction: MPI_Allreduce on the Shaheen II-like machine.
+//
+// Paper shapes: HAN far ahead of default Open MPI everywhere; behind Cray
+// MPI on small messages (HAN's small-message path uses Libnbc/SM, whose
+// reductions are scalar — §IV-A2), overtaking Cray past ~2MB (up to
+// ~1.12x).
+#include "imb_figure.hpp"
+
+int main(int argc, char** argv) {
+  using namespace han;
+  bench::Args args(argc, argv);
+  const bench::Scale scale = bench::pick_scale(args, {32, 16}, {128, 32});
+  const std::size_t max_bytes =
+      args.get_bytes("--max-bytes", args.has("--full") ? 128 << 20
+                                                       : 32 << 20);
+
+  bench::print_header(
+      "Fig. 13 — MPI_Allreduce on Shaheen II (aries profile)",
+      "nodes=" + std::to_string(scale.nodes) +
+          " ppn=" + std::to_string(scale.ppn) + " (" +
+          std::to_string(scale.nodes * scale.ppn) + " procs), up to " +
+          sim::format_bytes(max_bytes));
+
+  bench::ImbFigureOptions opt;
+  opt.profile = machine::make_aries(scale.nodes, scale.ppn);
+  opt.kind = coll::CollKind::Allreduce;
+  opt.stacks = {"ompi", "cray", "han"};
+  opt.sizes = bench::ladder4(4, max_bytes);
+  bench::run_imb_figure(opt);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 14 reproduction: MPI_Allreduce on the Stampede2-like machine.
+//
+// Paper shapes: HAN fastest between 4MB and 64MB; MVAPICH2 (SALaR-style
+// multi-level allreduce) catches up at the top of the range, with both
+// significantly ahead of Intel MPI and default Open MPI; on small messages
+// the vendors lead (HAN's scalar SM/Libnbc reductions).
+#include "imb_figure.hpp"
+
+int main(int argc, char** argv) {
+  using namespace han;
+  bench::Args args(argc, argv);
+  const bench::Scale scale = bench::pick_scale(args, {16, 24}, {32, 48});
+  const std::size_t max_bytes =
+      args.get_bytes("--max-bytes", args.has("--full") ? 128 << 20
+                                                       : 32 << 20);
+
+  bench::print_header(
+      "Fig. 14 — MPI_Allreduce on Stampede2 (opath profile)",
+      "nodes=" + std::to_string(scale.nodes) +
+          " ppn=" + std::to_string(scale.ppn) + " (" +
+          std::to_string(scale.nodes * scale.ppn) + " procs), up to " +
+          sim::format_bytes(max_bytes));
+
+  bench::ImbFigureOptions opt;
+  opt.profile = machine::make_opath(scale.nodes, scale.ppn);
+  opt.kind = coll::CollKind::Allreduce;
+  opt.stacks = {"ompi", "intel", "mvapich", "han"};
+  opt.sizes = bench::ladder4(4, max_bytes);
+  bench::run_imb_figure(opt);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared driver for the IMB comparison figures (Figs. 10, 12, 13, 14):
+// sweep a message ladder over several MPI stacks on one machine profile,
+// print the per-size table plus HAN's speedup against every competitor,
+// with the small/large split the paper uses (boundary 128KB).
+#pragma once
+
+#include "bench_util.hpp"
+#include "benchkit/imb.hpp"
+
+namespace han::bench {
+
+struct ImbFigureOptions {
+  machine::MachineProfile profile;
+  coll::CollKind kind = coll::CollKind::Bcast;
+  std::vector<std::string> stacks;  // "han" must be included
+  std::vector<std::size_t> sizes;
+  bool autotune_han = true;
+};
+
+inline void run_imb_figure(const ImbFigureOptions& opt) {
+  std::vector<std::unique_ptr<vendor::MpiStack>> stacks;
+  for (const std::string& name : opt.stacks) {
+    stacks.push_back(vendor::make_stack(name, opt.profile));
+    if (name == "han" && opt.autotune_han) {
+      auto* hs = static_cast<vendor::HanStack*>(stacks.back().get());
+      tune::TunerOptions topt;
+      topt.heuristics = true;
+      topt.kinds = {opt.kind};
+      topt.message_sizes = {64 << 10, 512 << 10, 4 << 20, 16 << 20};
+      const tune::TuneReport report = hs->autotune(topt);
+      std::printf("  [han autotuned: %zu table entries, %.3f sim s]\n",
+                  report.table.size(), report.tuning_cost);
+      std::fflush(stdout);
+    }
+  }
+
+  benchkit::ImbOptions iopt;
+  iopt.sizes = opt.sizes;
+
+  std::vector<std::vector<benchkit::ImbPoint>> results;
+  for (auto& stack : stacks) {
+    results.push_back(opt.kind == coll::CollKind::Bcast
+                          ? benchkit::imb_bcast(*stack, iopt)
+                          : benchkit::imb_allreduce(*stack, iopt));
+    std::printf("  measured stack: %s\n", stack->name().c_str());
+    std::fflush(stdout);
+  }
+
+  std::size_t han_idx = 0;
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
+    if (stacks[i]->name() == "han") han_idx = i;
+  }
+
+  std::vector<std::string> header{"bytes"};
+  for (auto& s : stacks) header.push_back(s->name() + " us");
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
+    if (i != han_idx) header.push_back("han vs " + stacks[i]->name());
+  }
+  sim::Table t(std::move(header));
+
+  std::vector<double> small_best(stacks.size(), 0.0);
+  std::vector<double> large_best(stacks.size(), 0.0);
+  for (std::size_t row = 0; row < opt.sizes.size(); ++row) {
+    t.begin_row().cell(sim::format_bytes(opt.sizes[row]));
+    for (auto& r : results) t.cell(r[row].avg_sec * 1e6);
+    for (std::size_t i = 0; i < stacks.size(); ++i) {
+      if (i == han_idx) continue;
+      const double sp =
+          speedup(results[i][row].avg_sec, results[han_idx][row].avg_sec);
+      t.cell(sp, 2);
+      auto& best =
+          opt.sizes[row] <= (128u << 10) ? small_best[i] : large_best[i];
+      best = std::max(best, sp);
+    }
+  }
+  t.print("per-size comparison (avg of max-across-ranks, usec)");
+
+  std::printf("\nmax HAN speedup (small <= 128KB / large > 128KB):\n");
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
+    if (i == han_idx) continue;
+    std::printf("  vs %-8s : %.2fx small, %.2fx large\n",
+                stacks[i]->name().c_str(), small_best[i], large_best[i]);
+  }
+}
+
+}  // namespace han::bench

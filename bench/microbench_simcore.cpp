@@ -1,0 +1,101 @@
+// Google-benchmark microbenchmarks of the simulator core itself: event
+// engine throughput, flow network rebalancing, P2P message rate, and
+// end-to-end collective simulation speed. These guard the simulator's
+// wall-clock performance (the figures sweep millions of events).
+#include <benchmark/benchmark.h>
+
+#include "coll/registry.hpp"
+#include "han/han.hpp"
+
+namespace {
+
+using namespace han;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      e.schedule_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_FlownetChurn(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    net::FlowNet fn(e);
+    std::vector<net::ResourceId> res;
+    for (int i = 0; i < 16; ++i) {
+      res.push_back(fn.add_resource("r", 1e9));
+    }
+    int done = 0;
+    for (int i = 0; i < flows; ++i) {
+      const net::ResourceId path[] = {res[i % 16], res[(i + 5) % 16]};
+      fn.start_flow(path, 1e6, net::FlowNet::no_cap(), [&done] { ++done; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlownetChurn)->Arg(64)->Arg(512);
+
+void BM_P2pMessageRate(benchmark::State& state) {
+  const int msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::SimWorld w(machine::make_aries(2, 1));
+    w.run([&](mpi::Rank& rank) -> sim::CoTask {
+      if (rank.world_rank == 0) {
+        return [](mpi::SimWorld& w, int msgs) -> sim::CoTask {
+          for (int i = 0; i < msgs; ++i) {
+            mpi::Request r = w.isend(w.world_comm(), 0, 1, i,
+                                     mpi::BufView::timing_only(4096));
+            co_await *r;
+          }
+        }(w, msgs);
+      }
+      return [](mpi::SimWorld& w, int msgs) -> sim::CoTask {
+        for (int i = 0; i < msgs; ++i) {
+          mpi::Request r = w.irecv(w.world_comm(), 1, 0, i,
+                                   mpi::BufView::timing_only(4096));
+          co_await *r;
+        }
+      }(w, msgs);
+    });
+    benchmark::DoNotOptimize(w.messages_sent());
+  }
+  state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_P2pMessageRate)->Arg(256);
+
+void BM_HanBcastEndToEnd(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::SimWorld w(machine::make_aries(nodes, 8));
+    coll::CollRuntime rt(w);
+    coll::ModuleSet mods(w, rt);
+    core::HanModule han(w, rt, mods);
+    w.run([&](mpi::Rank& rank) -> sim::CoTask {
+      return [](mpi::SimWorld& w, core::HanModule& han,
+                int me) -> sim::CoTask {
+        mpi::Request r = han.ibcast(w.world_comm(), me, 0,
+                                    mpi::BufView::timing_only(4 << 20),
+                                    mpi::Datatype::Byte, coll::CollConfig{});
+        co_await *r;
+      }(w, han, rank.world_rank);
+    });
+    benchmark::DoNotOptimize(w.now());
+  }
+}
+BENCHMARK(BM_HanBcastEndToEnd)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Table III reproduction: ASP (parallel Floyd–Warshall) on the
+// Stampede2-like machine. Per MPI stack: total time, communication time,
+// communication ratio, and HAN's overall speedup.
+//
+// Paper row to match in shape: HAN cuts the communication ratio to ~46%
+// from 50/69/82% (Intel / MVAPICH2 / Open MPI), for overall speedups of
+// 1.08x / 1.8x / 2.43x.
+//
+// Substitution (DESIGN.md): the paper runs the first 1536 iterations of a
+// "1M matrix"; we run a reduced iteration count with rotating roots and a
+// matrix size placing HAN's communication share near the paper's ~46%,
+// since only relative times across stacks carry information.
+#include "apps/asp.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace han;
+  bench::Args args(argc, argv);
+  const bench::Scale scale = bench::pick_scale(args, {16, 12}, {32, 48});
+  apps::AspOptions opt;
+  // The paper's "1M matrix": 4MB row broadcasts, where HAN's pipelining
+  // shines. The per-iteration compute default places HAN's communication
+  // share near Table III's ~46%.
+  opt.matrix_n = static_cast<int>(args.get_long("--n", 1 << 20));
+  opt.iterations =
+      static_cast<int>(args.get_long("--iters", args.has("--full") ? 96 : 32));
+
+  bench::print_header(
+      "Table III — ASP on Stampede2 (opath profile)",
+      "nodes=" + std::to_string(scale.nodes) +
+          " ppn=" + std::to_string(scale.ppn) + " N=" +
+          std::to_string(opt.matrix_n) + " iterations=" +
+          std::to_string(opt.iterations) + " (row bcast = " +
+          sim::format_bytes(static_cast<std::size_t>(opt.matrix_n) * 4) +
+          ")");
+
+  struct Row {
+    std::string stack;
+    apps::AspReport report;
+  };
+  std::vector<Row> rows;
+  for (const char* name : {"ompi", "intel", "mvapich", "han"}) {
+    auto stack = vendor::make_stack(name, machine::make_opath(scale.nodes,
+                                                              scale.ppn));
+    if (std::string(name) == "han") {
+      auto* hs = static_cast<vendor::HanStack*>(stack.get());
+      tune::TunerOptions topt;
+      topt.heuristics = true;
+      topt.kinds = {coll::CollKind::Bcast};
+      topt.message_sizes = {static_cast<std::size_t>(opt.matrix_n) * 4};
+      hs->autotune(topt);
+    }
+    rows.push_back({name, apps::run_asp(*stack, opt)});
+    std::printf("  measured stack: %s\n", name);
+    std::fflush(stdout);
+  }
+
+  const double han_total = rows.back().report.total_sec;
+  sim::Table t({"stack", "total (sim s)", "comm (sim s)", "comm ratio %",
+                "HAN speedup"});
+  for (const Row& row : rows) {
+    t.begin_row()
+        .cell(row.stack)
+        .cell(row.report.total_sec, 4)
+        .cell(row.report.comm_sec, 4)
+        .cell(row.report.comm_ratio * 100.0, 2)
+        .cell(bench::speedup(row.report.total_sec, han_total), 2);
+  }
+  t.print("ASP results (slowest rank's accounting)");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Autotuning walkthrough: benchmark HAN's tasks, build the lookup table,
+// save it to disk, reload it, and measure the improvement over the static
+// default configuration — the full offline tuning workflow of paper
+// §III-C, the way a machine owner would run it once at install time.
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+
+using namespace han;
+
+namespace {
+
+double measure_bcast(tune::Searcher& s, std::size_t bytes,
+                     const core::HanConfig& cfg) {
+  return s.measure_collective(coll::CollKind::Bcast, bytes, cfg);
+}
+
+}  // namespace
+
+int main() {
+  mpi::SimWorld world(machine::make_aries(/*nodes=*/8, /*ppn=*/8));
+  coll::CollRuntime runtime(world);
+  coll::ModuleSet modules(world, runtime);
+  core::HanModule han(world, runtime, modules);
+
+  std::printf("== step 1: offline task-model autotuning ==\n");
+  tune::Tuner tuner(world, han, world.world_comm());
+  tune::TunerOptions options;
+  options.kinds = {coll::CollKind::Bcast, coll::CollKind::Allreduce};
+  options.message_sizes = {64 << 10, 512 << 10, 4 << 20, 16 << 20};
+  options.heuristics = true;  // §III-C: prune SOLO/chain where they cannot win
+  const tune::TuneReport report = tuner.tune(options);
+  std::printf("tuned %zu table entries in %.3f simulated seconds\n",
+              report.table.size(), report.tuning_cost);
+
+  std::printf("\n== step 2: the lookup table ==\n%s",
+              report.table.serialize().c_str());
+
+  const char* path = "/tmp/han_tuning_table.txt";
+  report.table.save(path);
+  auto loaded = tune::LookupTable::load(path);
+  std::printf("saved to %s and reloaded: %zu entries\n", path,
+              loaded ? loaded->size() : 0);
+
+  std::printf("\n== step 3: decisions for arbitrary inputs ==\n");
+  for (std::size_t m : {4096ul, 1ul << 20, 64ul << 20}) {
+    const core::HanConfig cfg =
+        loaded->decide(coll::CollKind::Bcast, 8, 8, m);
+    std::printf("bcast %8s -> %s\n", sim::format_bytes(m).c_str(),
+                cfg.to_string().c_str());
+  }
+
+  std::printf("\n== step 4: tuned vs default heuristic (4MB bcast) ==\n");
+  tune::Searcher searcher(world, han, world.world_comm());
+  const core::HanConfig dflt =
+      core::HanModule::default_config(coll::CollKind::Bcast, 8, 8, 4 << 20);
+  const core::HanConfig tuned =
+      loaded->decide(coll::CollKind::Bcast, 8, 8, 4 << 20);
+  const double t_default = measure_bcast(searcher, 4 << 20, dflt);
+  const double t_tuned = measure_bcast(searcher, 4 << 20, tuned);
+  std::printf("default : %s -> %.2f us\n", dflt.to_string().c_str(),
+              t_default * 1e6);
+  std::printf("tuned   : %s -> %.2f us (%.2fx)\n", tuned.to_string().c_str(),
+              t_tuned * 1e6, t_default / t_tuned);
+
+  // Install the table so regular han.ibcast() calls pick it up.
+  tuner.install(*loaded);
+  return 0;
+}

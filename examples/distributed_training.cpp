@@ -1,0 +1,36 @@
+// Distributed-training example: the Horovod-style allreduce-bound workload
+// of paper Fig. 15 — synchronous data-parallel SGD with fused gradient
+// allreduces — scaled over worker counts.
+#include <cstdio>
+
+#include "apps/horovod.hpp"
+
+using namespace han;
+
+int main() {
+  apps::HorovodOptions options;
+  options.model_bytes = 244ull << 20;  // AlexNet-sized fp32 gradients
+  options.fusion_bytes = 64 << 20;     // Horovod's default fusion buffer
+  options.compute_sec_per_step = 0.30;
+  options.steps = 2;
+
+  std::printf("Horovod-style training, AlexNet-sized model (%s)\n\n",
+              sim::format_bytes(options.model_bytes).c_str());
+  std::printf("%8s %14s %14s %10s\n", "workers", "ompi img/s", "han img/s",
+              "gain");
+
+  for (int nodes : {4, 8, 12}) {
+    const machine::MachineProfile profile = machine::make_opath(nodes, 12);
+    auto ompi = vendor::make_stack("ompi", profile);
+    auto han = vendor::make_stack("han", profile);
+    const apps::HorovodReport r_ompi = apps::run_horovod(*ompi, options);
+    const apps::HorovodReport r_han = apps::run_horovod(*han, options);
+    std::printf("%8d %14.1f %14.1f %9.2f%%\n", r_han.workers,
+                r_ompi.images_per_sec, r_han.images_per_sec,
+                100.0 * (r_han.images_per_sec / r_ompi.images_per_sec - 1.0));
+  }
+  std::printf("\nThe gain grows with scale: allreduce takes a larger share "
+              "of each step,\nand HAN's pipelined hierarchical allreduce "
+              "scales better than flat trees.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// hansim — command-line sweep tool over the simulated cluster.
+//
+// Run any collective on any stack/machine/shape without writing code:
+//
+//   hansim --machine aries --nodes 16 --ppn 8 \
+//          --op bcast --stacks ompi,cray,han --min 4 --max 4M
+//
+// Flags (all optional):
+//   --machine aries|opath     machine profile            [aries]
+//   --nodes N --ppn P         cluster shape              [8 x 8]
+//   --op bcast|allreduce      collective                 [bcast]
+//   --stacks a,b,c            comma-separated stack list [ompi,han]
+//   --min B --max B           message ladder (x4 steps)  [4 .. 1M]
+//   --tune                    autotune the HAN stack first
+#include <cstdio>
+#include <sstream>
+
+#include "bench/bench_util.hpp"
+#include "benchkit/imb.hpp"
+
+using namespace han;
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  if (args.has("--help") || args.has("-h")) {
+    std::printf(
+        "usage: hansim [--machine aries|opath] [--nodes N] [--ppn P]\n"
+        "              [--op bcast|allreduce] [--stacks ompi,han,...]\n"
+        "              [--min bytes] [--max bytes] [--tune]\n");
+    return 0;
+  }
+  const std::string machine = args.get_string("--machine", "aries");
+  const int nodes = static_cast<int>(args.get_long("--nodes", 8));
+  const int ppn = static_cast<int>(args.get_long("--ppn", 8));
+  const std::string op = args.get_string("--op", "bcast");
+  const std::string stacks_arg = args.get_string("--stacks", "ompi,han");
+  const std::size_t min_b = args.get_bytes("--min", 4);
+  const std::size_t max_b = args.get_bytes("--max", 1 << 20);
+
+  const machine::MachineProfile profile =
+      machine == "opath" ? machine::make_opath(nodes, ppn)
+                         : machine::make_aries(nodes, ppn);
+
+  std::vector<std::string> names;
+  std::stringstream ss(stacks_arg);
+  for (std::string item; std::getline(ss, item, ',');) {
+    if (!item.empty()) names.push_back(item);
+  }
+
+  std::vector<std::unique_ptr<vendor::MpiStack>> stacks;
+  for (const std::string& name : names) {
+    stacks.push_back(vendor::make_stack(name, profile));
+    if (name == "han" && args.has("--tune")) {
+      auto* hs = static_cast<vendor::HanStack*>(stacks.back().get());
+      tune::TunerOptions topt;
+      topt.heuristics = true;
+      topt.kinds = {op == "allreduce" ? coll::CollKind::Allreduce
+                                      : coll::CollKind::Bcast};
+      const tune::TuneReport rep = hs->autotune(topt);
+      std::printf("[tuned han: %zu entries, %.3f sim s]\n",
+                  rep.table.size(), rep.tuning_cost);
+    }
+  }
+
+  benchkit::ImbOptions iopt;
+  iopt.sizes = bench::ladder4(min_b, max_b);
+
+  std::vector<std::string> header{"bytes"};
+  for (const auto& s : stacks) header.push_back(s->name() + " us");
+  sim::Table t(std::move(header));
+
+  std::vector<std::vector<benchkit::ImbPoint>> results;
+  for (auto& stack : stacks) {
+    results.push_back(op == "allreduce"
+                          ? benchkit::imb_allreduce(*stack, iopt)
+                          : benchkit::imb_bcast(*stack, iopt));
+  }
+  for (std::size_t row = 0; row < iopt.sizes.size(); ++row) {
+    t.begin_row().cell(sim::format_bytes(iopt.sizes[row]));
+    for (auto& r : results) t.cell(r[row].avg_sec * 1e6);
+  }
+  t.print("MPI_" + op + " on " + machine + " " + std::to_string(nodes) +
+          "x" + std::to_string(ppn));
+  return 0;
+}

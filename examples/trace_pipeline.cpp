@@ -1,0 +1,62 @@
+// Trace example: run a pipelined HAN bcast with the execution tracer
+// attached and dump a Chrome trace (load han_bcast_trace.json in
+// chrome://tracing or https://ui.perfetto.dev) — the visual counterpart of
+// the paper's Fig. 1: watch sb(i-1) ride under ib(i) on the leader ranks.
+#include <cstdio>
+
+#include "coll/registry.hpp"
+#include "han/han.hpp"
+#include "simbase/trace.hpp"
+
+using namespace han;
+
+int main() {
+  mpi::SimWorld world(machine::make_aries(/*nodes=*/4, /*ppn=*/4));
+  coll::CollRuntime runtime(world);
+  coll::ModuleSet modules(world, runtime);
+  core::HanModule han(world, runtime, modules);
+
+  sim::Tracer tracer;
+  runtime.set_tracer(&tracer);
+
+  core::HanConfig cfg;
+  cfg.fs = 256 << 10;  // 8 segments of a 2MB message
+  cfg.imod = "adapt";
+  cfg.smod = "sm";
+  cfg.ibalg = coll::Algorithm::Chain;
+  cfg.iralg = coll::Algorithm::Chain;
+  cfg.ibs = 64 << 10;
+
+  world.run([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](mpi::SimWorld& w, core::HanModule& han, core::HanConfig cfg,
+              int me) -> sim::CoTask {
+      mpi::Request r = han.ibcast_cfg(w.world_comm(), me, 0,
+                                      mpi::BufView::timing_only(2 << 20),
+                                      mpi::Datatype::Byte, cfg);
+      co_await *r;
+    }(world, han, cfg, rank.world_rank);
+  });
+
+  const char* path = "han_bcast_trace.json";
+  if (tracer.save(path)) {
+    std::printf(
+        "simulated a 2MB HAN bcast on 4x4 ranks in %.2f us\n"
+        "wrote %zu spans to %s — open it in chrome://tracing\n",
+        world.now() * 1e6, tracer.size(), path);
+  } else {
+    std::printf("could not write %s\n", path);
+    return 1;
+  }
+
+  // A taste of what the trace shows, printed as text: the leader of node 1
+  // alternates intra copies (sb) with inter sends/recvs (ib).
+  std::printf("\nfirst spans on rank 4 (node 1's leader):\n");
+  int shown = 0;
+  for (const auto& s : tracer.spans()) {
+    if (s.tid != 4 || shown >= 8) continue;
+    std::printf("  %8.2f us  +%7.2f us  %s\n", s.start * 1e6,
+                s.duration * 1e6, s.name.c_str());
+    ++shown;
+  }
+  return 0;
+}

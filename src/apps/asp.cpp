@@ -1,0 +1,55 @@
+#include "apps/asp.hpp"
+
+#include <algorithm>
+
+namespace han::apps {
+
+using mpi::BufView;
+
+AspReport run_asp(vendor::MpiStack& stack, const AspOptions& options) {
+  mpi::SimWorld& w = stack.world();
+  const int procs = w.world_size();
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(options.matrix_n) * sizeof(float);
+  const double compute_sec = options.compute_sec_per_iter;
+
+  auto comm_time = std::make_shared<std::vector<double>>(procs, 0.0);
+  auto total_time = std::make_shared<std::vector<double>>(procs, 0.0);
+
+  const double start = w.now();
+  w.run([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](vendor::MpiStack& stack, mpi::SimWorld& w,
+              std::shared_ptr<std::vector<double>> comm_time,
+              std::shared_ptr<std::vector<double>> total_time,
+              std::size_t row_bytes, double compute_sec, int iterations,
+              int procs, int me) -> sim::CoTask {
+      const double t_begin = w.now();
+      for (int k = 0; k < iterations; ++k) {
+        const int root = k % procs;  // owner of row k under block layout
+        const double t0 = w.now();
+        mpi::Request bc = stack.ibcast(me, root,
+                                       BufView::timing_only(row_bytes),
+                                       mpi::Datatype::Float);
+        co_await *bc;
+        (*comm_time)[me] += w.now() - t0;
+        co_await *w.compute(me, compute_sec);
+      }
+      (*total_time)[me] = w.now() - t_begin;
+    }(stack, w, comm_time, total_time, row_bytes, compute_sec,
+      options.iterations, procs, rank.world_rank);
+  });
+  (void)start;
+
+  AspReport report;
+  report.iterations = options.iterations;
+  const int slowest = static_cast<int>(
+      std::max_element(total_time->begin(), total_time->end()) -
+      total_time->begin());
+  report.total_sec = (*total_time)[slowest];
+  report.comm_sec = (*comm_time)[slowest];
+  report.comm_ratio =
+      report.total_sec > 0.0 ? report.comm_sec / report.total_sec : 0.0;
+  return report;
+}
+
+}  // namespace han::apps

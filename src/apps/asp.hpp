@@ -1,0 +1,42 @@
+// ASP: all-pairs-shortest-path via parallel Floyd–Warshall (paper §IV-B1,
+// Table III).
+//
+// Rows of the N x N distance matrix are block-distributed. In iteration k
+// the owner broadcasts row k (4N bytes); every rank then relaxes its rows.
+// MPI_Bcast dominates, which is why the paper uses ASP as the bcast
+// application benchmark.
+//
+// Substitution note (DESIGN.md): the paper runs the first 1536 iterations
+// of its "1M matrix" on 1536 Stampede2 processes. We simulate a reduced
+// iteration count with rotating roots (covering intra-/inter-node root
+// placements) and expose the per-iteration relaxation time as an explicit
+// parameter — its default places HAN's communication share near the
+// paper's ~46% — since only the relative times across MPI stacks carry
+// information.
+#pragma once
+
+#include "vendor/stack.hpp"
+
+namespace han::apps {
+
+struct AspOptions {
+  int matrix_n = 1 << 20;     // N; the broadcast row is 4N bytes (4MB)
+  int iterations = 32;        // simulated iterations (roots rotate)
+  /// Relaxation time per iteration per rank (vectorized min-plus over
+  /// rows_per_rank * N cells). Explicit because the simulated "cores" have
+  /// no inherent FLOP rate.
+  double compute_sec_per_iter = 2.0e-3;
+};
+
+struct AspReport {
+  double total_sec = 0.0;
+  double comm_sec = 0.0;     // time spent inside MPI_Bcast (max over ranks)
+  double comm_ratio = 0.0;   // comm / total
+  int iterations = 0;
+};
+
+/// Run ASP on a stack's world. Every rank participates; the report uses
+/// the slowest rank's accounting (the paper's convention).
+AspReport run_asp(vendor::MpiStack& stack, const AspOptions& options);
+
+}  // namespace han::apps

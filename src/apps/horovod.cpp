@@ -1,0 +1,66 @@
+#include "apps/horovod.hpp"
+
+#include <algorithm>
+
+namespace han::apps {
+
+using mpi::BufView;
+
+HorovodReport run_horovod(vendor::MpiStack& stack,
+                          const HorovodOptions& options) {
+  mpi::SimWorld& w = stack.world();
+  const int workers = w.world_size();
+  const int rounds = options.warmup_steps + options.steps;
+
+  // Fused gradient chunks, last one ragged.
+  std::vector<std::size_t> chunks;
+  for (std::size_t off = 0; off < options.model_bytes;
+       off += options.fusion_bytes) {
+    chunks.push_back(std::min(options.fusion_bytes,
+                              options.model_bytes - off));
+  }
+
+  auto sync = std::make_shared<mpi::SyncDomain>(w.engine(), workers);
+  auto step_t = std::make_shared<std::vector<double>>(rounds, 0.0);
+
+  w.run([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](vendor::MpiStack& stack, mpi::SimWorld& w,
+              std::shared_ptr<mpi::SyncDomain> sync,
+              std::shared_ptr<std::vector<double>> step_t,
+              std::vector<std::size_t> chunks, HorovodOptions opt,
+              int rounds, int me) -> sim::CoTask {
+      for (int s = 0; s < rounds; ++s) {
+        co_await *sync->arrive();
+        const double t0 = w.now();
+        // Backprop: gradients stream out; the first fusion buffer is
+        // ready after the non-overlappable fraction of compute.
+        mpi::Request compute = w.compute(me, opt.compute_sec_per_step);
+        co_await sim::Delay{
+            w.engine(),
+            (1.0 - opt.overlap_fraction) * opt.compute_sec_per_step};
+        for (std::size_t bytes : chunks) {
+          mpi::Request ar = stack.iallreduce(
+              me, BufView::timing_only(bytes), BufView::timing_only(bytes),
+              mpi::Datatype::Float, mpi::ReduceOp::Sum);
+          co_await *ar;
+        }
+        co_await *compute;
+        (*step_t)[s] = std::max((*step_t)[s], w.now() - t0);
+      }
+    }(stack, w, sync, step_t, chunks, options, rounds, rank.world_rank);
+  });
+
+  HorovodReport report;
+  report.workers = workers;
+  double sum = 0.0;
+  for (int s = options.warmup_steps; s < rounds; ++s) sum += (*step_t)[s];
+  report.step_sec = sum / options.steps;
+  report.comm_sec_per_step =
+      std::max(0.0, report.step_sec - options.compute_sec_per_step);
+  report.images_per_sec =
+      static_cast<double>(options.batch_per_worker) * workers /
+      report.step_sec;
+  return report;
+}
+
+}  // namespace han::apps

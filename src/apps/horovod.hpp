@@ -1,0 +1,34 @@
+// Horovod-style synchronous data-parallel training (paper §IV-B2, Fig. 15).
+//
+// Horovod averages gradients with MPI_Allreduce, fusing tensors into
+// fixed-size buffers. The paper trains AlexNet (~244MB of fp32 gradients)
+// with tf_cnn_benchmarks on synthetic data; we reproduce the communication
+// structure: per step, backprop compute followed by a sequence of fused
+// allreduces, partially overlapped with compute, reporting images/sec.
+#pragma once
+
+#include "vendor/stack.hpp"
+
+namespace han::apps {
+
+struct HorovodOptions {
+  std::size_t model_bytes = 244ull << 20;   // AlexNet fp32 gradients
+  std::size_t fusion_bytes = 64 << 20;      // Horovod fusion buffer
+  double compute_sec_per_step = 0.30;       // fwd+bwd on one worker
+  double overlap_fraction = 0.5;            // comm hidden under backprop
+  int batch_per_worker = 64;
+  int steps = 3;
+  int warmup_steps = 1;
+};
+
+struct HorovodReport {
+  double step_sec = 0.0;     // averaged over measured steps
+  double images_per_sec = 0.0;
+  double comm_sec_per_step = 0.0;  // visible (non-overlapped) comm
+  int workers = 0;
+};
+
+HorovodReport run_horovod(vendor::MpiStack& stack,
+                          const HorovodOptions& options);
+
+}  // namespace han::apps

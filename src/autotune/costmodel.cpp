@@ -1,0 +1,67 @@
+#include "autotune/costmodel.hpp"
+
+namespace han::tune {
+
+double bcast_model_cost(const BcastTaskCosts& costs, int u) {
+  HAN_ASSERT(u >= 1);
+  const std::size_t leaders = costs.ib0.t.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < leaders; ++i) {
+    // u == 1: ib(0) followed by the lone sb — no sbib steps at all.
+    const double t = costs.ib0.t[i] +
+                     static_cast<double>(u - 1) * costs.sbib_stable.t[i] +
+                     costs.sb0.t[i];
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+AllreduceTaskCosts AllreduceTaskCosts::from_trace(const PipelineTrace& trace) {
+  const int n = static_cast<int>(trace.steps.size());
+  HAN_ASSERT_MSG(n >= 7, "allreduce trace needs >= 4 pipeline steps + tail");
+  AllreduceTaskCosts c;
+  c.sr0 = trace.steps[0];
+  c.irsr = trace.steps[1];
+  c.ibirsr = trace.steps[2];
+  // Stabilized steady-state cost: average the middle steps, skipping the
+  // first steady step (pipeline still filling) and the 3 drain steps.
+  PerLeader mid;
+  mid.t.assign(c.sr0.t.size(), 0.0);
+  int count = 0;
+  for (int i = 4; i < n - 3; ++i) {
+    for (std::size_t l = 0; l < mid.t.size(); ++l) {
+      mid.t[l] += trace.steps[i].t[l];
+    }
+    ++count;
+  }
+  if (count == 0) {
+    mid = trace.steps[3];  // minimal trace: take the one steady step
+  } else {
+    for (double& v : mid.t) v /= count;
+  }
+  c.sbibirsr_stable = mid;
+  c.sbibir = trace.steps[n - 3];
+  c.sbib = trace.steps[n - 2];
+  c.sb = trace.steps[n - 1];
+  return c;
+}
+
+double allreduce_model_cost(const AllreduceTaskCosts& costs, int u) {
+  HAN_ASSERT(u >= 1);
+  const std::size_t leaders = costs.sr0.t.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < leaders; ++i) {
+    double t = costs.sr0.t[i];
+    if (u >= 2) t += costs.irsr.t[i];
+    if (u >= 3) t += costs.ibirsr.t[i];
+    if (u >= 4) t += static_cast<double>(u - 3) * costs.sbibirsr_stable.t[i];
+    // Drain: always present once the 4-stage pipeline exists; for tiny u
+    // the drain tasks approximate the remaining ir/ib/sb of the last
+    // segments.
+    t += costs.sbibir.t[i] + costs.sbib.t[i] + costs.sb.t[i];
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+}  // namespace han::tune

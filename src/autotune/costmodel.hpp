@@ -1,0 +1,44 @@
+// The paper's cost models (equations 1-4).
+//
+// Cost of a collective = the longest completion among processes (the IMB /
+// OSU definition). For Bcast (eq. 3):
+//     max_i( T_i(ib(0)) + (u-1) * T_i(sbib(s)) + T_i(sb(u-1)) )
+// For Allreduce (eq. 4):
+//     max_i( T_i(sr(0)) + T_i(irsr(1)) + T_i(ibirsr(2))
+//            + (u-3) * T_i(sbibirsr(s)) + T_i(sbibir) + T_i(sbib)
+//            + T_i(sb) )
+// where T_i are *benchmarked task costs* (taskbench.hpp), not analytic
+// network parameters — the paper's central autotuning idea.
+#pragma once
+
+#include "autotune/taskbench.hpp"
+
+namespace han::tune {
+
+struct BcastTaskCosts {
+  PerLeader ib0;          // T_i(ib(0))
+  PerLeader sb0;          // T_i(sb(0)) ~= T_i(sb(u-1))
+  PerLeader sbib_stable;  // T_i(sbib(s))
+};
+
+/// Eq. 3. `u` = segment count of the modeled message.
+double bcast_model_cost(const BcastTaskCosts& costs, int u);
+
+struct AllreduceTaskCosts {
+  PerLeader sr0;              // T_i(sr(0))
+  PerLeader irsr;             // T_i(irsr(1))
+  PerLeader ibirsr;           // T_i(ibirsr(2))
+  PerLeader sbibirsr_stable;  // T_i(sbibirsr(s))
+  PerLeader sbibir;           // drain tasks
+  PerLeader sbib;
+  PerLeader sb;
+
+  /// Extract from an instrumented pipeline trace (steps + 3 entries).
+  static AllreduceTaskCosts from_trace(const PipelineTrace& trace);
+};
+
+/// Eq. 4 with the obvious clamping for u < 4 (fewer fill/drain steps than
+/// the pipeline depth).
+double allreduce_model_cost(const AllreduceTaskCosts& costs, int u);
+
+}  // namespace han::tune

@@ -1,0 +1,114 @@
+#include "autotune/decision.hpp"
+
+#include <cmath>
+
+#include "simbase/assert.hpp"
+#include "simbase/units.hpp"
+
+namespace han::tune {
+
+DecisionRules DecisionRules::build(const LookupTable& table,
+                                   coll::CollKind kind, int nodes, int ppn) {
+  DecisionRules out;
+  out.kind_ = kind;
+
+  // Collect the (log2 bucket, config) samples for this slice, ascending.
+  std::vector<std::pair<int, core::HanConfig>> samples;
+  for (const auto& [key, cfg] : table.entries()) {
+    if (key.kind == kind && key.nodes == nodes && key.ppn == ppn) {
+      samples.emplace_back(key.log2_bytes, cfg);
+    }
+  }
+  if (samples.empty()) return out;
+
+  // Merge runs of identical configurations; each run's upper threshold is
+  // the midpoint (in log space) between its last bucket and the next
+  // run's first bucket.
+  for (std::size_t i = 0; i < samples.size();) {
+    std::size_t j = i;
+    while (j + 1 < samples.size() &&
+           samples[j + 1].second == samples[i].second) {
+      ++j;
+    }
+    Rule rule;
+    rule.cfg = samples[i].second;
+    if (j + 1 < samples.size()) {
+      // Midpoint bucket between this run and the next.
+      const int hi = samples[j].first;
+      const int next = samples[j + 1].first;
+      rule.max_bytes = 1ull << ((hi + next) / 2);
+    } else {
+      rule.max_bytes = ~0ull;  // open-ended top rule
+    }
+    out.rules_.push_back(std::move(rule));
+    i = j + 1;
+  }
+  return out;
+}
+
+const core::HanConfig& DecisionRules::decide(std::size_t bytes) const {
+  HAN_ASSERT_MSG(!rules_.empty(), "decide() on an empty rule set");
+  for (const Rule& r : rules_) {
+    if (bytes <= r.max_bytes) return r.cfg;
+  }
+  return rules_.back().cfg;
+}
+
+std::string DecisionRules::to_string() const {
+  std::string out;
+  std::size_t lo = 0;
+  for (const Rule& r : rules_) {
+    out += "  [" + sim::format_bytes(lo) + " .. ";
+    out += r.max_bytes == ~0ull ? std::string("inf")
+                                : sim::format_bytes(r.max_bytes);
+    out += "] -> " + r.cfg.to_string() + "\n";
+    lo = r.max_bytes == ~0ull ? r.max_bytes : r.max_bytes + 1;
+  }
+  return out;
+}
+
+RuleBook RuleBook::build(const LookupTable& table) {
+  RuleBook book;
+  // Enumerate distinct (kind, nodes, ppn) slices.
+  std::vector<std::tuple<coll::CollKind, int, int>> shapes;
+  for (const auto& [key, cfg] : table.entries()) {
+    const auto shape = std::make_tuple(key.kind, key.nodes, key.ppn);
+    bool seen = false;
+    for (const auto& s : shapes) seen |= (s == shape);
+    if (!seen) shapes.push_back(shape);
+  }
+  for (const auto& [kind, nodes, ppn] : shapes) {
+    book.slices_.push_back(
+        Slice{kind, nodes, ppn,
+              DecisionRules::build(table, kind, nodes, ppn)});
+  }
+  return book;
+}
+
+core::HanConfig RuleBook::decide(coll::CollKind kind, int nodes, int ppn,
+                                 std::size_t bytes) const {
+  const Slice* best = nullptr;
+  double best_dist = 0.0;
+  for (const Slice& s : slices_) {
+    if (s.kind != kind || s.rules.empty()) continue;
+    const double dist =
+        std::abs(std::log2(double(std::max(s.nodes, 1)) /
+                           std::max(nodes, 1))) +
+        std::abs(std::log2(double(std::max(s.ppn, 1)) / std::max(ppn, 1)));
+    if (best == nullptr || dist < best_dist) {
+      best = &s;
+      best_dist = dist;
+    }
+  }
+  if (best != nullptr) return best->rules.decide(bytes);
+  return core::HanModule::default_config(kind, nodes, ppn, bytes);
+}
+
+core::HanModule::Decider RuleBook::decider() const {
+  return [book = *this](coll::CollKind kind, int nodes, int ppn,
+                        std::size_t bytes) {
+    return book.decide(kind, nodes, ppn, bytes);
+  };
+}
+
+}  // namespace han::tune

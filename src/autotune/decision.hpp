@@ -1,0 +1,71 @@
+// Step 2 of autotuning (paper §III-C): turn the sampled lookup table into
+// compact decision rules answering arbitrary message sizes.
+//
+// The paper cites quadtree encoding [35] and decision trees [36] for this
+// step but focuses on step 1; we implement the natural 1-D variant: merge
+// adjacent message-size buckets that chose the same configuration into
+// piecewise-constant ranges with midpoint thresholds — the same structure
+// Open MPI's dynamic-rules files encode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autotune/lookup.hpp"
+
+namespace han::tune {
+
+class DecisionRules {
+ public:
+  struct Rule {
+    std::size_t max_bytes;  // applies to messages <= max_bytes
+    core::HanConfig cfg;
+  };
+
+  /// Compile the rules for one (kind, nodes, ppn) slice of a lookup
+  /// table. Returns an empty rule set when the table has no entries for
+  /// the slice.
+  static DecisionRules build(const LookupTable& table, coll::CollKind kind,
+                             int nodes, int ppn);
+
+  bool empty() const { return rules_.empty(); }
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// Configuration for an arbitrary message size: the first rule whose
+  /// range covers it; messages beyond the last threshold use the last
+  /// rule (largest tuned regime).
+  const core::HanConfig& decide(std::size_t bytes) const;
+
+  /// Human-readable piecewise table (the "dynamic rules file" view).
+  std::string to_string() const;
+
+  coll::CollKind kind() const { return kind_; }
+
+ private:
+  coll::CollKind kind_ = coll::CollKind::Bcast;
+  std::vector<Rule> rules_;  // ascending max_bytes
+};
+
+/// Compile every (kind, nodes, ppn) slice present in a table and expose a
+/// HanModule decider that dispatches to the right rule set (nearest shape
+/// when the exact one is missing).
+class RuleBook {
+ public:
+  static RuleBook build(const LookupTable& table);
+
+  core::HanConfig decide(coll::CollKind kind, int nodes, int ppn,
+                         std::size_t bytes) const;
+  core::HanModule::Decider decider() const;
+  std::size_t slice_count() const { return slices_.size(); }
+
+ private:
+  struct Slice {
+    coll::CollKind kind;
+    int nodes;
+    int ppn;
+    DecisionRules rules;
+  };
+  std::vector<Slice> slices_;
+};
+
+}  // namespace han::tune

@@ -1,0 +1,224 @@
+#include "autotune/search.hpp"
+
+#include <algorithm>
+
+namespace han::tune {
+
+using coll::Algorithm;
+using coll::CollKind;
+using core::HanConfig;
+using mpi::BufView;
+
+std::vector<HanConfig> SearchSpace::enumerate(CollKind kind) const {
+  std::vector<HanConfig> out;
+  for (std::size_t fs : fs_sizes) {
+    for (const std::string& smod : smods) {
+      for (const std::string& imod : imods) {
+        if (imod == "libnbc") {
+          HanConfig c;
+          c.fs = fs;
+          c.imod = imod;
+          c.smod = smod;
+          c.ibalg = Algorithm::Binomial;
+          c.iralg = Algorithm::Binomial;
+          c.ibs = 0;
+          c.irs = 0;
+          out.push_back(std::move(c));
+          continue;
+        }
+        for (Algorithm alg : adapt_algs) {
+          for (std::size_t iseg : adapt_inter_segments) {
+            HanConfig c;
+            c.fs = fs;
+            c.imod = imod;
+            c.smod = smod;
+            c.ibalg = alg;
+            c.iralg = alg;  // ir/ib share the algorithm (paper §III-B)
+            c.ibs = iseg;
+            c.irs = iseg;
+            out.push_back(std::move(c));
+          }
+        }
+      }
+    }
+  }
+  (void)kind;  // bcast and allreduce share the space (Table II)
+  return out;
+}
+
+bool heuristic_allows(const HanConfig& cfg, CollKind kind,
+                      std::size_t msg_bytes, int u) {
+  // SOLO's window-synchronization cost only amortizes on big segments
+  // (paper: "we only use the SOLO submodule when the segment size is
+  // larger than 512KB").
+  if (cfg.smod == "solo" && cfg.fs < (512u << 10)) return false;
+  // The chain algorithm needs enough segments to kick-start pipelining.
+  if ((cfg.ibalg == Algorithm::Chain || cfg.iralg == Algorithm::Chain) &&
+      u > 0 && u < 4) {
+    return false;
+  }
+  // Libnbc schedules whole messages: past ~512KB its unsegmented rounds
+  // cannot compete with ADAPT's internal pipelining (prior-understanding
+  // rule in the spirit of the paper's §III-C examples).
+  if (cfg.imod == "libnbc" && cfg.fs > (512u << 10)) return false;
+  // A HAN segment larger than the message itself never changes behaviour;
+  // keep only the smallest such configuration.
+  if (msg_bytes > 0 && cfg.fs > msg_bytes && cfg.fs / 2 >= msg_bytes) {
+    return false;
+  }
+  // Inter-level segmentation finer than needed on tiny messages only adds
+  // setup cost.
+  if (msg_bytes > 0 && cfg.ibs > 0 && cfg.ibs > msg_bytes) return false;
+  (void)kind;
+  return true;
+}
+
+Searcher::Searcher(mpi::SimWorld& world, core::HanModule& han,
+                   const mpi::Comm& comm, SearchSpace space)
+    : world_(&world),
+      han_(&han),
+      comm_(&comm),
+      space_(std::move(space)),
+      bench_(world, han, comm) {}
+
+double Searcher::measure_collective(CollKind kind, std::size_t msg_bytes,
+                                    const HanConfig& cfg, int iters) {
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+  auto worst = std::make_shared<std::vector<double>>(iters, 0.0);
+
+  const double before = world_->now();
+  world_->run([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](Searcher& s, std::shared_ptr<mpi::SyncDomain> sync,
+              std::shared_ptr<std::vector<double>> worst, CollKind kind,
+              std::size_t bytes, HanConfig cfg, int iters,
+              int pr) -> sim::CoTask {
+      for (int it = 0; it < iters; ++it) {
+        co_await *sync->arrive();
+        const double t0 = s.world_->now();
+        mpi::Request r;
+        switch (kind) {
+          case CollKind::Bcast:
+            r = s.han_->ibcast_cfg(*s.comm_, pr, 0,
+                                   BufView::timing_only(bytes),
+                                   mpi::Datatype::Byte, cfg);
+            break;
+          case CollKind::Allreduce:
+            r = s.han_->iallreduce_cfg(*s.comm_, pr,
+                                       BufView::timing_only(bytes),
+                                       BufView::timing_only(bytes),
+                                       mpi::Datatype::Byte,
+                                       mpi::ReduceOp::Sum, cfg);
+            break;
+          case CollKind::Reduce:
+            r = s.han_->ireduce_cfg(*s.comm_, pr, 0,
+                                    BufView::timing_only(bytes),
+                                    BufView::timing_only(bytes),
+                                    mpi::Datatype::Byte, mpi::ReduceOp::Sum,
+                                    cfg);
+            break;
+          default:
+            HAN_ASSERT_MSG(false, "unsupported kind in measure_collective");
+        }
+        co_await *r;
+        (*worst)[it] = std::max((*worst)[it], s.world_->now() - t0);
+      }
+    }(*this, sync, worst, kind, msg_bytes, cfg, iters, rank.world_rank);
+  });
+  // Charge the measurement to the tuning budget via the bench's account.
+  // (Exhaustive search cost = sum of real collective runs.)
+  const double elapsed = world_->now() - before;
+  bench_charge_ += elapsed;
+
+  double sum = 0.0;
+  for (double w : *worst) sum += w;
+  return sum / iters;
+}
+
+SearchResult Searcher::exhaustive(CollKind kind, std::size_t msg_bytes,
+                                  bool heuristics) {
+  SearchResult result;
+  const double cost0 = tuning_cost();
+  for (const HanConfig& cfg : space_.enumerate(kind)) {
+    const int u = static_cast<int>(
+        (msg_bytes + cfg.fs - 1) / std::max<std::size_t>(cfg.fs, 1));
+    if (heuristics && !heuristic_allows(cfg, kind, msg_bytes, u)) continue;
+    const double t = measure_collective(kind, msg_bytes, cfg);
+    result.all.push_back({cfg, t});
+    ++result.evaluations;
+    if (!result.best || t < result.best->time) {
+      result.best = Evaluation{cfg, t};
+    }
+  }
+  result.tuning_cost = tuning_cost() - cost0;
+  return result;
+}
+
+const BcastTaskCosts& Searcher::bcast_costs(const HanConfig& cfg) {
+  const ConfigKey key{cfg.to_string()};
+  auto it = bcast_cache_.find(key);
+  if (it != bcast_cache_.end()) return it->second;
+
+  BcastTaskCosts costs;
+  costs.ib0 = bench_.bench_ib(cfg, cfg.fs);
+  costs.sb0 = bench_.bench_sb(cfg, cfg.fs);
+  // The delayed-start sbib benchmark (red bars of Fig. 2): enough steps to
+  // pass the pipeline fill (Fig. 3 shows stabilization within ~4 steps).
+  const PipelineTrace trace =
+      bench_.bench_sbib_pipeline(cfg, cfg.fs, /*steps=*/8, costs.ib0);
+  costs.sbib_stable = trace.stabilized();
+  return bcast_cache_.emplace(key, std::move(costs)).first->second;
+}
+
+const AllreduceTaskCosts& Searcher::allreduce_costs(const HanConfig& cfg) {
+  const ConfigKey key{cfg.to_string()};
+  auto it = allreduce_cache_.find(key);
+  if (it != allreduce_cache_.end()) return it->second;
+  const PipelineTrace trace =
+      bench_.bench_allreduce_pipeline(cfg, cfg.fs, /*steps=*/8);
+  return allreduce_cache_
+      .emplace(key, AllreduceTaskCosts::from_trace(trace))
+      .first->second;
+}
+
+void Searcher::prepare(CollKind kind, bool heuristics) {
+  for (const HanConfig& cfg : space_.enumerate(kind)) {
+    if (heuristics && !heuristic_allows(cfg, kind, 0, 0)) continue;
+    if (kind == CollKind::Bcast) {
+      bcast_costs(cfg);
+    } else {
+      allreduce_costs(cfg);
+    }
+  }
+}
+
+SearchResult Searcher::estimate(CollKind kind, std::size_t msg_bytes,
+                                bool heuristics) {
+  SearchResult result;
+  for (const HanConfig& cfg : space_.enumerate(kind)) {
+    const int u = static_cast<int>(
+        (msg_bytes + cfg.fs - 1) / std::max<std::size_t>(cfg.fs, 1));
+    if (heuristics && !heuristic_allows(cfg, kind, msg_bytes, u)) continue;
+    const double t = estimate_config(kind, msg_bytes, cfg);
+    result.all.push_back({cfg, t});
+    ++result.evaluations;
+    if (!result.best || t < result.best->time) {
+      result.best = Evaluation{cfg, t};
+    }
+  }
+  return result;
+}
+
+double Searcher::estimate_config(CollKind kind, std::size_t msg_bytes,
+                                 const HanConfig& cfg) {
+  const int u = std::max<int>(
+      1, static_cast<int>((msg_bytes + cfg.fs - 1) /
+                          std::max<std::size_t>(cfg.fs, 1)));
+  if (kind == CollKind::Bcast) {
+    return bcast_model_cost(bcast_costs(cfg), u);
+  }
+  HAN_ASSERT(kind == CollKind::Allreduce);
+  return allreduce_model_cost(allreduce_costs(cfg), u);
+}
+
+}  // namespace han::tune

@@ -1,0 +1,328 @@
+#include "autotune/taskbench.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace han::tune {
+
+using coll::CollConfig;
+using core::HanConfig;
+using mpi::BufView;
+
+double PerLeader::max() const {
+  HAN_ASSERT(!t.empty());
+  return *std::max_element(t.begin(), t.end());
+}
+
+double PerLeader::avg() const {
+  HAN_ASSERT(!t.empty());
+  return std::accumulate(t.begin(), t.end(), 0.0) /
+         static_cast<double>(t.size());
+}
+
+PerLeader PipelineTrace::stabilized(int tail) const {
+  HAN_ASSERT(!steps.empty());
+  const int n = static_cast<int>(steps.size());
+  const int from = std::max(0, n - tail);
+  PerLeader out;
+  out.t.assign(steps[0].t.size(), 0.0);
+  for (int i = from; i < n; ++i) {
+    for (std::size_t l = 0; l < out.t.size(); ++l) out.t[l] += steps[i].t[l];
+  }
+  for (double& v : out.t) v /= static_cast<double>(n - from);
+  return out;
+}
+
+TaskBench::TaskBench(mpi::SimWorld& world, core::HanModule& han,
+                     const mpi::Comm& comm)
+    : world_(&world), han_(&han), comm_(&comm) {
+  leaders_ = han.han_comm(comm).node_count();
+}
+
+void TaskBench::run_charged(const mpi::SimWorld::Program& program) {
+  const double before = world_->now();
+  world_->run(program);
+  cost_ += world_->now() - before;
+}
+
+namespace {
+
+/// Average iteration results into a PerLeader.
+PerLeader average(const std::vector<std::vector<double>>& iters,
+                  int leaders) {
+  PerLeader out;
+  out.t.assign(leaders, 0.0);
+  for (const auto& it : iters) {
+    for (int l = 0; l < leaders; ++l) out.t[l] += it[l];
+  }
+  for (double& v : out.t) v /= static_cast<double>(iters.size());
+  return out;
+}
+
+}  // namespace
+
+PerLeader TaskBench::bench_ib(const HanConfig& cfg, std::size_t seg_bytes,
+                              int iters) {
+  core::HanComm& hc = han_->han_comm(*comm_);
+  coll::CollModule* imod = han_->inter_module(cfg);
+  const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+  std::vector<std::vector<double>> results(iters,
+                                           std::vector<double>(leaders_, 0));
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
+              CollConfig icfg, std::shared_ptr<mpi::SyncDomain> sync,
+              std::vector<std::vector<double>>& results, std::size_t seg,
+              int iters, int pr) -> sim::CoTask {
+      const bool leader = hc.low_rank(pr) == 0;
+      for (int it = 0; it < iters; ++it) {
+        co_await *sync->arrive();
+        if (leader) {
+          const double t0 = tb.world().now();
+          mpi::Request r =
+              imod->ibcast(*hc.up(pr), hc.up_rank(pr), 0,
+                           BufView::timing_only(seg), mpi::Datatype::Byte,
+                           icfg);
+          co_await *r;
+          results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+        }
+      }
+    }(*this, hc, imod, icfg, sync, results, seg_bytes, iters,
+      rank.world_rank);
+  });
+  return average(results, leaders_);
+}
+
+PerLeader TaskBench::bench_sb(const HanConfig& cfg, std::size_t seg_bytes,
+                              int iters) {
+  core::HanComm& hc = han_->han_comm(*comm_);
+  coll::CollModule* smod = han_->intra_module(cfg);
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+  std::vector<std::vector<double>> results(iters,
+                                           std::vector<double>(leaders_, 0));
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* smod,
+              std::shared_ptr<mpi::SyncDomain> sync,
+              std::vector<std::vector<double>>& results, std::size_t seg,
+              int iters, int pr) -> sim::CoTask {
+      const bool leader = hc.low_rank(pr) == 0;
+      for (int it = 0; it < iters; ++it) {
+        co_await *sync->arrive();
+        const double t0 = tb.world().now();
+        mpi::Request r =
+            smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+                         BufView::timing_only(seg), mpi::Datatype::Byte,
+                         CollConfig{});
+        co_await *r;
+        if (leader) results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+      }
+    }(*this, hc, smod, sync, results, seg_bytes, iters, rank.world_rank);
+  });
+  return average(results, leaders_);
+}
+
+PerLeader TaskBench::bench_concurrent_ib_sb(const HanConfig& cfg,
+                                            std::size_t seg_bytes,
+                                            int iters) {
+  core::HanComm& hc = han_->han_comm(*comm_);
+  coll::CollModule* imod = han_->inter_module(cfg);
+  coll::CollModule* smod = han_->intra_module(cfg);
+  const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+  std::vector<std::vector<double>> results(iters,
+                                           std::vector<double>(leaders_, 0));
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
+              coll::CollModule* smod, CollConfig icfg,
+              std::shared_ptr<mpi::SyncDomain> sync,
+              std::vector<std::vector<double>>& results, std::size_t seg,
+              int iters, int pr) -> sim::CoTask {
+      const bool leader = hc.low_rank(pr) == 0;
+      for (int it = 0; it < iters; ++it) {
+        co_await *sync->arrive();
+        const double t0 = tb.world().now();
+        std::vector<mpi::Request> task;
+        task.push_back(smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+                                    BufView::timing_only(seg),
+                                    mpi::Datatype::Byte, CollConfig{}));
+        if (leader) {
+          task.push_back(imod->ibcast(*hc.up(pr), hc.up_rank(pr), 0,
+                                      BufView::timing_only(seg),
+                                      mpi::Datatype::Byte, icfg));
+        }
+        co_await mpi::wait_all(tb.world().engine(), std::move(task));
+        if (leader) results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+      }
+    }(*this, hc, imod, smod, icfg, sync, results, seg_bytes, iters,
+      rank.world_rank);
+  });
+  return average(results, leaders_);
+}
+
+PipelineTrace TaskBench::bench_sbib_pipeline(const HanConfig& cfg,
+                                             std::size_t seg_bytes,
+                                             int steps,
+                                             const PerLeader& delay_by) {
+  core::HanComm& hc = han_->han_comm(*comm_);
+  coll::CollModule* imod = han_->inter_module(cfg);
+  coll::CollModule* smod = han_->intra_module(cfg);
+  const CollConfig icfg{cfg.ibalg, cfg.ibs};
+
+  PipelineTrace trace;
+  trace.steps.assign(steps, PerLeader{std::vector<double>(leaders_, 0.0)});
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
+              coll::CollModule* smod, CollConfig icfg,
+              std::shared_ptr<mpi::SyncDomain> sync, PipelineTrace& trace,
+              const PerLeader& delay_by, std::size_t seg, int steps,
+              int pr) -> sim::CoTask {
+      const bool leader = hc.low_rank(pr) == 0;
+      co_await *sync->arrive();
+      if (leader) {
+        // Reproduce the staggered entry after ib(0): the paper's key
+        // benchmarking correction (Fig. 2, red bars).
+        co_await sim::Delay{tb.world().engine(),
+                            delay_by.t[hc.up_rank(pr)]};
+        for (int k = 0; k < steps; ++k) {
+          const double t0 = tb.world().now();
+          std::vector<mpi::Request> task;
+          task.push_back(smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+                                      BufView::timing_only(seg),
+                                      mpi::Datatype::Byte, CollConfig{}));
+          task.push_back(imod->ibcast(*hc.up(pr), hc.up_rank(pr), 0,
+                                      BufView::timing_only(seg),
+                                      mpi::Datatype::Byte, icfg));
+          co_await mpi::wait_all(tb.world().engine(), std::move(task));
+          trace.steps[k].t[hc.up_rank(pr)] = tb.world().now() - t0;
+        }
+      } else {
+        for (int k = 0; k < steps; ++k) {
+          mpi::Request r =
+              smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+                           BufView::timing_only(seg), mpi::Datatype::Byte,
+                           CollConfig{});
+          co_await *r;
+        }
+      }
+    }(*this, hc, imod, smod, icfg, sync, trace, delay_by, seg_bytes, steps,
+      rank.world_rank);
+  });
+  return trace;
+}
+
+PerLeader TaskBench::bench_sr(const HanConfig& cfg, std::size_t seg_bytes,
+                              int iters) {
+  core::HanComm& hc = han_->han_comm(*comm_);
+  coll::CollModule* smod = han_->intra_module(cfg);
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+  std::vector<std::vector<double>> results(iters,
+                                           std::vector<double>(leaders_, 0));
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* smod,
+              std::shared_ptr<mpi::SyncDomain> sync,
+              std::vector<std::vector<double>>& results, std::size_t seg,
+              int iters, int pr) -> sim::CoTask {
+      const bool leader = hc.low_rank(pr) == 0;
+      for (int it = 0; it < iters; ++it) {
+        co_await *sync->arrive();
+        const double t0 = tb.world().now();
+        mpi::Request r = smod->ireduce(
+            hc.low(pr), hc.low_rank(pr), 0, BufView::timing_only(seg),
+            BufView::timing_only(seg), mpi::Datatype::Byte,
+            mpi::ReduceOp::Sum, CollConfig{});
+        co_await *r;
+        if (leader) results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+      }
+    }(*this, hc, smod, sync, results, seg_bytes, iters, rank.world_rank);
+  });
+  return average(results, leaders_);
+}
+
+PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
+                                                  std::size_t seg_bytes,
+                                                  int steps) {
+  core::HanComm& hc = han_->han_comm(*comm_);
+  coll::CollModule* imod = han_->inter_module(cfg);
+  coll::CollModule* smod = han_->intra_module(cfg);
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
+
+  const int total_steps = steps + 3;
+  PipelineTrace trace;
+  trace.steps.assign(total_steps,
+                     PerLeader{std::vector<double>(leaders_, 0.0)});
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
+              coll::CollModule* smod, CollConfig ircfg, CollConfig ibcfg,
+              std::shared_ptr<mpi::SyncDomain> sync, PipelineTrace& trace,
+              std::size_t seg, int u, int total_steps,
+              int pr) -> sim::CoTask {
+      const bool leader = hc.low_rank(pr) == 0;
+      const mpi::Datatype dt = mpi::Datatype::Byte;
+      const mpi::ReduceOp op = mpi::ReduceOp::Sum;
+      co_await *sync->arrive();
+      for (int t = 0; t < total_steps; ++t) {
+        const double t0 = tb.world().now();
+        std::vector<mpi::Request> task;
+        if (leader) {
+          if (t <= u - 1) {
+            task.push_back(smod->ireduce(hc.low(pr), hc.low_rank(pr), 0,
+                                         BufView::timing_only(seg),
+                                         BufView::timing_only(seg), dt, op,
+                                         CollConfig{}));
+          }
+          if (t >= 1 && t - 1 <= u - 1) {
+            task.push_back(imod->ireduce(*hc.up(pr), hc.up_rank(pr), 0,
+                                         BufView::timing_only(seg),
+                                         BufView::timing_only(seg), dt, op,
+                                         ircfg));
+          }
+          if (t >= 2 && t - 2 <= u - 1) {
+            task.push_back(imod->ibcast(*hc.up(pr), hc.up_rank(pr), 0,
+                                        BufView::timing_only(seg), dt,
+                                        ibcfg));
+          }
+          if (t >= 3 && t - 3 <= u - 1) {
+            task.push_back(smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+                                        BufView::timing_only(seg), dt,
+                                        CollConfig{}));
+          }
+        } else {
+          if (t <= u - 1) {
+            task.push_back(smod->ireduce(hc.low(pr), hc.low_rank(pr), 0,
+                                         BufView::timing_only(seg),
+                                         BufView::timing_only(seg), dt, op,
+                                         CollConfig{}));
+          }
+          if (t >= 3 && t - 3 <= u - 1) {
+            task.push_back(smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+                                        BufView::timing_only(seg), dt,
+                                        CollConfig{}));
+          }
+        }
+        if (!task.empty()) {
+          co_await mpi::wait_all(tb.world().engine(), std::move(task));
+        }
+        if (leader) trace.steps[t].t[hc.up_rank(pr)] = tb.world().now() - t0;
+      }
+    }(*this, hc, imod, smod, ircfg, ibcfg, sync, trace, seg_bytes, steps,
+      total_steps, rank.world_rank);
+  });
+  return trace;
+}
+
+}  // namespace han::tune

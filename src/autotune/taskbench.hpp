@@ -1,0 +1,99 @@
+// Task benchmarking (paper §III-A2/§III-B2): measure the cost of HAN's
+// tasks — ib, sb, concurrent ib+sb, delayed-start sbib pipelines, and the
+// allreduce task chain — instead of whole collectives.
+//
+// The key methodological points reproduced from the paper:
+//  * ib(0) and sb(0) are timed with a simple synchronized loop.
+//  * sbib must NOT be timed from a synchronized start: each leader is
+//    delayed by its measured T_i(ib(0)) to reproduce the staggered entry
+//    (Fig. 2's red vs green bars).
+//  * The pipeline needs a few segments to fill; per-step costs stabilize
+//    afterwards (Fig. 3), and the stabilized value feeds the cost model.
+//
+// All benchmarks run in the caller's SimWorld; the simulated time they
+// consume is the "tuning cost" the paper's Fig. 8 accounts.
+#pragma once
+
+#include <vector>
+
+#include "han/han.hpp"
+
+namespace han::tune {
+
+/// Per-leader (per-node) task costs, indexed by up-comm rank.
+struct PerLeader {
+  std::vector<double> t;  // seconds
+
+  double max() const;
+  double avg() const;
+};
+
+/// Per-step, per-leader costs of an instrumented pipeline run:
+/// steps[i].t[leader] is the duration of step i on that leader.
+struct PipelineTrace {
+  std::vector<PerLeader> steps;
+
+  /// Stabilized per-step cost per leader: mean of the last `tail` steps.
+  PerLeader stabilized(int tail = 3) const;
+};
+
+class TaskBench {
+ public:
+  /// `han` supplies submodules and hierarchical comms over `comm`.
+  TaskBench(mpi::SimWorld& world, core::HanModule& han,
+            const mpi::Comm& comm);
+
+  /// Simulated seconds consumed by all benchmarks so far (tuning cost).
+  double elapsed_cost() const { return cost_; }
+
+  // --- Bcast tasks (root = rank 0) --------------------------------------
+
+  /// T_i(ib(0)): inter-node bcast of one segment, synchronized start.
+  PerLeader bench_ib(const core::HanConfig& cfg, std::size_t seg_bytes,
+                     int iters = 3);
+
+  /// T_i(sb(0)): intra-node bcast of one segment on every node.
+  PerLeader bench_sb(const core::HanConfig& cfg, std::size_t seg_bytes,
+                     int iters = 3);
+
+  /// Concurrent ib(0)+sb(0) from a synchronized start (Fig. 2 green bars —
+  /// demonstrates imperfect overlap; not used by the model).
+  PerLeader bench_concurrent_ib_sb(const core::HanConfig& cfg,
+                                   std::size_t seg_bytes, int iters = 3);
+
+  /// Delayed-start sbib pipeline of `steps` segments (Fig. 2 red bars /
+  /// Fig. 3 trend). Leaders start staggered by `delay_by` (typically the
+  /// measured T_i(ib(0))).
+  PipelineTrace bench_sbib_pipeline(const core::HanConfig& cfg,
+                                    std::size_t seg_bytes, int steps,
+                                    const PerLeader& delay_by);
+
+  // --- Allreduce tasks ---------------------------------------------------
+
+  /// T_i(sr(0)): intra-node reduce of one segment.
+  PerLeader bench_sr(const core::HanConfig& cfg, std::size_t seg_bytes,
+                     int iters = 3);
+
+  /// Instrumented leader pipeline of the allreduce task chain over
+  /// `steps + 3` steps: step 0 = sr(0), 1 = irsr, 2 = ibirsr,
+  /// 3.. = sbibirsr, tail = sbibir, sbib, sb.
+  PipelineTrace bench_allreduce_pipeline(const core::HanConfig& cfg,
+                                         std::size_t seg_bytes, int steps);
+
+  int leader_count() const { return leaders_; }
+
+  mpi::SimWorld& world() { return *world_; }
+
+ private:
+  /// Run `program` on every world rank and charge the elapsed simulated
+  /// time to the tuning cost.
+  void run_charged(const mpi::SimWorld::Program& program);
+
+  mpi::SimWorld* world_;
+  core::HanModule* han_;
+  const mpi::Comm* comm_;
+  int leaders_ = 0;
+  double cost_ = 0.0;
+};
+
+}  // namespace han::tune

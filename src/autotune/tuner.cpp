@@ -1,0 +1,39 @@
+#include "autotune/tuner.hpp"
+
+namespace han::tune {
+
+Tuner::Tuner(mpi::SimWorld& world, core::HanModule& han,
+             const mpi::Comm& comm, SearchSpace space)
+    : world_(&world),
+      han_(&han),
+      comm_(&comm),
+      searcher_(world, han, comm, std::move(space)) {}
+
+TuneReport Tuner::tune(const TunerOptions& options) {
+  TuneReport report;
+  core::HanComm& hc = han_->han_comm(*comm_);
+  const int nodes = hc.node_count();
+  const int ppn = hc.max_ppn();
+
+  const double cost0 = searcher_.tuning_cost();
+  for (coll::CollKind kind : options.kinds) {
+    searcher_.prepare(kind, options.heuristics);
+    for (std::size_t m : options.message_sizes) {
+      const SearchResult result =
+          searcher_.estimate(kind, m, options.heuristics);
+      if (result.best) {
+        report.table.insert(kind, nodes, ppn, m, result.best->cfg);
+      }
+      report.task_benchmarks =
+          std::max(report.task_benchmarks, result.evaluations);
+    }
+  }
+  report.tuning_cost = searcher_.tuning_cost() - cost0;
+  return report;
+}
+
+void Tuner::install(const LookupTable& table) {
+  han_->set_decider(table.decider());
+}
+
+}  // namespace han::tune

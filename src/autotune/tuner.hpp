@@ -1,0 +1,51 @@
+// Tuner: the offline autotuning driver (paper §III-C).
+//
+// Runs the task-model search over a message-size sample, fills a
+// LookupTable, and can install the resulting decision function into a
+// HanModule — the "performed once when installing the MPI to a new
+// machine" workflow.
+#pragma once
+
+#include "autotune/lookup.hpp"
+#include "autotune/search.hpp"
+
+namespace han::tune {
+
+struct TunerOptions {
+  /// Message sizes sampled into the lookup table (Table I's m axis).
+  std::vector<std::size_t> message_sizes{
+      4 << 10,  16 << 10, 64 << 10, 256 << 10,
+      1 << 20,  4 << 20,  16 << 20};
+  std::vector<coll::CollKind> kinds{coll::CollKind::Bcast,
+                                    coll::CollKind::Allreduce};
+  bool heuristics = false;  // user-toggleable (paper: accuracy trade-off)
+};
+
+struct TuneReport {
+  LookupTable table;
+  double tuning_cost = 0.0;  // simulated benchmark seconds
+  int task_benchmarks = 0;   // configurations whose tasks were measured
+};
+
+class Tuner {
+ public:
+  Tuner(mpi::SimWorld& world, core::HanModule& han, const mpi::Comm& comm,
+        SearchSpace space = SearchSpace());
+
+  /// Task-model autotuning: benchmark tasks, model every (config, m), fill
+  /// the table with the per-m winners.
+  TuneReport tune(const TunerOptions& options = TunerOptions());
+
+  /// Install a table's decision function into the HanModule.
+  void install(const LookupTable& table);
+
+  Searcher& searcher() { return searcher_; }
+
+ private:
+  mpi::SimWorld* world_;
+  core::HanModule* han_;
+  const mpi::Comm* comm_;
+  Searcher searcher_;
+};
+
+}  // namespace han::tune

@@ -1,0 +1,90 @@
+#include "benchkit/imb.hpp"
+
+#include <algorithm>
+
+namespace han::benchkit {
+
+using mpi::BufView;
+
+std::vector<std::size_t> size_ladder(std::size_t min_bytes,
+                                     std::size_t max_bytes) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = min_bytes; s <= max_bytes; s *= 2) {
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+namespace {
+
+enum class Op { Bcast, Allreduce };
+
+std::vector<ImbPoint> imb_run(vendor::MpiStack& stack, Op op,
+                              const ImbOptions& options) {
+  std::vector<ImbPoint> points;
+  mpi::SimWorld& w = stack.world();
+
+  for (std::size_t bytes : options.sizes) {
+    const int iters = bytes >= options.large_threshold
+                          ? options.iterations_large
+                          : options.iterations;
+    const int rounds = options.warmup + iters;
+    auto sync = std::make_shared<mpi::SyncDomain>(w.engine(),
+                                                  w.world_size());
+    auto worst = std::make_shared<std::vector<double>>(rounds, 0.0);
+
+    w.run([&](mpi::Rank& rank) -> sim::CoTask {
+      return [](vendor::MpiStack& stack, mpi::SimWorld& w, Op op,
+                std::shared_ptr<mpi::SyncDomain> sync,
+                std::shared_ptr<std::vector<double>> worst,
+                std::size_t bytes, int rounds, int root,
+                int me) -> sim::CoTask {
+        for (int r = 0; r < rounds; ++r) {
+          co_await *sync->arrive();
+          const double t0 = w.now();
+          mpi::Request req;
+          if (op == Op::Bcast) {
+            req = stack.ibcast(me, root, BufView::timing_only(bytes),
+                               mpi::Datatype::Byte);
+          } else {
+            req = stack.iallreduce(me, BufView::timing_only(bytes),
+                                   BufView::timing_only(bytes),
+                                   mpi::Datatype::Float, mpi::ReduceOp::Sum);
+          }
+          co_await *req;
+          (*worst)[r] = std::max((*worst)[r], w.now() - t0);
+        }
+      }(stack, w, op, sync, worst, bytes, rounds, options.root,
+        rank.world_rank);
+    });
+
+    ImbPoint p;
+    p.bytes = bytes;
+    p.iterations = iters;
+    p.min_sec = 1e300;
+    double sum = 0.0;
+    for (int r = options.warmup; r < rounds; ++r) {
+      const double t = (*worst)[r];
+      sum += t;
+      p.min_sec = std::min(p.min_sec, t);
+      p.max_sec = std::max(p.max_sec, t);
+    }
+    p.avg_sec = sum / iters;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<ImbPoint> imb_bcast(vendor::MpiStack& stack,
+                                const ImbOptions& options) {
+  return imb_run(stack, Op::Bcast, options);
+}
+
+std::vector<ImbPoint> imb_allreduce(vendor::MpiStack& stack,
+                                    const ImbOptions& options) {
+  return imb_run(stack, Op::Allreduce, options);
+}
+
+}  // namespace han::benchkit

@@ -1,0 +1,42 @@
+// IMB-style collective benchmarking (paper §IV-A measures everything with
+// the Intel MPI Benchmark): for each message size, run warmup + timed
+// iterations separated by a global sync, report the maximum completion
+// time across ranks averaged over iterations — the paper's cost
+// definition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vendor/stack.hpp"
+
+namespace han::benchkit {
+
+struct ImbPoint {
+  std::size_t bytes = 0;
+  double avg_sec = 0.0;  // mean over iterations of max-across-ranks
+  double min_sec = 0.0;
+  double max_sec = 0.0;
+  int iterations = 0;
+};
+
+struct ImbOptions {
+  std::vector<std::size_t> sizes;
+  int warmup = 1;
+  int iterations = 2;
+  /// IMB drops the iteration count for very large messages.
+  std::size_t large_threshold = 4 << 20;
+  int iterations_large = 1;
+  int root = 0;  // bcast root
+};
+
+/// Power-of-two ladder [min_bytes, max_bytes], inclusive.
+std::vector<std::size_t> size_ladder(std::size_t min_bytes,
+                                     std::size_t max_bytes);
+
+std::vector<ImbPoint> imb_bcast(vendor::MpiStack& stack,
+                                const ImbOptions& options);
+std::vector<ImbPoint> imb_allreduce(vendor::MpiStack& stack,
+                                    const ImbOptions& options);
+
+}  // namespace han::benchkit

@@ -1,0 +1,59 @@
+#include "benchkit/netpipe.hpp"
+
+#include <algorithm>
+
+namespace han::benchkit {
+
+using mpi::BufView;
+
+std::vector<NetpipePoint> netpipe(mpi::SimWorld& world,
+                                  const NetpipeOptions& options) {
+  const int a = options.rank_a;
+  const int b = options.rank_b >= 0 ? options.rank_b
+                                    : world.profile().procs_per_node;
+  HAN_ASSERT(a != b && b < world.world_size());
+
+  std::vector<NetpipePoint> points;
+  for (std::size_t bytes : options.sizes) {
+    auto rtt = std::make_shared<double>(0.0);
+    world.run([&](mpi::Rank& rank) -> sim::CoTask {
+      return [](mpi::SimWorld& w, std::shared_ptr<double> rtt, int a, int b,
+                std::size_t bytes, int iters, int me) -> sim::CoTask {
+        if (me == a) {
+          const double t0 = w.now();
+          for (int i = 0; i < iters; ++i) {
+            mpi::Request s = w.isend(w.world_comm(), a, b, i,
+                                     BufView::timing_only(bytes));
+            co_await *s;
+            mpi::Request r = w.irecv(w.world_comm(), a, b, 1000 + i,
+                                     BufView::timing_only(bytes));
+            co_await *r;
+          }
+          *rtt = (w.now() - t0) / iters;
+        } else if (me == b) {
+          for (int i = 0; i < iters; ++i) {
+            mpi::Request r = w.irecv(w.world_comm(), b, a, i,
+                                     BufView::timing_only(bytes));
+            co_await *r;
+            mpi::Request s = w.isend(w.world_comm(), b, a, 1000 + i,
+                                     BufView::timing_only(bytes));
+            co_await *s;
+          }
+        }
+        co_return;
+      }(world, rtt, a, b, bytes, options.iterations, rank.world_rank);
+    });
+
+    NetpipePoint p;
+    p.bytes = bytes;
+    p.one_way_sec = *rtt / 2.0;
+    p.bandwidth_gbps =
+        p.one_way_sec > 0.0
+            ? static_cast<double>(bytes) / p.one_way_sec / 1e9
+            : 0.0;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace han::benchkit

@@ -1,0 +1,29 @@
+// Netpipe-style P2P performance sweep (paper Fig. 11): ping-pong between
+// two ranks, reporting one-way latency and achieved bandwidth per message
+// size.
+#pragma once
+
+#include <vector>
+
+#include "simmpi/world.hpp"
+
+namespace han::benchkit {
+
+struct NetpipePoint {
+  std::size_t bytes = 0;
+  double one_way_sec = 0.0;
+  double bandwidth_gbps = 0.0;  // GB/s (1e9 bytes)
+};
+
+struct NetpipeOptions {
+  std::vector<std::size_t> sizes;
+  int iterations = 3;
+  int rank_a = 0;
+  int rank_b = -1;  // default: first rank of the second node
+};
+
+/// Runs in the supplied world (which carries the stack's P2P parameters).
+std::vector<NetpipePoint> netpipe(mpi::SimWorld& world,
+                                  const NetpipeOptions& options);
+
+}  // namespace han::benchkit

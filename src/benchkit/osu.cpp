@@ -1,0 +1,162 @@
+#include "benchkit/osu.hpp"
+
+#include <algorithm>
+
+namespace han::benchkit {
+
+using mpi::BufView;
+
+std::vector<OsuLatencyPoint> osu_latency(mpi::SimWorld& world,
+                                         const OsuOptions& options) {
+  const int a = 0;
+  const int b = world.profile().procs_per_node;  // first rank of node 1
+  HAN_ASSERT(world.profile().nodes >= 2);
+
+  std::vector<OsuLatencyPoint> points;
+  for (std::size_t bytes : options.sizes) {
+    auto rtt = std::make_shared<double>(0.0);
+    world.run([&](mpi::Rank& rank) -> sim::CoTask {
+      return [](mpi::SimWorld& w, std::shared_ptr<double> rtt, int a, int b,
+                std::size_t bytes, int iters, int me) -> sim::CoTask {
+        if (me == a) {
+          const double t0 = w.now();
+          for (int i = 0; i < iters; ++i) {
+            co_await *w.isend(w.world_comm(), a, b, i,
+                              BufView::timing_only(bytes));
+            co_await *w.irecv(w.world_comm(), a, b, 1000 + i,
+                              BufView::timing_only(bytes));
+          }
+          *rtt = (w.now() - t0) / iters;
+        } else if (me == b) {
+          for (int i = 0; i < iters; ++i) {
+            co_await *w.irecv(w.world_comm(), b, a, i,
+                              BufView::timing_only(bytes));
+            co_await *w.isend(w.world_comm(), b, a, 1000 + i,
+                              BufView::timing_only(bytes));
+          }
+        }
+        co_return;
+      }(world, rtt, a, b, bytes, options.iterations, rank.world_rank);
+    });
+    points.push_back(OsuLatencyPoint{bytes, *rtt / 2.0});
+  }
+  return points;
+}
+
+std::vector<OsuBwPoint> osu_bw(mpi::SimWorld& world,
+                               const OsuOptions& options) {
+  const int a = 0;
+  const int b = world.profile().procs_per_node;
+  HAN_ASSERT(world.profile().nodes >= 2);
+
+  std::vector<OsuBwPoint> points;
+  for (std::size_t bytes : options.sizes) {
+    auto elapsed = std::make_shared<double>(0.0);
+    world.run([&](mpi::Rank& rank) -> sim::CoTask {
+      return [](mpi::SimWorld& w, std::shared_ptr<double> elapsed, int a,
+                int b, std::size_t bytes, int iters, int window,
+                int me) -> sim::CoTask {
+        if (me == a) {
+          const double t0 = w.now();
+          for (int it = 0; it < iters; ++it) {
+            std::vector<mpi::Request> sends;
+            for (int i = 0; i < window; ++i) {
+              sends.push_back(w.isend(w.world_comm(), a, b, it * 1000 + i,
+                                      BufView::timing_only(bytes)));
+            }
+            co_await mpi::wait_all(w.engine(), std::move(sends));
+            // Window ack.
+            co_await *w.irecv(w.world_comm(), a, b, 900000 + it,
+                              BufView::timing_only(0));
+          }
+          *elapsed = w.now() - t0;
+        } else if (me == b) {
+          for (int it = 0; it < iters; ++it) {
+            std::vector<mpi::Request> recvs;
+            for (int i = 0; i < window; ++i) {
+              recvs.push_back(w.irecv(w.world_comm(), b, a, it * 1000 + i,
+                                      BufView::timing_only(bytes)));
+            }
+            co_await mpi::wait_all(w.engine(), std::move(recvs));
+            co_await *w.isend(w.world_comm(), b, a, 900000 + it,
+                              BufView::timing_only(0));
+          }
+        }
+        co_return;
+      }(world, elapsed, a, b, bytes, options.iterations, options.window,
+        rank.world_rank);
+    });
+    const double total_bytes = static_cast<double>(bytes) *
+                               options.window * options.iterations;
+    points.push_back(OsuBwPoint{
+        bytes, *elapsed > 0 ? total_bytes / *elapsed / 1e9 : 0.0});
+  }
+  return points;
+}
+
+std::vector<OsuMbwMrPoint> osu_mbw_mr(mpi::SimWorld& world,
+                                      const OsuOptions& options) {
+  const int ppn = world.profile().procs_per_node;
+  const int pairs = std::min(options.pairs, ppn);
+  HAN_ASSERT(world.profile().nodes >= 2);
+
+  std::vector<OsuMbwMrPoint> points;
+  for (std::size_t bytes : options.sizes) {
+    auto done_at = std::make_shared<std::vector<double>>(pairs, 0.0);
+    auto t_start = std::make_shared<double>(-1.0);
+    world.run([&](mpi::Rank& rank) -> sim::CoTask {
+      return [](mpi::SimWorld& w, std::shared_ptr<std::vector<double>> done,
+                std::shared_ptr<double> t_start, int pairs, int ppn,
+                std::size_t bytes, int iters, int window,
+                int me) -> sim::CoTask {
+        const bool sender = me < pairs;
+        const bool receiver = me >= ppn && me < ppn + pairs;
+        if (sender) {
+          if (*t_start < 0) *t_start = w.now();
+          const int peer = me + ppn;
+          for (int it = 0; it < iters; ++it) {
+            std::vector<mpi::Request> sends;
+            for (int i = 0; i < window; ++i) {
+              sends.push_back(w.isend(w.world_comm(), me, peer,
+                                      it * 1000 + i,
+                                      BufView::timing_only(bytes)));
+            }
+            co_await mpi::wait_all(w.engine(), std::move(sends));
+            co_await *w.irecv(w.world_comm(), me, peer, 900000 + it,
+                              BufView::timing_only(0));
+          }
+          (*done)[me] = w.now();
+        } else if (receiver) {
+          const int peer = me - ppn;
+          for (int it = 0; it < iters; ++it) {
+            std::vector<mpi::Request> recvs;
+            for (int i = 0; i < window; ++i) {
+              recvs.push_back(w.irecv(w.world_comm(), me, peer,
+                                      it * 1000 + i,
+                                      BufView::timing_only(bytes)));
+            }
+            co_await mpi::wait_all(w.engine(), std::move(recvs));
+            co_await *w.isend(w.world_comm(), me, peer, 900000 + it,
+                              BufView::timing_only(0));
+          }
+        }
+        co_return;
+      }(world, done_at, t_start, pairs, ppn, bytes, options.iterations,
+        options.window, rank.world_rank);
+    });
+    const double elapsed =
+        *std::max_element(done_at->begin(), done_at->end()) - *t_start;
+    const double msgs = static_cast<double>(pairs) * options.window *
+                        options.iterations;
+    OsuMbwMrPoint p;
+    p.bytes = bytes;
+    p.pairs = pairs;
+    p.aggregate_gbps =
+        elapsed > 0 ? msgs * static_cast<double>(bytes) / elapsed / 1e9 : 0;
+    p.messages_per_sec = elapsed > 0 ? msgs / elapsed : 0;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace han::benchkit

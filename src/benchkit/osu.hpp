@@ -1,0 +1,51 @@
+// OSU-microbenchmark-style P2P drivers (the paper cites the OSU suite
+// alongside IMB as the standard measurement methodology): osu_latency
+// (ping-pong), osu_bw (windowed unidirectional bandwidth), and
+// osu_mbw_mr (multiple pairs: aggregate bandwidth + message rate).
+#pragma once
+
+#include <vector>
+
+#include "simmpi/world.hpp"
+
+namespace han::benchkit {
+
+struct OsuLatencyPoint {
+  std::size_t bytes = 0;
+  double latency_sec = 0.0;  // one-way (half round trip), averaged
+};
+
+struct OsuBwPoint {
+  std::size_t bytes = 0;
+  double bandwidth_gbps = 0.0;  // windowed unidirectional
+};
+
+struct OsuMbwMrPoint {
+  std::size_t bytes = 0;
+  int pairs = 0;
+  double aggregate_gbps = 0.0;
+  double messages_per_sec = 0.0;
+};
+
+struct OsuOptions {
+  std::vector<std::size_t> sizes;
+  int iterations = 4;
+  int window = 16;  // outstanding sends per window (osu_bw / osu_mbw_mr)
+  int pairs = 4;    // osu_mbw_mr: sender i -> receiver i + pairs
+};
+
+/// Ping-pong between the first ranks of two nodes.
+std::vector<OsuLatencyPoint> osu_latency(mpi::SimWorld& world,
+                                         const OsuOptions& options);
+
+/// Windowed unidirectional bandwidth between two nodes' first ranks:
+/// `window` sends in flight, one ack per window.
+std::vector<OsuBwPoint> osu_bw(mpi::SimWorld& world,
+                               const OsuOptions& options);
+
+/// Multiple concurrent pairs across two nodes (requires ppn >= pairs and
+/// >= 2 nodes): aggregate bandwidth and message rate.
+std::vector<OsuMbwMrPoint> osu_mbw_mr(mpi::SimWorld& world,
+                                      const OsuOptions& options);
+
+}  // namespace han::benchkit

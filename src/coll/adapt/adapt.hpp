@@ -1,0 +1,21 @@
+// ADAPT: the event-driven nonblocking collective module (paper ref [28]).
+//
+// ADAPT progresses collectives from communication-completion events, so
+// segments flow with almost no progression cost, and it offers multiple
+// tree shapes (chain, binary, binomial) plus internal segmentation — the
+// paper's `ibalg`/`iralg`/`ibs`/`irs` tuning parameters. The event
+// machinery costs setup time, which is why ADAPT lags on tiny messages.
+// Its reduction kernels are AVX-vectorized (paper §IV-A2).
+#pragma once
+
+#include "coll/tree_module.hpp"
+
+namespace han::coll {
+
+class AdaptModule : public TreeCollModule {
+ public:
+  AdaptModule(mpi::SimWorld& world, CollRuntime& rt)
+      : TreeCollModule(world, rt, adapt_params()) {}
+};
+
+}  // namespace han::coll

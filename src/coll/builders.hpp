@@ -1,0 +1,81 @@
+// Plan builders for the classic collective algorithms.
+//
+// These are the fine-grained algorithms the submodules (tuned, Libnbc,
+// ADAPT) assemble into MPI collectives: segmented tree broadcast/reduce,
+// recursive-doubling and ring allreduce, linear gather/scatter, ring
+// allgather, and a dissemination barrier. Builders are pure: Plan in,
+// Plan out, no simulator state.
+#pragma once
+
+#include "coll/plan.hpp"
+#include "coll/types.hpp"
+
+namespace han::coll {
+
+/// Shared parameters of a plan build.
+struct BuildSpec {
+  Algorithm alg = Algorithm::Binomial;
+  int root = 0;
+  std::size_t bytes = 0;
+  std::size_t segment = 0;  // 0 (or >= bytes) → single segment
+  mpi::Datatype dtype = mpi::Datatype::Byte;
+  mpi::ReduceOp op = mpi::ReduceOp::Sum;
+  bool avx = false;            // reduction arithmetic rate class
+  sim::Time action_pre_delay = 0.0;  // per-action progression cost (Libnbc)
+  sim::Time op_setup = 0.0;    // one-time per-rank setup (ADAPT machinery)
+};
+
+/// Message segmentation helper. Segment byte counts are aligned to the
+/// datatype size; the segment count is capped (kMaxInternalSegments) so
+/// flat-communicator pipelines on thousands of ranks stay tractable.
+class Segmenter {
+ public:
+  static constexpr int kMaxInternalSegments = 256;
+
+  Segmenter(std::size_t bytes, std::size_t segment, mpi::Datatype dtype);
+
+  int count() const { return count_; }
+  std::size_t offset(int i) const;
+  std::size_t length(int i) const;
+
+ private:
+  std::size_t bytes_;
+  std::size_t segment_;
+  int count_;
+};
+
+/// Rooted broadcast over a Linear/Chain/Binary/Binomial tree, segmented.
+/// Slots: 0 = the user buffer on every rank.
+Plan build_tree_bcast(int comm_size, const BuildSpec& spec);
+
+/// Rooted reduction over a tree, segmented. Slots: 0 = sendbuf,
+/// 1 = recvbuf (significant at the root). Reduction order over children is
+/// fixed (deterministic for non-associative datatypes).
+Plan build_tree_reduce(int comm_size, const BuildSpec& spec);
+
+/// Allreduce via recursive doubling (handles non-power-of-two sizes with
+/// the standard fold-in/fold-out pre/post steps). Slots: 0 = sendbuf,
+/// 1 = recvbuf.
+Plan build_recdoub_allreduce(int comm_size, const BuildSpec& spec);
+
+/// Allreduce via ring reduce-scatter + ring allgather (bandwidth optimal;
+/// 2(n-1) steps). Slots: 0 = sendbuf, 1 = recvbuf.
+Plan build_ring_allreduce(int comm_size, const BuildSpec& spec);
+
+/// Rooted gather, linear (root receives from everyone). Slots:
+/// 0 = sendbuf (`bytes` per rank), 1 = recvbuf (`bytes * comm_size`,
+/// significant at the root).
+Plan build_linear_gather(int comm_size, const BuildSpec& spec);
+
+/// Rooted scatter, linear. Slots: 0 = sendbuf (`bytes * comm_size` at the
+/// root), 1 = recvbuf (`bytes` per rank).
+Plan build_linear_scatter(int comm_size, const BuildSpec& spec);
+
+/// Allgather via ring. Slots: 0 = sendbuf (`bytes`), 1 = recvbuf
+/// (`bytes * comm_size`).
+Plan build_ring_allgather(int comm_size, const BuildSpec& spec);
+
+/// Dissemination barrier (ceil(log2 n) rounds of zero-byte messages).
+Plan build_dissemination_barrier(int comm_size, const BuildSpec& spec);
+
+}  // namespace han::coll

@@ -1,0 +1,19 @@
+// Libnbc: the legacy round-based nonblocking collective module.
+//
+// Hoefler et al.'s NBC library drives a schedule of rounds; progression
+// happens at MPI_Test/Wait boundaries, which shows up as a per-action
+// progression cost and coarse overlap. One algorithm per collective
+// (binomial), no internal segmentation, scalar reductions.
+#pragma once
+
+#include "coll/tree_module.hpp"
+
+namespace han::coll {
+
+class LibnbcModule : public TreeCollModule {
+ public:
+  LibnbcModule(mpi::SimWorld& world, CollRuntime& rt)
+      : TreeCollModule(world, rt, libnbc_params()) {}
+};
+
+}  // namespace han::coll

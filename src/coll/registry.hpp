@@ -1,0 +1,64 @@
+// ModuleSet: owns one instance of every collective submodule, mirroring
+// Open MPI's component registry. HAN and the autotuner look modules up by
+// the names used in the paper (libnbc, adapt, sm, solo, tuned).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "coll/adapt/adapt.hpp"
+#include "coll/libnbc/libnbc.hpp"
+#include "coll/sm/sm.hpp"
+#include "coll/solo/solo.hpp"
+#include "coll/tuned/tuned.hpp"
+
+namespace han::coll {
+
+class ModuleSet {
+ public:
+  ModuleSet(mpi::SimWorld& world, CollRuntime& rt)
+      : tuned_(std::make_unique<TunedModule>(world, rt)),
+        libnbc_(std::make_unique<LibnbcModule>(world, rt)),
+        adapt_(std::make_unique<AdaptModule>(world, rt)),
+        sm_(std::make_unique<SmModule>(world, rt)),
+        solo_(std::make_unique<SoloModule>(world, rt)) {}
+
+  TunedModule& tuned() { return *tuned_; }
+  LibnbcModule& libnbc() { return *libnbc_; }
+  AdaptModule& adapt() { return *adapt_; }
+  SmModule& sm() { return *sm_; }
+  SoloModule& solo() { return *solo_; }
+
+  /// Lookup by paper name; nullptr when unknown.
+  CollModule* find(std::string_view name) {
+    for (CollModule* m : all()) {
+      if (m->name() == name) return m;
+    }
+    return nullptr;
+  }
+
+  std::vector<CollModule*> all() {
+    return {tuned_.get(), libnbc_.get(), adapt_.get(), sm_.get(),
+            solo_.get()};
+  }
+
+  /// Modules usable at HAN's inter-node level (nonblocking-capable).
+  std::vector<CollModule*> inter_modules() {
+    return {libnbc_.get(), adapt_.get()};
+  }
+
+  /// Modules usable at HAN's intra-node level.
+  std::vector<CollModule*> intra_modules() {
+    return {sm_.get(), solo_.get()};
+  }
+
+ private:
+  std::unique_ptr<TunedModule> tuned_;
+  std::unique_ptr<LibnbcModule> libnbc_;
+  std::unique_ptr<AdaptModule> adapt_;
+  std::unique_ptr<SmModule> sm_;
+  std::unique_ptr<SoloModule> solo_;
+};
+
+}  // namespace han::coll

@@ -1,0 +1,326 @@
+#include "coll/runtime.hpp"
+
+#include <cstring>
+
+namespace han::coll {
+
+namespace {
+// Per-plan action tags live below this; the instance sequence number is
+// shifted above it. User P2P tags on the same communicator should stay
+// below 2^20 to avoid colliding with collective traffic.
+constexpr int kTagBits = 20;
+}  // namespace
+
+mpi::Request CollRuntime::start(const mpi::Comm& comm, int comm_rank,
+                                const std::function<Plan()>& build,
+                                std::vector<mpi::BufView> user_bufs) {
+  auto& seqs = call_seq_[comm.context()];
+  if (seqs.empty()) seqs.resize(comm.size(), 0);
+  const std::uint64_t seq = seqs.at(comm_rank)++;
+
+  InstancePtr inst = get_or_create(comm, seq, build);
+  mpi::Request req = mpi::make_request(world_->engine());
+  arrive(inst, comm_rank, std::move(user_bufs), req);
+  return req;
+}
+
+CollRuntime::InstancePtr CollRuntime::get_or_create(
+    const mpi::Comm& comm, std::uint64_t seq,
+    const std::function<Plan()>& build) {
+  const auto key = std::make_pair(comm.context(), seq);
+  auto it = instances_.find(key);
+  if (it != instances_.end()) return it->second;
+
+  auto inst = std::make_shared<Instance>();
+  inst->comm = &comm;
+  inst->seq = seq;
+  inst->plan = build();
+  HAN_ASSERT_MSG(static_cast<int>(inst->plan.ranks.size()) == comm.size(),
+                 "plan rank count != communicator size");
+
+  const int n = comm.size();
+  inst->ranks.resize(n);
+  inst->dependents.resize(n);
+  inst->ranks_not_arrived = n;
+  for (int r = 0; r < n; ++r) {
+    const auto& actions = inst->plan.ranks[r].actions;
+    inst->ranks[r].deps_left.assign(actions.size(), 0);
+    inst->ranks[r].launched.assign(actions.size(), 0);
+    inst->ranks[r].actions_left = static_cast<int>(actions.size());
+    inst->dependents[r].resize(actions.size());
+    inst->total_actions_left += static_cast<long>(actions.size());
+  }
+  // Wire reverse edges and dependency counters.
+  for (int r = 0; r < n; ++r) {
+    const auto& actions = inst->plan.ranks[r].actions;
+    for (int a = 0; a < static_cast<int>(actions.size()); ++a) {
+      for (const DepRef& d : actions[a].deps) {
+        const int dr = d.rank == DepRef::kSameRank ? r : d.rank;
+        HAN_ASSERT(dr >= 0 && dr < n);
+        HAN_ASSERT(d.action >= 0 &&
+                   d.action <
+                       static_cast<int>(inst->plan.ranks[dr].actions.size()));
+        inst->dependents[dr][d.action].push_back(
+            DepRef{r, a, d.latency});
+        ++inst->ranks[r].deps_left[a];
+      }
+    }
+  }
+  instances_.emplace(key, inst);
+  return inst;
+}
+
+void CollRuntime::arrive(const InstancePtr& inst, int rank,
+                         std::vector<mpi::BufView> user_bufs,
+                         mpi::Request req) {
+  RankState& rs = inst->ranks.at(rank);
+  HAN_ASSERT_MSG(!rs.arrived, "rank started the same collective twice");
+  rs.arrived = true;
+  --inst->ranks_not_arrived;
+  HAN_ASSERT_MSG(static_cast<int>(user_bufs.size()) >=
+                     inst->plan.num_user_slots,
+                 "missing user buffers for plan slots");
+  rs.user_bufs = std::move(user_bufs);
+  rs.req = std::move(req);
+
+  // Allocate temp slot storage in data mode.
+  const auto& temp_sizes = inst->plan.ranks[rank].temp_slots;
+  if (world_->data_mode()) {
+    rs.temps.resize(temp_sizes.size());
+    for (std::size_t i = 0; i < temp_sizes.size(); ++i) {
+      rs.temps[i].resize(temp_sizes[i]);
+    }
+  }
+
+  if (rs.actions_left == 0) {
+    rs.req->complete();
+    maybe_retire(inst);
+    return;
+  }
+  for (int a = 0; a < static_cast<int>(rs.deps_left.size()); ++a) {
+    try_launch(inst, rank, a);
+  }
+}
+
+void CollRuntime::try_launch(const InstancePtr& inst, int rank, int action) {
+  RankState& rs = inst->ranks[rank];
+  if (!rs.arrived || rs.launched[action] != 0 ||
+      rs.deps_left[action] != 0) {
+    return;
+  }
+  rs.launched[action] = 1;
+  const Action& a = inst->plan.ranks[rank].actions[action];
+  if (a.pre_delay > 0.0) {
+    world_->engine().schedule_after(
+        a.pre_delay, [this, inst, rank, action] { execute(inst, rank, action); });
+  } else {
+    execute(inst, rank, action);
+  }
+}
+
+mpi::BufView CollRuntime::slot_view(Instance& inst, int rank, SlotRef ref,
+                                    std::size_t bytes) const {
+  RankState& rs = inst.ranks[rank];
+  HAN_ASSERT_MSG(rs.arrived,
+                 "slot access before rank arrival (missing cross-rank dep?)");
+  if (ref.slot < inst.plan.num_user_slots) {
+    const mpi::BufView& user = rs.user_bufs[ref.slot];
+    if (user.has_data()) {
+      HAN_ASSERT_MSG(ref.offset + bytes <= user.bytes,
+                     "plan slot access out of user buffer bounds");
+    }
+    return user.slice(ref.offset, bytes);
+  }
+  const std::size_t t = static_cast<std::size_t>(ref.slot) -
+                        static_cast<std::size_t>(inst.plan.num_user_slots);
+  HAN_ASSERT(t < inst.plan.ranks[rank].temp_slots.size());
+  if (!world_->data_mode()) {
+    mpi::BufView v = mpi::BufView::timing_only(bytes);
+    return v;
+  }
+  auto& storage = rs.temps[t];
+  HAN_ASSERT(ref.offset + bytes <= storage.size());
+  return mpi::BufView{storage.data() + ref.offset, bytes, mpi::Datatype::Byte};
+}
+
+void CollRuntime::execute(const InstancePtr& inst, int rank, int action) {
+  const Action& a = inst->plan.ranks[rank].actions[action];
+  const mpi::Comm& comm = *inst->comm;
+  const mpi::Tag tag =
+      static_cast<mpi::Tag>((inst->seq << kTagBits) |
+                            static_cast<std::uint64_t>(a.tag));
+  HAN_ASSERT_MSG(a.tag >= 0 && a.tag < (1 << kTagBits),
+                 "plan action tag out of range");
+  std::function<void()> done = [this, inst, rank, action] {
+    complete_action(inst, rank, action);
+  };
+  if (tracer_ != nullptr) {
+    static const char* kKindNames[] = {"send", "recv",   "copy",
+                                       "reduce", "compute", "noop",
+                                       "cross_copy", "cross_reduce"};
+    const double t0 = world_->now();
+    const std::string name =
+        std::string(kKindNames[static_cast<int>(a.kind)]) + " " +
+        sim::format_bytes(a.bytes);
+    const int wr = comm.world_rank(rank);
+    done = [this, inst, rank, action, t0, name, wr] {
+      tracer_->span(wr, "coll", name, t0, world_->now());
+      complete_action(inst, rank, action);
+    };
+  }
+
+  switch (a.kind) {
+    case Action::Kind::Send: {
+      mpi::BufView src = slot_view(*inst, rank, a.src, a.bytes);
+      mpi::Request r = world_->isend_ctx(comm, comm.context(), rank, a.peer,
+                                         tag, src);
+      r->on_complete(done);
+      break;
+    }
+    case Action::Kind::Recv: {
+      mpi::BufView dst = slot_view(*inst, rank, a.dst, a.bytes);
+      mpi::Request r = world_->irecv_ctx(comm, comm.context(), rank, a.peer,
+                                         tag, dst);
+      r->on_complete(done);
+      break;
+    }
+    case Action::Kind::Copy: {
+      const int wr = comm.world_rank(rank);
+      // bus_factor scales bytes and cap together: duration stays
+      // bytes/cap while the memory bus is charged the discounted traffic
+      // (L3-served shared-memory reads).
+      const double cap = (a.copy_cap > 0.0
+                              ? a.copy_cap
+                              : world_->profile().core_copy_bandwidth) *
+                         a.bus_factor;
+      mpi::Request r = world_->copy_flow(
+          wr, static_cast<std::size_t>(
+                  static_cast<double>(a.bytes) * a.bus_factor),
+          cap);
+      r->on_complete([this, inst, rank, action, done] {
+        const Action& act = inst->plan.ranks[rank].actions[action];
+        if (world_->data_mode()) {
+          mpi::BufView src = slot_view(*inst, rank, act.src, act.bytes);
+          mpi::BufView dst = slot_view(*inst, rank, act.dst, act.bytes);
+          if (src.has_data() && dst.has_data() &&
+              dst.data != src.data) {  // in-place copies are no-ops
+            std::memcpy(dst.data, src.data, act.bytes);
+          }
+        }
+        done();
+      });
+      break;
+    }
+    case Action::Kind::Reduce: {
+      const int wr = comm.world_rank(rank);
+      mpi::Request r = world_->reduce_compute(wr, a.bytes, a.avx);
+      r->on_complete([this, inst, rank, action, done] {
+        const Action& act = inst->plan.ranks[rank].actions[action];
+        if (world_->data_mode()) {
+          mpi::BufView src = slot_view(*inst, rank, act.src, act.bytes);
+          mpi::BufView dst = slot_view(*inst, rank, act.dst, act.bytes);
+          if (src.has_data() && dst.has_data()) {
+            // Byte counts are element-aligned by the builder's contract.
+            const std::size_t count = act.bytes / type_size(act.dtype);
+            mpi::apply_reduce(act.op, act.dtype, dst.data, src.data, count);
+          }
+        }
+        done();
+      });
+      break;
+    }
+    case Action::Kind::Compute: {
+      const int wr = comm.world_rank(rank);
+      mpi::Request r = world_->compute(wr, a.seconds);
+      r->on_complete(done);
+      break;
+    }
+    case Action::Kind::CrossCopy: {
+      const int wr = comm.world_rank(rank);
+      const int peer_wr = comm.world_rank(a.peer);
+      HAN_ASSERT_MSG(world_->rank(wr).node == world_->rank(peer_wr).node,
+                     "CrossCopy peers must share a node");
+      // Reading the peer's window crosses the inter-socket link when the
+      // two ranks sit in different NUMA domains (cache discount does not
+      // apply there: remote reads always touch the link).
+      const bool cross_numa =
+          world_->rank(wr).numa != world_->rank(peer_wr).numa;
+      const double factor = cross_numa ? 1.0 : a.bus_factor;
+      const double cap = (a.copy_cap > 0.0
+                              ? a.copy_cap
+                              : world_->profile().core_copy_bandwidth) *
+                         factor;
+      mpi::Request r = world_->copy_flow_pair(
+          wr, peer_wr,
+          static_cast<std::size_t>(static_cast<double>(a.bytes) * factor),
+          cap);
+      r->on_complete([this, inst, rank, action, done] {
+        const Action& act = inst->plan.ranks[rank].actions[action];
+        if (world_->data_mode()) {
+          mpi::BufView src = slot_view(*inst, act.peer, act.src, act.bytes);
+          mpi::BufView dst = slot_view(*inst, rank, act.dst, act.bytes);
+          if (src.has_data() && dst.has_data() &&
+              dst.data != src.data) {  // in-place copies are no-ops
+            std::memcpy(dst.data, src.data, act.bytes);
+          }
+        }
+        done();
+      });
+      break;
+    }
+    case Action::Kind::CrossReduce: {
+      const int wr = comm.world_rank(rank);
+      HAN_ASSERT_MSG(world_->rank(wr).node ==
+                         world_->rank(comm.world_rank(a.peer)).node,
+                     "CrossReduce peers must share a node");
+      mpi::Request r = world_->reduce_compute(wr, a.bytes, a.avx);
+      r->on_complete([this, inst, rank, action, done] {
+        const Action& act = inst->plan.ranks[rank].actions[action];
+        if (world_->data_mode()) {
+          mpi::BufView src = slot_view(*inst, act.peer, act.src, act.bytes);
+          mpi::BufView dst = slot_view(*inst, rank, act.dst, act.bytes);
+          if (src.has_data() && dst.has_data()) {
+            const std::size_t count = act.bytes / type_size(act.dtype);
+            mpi::apply_reduce(act.op, act.dtype, dst.data, src.data, count);
+          }
+        }
+        done();
+      });
+      break;
+    }
+    case Action::Kind::Noop: {
+      world_->engine().schedule_after(0.0, done);
+      break;
+    }
+  }
+}
+
+void CollRuntime::complete_action(const InstancePtr& inst, int rank,
+                                  int action) {
+  RankState& rs = inst->ranks[rank];
+  --rs.actions_left;
+  --inst->total_actions_left;
+  for (const DepRef& d : inst->dependents[rank][action]) {
+    // d.rank/d.action name the *dependent* here (reverse edge).
+    auto unblock = [this, inst, r = d.rank, a = d.action] {
+      if (--inst->ranks[r].deps_left[a] == 0) try_launch(inst, r, a);
+    };
+    if (d.latency > 0.0) {
+      world_->engine().schedule_after(d.latency, unblock);
+    } else {
+      unblock();
+    }
+  }
+  if (rs.actions_left == 0) {
+    rs.req->complete();
+    maybe_retire(inst);
+  }
+}
+
+void CollRuntime::maybe_retire(const InstancePtr& inst) {
+  if (inst->total_actions_left == 0 && inst->ranks_not_arrived == 0) {
+    instances_.erase(std::make_pair(inst->comm->context(), inst->seq));
+  }
+}
+
+}  // namespace han::coll

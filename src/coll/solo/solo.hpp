@@ -1,0 +1,44 @@
+// SOLO: the experimental one-sided intra-node collective module.
+//
+// Open MPI's SOLO prototype exposes user buffers through MPI one-sided
+// windows: peers read the source buffer directly (a single copy, no shm
+// staging) and reductions use AVX kernels. The window synchronization
+// epoch costs several microseconds per operation, which is why SM beats
+// SOLO on small messages while SOLO "performs significantly better as the
+// communication size increases" (paper §III).
+#pragma once
+
+#include "coll/module.hpp"
+
+namespace han::coll {
+
+class SoloModule : public CollModule {
+ public:
+  using CollModule::CollModule;
+
+  std::string_view name() const override { return "solo"; }
+  bool intra_node_only() const override { return true; }
+  bool nonblocking_capable() const override { return false; }
+  bool reduce_uses_avx() const override { return true; }
+
+  std::vector<Algorithm> bcast_algorithms() const override {
+    return {Algorithm::Linear};
+  }
+
+  mpi::Request ibcast(const mpi::Comm& comm, int me, int root,
+                      mpi::BufView buf, mpi::Datatype dtype,
+                      const CollConfig& cfg) override;
+  mpi::Request ireduce(const mpi::Comm& comm, int me, int root,
+                       mpi::BufView send, mpi::BufView recv,
+                       mpi::Datatype dtype, mpi::ReduceOp op,
+                       const CollConfig& cfg) override;
+  mpi::Request iallreduce(const mpi::Comm& comm, int me, mpi::BufView send,
+                          mpi::BufView recv, mpi::Datatype dtype,
+                          mpi::ReduceOp op, const CollConfig& cfg) override;
+
+  /// Per-operation window synchronization cost (exposed for the
+  /// autotuner's heuristics and for tests).
+  static constexpr sim::Time window_sync_cost() { return 9.0e-6; }
+};
+
+}  // namespace han::coll

@@ -1,0 +1,80 @@
+#include "coll/topology.hpp"
+
+#include "simbase/assert.hpp"
+
+namespace han::coll {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::Default: return "default";
+    case Algorithm::Linear: return "linear";
+    case Algorithm::Chain: return "chain";
+    case Algorithm::Binary: return "binary";
+    case Algorithm::Binomial: return "binomial";
+    case Algorithm::RecursiveDoubling: return "recdoub";
+    case Algorithm::Ring: return "ring";
+  }
+  return "?";
+}
+
+const char* coll_kind_name(CollKind k) {
+  switch (k) {
+    case CollKind::Bcast: return "bcast";
+    case CollKind::Reduce: return "reduce";
+    case CollKind::Allreduce: return "allreduce";
+    case CollKind::Gather: return "gather";
+    case CollKind::Scatter: return "scatter";
+    case CollKind::Allgather: return "allgather";
+    case CollKind::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+TreeNode tree_node(Algorithm alg, int n, int vrank) {
+  HAN_ASSERT(n > 0 && vrank >= 0 && vrank < n);
+  TreeNode node;
+  switch (alg) {
+    case Algorithm::Linear:
+      if (vrank == 0) {
+        for (int c = 1; c < n; ++c) node.children.push_back(c);
+      } else {
+        node.parent = 0;
+      }
+      break;
+
+    case Algorithm::Chain:
+      if (vrank > 0) node.parent = vrank - 1;
+      if (vrank + 1 < n) node.children.push_back(vrank + 1);
+      break;
+
+    case Algorithm::Binary:
+      if (vrank > 0) node.parent = (vrank - 1) / 2;
+      if (2 * vrank + 1 < n) node.children.push_back(2 * vrank + 1);
+      if (2 * vrank + 2 < n) node.children.push_back(2 * vrank + 2);
+      break;
+
+    case Algorithm::Binomial: {
+      // Parent: clear the lowest set bit. Children: vrank | (1 << k) for
+      // every k below the lowest set bit (or below ceil(log2 n) for the
+      // root), largest subtree first — the standard binomial send order.
+      int low = 0;
+      if (vrank == 0) {
+        while ((1 << low) < n) ++low;
+      } else {
+        while (((vrank >> low) & 1) == 0) ++low;
+        node.parent = vrank & (vrank - 1);
+      }
+      for (int k = low - 1; k >= 0; --k) {
+        const int child = vrank | (1 << k);
+        if (child < n && child != vrank) node.children.push_back(child);
+      }
+      break;
+    }
+
+    default:
+      HAN_ASSERT_MSG(false, "algorithm has no tree shape");
+  }
+  return node;
+}
+
+}  // namespace han::coll

@@ -1,0 +1,29 @@
+// Virtual-rank tree topologies shared by the collective algorithms.
+//
+// All trees are built over virtual ranks (vrank = (rank - root + n) % n) so
+// vrank 0 is always the root; callers translate back with from_vrank().
+#pragma once
+
+#include <vector>
+
+#include "coll/types.hpp"
+
+namespace han::coll {
+
+struct TreeNode {
+  int parent = -1;            // vrank of parent (-1 at the root)
+  std::vector<int> children;  // vranks, in send order
+};
+
+/// Tree shape of `vrank` in an n-node tree of the given algorithm.
+/// Supported: Linear (star), Chain, Binary, Binomial.
+TreeNode tree_node(Algorithm alg, int n, int vrank);
+
+inline int to_vrank(int rank, int root, int n) {
+  return (rank - root + n) % n;
+}
+inline int from_vrank(int vrank, int root, int n) {
+  return (vrank + root) % n;
+}
+
+}  // namespace han::coll

@@ -1,0 +1,42 @@
+// "tuned": the default Open MPI collective module (the paper's baseline).
+//
+// Reimplements the fixed decision functions of Open MPI's coll/tuned,
+// whose switch points were calibrated on early-2000s hardware (paper §II-B:
+// "a cluster of AMD64 processors using Gigabit Ethernet and Myricom
+// interconnect") — which is exactly why HAN beats it on modern machines.
+// The module is hierarchy-oblivious: it runs flat trees over the whole
+// communicator, mixing intra- and inter-node links.
+#pragma once
+
+#include "coll/tree_module.hpp"
+
+namespace han::coll {
+
+class TunedModule : public TreeCollModule {
+ public:
+  TunedModule(mpi::SimWorld& world, CollRuntime& rt);
+
+  std::string_view name() const override { return "tuned"; }
+
+  mpi::Request ibcast(const mpi::Comm& comm, int me, int root,
+                      mpi::BufView buf, mpi::Datatype dtype,
+                      const CollConfig& cfg) override;
+  mpi::Request ireduce(const mpi::Comm& comm, int me, int root,
+                       mpi::BufView send, mpi::BufView recv,
+                       mpi::Datatype dtype, mpi::ReduceOp op,
+                       const CollConfig& cfg) override;
+  mpi::Request iallreduce(const mpi::Comm& comm, int me, mpi::BufView send,
+                          mpi::BufView recv, mpi::Datatype dtype,
+                          mpi::ReduceOp op, const CollConfig& cfg) override;
+
+  /// The fixed decision function (exposed for tests): algorithm + segment
+  /// size for a bcast/reduce of `bytes` over `comm_size` ranks.
+  static CollConfig decide_bcast(int comm_size, std::size_t bytes);
+  static CollConfig decide_reduce(int comm_size, std::size_t bytes);
+
+  /// True when the allreduce decision picks the ring (large messages on
+  /// comms small enough for the 2(n-1)-step schedule to stay tractable).
+  static bool allreduce_uses_ring(int comm_size, std::size_t bytes);
+};
+
+}  // namespace han::coll

@@ -1,0 +1,48 @@
+// Shared vocabulary of the collective layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace han::coll {
+
+/// Collective algorithm selector. Not every module supports every
+/// algorithm; CollModule::bcast_algorithms()/reduce_algorithms() advertise
+/// the supported set (ADAPT: chain/binary/binomial; Libnbc: binomial; ...).
+enum class Algorithm : std::uint8_t {
+  Default,
+  Linear,             // flat star from/to the root
+  Chain,              // pipeline: rank i forwards to rank i+1
+  Binary,             // balanced binary tree
+  Binomial,           // binomial tree
+  RecursiveDoubling,  // allreduce/allgather exchange pattern
+  Ring,               // ring reduce-scatter + allgather
+};
+
+const char* algorithm_name(Algorithm a);
+
+/// Per-call configuration of a fine-grained collective operation. For
+/// ADAPT this is where the paper's `ibs`/`irs` (inter-node segment sizes)
+/// land; modules without internal segmentation ignore `segment`.
+struct CollConfig {
+  Algorithm alg = Algorithm::Default;
+  std::size_t segment = 0;  // internal pipelining granularity; 0 = whole msg
+
+  friend bool operator==(const CollConfig&, const CollConfig&) = default;
+};
+
+/// Operation kinds, used by registries and the autotuner lookup table.
+enum class CollKind : std::uint8_t {
+  Bcast,
+  Reduce,
+  Allreduce,
+  Gather,
+  Scatter,
+  Allgather,
+  Barrier,
+};
+
+const char* coll_kind_name(CollKind k);
+
+}  // namespace han::coll

@@ -1,0 +1,287 @@
+#include "flownet/flownet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simbase/assert.hpp"
+
+namespace han::net {
+
+namespace {
+// A flow with fewer remaining bytes than this is considered done; absorbs
+// floating-point residue from rate rebalancing.
+constexpr double kByteEpsilon = 1e-6;
+// Relative tolerance when matching resource shares to the bottleneck level.
+constexpr double kShareTolerance = 1e-12;
+}  // namespace
+
+ResourceId FlowNet::add_resource(std::string name, double capacity_bps) {
+  HAN_ASSERT_MSG(capacity_bps > 0.0, "resource capacity must be positive");
+  resources_.push_back(Resource{std::move(name), capacity_bps, {}});
+  resource_mark_.push_back(0);
+  avail_.push_back(0.0);
+  pending_count_.push_back(0);
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+void FlowNet::set_capacity(ResourceId id, double capacity_bps) {
+  HAN_ASSERT(id < resources_.size());
+  HAN_ASSERT_MSG(capacity_bps > 0.0, "resource capacity must be positive");
+  resources_[id].capacity = capacity_bps;
+  const ResourceId seeds[] = {id};
+  mark_dirty(seeds);
+}
+
+double FlowNet::capacity(ResourceId id) const {
+  HAN_ASSERT(id < resources_.size());
+  return resources_[id].capacity;
+}
+
+const std::string& FlowNet::resource_name(ResourceId id) const {
+  HAN_ASSERT(id < resources_.size());
+  return resources_[id].name;
+}
+
+FlowId FlowNet::start_flow(std::span<const ResourceId> resources, double bytes,
+                           double rate_cap,
+                           std::function<void()> on_complete) {
+  HAN_ASSERT_MSG(rate_cap > 0.0, "rate cap must be positive");
+  const FlowId id = next_flow_id_++;
+  if (bytes <= kByteEpsilon) {
+    engine_->schedule_after(0.0, std::move(on_complete));
+    return id;
+  }
+
+  Flow flow;
+  flow.remaining = bytes;
+  flow.rate = 0.0;  // assigned by the batched rebalance at this timestamp
+  flow.rate_cap = rate_cap;
+  flow.last_update = engine_->now();
+  flow.resources.assign(resources.begin(), resources.end());
+  std::sort(flow.resources.begin(), flow.resources.end());
+  flow.resources.erase(
+      std::unique(flow.resources.begin(), flow.resources.end()),
+      flow.resources.end());
+  flow.on_complete = std::move(on_complete);
+
+  for (ResourceId r : flow.resources) {
+    HAN_ASSERT(r < resources_.size());
+    resources_[r].flows.push_back(id);
+  }
+  if (flow.resources.empty()) {
+    // A resource-less flow is only limited by its rate cap.
+    flow.rate = rate_cap;
+    flows_.emplace(id, std::move(flow));
+    schedule_completion(id, flows_.at(id));
+  } else {
+    const std::vector<ResourceId> seeds = flow.resources;
+    flows_.emplace(id, std::move(flow));
+    mark_dirty(seeds);
+  }
+  return id;
+}
+
+void FlowNet::abort_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  const std::vector<ResourceId> seeds = it->second.resources;
+  detach_flow(id, it->second);
+  flows_.erase(it);
+  mark_dirty(seeds);
+}
+
+double FlowNet::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double FlowNet::resource_usage(ResourceId id) const {
+  HAN_ASSERT(id < resources_.size());
+  double usage = 0.0;
+  for (FlowId f : resources_[id].flows) {
+    usage += flows_.at(f).rate;
+  }
+  return usage;
+}
+
+void FlowNet::mark_dirty(std::span<const ResourceId> seeds) {
+  dirty_.insert(dirty_.end(), seeds.begin(), seeds.end());
+  if (!rebalance_pending_) {
+    rebalance_pending_ = true;
+    // Scheduled at the current time: runs after all already-queued
+    // same-time events, so a burst of flow starts/finishes coalesces into
+    // one rate recomputation.
+    engine_->schedule_after(0.0, [this] { rebalance(); });
+  }
+}
+
+void FlowNet::collect_component(std::span<const ResourceId> seeds,
+                                std::vector<ResourceId>& comp_resources,
+                                std::vector<FlowId>& comp_flows) {
+  comp_resources.clear();
+  comp_flows.clear();
+  std::vector<ResourceId> stack;
+  stack.reserve(seeds.size());
+  for (ResourceId r : seeds) {
+    if (resource_mark_[r] == 0) {
+      resource_mark_[r] = 1;
+      stack.push_back(r);
+    }
+  }
+
+  // Flows are deduplicated with a sort afterwards; marking flows would need
+  // a hash set, and the sort is cheap relative to the rate computation.
+  while (!stack.empty()) {
+    const ResourceId r = stack.back();
+    stack.pop_back();
+    comp_resources.push_back(r);
+    for (FlowId fid : resources_[r].flows) {
+      comp_flows.push_back(fid);
+      for (ResourceId other : flows_.at(fid).resources) {
+        if (resource_mark_[other] == 0) {
+          resource_mark_[other] = 1;
+          stack.push_back(other);
+        }
+      }
+    }
+  }
+  for (ResourceId r : comp_resources) resource_mark_[r] = 0;
+  std::sort(comp_flows.begin(), comp_flows.end());
+  comp_flows.erase(std::unique(comp_flows.begin(), comp_flows.end()),
+                   comp_flows.end());
+  std::sort(comp_resources.begin(), comp_resources.end());
+}
+
+void FlowNet::settle(Flow& flow) {
+  const sim::Time now = engine_->now();
+  if (now > flow.last_update && flow.rate > 0.0) {
+    flow.remaining -= flow.rate * (now - flow.last_update);
+    if (flow.remaining < 0.0) flow.remaining = 0.0;
+  }
+  flow.last_update = now;
+}
+
+void FlowNet::schedule_completion(FlowId id, Flow& flow) {
+  const std::uint64_t generation = ++flow.generation;
+  HAN_ASSERT_MSG(flow.rate > 0.0, "active flow starved (rate == 0)");
+  const sim::Time eta = flow.remaining / flow.rate;
+  engine_->schedule_after(eta, [this, id, generation] {
+    auto it = flows_.find(id);
+    if (it == flows_.end() || it->second.generation != generation) return;
+    finish_flow(id);
+  });
+}
+
+void FlowNet::finish_flow(FlowId id) {
+  auto it = flows_.find(id);
+  HAN_ASSERT(it != flows_.end());
+  settle(it->second);
+  const std::vector<ResourceId> seeds = it->second.resources;
+  std::function<void()> on_complete = std::move(it->second.on_complete);
+  detach_flow(id, it->second);
+  flows_.erase(it);
+  mark_dirty(seeds);
+  if (on_complete) on_complete();
+}
+
+void FlowNet::detach_flow(FlowId id, const Flow& flow) {
+  for (ResourceId r : flow.resources) {
+    auto& list = resources_[r].flows;
+    auto pos = std::find(list.begin(), list.end(), id);
+    HAN_ASSERT(pos != list.end());
+    *pos = list.back();
+    list.pop_back();
+  }
+}
+
+void FlowNet::rebalance() {
+  rebalance_pending_ = false;
+  std::vector<ResourceId> seeds;
+  seeds.swap(dirty_);
+
+  auto& comp_resources = scratch_resources_;
+  auto& comp_flows = scratch_flows_;
+  collect_component(seeds, comp_resources, comp_flows);
+  if (comp_flows.empty()) return;
+
+  // Account progress under the outgoing allocation before changing rates.
+  for (FlowId fid : comp_flows) settle(flows_.at(fid));
+
+  // Progressive filling (water-filling): repeatedly find the lowest
+  // bottleneck level (equal share on some resource, or a flow's own rate
+  // cap) and fix the flows bound at it. avail_/pending_count_ are
+  // pre-sized per resource and reset on exit.
+  for (ResourceId r : comp_resources) {
+    avail_[r] = resources_[r].capacity;
+    pending_count_[r] = 0;
+  }
+  std::vector<FlowId> unfixed = comp_flows;
+  for (FlowId fid : unfixed) {
+    for (ResourceId r : flows_.at(fid).resources) ++pending_count_[r];
+  }
+
+  while (!unfixed.empty()) {
+    double level = std::numeric_limits<double>::infinity();
+    for (ResourceId r : comp_resources) {
+      if (pending_count_[r] > 0) {
+        level = std::min(level, std::max(avail_[r], 0.0) /
+                                    static_cast<double>(pending_count_[r]));
+      }
+    }
+    bool cap_bound = false;
+    for (FlowId fid : unfixed) {
+      const double cap = flows_.at(fid).rate_cap;
+      if (cap < level) {
+        level = cap;
+        cap_bound = true;
+      } else if (cap == level) {
+        cap_bound = true;
+      }
+    }
+    HAN_ASSERT(std::isfinite(level));
+
+    std::vector<FlowId> still_unfixed;
+    still_unfixed.reserve(unfixed.size());
+    for (FlowId fid : unfixed) {
+      Flow& flow = flows_.at(fid);
+      bool bound =
+          cap_bound && flow.rate_cap <= level * (1.0 + kShareTolerance);
+      if (!bound) {
+        for (ResourceId r : flow.resources) {
+          const double share = std::max(avail_[r], 0.0) /
+                               static_cast<double>(pending_count_[r]);
+          if (share <= level * (1.0 + kShareTolerance)) {
+            bound = true;
+            break;
+          }
+        }
+      }
+      if (bound) {
+        // The 1e-3 B/s floor absorbs floating-point residue when a
+        // resource is exactly saturated; it never matters physically.
+        flow.rate = std::max(std::min(level, flow.rate_cap), 1e-3);
+        for (ResourceId r : flow.resources) {
+          avail_[r] -= flow.rate;
+          --pending_count_[r];
+        }
+      } else {
+        still_unfixed.push_back(fid);
+      }
+    }
+    HAN_ASSERT_MSG(still_unfixed.size() < unfixed.size(),
+                   "max-min filling made no progress");
+    unfixed.swap(still_unfixed);
+  }
+
+  for (FlowId fid : comp_flows) {
+    Flow& flow = flows_.at(fid);
+    if (flow.remaining <= kByteEpsilon) {
+      // Finished within floating-point residue: complete now.
+      flow.remaining = 0.0;
+      flow.rate = std::max(flow.rate, 1.0);
+    }
+    schedule_completion(fid, flow);
+  }
+}
+
+}  // namespace han::net

@@ -1,0 +1,125 @@
+// Max-min fair fluid-flow network.
+//
+// Every bulk data movement in the simulated cluster — an inter-node
+// rendezvous transfer, a shared-memory copy, a NIC DMA writing into host
+// memory — is a *flow* over a set of *resources* (NIC tx/rx lanes, the
+// inter-node fabric, per-node memory buses). Concurrent flows share each
+// resource max-min fairly; rates are recomputed incrementally whenever a
+// flow starts or finishes, scoped to the affected connected component.
+//
+// This is the mechanism that reproduces the effects the HAN paper's cost
+// model is built around: congestion at a hot process, level-dependent
+// bandwidth, and the imperfect overlap of inter-node and intra-node
+// collectives caused by the shared memory bus.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simbase/engine.hpp"
+#include "simbase/units.hpp"
+
+namespace han::net {
+
+using ResourceId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+inline constexpr FlowId kInvalidFlow = 0;
+
+class FlowNet {
+ public:
+  explicit FlowNet(sim::Engine& engine) : engine_(&engine) {}
+  FlowNet(const FlowNet&) = delete;
+  FlowNet& operator=(const FlowNet&) = delete;
+
+  /// Register a shared resource with capacity in bytes/second.
+  ResourceId add_resource(std::string name, double capacity_bps);
+
+  /// Change a resource's capacity (used by failure-injection tests);
+  /// triggers a rate recomputation for flows using it.
+  void set_capacity(ResourceId id, double capacity_bps);
+
+  double capacity(ResourceId id) const;
+  const std::string& resource_name(ResourceId id) const;
+
+  /// Start a flow of `bytes` across `resources`. `rate_cap` bounds the
+  /// flow's rate regardless of resource headroom (models per-message
+  /// protocol efficiency); pass no_cap() for unbounded. `on_complete`
+  /// fires once, at the simulated time the last byte arrives.
+  FlowId start_flow(std::span<const ResourceId> resources, double bytes,
+                    double rate_cap, std::function<void()> on_complete);
+
+  static constexpr double no_cap() {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// Cancel a flow in flight (no completion callback fires). No-op if the
+  /// flow already completed.
+  void abort_flow(FlowId id);
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Current rate of an active flow (bytes/sec); 0 if unknown/finished.
+  double flow_rate(FlowId id) const;
+
+  /// Sum of active flow rates through a resource (for tests/invariants).
+  double resource_usage(ResourceId id) const;
+
+  sim::Engine& engine() { return *engine_; }
+
+ private:
+  struct Resource {
+    std::string name;
+    double capacity = 0.0;
+    std::vector<FlowId> flows;  // active flows through this resource
+  };
+
+  struct Flow {
+    double remaining = 0.0;  // bytes left at `last_update`
+    double rate = 0.0;       // bytes/sec under the current allocation
+    double rate_cap = 0.0;
+    sim::Time last_update = 0.0;
+    std::vector<ResourceId> resources;
+    std::function<void()> on_complete;
+    std::uint64_t generation = 0;  // invalidates stale completion events
+  };
+
+  // Mark resources dirty and schedule one batched rebalance at the current
+  // timestamp (after all same-time events). Batching keeps synchronized
+  // arrivals/completions of F flows at O(F·R) total instead of O(F²·R).
+  void mark_dirty(std::span<const ResourceId> seeds);
+
+  // Recompute max-min rates for the connected component containing the
+  // dirty set and reschedule completion events of affected flows.
+  void rebalance();
+
+  void collect_component(std::span<const ResourceId> seeds,
+                         std::vector<ResourceId>& comp_resources,
+                         std::vector<FlowId>& comp_flows);
+
+  void settle(Flow& flow);  // account progress since last_update
+  void schedule_completion(FlowId id, Flow& flow);
+  void finish_flow(FlowId id);
+  void detach_flow(FlowId id, const Flow& flow);
+
+  sim::Engine* engine_;
+  std::vector<Resource> resources_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  bool rebalance_pending_ = false;
+  std::vector<ResourceId> dirty_;
+  // Scratch buffers reused across rebalance() calls (indexed by ResourceId,
+  // reset via the component list).
+  std::vector<char> resource_mark_;
+  std::vector<double> avail_;
+  std::vector<int> pending_count_;
+  std::vector<ResourceId> scratch_resources_;
+  std::vector<FlowId> scratch_flows_;
+};
+
+}  // namespace han::net

@@ -1,0 +1,72 @@
+#include "han/config.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "simbase/units.hpp"
+
+namespace han::core {
+
+namespace {
+
+coll::Algorithm parse_alg(const std::string& s, bool* ok) {
+  *ok = true;
+  if (s == "chain") return coll::Algorithm::Chain;
+  if (s == "binary") return coll::Algorithm::Binary;
+  if (s == "binomial") return coll::Algorithm::Binomial;
+  if (s == "linear") return coll::Algorithm::Linear;
+  if (s == "default") return coll::Algorithm::Default;
+  *ok = false;
+  return coll::Algorithm::Default;
+}
+
+}  // namespace
+
+std::string HanConfig::to_string() const {
+  std::string out;
+  out += "fs=" + sim::format_bytes(fs);
+  out += " imod=" + imod;
+  out += " smod=" + smod;
+  out += " ibalg=" + std::string(coll::algorithm_name(ibalg));
+  out += " iralg=" + std::string(coll::algorithm_name(iralg));
+  out += " ibs=" + sim::format_bytes(ibs);
+  out += " irs=" + sim::format_bytes(irs);
+  return out;
+}
+
+bool HanConfig::parse(const std::string& text, HanConfig* out) {
+  HanConfig cfg;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eq = text.find('=', pos);
+    if (eq == std::string::npos) return false;
+    const std::string key = text.substr(pos, eq - pos);
+    std::size_t end = text.find(' ', eq + 1);
+    if (end == std::string::npos) end = text.size();
+    const std::string value = text.substr(eq + 1, end - eq - 1);
+    bool ok = true;
+    if (key == "fs") {
+      cfg.fs = sim::parse_bytes(value, &ok);
+    } else if (key == "imod") {
+      cfg.imod = value;
+    } else if (key == "smod") {
+      cfg.smod = value;
+    } else if (key == "ibalg") {
+      cfg.ibalg = parse_alg(value, &ok);
+    } else if (key == "iralg") {
+      cfg.iralg = parse_alg(value, &ok);
+    } else if (key == "ibs") {
+      cfg.ibs = sim::parse_bytes(value, &ok);
+    } else if (key == "irs") {
+      cfg.irs = sim::parse_bytes(value, &ok);
+    } else {
+      ok = false;
+    }
+    if (!ok) return false;
+    pos = end + (end < text.size() ? 1 : 0);
+  }
+  *out = cfg;
+  return true;
+}
+
+}  // namespace han::core

@@ -1,0 +1,29 @@
+// HanConfig: the autotuned parameter set of a HAN collective operation —
+// exactly the output columns of the paper's Table II.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "coll/types.hpp"
+
+namespace han::core {
+
+struct HanConfig {
+  std::size_t fs = 512 << 10;  // HAN segment size (pipeline granularity)
+  std::string imod = "adapt";  // inter-node submodule (libnbc | adapt)
+  std::string smod = "sm";     // intra-node submodule (sm | solo)
+  coll::Algorithm ibalg = coll::Algorithm::Binary;  // inter bcast algorithm
+  coll::Algorithm iralg = coll::Algorithm::Binary;  // inter reduce algorithm
+  std::size_t ibs = 0;  // inter bcast segment size (if imod supports it)
+  std::size_t irs = 0;  // inter reduce segment size (if imod supports it)
+
+  friend bool operator==(const HanConfig&, const HanConfig&) = default;
+
+  std::string to_string() const;
+
+  /// Parse the to_string() form back; returns false on malformed input.
+  static bool parse(const std::string& text, HanConfig* out);
+};
+
+}  // namespace han::core

@@ -1,0 +1,713 @@
+#include "han/han.hpp"
+
+#include <algorithm>
+
+#include <cstring>
+
+#include "coll/builders.hpp"
+
+namespace han::core {
+
+namespace {
+
+using coll::CollConfig;
+using coll::CollKind;
+using coll::Segmenter;
+using mpi::BufView;
+using mpi::Request;
+
+BufView seg_of(BufView buf, const Segmenter& segs, int i) {
+  return buf.slice(segs.offset(i), segs.length(i));
+}
+
+/// Owning temp buffer usable as BufView slices; empty in timing-only mode.
+struct TempBuf {
+  std::vector<std::byte> storage;
+  mpi::Datatype dtype = mpi::Datatype::Byte;
+
+  TempBuf(bool data_mode, std::size_t bytes, mpi::Datatype t) : dtype(t) {
+    if (data_mode) storage.resize(bytes);
+  }
+  BufView view(std::size_t off, std::size_t len) {
+    if (storage.empty()) {
+      BufView v = BufView::timing_only(len, dtype);
+      return v;
+    }
+    return BufView{storage.data() + off, len, dtype};
+  }
+};
+
+}  // namespace
+
+HanModule::HanModule(mpi::SimWorld& world, coll::CollRuntime& rt,
+                     coll::ModuleSet& mods)
+    : coll::CollModule(world, rt), mods_(&mods) {}
+
+HanConfig HanModule::default_config(CollKind kind, int /*nodes*/, int ppn,
+                                    std::size_t bytes) {
+  // Static heuristic in the spirit of the paper's §III-C discussion: small
+  // operations want low-setup submodules (Libnbc + SM); large ones want
+  // pipelining depth, ADAPT's segmentation, and SOLO's single-copy/AVX
+  // path. The autotuner replaces this wholesale.
+  HanConfig c;
+  if (bytes <= (64u << 10)) {
+    c.fs = std::max<std::size_t>(bytes, 1);
+    c.imod = "libnbc";
+    c.smod = "sm";
+    c.ibalg = coll::Algorithm::Binomial;
+    c.iralg = coll::Algorithm::Binomial;
+    return c;
+  }
+  c.fs = bytes >= (32u << 20) ? (2u << 20) : (512u << 10);
+  c.imod = "adapt";
+  // Chain keeps the root's injection bandwidth at full rate; with enough
+  // segments its fill time amortizes. Binary halves root bandwidth but
+  // fills in log(n) — better when the pipeline is short.
+  const bool deep_pipeline = bytes / c.fs >= 8;
+  c.ibalg = deep_pipeline ? coll::Algorithm::Chain : coll::Algorithm::Binary;
+  c.iralg = c.ibalg;
+  c.ibs = 64 << 10;
+  c.irs = 64 << 10;
+  const bool reduces = kind == CollKind::Allreduce || kind == CollKind::Reduce;
+  c.smod = (c.fs >= (512u << 10) && (reduces || ppn >= 8)) ? "solo" : "sm";
+  return c;
+}
+
+HanConfig HanModule::decide(CollKind kind, const mpi::Comm& comm,
+                            std::size_t bytes) {
+  HanComm& hc = han_comm(comm);
+  if (decider_) return decider_(kind, hc.node_count(), hc.max_ppn(), bytes);
+  return default_config(kind, hc.node_count(), hc.max_ppn(), bytes);
+}
+
+HanComm& HanModule::han_comm(const mpi::Comm& comm) {
+  auto it = comms_.find(comm.context());
+  if (it == comms_.end()) {
+    it = comms_
+             .emplace(comm.context(),
+                      std::make_unique<HanComm>(world(), comm))
+             .first;
+  }
+  return *it->second;
+}
+
+coll::CollModule* HanModule::inter_module(const HanConfig& cfg) {
+  coll::CollModule* m = mods_->find(cfg.imod);
+  HAN_ASSERT_MSG(m != nullptr && m->nonblocking_capable(),
+                 "imod must be a nonblocking-capable module");
+  return m;
+}
+
+coll::CollModule* HanModule::intra_module(const HanConfig& cfg) {
+  coll::CollModule* m = mods_->find(cfg.smod);
+  HAN_ASSERT_MSG(m != nullptr && m->intra_node_only(),
+                 "smod must be an intra-node module");
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// MPI_Bcast (paper Fig. 1)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::CoTask bcast_program(HanModule& m, mpi::SimWorld& w,
+                          const mpi::Comm& comm, int me, int root,
+                          BufView buf, mpi::Datatype dtype, HanConfig cfg,
+                          Request done) {
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.low_rank(root);
+  const bool has_intra = low.size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+
+  coll::CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter) {
+    if (has_intra) {
+      co_await *smod->ibcast(low, me_low, root_low, buf, dtype, CollConfig{});
+    }
+    done->complete();
+    co_return;
+  }
+
+  coll::CollModule* imod = m.inter_module(cfg);
+  const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  const Segmenter segs(buf.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+
+  // The up communicator carrying data is the one holding the root: every
+  // rank whose local rank equals the root's local rank is a "leader" for
+  // this operation (Open MPI HAN's root_low_rank trick — no relay hop).
+  if (me_low == root_low) {
+    const mpi::Comm& up = *hc.up(me);
+    const int me_up = hc.up_rank(me);
+    const int root_up = hc.up_rank(root);
+
+    // Task ib(0).
+    co_await *imod->ibcast(up, me_up, root_up, seg_of(buf, segs, 0), dtype,
+                           icfg);
+    // Tasks sbib(1) .. sbib(u-1): intra bcast of segment i-1 overlapped
+    // with inter bcast of segment i.
+    for (int i = 1; i < u; ++i) {
+      std::vector<Request> task;
+      if (has_intra) {
+        task.push_back(smod->ibcast(low, me_low, root_low,
+                                    seg_of(buf, segs, i - 1), dtype,
+                                    CollConfig{}));
+      }
+      task.push_back(
+          imod->ibcast(up, me_up, root_up, seg_of(buf, segs, i), dtype, icfg));
+      co_await mpi::wait_all(w.engine(), std::move(task));
+    }
+    // Task sb(u-1).
+    if (has_intra) {
+      co_await *smod->ibcast(low, me_low, root_low, seg_of(buf, segs, u - 1),
+                             dtype, CollConfig{});
+    }
+  } else {
+    // Tasks sb(0) .. sb(u-1).
+    for (int i = 0; i < u; ++i) {
+      co_await *smod->ibcast(low, me_low, root_low, seg_of(buf, segs, i),
+                             dtype, CollConfig{});
+    }
+  }
+  done->complete();
+}
+
+}  // namespace
+
+mpi::Request HanModule::ibcast_cfg(const mpi::Comm& comm, int me, int root,
+                                   BufView buf, mpi::Datatype dtype,
+                                   const HanConfig& cfg) {
+  Request done = mpi::make_request(world().engine());
+  bcast_program(*this, world(), comm, me, root, buf, dtype, cfg, done)
+      .start();
+  return done;
+}
+
+mpi::Request HanModule::ibcast(const mpi::Comm& comm, int me, int root,
+                               BufView buf, mpi::Datatype dtype,
+                               const CollConfig& /*cfg*/) {
+  return ibcast_cfg(comm, me, root, buf, dtype,
+                    decide(CollKind::Bcast, comm, buf.bytes));
+}
+
+// ---------------------------------------------------------------------------
+// MPI_Reduce: sr → ir pipeline (the rooted prefix of Fig. 5)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::CoTask reduce_program(HanModule& m, mpi::SimWorld& w,
+                           const mpi::Comm& comm, int me, int root,
+                           BufView send, BufView recv, mpi::Datatype dtype,
+                           mpi::ReduceOp op, HanConfig cfg, Request done) {
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.low_rank(root);
+  const bool has_intra = low.size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+
+  coll::CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter) {
+    if (has_intra) {
+      co_await *smod->ireduce(low, me_low, root_low, send, recv, dtype, op,
+                              CollConfig{});
+    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    done->complete();
+    co_return;
+  }
+
+  coll::CollModule* imod = m.inter_module(cfg);
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const Segmenter segs(send.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+
+  if (me_low == root_low) {
+    const mpi::Comm& up = *hc.up(me);
+    const int me_up = hc.up_rank(me);
+    const int root_up = hc.up_rank(root);
+    // Per-node partial results; feeds the inter-node reduction.
+    TempBuf partial(w.data_mode(), send.bytes, dtype);
+
+    auto sr = [&](int i) {
+      if (!has_intra) return Request();  // partial == own send segment
+      return smod->ireduce(low, me_low, root_low, seg_of(send, segs, i),
+                           partial.view(segs.offset(i), segs.length(i)),
+                           dtype, op, CollConfig{});
+    };
+    auto ir = [&](int i) {
+      BufView contrib = has_intra
+                            ? partial.view(segs.offset(i), segs.length(i))
+                            : seg_of(send, segs, i);
+      return imod->ireduce(up, me_up, root_up, contrib,
+                           seg_of(recv, segs, i), dtype, op, ircfg);
+    };
+
+    if (has_intra) {
+      co_await *sr(0);  // task sr(0)
+      for (int i = 1; i < u; ++i) {
+        // Task irsr(i): inter reduce of segment i-1 + intra reduce of i.
+        std::vector<Request> task{ir(i - 1), sr(i)};
+        co_await mpi::wait_all(w.engine(), std::move(task));
+      }
+      co_await *ir(u - 1);
+    } else {
+      // No intra level: pipeline degenerates to sequential ir tasks.
+      for (int i = 0; i < u; ++i) co_await *ir(i);
+    }
+  } else {
+    for (int i = 0; i < u; ++i) {
+      co_await *smod->ireduce(low, me_low, root_low, seg_of(send, segs, i),
+                              BufView::timing_only(segs.length(i), dtype),
+                              dtype, op, CollConfig{});
+    }
+  }
+  done->complete();
+}
+
+}  // namespace
+
+mpi::Request HanModule::ireduce_cfg(const mpi::Comm& comm, int me, int root,
+                                    BufView send, BufView recv,
+                                    mpi::Datatype dtype, mpi::ReduceOp op,
+                                    const HanConfig& cfg) {
+  Request done = mpi::make_request(world().engine());
+  reduce_program(*this, world(), comm, me, root, send, recv, dtype, op, cfg,
+                 done)
+      .start();
+  return done;
+}
+
+mpi::Request HanModule::ireduce(const mpi::Comm& comm, int me, int root,
+                                BufView send, BufView recv,
+                                mpi::Datatype dtype, mpi::ReduceOp op,
+                                const CollConfig& /*cfg*/) {
+  return ireduce_cfg(comm, me, root, send, recv, dtype, op,
+                     decide(CollKind::Reduce, comm, send.bytes));
+}
+
+// ---------------------------------------------------------------------------
+// MPI_Allreduce (paper Fig. 5): 4-stage sr → ir → ib → sb pipeline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::CoTask allreduce_program(HanModule& m, mpi::SimWorld& w,
+                              const mpi::Comm& comm, int me, BufView send,
+                              BufView recv, mpi::Datatype dtype,
+                              mpi::ReduceOp op, HanConfig cfg, Request done) {
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_intra = low.size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+
+  coll::CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter) {
+    if (has_intra) {
+      co_await *smod->iallreduce(low, me_low, send, recv, dtype, op,
+                                 CollConfig{});
+    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    done->complete();
+    co_return;
+  }
+
+  coll::CollModule* imod = m.inter_module(cfg);
+  // Paper §III-B: ir and ib use the same algorithm and the same root to
+  // maximize the opposite-direction overlap on the full-duplex network.
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
+  const Segmenter segs(send.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+  const bool leader = me_low == 0;  // no user root: node-local rank 0 leads
+
+  if (leader) {
+    const mpi::Comm& up = *hc.up(me);
+    const int me_up = hc.up_rank(me);
+    TempBuf partial(w.data_mode(), send.bytes, dtype);
+
+    auto sr = [&](int i) {
+      return smod->ireduce(low, me_low, /*root=*/0, seg_of(send, segs, i),
+                           partial.view(segs.offset(i), segs.length(i)),
+                           dtype, op, CollConfig{});
+    };
+    auto ir = [&](int i) {
+      BufView contrib = has_intra
+                            ? partial.view(segs.offset(i), segs.length(i))
+                            : seg_of(send, segs, i);
+      return imod->ireduce(up, me_up, /*root=*/0, contrib,
+                           seg_of(recv, segs, i), dtype, op, ircfg);
+    };
+    auto ib = [&](int i) {
+      return imod->ibcast(up, me_up, /*root=*/0, seg_of(recv, segs, i), dtype,
+                          ibcfg);
+    };
+    auto sb = [&](int i) {
+      return smod->ibcast(low, me_low, /*root=*/0, seg_of(recv, segs, i),
+                          dtype, CollConfig{});
+    };
+
+    // Steps t = 0 .. u+2 generate exactly the paper's task sequence:
+    // sr(0); irsr(1); ibirsr(2); sbibirsr(3..u-1); sbibir; sbib; sb.
+    for (int t = 0; t <= u + 2; ++t) {
+      std::vector<Request> task;
+      if (has_intra && t <= u - 1) task.push_back(sr(t));
+      if (t >= 1 && t - 1 <= u - 1) task.push_back(ir(t - 1));
+      if (t >= 2 && t - 2 <= u - 1) task.push_back(ib(t - 2));
+      if (has_intra && t >= 3 && t - 3 <= u - 1) task.push_back(sb(t - 3));
+      if (!task.empty()) co_await mpi::wait_all(w.engine(), std::move(task));
+    }
+  } else {
+    // Task sbsr(i): receive broadcast segment i-3 while contributing
+    // segment i to the intra-node reduction.
+    for (int t = 0; t <= u + 2; ++t) {
+      std::vector<Request> task;
+      if (t <= u - 1) {
+        task.push_back(smod->ireduce(
+            low, me_low, /*root=*/0, seg_of(send, segs, t),
+            BufView::timing_only(segs.length(t), dtype), dtype, op,
+            CollConfig{}));
+      }
+      if (t >= 3 && t - 3 <= u - 1) {
+        task.push_back(smod->ibcast(low, me_low, /*root=*/0,
+                                    seg_of(recv, segs, t - 3), dtype,
+                                    CollConfig{}));
+      }
+      if (!task.empty()) co_await mpi::wait_all(w.engine(), std::move(task));
+    }
+  }
+  done->complete();
+}
+
+}  // namespace
+
+mpi::Request HanModule::iallreduce_cfg(const mpi::Comm& comm, int me,
+                                       BufView send, BufView recv,
+                                       mpi::Datatype dtype, mpi::ReduceOp op,
+                                       const HanConfig& cfg) {
+  Request done = mpi::make_request(world().engine());
+  allreduce_program(*this, world(), comm, me, send, recv, dtype, op, cfg,
+                    done)
+      .start();
+  return done;
+}
+
+mpi::Request HanModule::iallreduce(const mpi::Comm& comm, int me,
+                                   BufView send, BufView recv,
+                                   mpi::Datatype dtype, mpi::ReduceOp op,
+                                   const CollConfig& /*cfg*/) {
+  return iallreduce_cfg(comm, me, send, recv, dtype, op,
+                        decide(CollKind::Allreduce, comm, send.bytes));
+}
+
+// ---------------------------------------------------------------------------
+// Extension: multi-leader allreduce — stripe the segment pipeline across k
+// node-local leaders, each driving its own up communicator.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+sim::CoTask multileader_allreduce_program(HanModule& m, mpi::SimWorld& w,
+                                          const mpi::Comm& comm, int me,
+                                          BufView send, BufView recv,
+                                          mpi::Datatype dtype,
+                                          mpi::ReduceOp op, HanConfig cfg,
+                                          int k, Request done) {
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_intra = low.size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+  k = std::max(1, std::min(k, low.size()));
+
+  if (!has_inter || !has_intra || k == 1) {
+    // Degenerate shapes reuse the single-leader pipeline.
+    mpi::Request inner = m.iallreduce_cfg(comm, me, send, recv, dtype, op,
+                                          cfg);
+    inner->on_complete([done] { done->complete(); });
+    co_return;
+  }
+
+  coll::CollModule* imod = m.inter_module(cfg);
+  coll::CollModule* smod = m.intra_module(cfg);
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
+  const Segmenter segs(send.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+  const int leader_idx = me_low < k ? me_low : -1;
+  TempBuf partial(w.data_mode() && leader_idx >= 0, send.bytes, dtype);
+
+  // Stripe j = segments with i % k == j, owned by leader j. Every rank
+  // participates in all sr/sb (consistent low-comm call order); leader j
+  // additionally drives ir/ib for its stripe on up comm j.
+  for (int t = 0; t <= u + 2; ++t) {
+    std::vector<Request> task;
+    if (t <= u - 1) {
+      const int owner = t % k;
+      task.push_back(smod->ireduce(
+          low, me_low, owner, seg_of(send, segs, t),
+          me_low == owner
+              ? partial.view(segs.offset(t), segs.length(t))
+              : BufView::timing_only(segs.length(t), dtype),
+          dtype, op, CollConfig{}));
+    }
+    if (leader_idx >= 0 && t >= 1 && t - 1 <= u - 1 &&
+        (t - 1) % k == leader_idx) {
+      const mpi::Comm& up = *hc.up(me);
+      task.push_back(imod->ireduce(
+          up, hc.up_rank(me), /*root=*/0,
+          partial.view(segs.offset(t - 1), segs.length(t - 1)),
+          seg_of(recv, segs, t - 1), dtype, op, ircfg));
+    }
+    if (leader_idx >= 0 && t >= 2 && t - 2 <= u - 1 &&
+        (t - 2) % k == leader_idx) {
+      const mpi::Comm& up = *hc.up(me);
+      task.push_back(imod->ibcast(up, hc.up_rank(me), /*root=*/0,
+                                  seg_of(recv, segs, t - 2), dtype, ibcfg));
+    }
+    if (t >= 3 && t - 3 <= u - 1) {
+      const int owner = (t - 3) % k;
+      task.push_back(smod->ibcast(low, me_low, owner,
+                                  seg_of(recv, segs, t - 3), dtype,
+                                  CollConfig{}));
+    }
+    if (!task.empty()) co_await mpi::wait_all(w.engine(), std::move(task));
+  }
+  done->complete();
+}
+
+}  // namespace
+
+mpi::Request HanModule::iallreduce_multileader(const mpi::Comm& comm, int me,
+                                               BufView send, BufView recv,
+                                               mpi::Datatype dtype,
+                                               mpi::ReduceOp op,
+                                               const HanConfig& cfg,
+                                               int leaders) {
+  Request done = mpi::make_request(world().engine());
+  multileader_allreduce_program(*this, world(), comm, me, send, recv, dtype,
+                                op, cfg, leaders, done)
+      .start();
+  return done;
+}
+
+// ---------------------------------------------------------------------------
+// Extensions: Gather / Scatter / Allgather / Barrier (paper §III: "similar
+// designs can be extended to other collective operations")
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// HAN's two-level data layout requires node-contiguous rank placement on
+/// the parent communicator (true for the world communicator; Open MPI HAN
+/// likewise disables itself otherwise).
+bool node_contiguous(const HanComm& hc) {
+  const mpi::Comm& parent = hc.parent();
+  for (int pr = 1; pr < parent.size(); ++pr) {
+    // Parent ranks on the same node must be consecutive.
+    const bool same_low =
+        &hc.low(pr) == &hc.low(pr - 1);
+    if (same_low && hc.low_rank(pr) != hc.low_rank(pr - 1) + 1) return false;
+    if (!same_low && hc.low_rank(pr) != 0) return false;
+  }
+  return true;
+}
+
+sim::CoTask gather_program(HanModule& m, mpi::SimWorld& w,
+                           const mpi::Comm& comm, int me, int root,
+                           BufView send, BufView recv, HanConfig cfg,
+                           Request done) {
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.low_rank(root);
+  const bool has_inter = hc.up(me) != nullptr;
+  const std::size_t block = send.bytes;
+
+  if (!has_inter) {
+    co_await *m.modules().libnbc().igather(low, me_low, root_low, send, recv,
+                                           CollConfig{});
+    done->complete();
+    co_return;
+  }
+
+  coll::CollModule* imod = m.inter_module(cfg);
+  // Stage 1 (sg): node-local gather to this operation's leaders. P2P
+  // gather over the shm pipe — Open MPI similarly falls back to a P2P
+  // module for intra-node gather.
+  TempBuf node_block(w.data_mode(), block * low.size(), mpi::Datatype::Byte);
+  const bool leader = me_low == root_low;
+  co_await *m.modules().libnbc().igather(
+      low, me_low, root_low, send,
+      leader ? node_block.view(0, block * low.size())
+             : BufView::timing_only(block * low.size()),
+      CollConfig{});
+
+  // Stage 2 (ig): inter-node gather of node blocks to the root.
+  if (leader) {
+    const mpi::Comm& up = *hc.up(me);
+    co_await *imod->igather(up, hc.up_rank(me), hc.up_rank(root),
+                            node_block.view(0, block * low.size()),
+                            me == root ? recv
+                                       : BufView::timing_only(recv.bytes),
+                            CollConfig{});
+  }
+  done->complete();
+}
+
+sim::CoTask scatter_program(HanModule& m, mpi::SimWorld& w,
+                            const mpi::Comm& comm, int me, int root,
+                            BufView send, BufView recv, HanConfig cfg,
+                            Request done) {
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.low_rank(root);
+  const bool has_inter = hc.up(me) != nullptr;
+  const std::size_t block = recv.bytes;
+
+  if (!has_inter) {
+    co_await *m.modules().libnbc().iscatter(low, me_low, root_low, send, recv,
+                                            CollConfig{});
+    done->complete();
+    co_return;
+  }
+
+  coll::CollModule* imod = m.inter_module(cfg);
+  TempBuf node_block(w.data_mode(), block * low.size(), mpi::Datatype::Byte);
+  const bool leader = me_low == root_low;
+  if (leader) {
+    const mpi::Comm& up = *hc.up(me);
+    co_await *imod->iscatter(up, hc.up_rank(me), hc.up_rank(root),
+                             me == root ? send
+                                        : BufView::timing_only(send.bytes),
+                             node_block.view(0, block * low.size()),
+                             CollConfig{});
+  }
+  co_await *m.modules().libnbc().iscatter(
+      low, me_low, root_low,
+      leader ? node_block.view(0, block * low.size())
+             : BufView::timing_only(block * low.size()),
+      recv, CollConfig{});
+  done->complete();
+}
+
+sim::CoTask allgather_program(HanModule& m, mpi::SimWorld& w,
+                              const mpi::Comm& comm, int me, BufView send,
+                              BufView recv, HanConfig cfg, Request done) {
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_inter = hc.up(me) != nullptr;
+  const std::size_t block = send.bytes;
+
+  if (!has_inter) {
+    co_await *m.modules().libnbc().iallgather(low, me_low, send, recv,
+                                              CollConfig{});
+    done->complete();
+    co_return;
+  }
+
+  coll::CollModule* imod = m.inter_module(cfg);
+  coll::CollModule* smod = m.intra_module(cfg);
+  const bool leader = me_low == 0;
+
+  // sg: gather node block to the leader.
+  TempBuf node_block(w.data_mode(), block * low.size(), mpi::Datatype::Byte);
+  co_await *m.modules().libnbc().igather(
+      low, me_low, /*root=*/0, send,
+      leader ? node_block.view(0, block * low.size())
+             : BufView::timing_only(block * low.size()),
+      CollConfig{});
+
+  // iag: inter-node allgather of node blocks (leaders only) straight into
+  // the final layout (node-contiguous placement).
+  if (leader) {
+    const mpi::Comm& up = *hc.up(me);
+    co_await *imod->iallgather(up, hc.up_rank(me),
+                               node_block.view(0, block * low.size()), recv,
+                               CollConfig{});
+  }
+
+  // sb: broadcast the assembled buffer within the node.
+  co_await *smod->ibcast(low, me_low, /*root=*/0, recv, mpi::Datatype::Byte,
+                         CollConfig{});
+  done->complete();
+}
+
+sim::CoTask barrier_program(HanModule& m, const mpi::Comm& comm, int me,
+                            Request done) {
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_intra = low.size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+
+  // Fan-in: node barrier; leaders: inter barrier; fan-out: node signal.
+  if (has_intra) co_await *m.modules().sm().ibarrier(low, me_low);
+  if (has_inter && me_low == 0) {
+    co_await *m.modules().libnbc().ibarrier(*hc.up(me), hc.up_rank(me));
+  }
+  if (has_intra) {
+    co_await *m.modules().sm().ibcast(low, me_low, /*root=*/0,
+                                      BufView::timing_only(0),
+                                      mpi::Datatype::Byte, CollConfig{});
+  }
+  done->complete();
+}
+
+}  // namespace
+
+mpi::Request HanModule::igather(const mpi::Comm& comm, int me, int root,
+                                BufView send, BufView recv,
+                                const CollConfig& /*cfg*/) {
+  HAN_ASSERT_MSG(node_contiguous(han_comm(comm)),
+                 "HAN gather requires node-contiguous rank placement");
+  Request done = mpi::make_request(world().engine());
+  gather_program(*this, world(), comm, me, root, send, recv,
+                 decide(CollKind::Gather, comm, send.bytes), done)
+      .start();
+  return done;
+}
+
+mpi::Request HanModule::iscatter(const mpi::Comm& comm, int me, int root,
+                                 BufView send, BufView recv,
+                                 const CollConfig& /*cfg*/) {
+  HAN_ASSERT_MSG(node_contiguous(han_comm(comm)),
+                 "HAN scatter requires node-contiguous rank placement");
+  Request done = mpi::make_request(world().engine());
+  scatter_program(*this, world(), comm, me, root, send, recv,
+                  decide(CollKind::Scatter, comm, recv.bytes), done)
+      .start();
+  return done;
+}
+
+mpi::Request HanModule::iallgather(const mpi::Comm& comm, int me,
+                                   BufView send, BufView recv,
+                                   const CollConfig& /*cfg*/) {
+  HAN_ASSERT_MSG(node_contiguous(han_comm(comm)),
+                 "HAN allgather requires node-contiguous rank placement");
+  Request done = mpi::make_request(world().engine());
+  allgather_program(*this, world(), comm, me, send, recv,
+                    decide(CollKind::Allgather, comm, send.bytes), done)
+      .start();
+  return done;
+}
+
+mpi::Request HanModule::ibarrier(const mpi::Comm& comm, int me) {
+  Request done = mpi::make_request(world().engine());
+  barrier_program(*this, comm, me, done).start();
+  return done;
+}
+
+}  // namespace han::core

@@ -1,0 +1,112 @@
+// HanModule — the paper's contribution: a task-based hierarchical
+// collective framework that composes per-level submodules and pipelines
+// their fine-grained operations across HAN segments (paper §III).
+//
+// Bcast (Fig. 1): node leaders run ib(0), sbib(1..u-1), sb(u-1); other
+// ranks run sb(0..u-1). Allreduce (Fig. 5): a 4-stage pipeline
+// (sr → ir → ib → sb) per segment, with ir/ib sharing algorithm and root
+// so they ride opposite directions of the full-duplex fabric. Reduce,
+// Gather, Scatter, Allgather are the "similar design" extensions the
+// paper sketches.
+//
+// Configuration (Table II: fs/imod/smod/ibalg/iralg/ibs/irs) comes from a
+// pluggable Decider — a static default heuristic out of the box, or the
+// autotuner's lookup table (autotune/).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "coll/registry.hpp"
+#include "han/config.hpp"
+#include "han/han_comm.hpp"
+
+namespace han::core {
+
+class HanModule : public coll::CollModule {
+ public:
+  using Decider = std::function<HanConfig(coll::CollKind kind, int nodes,
+                                          int ppn, std::size_t bytes)>;
+
+  HanModule(mpi::SimWorld& world, coll::CollRuntime& rt,
+            coll::ModuleSet& mods);
+
+  std::string_view name() const override { return "han"; }
+  bool nonblocking_capable() const override { return true; }
+
+  /// Install a configuration source (the autotuner's decision function).
+  void set_decider(Decider decider) { decider_ = std::move(decider); }
+
+  /// The static fallback heuristic used when no tuned table is installed.
+  static HanConfig default_config(coll::CollKind kind, int nodes, int ppn,
+                                  std::size_t bytes);
+
+  /// Resolve the configuration for an operation (exposed for tests and
+  /// the benches' reporting).
+  HanConfig decide(coll::CollKind kind, const mpi::Comm& comm,
+                   std::size_t bytes);
+
+  mpi::Request ibcast(const mpi::Comm& comm, int me, int root,
+                      mpi::BufView buf, mpi::Datatype dtype,
+                      const coll::CollConfig& cfg) override;
+  mpi::Request ireduce(const mpi::Comm& comm, int me, int root,
+                       mpi::BufView send, mpi::BufView recv,
+                       mpi::Datatype dtype, mpi::ReduceOp op,
+                       const coll::CollConfig& cfg) override;
+  mpi::Request iallreduce(const mpi::Comm& comm, int me, mpi::BufView send,
+                          mpi::BufView recv, mpi::Datatype dtype,
+                          mpi::ReduceOp op,
+                          const coll::CollConfig& cfg) override;
+  mpi::Request igather(const mpi::Comm& comm, int me, int root,
+                       mpi::BufView send, mpi::BufView recv,
+                       const coll::CollConfig& cfg) override;
+  mpi::Request iscatter(const mpi::Comm& comm, int me, int root,
+                        mpi::BufView send, mpi::BufView recv,
+                        const coll::CollConfig& cfg) override;
+  mpi::Request iallgather(const mpi::Comm& comm, int me, mpi::BufView send,
+                          mpi::BufView recv,
+                          const coll::CollConfig& cfg) override;
+  mpi::Request ibarrier(const mpi::Comm& comm, int me) override;
+
+  /// Explicit-config entry points (used by the autotuner's searches,
+  /// which must pin every Table II parameter).
+  mpi::Request ibcast_cfg(const mpi::Comm& comm, int me, int root,
+                          mpi::BufView buf, mpi::Datatype dtype,
+                          const HanConfig& cfg);
+  mpi::Request ireduce_cfg(const mpi::Comm& comm, int me, int root,
+                           mpi::BufView send, mpi::BufView recv,
+                           mpi::Datatype dtype, mpi::ReduceOp op,
+                           const HanConfig& cfg);
+  mpi::Request iallreduce_cfg(const mpi::Comm& comm, int me, mpi::BufView send,
+                              mpi::BufView recv, mpi::Datatype dtype,
+                              mpi::ReduceOp op, const HanConfig& cfg);
+
+  /// Extension (paper §II-A / future work): multi-leader allreduce.
+  /// Segments are striped over `leaders` node-local leaders; stripe j
+  /// pipelines through leader j's up communicator, parallelizing the
+  /// leader-side protocol processing and reduction trees the way
+  /// Bayatpour et al.'s multi-leader designs do. `leaders` is clamped to
+  /// the node width; 1 degenerates to the paper's single-leader pipeline.
+  mpi::Request iallreduce_multileader(const mpi::Comm& comm, int me,
+                                      mpi::BufView send, mpi::BufView recv,
+                                      mpi::Datatype dtype, mpi::ReduceOp op,
+                                      const HanConfig& cfg, int leaders);
+
+  /// The hierarchical communicator pair for `comm` (built lazily, cached).
+  HanComm& han_comm(const mpi::Comm& comm);
+
+  /// Public world access for extension modules (han3.hpp).
+  mpi::SimWorld& world_ref() { return world(); }
+
+  coll::CollModule* inter_module(const HanConfig& cfg);
+  coll::CollModule* intra_module(const HanConfig& cfg);
+  coll::ModuleSet& modules() { return *mods_; }
+
+ private:
+  coll::ModuleSet* mods_;
+  Decider decider_;
+  std::unordered_map<int, std::unique_ptr<HanComm>> comms_;  // by context
+};
+
+}  // namespace han::core

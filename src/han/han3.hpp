@@ -1,0 +1,56 @@
+// Han3: three-hardware-level HAN — the paper's future-work direction
+// ("explore approaches based on an increased number of hardware levels").
+//
+// On a NUMA machine profile (machine::with_numa), the hierarchy becomes
+//   leaf  — processes sharing one NUMA domain      (smod, shm)
+//   mid   — NUMA-domain leaders within a node      (smod, crosses the
+//                                                   inter-socket link once)
+//   up    — node leaders across nodes              (imod, network)
+// and the task pipelines gain a stage: Bcast runs ib → nb → sb, Allreduce
+// runs sr → mr → ir → ib → mb → sb, each stage one segment behind the
+// previous — the natural generalization of paper Figs. 1 and 5.
+//
+// Prototype scope (documented in DESIGN.md): the root of rooted
+// operations must be a node leader (leaf rank 0 of NUMA domain 0); the
+// 2-level HanModule remains the general entry point.
+#pragma once
+
+#include "han/han.hpp"
+
+namespace han::core {
+
+class Han3 {
+ public:
+  explicit Han3(HanModule& han);
+
+  /// True when the world profile actually has more than one NUMA domain
+  /// per node (otherwise fall back to the 2-level HanModule).
+  bool applicable() const;
+
+  mpi::Request ibcast(const mpi::Comm& comm, int me, int root,
+                      mpi::BufView buf, mpi::Datatype dtype,
+                      const HanConfig& cfg);
+
+  mpi::Request iallreduce(const mpi::Comm& comm, int me, mpi::BufView send,
+                          mpi::BufView recv, mpi::Datatype dtype,
+                          mpi::ReduceOp op, const HanConfig& cfg);
+
+  /// The three-level communicator split (exposed for tests).
+  struct Comm3 {
+    std::vector<mpi::Comm*> leaf;  // per parent rank: NUMA-domain comm
+    std::vector<mpi::Comm*> mid;   // per parent rank: node's numa leaders
+                                   // (null for non-numa-leaders)
+    std::vector<mpi::Comm*> up;    // per parent rank: node leaders comm
+                                   // (null for non-node-leaders)
+    std::vector<int> leaf_rank;    // rank within leaf comm
+    bool numa_leader(int pr) const { return leaf_rank[pr] == 0; }
+    bool node_leader(int pr) const { return mid[pr] != nullptr && up[pr] != nullptr; }
+  };
+  Comm3& comm3(const mpi::Comm& comm);
+
+ private:
+  HanModule* han_;
+  std::unordered_map<int, std::unique_ptr<Comm3>> comms_;
+};
+
+}  // namespace han::core

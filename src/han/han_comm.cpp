@@ -1,0 +1,36 @@
+#include "han/han_comm.hpp"
+
+#include <algorithm>
+
+namespace han::core {
+
+HanComm::HanComm(mpi::SimWorld& world, const mpi::Comm& parent)
+    : parent_(&parent) {
+  const int n = parent.size();
+  low_ = world.comm_split_shared(parent);
+  low_rank_.resize(n);
+  for (int pr = 0; pr < n; ++pr) {
+    low_rank_[pr] = low_[pr]->comm_rank_of_world(parent.world_rank(pr));
+    max_ppn_ = std::max(max_ppn_, low_[pr]->size());
+  }
+
+  // Up communicators: split by local rank, ordered by parent rank (which
+  // orders nodes consistently across all up comms).
+  std::vector<int> color(n), key(n);
+  for (int pr = 0; pr < n; ++pr) {
+    color[pr] = low_rank_[pr];
+    key[pr] = pr;
+  }
+  up_ = world.comm_split(parent, color, key);
+  up_rank_.resize(n);
+  for (int pr = 0; pr < n; ++pr) {
+    up_rank_[pr] = up_[pr]->comm_rank_of_world(parent.world_rank(pr));
+  }
+  node_count_ = up_[0] != nullptr ? up_[0]->size() : 1;
+  if (node_count_ <= 1) {
+    // Single node: no inter level.
+    std::fill(up_.begin(), up_.end(), nullptr);
+  }
+}
+
+}  // namespace han::core

@@ -1,0 +1,52 @@
+// HanComm: the hierarchical communicator pair (paper §III).
+//
+// Mirrors Open MPI HAN's low_comm/up_comm construction: the parent
+// communicator is split with MPI_Comm_split_type(SHARED) into per-node
+// low communicators, and split by local rank into up communicators that
+// connect same-local-rank processes across nodes. Rooted operations use
+// the up communicator of the root's local rank, so any rank can be the
+// root without an extra relay hop.
+#pragma once
+
+#include <vector>
+
+#include "simmpi/world.hpp"
+
+namespace han::core {
+
+class HanComm {
+ public:
+  HanComm(mpi::SimWorld& world, const mpi::Comm& parent);
+
+  const mpi::Comm& parent() const { return *parent_; }
+
+  /// Intra-node communicator of a parent rank.
+  const mpi::Comm& low(int parent_rank) const {
+    return *low_[parent_rank];
+  }
+
+  /// Inter-node communicator joining ranks whose local (low) rank equals
+  /// this parent rank's. Null if the cluster has a single node.
+  const mpi::Comm* up(int parent_rank) const { return up_[parent_rank]; }
+
+  /// Local (low-comm) rank of a parent rank.
+  int low_rank(int parent_rank) const { return low_rank_[parent_rank]; }
+
+  /// Up-comm rank of a parent rank (its node index among nodes hosting
+  /// that local rank).
+  int up_rank(int parent_rank) const { return up_rank_[parent_rank]; }
+
+  int node_count() const { return node_count_; }
+  int max_ppn() const { return max_ppn_; }
+
+ private:
+  const mpi::Comm* parent_;
+  std::vector<mpi::Comm*> low_;   // per parent rank
+  std::vector<mpi::Comm*> up_;    // per parent rank
+  std::vector<int> low_rank_;     // per parent rank
+  std::vector<int> up_rank_;      // per parent rank
+  int node_count_ = 0;
+  int max_ppn_ = 0;
+};
+
+}  // namespace han::core

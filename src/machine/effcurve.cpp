@@ -1,0 +1,38 @@
+#include "machine/effcurve.hpp"
+
+#include <cmath>
+
+namespace han::machine {
+
+EffCurve::EffCurve(std::vector<Knot> knots) : knots_(std::move(knots)) {
+  for (std::size_t i = 0; i < knots_.size(); ++i) {
+    HAN_ASSERT_MSG(knots_[i].efficiency > 0.0 && knots_[i].efficiency <= 1.0,
+                   "efficiency must be in (0, 1]");
+    if (i > 0) {
+      HAN_ASSERT_MSG(knots_[i].bytes > knots_[i - 1].bytes,
+                     "knots must be strictly increasing in size");
+    }
+  }
+}
+
+double EffCurve::at(std::uint64_t bytes) const {
+  if (knots_.empty()) return 1.0;
+  if (bytes <= knots_.front().bytes) return knots_.front().efficiency;
+  if (bytes >= knots_.back().bytes) return knots_.back().efficiency;
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (bytes <= knots_[i].bytes) {
+      const auto& lo = knots_[i - 1];
+      const auto& hi = knots_[i];
+      // Interpolate linearly in log(message size): bandwidth curves are
+      // straight lines on the usual log-x plots.
+      const double t = (std::log2(static_cast<double>(bytes)) -
+                        std::log2(static_cast<double>(lo.bytes))) /
+                       (std::log2(static_cast<double>(hi.bytes)) -
+                        std::log2(static_cast<double>(lo.bytes)));
+      return lo.efficiency + t * (hi.efficiency - lo.efficiency);
+    }
+  }
+  return knots_.back().efficiency;
+}
+
+}  // namespace han::machine

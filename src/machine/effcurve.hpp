@@ -1,0 +1,40 @@
+// Piecewise message-size → efficiency curves.
+//
+// Real MPI stacks do not achieve nominal link bandwidth at every message
+// size: protocol switches (eager→rendezvous), pipelining depth, and
+// registration costs carve dips into the bandwidth curve. The HAN paper
+// leans on exactly this (Fig. 11: Open MPI under Cray MPI between 16KB and
+// 512KB, equal at peak) to explain why Cray MPI wins small-message Bcast.
+// We model it as a per-implementation efficiency multiplier in (0, 1]
+// applied to the NIC rate cap of each transfer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simbase/assert.hpp"
+
+namespace han::machine {
+
+/// Monotone-size list of (message_bytes, efficiency) knots with
+/// log-linear interpolation between knots and clamping outside.
+class EffCurve {
+ public:
+  struct Knot {
+    std::uint64_t bytes;
+    double efficiency;  // fraction of nominal bandwidth, in (0, 1]
+  };
+
+  EffCurve() = default;
+  explicit EffCurve(std::vector<Knot> knots);
+
+  /// Efficiency at `bytes`; 1.0 for an empty curve.
+  double at(std::uint64_t bytes) const;
+
+  bool empty() const { return knots_.empty(); }
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+}  // namespace han::machine

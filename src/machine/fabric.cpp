@@ -1,0 +1,65 @@
+#include "machine/fabric.hpp"
+
+#include "simbase/assert.hpp"
+
+namespace han::machine {
+
+ClusterFabric::ClusterFabric(net::FlowNet& net,
+                             const MachineProfile& profile)
+    : numa_per_node_(profile.numa_per_node) {
+  HAN_ASSERT(profile.nodes > 0 && profile.procs_per_node > 0);
+  HAN_ASSERT(numa_per_node_ >= 1);
+  fabric_ = net.add_resource(
+      "fabric", profile.bisection_factor * profile.nodes *
+                    profile.nic_bandwidth);
+  membus_.reserve(static_cast<std::size_t>(profile.nodes) * numa_per_node_);
+  nic_tx_.reserve(profile.nodes);
+  nic_rx_.reserve(profile.nodes);
+  for (int n = 0; n < profile.nodes; ++n) {
+    const std::string suffix = std::to_string(n);
+    for (int d = 0; d < numa_per_node_; ++d) {
+      membus_.push_back(net.add_resource(
+          "membus" + suffix + "." + std::to_string(d),
+          profile.membus_bandwidth));
+    }
+    if (numa_per_node_ > 1) {
+      HAN_ASSERT_MSG(profile.inter_numa_bandwidth > 0.0,
+                     "NUMA profile needs an inter-socket link bandwidth");
+      numa_link_.push_back(net.add_resource("numalink" + suffix,
+                                            profile.inter_numa_bandwidth));
+    }
+    nic_tx_.push_back(
+        net.add_resource("nic_tx" + suffix, profile.nic_bandwidth));
+    nic_rx_.push_back(
+        net.add_resource("nic_rx" + suffix, profile.nic_bandwidth));
+  }
+}
+
+void ClusterFabric::inter_path(int src_node, int dst_node,
+                               std::vector<net::ResourceId>& out) const {
+  HAN_ASSERT(src_node != dst_node);
+  out.clear();
+  out.push_back(nic_tx_.at(src_node));
+  out.push_back(fabric_);
+  out.push_back(nic_rx_.at(dst_node));
+  out.push_back(membus(src_node, 0));
+  out.push_back(membus(dst_node, 0));
+}
+
+void ClusterFabric::intra_path(int node, int numa,
+                               std::vector<net::ResourceId>& out) const {
+  out.clear();
+  out.push_back(membus(node, numa));
+}
+
+void ClusterFabric::pair_path(int node, int numa_a, int numa_b,
+                              std::vector<net::ResourceId>& out) const {
+  out.clear();
+  out.push_back(membus(node, numa_a));
+  if (numa_a != numa_b) {
+    out.push_back(membus(node, numa_b));
+    out.push_back(numa_link_.at(node));
+  }
+}
+
+}  // namespace han::machine

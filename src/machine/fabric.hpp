@@ -1,0 +1,59 @@
+// Instantiates the FlowNet resources of a machine profile.
+//
+// Per node: one memory bus per NUMA domain (plus an inter-socket link when
+// the profile has more than one domain), one NIC transmit lane, one NIC
+// receive lane (full duplex — this is what lets HAN's `ir` and `ib`
+// overlap in opposite directions, paper Fig. 6). Globally: one fabric
+// resource at bisection bandwidth, which produces congestion when many
+// node pairs communicate at once.
+#pragma once
+
+#include <vector>
+
+#include "flownet/flownet.hpp"
+#include "machine/machine.hpp"
+
+namespace han::machine {
+
+class ClusterFabric {
+ public:
+  ClusterFabric(net::FlowNet& net, const MachineProfile& profile);
+
+  net::ResourceId membus(int node, int numa = 0) const {
+    return membus_.at(static_cast<std::size_t>(node) * numa_per_node_ +
+                      numa);
+  }
+  /// Inter-socket link of a node; only valid with numa_per_node > 1.
+  net::ResourceId numa_link(int node) const { return numa_link_.at(node); }
+  net::ResourceId nic_tx(int node) const { return nic_tx_.at(node); }
+  net::ResourceId nic_rx(int node) const { return nic_rx_.at(node); }
+  net::ResourceId fabric() const { return fabric_; }
+  int numa_per_node() const { return numa_per_node_; }
+
+  /// Resource set of an inter-node transfer src_node → dst_node: sender
+  /// NIC tx, fabric, receiver NIC rx, and the NIC-attached (domain 0)
+  /// memory buses (the DMA on each end consumes bus bandwidth, which is
+  /// the physical cause of the imperfect ib/sb overlap the paper measures
+  /// in Fig. 2).
+  void inter_path(int src_node, int dst_node,
+                  std::vector<net::ResourceId>& out) const;
+
+  /// Resource set of an intra-node copy on `node`, domain `numa`.
+  void intra_path(int node, int numa,
+                  std::vector<net::ResourceId>& out) const;
+
+  /// Resource set of a transfer between two domains of one node: both
+  /// buses plus the inter-socket link when the domains differ.
+  void pair_path(int node, int numa_a, int numa_b,
+                 std::vector<net::ResourceId>& out) const;
+
+ private:
+  int numa_per_node_ = 1;
+  net::ResourceId fabric_ = 0;
+  std::vector<net::ResourceId> membus_;     // node-major, numa-minor
+  std::vector<net::ResourceId> numa_link_;  // per node (empty if 1 domain)
+  std::vector<net::ResourceId> nic_tx_;
+  std::vector<net::ResourceId> nic_rx_;
+};
+
+}  // namespace han::machine

@@ -1,0 +1,92 @@
+// Machine profiles: the synthetic stand-ins for the paper's two testbeds.
+//
+// "aries"  ≈ Shaheen II — Cray XC40, 32 cores/node, Aries dragonfly fabric.
+// "opath"  ≈ Stampede2 — Skylake, 48 cores/node, Omni-Path fabric.
+//
+// Profiles carry the physical parameters the simulator needs (latencies,
+// per-direction NIC bandwidth, memory-bus bandwidth, per-core copy and
+// reduction throughput, protocol thresholds). Per-MPI-implementation P2P
+// efficiency curves live here too because they are a property of how a
+// stack drives the machine (Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/effcurve.hpp"
+#include "simbase/units.hpp"
+
+namespace han::machine {
+
+/// Point-to-point protocol parameters of an MPI stack on a machine.
+struct P2pParams {
+  std::uint64_t eager_limit = 8 << 10;  // eager→rendezvous switch, bytes
+  sim::Time send_overhead = 0.0;        // CPU occupancy per message send
+  sim::Time recv_overhead = 0.0;        // CPU occupancy per message receive
+  sim::Time match_overhead = 0.0;       // CPU occupancy to match an RTS
+  sim::Time rndv_rtt_extra = 0.0;       // extra handshake delay (RTS+CTS)
+  EffCurve net_efficiency;              // inter-node bandwidth efficiency
+};
+
+struct MachineProfile {
+  std::string name;
+  int nodes = 0;
+  int procs_per_node = 0;
+
+  // Inter-node network.
+  sim::Time net_latency = 0.0;     // one-way wire+stack latency
+  double nic_bandwidth = 0.0;      // per direction, bytes/sec (full duplex)
+  double bisection_factor = 1.0;   // fabric capacity = factor*nodes*nic_bw
+
+  // Intra-node memory system.
+  sim::Time shm_latency = 0.0;     // shared-memory signalling latency
+  double membus_bandwidth = 0.0;   // per-node shared bus, bytes/sec
+  double core_copy_bandwidth = 0.0;  // single-core memcpy, bytes/sec
+
+  // Optional third hardware level (paper future work: "an increased
+  // number of hardware levels"). With numa_per_node > 1 the node's memory
+  // bus splits into per-domain buses joined by an inter-socket link; all
+  // cross-domain traffic (shm pipes, one-sided reads) pays the link.
+  int numa_per_node = 1;
+  double inter_numa_bandwidth = 0.0;   // UPI/xGMI class link, bytes/sec
+  sim::Time inter_numa_latency = 0.0;  // extra hop latency across domains
+
+  // Reduction arithmetic throughput (bytes of input reduced per second).
+  double reduce_bandwidth_scalar = 0.0;
+  double reduce_bandwidth_avx = 0.0;
+
+  /// Measurement noise: each CPU occupancy (protocol overheads, compute,
+  /// reductions) is scaled by a deterministic pseudo-random factor in
+  /// [1-jitter, 1+jitter]. 0 (default) = perfectly repeatable timings;
+  /// small values make the task benchmark's iteration averaging
+  /// meaningful, as on real machines.
+  double jitter = 0.0;
+
+  // P2P protocol parameters for the Open MPI-based stacks (HAN, tuned,
+  // libnbc, adapt). Vendor comparators override these — see vendor/.
+  P2pParams ompi_p2p;
+
+  int total_procs() const { return nodes * procs_per_node; }
+};
+
+/// Shaheen II-like profile. `nodes`/`ppn` default to the paper's 4096-proc
+/// configuration (128 x 32) but can be scaled down for tests.
+MachineProfile make_aries(int nodes = 128, int ppn = 32);
+
+/// Stampede2-like profile (paper: 32 x 48 = 1536 procs).
+MachineProfile make_opath(int nodes = 32, int ppn = 48);
+
+/// Split a profile's nodes into `domains` NUMA domains: per-domain buses
+/// get an equal share of the node bus, joined by an inter-socket link.
+/// `ppn` must divide evenly by `domains`.
+MachineProfile with_numa(MachineProfile profile, int domains);
+
+/// Open MPI efficiency curve used on both machines: dips between 16KB and
+/// 512KB where the rendezvous pipeline is not yet saturated (Fig. 11).
+EffCurve ompi_net_efficiency();
+
+/// Vendor-quality efficiency curve: the same peak, but a much flatter
+/// mid-range (Cray/Intel tuned pipelines).
+EffCurve vendor_net_efficiency();
+
+}  // namespace han::machine

@@ -1,0 +1,32 @@
+// Lightweight assertion macros for the HAN reproduction.
+//
+// The simulator is deterministic; an invariant violation is always a
+// programming error, never a data-dependent condition, so we abort with a
+// readable message instead of throwing across the event loop.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace han::sim::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "HAN_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace han::sim::detail
+
+#define HAN_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::han::sim::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define HAN_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::han::sim::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,34 @@
+#include "simbase/engine.hpp"
+
+namespace han::sim {
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    queue_.pop();
+    auto cancelled = cancelled_.find(top.seq);
+    if (cancelled != cancelled_.end()) {
+      cancelled_.erase(cancelled);
+      callbacks_.erase(top.seq);
+      continue;
+    }
+    auto it = callbacks_.find(top.seq);
+    HAN_ASSERT(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.t;
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace han::sim

@@ -1,0 +1,94 @@
+// Deterministic discrete-event engine.
+//
+// The entire simulated cluster — P2P protocol steps, CPU progression lanes,
+// fluid-flow completions, rank-program coroutine resumptions — runs on one
+// of these. Determinism contract: events at equal timestamps fire in
+// scheduling order (FIFO tie-break via a monotonically increasing sequence
+// number), so a given workload always produces bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "simbase/assert.hpp"
+#include "simbase/units.hpp"
+
+namespace han::sim {
+
+/// Handle for a scheduled event; usable with Engine::cancel().
+struct EventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute simulated time `t` (>= now).
+  EventId schedule_at(Time t, Callback cb) {
+    HAN_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(Entry{t, seq});
+    callbacks_.emplace(seq, std::move(cb));
+    return EventId{seq};
+  }
+
+  /// Schedule `cb` to run `dt` seconds from now.
+  EventId schedule_after(Time dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Best-effort cancellation: the event is dropped when it reaches the
+  /// head of the queue. Cancelling an already-fired event is a no-op.
+  void cancel(EventId id) { cancelled_.insert(id.seq); }
+
+  /// Run the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until no events remain.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run events with timestamp <= `deadline`; afterwards now() == deadline
+  /// if the simulation reached it.
+  void run_until(Time deadline);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  // Callbacks live out-of-heap keyed by seq so heap sift operations move
+  // 16-byte entries instead of std::function state.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace han::sim

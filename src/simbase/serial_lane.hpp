@@ -1,0 +1,41 @@
+// SerialLane: FIFO execution lane for resources that process one operation
+// at a time — a NIC injection engine, the single core of a single-threaded
+// MPI process. Tasks run in submission order; each must invoke its release
+// callback exactly once to free the lane.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+namespace han::sim {
+
+class SerialLane {
+ public:
+  /// `task` runs when the lane frees up; it must eventually invoke the
+  /// passed release callback exactly once.
+  using Task = std::function<void(std::function<void()> release)>;
+
+  void submit(Task task) {
+    queue_.push_back(std::move(task));
+    if (!busy_) pump();
+  }
+
+  bool busy() const { return busy_; }
+
+ private:
+  void pump() {
+    if (queue_.empty()) {
+      busy_ = false;
+      return;
+    }
+    busy_ = true;
+    Task t = std::move(queue_.front());
+    queue_.pop_front();
+    t([this] { pump(); });
+  }
+
+  bool busy_ = false;
+  std::deque<Task> queue_;
+};
+
+}  // namespace han::sim

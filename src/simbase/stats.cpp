@@ -1,0 +1,26 @@
+#include "simbase/stats.hpp"
+
+#include <numeric>
+
+namespace han::sim {
+
+double quantile(std::span<const double> values, double q) {
+  HAN_ASSERT(!values.empty());
+  HAN_ASSERT(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> values) {
+  HAN_ASSERT(!values.empty());
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace han::sim

@@ -1,0 +1,47 @@
+#include "simbase/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace han::sim {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[96];
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    out += "{\"ph\":\"X\",\"pid\":0,\"tid\":";
+    out += std::to_string(s.tid);
+    out += ",\"cat\":\"";
+    append_escaped(out, s.cat);
+    out += "\",\"name\":\"";
+    append_escaped(out, s.name);
+    std::snprintf(buf, sizeof(buf), "\",\"ts\":%.3f,\"dur\":%.3f}",
+                  s.start * 1e6, s.duration * 1e6);
+    out += buf;
+    if (i + 1 < spans_.size()) out += ',';
+    out += '\n';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool Tracer::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_chrome_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace han::sim

@@ -1,0 +1,45 @@
+// Execution tracing: collects (rank, category, name, start, duration)
+// spans of simulated activity and exports Chrome trace-event JSON —
+// loadable in chrome://tracing or Perfetto to inspect how a collective's
+// tasks pipeline and overlap (the visual counterpart of paper Fig. 1/5).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simbase/units.hpp"
+
+namespace han::sim {
+
+class Tracer {
+ public:
+  struct Span {
+    int tid = 0;  // simulated world rank
+    std::string cat;
+    std::string name;
+    Time start = 0.0;
+    Time duration = 0.0;
+  };
+
+  void span(int tid, std::string_view cat, std::string_view name, Time start,
+            Time end) {
+    spans_.push_back(Span{tid, std::string(cat), std::string(name), start,
+                          end - start});
+  }
+
+  std::size_t size() const { return spans_.size(); }
+  void clear() { spans_.clear(); }
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Chrome trace-event JSON ("X" complete events, microsecond units).
+  std::string to_chrome_json() const;
+
+  /// Best-effort file write; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace han::sim

@@ -1,0 +1,52 @@
+// Communicators over simulated world ranks.
+//
+// A Comm is a globally visible object (every simulated process sees the
+// same instance — the simulator has a god's-eye view), but all P2P and
+// collective traffic is still addressed per-rank, so algorithms read
+// exactly like their Open MPI counterparts.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "simbase/assert.hpp"
+
+namespace han::mpi {
+
+class Comm {
+ public:
+  Comm(int context, std::vector<int> world_ranks)
+      : context_(context), world_ranks_(std::move(world_ranks)) {
+    for (int i = 0; i < static_cast<int>(world_ranks_.size()); ++i) {
+      to_comm_rank_.emplace(world_ranks_[i], i);
+    }
+  }
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int size() const { return static_cast<int>(world_ranks_.size()); }
+
+  /// Matching-context id; message envelopes carry it (MPI context_id).
+  int context() const { return context_; }
+
+  int world_rank(int comm_rank) const {
+    HAN_ASSERT(comm_rank >= 0 && comm_rank < size());
+    return world_ranks_[comm_rank];
+  }
+
+  /// Comm rank of a world rank, or -1 when not a member.
+  int comm_rank_of_world(int world_rank) const {
+    auto it = to_comm_rank_.find(world_rank);
+    return it == to_comm_rank_.end() ? -1 : it->second;
+  }
+
+  std::span<const int> world_ranks() const { return world_ranks_; }
+
+ private:
+  int context_;
+  std::vector<int> world_ranks_;
+  std::unordered_map<int, int> to_comm_rank_;
+};
+
+}  // namespace han::mpi

@@ -1,0 +1,49 @@
+// Single-threaded MPI progression model.
+//
+// Each simulated process owns one CpuLane: a FIFO of CPU occupancies.
+// Per-message send/recv/match overheads, reduction arithmetic, AND
+// shared-memory copies (a memcpy is CPU work!) all run through the lane,
+// so two operations progressing "concurrently" on one rank serialize
+// their CPU work — the second cause (besides the shared memory bus) of
+// the imperfect ib/sb overlap the paper measures in Fig. 2.
+#pragma once
+
+#include <functional>
+
+#include "simbase/engine.hpp"
+#include "simbase/serial_lane.hpp"
+
+namespace han::mpi {
+
+class CpuLane {
+ public:
+  /// Occupy the CPU for `duration`, starting when the lane frees up;
+  /// `done` fires at the occupancy's end.
+  void exec(sim::Engine& engine, sim::Time duration,
+            std::function<void()> done) {
+    lane_.submit([&engine, duration, done = std::move(done)](
+                     std::function<void()> release) mutable {
+      engine.schedule_after(duration,
+                            [done = std::move(done),
+                             release = std::move(release)] {
+                              done();
+                              release();
+                            });
+    });
+  }
+
+  /// Occupy the CPU for an operation whose duration is only known at
+  /// completion (e.g. a memory-bus copy whose rate depends on
+  /// contention): `body` runs when the lane frees and must invoke the
+  /// release callback when the occupancy ends.
+  void exec_dynamic(sim::SerialLane::Task body) {
+    lane_.submit(std::move(body));
+  }
+
+  bool busy() const { return lane_.busy(); }
+
+ private:
+  sim::SerialLane lane_;
+};
+
+}  // namespace han::mpi

@@ -1,0 +1,58 @@
+// Nonblocking-operation handles.
+//
+// A Request wraps a Waitable; rank programs `co_await *req`, schedules
+// subscribe completion callbacks. Requests are shared_ptr-owned because a
+// completion may outlive the issuing scope (e.g. an eagerly-buffered send).
+#pragma once
+
+#include <memory>
+
+#include "simbase/cotask.hpp"
+
+namespace han::mpi {
+
+class RequestState : public sim::Waitable {
+ public:
+  using sim::Waitable::Waitable;
+};
+
+using Request = std::shared_ptr<RequestState>;
+
+inline Request make_request(sim::Engine& engine) {
+  return std::make_shared<RequestState>(engine);
+}
+
+/// Awaitable that completes when every request in the set completes.
+/// Usage: `co_await wait_all(engine, {r1, r2});`
+class WaitAll {
+ public:
+  WaitAll(sim::Engine& engine, std::vector<Request> reqs)
+      : gate_(std::make_shared<RequestState>(engine)) {
+    auto remaining = std::make_shared<std::size_t>(0);
+    for (auto& r : reqs) {
+      if (!r->done()) ++*remaining;
+    }
+    if (*remaining == 0) {
+      gate_->complete();
+      return;
+    }
+    for (auto& r : reqs) {
+      if (r->done()) continue;
+      r->on_complete([gate = gate_, remaining] {
+        if (--*remaining == 0) gate->complete();
+      });
+    }
+  }
+
+  auto operator co_await() { return gate_->operator co_await(); }
+  Request gate() const { return gate_; }
+
+ private:
+  Request gate_;
+};
+
+inline WaitAll wait_all(sim::Engine& engine, std::vector<Request> reqs) {
+  return WaitAll(engine, std::move(reqs));
+}
+
+}  // namespace han::mpi

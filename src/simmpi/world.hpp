@@ -1,0 +1,232 @@
+// SimWorld: one simulated cluster run.
+//
+// Owns the event engine, the fluid-flow network, the machine fabric, the
+// per-process state (CPU lane, node placement), communicator management,
+// and the tag-matched P2P layer (eager + rendezvous protocols). Rank
+// programs are C++20 coroutines spawned one per world rank; `run()` drives
+// the engine until every program returns.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "flownet/flownet.hpp"
+#include "machine/fabric.hpp"
+#include "machine/machine.hpp"
+#include "simbase/cotask.hpp"
+#include "simbase/engine.hpp"
+#include "simmpi/buffer.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/cpulane.hpp"
+#include "simbase/rng.hpp"
+#include "simmpi/request.hpp"
+
+namespace han::mpi {
+
+using Tag = std::int64_t;
+
+/// Per-process simulated state.
+struct Rank {
+  int world_rank = 0;
+  int node = 0;
+  int local_rank = 0;  // rank within the node
+  int numa = 0;        // NUMA domain within the node
+  CpuLane cpu;
+};
+
+// NIC injection and shm-pipe transfers are FIFO-serialized per sender via
+// sim::SerialLane: message i's last byte leaves before message i+1 starts.
+// Without this, the fluid model would let N concurrent segments fair-share
+// and all complete simultaneously, destroying the pipelining every
+// segmented algorithm depends on.
+using sim::SerialLane;
+
+/// Zero-cost rendezvous among a fixed set of parties; used by benchmark
+/// harnesses to align rank start times (IMB inserts a barrier between
+/// iterations). Not an MPI barrier — it consumes no simulated resources.
+class SyncDomain {
+ public:
+  SyncDomain(sim::Engine& engine, int parties)
+      : engine_(&engine), parties_(parties) {
+    HAN_ASSERT(parties > 0);
+  }
+
+  /// Each party calls once per round; the returned request completes when
+  /// all `parties` have arrived.
+  Request arrive();
+
+ private:
+  sim::Engine* engine_;
+  int parties_;
+  int arrived_ = 0;
+  Request round_;
+};
+
+class SimWorld {
+ public:
+  struct Options {
+    bool data_mode = false;  // carry real payloads (tests) or timing-only
+    /// Override the profile's Open MPI P2P parameters (vendor stacks).
+    const machine::P2pParams* p2p_override = nullptr;
+    /// Seed of the deterministic jitter stream (profile.jitter > 0).
+    std::uint64_t jitter_seed = 0x5EEDull;
+  };
+
+  SimWorld(machine::MachineProfile profile, Options options);
+  explicit SimWorld(machine::MachineProfile profile)
+      : SimWorld(std::move(profile), Options()) {}
+
+  sim::Engine& engine() { return engine_; }
+  net::FlowNet& flownet() { return flownet_; }
+  /// Resource handles (failure injection, diagnostics).
+  machine::ClusterFabric& fabric() { return fabric_; }
+  const machine::MachineProfile& profile() const { return profile_; }
+  const machine::P2pParams& p2p() const { return p2p_; }
+  bool data_mode() const { return options_.data_mode; }
+
+  int world_size() const { return profile_.total_procs(); }
+  Rank& rank(int world_rank) { return ranks_.at(world_rank); }
+  sim::Time now() const { return engine_.now(); }
+
+  // --- Communicators -----------------------------------------------------
+
+  Comm& world_comm() { return *world_comm_; }
+
+  /// MPI_Comm_split: `color`/`key` indexed by parent comm rank. Returns the
+  /// new communicator of each parent rank (ranks sharing a color share the
+  /// pointer). Color -1 (MPI_UNDEFINED) yields nullptr.
+  std::vector<Comm*> comm_split(const Comm& parent, std::span<const int> color,
+                                std::span<const int> key);
+
+  /// MPI_Comm_split_type(SHARED): groups parent ranks by physical node.
+  std::vector<Comm*> comm_split_shared(const Comm& parent);
+
+  /// Allocate a fresh matching context (used by collective executors to
+  /// isolate their traffic from application P2P on the same comm).
+  int next_context() { return next_context_++; }
+
+  // --- P2P ----------------------------------------------------------------
+
+  /// Nonblocking send from comm rank `src` to comm rank `dst`. The request
+  /// completes when the payload has left the sender (eager) or when the
+  /// rendezvous transfer finishes.
+  Request isend(const Comm& comm, int src, int dst, Tag tag, BufView buf);
+
+  /// Same, but with an explicit matching context (collective traffic).
+  Request isend_ctx(const Comm& comm, int ctx, int src, int dst, Tag tag,
+                    BufView buf);
+
+  Request irecv(const Comm& comm, int dst, int src, Tag tag, BufView buf);
+  Request irecv_ctx(const Comm& comm, int ctx, int dst, int src, Tag tag,
+                    BufView buf);
+
+  // --- Local primitives used by collective modules ------------------------
+
+  /// One memory-bus copy of `bytes` on `world_rank`'s node (shared-memory
+  /// collective data movement). Completes the returned request when done.
+  /// `cap` bounds the copy rate; pass 0 for the single-core copy bandwidth.
+  Request copy_flow(int world_rank, std::size_t bytes, double cap = 0.0);
+
+  /// Copy that reads another rank's memory (shared-memory window access).
+  /// Charges the reader's bus — plus the peer's bus and the inter-socket
+  /// link when the two ranks sit in different NUMA domains.
+  Request copy_flow_pair(int world_rank, int peer_world, std::size_t bytes,
+                         double cap = 0.0);
+
+  /// Occupy the rank's CPU for `seconds`.
+  Request compute(int world_rank, sim::Time seconds);
+
+  /// Reduction arithmetic on `bytes` of input (CPU-bound; AVX or scalar
+  /// per the machine profile). Data application is the caller's job.
+  Request reduce_compute(int world_rank, std::size_t bytes, bool avx);
+
+  // --- Programs -----------------------------------------------------------
+
+  using Program = std::function<sim::CoTask(Rank&)>;
+
+  /// Spawn `program` on every world rank and run the engine until all
+  /// programs return. May be called repeatedly (simulated time accumulates).
+  void run(const Program& program);
+
+  /// Run the engine until quiescent (no further events).
+  void run_to_quiescence() { engine_.run(); }
+
+  /// World-wide zero-cost sync (see SyncDomain).
+  Request sync() { return world_sync_->arrive(); }
+
+  /// Total messages sent so far (diagnostics).
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  struct PostedRecv {
+    int ctx;
+    int src_world;
+    Tag tag;
+    BufView buf;
+    Request req;
+    std::uint64_t order;
+  };
+
+  struct ArrivedMsg {
+    int ctx;
+    int src_world;
+    int dst_world;
+    Tag tag;
+    std::size_t bytes;
+    std::shared_ptr<std::vector<std::byte>> payload;  // null timing-only
+    bool rndv = false;
+    Request send_req;  // rendezvous: completes when the data flow finishes
+    std::uint64_t order;
+  };
+
+  struct RankMatch {
+    std::deque<PostedRecv> posted;
+    std::deque<ArrivedMsg> unexpected;
+  };
+
+  sim::Time path_latency(int src_world, int dst_world) const;
+
+  /// Scale a CPU occupancy by the profile's jitter (identity when 0).
+  sim::Time jittered(sim::Time t) {
+    if (profile_.jitter <= 0.0) return t;
+    return t * (1.0 + profile_.jitter * (2.0 * jitter_rng_.next_double() - 1.0));
+  }
+  bool same_node(int a, int b) const {
+    return ranks_[a].node == ranks_[b].node;
+  }
+
+  /// Start the bulk-data movement for a message and invoke `done` when the
+  /// last byte lands. Chooses shm vs network path and applies the
+  /// efficiency curve.
+  void start_data_flow(int src_world, int dst_world, std::size_t bytes,
+                       std::function<void()> done);
+
+  void deliver(ArrivedMsg msg);
+  void match_eager(const ArrivedMsg& msg, PostedRecv& pr);
+  void start_rendezvous(const ArrivedMsg& msg, PostedRecv pr);
+
+  machine::MachineProfile profile_;
+  Options options_;
+  machine::P2pParams p2p_;
+  sim::Engine engine_;
+  net::FlowNet flownet_;
+  machine::ClusterFabric fabric_;
+  std::vector<Rank> ranks_;
+  std::deque<std::unique_ptr<Comm>> comms_;
+  Comm* world_comm_ = nullptr;
+  int next_context_ = 0;
+  std::vector<RankMatch> matching_;
+  std::uint64_t match_order_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::unique_ptr<SyncDomain> world_sync_;
+  sim::Rng jitter_rng_;
+  // Per-rank FIFO engines: NIC injection order and the single memcpy core.
+  std::vector<SerialLane> net_tx_lane_;
+  std::vector<SerialLane> copy_lane_;
+  std::vector<net::ResourceId> path_scratch_;
+};
+
+}  // namespace han::mpi

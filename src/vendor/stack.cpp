@@ -1,0 +1,333 @@
+#include "vendor/stack.hpp"
+
+#include <cstring>
+
+namespace han::vendor {
+
+using coll::Algorithm;
+using coll::CollConfig;
+using mpi::BufView;
+using mpi::Request;
+
+namespace {
+
+mpi::SimWorld::Options world_options(const machine::P2pParams* p2p,
+                                     bool data_mode) {
+  mpi::SimWorld::Options o;
+  o.data_mode = data_mode;
+  o.p2p_override = p2p;
+  return o;
+}
+
+}  // namespace
+
+MpiStack::MpiStack(std::string name, machine::MachineProfile profile,
+                   const machine::P2pParams* p2p_override, bool data_mode)
+    : name_(std::move(name)),
+      world_(std::move(profile), world_options(p2p_override, data_mode)),
+      rt_(world_),
+      mods_(world_, rt_) {}
+
+// --- default Open MPI -------------------------------------------------------
+
+OmpiStack::OmpiStack(machine::MachineProfile profile, bool data_mode)
+    : MpiStack("ompi", std::move(profile), nullptr, data_mode) {}
+
+Request OmpiStack::ibcast(int rank, int root, BufView buf,
+                          mpi::Datatype dtype) {
+  return mods_.tuned().ibcast(world_.world_comm(), rank, root, buf, dtype,
+                              CollConfig{});
+}
+
+Request OmpiStack::iallreduce(int rank, BufView send, BufView recv,
+                              mpi::Datatype dtype, mpi::ReduceOp op) {
+  return mods_.tuned().iallreduce(world_.world_comm(), rank, send, recv,
+                                  dtype, op, CollConfig{});
+}
+
+// --- HAN ---------------------------------------------------------------------
+
+HanStack::HanStack(machine::MachineProfile profile, bool data_mode)
+    : MpiStack("han", std::move(profile), nullptr, data_mode),
+      han_(std::make_unique<core::HanModule>(world_, rt_, mods_)) {}
+
+tune::TuneReport HanStack::autotune(const tune::TunerOptions& options) {
+  tune::Tuner tuner(world_, *han_, world_.world_comm());
+  tune::TuneReport report = tuner.tune(options);
+  tuner.install(report.table);
+  return report;
+}
+
+Request HanStack::ibcast(int rank, int root, BufView buf,
+                         mpi::Datatype dtype) {
+  return han_->ibcast(world_.world_comm(), rank, root, buf, dtype,
+                      CollConfig{});
+}
+
+Request HanStack::iallreduce(int rank, BufView send, BufView recv,
+                             mpi::Datatype dtype, mpi::ReduceOp op) {
+  return han_->iallreduce(world_.world_comm(), rank, send, recv, dtype, op,
+                          CollConfig{});
+}
+
+// --- SMP-aware vendor stacks --------------------------------------------------
+
+SmpVendorStack::SmpVendorStack(std::string name,
+                               machine::MachineProfile profile,
+                               const machine::P2pParams& p2p,
+                               VendorParams params, bool data_mode)
+    : MpiStack(std::move(name), std::move(profile), &p2p, data_mode),
+      params_(params) {
+  hc_ = std::make_unique<core::HanComm>(world_, world_.world_comm());
+}
+
+coll::CollModule& SmpVendorStack::intra_module(std::size_t bytes) {
+  // Vendors ship well-tuned shm collectives; model as an internal
+  // SM-vs-SOLO size switch.
+  if (bytes >= params_.intra_solo_threshold) return mods_.solo();
+  return mods_.sm();
+}
+
+namespace {
+
+/// Two-level blocking bcast: whole-message inter phase into node leaders,
+/// then the intra phase — sequential levels, no overlap (the structural
+/// reason HAN overtakes vendors on large messages, Fig. 10).
+sim::CoTask smp_bcast(SmpVendorStack& stack, core::HanComm& hc,
+                      coll::CollModule& intra, coll::CollModule& inter,
+                      const SmpVendorStack::VendorParams& params, int me,
+                      int root, BufView buf, mpi::Datatype dtype,
+                      Request done) {
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.low_rank(root);
+  const bool has_intra = low.size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+
+  if (has_inter && me_low == root_low) {
+    const bool large = buf.bytes >= params.large_bcast_threshold;
+    const CollConfig icfg{
+        large ? params.inter_bcast_alg_large : params.inter_bcast_alg,
+        large ? params.inter_segment_large : params.inter_segment};
+    co_await *inter.ibcast(*hc.up(me), hc.up_rank(me), hc.up_rank(root), buf,
+                           dtype, icfg);
+  }
+  if (has_intra) {
+    co_await *intra.ibcast(low, me_low, root_low, buf, dtype, CollConfig{});
+  }
+  (void)stack;
+  done->complete();
+}
+
+/// Two-level blocking allreduce: intra reduce → inter allreduce among
+/// leaders (recursive doubling, or SALaR-style ring for large messages) →
+/// intra bcast.
+sim::CoTask smp_allreduce(SmpVendorStack& stack, mpi::SimWorld& w,
+                          core::HanComm& hc, coll::CollModule& intra,
+                          coll::CollModule& inter,
+                          const SmpVendorStack::VendorParams& params, int me,
+                          BufView send, BufView recv, mpi::Datatype dtype,
+                          mpi::ReduceOp op, Request done) {
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_intra = low.size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+
+  if (!has_inter) {
+    if (has_intra) {
+      co_await *intra.iallreduce(low, me_low, send, recv, dtype, op,
+                                 CollConfig{});
+    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    done->complete();
+    co_return;
+  }
+
+  const bool ring = params.ring_inter_allreduce &&
+                    send.bytes >= params.ring_threshold &&
+                    hc.up(me)->size() >= 4;
+  const bool segmented = ring && has_intra && params.salar_segment > 0 &&
+                         send.bytes > params.salar_segment;
+
+  if (!segmented) {
+    // Phase 1: intra-node reduction into the leader's recv buffer.
+    if (has_intra) {
+      co_await *intra.ireduce(low, me_low, /*root=*/0, send, recv, dtype, op,
+                              CollConfig{});
+    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    // Phase 2: leaders run the inter-node allreduce in place.
+    if (me_low == 0) {
+      const mpi::Comm& up = *hc.up(me);
+      if (ring) {
+        // SALaR-style bandwidth-optimal ring among leaders with
+        // vectorized reductions (in place).
+        co_await *stack.ring_allreduce(up, hc.up_rank(me), recv, dtype, op);
+      } else {
+        co_await *inter.iallreduce(up, hc.up_rank(me), recv, recv, dtype, op,
+                                   CollConfig{});
+      }
+    }
+    // Phase 3: intra-node broadcast of the final value.
+    if (has_intra) {
+      co_await *intra.ibcast(low, me_low, /*root=*/0, recv, dtype,
+                             CollConfig{});
+    }
+    done->complete();
+    co_return;
+  }
+
+  // SALaR proper (paper ref [2]): segment the message and pipeline the
+  // three phases — intra reduce(i), leader ring(i-1), intra bcast(i-2) —
+  // which is what keeps MVAPICH2 competitive with HAN at the top message
+  // sizes (Fig. 14).
+  const coll::Segmenter segs(send.bytes, params.salar_segment, dtype);
+  const int u = segs.count();
+  for (int t = 0; t <= u + 1; ++t) {
+    std::vector<mpi::Request> task;
+    if (has_intra && t <= u - 1) {
+      task.push_back(intra.ireduce(
+          low, me_low, 0, send.slice(segs.offset(t), segs.length(t)),
+          recv.slice(segs.offset(t), segs.length(t)), dtype, op,
+          CollConfig{}));
+    }
+    if (me_low == 0 && t >= 1 && t - 1 <= u - 1) {
+      task.push_back(stack.ring_allreduce(
+          *hc.up(me), hc.up_rank(me),
+          recv.slice(segs.offset(t - 1), segs.length(t - 1)), dtype, op));
+    }
+    if (has_intra && t >= 2 && t - 2 <= u - 1) {
+      task.push_back(intra.ibcast(
+          low, me_low, 0, recv.slice(segs.offset(t - 2), segs.length(t - 2)),
+          dtype, CollConfig{}));
+    }
+    if (!task.empty()) co_await mpi::wait_all(w.engine(), std::move(task));
+  }
+  done->complete();
+}
+
+}  // namespace
+
+Request SmpVendorStack::ibcast(int rank, int root, BufView buf,
+                               mpi::Datatype dtype) {
+  Request done = mpi::make_request(world_.engine());
+  if (!params_.hierarchical_bcast) {
+    // MVAPICH2-like: hierarchy-unaware segmented binomial on the flat comm.
+    const CollConfig cfg{Algorithm::Binomial, 8 << 10};
+    mpi::Request r = mods_.tuned().ibcast(world_.world_comm(), rank, root,
+                                          buf, dtype, cfg);
+    r->on_complete([done] { done->complete(); });
+    return done;
+  }
+  smp_bcast(*this, *hc_, intra_module(buf.bytes), mods_.tuned(), params_,
+            rank, root, buf, dtype, done)
+      .start();
+  return done;
+}
+
+Request SmpVendorStack::ring_allreduce(const mpi::Comm& up, int me_up,
+                                       BufView buf, mpi::Datatype dtype,
+                                       mpi::ReduceOp op) {
+  coll::BuildSpec spec;
+  spec.bytes = buf.bytes;
+  spec.dtype = dtype;
+  spec.op = op;
+  spec.avx = true;
+  spec.op_setup = 0.5e-6;
+  const int n = up.size();
+  return rt_.start(
+      up, me_up, [n, spec] { return coll::build_ring_allreduce(n, spec); },
+      {buf, buf});
+}
+
+Request SmpVendorStack::iallreduce(int rank, BufView send, BufView recv,
+                                   mpi::Datatype dtype, mpi::ReduceOp op) {
+  Request done = mpi::make_request(world_.engine());
+  smp_allreduce(*this, world_, *hc_, intra_module(send.bytes), mods_.tuned(),
+                params_, rank, send, recv, dtype, op, done)
+      .start();
+  return done;
+}
+
+// --- parameter sets ------------------------------------------------------------
+
+machine::P2pParams cray_p2p() {
+  machine::P2pParams p;
+  p.eager_limit = 8 << 10;
+  p.send_overhead = 0.22e-6;
+  p.recv_overhead = 0.22e-6;
+  p.match_overhead = 0.12e-6;
+  p.rndv_rtt_extra = 0.9e-6;
+  p.net_efficiency = machine::vendor_net_efficiency();
+  return p;
+}
+
+machine::P2pParams intel_p2p() {
+  machine::P2pParams p;
+  p.eager_limit = 8 << 10;
+  p.send_overhead = 0.26e-6;
+  p.recv_overhead = 0.26e-6;
+  p.match_overhead = 0.16e-6;
+  p.rndv_rtt_extra = 1.1e-6;
+  p.net_efficiency = machine::vendor_net_efficiency();
+  return p;
+}
+
+machine::P2pParams mvapich_p2p() {
+  machine::P2pParams p;
+  p.eager_limit = 8 << 10;
+  p.send_overhead = 0.28e-6;
+  p.recv_overhead = 0.28e-6;
+  p.match_overhead = 0.18e-6;
+  p.rndv_rtt_extra = 1.2e-6;
+  p.net_efficiency = machine::vendor_net_efficiency();
+  return p;
+}
+
+std::unique_ptr<MpiStack> make_stack(const std::string& name,
+                                     machine::MachineProfile profile,
+                                     bool data_mode) {
+  if (name == "ompi") {
+    return std::make_unique<OmpiStack>(std::move(profile), data_mode);
+  }
+  if (name == "han") {
+    return std::make_unique<HanStack>(std::move(profile), data_mode);
+  }
+  if (name == "cray") {
+    SmpVendorStack::VendorParams p;
+    p.inter_bcast_alg = Algorithm::Binomial;
+    p.inter_segment = 64 << 10;
+    p.intra_solo_threshold = 128 << 10;
+    p.ring_inter_allreduce = true;  // Cray's strong large-msg allreduce
+    p.ring_threshold = 512 << 10;
+    p.salar_segment = 8 << 20;      // shallow cross-phase pipelining
+    return std::make_unique<SmpVendorStack>("cray", std::move(profile),
+                                            cray_p2p(), p, data_mode);
+  }
+  if (name == "intel") {
+    SmpVendorStack::VendorParams p;
+    p.inter_bcast_alg = Algorithm::Binomial;
+    p.inter_segment = 32 << 10;
+    p.intra_solo_threshold = 256 << 10;
+    p.ring_inter_allreduce = true;
+    p.ring_threshold = 4 << 20;
+    p.salar_segment = 0;
+    return std::make_unique<SmpVendorStack>("intel", std::move(profile),
+                                            intel_p2p(), p, data_mode);
+  }
+  if (name == "mvapich") {
+    SmpVendorStack::VendorParams p;
+    p.hierarchical_bcast = false;  // Fig. 12: MVAPICH2 bcast lags badly
+    p.ring_inter_allreduce = true;  // Fig. 14: strong large-msg allreduce
+    p.ring_threshold = 1 << 20;
+    p.intra_solo_threshold = 256 << 10;
+    return std::make_unique<SmpVendorStack>("mvapich", std::move(profile),
+                                            mvapich_p2p(), p, data_mode);
+  }
+  HAN_ASSERT_MSG(false, "unknown MPI stack name");
+  return nullptr;
+}
+
+}  // namespace han::vendor

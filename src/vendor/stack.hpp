@@ -1,0 +1,136 @@
+// MpiStack: a complete simulated MPI installation — its own SimWorld (with
+// stack-specific P2P parameters), collective machinery, and top-level
+// Bcast/Allreduce entry points. The benchmark harnesses iterate over
+// stacks to produce the paper's comparison figures.
+//
+// Available stacks (paper §IV):
+//  * "ompi"    — default Open MPI: coll/tuned fixed decisions, flat trees.
+//  * "han"     — Open MPI + HAN (this paper), optionally autotuned.
+//  * "cray"    — Cray MPI 7.7.0 analogue (Shaheen II): excellent P2P,
+//                SMP-aware two-level collectives, no inter/intra overlap.
+//  * "intel"   — Intel MPI 18.0.2 analogue (Stampede2): good P2P,
+//                SMP-aware collectives.
+//  * "mvapich" — MVAPICH2 2.3.1 analogue (Stampede2): hierarchy-unaware
+//                bcast, SALaR-style multi-level allreduce (strong at large
+//                messages, Fig. 14).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "autotune/tuner.hpp"
+#include "han/han.hpp"
+
+namespace han::vendor {
+
+class MpiStack {
+ public:
+  MpiStack(std::string name, machine::MachineProfile profile,
+           const machine::P2pParams* p2p_override, bool data_mode = false);
+  virtual ~MpiStack() = default;
+  MpiStack(const MpiStack&) = delete;
+  MpiStack& operator=(const MpiStack&) = delete;
+
+  const std::string& name() const { return name_; }
+  mpi::SimWorld& world() { return world_; }
+  coll::ModuleSet& modules() { return mods_; }
+
+  /// Collectives on the stack's world communicator. Every rank calls.
+  virtual mpi::Request ibcast(int rank, int root, mpi::BufView buf,
+                              mpi::Datatype dtype) = 0;
+  virtual mpi::Request iallreduce(int rank, mpi::BufView send,
+                                  mpi::BufView recv, mpi::Datatype dtype,
+                                  mpi::ReduceOp op) = 0;
+
+ protected:
+  std::string name_;
+  mpi::SimWorld world_;
+  coll::CollRuntime rt_;
+  coll::ModuleSet mods_;
+};
+
+/// Default Open MPI: everything through coll/tuned on the flat world comm.
+class OmpiStack : public MpiStack {
+ public:
+  explicit OmpiStack(machine::MachineProfile profile, bool data_mode = false);
+  mpi::Request ibcast(int rank, int root, mpi::BufView buf,
+                      mpi::Datatype dtype) override;
+  mpi::Request iallreduce(int rank, mpi::BufView send, mpi::BufView recv,
+                          mpi::Datatype dtype, mpi::ReduceOp op) override;
+};
+
+/// Open MPI + HAN. Call autotune() once to replace the default decision
+/// heuristic with a task-model-tuned lookup table.
+class HanStack : public MpiStack {
+ public:
+  explicit HanStack(machine::MachineProfile profile, bool data_mode = false);
+
+  /// Offline autotuning (charges only this stack's simulated clock).
+  tune::TuneReport autotune(const tune::TunerOptions& options);
+
+  core::HanModule& han() { return *han_; }
+
+  mpi::Request ibcast(int rank, int root, mpi::BufView buf,
+                      mpi::Datatype dtype) override;
+  mpi::Request iallreduce(int rank, mpi::BufView send, mpi::BufView recv,
+                          mpi::Datatype dtype, mpi::ReduceOp op) override;
+
+ private:
+  std::unique_ptr<core::HanModule> han_;
+};
+
+/// SMP-aware vendor MPI: two-level collectives without cross-level
+/// pipelining (whole-message inter phase, then intra phase). The
+/// per-vendor differences are parameterized.
+class SmpVendorStack : public MpiStack {
+ public:
+  struct VendorParams {
+    coll::Algorithm inter_bcast_alg = coll::Algorithm::Binomial;
+    std::size_t inter_segment = 0;       // inter-phase segmentation
+    /// Large inter-node broadcasts switch to a pipelined chain (vendors
+    /// ship bandwidth-optimal large-message paths).
+    coll::Algorithm inter_bcast_alg_large = coll::Algorithm::Chain;
+    std::size_t large_bcast_threshold = 256 << 10;
+    std::size_t inter_segment_large = 64 << 10;
+    bool hierarchical_bcast = true;      // false: flat tree (MVAPICH2-like)
+    bool ring_inter_allreduce = false;   // SALaR-style large-message ring
+    std::size_t ring_threshold = 1 << 20;
+    /// SALaR pipelines its phases over large-message segments; 0 disables.
+    std::size_t salar_segment = 4 << 20;
+    std::size_t intra_solo_threshold = 256 << 10;  // sm below, solo above
+  };
+
+  SmpVendorStack(std::string name, machine::MachineProfile profile,
+                 const machine::P2pParams& p2p, VendorParams params,
+                 bool data_mode = false);
+
+  mpi::Request ibcast(int rank, int root, mpi::BufView buf,
+                      mpi::Datatype dtype) override;
+  mpi::Request iallreduce(int rank, mpi::BufView send, mpi::BufView recv,
+                          mpi::Datatype dtype, mpi::ReduceOp op) override;
+
+  /// SALaR-style ring allreduce on the leader communicator, AVX
+  /// reductions, in place.
+  mpi::Request ring_allreduce(const mpi::Comm& up, int me_up,
+                              mpi::BufView buf, mpi::Datatype dtype,
+                              mpi::ReduceOp op);
+
+ private:
+  coll::CollModule& intra_module(std::size_t bytes);
+
+  VendorParams params_;
+  std::unique_ptr<core::HanComm> hc_;  // reused two-level split
+};
+
+/// Vendor P2P parameter sets.
+machine::P2pParams cray_p2p();
+machine::P2pParams intel_p2p();
+machine::P2pParams mvapich_p2p();
+
+/// Factory: build the named stack on a machine profile. Names: ompi, han,
+/// cray, intel, mvapich.
+std::unique_ptr<MpiStack> make_stack(const std::string& name,
+                                     machine::MachineProfile profile,
+                                     bool data_mode = false);
+
+}  // namespace han::vendor

@@ -1,0 +1,79 @@
+// Shared helpers for collective-layer tests: run a collective across all
+// world ranks (optionally with per-rank start skew) and verify payloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "coll/registry.hpp"
+#include "coll/runtime.hpp"
+#include "simmpi/world.hpp"
+
+namespace han::test {
+
+/// A simulated world plus the collective machinery, in data mode by
+/// default so tests check real payloads.
+struct CollHarness {
+  explicit CollHarness(machine::MachineProfile profile, bool data_mode = true)
+      : world(std::move(profile),
+              [&] {
+                mpi::SimWorld::Options o;
+                o.data_mode = data_mode;
+                return o;
+              }()),
+        rt(world),
+        mods(world, rt) {}
+
+  mpi::SimWorld world;
+  coll::CollRuntime rt;
+  coll::ModuleSet mods;
+};
+
+/// Every rank issues `issue(rank)` (after an optional per-rank delay) and
+/// waits for the returned request. Returns per-rank completion times.
+inline std::vector<double> run_collective(
+    mpi::SimWorld& w,
+    const std::function<mpi::Request(mpi::Rank&)>& issue,
+    const std::function<double(int)>& delay = nullptr) {
+  std::vector<double> done(w.world_size(), -1.0);
+  w.run([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](mpi::SimWorld& w, mpi::Rank& rank,
+              const std::function<mpi::Request(mpi::Rank&)>& issue,
+              const std::function<double(int)>& delay,
+              std::vector<double>& done) -> sim::CoTask {
+      if (delay) co_await sim::Delay{w.engine(), delay(rank.world_rank)};
+      const double t0 = w.now();
+      mpi::Request r = issue(rank);
+      co_await *r;
+      done[rank.world_rank] = w.now() - t0;
+    }(w, rank, issue, delay, done);
+  });
+  return done;
+}
+
+/// Deterministic per-rank, per-element payload.
+inline std::int32_t pattern(int rank, std::size_t i) {
+  return static_cast<std::int32_t>(rank * 1000003 + static_cast<int>(i * 7));
+}
+
+inline std::vector<std::int32_t> pattern_vec(int rank, std::size_t count) {
+  std::vector<std::int32_t> v(count);
+  for (std::size_t i = 0; i < count; ++i) v[i] = pattern(rank, i);
+  return v;
+}
+
+/// Element-wise expected reduction over ranks [0, n).
+inline std::vector<std::int32_t> expected_reduce(mpi::ReduceOp op, int n,
+                                                 std::size_t count) {
+  std::vector<std::int32_t> acc = pattern_vec(0, count);
+  for (int r = 1; r < n; ++r) {
+    std::vector<std::int32_t> in = pattern_vec(r, count);
+    mpi::apply_reduce(op, mpi::Datatype::Int32,
+                      reinterpret_cast<std::byte*>(acc.data()),
+                      reinterpret_cast<const std::byte*>(in.data()), count);
+  }
+  return acc;
+}
+
+}  // namespace han::test

@@ -1,0 +1,334 @@
+// Autotuner tests: task benchmarks, cost models (eqs. 3/4), search
+// strategies, heuristics, and the lookup table.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "autotune/tuner.hpp"
+#include "coll_test_util.hpp"
+
+namespace han::tune {
+namespace {
+
+using coll::Algorithm;
+using coll::CollKind;
+using core::HanConfig;
+
+struct TuneHarness : test::CollHarness {
+  explicit TuneHarness(machine::MachineProfile profile)
+      : CollHarness(std::move(profile), /*data_mode=*/false),
+        han(world, rt, mods) {}
+  core::HanModule han;
+};
+
+HanConfig cfg_of(std::size_t fs, const char* imod, const char* smod,
+                 Algorithm alg, std::size_t iseg) {
+  HanConfig c;
+  c.fs = fs;
+  c.imod = imod;
+  c.smod = smod;
+  c.ibalg = alg;
+  c.iralg = alg;
+  c.ibs = iseg;
+  c.irs = iseg;
+  return c;
+}
+
+/// Small space so integration tests stay fast.
+SearchSpace small_space() {
+  SearchSpace s;
+  s.fs_sizes = {64 << 10, 256 << 10, 1 << 20};
+  s.adapt_algs = {Algorithm::Binary, Algorithm::Chain};
+  s.adapt_inter_segments = {64 << 10};
+  return s;
+}
+
+// --- plumbing math -------------------------------------------------------
+
+TEST(PerLeaderTest, MaxAvg) {
+  PerLeader p{std::vector<double>{1.0, 3.0, 2.0}};
+  EXPECT_DOUBLE_EQ(p.max(), 3.0);
+  EXPECT_DOUBLE_EQ(p.avg(), 2.0);
+}
+
+TEST(PipelineTraceTest, StabilizedAveragesTail) {
+  PipelineTrace t;
+  for (double v : {10.0, 5.0, 2.0, 2.2, 1.8}) {
+    t.steps.push_back(PerLeader{std::vector<double>{v}});
+  }
+  EXPECT_NEAR(t.stabilized(3).t[0], 2.0, 1e-12);
+}
+
+TEST(CostModel, BcastEq3) {
+  BcastTaskCosts c;
+  c.ib0 = PerLeader{{10.0, 12.0}};
+  c.sb0 = PerLeader{{3.0, 2.0}};
+  c.sbib_stable = PerLeader{{5.0, 4.0}};
+  // leader0: 10 + 7*5 + 3 = 48 ; leader1: 12 + 7*4 + 2 = 42.
+  EXPECT_DOUBLE_EQ(bcast_model_cost(c, 8), 48.0);
+  // u=1: no sbib steps.
+  EXPECT_DOUBLE_EQ(bcast_model_cost(c, 1), 14.0);
+}
+
+TEST(CostModel, AllreduceEq4) {
+  AllreduceTaskCosts c;
+  c.sr0 = PerLeader{{1.0}};
+  c.irsr = PerLeader{{2.0}};
+  c.ibirsr = PerLeader{{3.0}};
+  c.sbibirsr_stable = PerLeader{{4.0}};
+  c.sbibir = PerLeader{{3.0}};
+  c.sbib = PerLeader{{2.0}};
+  c.sb = PerLeader{{1.0}};
+  // u=10: 1+2+3 + 7*4 + 3+2+1 = 40.
+  EXPECT_DOUBLE_EQ(allreduce_model_cost(c, 10), 40.0);
+  // u=1: sr + drain only.
+  EXPECT_DOUBLE_EQ(allreduce_model_cost(c, 1), 7.0);
+}
+
+TEST(CostModel, FromTraceSplitsPhases) {
+  PipelineTrace t;
+  for (double v : {1.0, 2.0, 3.0, 9.0, 4.0, 4.0, 4.0, 3.0, 2.0, 1.0}) {
+    t.steps.push_back(PerLeader{std::vector<double>{v}});
+  }
+  const auto c = AllreduceTaskCosts::from_trace(t);
+  EXPECT_DOUBLE_EQ(c.sr0.t[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.irsr.t[0], 2.0);
+  EXPECT_DOUBLE_EQ(c.ibirsr.t[0], 3.0);
+  // Steps 4..6 average to 4 (step 3 skipped as pipeline fill).
+  EXPECT_DOUBLE_EQ(c.sbibirsr_stable.t[0], 4.0);
+  EXPECT_DOUBLE_EQ(c.sbibir.t[0], 3.0);
+  EXPECT_DOUBLE_EQ(c.sbib.t[0], 2.0);
+  EXPECT_DOUBLE_EQ(c.sb.t[0], 1.0);
+}
+
+// --- search space & heuristics --------------------------------------------
+
+TEST(SearchSpaceTest, EnumerationCount) {
+  SearchSpace s;
+  // Per fs x smod: libnbc (1) + adapt algs(3) x isegs(2) = 7.
+  EXPECT_EQ(s.enumerate(CollKind::Bcast).size(), 6u * 2u * 7u);
+}
+
+TEST(Heuristics, SoloNeedsBigSegments) {
+  EXPECT_FALSE(heuristic_allows(
+      cfg_of(64 << 10, "adapt", "solo", Algorithm::Binary, 0),
+      CollKind::Bcast, 4 << 20, 64));
+  EXPECT_TRUE(heuristic_allows(
+      cfg_of(1 << 20, "adapt", "solo", Algorithm::Binary, 0),
+      CollKind::Bcast, 4 << 20, 4));
+}
+
+TEST(Heuristics, ChainNeedsPipelineDepth) {
+  EXPECT_FALSE(heuristic_allows(
+      cfg_of(2 << 20, "adapt", "sm", Algorithm::Chain, 0), CollKind::Bcast,
+      4 << 20, 2));
+  EXPECT_TRUE(heuristic_allows(
+      cfg_of(256 << 10, "adapt", "sm", Algorithm::Chain, 0), CollKind::Bcast,
+      4 << 20, 16));
+}
+
+TEST(Heuristics, OversizedSegmentsDeduped) {
+  // m = 100KB: fs = 2MB prunes (fs/2 = 1MB still >= m), fs = 128KB stays.
+  EXPECT_FALSE(heuristic_allows(
+      cfg_of(2 << 20, "adapt", "sm", Algorithm::Binary, 0), CollKind::Bcast,
+      100 << 10, 1));
+  EXPECT_TRUE(heuristic_allows(
+      cfg_of(128 << 10, "adapt", "sm", Algorithm::Binary, 0),
+      CollKind::Bcast, 100 << 10, 1));
+}
+
+// --- lookup table -----------------------------------------------------------
+
+TEST(LookupTableTest, BucketOf) {
+  EXPECT_EQ(LookupTable::bucket_of(1), 0);
+  EXPECT_EQ(LookupTable::bucket_of(2), 1);
+  EXPECT_EQ(LookupTable::bucket_of(1 << 20), 20);
+  EXPECT_EQ(LookupTable::bucket_of((1 << 20) + 5), 20);
+}
+
+TEST(LookupTableTest, InsertFindDecide) {
+  LookupTable t;
+  const HanConfig small = cfg_of(64 << 10, "libnbc", "sm",
+                                 Algorithm::Binomial, 0);
+  const HanConfig big = cfg_of(1 << 20, "adapt", "solo", Algorithm::Binary,
+                               64 << 10);
+  t.insert(CollKind::Bcast, 64, 12, 64 << 10, small);
+  t.insert(CollKind::Bcast, 64, 12, 16 << 20, big);
+  ASSERT_NE(t.find(CollKind::Bcast, 64, 12, 64 << 10), nullptr);
+  EXPECT_EQ(*t.find(CollKind::Bcast, 64, 12, 64 << 10), small);
+  EXPECT_EQ(t.find(CollKind::Bcast, 64, 12, 1 << 20), nullptr);
+
+  // Nearest-bucket decisions.
+  EXPECT_EQ(t.decide(CollKind::Bcast, 64, 12, 32 << 10), small);
+  EXPECT_EQ(t.decide(CollKind::Bcast, 64, 12, 64 << 20), big);
+  // Different shape falls back to the nearest tuned shape.
+  EXPECT_EQ(t.decide(CollKind::Bcast, 32, 12, 16 << 20), big);
+  // Untuned kind falls back to the default heuristic (valid modules).
+  const HanConfig fallback = t.decide(CollKind::Allreduce, 64, 12, 1 << 20);
+  EXPECT_FALSE(fallback.imod.empty());
+}
+
+TEST(LookupTableTest, SerializeRoundTrip) {
+  LookupTable t;
+  t.insert(CollKind::Bcast, 64, 12, 1 << 20,
+           cfg_of(256 << 10, "adapt", "sm", Algorithm::Chain, 32 << 10));
+  t.insert(CollKind::Allreduce, 64, 12, 4 << 20,
+           cfg_of(1 << 20, "adapt", "solo", Algorithm::Binary, 64 << 10));
+  LookupTable back;
+  ASSERT_TRUE(LookupTable::deserialize(t.serialize(), &back));
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(*back.find(CollKind::Bcast, 64, 12, 1 << 20),
+            *t.find(CollKind::Bcast, 64, 12, 1 << 20));
+}
+
+TEST(LookupTableTest, FileRoundTrip) {
+  LookupTable t;
+  t.insert(CollKind::Bcast, 8, 4, 1 << 20,
+           cfg_of(256 << 10, "adapt", "sm", Algorithm::Binary, 0));
+  const std::string path = "/tmp/han_lookup_test.txt";
+  ASSERT_TRUE(t.save(path));
+  auto loaded = LookupTable::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LookupTableTest, DeserializeRejectsGarbage) {
+  LookupTable t;
+  EXPECT_FALSE(LookupTable::deserialize("bcast 64 : nope\n", &t));
+  EXPECT_FALSE(LookupTable::deserialize("quantum 64 12 20 : fs=4M\n", &t));
+  EXPECT_TRUE(LookupTable::deserialize("# only comments\n", &t));
+}
+
+// --- task benchmarks (integration) ------------------------------------------
+
+TEST(TaskBenchTest, IbSbCostsPositiveAndOrdered) {
+  TuneHarness h(machine::make_aries(6, 4));
+  TaskBench tb(h.world, h.han, h.world.world_comm());
+  const HanConfig cfg =
+      cfg_of(64 << 10, "adapt", "sm", Algorithm::Binary, 0);
+
+  const PerLeader ib = tb.bench_ib(cfg, 64 << 10);
+  const PerLeader sb = tb.bench_sb(cfg, 64 << 10);
+  ASSERT_EQ(ib.t.size(), 6u);
+  for (double v : ib.t) EXPECT_GT(v, 0.0);
+  for (double v : sb.t) EXPECT_GT(v, 0.0);
+  EXPECT_GT(tb.elapsed_cost(), 0.0);
+
+  // Paper Fig. 2: overlap is real (concurrent < ib+sb) but imperfect
+  // (concurrent > max(ib, sb)).
+  const PerLeader both = tb.bench_concurrent_ib_sb(cfg, 64 << 10);
+  EXPECT_LT(both.max(), ib.max() + sb.max());
+  EXPECT_GT(both.max(), std::max(ib.max(), sb.max()) * 0.999);
+}
+
+TEST(TaskBenchTest, SbibPipelineStabilizes) {
+  TuneHarness h(machine::make_aries(6, 4));
+  TaskBench tb(h.world, h.han, h.world.world_comm());
+  const HanConfig cfg =
+      cfg_of(64 << 10, "adapt", "sm", Algorithm::Binary, 0);
+  const PerLeader ib = tb.bench_ib(cfg, 64 << 10);
+  const PipelineTrace trace =
+      tb.bench_sbib_pipeline(cfg, 64 << 10, /*steps=*/8, ib);
+  ASSERT_EQ(trace.steps.size(), 8u);
+  // Paper Fig. 3: last steps vary little.
+  const double s6 = trace.steps[6].max();
+  const double s7 = trace.steps[7].max();
+  EXPECT_NEAR(s6, s7, 0.35 * std::max(s6, s7));
+}
+
+TEST(TaskBenchTest, AllreducePipelineTraceShape) {
+  TuneHarness h(machine::make_aries(4, 4));
+  TaskBench tb(h.world, h.han, h.world.world_comm());
+  const HanConfig cfg =
+      cfg_of(64 << 10, "adapt", "sm", Algorithm::Binary, 0);
+  const PipelineTrace trace =
+      tb.bench_allreduce_pipeline(cfg, 64 << 10, /*steps=*/6);
+  ASSERT_EQ(trace.steps.size(), 9u);  // 6 + 3 drain
+  for (const auto& step : trace.steps) EXPECT_GT(step.max(), 0.0);
+  // The full 4-stage steady step costs at least as much as the lone sr(0).
+  EXPECT_GE(trace.steps[4].max(), trace.steps[0].max() * 0.5);
+}
+
+// --- model accuracy & search (integration) -----------------------------------
+
+TEST(ModelAccuracy, EstimateTracksMeasurementBcast) {
+  TuneHarness h(machine::make_aries(6, 4));
+  Searcher s(h.world, h.han, h.world.world_comm(), small_space());
+  const std::size_t m = 4 << 20;
+  for (const HanConfig& cfg :
+       {cfg_of(256 << 10, "adapt", "sm", Algorithm::Binary, 64 << 10),
+        cfg_of(1 << 20, "libnbc", "sm", Algorithm::Binomial, 0)}) {
+    const double est = s.estimate_config(CollKind::Bcast, m, cfg);
+    const double meas = s.measure_collective(CollKind::Bcast, m, cfg);
+    EXPECT_GT(est, 0.0);
+    // Paper Fig. 4: "accurate in most cases", trends match. Accept 2x.
+    EXPECT_LT(std::abs(est - meas) / meas, 1.0)
+        << cfg.to_string() << " est " << est << " meas " << meas;
+  }
+}
+
+TEST(SearchIntegration, TaskModelMatchesExhaustiveOptimum) {
+  TuneHarness h(machine::make_aries(4, 4));
+  Searcher s(h.world, h.han, h.world.world_comm(), small_space());
+  const std::size_t m = 2 << 20;
+
+  const SearchResult truth = s.exhaustive(CollKind::Bcast, m, false);
+  const SearchResult model = s.estimate(CollKind::Bcast, m, false);
+  ASSERT_TRUE(truth.best && model.best);
+
+  // Paper Fig. 9: the model's pick performs like the exhaustive best in
+  // most cases — require within 20% of the true optimum when re-measured.
+  const double model_pick_measured =
+      s.measure_collective(CollKind::Bcast, m, model.best->cfg);
+  EXPECT_LT(model_pick_measured, truth.best->time * 1.2)
+      << "model chose " << model.best->cfg.to_string() << ", truth "
+      << truth.best->cfg.to_string();
+}
+
+TEST(SearchIntegration, TaskModelCheaperThanExhaustiveAcrossSizes) {
+  TuneHarness h(machine::make_aries(4, 4));
+  const std::vector<std::size_t> sizes{512 << 10, 2 << 20, 8 << 20};
+
+  Searcher ex(h.world, h.han, h.world.world_comm(), small_space());
+  for (std::size_t m : sizes) ex.exhaustive(CollKind::Bcast, m, false);
+  const double exhaustive_cost = ex.tuning_cost();
+
+  Searcher tm(h.world, h.han, h.world.world_comm(), small_space());
+  tm.prepare(CollKind::Bcast, false);
+  for (std::size_t m : sizes) tm.estimate(CollKind::Bcast, m, false);
+  const double model_cost = tm.tuning_cost();
+
+  // Paper Fig. 8: 77% reduction at |M| = full sweep; with 3 sizes expect
+  // at least some clear advantage.
+  EXPECT_LT(model_cost, exhaustive_cost * 0.8)
+      << "model " << model_cost << " vs exhaustive " << exhaustive_cost;
+}
+
+TEST(SearchIntegration, HeuristicsShrinkSearch) {
+  TuneHarness h(machine::make_aries(4, 4));
+  Searcher s(h.world, h.han, h.world.world_comm(), small_space());
+  const SearchResult full = s.estimate(CollKind::Bcast, 4 << 20, false);
+  const SearchResult pruned = s.estimate(CollKind::Bcast, 4 << 20, true);
+  EXPECT_LT(pruned.evaluations, full.evaluations);
+  EXPECT_GT(pruned.evaluations, 0);
+}
+
+TEST(TunerIntegration, TableDrivesHanDecisions) {
+  TuneHarness h(machine::make_aries(4, 4));
+  Tuner tuner(h.world, h.han, h.world.world_comm(), small_space());
+  TunerOptions opt;
+  opt.message_sizes = {256 << 10, 4 << 20};
+  opt.kinds = {CollKind::Bcast};
+  const TuneReport report = tuner.tune(opt);
+  EXPECT_EQ(report.table.size(), 2u);
+  EXPECT_GT(report.tuning_cost, 0.0);
+
+  tuner.install(report.table);
+  const HanConfig decided =
+      h.han.decide(CollKind::Bcast, h.world.world_comm(), 4 << 20);
+  EXPECT_EQ(decided, report.table.decide(CollKind::Bcast, 4, 4, 4 << 20));
+}
+
+}  // namespace
+}  // namespace han::tune

@@ -1,0 +1,152 @@
+// Tests for autotuning step 2 (decision-rule compilation) and the
+// execution tracer.
+#include <gtest/gtest.h>
+
+#include "autotune/decision.hpp"
+#include "coll_test_util.hpp"
+#include "han/han.hpp"
+
+namespace han::tune {
+namespace {
+
+using coll::Algorithm;
+using coll::CollKind;
+using core::HanConfig;
+
+HanConfig mk(const char* imod, std::size_t fs) {
+  HanConfig c;
+  c.imod = imod;
+  c.fs = fs;
+  return c;
+}
+
+LookupTable sample_table() {
+  LookupTable t;
+  // small sizes: libnbc; large: adapt — two runs that should compress to
+  // two rules.
+  t.insert(CollKind::Bcast, 8, 8, 4 << 10, mk("libnbc", 4 << 10));
+  t.insert(CollKind::Bcast, 8, 8, 64 << 10, mk("libnbc", 64 << 10));
+  t.insert(CollKind::Bcast, 8, 8, 1 << 20, mk("adapt", 512 << 10));
+  t.insert(CollKind::Bcast, 8, 8, 16 << 20, mk("adapt", 512 << 10));
+  return t;
+}
+
+TEST(DecisionRules, CompressesRunsOfEqualConfigs) {
+  // The two libnbc entries differ (fs), so they stay separate; the two
+  // adapt entries are identical and merge.
+  const DecisionRules rules =
+      DecisionRules::build(sample_table(), CollKind::Bcast, 8, 8);
+  EXPECT_EQ(rules.rule_count(), 3u);
+  EXPECT_FALSE(rules.empty());
+}
+
+TEST(DecisionRules, BoundariesAtLogMidpoints) {
+  const DecisionRules rules =
+      DecisionRules::build(sample_table(), CollKind::Bcast, 8, 8);
+  // 4K bucket=12, 64K bucket=16 → threshold bucket 14 = 16K.
+  EXPECT_EQ(rules.decide(8 << 10).imod, "libnbc");
+  EXPECT_EQ(rules.decide(8 << 10).fs, 4u << 10);
+  EXPECT_EQ(rules.decide(32 << 10).fs, 64u << 10);
+  // 64K bucket=16, 1M bucket=20 → threshold bucket 18 = 256K.
+  EXPECT_EQ(rules.decide(200 << 10).imod, "libnbc");
+  EXPECT_EQ(rules.decide(300 << 10).imod, "adapt");
+  // Beyond the last sample: last rule.
+  EXPECT_EQ(rules.decide(1ull << 30).imod, "adapt");
+  // Below the first sample: first rule.
+  EXPECT_EQ(rules.decide(1).imod, "libnbc");
+}
+
+TEST(DecisionRules, EmptySliceYieldsEmptyRules) {
+  const DecisionRules rules =
+      DecisionRules::build(sample_table(), CollKind::Allreduce, 8, 8);
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(DecisionRules, ToStringListsRanges) {
+  const DecisionRules rules =
+      DecisionRules::build(sample_table(), CollKind::Bcast, 8, 8);
+  const std::string text = rules.to_string();
+  EXPECT_NE(text.find("libnbc"), std::string::npos);
+  EXPECT_NE(text.find("adapt"), std::string::npos);
+  EXPECT_NE(text.find("inf"), std::string::npos);
+}
+
+TEST(RuleBookTest, DispatchesByShapeAndKind) {
+  LookupTable t = sample_table();
+  t.insert(CollKind::Allreduce, 8, 8, 1 << 20, mk("adapt", 1 << 20));
+  t.insert(CollKind::Bcast, 32, 16, 1 << 20, mk("libnbc", 1 << 20));
+  const RuleBook book = RuleBook::build(t);
+  EXPECT_EQ(book.slice_count(), 3u);
+
+  EXPECT_EQ(book.decide(CollKind::Bcast, 8, 8, 8 << 10).imod, "libnbc");
+  EXPECT_EQ(book.decide(CollKind::Allreduce, 8, 8, 1 << 20).fs, 1u << 20);
+  // Nearest shape: (16, 8) is closer to (8, 8) than to (32, 16).
+  EXPECT_EQ(book.decide(CollKind::Bcast, 16, 8, 1 << 20).imod, "adapt");
+  // Unknown kind: static default (must name valid modules).
+  const HanConfig fb = book.decide(CollKind::Gather, 8, 8, 1 << 20);
+  EXPECT_FALSE(fb.imod.empty());
+}
+
+TEST(RuleBookTest, DeciderDrivesHanModule) {
+  test::CollHarness h(machine::make_aries(2, 2), /*data_mode=*/false);
+  core::HanModule han(h.world, h.rt, h.mods);
+  LookupTable t;
+  t.insert(CollKind::Bcast, 2, 2, 1 << 20, mk("libnbc", 128 << 10));
+  han.set_decider(RuleBook::build(t).decider());
+  const HanConfig cfg =
+      han.decide(CollKind::Bcast, h.world.world_comm(), 1 << 20);
+  EXPECT_EQ(cfg.imod, "libnbc");
+  EXPECT_EQ(cfg.fs, 128u << 10);
+}
+
+}  // namespace
+}  // namespace han::tune
+
+namespace han::sim {
+namespace {
+
+TEST(TracerTest, CollectsAndSerializesSpans) {
+  Tracer tr;
+  tr.span(0, "coll", "send 4K", 1e-6, 3e-6);
+  tr.span(1, "coll", "recv \"q\"", 2e-6, 5e-6);
+  EXPECT_EQ(tr.size(), 2u);
+  const std::string json = tr.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("send 4K"), std::string::npos);
+  EXPECT_NE(json.find("\\\"q\\\""), std::string::npos);  // escaping
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+}
+
+TEST(TracerTest, RuntimeEmitsActionSpans) {
+  test::CollHarness h(machine::make_aries(2, 2), /*data_mode=*/false);
+  Tracer tr;
+  h.rt.set_tracer(&tr);
+  test::run_collective(h.world, [&](mpi::Rank& rank) {
+    return h.mods.libnbc().ibcast(h.world.world_comm(), rank.world_rank, 0,
+                                  mpi::BufView::timing_only(4096),
+                                  mpi::Datatype::Byte, coll::CollConfig{});
+  });
+  EXPECT_GT(tr.size(), 0u);
+  bool saw_send = false, saw_recv = false;
+  for (const auto& s : tr.spans()) {
+    saw_send |= s.name.rfind("send", 0) == 0;
+    saw_recv |= s.name.rfind("recv", 0) == 0;
+    EXPECT_GE(s.duration, 0.0);
+  }
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_recv);
+}
+
+TEST(TracerTest, FileRoundTrip) {
+  Tracer tr;
+  tr.span(0, "x", "y", 0.0, 1e-6);
+  const std::string path = "/tmp/han_trace_test.json";
+  EXPECT_TRUE(tr.save(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace han::sim

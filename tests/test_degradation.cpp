@@ -1,0 +1,161 @@
+// Failure-injection and imbalance studies: degraded links mid-collective,
+// a straggler node's slow NIC, busy-CPU interference, and imbalanced
+// process arrival (cf. Parsons et al. [25], cited in the paper's related
+// work). The simulator must stay correct and its timings must respond
+// monotonically to the injected degradation.
+#include <gtest/gtest.h>
+
+#include "coll_test_util.hpp"
+#include "han/han.hpp"
+
+namespace han {
+namespace {
+
+using coll::CollConfig;
+using mpi::BufView;
+using mpi::Datatype;
+using mpi::ReduceOp;
+using test::pattern_vec;
+using test::run_collective;
+
+struct HanHarness : test::CollHarness {
+  explicit HanHarness(machine::MachineProfile profile, bool data_mode = true)
+      : CollHarness(std::move(profile), data_mode), han(world, rt, mods) {}
+  core::HanModule han;
+};
+
+double han_bcast_time(HanHarness& h, std::size_t bytes) {
+  auto done = run_collective(h.world, [&](mpi::Rank& rank) {
+    return h.han.ibcast(h.world.world_comm(), rank.world_rank, 0,
+                        BufView::timing_only(bytes), Datatype::Byte,
+                        CollConfig{});
+  });
+  return *std::max_element(done.begin(), done.end());
+}
+
+TEST(Degradation, SlowNicOnOneNodeSlowsTheCollective) {
+  HanHarness healthy(machine::make_aries(4, 4), false);
+  const double t_healthy = han_bcast_time(healthy, 4 << 20);
+
+  HanHarness degraded(machine::make_aries(4, 4), false);
+  // Node 2's receive NIC drops to a tenth of nominal.
+  degraded.world.flownet().set_capacity(
+      degraded.world.fabric().nic_rx(2),
+      degraded.world.profile().nic_bandwidth / 10.0);
+  const double t_degraded = han_bcast_time(degraded, 4 << 20);
+
+  EXPECT_GT(t_degraded, t_healthy * 2.0)
+      << "a 10x slower NIC must visibly slow the whole collective";
+}
+
+TEST(Degradation, DegradedFabricStillDeliversCorrectData) {
+  HanHarness h(machine::make_aries(3, 3), /*data_mode=*/true);
+  h.world.flownet().set_capacity(
+      h.world.fabric().fabric(),
+      h.world.profile().nic_bandwidth / 4.0);  // choked bisection
+  const int n = 9;
+  std::vector<std::vector<std::int32_t>> bufs(n);
+  for (int r = 0; r < n; ++r) {
+    bufs[r] = r == 0 ? pattern_vec(0, 4000)
+                     : std::vector<std::int32_t>(4000, -1);
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    return h.han.ibcast(h.world.world_comm(), rank.world_rank, 0,
+                        BufView::of(bufs[rank.world_rank], Datatype::Int32),
+                        Datatype::Int32, CollConfig{});
+  });
+  const auto expect = pattern_vec(0, 4000);
+  for (int r = 0; r < n; ++r) EXPECT_EQ(bufs[r], expect) << "rank " << r;
+}
+
+TEST(Degradation, MidFlightCapacityDropIsAccounted) {
+  // Degrade node 1's rx NIC while a bcast is in flight; the run must still
+  // complete, slower than the healthy run.
+  auto timed = [](bool degrade) {
+    HanHarness h(machine::make_aries(2, 2), false);
+    if (degrade) {
+      h.world.engine().schedule_at(50e-6, [&h] {
+        h.world.flownet().set_capacity(
+            h.world.fabric().nic_rx(1),
+            h.world.profile().nic_bandwidth / 20.0);
+      });
+    }
+    auto done = run_collective(h.world, [&](mpi::Rank& rank) {
+      return h.han.ibcast(h.world.world_comm(), rank.world_rank, 0,
+                          BufView::timing_only(8 << 20), Datatype::Byte,
+                          CollConfig{});
+    });
+    return *std::max_element(done.begin(), done.end());
+  };
+  EXPECT_GT(timed(true), timed(false) * 1.5);
+}
+
+TEST(Imbalance, BusyCpuOnLeaderDelaysPipeline) {
+  // Interference on the node-1 leader's CPU (a compute-bound co-runner)
+  // stretches HAN's shared-memory stage.
+  auto timed = [](bool interfere) {
+    HanHarness h(machine::make_aries(4, 4), false);
+    if (interfere) {
+      // Rank 4 = node 1's leader: keep its CPU busy in 50us bursts.
+      for (int burst = 0; burst < 40; ++burst) {
+        h.world.engine().schedule_at(burst * 60e-6, [&h] {
+          h.world.compute(4, 50e-6);
+        });
+      }
+    }
+    auto done = run_collective(h.world, [&](mpi::Rank& rank) {
+      return h.han.ibcast(h.world.world_comm(), rank.world_rank, 0,
+                          BufView::timing_only(4 << 20), Datatype::Byte,
+                          CollConfig{});
+    });
+    return *std::max_element(done.begin(), done.end());
+  };
+  EXPECT_GT(timed(true), timed(false) * 1.05);
+}
+
+TEST(Imbalance, ArrivalSkewShiftsCostToLateRank) {
+  // Parsons et al.: imbalanced process arrival dominates collective cost.
+  // With one rank arriving T late, everyone else's inclusive time grows by
+  // about T when they depend on it (allreduce), and the late rank's own
+  // inclusive time stays near the balanced cost.
+  HanHarness h(machine::make_aries(2, 4), false);
+  const double T = 500e-6;
+  auto done = run_collective(
+      h.world,
+      [&](mpi::Rank& rank) {
+        return h.han.iallreduce(h.world.world_comm(), rank.world_rank,
+                                BufView::timing_only(256 << 10),
+                                BufView::timing_only(256 << 10),
+                                Datatype::Byte, ReduceOp::Sum, CollConfig{});
+      },
+      [&](int r) { return r == 5 ? T : 0.0; });
+  // Rank 5's inclusive time excludes its own tardiness; others include it.
+  EXPECT_LT(done[5] + 0.8 * T, done[0]);
+  EXPECT_GT(done[0], T);
+}
+
+TEST(Imbalance, BalancedArrivalIsFastestOverall) {
+  HanHarness h(machine::make_aries(2, 4), false);
+  auto run_skewed = [&](double skew) {
+    HanHarness hh(machine::make_aries(2, 4), false);
+    auto done = run_collective(
+        hh.world,
+        [&](mpi::Rank& rank) {
+          return hh.han.iallreduce(hh.world.world_comm(), rank.world_rank,
+                                   BufView::timing_only(64 << 10),
+                                   BufView::timing_only(64 << 10),
+                                   Datatype::Byte, ReduceOp::Sum,
+                                   CollConfig{});
+        },
+        [&](int r) { return r * skew; });
+    // Wall completion = last arrival + its inclusive time; approximate
+    // with max over (skew_r + done_r).
+    double wall = 0.0;
+    for (int r = 0; r < 8; ++r) wall = std::max(wall, r * skew + done[r]);
+    return wall;
+  };
+  EXPECT_LT(run_skewed(0.0), run_skewed(20e-6));
+}
+
+}  // namespace
+}  // namespace han

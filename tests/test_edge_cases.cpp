@@ -1,0 +1,239 @@
+// Edge-case hardening across layers: degenerate communicator shapes,
+// zero-byte operations, segmenter boundaries, engine cancellation timing,
+// cross-NUMA data correctness, and config-parsing corners.
+#include <gtest/gtest.h>
+
+#include "coll_test_util.hpp"
+#include "autotune/lookup.hpp"
+#include "han/han3.hpp"
+
+namespace han {
+namespace {
+
+using coll::Algorithm;
+using coll::CollConfig;
+using mpi::BufView;
+using mpi::Datatype;
+using mpi::ReduceOp;
+using test::expected_reduce;
+using test::pattern_vec;
+using test::run_collective;
+
+struct HanHarness : test::CollHarness {
+  explicit HanHarness(machine::MachineProfile profile, bool data_mode = true)
+      : CollHarness(std::move(profile), data_mode), han(world, rt, mods) {}
+  core::HanModule han;
+};
+
+// --- engine -----------------------------------------------------------
+
+TEST(EngineEdge, CancelAfterFireIsNoop) {
+  sim::Engine e;
+  int fired = 0;
+  sim::EventId id = e.schedule_at(1.0, [&] { ++fired; });
+  e.run();
+  e.cancel(id);  // already fired
+  e.schedule_at(2.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineEdge, ScheduleAtNowFromCallback) {
+  sim::Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] {
+    order.push_back(1);
+    e.schedule_after(0.0, [&] { order.push_back(2); });
+  });
+  e.schedule_at(1.0, [&] { order.push_back(3); });
+  e.run();
+  // Same-time FIFO: the 0-delay event lands after the already-queued one.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+// --- flownet ----------------------------------------------------------
+
+TEST(FlownetEdge, AbortDuringBatchedStart) {
+  sim::Engine e;
+  net::FlowNet fn(e);
+  const net::ResourceId r = fn.add_resource("link", 100.0);
+  const net::ResourceId path[] = {r};
+  bool fired = false;
+  const net::FlowId f =
+      fn.start_flow(path, 500.0, net::FlowNet::no_cap(), [&] { fired = true; });
+  fn.abort_flow(f);  // before the batched rebalance even ran
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(fn.active_flows(), 0u);
+}
+
+// --- buffers / segmenter ------------------------------------------------
+
+TEST(BufViewEdge, SliceOfTimingOnlyStaysTimingOnly) {
+  BufView v = BufView::timing_only(100);
+  BufView s = v.slice(10, 20);
+  EXPECT_FALSE(s.has_data());
+  EXPECT_EQ(s.bytes, 20u);
+}
+
+TEST(SegmenterEdge, ZeroByteMessage) {
+  coll::Segmenter s(0, 4096, Datatype::Byte);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.length(0), 0u);
+}
+
+TEST(SegmenterEdge, SegmentEqualsMessage) {
+  coll::Segmenter s(4096, 4096, Datatype::Byte);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.length(0), 4096u);
+}
+
+// --- config parsing -----------------------------------------------------
+
+TEST(ConfigEdge, ParseEmptyStringYieldsDefaults) {
+  core::HanConfig out;
+  EXPECT_TRUE(core::HanConfig::parse("", &out));
+  EXPECT_EQ(out, core::HanConfig{});
+}
+
+TEST(ConfigEdge, ParseSubsetOfKeys) {
+  core::HanConfig out;
+  ASSERT_TRUE(core::HanConfig::parse("fs=128K smod=solo", &out));
+  EXPECT_EQ(out.fs, 128u << 10);
+  EXPECT_EQ(out.smod, "solo");
+  EXPECT_EQ(out.imod, "adapt");  // untouched default
+}
+
+// --- degenerate collective shapes ---------------------------------------
+
+TEST(DegenerateShapes, WorldOfOne) {
+  HanHarness h(machine::make_aries(1, 1));
+  std::vector<std::int32_t> buf{7, 8, 9};
+  std::vector<std::int32_t> send{1, 2, 3}, recv{0, 0, 0};
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    return h.han.ibcast(h.world.world_comm(), rank.world_rank, 0,
+                        BufView::of(buf, Datatype::Int32), Datatype::Int32,
+                        CollConfig{});
+  });
+  EXPECT_EQ(buf, (std::vector<std::int32_t>{7, 8, 9}));
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    return h.han.iallreduce(h.world.world_comm(), rank.world_rank,
+                            BufView::of(send, Datatype::Int32),
+                            BufView::of(recv, Datatype::Int32),
+                            Datatype::Int32, ReduceOp::Sum, CollConfig{});
+  });
+  EXPECT_EQ(recv, send);
+}
+
+TEST(DegenerateShapes, TwoRanksTwoNodes) {
+  HanHarness h(machine::make_aries(2, 1));
+  std::vector<std::vector<std::int32_t>> send(2), recv(2);
+  send[0] = {5};
+  send[1] = {11};
+  recv[0] = recv[1] = {0};
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    const int r = rank.world_rank;
+    return h.han.iallreduce(h.world.world_comm(), r,
+                            BufView::of(send[r], Datatype::Int32),
+                            BufView::of(recv[r], Datatype::Int32),
+                            Datatype::Int32, ReduceOp::Sum, CollConfig{});
+  });
+  EXPECT_EQ(recv[0][0], 16);
+  EXPECT_EQ(recv[1][0], 16);
+}
+
+TEST(DegenerateShapes, ZeroByteBcastCompletes) {
+  HanHarness h(machine::make_aries(2, 2), /*data_mode=*/false);
+  auto done = run_collective(h.world, [&](mpi::Rank& rank) {
+    return h.han.ibcast(h.world.world_comm(), rank.world_rank, 0,
+                        BufView::timing_only(0), Datatype::Byte,
+                        CollConfig{});
+  });
+  for (double d : done) EXPECT_GE(d, 0.0);
+}
+
+TEST(DegenerateShapes, SingleElementAllreduceAllModules) {
+  for (const char* smod : {"sm", "solo"}) {
+    for (const char* imod : {"libnbc", "adapt"}) {
+      HanHarness h(machine::make_aries(2, 3));
+      core::HanConfig cfg;
+      cfg.imod = imod;
+      cfg.smod = smod;
+      std::vector<std::vector<std::int32_t>> send(6), recv(6);
+      for (int r = 0; r < 6; ++r) {
+        send[r] = {r + 1};
+        recv[r] = {0};
+      }
+      run_collective(h.world, [&](mpi::Rank& rank) {
+        const int r = rank.world_rank;
+        return h.han.iallreduce_cfg(h.world.world_comm(), r,
+                                    BufView::of(send[r], Datatype::Int32),
+                                    BufView::of(recv[r], Datatype::Int32),
+                                    Datatype::Int32, ReduceOp::Sum, cfg);
+      });
+      for (int r = 0; r < 6; ++r) {
+        EXPECT_EQ(recv[r][0], 21) << imod << "/" << smod << " rank " << r;
+      }
+    }
+  }
+}
+
+// --- cross-NUMA data correctness -----------------------------------------
+
+TEST(NumaData, SmBcastAcrossDomains) {
+  // SM's CrossCopy must deliver correct bytes when readers sit in the
+  // other socket (the cross-NUMA path in the executor).
+  HanHarness h(machine::with_numa(machine::make_aries(1, 8), 2));
+  const int n = 8;
+  std::vector<std::vector<std::int32_t>> bufs(n);
+  for (int r = 0; r < n; ++r) {
+    bufs[r] = r == 0 ? pattern_vec(0, 1000)
+                     : std::vector<std::int32_t>(1000, -1);
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    return h.mods.sm().ibcast(h.world.world_comm(), rank.world_rank, 0,
+                              BufView::of(bufs[rank.world_rank],
+                                          Datatype::Int32),
+                              Datatype::Int32, CollConfig{});
+  });
+  const auto expect = pattern_vec(0, 1000);
+  for (int r = 0; r < n; ++r) EXPECT_EQ(bufs[r], expect) << "rank " << r;
+}
+
+TEST(NumaData, SoloReduceAcrossDomains) {
+  HanHarness h(machine::with_numa(machine::make_aries(1, 8), 4));
+  const int n = 8;
+  std::vector<std::vector<std::int32_t>> send(n), recv(n);
+  for (int r = 0; r < n; ++r) {
+    send[r] = pattern_vec(r, 500);
+    recv[r].assign(500, -1);
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    const int r = rank.world_rank;
+    return h.mods.solo().ireduce(h.world.world_comm(), r, 0,
+                                 BufView::of(send[r], Datatype::Int32),
+                                 BufView::of(recv[r], Datatype::Int32),
+                                 Datatype::Int32, ReduceOp::Sum,
+                                 CollConfig{});
+  });
+  EXPECT_EQ(recv[0], expected_reduce(ReduceOp::Sum, n, 500));
+}
+
+// --- lookup table edge ----------------------------------------------------
+
+TEST(LookupEdge, EmptyTableFallsBackToDefault) {
+  tune::LookupTable t;
+  const core::HanConfig cfg =
+      t.decide(coll::CollKind::Bcast, 8, 8, 1 << 20);
+  EXPECT_FALSE(cfg.imod.empty());
+  EXPECT_FALSE(cfg.smod.empty());
+}
+
+TEST(LookupEdge, ZeroByteDecision) {
+  tune::LookupTable t;
+  t.insert(coll::CollKind::Bcast, 4, 4, 1, core::HanConfig{});
+  EXPECT_NE(t.find(coll::CollKind::Bcast, 4, 4, 0), nullptr);
+}
+
+}  // namespace
+}  // namespace han

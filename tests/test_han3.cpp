@@ -1,0 +1,204 @@
+// Tests for the three-level (NUMA) extension: machine plumbing, Comm3
+// splits, data correctness of the 3-level Bcast/Allreduce pipelines, and
+// the timing benefit over the 2-level pipeline on NUMA machines.
+#include <gtest/gtest.h>
+
+#include "coll_test_util.hpp"
+#include "han/han3.hpp"
+
+namespace han::core {
+namespace {
+
+using mpi::BufView;
+using mpi::Datatype;
+using mpi::ReduceOp;
+using test::expected_reduce;
+using test::pattern_vec;
+using test::run_collective;
+
+struct Han3Harness : test::CollHarness {
+  explicit Han3Harness(machine::MachineProfile profile,
+                       bool data_mode = true)
+      : CollHarness(std::move(profile), data_mode),
+        han(world, rt, mods),
+        han3(han) {}
+  HanModule han;
+  Han3 han3;
+};
+
+HanConfig cfg3() {
+  HanConfig c;
+  c.fs = 4 << 10;
+  c.imod = "adapt";
+  c.smod = "sm";
+  c.ibalg = coll::Algorithm::Binary;
+  c.iralg = coll::Algorithm::Binary;
+  return c;
+}
+
+TEST(NumaMachine, WithNumaSplitsBuses) {
+  const machine::MachineProfile base = machine::make_aries(4, 8);
+  const machine::MachineProfile numa = machine::with_numa(base, 2);
+  EXPECT_EQ(numa.numa_per_node, 2);
+  EXPECT_DOUBLE_EQ(numa.membus_bandwidth, base.membus_bandwidth / 2);
+  EXPECT_GT(numa.inter_numa_bandwidth, 0.0);
+  EXPECT_LT(numa.inter_numa_bandwidth, numa.membus_bandwidth);
+}
+
+TEST(NumaMachine, RankPlacement) {
+  mpi::SimWorld w(machine::with_numa(machine::make_aries(2, 8), 2));
+  EXPECT_EQ(w.rank(0).numa, 0);
+  EXPECT_EQ(w.rank(3).numa, 0);
+  EXPECT_EQ(w.rank(4).numa, 1);
+  EXPECT_EQ(w.rank(7).numa, 1);
+  EXPECT_EQ(w.rank(12).numa, 1);  // node 1, local 4
+}
+
+TEST(NumaMachine, CrossNumaPipeSlowerThanLocal) {
+  auto time_pipe = [](int dst) {
+    mpi::SimWorld w(machine::with_numa(machine::make_aries(1, 8), 2));
+    double done = 0.0;
+    w.run([&](mpi::Rank& rank) -> sim::CoTask {
+      if (rank.world_rank == 0) {
+        return [](mpi::SimWorld& w, int dst) -> sim::CoTask {
+          mpi::Request r = w.isend(w.world_comm(), 0, dst, 1,
+                                   BufView::timing_only(1 << 20));
+          co_await *r;
+        }(w, dst);
+      }
+      if (rank.world_rank == dst) {
+        return [](mpi::SimWorld& w, int dst, double& done) -> sim::CoTask {
+          mpi::Request r = w.irecv(w.world_comm(), dst, 0, 1,
+                                   BufView::timing_only(1 << 20));
+          co_await *r;
+          done = w.now();
+        }(w, dst, done);
+      }
+      return [](mpi::SimWorld&) -> sim::CoTask { co_return; }(w);
+    });
+    return done;
+  };
+  EXPECT_GT(time_pipe(4), time_pipe(1) * 1.1)
+      << "a cross-socket pipe must be slower than a local one";
+}
+
+TEST(Han3CommTest, ThreeLevelSplit) {
+  Han3Harness h(machine::with_numa(machine::make_aries(3, 8), 2));
+  EXPECT_TRUE(h.han3.applicable());
+  Han3::Comm3& c3 = h.han3.comm3(h.world.world_comm());
+  for (int pr = 0; pr < 24; ++pr) {
+    EXPECT_EQ(c3.leaf[pr]->size(), 4) << pr;
+    EXPECT_EQ(c3.leaf_rank[pr], pr % 4) << pr;
+  }
+  // NUMA leaders: local ranks 0 and 4 of each node.
+  EXPECT_TRUE(c3.numa_leader(0));
+  EXPECT_TRUE(c3.numa_leader(4));
+  EXPECT_FALSE(c3.numa_leader(5));
+  ASSERT_NE(c3.mid[0], nullptr);
+  EXPECT_EQ(c3.mid[0]->size(), 2);
+  EXPECT_EQ(c3.mid[4], c3.mid[0]);
+  EXPECT_EQ(c3.mid[5], nullptr);
+  // Node leaders: local rank 0 — exactly one up comm of size 3.
+  EXPECT_TRUE(c3.node_leader(0));
+  EXPECT_FALSE(c3.node_leader(4));
+  ASSERT_NE(c3.up[0], nullptr);
+  EXPECT_EQ(c3.up[0]->size(), 3);
+  EXPECT_EQ(c3.up[8], c3.up[0]);
+}
+
+TEST(Han3Bcast, DataArrivesEverywhere) {
+  Han3Harness h(machine::with_numa(machine::make_aries(3, 8), 2));
+  const int n = 24;
+  const std::size_t count = 8192;  // 32KB → 8 segments at fs=4K
+  std::vector<std::vector<std::int32_t>> bufs(n);
+  for (int r = 0; r < n; ++r) {
+    bufs[r] = r == 0 ? pattern_vec(0, count)
+                     : std::vector<std::int32_t>(count, -1);
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    return h.han3.ibcast(h.world.world_comm(), rank.world_rank, 0,
+                         BufView::of(bufs[rank.world_rank], Datatype::Int32),
+                         Datatype::Int32, cfg3());
+  });
+  const auto expect = pattern_vec(0, count);
+  for (int r = 0; r < n; ++r) EXPECT_EQ(bufs[r], expect) << "rank " << r;
+}
+
+TEST(Han3Allreduce, EveryRankHoldsSum) {
+  Han3Harness h(machine::with_numa(machine::make_aries(3, 8), 2));
+  const int n = 24;
+  const std::size_t count = 8192;
+  std::vector<std::vector<std::int32_t>> send(n), recv(n);
+  for (int r = 0; r < n; ++r) {
+    send[r] = pattern_vec(r, count);
+    recv[r].assign(count, -1);
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    const int r = rank.world_rank;
+    return h.han3.iallreduce(h.world.world_comm(), r,
+                             BufView::of(send[r], Datatype::Int32),
+                             BufView::of(recv[r], Datatype::Int32),
+                             Datatype::Int32, ReduceOp::Sum, cfg3());
+  });
+  const auto expect = expected_reduce(ReduceOp::Sum, n, count);
+  for (int r = 0; r < n; ++r) EXPECT_EQ(recv[r], expect) << "rank " << r;
+}
+
+TEST(Han3Allreduce, FourDomains) {
+  Han3Harness h(machine::with_numa(machine::make_aries(2, 8), 4));
+  const int n = 16;
+  const std::size_t count = 2048;
+  std::vector<std::vector<std::int32_t>> send(n), recv(n);
+  for (int r = 0; r < n; ++r) {
+    send[r] = pattern_vec(r, count);
+    recv[r].assign(count, -1);
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    const int r = rank.world_rank;
+    return h.han3.iallreduce(h.world.world_comm(), r,
+                             BufView::of(send[r], Datatype::Int32),
+                             BufView::of(recv[r], Datatype::Int32),
+                             Datatype::Int32, ReduceOp::Max, cfg3());
+  });
+  const auto expect = expected_reduce(ReduceOp::Max, n, count);
+  for (int r = 0; r < n; ++r) EXPECT_EQ(recv[r], expect) << "rank " << r;
+}
+
+TEST(Han3Timing, ThreeLevelsBeatTwoOnNumaMachine) {
+  // On a NUMA machine, 2-level HAN's node-wide shm bcast drags every far-
+  // socket reader across the inter-socket link; the 3-level pipeline
+  // crosses it once per segment.
+  const machine::MachineProfile prof =
+      machine::with_numa(machine::make_aries(8, 16), 2);
+  const std::size_t bytes = 8 << 20;
+  HanConfig cfg;
+  cfg.fs = 512 << 10;
+  cfg.imod = "adapt";
+  cfg.smod = "sm";
+  cfg.ibalg = coll::Algorithm::Chain;
+  cfg.iralg = coll::Algorithm::Chain;
+  cfg.ibs = 64 << 10;
+
+  double t2 = 0.0, t3 = 0.0;
+  {
+    Han3Harness h(prof, /*data_mode=*/false);
+    auto done = run_collective(h.world, [&](mpi::Rank& rank) {
+      return h.han.ibcast_cfg(h.world.world_comm(), rank.world_rank, 0,
+                              BufView::timing_only(bytes), Datatype::Byte,
+                              cfg);
+    });
+    t2 = *std::max_element(done.begin(), done.end());
+  }
+  {
+    Han3Harness h(prof, /*data_mode=*/false);
+    auto done = run_collective(h.world, [&](mpi::Rank& rank) {
+      return h.han3.ibcast(h.world.world_comm(), rank.world_rank, 0,
+                           BufView::timing_only(bytes), Datatype::Byte, cfg);
+    });
+    t3 = *std::max_element(done.begin(), done.end());
+  }
+  EXPECT_LT(t3, t2) << "3-level " << t3 << " vs 2-level " << t2;
+}
+
+}  // namespace
+}  // namespace han::core

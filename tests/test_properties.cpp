@@ -1,0 +1,456 @@
+// Property-based suites: randomized payload sweeps over HAN collectives,
+// simulator determinism, flow conservation, and matching-order invariants.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "autotune/tuner.hpp"
+#include "coll_test_util.hpp"
+#include "simbase/rng.hpp"
+
+namespace han {
+namespace {
+
+using coll::Algorithm;
+using coll::CollConfig;
+using mpi::BufView;
+using mpi::Datatype;
+using mpi::ReduceOp;
+using test::expected_reduce;
+using test::pattern_vec;
+using test::run_collective;
+
+struct HanHarness : test::CollHarness {
+  explicit HanHarness(machine::MachineProfile profile, bool data_mode = true)
+      : CollHarness(std::move(profile), data_mode), han(world, rt, mods) {}
+  core::HanModule han;
+};
+
+// --- randomized HAN sweeps (property: correctness for arbitrary shapes,
+// sizes, configs, roots, and arrival skews) -------------------------------
+
+class HanRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HanRandomSweep, BcastReduceAllreduceAgree) {
+  sim::Rng rng(0xC0FFEE + GetParam());
+  const int nodes = 1 + static_cast<int>(rng.next_below(5));
+  const int ppn = 1 + static_cast<int>(rng.next_below(6));
+  HanHarness h(machine::make_aries(nodes, ppn));
+  const int n = h.world.world_size();
+  const std::size_t count = 1 + rng.next_below(5000);
+  const int root = static_cast<int>(rng.next_below(n));
+
+  core::HanConfig cfg;
+  cfg.fs = std::size_t(64) << rng.next_below(8);  // 64B .. 8KB
+  cfg.imod = rng.next_below(2) == 0 ? "libnbc" : "adapt";
+  cfg.smod = rng.next_below(2) == 0 ? "sm" : "solo";
+  const Algorithm algs[] = {Algorithm::Chain, Algorithm::Binary,
+                            Algorithm::Binomial};
+  cfg.ibalg = cfg.imod == "adapt" ? algs[rng.next_below(3)]
+                                  : Algorithm::Binomial;
+  cfg.iralg = cfg.ibalg;
+  cfg.ibs = rng.next_below(2) == 0 ? 0 : 1024;
+  cfg.irs = cfg.ibs;
+
+  // Random per-rank arrival skew (MPI semantics: correctness must not
+  // depend on arrival times).
+  std::vector<double> skew(n);
+  for (double& s : skew) s = rng.next_double() * 20e-6;
+
+  // Bcast.
+  {
+    std::vector<std::vector<std::int32_t>> bufs(n);
+    for (int r = 0; r < n; ++r) {
+      bufs[r] = r == root ? pattern_vec(root, count)
+                          : std::vector<std::int32_t>(count, -1);
+    }
+    run_collective(
+        h.world,
+        [&](mpi::Rank& rank) {
+          return h.han.ibcast_cfg(h.world.world_comm(), rank.world_rank,
+                                  root,
+                                  BufView::of(bufs[rank.world_rank],
+                                              Datatype::Int32),
+                                  Datatype::Int32, cfg);
+        },
+        [&](int r) { return skew[r]; });
+    const auto expect = pattern_vec(root, count);
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(bufs[r], expect) << "bcast rank " << r << " cfg "
+                                 << cfg.to_string();
+    }
+  }
+
+  // Reduce + Allreduce share inputs; allreduce result must equal the
+  // reduce result at every rank.
+  {
+    std::vector<std::vector<std::int32_t>> send(n), recv(n), arecv(n);
+    for (int r = 0; r < n; ++r) {
+      send[r] = pattern_vec(r, count);
+      recv[r].assign(count, 0);
+      arecv[r].assign(count, 0);
+    }
+    run_collective(h.world, [&](mpi::Rank& rank) {
+      const int r = rank.world_rank;
+      return h.han.ireduce_cfg(h.world.world_comm(), r, root,
+                               BufView::of(send[r], Datatype::Int32),
+                               BufView::of(recv[r], Datatype::Int32),
+                               Datatype::Int32, ReduceOp::Sum, cfg);
+    });
+    run_collective(
+        h.world,
+        [&](mpi::Rank& rank) {
+          const int r = rank.world_rank;
+          return h.han.iallreduce_cfg(h.world.world_comm(), r,
+                                      BufView::of(send[r], Datatype::Int32),
+                                      BufView::of(arecv[r], Datatype::Int32),
+                                      Datatype::Int32, ReduceOp::Sum, cfg);
+        },
+        [&](int r) { return skew[(r + 1) % n]; });
+    const auto expect = expected_reduce(ReduceOp::Sum, n, count);
+    ASSERT_EQ(recv[root], expect) << "reduce cfg " << cfg.to_string();
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(arecv[r], expect) << "allreduce rank " << r << " cfg "
+                                  << cfg.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HanRandomSweep, ::testing::Range(0, 12));
+
+// --- determinism ----------------------------------------------------------
+
+TEST(Determinism, IdenticalRunsProduceIdenticalClocks) {
+  auto run_once = [] {
+    HanHarness h(machine::make_aries(4, 4), /*data_mode=*/false);
+    auto done = run_collective(h.world, [&](mpi::Rank& rank) {
+      return h.han.iallreduce(h.world.world_comm(), rank.world_rank,
+                              BufView::timing_only(1 << 20),
+                              BufView::timing_only(1 << 20), Datatype::Byte,
+                              ReduceOp::Sum, CollConfig{});
+    });
+    return std::make_pair(done, h.world.engine().events_processed());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.second, b.second) << "event counts must match";
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_DOUBLE_EQ(a.first[r], b.first[r]) << "rank " << r;
+  }
+}
+
+TEST(Determinism, TaskBenchRepeatable) {
+  // The autotuner's decisions must be reproducible across runs.
+  auto tune_once = [] {
+    HanHarness h(machine::make_aries(4, 4), false);
+    tune::Tuner tuner(h.world, h.han, h.world.world_comm());
+    tune::TunerOptions opt;
+    opt.message_sizes = {256 << 10, 4 << 20};
+    opt.kinds = {coll::CollKind::Bcast};
+    return tuner.tune(opt).table.serialize();
+  };
+  EXPECT_EQ(tune_once(), tune_once());
+}
+
+// --- concurrency & isolation ----------------------------------------------
+
+TEST(Concurrency, OverlappingCollectivesOnDistinctComms) {
+  // Two HAN bcasts on disjoint halves of the machine run concurrently and
+  // deliver correct data.
+  HanHarness h(machine::make_aries(4, 4));
+  const int n = 16;
+  std::vector<int> color(n), key(n);
+  for (int r = 0; r < n; ++r) {
+    color[r] = r < 8 ? 0 : 1;  // nodes {0,1} vs {2,3}
+    key[r] = r;
+  }
+  auto comms = h.world.comm_split(h.world.world_comm(), color, key);
+
+  std::vector<std::vector<std::int32_t>> bufs(n);
+  for (int r = 0; r < n; ++r) {
+    const int group_root = r < 8 ? 0 : 8;
+    bufs[r] = r == group_root ? pattern_vec(group_root, 512)
+                              : std::vector<std::int32_t>(512, -1);
+  }
+  h.world.run([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](HanHarness& h, std::vector<mpi::Comm*>& comms,
+              std::vector<std::vector<std::int32_t>>& bufs,
+              int me) -> sim::CoTask {
+      mpi::Comm& comm = *comms[me];
+      mpi::Request r = h.han.ibcast(comm, comm.comm_rank_of_world(me), 0,
+                                    BufView::of(bufs[me], Datatype::Int32),
+                                    Datatype::Int32, CollConfig{});
+      co_await *r;
+    }(h, comms, bufs, rank.world_rank);
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(bufs[r], pattern_vec(r < 8 ? 0 : 8, 512)) << "rank " << r;
+  }
+}
+
+TEST(Concurrency, BackToBackCollectivesKeepOrder) {
+  // Issue 4 pipelined bcasts per rank before awaiting any: instance
+  // matching by call order must pair them correctly.
+  HanHarness h(machine::make_aries(2, 3));
+  const int n = 6;
+  std::vector<std::vector<std::vector<std::int32_t>>> bufs(
+      4, std::vector<std::vector<std::int32_t>>(n));
+  for (int i = 0; i < 4; ++i) {
+    for (int r = 0; r < n; ++r) {
+      bufs[i][r] = r == 0 ? pattern_vec(i + 10, 128)
+                          : std::vector<std::int32_t>(128, -1);
+    }
+  }
+  h.world.run([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](HanHarness& h,
+              std::vector<std::vector<std::vector<std::int32_t>>>& bufs,
+              int me) -> sim::CoTask {
+      std::vector<mpi::Request> reqs;
+      for (int i = 0; i < 4; ++i) {
+        reqs.push_back(h.han.ibcast(
+            h.world.world_comm(), me, 0,
+            BufView::of(bufs[i][me], Datatype::Int32), Datatype::Int32,
+            CollConfig{}));
+      }
+      co_await mpi::wait_all(h.world.engine(), std::move(reqs));
+    }(h, bufs, rank.world_rank);
+  });
+  for (int i = 0; i < 4; ++i) {
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(bufs[i][r], pattern_vec(i + 10, 128))
+          << "op " << i << " rank " << r;
+    }
+  }
+}
+
+// --- P2P ordering property ---------------------------------------------------
+
+TEST(P2pOrdering, SameTagMessagesArriveInSendOrder) {
+  // MPI non-overtaking: k same-tag messages between one pair must match
+  // posted receives in order.
+  mpi::SimWorld::Options o;
+  o.data_mode = true;
+  mpi::SimWorld w(machine::make_aries(2, 1), o);
+  const int k = 8;
+  std::vector<std::vector<std::int32_t>> out(k);
+  for (int i = 0; i < k; ++i) out[i] = {i * 111};
+  std::vector<std::vector<std::int32_t>> in(k, std::vector<std::int32_t>{-1});
+
+  w.run([&](mpi::Rank& rank) -> sim::CoTask {
+    if (rank.world_rank == 0) {
+      return [](mpi::SimWorld& w, std::vector<std::vector<std::int32_t>>& out,
+                int k) -> sim::CoTask {
+        std::vector<mpi::Request> rs;
+        for (int i = 0; i < k; ++i) {
+          rs.push_back(w.isend(w.world_comm(), 0, 1, /*tag=*/7,
+                               BufView::of(out[i], Datatype::Int32)));
+        }
+        co_await mpi::wait_all(w.engine(), std::move(rs));
+      }(w, out, k);
+    }
+    return [](mpi::SimWorld& w, std::vector<std::vector<std::int32_t>>& in,
+              int k) -> sim::CoTask {
+      std::vector<mpi::Request> rs;
+      for (int i = 0; i < k; ++i) {
+        rs.push_back(w.irecv(w.world_comm(), 1, 0, /*tag=*/7,
+                             BufView::of(in[i], Datatype::Int32)));
+      }
+      co_await mpi::wait_all(w.engine(), std::move(rs));
+    }(w, in, k);
+  });
+  for (int i = 0; i < k; ++i) EXPECT_EQ(in[i][0], i * 111) << "msg " << i;
+}
+
+// --- flownet conservation -----------------------------------------------------
+
+TEST(FlowConservation, BytesDeliveredMatchBytesSent) {
+  // Total simulated transfer time x rate must equal bytes for a lone flow
+  // even across capacity changes mid-flight.
+  sim::Engine e;
+  net::FlowNet fn(e);
+  const net::ResourceId r = fn.add_resource("link", 1000.0);
+  double done_at = -1.0;
+  const net::ResourceId path[] = {r};
+  fn.start_flow(path, 5000.0, net::FlowNet::no_cap(),
+                [&] { done_at = e.now(); });
+  e.schedule_at(1.0, [&] { fn.set_capacity(r, 500.0); });
+  e.schedule_at(3.0, [&] { fn.set_capacity(r, 2000.0); });
+  e.run();
+  // 1s @1000 + 2s @500 + (5000-2000)/2000 = 1 + 2 + 1.5 = 4.5
+  EXPECT_NEAR(done_at, 4.5, 1e-9);
+}
+
+
+
+// --- randomized gather/scatter/allgather sweeps ------------------------------
+
+class HanRootedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HanRootedSweep, GatherScatterAllgatherRoundTrip) {
+  sim::Rng rng(0xBEEF + GetParam());
+  const int nodes = 1 + static_cast<int>(rng.next_below(4));
+  const int ppn = 1 + static_cast<int>(rng.next_below(5));
+  HanHarness h(machine::make_aries(nodes, ppn));
+  const int n = h.world.world_size();
+  const std::size_t count = 1 + rng.next_below(400);
+  const int root = static_cast<int>(rng.next_below(n));
+
+  // Gather then scatter must round-trip the blocks.
+  std::vector<std::vector<std::int32_t>> send(n), back(n);
+  std::vector<std::int32_t> gathered(count * n, -1);
+  for (int r = 0; r < n; ++r) {
+    send[r] = pattern_vec(r, count);
+    back[r].assign(count, -1);
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    const int r = rank.world_rank;
+    return h.han.igather(h.world.world_comm(), r, root,
+                         BufView::of(send[r], Datatype::Int32),
+                         r == root ? BufView::of(gathered, Datatype::Int32)
+                                   : BufView::timing_only(gathered.size() * 4),
+                         CollConfig{});
+  });
+  for (int r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(gathered[r * count + i], test::pattern(r, i))
+          << "gather block " << r;
+    }
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    const int r = rank.world_rank;
+    return h.han.iscatter(h.world.world_comm(), r, root,
+                          r == root ? BufView::of(gathered, Datatype::Int32)
+                                    : BufView::timing_only(gathered.size() * 4),
+                          BufView::of(back[r], Datatype::Int32),
+                          CollConfig{});
+  });
+  for (int r = 0; r < n; ++r) {
+    ASSERT_EQ(back[r], send[r]) << "scatter round-trip rank " << r;
+  }
+
+  // Allgather must equal the root's gathered image at every rank.
+  std::vector<std::vector<std::int32_t>> all(n);
+  for (int r = 0; r < n; ++r) all[r].assign(count * n, -1);
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    const int r = rank.world_rank;
+    return h.han.iallgather(h.world.world_comm(), r,
+                            BufView::of(send[r], Datatype::Int32),
+                            BufView::of(all[r], Datatype::Int32),
+                            CollConfig{});
+  });
+  for (int r = 0; r < n; ++r) {
+    ASSERT_EQ(all[r], gathered) << "allgather rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HanRootedSweep, ::testing::Range(0, 8));
+
+
+// --- jitter ---------------------------------------------------------------
+
+TEST(Jitter, ZeroJitterIsBitIdentical) {
+  auto run_once = [](double jitter, std::uint64_t seed) {
+    machine::MachineProfile prof = machine::make_aries(2, 4);
+    prof.jitter = jitter;
+    mpi::SimWorld::Options o;
+    o.jitter_seed = seed;
+    HanHarness h(prof, false);
+    (void)o;  // HanHarness wraps options; re-run directly below
+    auto done = run_collective(h.world, [&](mpi::Rank& rank) {
+      return h.han.ibcast(h.world.world_comm(), rank.world_rank, 0,
+                          BufView::timing_only(256 << 10), Datatype::Byte,
+                          CollConfig{});
+    });
+    return *std::max_element(done.begin(), done.end());
+  };
+  EXPECT_DOUBLE_EQ(run_once(0.0, 1), run_once(0.0, 2));
+}
+
+TEST(Jitter, NoisePerturbsButStaysDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    machine::MachineProfile prof = machine::make_aries(2, 4);
+    prof.jitter = 0.15;
+    mpi::SimWorld::Options o;
+    o.data_mode = false;
+    o.jitter_seed = seed;
+    mpi::SimWorld world(prof, o);
+    coll::CollRuntime rt(world);
+    coll::ModuleSet mods(world, rt);
+    core::HanModule han(world, rt, mods);
+    auto done = std::make_shared<double>(0.0);
+    world.run([&](mpi::Rank& rank) -> sim::CoTask {
+      return [](mpi::SimWorld& w, core::HanModule& han,
+                std::shared_ptr<double> done, int me) -> sim::CoTask {
+        mpi::Request r = han.ibcast(w.world_comm(), me, 0,
+                                    BufView::timing_only(256 << 10),
+                                    Datatype::Byte, CollConfig{});
+        co_await *r;
+        *done = std::max(*done, w.now());
+      }(world, han, done, rank.world_rank);
+    });
+    return *done;
+  };
+  const double a1 = run_once(11);
+  const double a2 = run_once(11);
+  const double b = run_once(99);
+  EXPECT_DOUBLE_EQ(a1, a2) << "same seed => identical";
+  EXPECT_NE(a1, b) << "different seed => different timing";
+}
+
+// --- multi-leader extension ---------------------------------------------------
+
+class MultiLeaderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiLeaderSweep, AllreduceCorrectForAnyLeaderCount) {
+  const int k = GetParam();
+  HanHarness h(machine::make_aries(3, 4));
+  const int n = 12;
+  const std::size_t count = 3000;  // 12KB: several segments at fs=4K
+  core::HanConfig cfg;
+  cfg.fs = 4 << 10;
+  cfg.imod = "adapt";
+  cfg.smod = "sm";
+  cfg.ibalg = Algorithm::Binary;
+  cfg.iralg = Algorithm::Binary;
+
+  std::vector<std::vector<std::int32_t>> send(n), recv(n);
+  for (int r = 0; r < n; ++r) {
+    send[r] = pattern_vec(r, count);
+    recv[r].assign(count, -1);
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    const int r = rank.world_rank;
+    return h.han.iallreduce_multileader(
+        h.world.world_comm(), r, BufView::of(send[r], Datatype::Int32),
+        BufView::of(recv[r], Datatype::Int32), Datatype::Int32,
+        ReduceOp::Sum, cfg, k);
+  });
+  const auto expect = expected_reduce(ReduceOp::Sum, n, count);
+  for (int r = 0; r < n; ++r) {
+    ASSERT_EQ(recv[r], expect) << "k=" << k << " rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeaderCounts, MultiLeaderSweep,
+                         ::testing::Values(1, 2, 3, 4, 8 /* clamped */));
+
+TEST(MultiLeader, SingleNodeFallsBack) {
+  HanHarness h(machine::make_aries(1, 4));
+  std::vector<std::vector<std::int32_t>> send(4), recv(4);
+  for (int r = 0; r < 4; ++r) {
+    send[r] = pattern_vec(r, 100);
+    recv[r].assign(100, -1);
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    const int r = rank.world_rank;
+    return h.han.iallreduce_multileader(
+        h.world.world_comm(), r, BufView::of(send[r], Datatype::Int32),
+        BufView::of(recv[r], Datatype::Int32), Datatype::Int32,
+        ReduceOp::Sum, core::HanConfig{}, 3);
+  });
+  const auto expect = expected_reduce(ReduceOp::Sum, 4, 100);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(recv[r], expect);
+}
+
+}  // namespace
+}  // namespace han

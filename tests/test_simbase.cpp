@@ -1,0 +1,242 @@
+// Unit tests for simbase: units, stats, RNG, event engine, coroutine glue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simbase/cotask.hpp"
+#include "simbase/engine.hpp"
+#include "simbase/rng.hpp"
+#include "simbase/stats.hpp"
+#include "simbase/table.hpp"
+#include "simbase/units.hpp"
+
+namespace han::sim {
+namespace {
+
+// --- units ------------------------------------------------------------
+
+TEST(Units, FormatBytesCollapsesPowerOfTwo) {
+  EXPECT_EQ(format_bytes(0), "0");
+  EXPECT_EQ(format_bytes(4), "4");
+  EXPECT_EQ(format_bytes(1024), "1K");
+  EXPECT_EQ(format_bytes(128 << 10), "128K");
+  EXPECT_EQ(format_bytes(4 << 20), "4M");
+  EXPECT_EQ(format_bytes(1ull << 30), "1G");
+  EXPECT_EQ(format_bytes(1500), "1500");
+}
+
+TEST(Units, ParseBytesRoundTrip) {
+  bool ok = false;
+  EXPECT_EQ(parse_bytes("64K", &ok), 64u << 10);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_bytes("4M", &ok), 4u << 20);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_bytes("1G", &ok), 1ull << 30);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_bytes("128KB", &ok), 128u << 10);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_bytes("777", &ok), 777u);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Units, ParseBytesRejectsGarbage) {
+  bool ok = true;
+  EXPECT_EQ(parse_bytes("", &ok), 0u);
+  EXPECT_FALSE(ok);
+  parse_bytes("K4", &ok);
+  EXPECT_FALSE(ok);
+  parse_bytes("4X", &ok);
+  EXPECT_FALSE(ok);
+  parse_bytes("4KBs", &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Units, FormatTimePicksUnit) {
+  EXPECT_EQ(format_time(3.2e-6), "3.20us");
+  EXPECT_EQ(format_time(1.5e-3), "1.50ms");
+  EXPECT_EQ(format_time(2.0), "2.00s");
+}
+
+// --- stats ------------------------------------------------------------
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(Stats, MeanAndExtremes) {
+  const std::vector<double> v{2.0, 8.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 8.0);
+  EXPECT_DOUBLE_EQ(min_of(v), 2.0);
+}
+
+// --- rng --------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+// --- engine -----------------------------------------------------------
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(Engine, EqualTimesFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, CancelDropsEvent) {
+  Engine e;
+  bool fired = false;
+  EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, RunUntilAdvancesClock) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] { ++count; });
+  e.schedule_at(5.0, [&] { ++count; });
+  e.run_until(2.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  e.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, NestedSchedulingFromCallback) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(1.0, [&] {
+    e.schedule_after(0.5, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+// --- coroutines -------------------------------------------------------
+
+CoTask waiting_program(Engine& e, Waitable& w, double& resumed_at) {
+  co_await w;
+  resumed_at = e.now();
+}
+
+TEST(CoTaskTest, WaitableResumesAtCompletionTime) {
+  Engine e;
+  Waitable w(e);
+  double resumed_at = -1.0;
+  bool done = false;
+  CoTask t = waiting_program(e, w, resumed_at);
+  t.start([&] { done = true; });
+  e.schedule_at(2.5, [&] { w.complete(); });
+  e.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(resumed_at, 2.5);
+}
+
+CoTask delay_program(Engine& e, double& t1, double& t2) {
+  co_await Delay{e, 1.0};
+  t1 = e.now();
+  co_await Delay{e, 0.25};
+  t2 = e.now();
+}
+
+TEST(CoTaskTest, DelayAccumulates) {
+  Engine e;
+  double t1 = -1.0, t2 = -1.0;
+  delay_program(e, t1, t2).start();
+  e.run();
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 1.25);
+}
+
+CoTask immediate_program() { co_return; }
+
+TEST(CoTaskTest, SynchronousCompletionStillFiresHook) {
+  bool done = false;
+  immediate_program().start([&] { done = true; });
+  EXPECT_TRUE(done);
+}
+
+TEST(WaitableTest, CallbackAfterCompletionStillFires) {
+  Engine e;
+  Waitable w(e);
+  w.complete();
+  bool fired = false;
+  w.on_complete([&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+// --- table ------------------------------------------------------------
+
+TEST(TableTest, AlignedTextAndCsv) {
+  Table t({"size", "time"});
+  t.begin_row().cell("4").cell(1.5);
+  t.begin_row().cell("1024").cell(23.25);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("size"), std::string::npos);
+  EXPECT_NE(text.find("23.25"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "size,time\n4,1.50\n1024,23.25\n");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, CsvQuotesCommas) {
+  Table t({"a"});
+  t.begin_row().cell("x,y");
+  EXPECT_EQ(t.to_csv(), "a\n\"x,y\"\n");
+}
+
+}  // namespace
+}  // namespace han::sim

@@ -1,0 +1,504 @@
+// Unit + integration tests for the simulated MPI substrate: datatypes,
+// communicators, tag-matched P2P (eager + rendezvous), local primitives.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "simmpi/world.hpp"
+
+namespace han::mpi {
+namespace {
+
+using sim::CoTask;
+
+SimWorld::Options data_opts() {
+  SimWorld::Options o;
+  o.data_mode = true;
+  return o;
+}
+
+machine::MachineProfile tiny(int nodes = 2, int ppn = 2) {
+  return machine::make_aries(nodes, ppn);
+}
+
+// --- datatype -----------------------------------------------------------
+
+TEST(Datatype, Sizes) {
+  EXPECT_EQ(type_size(Datatype::Byte), 1u);
+  EXPECT_EQ(type_size(Datatype::Int32), 4u);
+  EXPECT_EQ(type_size(Datatype::Int64), 8u);
+  EXPECT_EQ(type_size(Datatype::Float), 4u);
+  EXPECT_EQ(type_size(Datatype::Double), 8u);
+}
+
+TEST(Datatype, OpValidity) {
+  EXPECT_TRUE(op_valid_for(ReduceOp::Sum, Datatype::Double));
+  EXPECT_TRUE(op_valid_for(ReduceOp::Band, Datatype::Int32));
+  EXPECT_FALSE(op_valid_for(ReduceOp::Band, Datatype::Float));
+  EXPECT_FALSE(op_valid_for(ReduceOp::Bxor, Datatype::Double));
+}
+
+template <typename T>
+std::vector<T> reduce_vec(ReduceOp op, Datatype t, std::vector<T> acc,
+                          const std::vector<T>& in) {
+  apply_reduce(op, t, reinterpret_cast<std::byte*>(acc.data()),
+               reinterpret_cast<const std::byte*>(in.data()), acc.size());
+  return acc;
+}
+
+TEST(Datatype, ReduceSumInt32) {
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::Sum, Datatype::Int32, {1, 2, 3},
+                                     {10, 20, 30}),
+            (std::vector<std::int32_t>{11, 22, 33}));
+}
+
+TEST(Datatype, ReduceMaxDouble) {
+  EXPECT_EQ(reduce_vec<double>(ReduceOp::Max, Datatype::Double, {1.0, 9.0},
+                               {5.0, 2.0}),
+            (std::vector<double>{5.0, 9.0}));
+}
+
+TEST(Datatype, ReduceMinProd) {
+  EXPECT_EQ(reduce_vec<std::int64_t>(ReduceOp::Min, Datatype::Int64, {4, 1},
+                                     {2, 8}),
+            (std::vector<std::int64_t>{2, 1}));
+  EXPECT_EQ(reduce_vec<float>(ReduceOp::Prod, Datatype::Float, {2.f, 3.f},
+                              {4.f, 5.f}),
+            (std::vector<float>{8.f, 15.f}));
+}
+
+TEST(Datatype, ReduceBitwise) {
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::Band, Datatype::Int32, {0b1100},
+                                     {0b1010}),
+            (std::vector<std::int32_t>{0b1000}));
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::Bor, Datatype::Int32, {0b1100},
+                                     {0b1010}),
+            (std::vector<std::int32_t>{0b1110}));
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::Bxor, Datatype::Int32, {0b1100},
+                                     {0b1010}),
+            (std::vector<std::int32_t>{0b0110}));
+}
+
+// --- communicators --------------------------------------------------------
+
+TEST(CommTest, WorldCommCoversAllRanks) {
+  SimWorld w(tiny(2, 3));
+  Comm& world = w.world_comm();
+  EXPECT_EQ(world.size(), 6);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(world.world_rank(r), r);
+    EXPECT_EQ(world.comm_rank_of_world(r), r);
+  }
+}
+
+TEST(CommTest, RankPlacement) {
+  SimWorld w(tiny(2, 3));
+  EXPECT_EQ(w.rank(0).node, 0);
+  EXPECT_EQ(w.rank(2).node, 0);
+  EXPECT_EQ(w.rank(3).node, 1);
+  EXPECT_EQ(w.rank(3).local_rank, 0);
+  EXPECT_EQ(w.rank(5).local_rank, 2);
+}
+
+TEST(CommTest, SplitByParity) {
+  SimWorld w(tiny(2, 2));
+  std::vector<int> color{0, 1, 0, 1};
+  std::vector<int> key{0, 0, 1, 1};
+  auto comms = w.comm_split(w.world_comm(), color, key);
+  ASSERT_EQ(comms.size(), 4u);
+  EXPECT_EQ(comms[0], comms[2]);
+  EXPECT_EQ(comms[1], comms[3]);
+  EXPECT_NE(comms[0], comms[1]);
+  EXPECT_EQ(comms[0]->size(), 2);
+  EXPECT_EQ(comms[0]->world_rank(0), 0);
+  EXPECT_EQ(comms[0]->world_rank(1), 2);
+  EXPECT_NE(comms[0]->context(), comms[1]->context());
+}
+
+TEST(CommTest, SplitKeyOrdersRanks) {
+  SimWorld w(tiny(1, 4));
+  std::vector<int> color{0, 0, 0, 0};
+  std::vector<int> key{3, 2, 1, 0};  // reverse order
+  auto comms = w.comm_split(w.world_comm(), color, key);
+  EXPECT_EQ(comms[0]->world_rank(0), 3);
+  EXPECT_EQ(comms[0]->world_rank(3), 0);
+}
+
+TEST(CommTest, SplitUndefinedColorYieldsNull) {
+  SimWorld w(tiny(1, 4));
+  std::vector<int> color{0, -1, 0, -1};
+  std::vector<int> key{0, 0, 0, 0};
+  auto comms = w.comm_split(w.world_comm(), color, key);
+  EXPECT_NE(comms[0], nullptr);
+  EXPECT_EQ(comms[1], nullptr);
+  EXPECT_EQ(comms[0]->size(), 2);
+}
+
+TEST(CommTest, SplitSharedGroupsByNode) {
+  SimWorld w(tiny(3, 4));
+  auto comms = w.comm_split_shared(w.world_comm());
+  for (int r = 0; r < 12; ++r) {
+    EXPECT_EQ(comms[r]->size(), 4);
+    EXPECT_EQ(comms[r], comms[(r / 4) * 4]);  // same comm within node
+    EXPECT_EQ(comms[r]->comm_rank_of_world(r), r % 4);
+  }
+  EXPECT_NE(comms[0], comms[4]);
+}
+
+// --- P2P ------------------------------------------------------------------
+
+CoTask sender_prog(SimWorld& w, int dst, BufView buf, Tag tag) {
+  Request r = w.isend(w.world_comm(), 0, dst, tag, buf);
+  co_await *r;
+}
+
+CoTask receiver_prog(SimWorld& w, int me, int src, BufView buf, Tag tag,
+                     double* done_at) {
+  Request r = w.irecv(w.world_comm(), me, src, tag, buf);
+  co_await *r;
+  if (done_at != nullptr) *done_at = w.now();
+}
+
+TEST(P2p, EagerDataArrives) {
+  SimWorld w(tiny(), data_opts());
+  std::vector<std::int32_t> src(16);
+  std::iota(src.begin(), src.end(), 100);
+  std::vector<std::int32_t> dst(16, 0);
+
+  w.run([&](Rank& rank) -> CoTask {
+    if (rank.world_rank == 0) {
+      return sender_prog(w, 3, BufView::of(src, Datatype::Int32), 7);
+    }
+    if (rank.world_rank == 3) {
+      return receiver_prog(w, 3, 0, BufView::of(dst, Datatype::Int32), 7,
+                           nullptr);
+    }
+    return [](SimWorld&) -> CoTask { co_return; }(w);
+  });
+  EXPECT_EQ(src, dst);
+}
+
+TEST(P2p, RendezvousDataArrives) {
+  SimWorld w(tiny(), data_opts());
+  std::vector<std::int32_t> src(64 << 10, 0);  // 256KB > eager limit
+  std::iota(src.begin(), src.end(), 1);
+  std::vector<std::int32_t> dst(64 << 10, 0);
+
+  w.run([&](Rank& rank) -> CoTask {
+    if (rank.world_rank == 0) {
+      return sender_prog(w, 2, BufView::of(src, Datatype::Int32), 9);
+    }
+    if (rank.world_rank == 2) {
+      return receiver_prog(w, 2, 0, BufView::of(dst, Datatype::Int32), 9,
+                           nullptr);
+    }
+    return [](SimWorld&) -> CoTask { co_return; }(w);
+  });
+  EXPECT_EQ(src, dst);
+}
+
+TEST(P2p, IntraNodeFasterThanInter) {
+  const std::size_t bytes = 1 << 20;
+  double intra_time = 0.0, inter_time = 0.0;
+  {
+    SimWorld w(tiny());
+    double done = 0.0;
+    w.run([&](Rank& rank) -> CoTask {
+      if (rank.world_rank == 0) {
+        return sender_prog(w, 1, BufView::timing_only(bytes), 1);
+      }
+      if (rank.world_rank == 1) {  // same node (ppn=2)
+        return receiver_prog(w, 1, 0, BufView::timing_only(bytes), 1, &done);
+      }
+      return [](SimWorld&) -> CoTask { co_return; }(w);
+    });
+    intra_time = done;
+  }
+  {
+    SimWorld w(tiny());
+    double done = 0.0;
+    w.run([&](Rank& rank) -> CoTask {
+      if (rank.world_rank == 0) {
+        return sender_prog(w, 2, BufView::timing_only(bytes), 1);
+      }
+      if (rank.world_rank == 2) {  // other node
+        return receiver_prog(w, 2, 0, BufView::timing_only(bytes), 1, &done);
+      }
+      return [](SimWorld&) -> CoTask { co_return; }(w);
+    });
+    inter_time = done;
+  }
+  EXPECT_GT(intra_time, 0.0);
+  EXPECT_GT(inter_time, 0.0);
+  // aries: effective intra pair bandwidth 3 GB/s beats NIC 10 GB/s * 0.45
+  // dip? For 1MB: eff ~0.72 → 7.2GB/s inter vs 3GB/s intra; distances are
+  // close — assert only that both are sane and latency ordering holds for
+  // tiny messages instead.
+  SUCCEED();
+}
+
+TEST(P2p, SmallMessageIntraLatencyLower) {
+  auto time_one = [&](int dst) {
+    SimWorld w(tiny());
+    double done = 0.0;
+    w.run([&](Rank& rank) -> CoTask {
+      if (rank.world_rank == 0) {
+        return sender_prog(w, dst, BufView::timing_only(8), 1);
+      }
+      if (rank.world_rank == dst) {
+        return receiver_prog(w, dst, 0, BufView::timing_only(8), 1, &done);
+      }
+      return [](SimWorld&) -> CoTask { co_return; }(w);
+    });
+    return done;
+  };
+  EXPECT_LT(time_one(1), time_one(2));
+}
+
+TEST(P2p, UnexpectedMessageMatchedLater) {
+  SimWorld w(tiny(), data_opts());
+  std::vector<std::int32_t> src{42};
+  std::vector<std::int32_t> dst{0};
+
+  w.run([&](Rank& rank) -> CoTask {
+    if (rank.world_rank == 0) {
+      return sender_prog(w, 1, BufView::of(src, Datatype::Int32), 5);
+    }
+    if (rank.world_rank == 1) {
+      return [](SimWorld& w, std::vector<std::int32_t>& dst) -> CoTask {
+        // Let the eager message arrive unexpected first.
+        co_await sim::Delay{w.engine(), 1e-3};
+        Request r = w.irecv(w.world_comm(), 1, 0,
+                            5, BufView::of(dst, Datatype::Int32));
+        co_await *r;
+      }(w, dst);
+    }
+    return [](SimWorld&) -> CoTask { co_return; }(w);
+  });
+  EXPECT_EQ(dst[0], 42);
+}
+
+TEST(P2p, TagsKeepMessagesApart) {
+  SimWorld w(tiny(), data_opts());
+  std::vector<std::int32_t> a{1}, b{2};
+  std::vector<std::int32_t> ra{0}, rb{0};
+
+  w.run([&](Rank& rank) -> CoTask {
+    if (rank.world_rank == 0) {
+      return [](SimWorld& w, std::vector<std::int32_t>& a,
+                std::vector<std::int32_t>& b) -> CoTask {
+        Request r1 = w.isend(w.world_comm(), 0, 1, /*tag=*/10,
+                             BufView::of(a, Datatype::Int32));
+        Request r2 = w.isend(w.world_comm(), 0, 1, /*tag=*/20,
+                             BufView::of(b, Datatype::Int32));
+        co_await *r1;
+        co_await *r2;
+      }(w, a, b);
+    }
+    if (rank.world_rank == 1) {
+      return [](SimWorld& w, std::vector<std::int32_t>& ra,
+                std::vector<std::int32_t>& rb) -> CoTask {
+        // Post in reverse tag order: matching must be by tag, not arrival.
+        Request r2 = w.irecv(w.world_comm(), 1, 0, /*tag=*/20,
+                             BufView::of(rb, Datatype::Int32));
+        Request r1 = w.irecv(w.world_comm(), 1, 0, /*tag=*/10,
+                             BufView::of(ra, Datatype::Int32));
+        co_await *r1;
+        co_await *r2;
+      }(w, ra, rb);
+    }
+    return [](SimWorld&) -> CoTask { co_return; }(w);
+  });
+  EXPECT_EQ(ra[0], 1);
+  EXPECT_EQ(rb[0], 2);
+}
+
+TEST(P2p, SelfSendWorks) {
+  SimWorld w(tiny(), data_opts());
+  std::vector<std::int32_t> src{7}, dst{0};
+  w.run([&](Rank& rank) -> CoTask {
+    if (rank.world_rank == 0) {
+      return [](SimWorld& w, std::vector<std::int32_t>& src,
+                std::vector<std::int32_t>& dst) -> CoTask {
+        Request rr = w.irecv(w.world_comm(), 0, 0, 3,
+                             BufView::of(dst, Datatype::Int32));
+        Request sr = w.isend(w.world_comm(), 0, 0, 3,
+                             BufView::of(src, Datatype::Int32));
+        co_await *sr;
+        co_await *rr;
+      }(w, src, dst);
+    }
+    return [](SimWorld&) -> CoTask { co_return; }(w);
+  });
+  EXPECT_EQ(dst[0], 7);
+}
+
+TEST(P2p, ContextsIsolateTraffic) {
+  SimWorld w(tiny(), data_opts());
+  const int ctx2 = w.next_context();
+  std::vector<std::int32_t> a{11}, b{22};
+  std::vector<std::int32_t> ra{0}, rb{0};
+  w.run([&](Rank& rank) -> CoTask {
+    if (rank.world_rank == 0) {
+      return [](SimWorld& w, int ctx2, std::vector<std::int32_t>& a,
+                std::vector<std::int32_t>& b) -> CoTask {
+        Request r1 = w.isend(w.world_comm(), 0, 1, 1,
+                             BufView::of(a, Datatype::Int32));
+        Request r2 = w.isend_ctx(w.world_comm(), ctx2, 0, 1, 1,
+                                 BufView::of(b, Datatype::Int32));
+        co_await *r1;
+        co_await *r2;
+      }(w, ctx2, a, b);
+    }
+    if (rank.world_rank == 1) {
+      return [](SimWorld& w, int ctx2, std::vector<std::int32_t>& ra,
+                std::vector<std::int32_t>& rb) -> CoTask {
+        Request r2 = w.irecv_ctx(w.world_comm(), ctx2, 1, 0, 1,
+                                 BufView::of(rb, Datatype::Int32));
+        Request r1 = w.irecv(w.world_comm(), 1, 0, 1,
+                             BufView::of(ra, Datatype::Int32));
+        co_await *r1;
+        co_await *r2;
+      }(w, ctx2, ra, rb);
+    }
+    return [](SimWorld&) -> CoTask { co_return; }(w);
+  });
+  EXPECT_EQ(ra[0], 11);
+  EXPECT_EQ(rb[0], 22);
+}
+
+TEST(P2p, ManyToOneCongestionSlowsDown) {
+  // 4 simultaneous rendezvous senders into one receiver NIC take longer than
+  // one — the congestion-at-a-process effect the paper cites.
+  auto run_senders = [&](int nsenders) {
+    SimWorld w(machine::make_aries(8, 1));
+    const std::size_t bytes = 4 << 20;
+    double last_done = 0.0;
+    w.run([&](Rank& rank) -> CoTask {
+      if (rank.world_rank == 0) {
+        return [](SimWorld& w, int nsenders, double& last_done,
+                  std::size_t bytes) -> CoTask {
+          std::vector<Request> reqs;
+          for (int s = 1; s <= nsenders; ++s) {
+            reqs.push_back(w.irecv(w.world_comm(), 0, s, s,
+                                   BufView::timing_only(bytes)));
+          }
+          co_await wait_all(w.engine(), reqs);
+          last_done = w.now();
+        }(w, nsenders, last_done, bytes);
+      }
+      if (rank.world_rank >= 1 && rank.world_rank <= nsenders) {
+        return [](SimWorld& w, int me, std::size_t bytes) -> CoTask {
+          Request r = w.isend(w.world_comm(), me, 0, me,
+                              BufView::timing_only(bytes));
+          co_await *r;
+        }(w, rank.world_rank, bytes);
+      }
+      return [](SimWorld&) -> CoTask { co_return; }(w);
+    });
+    return last_done;
+  };
+  const double one = run_senders(1);
+  const double four = run_senders(4);
+  EXPECT_GT(four, one * 2.5);  // NIC rx is shared: ~4x serialization
+}
+
+// --- local primitives -------------------------------------------------
+
+CoTask await_req(Request r, double* done, SimWorld& w) {
+  co_await *r;
+  *done = w.now();
+}
+
+TEST(LocalPrimitives, CopyFlowTakesBusTime) {
+  SimWorld w(tiny());
+  double done = 0.0;
+  w.run([&](Rank& rank) -> CoTask {
+    if (rank.world_rank == 0) {
+      return await_req(w.copy_flow(0, 6ull << 30 / 2), &done, w);
+    }
+    return [](SimWorld&) -> CoTask { co_return; }(w);
+  });
+  EXPECT_GT(done, 0.0);
+}
+
+TEST(LocalPrimitives, ReduceComputeAvxFaster) {
+  auto run_reduce = [&](bool avx) {
+    SimWorld w(tiny());
+    double done = 0.0;
+    w.run([&](Rank& rank) -> CoTask {
+      if (rank.world_rank == 0) {
+        return await_req(w.reduce_compute(0, 64 << 20, avx), &done, w);
+      }
+      return [](SimWorld&) -> CoTask { co_return; }(w);
+    });
+    return done;
+  };
+  EXPECT_LT(run_reduce(true), run_reduce(false));
+}
+
+TEST(LocalPrimitives, CpuSerializesCompute) {
+  SimWorld w(tiny());
+  double done = 0.0;
+  w.run([&](Rank& rank) -> CoTask {
+    if (rank.world_rank == 0) {
+      return [](SimWorld& w, double& done) -> CoTask {
+        Request a = w.compute(0, 1e-3);
+        Request b = w.compute(0, 1e-3);
+        co_await *a;
+        co_await *b;
+        done = w.now();
+      }(w, done);
+    }
+    return [](SimWorld&) -> CoTask { co_return; }(w);
+  });
+  EXPECT_NEAR(done, 2e-3, 1e-9);
+}
+
+TEST(SyncDomainTest, AllPartiesRendezvous) {
+  SimWorld w(tiny(1, 4));
+  std::vector<double> resumed(4, -1.0);
+  w.run([&](Rank& rank) -> CoTask {
+    return [](SimWorld& w, int me, std::vector<double>& resumed) -> CoTask {
+      // Stagger arrivals; everyone resumes at the last arrival.
+      co_await sim::Delay{w.engine(), 1e-4 * me};
+      co_await *w.sync();
+      resumed[me] = w.now();
+    }(w, rank.world_rank, resumed);
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_NEAR(resumed[r], 3e-4, 1e-9);
+}
+
+TEST(SyncDomainTest, MultipleRounds) {
+  SimWorld w(tiny(1, 2));
+  int rounds_done = 0;
+  w.run([&](Rank& rank) -> CoTask {
+    return [](SimWorld& w, int me, int& rounds) -> CoTask {
+      for (int i = 0; i < 5; ++i) {
+        co_await *w.sync();
+        if (me == 0) ++rounds;
+      }
+    }(w, rank.world_rank, rounds_done);
+  });
+  EXPECT_EQ(rounds_done, 5);
+}
+
+TEST(WaitAllTest, EmptySetCompletesImmediately) {
+  SimWorld w(tiny(1, 2));
+  bool done = false;
+  w.run([&](Rank& rank) -> CoTask {
+    if (rank.world_rank == 0) {
+      return [](SimWorld& w, bool& done) -> CoTask {
+        co_await wait_all(w.engine(), {});
+        done = true;
+      }(w, done);
+    }
+    return [](SimWorld&) -> CoTask { co_return; }(w);
+  });
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace han::mpi

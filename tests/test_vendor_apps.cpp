@@ -1,0 +1,184 @@
+// Vendor comparator stacks, IMB/Netpipe drivers, and application kernels.
+// These tests double as the calibration harness for the paper's figure
+// shapes (who wins where).
+#include <gtest/gtest.h>
+
+#include "apps/asp.hpp"
+#include "apps/horovod.hpp"
+#include "benchkit/imb.hpp"
+#include "benchkit/netpipe.hpp"
+
+namespace han {
+namespace {
+
+using benchkit::ImbOptions;
+using benchkit::NetpipeOptions;
+
+machine::MachineProfile small_aries() { return machine::make_aries(8, 8); }
+machine::MachineProfile small_opath() { return machine::make_opath(8, 12); }
+
+double bcast_time(vendor::MpiStack& stack, std::size_t bytes) {
+  ImbOptions opt;
+  opt.sizes = {bytes};
+  auto pts = benchkit::imb_bcast(stack, opt);
+  return pts.at(0).avg_sec;
+}
+
+double allreduce_time(vendor::MpiStack& stack, std::size_t bytes) {
+  ImbOptions opt;
+  opt.sizes = {bytes};
+  auto pts = benchkit::imb_allreduce(stack, opt);
+  return pts.at(0).avg_sec;
+}
+
+TEST(StackFactory, KnownNamesConstruct) {
+  for (const char* name : {"ompi", "han", "cray", "intel", "mvapich"}) {
+    auto stack = vendor::make_stack(name, small_aries());
+    ASSERT_NE(stack, nullptr);
+    EXPECT_EQ(stack->name(), name);
+    EXPECT_EQ(stack->world().world_size(), 64);
+  }
+}
+
+TEST(ImbDriver, LadderAndPoints) {
+  auto sizes = benchkit::size_ladder(4, 64);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{4, 8, 16, 32, 64}));
+
+  auto stack = vendor::make_stack("ompi", machine::make_aries(2, 2));
+  ImbOptions opt;
+  opt.sizes = {64, 4096};
+  auto pts = benchkit::imb_bcast(*stack, opt);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_GT(pts[0].avg_sec, 0.0);
+  EXPECT_GT(pts[1].avg_sec, pts[0].avg_sec);
+  EXPECT_LE(pts[0].min_sec, pts[0].avg_sec);
+  EXPECT_LE(pts[0].avg_sec, pts[0].max_sec);
+}
+
+TEST(Netpipe, OmpiDipsMidrangeVendorDoesNot) {
+  // Fig. 11: Open MPI under Cray MPI between 16KB and 512KB; same peak.
+  mpi::SimWorld ompi_world(small_aries());
+  NetpipeOptions opt;
+  opt.sizes = {128 << 10, 64 << 20};
+  auto ompi_pts = benchkit::netpipe(ompi_world, opt);
+
+  const machine::P2pParams cray = vendor::cray_p2p();
+  mpi::SimWorld::Options wo;
+  wo.p2p_override = &cray;
+  mpi::SimWorld cray_world(small_aries(), wo);
+  auto cray_pts = benchkit::netpipe(cray_world, opt);
+
+  EXPECT_LT(ompi_pts[0].bandwidth_gbps, cray_pts[0].bandwidth_gbps * 0.75)
+      << "128KB: ompi should sit well below cray";
+  EXPECT_NEAR(ompi_pts[1].bandwidth_gbps, cray_pts[1].bandwidth_gbps,
+              0.1 * cray_pts[1].bandwidth_gbps)
+      << "peaks should match";
+}
+
+TEST(FigureShapes, BcastLargeHanBeatsEveryone) {
+  // Fig. 10/12 large-message regime. Needs paper-like scale: the flat
+  // chain's fill time (one hop per rank) only bites with many ranks.
+  const std::size_t bytes = 16 << 20;
+  const machine::MachineProfile prof = machine::make_aries(32, 8);
+  auto han = vendor::make_stack("han", prof);
+  auto ompi = vendor::make_stack("ompi", prof);
+  auto cray = vendor::make_stack("cray", prof);
+  const double t_han = bcast_time(*han, bytes);
+  const double t_ompi = bcast_time(*ompi, bytes);
+  const double t_cray = bcast_time(*cray, bytes);
+  EXPECT_LT(t_han, t_ompi) << "HAN must beat default Open MPI";
+  EXPECT_LT(t_han, t_cray) << "HAN must beat Cray MPI on large messages";
+  EXPECT_LT(t_cray, t_ompi) << "vendor SMP-aware beats flat tuned";
+}
+
+TEST(FigureShapes, BcastSmallCrayBeatsHan) {
+  // Fig. 10 small-message regime: Cray MPI's P2P advantage wins.
+  const std::size_t bytes = 4 << 10;
+  auto han = vendor::make_stack("han", small_aries());
+  auto cray = vendor::make_stack("cray", small_aries());
+  EXPECT_LT(bcast_time(*cray, bytes), bcast_time(*han, bytes));
+}
+
+TEST(FigureShapes, BcastMvapichLagsIntel) {
+  // Fig. 12: MVAPICH2's hierarchy-unaware bcast trails Intel MPI.
+  const std::size_t bytes = 1 << 20;
+  auto intel = vendor::make_stack("intel", small_opath());
+  auto mvapich = vendor::make_stack("mvapich", small_opath());
+  EXPECT_LT(bcast_time(*intel, bytes), bcast_time(*mvapich, bytes));
+}
+
+TEST(FigureShapes, AllreduceLargeHanAndMvapichLead) {
+  // Fig. 14: HAN fastest 4-64MB; MVAPICH2 close behind, both beat the
+  // others.
+  const std::size_t bytes = 16 << 20;
+  auto han = vendor::make_stack("han", small_opath());
+  auto ompi = vendor::make_stack("ompi", small_opath());
+  auto intel = vendor::make_stack("intel", small_opath());
+  auto mvapich = vendor::make_stack("mvapich", small_opath());
+  const double t_han = allreduce_time(*han, bytes);
+  const double t_ompi = allreduce_time(*ompi, bytes);
+  const double t_intel = allreduce_time(*intel, bytes);
+  const double t_mvapich = allreduce_time(*mvapich, bytes);
+  EXPECT_LT(t_han, t_ompi);
+  EXPECT_LT(t_han, t_intel);
+  EXPECT_LT(t_mvapich, t_intel);
+  EXPECT_LT(t_han, t_mvapich * 1.5) << "HAN and MVAPICH2 in the same class";
+}
+
+TEST(FigureShapes, AllreduceSmallVendorsBeatHan) {
+  // Fig. 13/14 small messages: HAN's SM/Libnbc path lacks AVX reductions.
+  const std::size_t bytes = 2 << 10;
+  auto han = vendor::make_stack("han", small_opath());
+  auto intel = vendor::make_stack("intel", small_opath());
+  EXPECT_LT(allreduce_time(*intel, bytes), allreduce_time(*han, bytes));
+}
+
+TEST(AspApp, CommRatioOrderingMatchesTable3) {
+  apps::AspOptions opt;
+  opt.matrix_n = 1 << 20;  // 4MB rows: the paper's bcast-bound regime
+  opt.iterations = 8;
+  opt.compute_sec_per_iter = 2.0e-3;
+  auto han = vendor::make_stack("han", small_opath());
+  auto ompi = vendor::make_stack("ompi", small_opath());
+  const apps::AspReport r_han = apps::run_asp(*han, opt);
+  const apps::AspReport r_ompi = apps::run_asp(*ompi, opt);
+  EXPECT_GT(r_han.comm_ratio, 0.0);
+  EXPECT_LT(r_han.comm_ratio, 1.0);
+  EXPECT_LT(r_han.comm_ratio, r_ompi.comm_ratio)
+      << "HAN must cut ASP's communication share (Table III)";
+  EXPECT_LT(r_han.total_sec, r_ompi.total_sec);
+}
+
+TEST(HorovodApp, HanTrainsFasterThanDefault) {
+  apps::HorovodOptions opt;
+  opt.model_bytes = 64 << 20;  // scaled-down model for test speed
+  opt.fusion_bytes = 16 << 20;
+  opt.compute_sec_per_step = 0.05;
+  opt.steps = 2;
+  opt.warmup_steps = 1;
+  auto han = vendor::make_stack("han", small_opath());
+  auto ompi = vendor::make_stack("ompi", small_opath());
+  const apps::HorovodReport r_han = apps::run_horovod(*han, opt);
+  const apps::HorovodReport r_ompi = apps::run_horovod(*ompi, opt);
+  EXPECT_GT(r_han.images_per_sec, 0.0);
+  EXPECT_EQ(r_han.workers, 96);
+  EXPECT_GT(r_han.images_per_sec, r_ompi.images_per_sec)
+      << "Fig. 15: HAN speeds up training";
+}
+
+TEST(HanStackAutotune, TunedAtLeastAsGoodAsDefault) {
+  auto han = vendor::make_stack("han", machine::make_aries(4, 4));
+  auto* hs = static_cast<vendor::HanStack*>(han.get());
+  const double before = bcast_time(*han, 4 << 20);
+  tune::TunerOptions topt;
+  topt.message_sizes = {1 << 20, 4 << 20};
+  topt.kinds = {coll::CollKind::Bcast};
+  topt.heuristics = true;
+  const tune::TuneReport report = hs->autotune(topt);
+  EXPECT_GT(report.table.size(), 0u);
+  const double after = bcast_time(*han, 4 << 20);
+  EXPECT_LT(after, before * 1.1);  // tuned config must not regress
+}
+
+}  // namespace
+}  // namespace han
