@@ -26,7 +26,8 @@ int main() {
   std::printf("== step 1: offline task-model autotuning ==\n");
   tune::Tuner tuner(world, han, world.world_comm());
   tune::TunerOptions options;
-  options.kinds = {coll::CollKind::Bcast, coll::CollKind::Allreduce};
+  options.kinds = {coll::CollKind::Bcast, coll::CollKind::Allreduce,
+                   coll::CollKind::ReduceScatter};
   options.message_sizes = {64 << 10, 512 << 10, 4 << 20, 16 << 20};
   options.heuristics = true;  // §III-C: prune SOLO/chain where they cannot win
   const tune::TuneReport report = tuner.tune(options);
@@ -37,10 +38,17 @@ int main() {
               report.table.serialize().c_str());
 
   const char* path = "/tmp/han_tuning_table.txt";
-  report.table.save(path);
+  if (!report.table.save(path)) {
+    std::fprintf(stderr, "could not persist the tuning table\n");
+    return 1;
+  }
   auto loaded = tune::LookupTable::load(path);
+  if (!loaded) {
+    std::fprintf(stderr, "could not reload the tuning table\n");
+    return 1;
+  }
   std::printf("saved to %s and reloaded: %zu entries\n", path,
-              loaded ? loaded->size() : 0);
+              loaded->size());
 
   std::printf("\n== step 3: decisions for arbitrary inputs ==\n");
   for (std::size_t m : {4096ul, 1ul << 20, 64ul << 20}) {

@@ -1,0 +1,41 @@
+// Sharded-training example: a ZeRO/FSDP-style step built on
+// reduce-scatter + allgather instead of Horovod's allreduce. Each worker
+// reduce-scatters gradient buckets (keeping only its parameter shard's
+// reduction) and allgathers updated shards before the next forward. The
+// hierarchical ring reduce-scatter is the piece HAN adds over the
+// allreduce-and-discard fallback of hierarchy-unaware stacks.
+#include <cstdio>
+
+#include "apps/zero.hpp"
+
+using namespace han;
+
+int main() {
+  apps::ZeroOptions options;
+  options.model_bytes = 244ull << 20;  // AlexNet-sized fp32 model
+  options.bucket_bytes = 64 << 20;
+  options.compute_sec_per_step = 0.30;
+  options.steps = 2;
+
+  std::printf("ZeRO-style sharded training, %s model\n\n",
+              sim::format_bytes(options.model_bytes).c_str());
+  std::printf("%8s %14s %14s %10s %14s\n", "workers", "ompi img/s",
+              "han img/s", "gain", "han gather ms");
+
+  for (int nodes : {4, 8, 12}) {
+    const machine::MachineProfile profile = machine::make_opath(nodes, 12);
+    auto ompi = vendor::make_stack("ompi", profile);
+    auto han = vendor::make_stack("han", profile);
+    const apps::ZeroReport r_ompi = apps::run_zero(*ompi, options);
+    const apps::ZeroReport r_han = apps::run_zero(*han, options);
+    std::printf("%8d %14.1f %14.1f %9.2f%% %14.2f\n", r_han.workers,
+                r_ompi.images_per_sec, r_han.images_per_sec,
+                100.0 * (r_han.images_per_sec / r_ompi.images_per_sec - 1.0),
+                r_han.gather_sec_per_step * 1e3);
+  }
+  std::printf("\nThe fallback pays a full allreduce per gradient bucket and "
+              "a flat allgather;\nHAN reduce-scatters hierarchically (ring "
+              "between nodes) and gathers through\nthe node leaders, so the "
+              "gap widens with scale.\n");
+  return 0;
+}

@@ -46,6 +46,58 @@ AllreduceTaskCosts AllreduceTaskCosts::from_trace(const PipelineTrace& trace) {
   return c;
 }
 
+AffineFit AffineFit::from_points(std::size_t b1, double t1, std::size_t b2,
+                                 double t2) {
+  AffineFit f;
+  if (b2 == b1) {
+    f.base = t1;
+    return f;
+  }
+  f.per_byte = (t2 - t1) / (static_cast<double>(b2) - static_cast<double>(b1));
+  f.base = t1 - f.per_byte * static_cast<double>(b1);
+  // A negative intercept can fall out of noisy two-point sampling; clamp so
+  // extrapolation to tiny sizes stays sane.
+  if (f.base < 0.0) f.base = 0.0;
+  return f;
+}
+
+double reduce_scatter_model_cost(const ReduceScatterTaskCosts& costs,
+                                 const core::HanConfig& cfg,
+                                 std::size_t msg_bytes, int nodes, int ppn) {
+  HAN_ASSERT(nodes >= 1 && ppn >= 1);
+  const std::size_t m = std::max<std::size_t>(msg_bytes, 1);
+  const std::size_t region = std::max<std::size_t>(m / nodes, 1);
+  const bool has_intra = ppn > 1;
+  const std::size_t fs = std::max<std::size_t>(cfg.fs, 1);
+
+  if (cfg.imod == "ring") {
+    if (!has_intra) return costs.inter_ring.at(m);
+    // u serial intra reduces of ~fs bytes; the last slice's ring (a
+    // strided vector of nodes * slice bytes) cannot be overlapped; ss.
+    const std::size_t slice = std::min(fs, region);
+    const int u = static_cast<int>((m + slice - 1) / slice);
+    return u * costs.intra_reduce.at(slice) +
+           costs.inter_ring.at(nodes * slice) +
+           costs.intra_scatter.at(region);
+  }
+
+  const int u = static_cast<int>((m + fs - 1) / fs);
+  double worst = 0.0;
+  if (has_intra) {
+    // sr ⊕ ir pipeline over the u segments, then the inter scatter and ss.
+    for (std::size_t i = 0; i < costs.sr0.t.size(); ++i) {
+      const double t = costs.sr0.t[i] +
+                       static_cast<double>(u - 1) * costs.irsr_stable.t[i] +
+                       costs.ir_tail.t[i];
+      worst = std::max(worst, t);
+    }
+  } else {
+    for (double t : costs.ir_tail.t) worst = std::max(worst, u * t);
+  }
+  return worst + costs.inter_scatter.at(m) +
+         (has_intra ? costs.intra_scatter.at(region) : 0.0);
+}
+
 double allreduce_model_cost(const AllreduceTaskCosts& costs, int u) {
   HAN_ASSERT(u >= 1);
   const std::size_t leaders = costs.sr0.t.size();

@@ -41,4 +41,44 @@ struct AllreduceTaskCosts {
 /// the pipeline depth).
 double allreduce_model_cost(const AllreduceTaskCosts& costs, int u);
 
+/// Affine cost fit t(bytes) = base + per_byte * bytes from two sampled
+/// points. The simulated fabric is linear in message size past the eager
+/// threshold, so two samples pin the whole size axis — the reduce-scatter
+/// model uses these for its scatter/ring tails, whose operand sizes (m,
+/// the node region, a slice vector) are not multiples of fs.
+struct AffineFit {
+  double base = 0.0;
+  double per_byte = 0.0;
+
+  double at(std::size_t bytes) const {
+    return base + per_byte * static_cast<double>(bytes);
+  }
+  static AffineFit from_points(std::size_t b1, double t1, std::size_t b2,
+                               double t2);
+};
+
+/// Benchmarked task costs of the hierarchical reduce-scatter. The tree
+/// path reuses the sr ⊕ ir pipeline structure (a reduce-only trace); the
+/// ring path needs only sr plus the strided-ring and scatter fits.
+struct ReduceScatterTaskCosts {
+  PerLeader sr0;            // T_i(sr(0)): intra reduce of one fs segment
+  PerLeader irsr_stable;    // T_i(irsr(s)): steady ir ∥ sr step (tree)
+  PerLeader ir_tail;        // T_i(ir): drain step (tree)
+  AffineFit inter_scatter;  // tree tail: inter scatter of the whole vector
+  AffineFit intra_reduce;   // ring: one intra reduce vs piece size (the
+                            // ring path's pieces are min(fs, region), not
+                            // fs, so a fit beats a single sample)
+  AffineFit inter_ring;     // ring reduce-scatter of a slice vector
+  AffineFit intra_scatter;  // ss: scatter of the node region
+};
+
+/// Model cost of a reduce-scatter of `msg_bytes` under `cfg` on a
+/// (nodes, ppn) hierarchy. Tree path:
+///     max_i( sr(0) + (u-1)*irsr(s) + ir ) + isc(m) + ss(m/n)
+/// Ring path (slices of min(fs, region) pipelining sr against the ring):
+///     max_i( u*sr(0) ) + ring(n*slice) + ss(m/n)
+double reduce_scatter_model_cost(const ReduceScatterTaskCosts& costs,
+                                 const core::HanConfig& cfg,
+                                 std::size_t msg_bytes, int nodes, int ppn);
+
 }  // namespace han::tune

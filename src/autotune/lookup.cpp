@@ -1,7 +1,9 @@
 #include "autotune/lookup.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -19,6 +21,8 @@ coll::CollKind parse_kind(const std::string& s, bool* ok) {
   if (s == "gather") return coll::CollKind::Gather;
   if (s == "scatter") return coll::CollKind::Scatter;
   if (s == "allgather") return coll::CollKind::Allgather;
+  if (s == "barrier") return coll::CollKind::Barrier;
+  if (s == "reduce_scatter") return coll::CollKind::ReduceScatter;
   *ok = false;
   return coll::CollKind::Bcast;
 }
@@ -123,10 +127,21 @@ bool LookupTable::deserialize(const std::string& text, LookupTable* out) {
 }
 
 bool LookupTable::save(const std::string& path) const {
+  errno = 0;
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    std::fprintf(stderr, "LookupTable::save: cannot open '%s': %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
   out << serialize();
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "LookupTable::save: write to '%s' failed: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  return true;
 }
 
 std::optional<LookupTable> LookupTable::load(const std::string& path) {

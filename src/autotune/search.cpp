@@ -11,8 +11,23 @@ using mpi::BufView;
 
 std::vector<HanConfig> SearchSpace::enumerate(CollKind kind) const {
   std::vector<HanConfig> out;
+  // The ring inter module only implements the ring-pattern collectives, so
+  // it joins the space for reduce-scatter only; one config per fs x smod
+  // (the ring has no algorithm/segment knobs beyond irs, left 0).
+  const bool ring = include_ring && kind == CollKind::ReduceScatter;
   for (std::size_t fs : fs_sizes) {
     for (const std::string& smod : smods) {
+      if (ring) {
+        HanConfig c;
+        c.fs = fs;
+        c.imod = "ring";
+        c.smod = smod;
+        c.ibalg = Algorithm::Ring;
+        c.iralg = Algorithm::Ring;
+        c.ibs = 0;
+        c.irs = 0;
+        out.push_back(std::move(c));
+      }
       for (const std::string& imod : imods) {
         if (imod == "libnbc") {
           HanConfig c;
@@ -42,7 +57,6 @@ std::vector<HanConfig> SearchSpace::enumerate(CollKind kind) const {
       }
     }
   }
-  (void)kind;  // bcast and allreduce share the space (Table II)
   return out;
 }
 
@@ -69,6 +83,11 @@ bool heuristic_allows(const HanConfig& cfg, CollKind kind,
   // Inter-level segmentation finer than needed on tiny messages only adds
   // setup cost.
   if (msg_bytes > 0 && cfg.ibs > 0 && cfg.ibs > msg_bytes) return false;
+  // The ring's n-1 serial steps lose to the trees' log depth below the
+  // measured ~1-2KB crossover; prune with margin.
+  if (cfg.imod == "ring" && msg_bytes > 0 && msg_bytes < (4u << 10)) {
+    return false;
+  }
   (void)kind;
   return true;
 }
@@ -117,6 +136,17 @@ double Searcher::measure_collective(CollKind kind, std::size_t msg_bytes,
                                     mpi::Datatype::Byte, mpi::ReduceOp::Sum,
                                     cfg);
             break;
+          case CollKind::ReduceScatter: {
+            // Equal blocks: round the vector to a multiple of the comm.
+            const std::size_t block =
+                std::max<std::size_t>(bytes / s.comm_->size(), 1);
+            r = s.han_->ireduce_scatter_cfg(
+                *s.comm_, pr,
+                BufView::timing_only(block * s.comm_->size()),
+                BufView::timing_only(block), mpi::Datatype::Byte,
+                mpi::ReduceOp::Sum, cfg);
+            break;
+          }
           default:
             HAN_ASSERT_MSG(false, "unsupported kind in measure_collective");
         }
@@ -181,11 +211,49 @@ const AllreduceTaskCosts& Searcher::allreduce_costs(const HanConfig& cfg) {
       .first->second;
 }
 
+const ReduceScatterTaskCosts& Searcher::reduce_scatter_costs(
+    const HanConfig& cfg) {
+  const ConfigKey key{cfg.to_string()};
+  auto it = reduce_scatter_cache_.find(key);
+  if (it != reduce_scatter_cache_.end()) return it->second;
+
+  ReduceScatterTaskCosts costs;
+  const std::size_t fs = std::max<std::size_t>(cfg.fs, 1);
+  // Two-point samples pin the affine size axis of each tail task.
+  const std::size_t b1 = fs;
+  const std::size_t b2 = 4 * fs;
+  costs.intra_scatter = AffineFit::from_points(
+      b1, bench_.bench_intra_scatter(cfg, b1).max(), b2,
+      bench_.bench_intra_scatter(cfg, b2).max());
+  if (cfg.imod == "ring") {
+    costs.intra_reduce =
+        AffineFit::from_points(b1, bench_.bench_sr(cfg, b1).max(), b2,
+                               bench_.bench_sr(cfg, b2).max());
+    costs.inter_ring = AffineFit::from_points(
+        b1, bench_.bench_inter_ring_rs(cfg, b1).max(), b2,
+        bench_.bench_inter_ring_rs(cfg, b2).max());
+  } else {
+    const PipelineTrace trace =
+        bench_.bench_reduce_pipeline(cfg, fs, /*steps=*/6);
+    costs.sr0 = trace.steps.front();
+    costs.irsr_stable = PipelineTrace{{trace.steps.begin() + 1,
+                                       trace.steps.end() - 1}}
+                            .stabilized();
+    costs.ir_tail = trace.steps.back();
+    costs.inter_scatter = AffineFit::from_points(
+        b1, bench_.bench_inter_scatter(cfg, b1).max(), b2,
+        bench_.bench_inter_scatter(cfg, b2).max());
+  }
+  return reduce_scatter_cache_.emplace(key, std::move(costs)).first->second;
+}
+
 void Searcher::prepare(CollKind kind, bool heuristics) {
   for (const HanConfig& cfg : space_.enumerate(kind)) {
     if (heuristics && !heuristic_allows(cfg, kind, 0, 0)) continue;
     if (kind == CollKind::Bcast) {
       bcast_costs(cfg);
+    } else if (kind == CollKind::ReduceScatter) {
+      reduce_scatter_costs(cfg);
     } else {
       allreduce_costs(cfg);
     }
@@ -216,6 +284,12 @@ double Searcher::estimate_config(CollKind kind, std::size_t msg_bytes,
                           std::max<std::size_t>(cfg.fs, 1)));
   if (kind == CollKind::Bcast) {
     return bcast_model_cost(bcast_costs(cfg), u);
+  }
+  if (kind == CollKind::ReduceScatter) {
+    core::HanComm& hc = han_->han_comm(*comm_);
+    return reduce_scatter_model_cost(reduce_scatter_costs(cfg), cfg,
+                                     msg_bytes, hc.node_count(),
+                                     hc.max_ppn());
   }
   HAN_ASSERT(kind == CollKind::Allreduce);
   return allreduce_model_cost(allreduce_costs(cfg), u);

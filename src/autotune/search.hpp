@@ -28,6 +28,9 @@ struct SearchSpace {
                                           coll::Algorithm::Binary,
                                           coll::Algorithm::Binomial};
   std::vector<std::size_t> adapt_inter_segments{32 << 10, 128 << 10};
+  /// Add the ring inter module for the kinds it implements
+  /// (reduce-scatter); one config per fs x smod.
+  bool include_ring = true;
 
   /// Every configuration of the space (paper: S x A combinations).
   std::vector<core::HanConfig> enumerate(coll::CollKind kind) const;
@@ -90,6 +93,8 @@ class Searcher {
 
   const BcastTaskCosts& bcast_costs(const core::HanConfig& cfg);
   const AllreduceTaskCosts& allreduce_costs(const core::HanConfig& cfg);
+  const ReduceScatterTaskCosts& reduce_scatter_costs(
+      const core::HanConfig& cfg);
 
   mpi::SimWorld* world_;
   core::HanModule* han_;
@@ -99,6 +104,7 @@ class Searcher {
   double bench_charge_ = 0.0;  // whole-collective measurement time
   std::map<ConfigKey, BcastTaskCosts> bcast_cache_;
   std::map<ConfigKey, AllreduceTaskCosts> allreduce_cache_;
+  std::map<ConfigKey, ReduceScatterTaskCosts> reduce_scatter_cache_;
 };
 
 }  // namespace han::tune

@@ -325,4 +325,152 @@ PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
   return trace;
 }
 
+PipelineTrace TaskBench::bench_reduce_pipeline(const HanConfig& cfg,
+                                               std::size_t seg_bytes,
+                                               int steps) {
+  core::HanComm& hc = han_->han_comm(*comm_);
+  coll::CollModule* imod = han_->inter_module(cfg);
+  coll::CollModule* smod = han_->intra_module(cfg);
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+
+  const int total_steps = steps + 1;
+  PipelineTrace trace;
+  trace.steps.assign(total_steps,
+                     PerLeader{std::vector<double>(leaders_, 0.0)});
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
+              coll::CollModule* smod, CollConfig ircfg,
+              std::shared_ptr<mpi::SyncDomain> sync, PipelineTrace& trace,
+              std::size_t seg, int u, int total_steps,
+              int pr) -> sim::CoTask {
+      const bool leader = hc.low_rank(pr) == 0;
+      const mpi::Datatype dt = mpi::Datatype::Byte;
+      const mpi::ReduceOp op = mpi::ReduceOp::Sum;
+      co_await *sync->arrive();
+      for (int t = 0; t < total_steps; ++t) {
+        const double t0 = tb.world().now();
+        std::vector<mpi::Request> task;
+        if (t <= u - 1) {
+          task.push_back(smod->ireduce(hc.low(pr), hc.low_rank(pr), 0,
+                                       BufView::timing_only(seg),
+                                       BufView::timing_only(seg), dt, op,
+                                       CollConfig{}));
+        }
+        if (leader && t >= 1 && t - 1 <= u - 1) {
+          task.push_back(imod->ireduce(*hc.up(pr), hc.up_rank(pr), 0,
+                                       BufView::timing_only(seg),
+                                       BufView::timing_only(seg), dt, op,
+                                       ircfg));
+        }
+        if (!task.empty()) {
+          co_await mpi::wait_all(tb.world().engine(), std::move(task));
+        }
+        if (leader) trace.steps[t].t[hc.up_rank(pr)] = tb.world().now() - t0;
+      }
+    }(*this, hc, imod, smod, ircfg, sync, trace, seg_bytes, steps,
+      total_steps, rank.world_rank);
+  });
+  return trace;
+}
+
+PerLeader TaskBench::bench_inter_scatter(const HanConfig& cfg,
+                                         std::size_t bytes, int iters) {
+  core::HanComm& hc = han_->han_comm(*comm_);
+  coll::CollModule* imod = han_->inter_module(cfg);
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+  std::vector<std::vector<double>> results(iters,
+                                           std::vector<double>(leaders_, 0));
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
+              std::shared_ptr<mpi::SyncDomain> sync,
+              std::vector<std::vector<double>>& results, std::size_t bytes,
+              int iters, int pr) -> sim::CoTask {
+      const bool leader = hc.low_rank(pr) == 0;
+      for (int it = 0; it < iters; ++it) {
+        co_await *sync->arrive();
+        if (leader) {
+          const int nodes = hc.up(pr)->size();
+          const double t0 = tb.world().now();
+          mpi::Request r = imod->iscatter(
+              *hc.up(pr), hc.up_rank(pr), 0, BufView::timing_only(bytes),
+              BufView::timing_only(bytes / nodes), CollConfig{});
+          co_await *r;
+          results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+        }
+      }
+    }(*this, hc, imod, sync, results, bytes, iters, rank.world_rank);
+  });
+  return average(results, leaders_);
+}
+
+PerLeader TaskBench::bench_inter_ring_rs(const HanConfig& cfg,
+                                         std::size_t bytes, int iters) {
+  core::HanComm& hc = han_->han_comm(*comm_);
+  coll::RingModule& ring = han_->modules().ring();
+  const CollConfig rcfg{coll::Algorithm::Ring, cfg.irs};
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+  std::vector<std::vector<double>> results(iters,
+                                           std::vector<double>(leaders_, 0));
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::HanComm& hc, coll::RingModule& ring,
+              CollConfig rcfg, std::shared_ptr<mpi::SyncDomain> sync,
+              std::vector<std::vector<double>>& results, std::size_t bytes,
+              int iters, int pr) -> sim::CoTask {
+      const bool leader = hc.low_rank(pr) == 0;
+      for (int it = 0; it < iters; ++it) {
+        co_await *sync->arrive();
+        if (leader) {
+          const int nodes = hc.up(pr)->size();
+          const double t0 = tb.world().now();
+          mpi::Request r = ring.ireduce_scatter(
+              *hc.up(pr), hc.up_rank(pr), BufView::timing_only(bytes),
+              BufView::timing_only(bytes / nodes), mpi::Datatype::Byte,
+              mpi::ReduceOp::Sum, rcfg);
+          co_await *r;
+          results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+        }
+      }
+    }(*this, hc, ring, rcfg, sync, results, bytes, iters, rank.world_rank);
+  });
+  return average(results, leaders_);
+}
+
+PerLeader TaskBench::bench_intra_scatter(const HanConfig& cfg,
+                                         std::size_t bytes, int iters) {
+  core::HanComm& hc = han_->han_comm(*comm_);
+  (void)cfg;  // ss always uses the libnbc intra scatter, as the program does
+  coll::CollModule* smod = &han_->modules().libnbc();
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+  std::vector<std::vector<double>> results(iters,
+                                           std::vector<double>(leaders_, 0));
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* smod,
+              std::shared_ptr<mpi::SyncDomain> sync,
+              std::vector<std::vector<double>>& results, std::size_t bytes,
+              int iters, int pr) -> sim::CoTask {
+      const bool leader = hc.low_rank(pr) == 0;
+      for (int it = 0; it < iters; ++it) {
+        co_await *sync->arrive();
+        const int p = hc.low(pr).size();
+        const double t0 = tb.world().now();
+        mpi::Request r = smod->iscatter(
+            hc.low(pr), hc.low_rank(pr), 0, BufView::timing_only(bytes),
+            BufView::timing_only(bytes / p), CollConfig{});
+        co_await *r;
+        if (leader) results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+      }
+    }(*this, hc, smod, sync, results, bytes, iters, rank.world_rank);
+  });
+  return average(results, leaders_);
+}
+
 }  // namespace han::tune

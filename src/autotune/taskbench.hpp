@@ -80,6 +80,28 @@ class TaskBench {
   PipelineTrace bench_allreduce_pipeline(const core::HanConfig& cfg,
                                          std::size_t seg_bytes, int steps);
 
+  // --- Reduce-scatter tasks ----------------------------------------------
+
+  /// Instrumented sr ⊕ ir reduce pipeline (the front half of the allreduce
+  /// chain — reduce-scatter's tree path) over `steps + 1` steps:
+  /// step 0 = sr(0), 1.. = irsr, tail = ir drain.
+  PipelineTrace bench_reduce_pipeline(const core::HanConfig& cfg,
+                                      std::size_t seg_bytes, int steps);
+
+  /// Inter-node scatter of `bytes` from up-root 0 (the tree path's isc
+  /// tail). One point of the AffineFit the model extrapolates with.
+  PerLeader bench_inter_scatter(const core::HanConfig& cfg,
+                                std::size_t bytes, int iters = 3);
+
+  /// Ring reduce-scatter of `bytes` across the node leaders (the ring
+  /// path's inter task).
+  PerLeader bench_inter_ring_rs(const core::HanConfig& cfg,
+                                std::size_t bytes, int iters = 3);
+
+  /// Intra-node scatter of `bytes` from the node leader (the ss tail).
+  PerLeader bench_intra_scatter(const core::HanConfig& cfg,
+                                std::size_t bytes, int iters = 3);
+
   int leader_count() const { return leaders_; }
 
   mpi::SimWorld& world() { return *world_; }

@@ -1,5 +1,7 @@
 #include "autotune/tuner.hpp"
 
+#include <algorithm>
+
 namespace han::tune {
 
 Tuner::Tuner(mpi::SimWorld& world, core::HanModule& han,
@@ -10,17 +12,30 @@ Tuner::Tuner(mpi::SimWorld& world, core::HanModule& han,
       searcher_(world, han, comm, std::move(space)) {}
 
 TuneReport Tuner::tune(const TunerOptions& options) {
+  // Callers assemble size lists programmatically (unions of app bucket
+  // sizes, sweep ladders); tolerate duplicates and out-of-order entries so
+  // a repeated size is never benchmarked twice and the table fills in
+  // ascending order.
+  TunerOptions opts = options;
+  std::sort(opts.message_sizes.begin(), opts.message_sizes.end());
+  opts.message_sizes.erase(
+      std::unique(opts.message_sizes.begin(), opts.message_sizes.end()),
+      opts.message_sizes.end());
+  std::sort(opts.kinds.begin(), opts.kinds.end());
+  opts.kinds.erase(std::unique(opts.kinds.begin(), opts.kinds.end()),
+                   opts.kinds.end());
+
   TuneReport report;
   core::HanComm& hc = han_->han_comm(*comm_);
   const int nodes = hc.node_count();
   const int ppn = hc.max_ppn();
 
   const double cost0 = searcher_.tuning_cost();
-  for (coll::CollKind kind : options.kinds) {
-    searcher_.prepare(kind, options.heuristics);
-    for (std::size_t m : options.message_sizes) {
+  for (coll::CollKind kind : opts.kinds) {
+    searcher_.prepare(kind, opts.heuristics);
+    for (std::size_t m : opts.message_sizes) {
       const SearchResult result =
-          searcher_.estimate(kind, m, options.heuristics);
+          searcher_.estimate(kind, m, opts.heuristics);
       if (result.best) {
         report.table.insert(kind, nodes, ppn, m, result.best->cfg);
       }

@@ -17,7 +17,8 @@ struct TunerOptions {
       4 << 10,  16 << 10, 64 << 10, 256 << 10,
       1 << 20,  4 << 20,  16 << 20};
   std::vector<coll::CollKind> kinds{coll::CollKind::Bcast,
-                                    coll::CollKind::Allreduce};
+                                    coll::CollKind::Allreduce,
+                                    coll::CollKind::ReduceScatter};
   bool heuristics = false;  // user-toggleable (paper: accuracy trade-off)
 };
 

@@ -31,6 +31,15 @@ void apply_action_delay(Plan& plan, sim::Time delay) {
 
 }  // namespace
 
+namespace detail {
+
+void finalize_plan(Plan& plan, const BuildSpec& spec) {
+  apply_action_delay(plan, spec.action_pre_delay);
+  apply_setup(plan, spec.op_setup);
+}
+
+}  // namespace detail
+
 Segmenter::Segmenter(std::size_t bytes, std::size_t segment,
                      mpi::Datatype dtype)
     : bytes_(bytes) {
@@ -225,71 +234,6 @@ Plan build_recdoub_allreduce(int comm_size, const BuildSpec& spec) {
   return plan;
 }
 
-Plan build_ring_allreduce(int comm_size, const BuildSpec& spec) {
-  Plan plan(comm_size, /*user_slots=*/2);
-  const int n = comm_size;
-  const std::size_t elem = type_size(spec.dtype);
-  const std::size_t count = spec.bytes / elem;
-
-  // Chunk c covers elements [c*count/n, (c+1)*count/n).
-  auto chunk_off = [&](int c) { return (count * c / n) * elem; };
-  auto chunk_len = [&](int c) {
-    return (count * (c + 1) / n - count * c / n) * elem;
-  };
-
-  for (int r = 0; r < n; ++r) {
-    RankPlan& rp = plan.ranks[r];
-    rp.temp_slots.push_back(spec.bytes / std::max(1, n) + elem);  // step tmp
-    const SlotRef acc{1, 0};
-    const SlotRef tmp{2, 0};
-    const int right = (r + 1) % n;
-    const int left = (r - 1 + n) % n;
-
-    int last = rp.add(copy_action(spec.bytes, SlotRef{0, 0}, acc));
-
-    if (n == 1) continue;
-
-    // Reduce-scatter: after step s, rank r has reduced chunk (r-s-1+n)%n
-    // deeper by one contribution; after n-1 steps it owns chunk (r+1)%n.
-    for (int s = 0; s < n - 1; ++s) {
-      const int send_c = (r - s + n) % n;
-      const int recv_c = (r - s - 1 + n) % n;
-      Action send = send_action(right, s, chunk_len(send_c),
-                                SlotRef{1, chunk_off(send_c)});
-      send.deps.push_back(dep(last));
-      rp.add(std::move(send));
-      Action recv = recv_action(left, s, chunk_len(recv_c), tmp);
-      recv.deps.push_back(dep(last));  // tmp reuse
-      const int rc = rp.add(std::move(recv));
-      Action red =
-          reduce_action(chunk_len(recv_c), tmp, SlotRef{1, chunk_off(recv_c)},
-                        spec.op, spec.dtype, spec.avx);
-      red.deps.push_back(dep(rc));
-      last = rp.add(std::move(red));
-    }
-
-    // Allgather: rank r starts by forwarding its completed chunk (r+1)%n.
-    int prev_recv = -1;
-    for (int s = 0; s < n - 1; ++s) {
-      const int send_c = (r + 1 - s + n) % n;
-      const int recv_c = (r - s + n) % n;
-      Action send = send_action(right, 1000 + s, chunk_len(send_c),
-                                SlotRef{1, chunk_off(send_c)});
-      send.deps.push_back(dep(s == 0 ? last : prev_recv));
-      rp.add(std::move(send));
-      // Receives write distinct final chunks, but must not land before the
-      // local reduce-scatter chain finishes writing acc — dep on `last`.
-      Action recv = recv_action(left, 1000 + s, chunk_len(recv_c),
-                                SlotRef{1, chunk_off(recv_c)});
-      recv.deps.push_back(dep(last));
-      prev_recv = rp.add(std::move(recv));
-    }
-  }
-  apply_action_delay(plan, spec.action_pre_delay);
-  apply_setup(plan, spec.op_setup);
-  return plan;
-}
-
 Plan build_linear_gather(int comm_size, const BuildSpec& spec) {
   Plan plan(comm_size, /*user_slots=*/2);
   const std::size_t block = spec.bytes;
@@ -328,35 +272,6 @@ Plan build_linear_scatter(int comm_size, const BuildSpec& spec) {
       }
     } else {
       rp.add(recv_action(spec.root, rank, block, SlotRef{1, 0}));
-    }
-  }
-  apply_action_delay(plan, spec.action_pre_delay);
-  apply_setup(plan, spec.op_setup);
-  return plan;
-}
-
-Plan build_ring_allgather(int comm_size, const BuildSpec& spec) {
-  Plan plan(comm_size, /*user_slots=*/2);
-  const int n = comm_size;
-  const std::size_t block = spec.bytes;
-  for (int r = 0; r < n; ++r) {
-    RankPlan& rp = plan.ranks[r];
-    const int right = (r + 1) % n;
-    const int left = (r - 1 + n) % n;
-    const int init = rp.add(copy_action(
-        block, SlotRef{0, 0}, SlotRef{1, static_cast<std::size_t>(r) * block}));
-    int prev_recv = -1;
-    for (int s = 0; s < n - 1; ++s) {
-      const int send_b = (r - s + n) % n;
-      const int recv_b = (r - s - 1 + n) % n;
-      Action send = send_action(right, s, block,
-                                SlotRef{1, static_cast<std::size_t>(send_b) *
-                                               block});
-      send.deps.push_back(dep(s == 0 ? init : prev_recv));
-      rp.add(std::move(send));
-      prev_recv = rp.add(recv_action(
-          left, s, block,
-          SlotRef{1, static_cast<std::size_t>(recv_b) * block}));
     }
   }
   apply_action_delay(plan, spec.action_pre_delay);

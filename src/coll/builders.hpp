@@ -2,9 +2,9 @@
 //
 // These are the fine-grained algorithms the submodules (tuned, Libnbc,
 // ADAPT) assemble into MPI collectives: segmented tree broadcast/reduce,
-// recursive-doubling and ring allreduce, linear gather/scatter, ring
-// allgather, and a dissemination barrier. Builders are pure: Plan in,
-// Plan out, no simulator state.
+// recursive-doubling allreduce, linear gather/scatter, and a dissemination
+// barrier. The ring-pattern family is in coll/ring/ring_builders.hpp.
+// Builders are pure: Plan in, Plan out, no simulator state.
 #pragma once
 
 #include "coll/plan.hpp"
@@ -58,10 +58,6 @@ Plan build_tree_reduce(int comm_size, const BuildSpec& spec);
 /// 1 = recvbuf.
 Plan build_recdoub_allreduce(int comm_size, const BuildSpec& spec);
 
-/// Allreduce via ring reduce-scatter + ring allgather (bandwidth optimal;
-/// 2(n-1) steps). Slots: 0 = sendbuf, 1 = recvbuf.
-Plan build_ring_allreduce(int comm_size, const BuildSpec& spec);
-
 /// Rooted gather, linear (root receives from everyone). Slots:
 /// 0 = sendbuf (`bytes` per rank), 1 = recvbuf (`bytes * comm_size`,
 /// significant at the root).
@@ -71,11 +67,18 @@ Plan build_linear_gather(int comm_size, const BuildSpec& spec);
 /// root), 1 = recvbuf (`bytes` per rank).
 Plan build_linear_scatter(int comm_size, const BuildSpec& spec);
 
-/// Allgather via ring. Slots: 0 = sendbuf (`bytes`), 1 = recvbuf
-/// (`bytes * comm_size`).
-Plan build_ring_allgather(int comm_size, const BuildSpec& spec);
-
 /// Dissemination barrier (ceil(log2 n) rounds of zero-byte messages).
 Plan build_dissemination_barrier(int comm_size, const BuildSpec& spec);
+
+// The ring-pattern family (ring reduce-scatter, ring allgather, ring
+// allreduce) lives in coll/ring/ring_builders.hpp.
+
+namespace detail {
+
+/// Apply BuildSpec's per-action pre-delay and one-time per-rank setup cost
+/// to a finished plan (shared by the tree and ring builder families).
+void finalize_plan(Plan& plan, const BuildSpec& spec);
+
+}  // namespace detail
 
 }  // namespace han::coll

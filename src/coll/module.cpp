@@ -43,6 +43,12 @@ mpi::Request CollModule::iallgather(const mpi::Comm&, int, mpi::BufView,
   unsupported("iallgather");
 }
 
+mpi::Request CollModule::ireduce_scatter(const mpi::Comm&, int, mpi::BufView,
+                                         mpi::BufView, mpi::Datatype,
+                                         mpi::ReduceOp, const CollConfig&) {
+  unsupported("ireduce_scatter");
+}
+
 mpi::Request CollModule::ibarrier(const mpi::Comm&, int) {
   unsupported("ibarrier");
 }

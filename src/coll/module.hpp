@@ -82,6 +82,14 @@ class CollModule {
                                   mpi::BufView send, mpi::BufView recv,
                                   const CollConfig& cfg);
 
+  /// Reduce-scatter with equal blocks (MPI_Reduce_scatter_block semantics):
+  /// every rank contributes `send` (comm_size equal blocks) and receives the
+  /// reduction of its own block into `recv` (one block).
+  virtual mpi::Request ireduce_scatter(const mpi::Comm& comm, int me,
+                                       mpi::BufView send, mpi::BufView recv,
+                                       mpi::Datatype dtype, mpi::ReduceOp op,
+                                       const CollConfig& cfg);
+
   virtual mpi::Request ibarrier(const mpi::Comm& comm, int me);
 
  protected:

@@ -1,6 +1,6 @@
 // ModuleSet: owns one instance of every collective submodule, mirroring
 // Open MPI's component registry. HAN and the autotuner look modules up by
-// the names used in the paper (libnbc, adapt, sm, solo, tuned).
+// the names used in the paper (libnbc, adapt, ring, sm, solo, tuned).
 #pragma once
 
 #include <memory>
@@ -9,6 +9,7 @@
 
 #include "coll/adapt/adapt.hpp"
 #include "coll/libnbc/libnbc.hpp"
+#include "coll/ring/ring.hpp"
 #include "coll/sm/sm.hpp"
 #include "coll/solo/solo.hpp"
 #include "coll/tuned/tuned.hpp"
@@ -21,12 +22,14 @@ class ModuleSet {
       : tuned_(std::make_unique<TunedModule>(world, rt)),
         libnbc_(std::make_unique<LibnbcModule>(world, rt)),
         adapt_(std::make_unique<AdaptModule>(world, rt)),
+        ring_(std::make_unique<RingModule>(world, rt)),
         sm_(std::make_unique<SmModule>(world, rt)),
         solo_(std::make_unique<SoloModule>(world, rt)) {}
 
   TunedModule& tuned() { return *tuned_; }
   LibnbcModule& libnbc() { return *libnbc_; }
   AdaptModule& adapt() { return *adapt_; }
+  RingModule& ring() { return *ring_; }
   SmModule& sm() { return *sm_; }
   SoloModule& solo() { return *solo_; }
 
@@ -39,13 +42,13 @@ class ModuleSet {
   }
 
   std::vector<CollModule*> all() {
-    return {tuned_.get(), libnbc_.get(), adapt_.get(), sm_.get(),
+    return {tuned_.get(), libnbc_.get(), adapt_.get(), ring_.get(), sm_.get(),
             solo_.get()};
   }
 
   /// Modules usable at HAN's inter-node level (nonblocking-capable).
   std::vector<CollModule*> inter_modules() {
-    return {libnbc_.get(), adapt_.get()};
+    return {libnbc_.get(), adapt_.get(), ring_.get()};
   }
 
   /// Modules usable at HAN's intra-node level.
@@ -57,6 +60,7 @@ class ModuleSet {
   std::unique_ptr<TunedModule> tuned_;
   std::unique_ptr<LibnbcModule> libnbc_;
   std::unique_ptr<AdaptModule> adapt_;
+  std::unique_ptr<RingModule> ring_;
   std::unique_ptr<SmModule> sm_;
   std::unique_ptr<SoloModule> solo_;
 };

@@ -1,0 +1,89 @@
+#include "coll/ring/ring.hpp"
+
+#include "coll/ring/ring_builders.hpp"
+#include "simbase/assert.hpp"
+
+namespace han::coll {
+
+namespace {
+
+// Ring neighbours are fixed, so setup is cheap (no tree construction);
+// progression is event-driven like ADAPT's.
+constexpr sim::Time kRingOpSetup = 0.8e-6;
+constexpr sim::Time kRingActionDelay = 0.05e-6;
+// Default pipelining slice for reduce-scatter (overridable via
+// CollConfig::segment, the paper's irs knob).
+constexpr std::size_t kRingDefaultSegment = 64 << 10;
+
+BuildSpec ring_spec(std::size_t bytes, mpi::Datatype dtype, mpi::ReduceOp op) {
+  BuildSpec spec;
+  spec.alg = Algorithm::Ring;
+  spec.bytes = bytes;
+  spec.dtype = dtype;
+  spec.op = op;
+  spec.avx = true;
+  spec.action_pre_delay = kRingActionDelay;
+  spec.op_setup = kRingOpSetup;
+  return spec;
+}
+
+}  // namespace
+
+RingModule::RingModule(mpi::SimWorld& world, CollRuntime& rt)
+    : CollModule(world, rt) {}
+
+mpi::Request RingModule::ireduce_scatter(const mpi::Comm& comm, int me,
+                                         mpi::BufView send, mpi::BufView recv,
+                                         mpi::Datatype dtype, mpi::ReduceOp op,
+                                         const CollConfig& cfg) {
+  HAN_ASSERT(send.bytes >= recv.bytes);
+  BuildSpec spec = ring_spec(send.bytes, dtype, op);
+  spec.segment = cfg.segment != 0 ? cfg.segment : kRingDefaultSegment;
+  const int n = comm.size();
+  return rt().start(
+      comm, me, [n, spec] { return build_ring_reduce_scatter(n, spec); },
+      {send, recv});
+}
+
+mpi::Request RingModule::ireduce_scatter_strided(
+    const mpi::Comm& comm, int me, mpi::BufView send, mpi::BufView recv,
+    std::size_t stride, mpi::Datatype dtype, mpi::ReduceOp op,
+    const CollConfig& cfg) {
+  const int n = comm.size();
+  HAN_ASSERT(send.bytes >= (n - 1) * stride + recv.bytes);
+  BuildSpec spec = ring_spec(send.bytes, dtype, op);
+  spec.segment = cfg.segment != 0 ? cfg.segment : kRingDefaultSegment;
+  const std::size_t len = recv.bytes;
+  return rt().start(
+      comm, me,
+      [n, spec, stride, len] {
+        return build_ring_reduce_scatter_strided(n, spec, stride, len);
+      },
+      {send, recv});
+}
+
+mpi::Request RingModule::iallgather(const mpi::Comm& comm, int me,
+                                    mpi::BufView send, mpi::BufView recv,
+                                    const CollConfig& cfg) {
+  (void)cfg;
+  const BuildSpec spec =
+      ring_spec(send.bytes, mpi::Datatype::Byte, mpi::ReduceOp::Sum);
+  const int n = comm.size();
+  return rt().start(
+      comm, me, [n, spec] { return build_ring_allgather(n, spec); },
+      {send, recv});
+}
+
+mpi::Request RingModule::iallreduce(const mpi::Comm& comm, int me,
+                                    mpi::BufView send, mpi::BufView recv,
+                                    mpi::Datatype dtype, mpi::ReduceOp op,
+                                    const CollConfig& cfg) {
+  (void)cfg;
+  const BuildSpec spec = ring_spec(send.bytes, dtype, op);
+  const int n = comm.size();
+  return rt().start(
+      comm, me, [n, spec] { return build_ring_allreduce(n, spec); },
+      {send, recv});
+}
+
+}  // namespace han::coll

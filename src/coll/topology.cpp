@@ -26,6 +26,7 @@ const char* coll_kind_name(CollKind k) {
     case CollKind::Scatter: return "scatter";
     case CollKind::Allgather: return "allgather";
     case CollKind::Barrier: return "barrier";
+    case CollKind::ReduceScatter: return "reduce_scatter";
   }
   return "?";
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "coll/ring/ring_builders.hpp"
+
 namespace han::coll {
 
 BuildSpec TreeCollModule::resolve(const CollConfig& cfg,

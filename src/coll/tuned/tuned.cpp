@@ -1,5 +1,7 @@
 #include "coll/tuned/tuned.hpp"
 
+#include "coll/ring/ring_builders.hpp"
+
 namespace han::coll {
 
 namespace {

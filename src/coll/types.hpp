@@ -41,6 +41,7 @@ enum class CollKind : std::uint8_t {
   Scatter,
   Allgather,
   Barrier,
+  ReduceScatter,
 };
 
 const char* coll_kind_name(CollKind k);

@@ -15,6 +15,8 @@ coll::Algorithm parse_alg(const std::string& s, bool* ok) {
   if (s == "binary") return coll::Algorithm::Binary;
   if (s == "binomial") return coll::Algorithm::Binomial;
   if (s == "linear") return coll::Algorithm::Linear;
+  if (s == "recdoub") return coll::Algorithm::RecursiveDoubling;
+  if (s == "ring") return coll::Algorithm::Ring;
   if (s == "default") return coll::Algorithm::Default;
   *ok = false;
   return coll::Algorithm::Default;

@@ -68,8 +68,21 @@ HanConfig HanModule::default_config(CollKind kind, int /*nodes*/, int ppn,
   c.iralg = c.ibalg;
   c.ibs = 64 << 10;
   c.irs = 64 << 10;
-  const bool reduces = kind == CollKind::Allreduce || kind == CollKind::Reduce;
+  const bool reduces = kind == CollKind::Allreduce ||
+                       kind == CollKind::Reduce ||
+                       kind == CollKind::ReduceScatter;
   c.smod = (c.fs >= (512u << 10) && (reduces || ppn >= 8)) ? "solo" : "sm";
+  if (kind == CollKind::ReduceScatter && bytes >= (64u << 10)) {
+    // Large reduce-scatter: the bandwidth-optimal inter-node ring (each
+    // leader moves ~m bytes total vs ~2m for reduce-to-root + scatter).
+    // Measured crossover vs the trees is ~1-2KB on aries-class machines;
+    // 64KB keeps a latency-safety margin for flatter topologies.
+    c.imod = "ring";
+    c.ibalg = coll::Algorithm::Ring;
+    c.iralg = coll::Algorithm::Ring;
+    c.ibs = 0;
+    c.irs = 0;
+  }
   return c;
 }
 
@@ -645,6 +658,162 @@ sim::CoTask allgather_program(HanModule& m, mpi::SimWorld& w,
   done->complete();
 }
 
+// Hierarchical reduce-scatter (equal blocks, MPI_Reduce_scatter_block
+// semantics). Three stages in the paper's task-composition style:
+//   sr(i):  intra-node reduce of segment i to the leader (pipelined)
+//   inter:  either a ring reduce-scatter over the leaders (imod == "ring",
+//           each leader ends with its node's region — ~m bytes moved), or
+//           the sr→ir reduce pipeline to up-root 0 followed by one inter
+//           scatter of the node regions (~2m, but log-depth at small m)
+//   ss:     intra-node scatter of the node's region into per-rank blocks
+sim::CoTask reduce_scatter_program(HanModule& m, mpi::SimWorld& w,
+                                   const mpi::Comm& comm, int me,
+                                   BufView send, BufView recv,
+                                   mpi::Datatype dtype, mpi::ReduceOp op,
+                                   HanConfig cfg, Request done) {
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm& low = hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_intra = low.size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+  const std::size_t total = send.bytes;
+
+  coll::CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter) {
+    if (has_intra) {
+      // Single node: reduce to the leader, then scatter the blocks back.
+      TempBuf full(w.data_mode() && me_low == 0, total, dtype);
+      co_await *smod->ireduce(low, me_low, /*root=*/0, send,
+                              full.view(0, total), dtype, op, CollConfig{});
+      co_await *m.modules().libnbc().iscatter(low, me_low, /*root=*/0,
+                                              full.view(0, total), recv,
+                                              CollConfig{});
+    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    done->complete();
+    co_return;
+  }
+
+  coll::CollModule* imod = m.inter_module(cfg);
+  const std::size_t region = recv.bytes * low.size();  // this node's slice
+  const Segmenter segs(total, cfg.fs, dtype);
+  const int u = segs.count();
+  const bool leader = me_low == 0;
+  const bool ring = cfg.imod == "ring";
+
+  if (leader) {
+    const mpi::Comm& up = *hc.up(me);
+    const int me_up = hc.up_rank(me);
+    TempBuf partial(w.data_mode() && has_intra, total, dtype);  // node sums
+    TempBuf node_region(w.data_mode() && has_intra, region, dtype);
+    // Without an intra level the node's region is the caller's block.
+    BufView region_buf = has_intra ? node_region.view(0, region) : recv;
+
+    auto sr = [&](int i) {
+      return smod->ireduce(low, me_low, /*root=*/0, seg_of(send, segs, i),
+                           partial.view(segs.offset(i), segs.length(i)),
+                           dtype, op, CollConfig{});
+    };
+    auto contrib = [&](int i) {
+      return has_intra ? partial.view(segs.offset(i), segs.length(i))
+                       : seg_of(send, segs, i);
+    };
+
+    if (ring) {
+      const CollConfig ircfg{coll::Algorithm::Ring, cfg.irs};
+      if (has_intra) {
+        // Slice the node region and pipeline the two levels: while the
+        // inter-node ring reduce-scatters slice k-1 (the strided chunk
+        // set {j*region + slice k-1 : j}), the intra level reduces the
+        // pieces of slice k. Mirrors the tree path's sr ⊕ ir overlap.
+        const Segmenter sl(region, std::min(cfg.fs, region), dtype);
+        const int nodes = hc.node_count();
+        Request ring_prev;
+        for (int k = 0; k < sl.count(); ++k) {
+          for (int j = 0; j < nodes; ++j) {
+            const std::size_t off = j * region + sl.offset(k);
+            co_await *smod->ireduce(low, me_low, /*root=*/0,
+                                    send.slice(off, sl.length(k)),
+                                    partial.view(off, sl.length(k)), dtype,
+                                    op, CollConfig{});
+          }
+          if (ring_prev) co_await *ring_prev;
+          ring_prev = m.modules().ring().ireduce_scatter_strided(
+              up, me_up, partial.view(sl.offset(k), total - sl.offset(k)),
+              node_region.view(sl.offset(k), sl.length(k)), region, dtype,
+              op, ircfg);
+        }
+        co_await *ring_prev;
+      } else {
+        // No intra level: one bandwidth-optimal ring reduce-scatter of
+        // the whole vector — chunk j of the up comm is exactly node j's
+        // region (node-contiguous placement).
+        co_await *imod->ireduce_scatter(up, me_up, send, region_buf, dtype,
+                                        op, ircfg);
+      }
+    } else {
+      // Tree path: sr ⊕ ir pipeline reducing the whole vector to up-root
+      // 0, then one inter scatter of the node regions.
+      const CollConfig ircfg{cfg.iralg, cfg.irs};
+      TempBuf full_red(w.data_mode() && me_up == 0, total, dtype);
+      auto ir = [&](int i) {
+        return imod->ireduce(up, me_up, /*root=*/0, contrib(i),
+                             full_red.view(segs.offset(i), segs.length(i)),
+                             dtype, op, ircfg);
+      };
+      if (has_intra) {
+        co_await *sr(0);
+        for (int i = 1; i < u; ++i) {
+          std::vector<Request> task{ir(i - 1), sr(i)};
+          co_await mpi::wait_all(w.engine(), std::move(task));
+        }
+        co_await *ir(u - 1);
+      } else {
+        for (int i = 0; i < u; ++i) co_await *ir(i);
+      }
+      co_await *imod->iscatter(up, me_up, /*root=*/0, full_red.view(0, total),
+                               region_buf, CollConfig{});
+    }
+
+    // ss: scatter the node's reduced region into per-rank blocks.
+    if (has_intra) {
+      co_await *m.modules().libnbc().iscatter(low, me_low, /*root=*/0,
+                                              node_region.view(0, region),
+                                              recv, CollConfig{});
+    }
+  } else {
+    // Non-leaders: contribute to every sr (in exactly the leader's issue
+    // order — the low comm matches collectives by call order), then
+    // receive their block.
+    if (ring) {
+      const Segmenter sl(region, std::min(cfg.fs, region), dtype);
+      const int nodes = hc.node_count();
+      for (int k = 0; k < sl.count(); ++k) {
+        for (int j = 0; j < nodes; ++j) {
+          const std::size_t off = j * region + sl.offset(k);
+          co_await *smod->ireduce(low, me_low, /*root=*/0,
+                                  send.slice(off, sl.length(k)),
+                                  BufView::timing_only(sl.length(k), dtype),
+                                  dtype, op, CollConfig{});
+        }
+      }
+    } else {
+      for (int i = 0; i < u; ++i) {
+        co_await *smod->ireduce(low, me_low, /*root=*/0,
+                                seg_of(send, segs, i),
+                                BufView::timing_only(segs.length(i), dtype),
+                                dtype, op, CollConfig{});
+      }
+    }
+    co_await *m.modules().libnbc().iscatter(low, me_low, /*root=*/0,
+                                            BufView::timing_only(region),
+                                            recv, CollConfig{});
+  }
+  done->complete();
+}
+
 sim::CoTask barrier_program(HanModule& m, const mpi::Comm& comm, int me,
                             Request done) {
   HanComm& hc = m.han_comm(comm);
@@ -702,6 +871,35 @@ mpi::Request HanModule::iallgather(const mpi::Comm& comm, int me,
                     decide(CollKind::Allgather, comm, send.bytes), done)
       .start();
   return done;
+}
+
+mpi::Request HanModule::ireduce_scatter_cfg(const mpi::Comm& comm, int me,
+                                            BufView send, BufView recv,
+                                            mpi::Datatype dtype,
+                                            mpi::ReduceOp op,
+                                            const HanConfig& cfg) {
+  HanComm& hc = han_comm(comm);
+  HAN_ASSERT_MSG(node_contiguous(hc),
+                 "HAN reduce_scatter requires node-contiguous rank placement");
+  HAN_ASSERT_MSG(
+      send.bytes == recv.bytes * static_cast<std::size_t>(comm.size()),
+      "reduce_scatter: send must be comm_size equal blocks of recv.bytes");
+  HAN_ASSERT_MSG(hc.node_count() * hc.max_ppn() == comm.size(),
+                 "HAN reduce_scatter requires a uniform ppn");
+  Request done = mpi::make_request(world().engine());
+  reduce_scatter_program(*this, world(), comm, me, send, recv, dtype, op, cfg,
+                         done)
+      .start();
+  return done;
+}
+
+mpi::Request HanModule::ireduce_scatter(const mpi::Comm& comm, int me,
+                                        BufView send, BufView recv,
+                                        mpi::Datatype dtype, mpi::ReduceOp op,
+                                        const CollConfig& /*cfg*/) {
+  return ireduce_scatter_cfg(comm, me, send, recv, dtype, op,
+                             decide(CollKind::ReduceScatter, comm,
+                                    send.bytes));
 }
 
 mpi::Request HanModule::ibarrier(const mpi::Comm& comm, int me) {

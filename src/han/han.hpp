@@ -67,6 +67,13 @@ class HanModule : public coll::CollModule {
   mpi::Request iallgather(const mpi::Comm& comm, int me, mpi::BufView send,
                           mpi::BufView recv,
                           const coll::CollConfig& cfg) override;
+  /// Hierarchical reduce-scatter (equal blocks): intra-node reduce →
+  /// inter-node reduce-scatter over the leaders (ring or tree+scatter,
+  /// per cfg.imod) → intra-node scatter of the node's region.
+  mpi::Request ireduce_scatter(const mpi::Comm& comm, int me,
+                               mpi::BufView send, mpi::BufView recv,
+                               mpi::Datatype dtype, mpi::ReduceOp op,
+                               const coll::CollConfig& cfg) override;
   mpi::Request ibarrier(const mpi::Comm& comm, int me) override;
 
   /// Explicit-config entry points (used by the autotuner's searches,
@@ -81,6 +88,10 @@ class HanModule : public coll::CollModule {
   mpi::Request iallreduce_cfg(const mpi::Comm& comm, int me, mpi::BufView send,
                               mpi::BufView recv, mpi::Datatype dtype,
                               mpi::ReduceOp op, const HanConfig& cfg);
+  mpi::Request ireduce_scatter_cfg(const mpi::Comm& comm, int me,
+                                   mpi::BufView send, mpi::BufView recv,
+                                   mpi::Datatype dtype, mpi::ReduceOp op,
+                                   const HanConfig& cfg);
 
   /// Extension (paper §II-A / future work): multi-leader allreduce.
   /// Segments are striped over `leaders` node-local leaders; stripe j

@@ -1,6 +1,8 @@
 #include "simbase/trace.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 namespace han::sim {
@@ -38,10 +40,21 @@ std::string Tracer::to_chrome_json() const {
 }
 
 bool Tracer::save(const std::string& path) const {
+  errno = 0;
   std::ofstream f(path);
-  if (!f) return false;
+  if (!f) {
+    std::fprintf(stderr, "Tracer::save: cannot open '%s': %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
   f << to_chrome_json();
-  return static_cast<bool>(f);
+  f.flush();
+  if (!f) {
+    std::fprintf(stderr, "Tracer::save: write to '%s' failed: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  return true;
 }
 
 }  // namespace han::sim

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "coll/ring/ring_builders.hpp"
+
 namespace han::vendor {
 
 using coll::Algorithm;
@@ -27,6 +29,35 @@ MpiStack::MpiStack(std::string name, machine::MachineProfile profile,
       world_(std::move(profile), world_options(p2p_override, data_mode)),
       rt_(world_),
       mods_(world_, rt_) {}
+
+Request MpiStack::ireduce_scatter(int rank, BufView send, BufView recv,
+                                  mpi::Datatype dtype, mpi::ReduceOp op) {
+  // Fallback for stacks without a native reduce-scatter: allreduce the
+  // whole vector and keep the local block, the coll/basic cost structure.
+  // The final block copy is node-local and vanishes next to the
+  // full-vector allreduce, so it is not charged to the clock.
+  Request done = mpi::make_request(world_.engine());
+  auto tmp = std::make_shared<std::vector<std::byte>>();
+  BufView full = BufView::timing_only(send.bytes, dtype);
+  if (world_.data_mode() && send.has_data() && recv.has_data()) {
+    tmp->resize(send.bytes);
+    full = BufView{tmp->data(), send.bytes, dtype};
+  }
+  const std::size_t off = static_cast<std::size_t>(rank) * recv.bytes;
+  Request r = iallreduce(rank, send, full, dtype, op);
+  r->on_complete([done, tmp, recv, off] {
+    if (recv.has_data() && !tmp->empty()) {
+      std::memcpy(recv.data, tmp->data() + off, recv.bytes);
+    }
+    done->complete();
+  });
+  return done;
+}
+
+Request MpiStack::iallgather(int rank, BufView send, BufView recv) {
+  return mods_.tuned().iallgather(world_.world_comm(), rank, send, recv,
+                                  CollConfig{});
+}
 
 // --- default Open MPI -------------------------------------------------------
 
@@ -67,6 +98,17 @@ Request HanStack::ibcast(int rank, int root, BufView buf,
 Request HanStack::iallreduce(int rank, BufView send, BufView recv,
                              mpi::Datatype dtype, mpi::ReduceOp op) {
   return han_->iallreduce(world_.world_comm(), rank, send, recv, dtype, op,
+                          CollConfig{});
+}
+
+Request HanStack::ireduce_scatter(int rank, BufView send, BufView recv,
+                                  mpi::Datatype dtype, mpi::ReduceOp op) {
+  return han_->ireduce_scatter(world_.world_comm(), rank, send, recv, dtype,
+                               op, CollConfig{});
+}
+
+Request HanStack::iallgather(int rank, BufView send, BufView recv) {
+  return han_->iallgather(world_.world_comm(), rank, send, recv,
                           CollConfig{});
 }
 

@@ -42,6 +42,17 @@ class MpiStack {
                                   mpi::BufView recv, mpi::Datatype dtype,
                                   mpi::ReduceOp op) = 0;
 
+  /// Sharded-training collectives (the ZeRO/FSDP step). The base
+  /// implementations model stacks without native support: reduce-scatter
+  /// falls back to a full allreduce keeping the local block (coll/basic
+  /// style), allgather goes through the flat tuned module. HAN overrides
+  /// both with its hierarchical paths.
+  virtual mpi::Request ireduce_scatter(int rank, mpi::BufView send,
+                                       mpi::BufView recv,
+                                       mpi::Datatype dtype, mpi::ReduceOp op);
+  virtual mpi::Request iallgather(int rank, mpi::BufView send,
+                                  mpi::BufView recv);
+
  protected:
   std::string name_;
   mpi::SimWorld world_;
@@ -74,6 +85,11 @@ class HanStack : public MpiStack {
                       mpi::Datatype dtype) override;
   mpi::Request iallreduce(int rank, mpi::BufView send, mpi::BufView recv,
                           mpi::Datatype dtype, mpi::ReduceOp op) override;
+  mpi::Request ireduce_scatter(int rank, mpi::BufView send, mpi::BufView recv,
+                               mpi::Datatype dtype,
+                               mpi::ReduceOp op) override;
+  mpi::Request iallgather(int rank, mpi::BufView send,
+                          mpi::BufView recv) override;
 
  private:
   std::unique_ptr<core::HanModule> han_;

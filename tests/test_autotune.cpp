@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <random>
 
 #include "autotune/tuner.hpp"
 #include "coll_test_util.hpp"
@@ -200,6 +201,56 @@ TEST(LookupTableTest, DeserializeRejectsGarbage) {
   EXPECT_TRUE(LookupTable::deserialize("# only comments\n", &t));
 }
 
+TEST(LookupTableTest, RandomizedRoundTripEveryKind) {
+  // Property: serialize -> deserialize -> serialize is byte-identical for
+  // arbitrary tables spanning every collective kind (including the ring
+  // reduce-scatter configs) and the full config knob ranges.
+  std::mt19937 rng(20260806);
+  const CollKind kinds[] = {
+      CollKind::Bcast,     CollKind::Reduce,  CollKind::Allreduce,
+      CollKind::Gather,    CollKind::Scatter, CollKind::Allgather,
+      CollKind::Barrier,   CollKind::ReduceScatter};
+  const char* imods[] = {"libnbc", "adapt", "ring"};
+  const char* smods[] = {"sm", "solo"};
+  const Algorithm algs[] = {Algorithm::Linear,   Algorithm::Chain,
+                            Algorithm::Binary,   Algorithm::Binomial,
+                            Algorithm::RecursiveDoubling, Algorithm::Ring};
+  auto pick = [&rng](auto&& arr) -> decltype(auto) {
+    return arr[std::uniform_int_distribution<std::size_t>(
+        0, std::size(arr) - 1)(rng)];
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    LookupTable t;
+    const int entries =
+        std::uniform_int_distribution<int>(1, 24)(rng);
+    for (int e = 0; e < entries; ++e) {
+      HanConfig cfg;
+      cfg.fs = std::size_t{1} << std::uniform_int_distribution<int>(14, 22)(rng);
+      cfg.imod = pick(imods);
+      cfg.smod = pick(smods);
+      cfg.ibalg = cfg.imod == std::string("ring") ? Algorithm::Ring
+                                                  : pick(algs);
+      cfg.iralg = cfg.ibalg;
+      cfg.ibs = std::uniform_int_distribution<int>(0, 1)(rng) == 0
+                    ? 0
+                    : std::size_t{1} <<
+                          std::uniform_int_distribution<int>(12, 20)(rng);
+      cfg.irs = cfg.ibs;
+      t.insert(pick(kinds),
+               std::uniform_int_distribution<int>(1, 512)(rng),
+               std::uniform_int_distribution<int>(1, 128)(rng),
+               std::size_t{1} <<
+                   std::uniform_int_distribution<int>(0, 28)(rng),
+               cfg);
+    }
+    const std::string text = t.serialize();
+    LookupTable back;
+    ASSERT_TRUE(LookupTable::deserialize(text, &back)) << text;
+    EXPECT_EQ(back.serialize(), text);
+    EXPECT_EQ(back.size(), t.size());
+  }
+}
+
 // --- task benchmarks (integration) ------------------------------------------
 
 TEST(TaskBenchTest, IbSbCostsPositiveAndOrdered) {
@@ -328,6 +379,50 @@ TEST(TunerIntegration, TableDrivesHanDecisions) {
   const HanConfig decided =
       h.han.decide(CollKind::Bcast, h.world.world_comm(), 4 << 20);
   EXPECT_EQ(decided, report.table.decide(CollKind::Bcast, 4, 4, 4 << 20));
+}
+
+TEST(TunerIntegration, ReduceScatterEntriesPickRingAndRoundTrip) {
+  TuneHarness h(machine::make_aries(4, 4));
+  Tuner tuner(h.world, h.han, h.world.world_comm(), small_space());
+  TunerOptions opt;
+  opt.message_sizes = {64 << 10, 1 << 20, 16 << 20};
+  opt.kinds = {CollKind::ReduceScatter};
+  const TuneReport report = tuner.tune(opt);
+  EXPECT_EQ(report.table.size(), 3u);
+  for (const auto& [key, cfg] : report.table.entries()) {
+    EXPECT_EQ(key.kind, CollKind::ReduceScatter);
+    EXPECT_FALSE(cfg.imod.empty());
+  }
+  // At bandwidth-bound sizes the tuned winner is the ring inter module
+  // (the crossover ablation shows the trees only win on tiny messages).
+  const HanConfig* big = report.table.find(CollKind::ReduceScatter, 4, 4,
+                                           16 << 20);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(big->imod, "ring");
+
+  // Tuned tables round-trip byte-for-byte through the rules-file format.
+  const std::string text = report.table.serialize();
+  LookupTable back;
+  ASSERT_TRUE(LookupTable::deserialize(text, &back));
+  EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(TunerIntegration, DuplicateSizesAndKindsDeduped) {
+  TuneHarness h(machine::make_aries(4, 4));
+  TunerOptions canonical;
+  canonical.message_sizes = {256 << 10, 4 << 20};
+  canonical.kinds = {CollKind::Bcast};
+  TunerOptions messy;
+  messy.message_sizes = {4 << 20, 256 << 10, 4 << 20, 256 << 10};
+  messy.kinds = {CollKind::Bcast, CollKind::Bcast};
+
+  Tuner a(h.world, h.han, h.world.world_comm(), small_space());
+  const TuneReport ra = a.tune(canonical);
+  Tuner b(h.world, h.han, h.world.world_comm(), small_space());
+  const TuneReport rb = b.tune(messy);
+  EXPECT_EQ(ra.table.serialize(), rb.table.serialize());
+  // Dedup means the repeated entries never re-benchmark: same task count.
+  EXPECT_EQ(ra.task_benchmarks, rb.task_benchmarks);
 }
 
 }  // namespace

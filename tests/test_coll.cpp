@@ -491,8 +491,11 @@ TEST(ModuleRegistry, CapabilitiesMatchPaper) {
   EXPECT_TRUE(h.mods.solo().reduce_uses_avx());
   EXPECT_FALSE(h.mods.libnbc().reduce_uses_avx());
   EXPECT_FALSE(h.mods.sm().reduce_uses_avx());
+  EXPECT_TRUE(h.mods.ring().nonblocking_capable());
+  EXPECT_TRUE(h.mods.ring().reduce_uses_avx());
+  EXPECT_EQ(h.mods.find("ring"), &h.mods.ring());
   EXPECT_EQ(h.mods.find("nonexistent"), nullptr);
-  EXPECT_EQ(h.mods.inter_modules().size(), 2u);
+  EXPECT_EQ(h.mods.inter_modules().size(), 3u);
   EXPECT_EQ(h.mods.intra_modules().size(), 2u);
   // ADAPT advertises the paper's three algorithms.
   const auto algs = h.mods.adapt().bcast_algorithms();

@@ -90,6 +90,108 @@ TEST(Degradation, MidFlightCapacityDropIsAccounted) {
   EXPECT_GT(timed(true), timed(false) * 1.5);
 }
 
+core::HanConfig ring_cfg(std::size_t fs) {
+  core::HanConfig cfg;
+  cfg.fs = fs;
+  cfg.imod = "ring";
+  cfg.smod = "sm";
+  cfg.ibalg = coll::Algorithm::Ring;
+  cfg.iralg = coll::Algorithm::Ring;
+  return cfg;
+}
+
+TEST(Degradation, ReduceScatterCorrectOnDegradedLink) {
+  // Both inter paths of the hierarchical reduce-scatter must stay
+  // bit-correct when the fabric is choked and one NIC limps.
+  for (const bool use_ring : {true, false}) {
+    HanHarness h(machine::make_aries(3, 3), /*data_mode=*/true);
+    h.world.flownet().set_capacity(
+        h.world.fabric().fabric(),
+        h.world.profile().nic_bandwidth / 4.0);
+    h.world.flownet().set_capacity(
+        h.world.fabric().nic_rx(1),
+        h.world.profile().nic_bandwidth / 8.0);
+    const int n = 9;
+    const std::size_t block = 400;
+    std::vector<std::vector<std::int32_t>> send(n), recv(n);
+    for (int r = 0; r < n; ++r) {
+      send[r] = pattern_vec(r, block * n);
+      recv[r].assign(block, -1);
+    }
+    core::HanConfig cfg = ring_cfg(512);
+    if (!use_ring) {
+      cfg.imod = "libnbc";
+      cfg.ibalg = coll::Algorithm::Binomial;
+      cfg.iralg = coll::Algorithm::Binomial;
+    }
+    run_collective(h.world, [&](mpi::Rank& rank) {
+      const int r = rank.world_rank;
+      return h.han.ireduce_scatter_cfg(
+          h.world.world_comm(), r, BufView::of(send[r], Datatype::Int32),
+          BufView::of(recv[r], Datatype::Int32), Datatype::Int32,
+          ReduceOp::Sum, cfg);
+    });
+    const auto full = test::expected_reduce(ReduceOp::Sum, n, block * n);
+    for (int r = 0; r < n; ++r) {
+      const std::vector<std::int32_t> want(full.begin() + r * block,
+                                           full.begin() + (r + 1) * block);
+      EXPECT_EQ(recv[r], want)
+          << "rank " << r << (use_ring ? " ring" : " tree");
+    }
+  }
+}
+
+TEST(Degradation, RingAllreduceCorrectOnDegradedLink) {
+  const int n = 5;
+  test::CollHarness h(machine::make_aries(n, 1), /*data_mode=*/true);
+  h.world.flownet().set_capacity(
+      h.world.fabric().nic_rx(2),
+      h.world.profile().nic_bandwidth / 10.0);
+  const std::size_t count = 500;
+  std::vector<std::vector<std::int32_t>> send(n), recv(n);
+  for (int r = 0; r < n; ++r) {
+    send[r] = pattern_vec(r, count);
+    recv[r].assign(count, -1);
+  }
+  run_collective(h.world, [&](mpi::Rank& rank) {
+    const int r = rank.world_rank;
+    return h.mods.ring().iallreduce(
+        h.world.world_comm(), r, BufView::of(send[r], Datatype::Int32),
+        BufView::of(recv[r], Datatype::Int32), Datatype::Int32, ReduceOp::Sum,
+        CollConfig{});
+  });
+  const auto want = test::expected_reduce(ReduceOp::Sum, n, count);
+  for (int r = 0; r < n; ++r) EXPECT_EQ(recv[r], want) << "rank " << r;
+}
+
+TEST(Degradation, StragglerNicSlowsRingReduceScatterMonotonically) {
+  // The ring pumps every byte through every leader NIC, so its completion
+  // time must track a single straggler NIC monotonically.
+  auto timed = [](double slowdown) {
+    HanHarness h(machine::make_aries(4, 4), false);
+    if (slowdown > 1.0) {
+      h.world.flownet().set_capacity(
+          h.world.fabric().nic_rx(2),
+          h.world.profile().nic_bandwidth / slowdown);
+    }
+    auto done = run_collective(h.world, [&](mpi::Rank& rank) {
+      return h.han.ireduce_scatter_cfg(
+          h.world.world_comm(), rank.world_rank,
+          BufView::timing_only(4 << 20), BufView::timing_only(256 << 10),
+          Datatype::Byte, ReduceOp::Sum, ring_cfg(512 << 10));
+    });
+    return *std::max_element(done.begin(), done.end());
+  };
+  // The intra stages (membus-bound) set a floor, so the NIC only shows
+  // through partially at mild degradation — assert monotone growth, not
+  // proportional slowdown.
+  const double healthy = timed(1.0);
+  const double mild = timed(8.0);
+  const double severe = timed(64.0);
+  EXPECT_GT(mild, healthy * 1.05);
+  EXPECT_GT(severe, mild * 1.5);
+}
+
 TEST(Imbalance, BusyCpuOnLeaderDelaysPipeline) {
   // Interference on the node-1 leader's CPU (a compute-bound co-runner)
   // stretches HAN's shared-memory stage.
