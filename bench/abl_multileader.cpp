@@ -45,6 +45,8 @@ int main(int argc, char** argv) {
           " ppn=" + std::to_string(scale.ppn));
 
   bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+  bench::Obs obs(args, "abl_multileader");
+  obs.attach(hw.world, &hw.rt);
 
   core::HanConfig cfg;
   cfg.fs = 512 << 10;
@@ -79,5 +81,6 @@ int main(int argc, char** argv) {
       "bottleneck, so extra leaders only add contention (k=1 wins) — "
       "consistent with HAN's single-leader design choice; multi-leader "
       "designs pay off on multi-rail NICs.\n");
+  obs.emit(hw.world);
   return 0;
 }

@@ -63,10 +63,12 @@ int main(int argc, char** argv) {
   cfg.iralg = coll::Algorithm::Chain;
   cfg.ibs = 64 << 10;
 
+  bench::Obs obs(args, "abl_numa_levels");
   sim::Table t({"bytes", "2-level us", "3-level us", "3-level speedup"});
   for (std::size_t bytes : {1u << 20, 4u << 20, 16u << 20}) {
     bench::Numa3World hw(machine::with_numa(
         machine::make_aries(scale.nodes, scale.ppn), domains));
+    obs.attach(hw.world, &hw.rt);
     const double t2 = bench::timed(hw, false, bytes, cfg);
     const double t3 = bench::timed(hw, true, bytes, cfg);
     t.begin_row()
@@ -74,6 +76,9 @@ int main(int argc, char** argv) {
         .cell(t2 * 1e6)
         .cell(t3 * 1e6)
         .cell(bench::speedup(t2, t3), 2);
+    std::string suffix = ".";
+    suffix += std::to_string(bytes);
+    obs.emit(hw.world, suffix);
   }
   t.print("hierarchy-depth ablation (MPI_Bcast)");
   std::printf(

@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
           sim::format_bytes(msg) + " segment=" + sim::format_bytes(seg));
 
   bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+  bench::Obs obs(args, "abl_overlap_models");
+  obs.attach(hw.world, &hw.rt);
   tune::TaskBench tb(hw.world, hw.han, hw.world.world_comm());
   tune::Searcher searcher(hw.world, hw.han, hw.world.world_comm());
 
@@ -65,5 +67,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected: HAN column's |err| smallest; perfect-overlap "
       "underestimates, no-overlap overestimates.\n");
+  obs.emit(hw.world);
   return 0;
 }

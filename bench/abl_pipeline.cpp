@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
           " ppn=" + std::to_string(scale.ppn));
 
   bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+  bench::Obs obs(args, "abl_pipeline");
+  obs.attach(hw.world, &hw.rt);
   tune::Searcher searcher(hw.world, hw.han, hw.world.world_comm());
 
   sim::Table t({"collective", "bytes", "pipelined us", "single-segment us",
@@ -50,5 +52,6 @@ int main(int argc, char** argv) {
   }
   t.print("pipelining ablation");
   std::printf("\nExpected: speedup > 1 throughout, growing with size.\n");
+  obs.emit(hw.world);
   return 0;
 }

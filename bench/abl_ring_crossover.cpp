@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
           " ppn=" + std::to_string(scale.ppn));
 
   bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+  bench::Obs obs(args, "abl_ring_crossover");
+  obs.attach(hw.world, &hw.rt);
   tune::Searcher searcher(hw.world, hw.han, hw.world.world_comm());
 
   auto cfg_with = [](const char* imod, coll::Algorithm alg,
@@ -71,5 +73,6 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\nNo ring win in the swept range — raise --max-bytes.\n");
   }
+  obs.emit(hw.world);
   return 0;
 }

@@ -82,6 +82,8 @@ int main(int argc, char** argv) {
           " ppn=" + std::to_string(scale.ppn));
 
   bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+  bench::Obs obs(args, "abl_split_interallreduce");
+  obs.attach(hw.world, &hw.rt);
   tune::Searcher searcher(hw.world, hw.han, hw.world.world_comm());
 
   sim::Table t({"bytes", "fs", "split ir+ib us", "fused allreduce us",
@@ -110,5 +112,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected: splitting wins for large messages (deeper pipeline, "
       "full-duplex ir/ib overlap).\n");
+  obs.emit(hw.world);
   return 0;
 }

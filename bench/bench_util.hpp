@@ -1,5 +1,6 @@
 // Shared plumbing for the per-figure bench binaries: tiny flag parser,
-// scale presets, and result-table helpers.
+// scale presets, result-table helpers, and the common observability flags
+// (--metrics <base> / --trace <base>, see docs/OBSERVABILITY.md).
 //
 // Every bench defaults to a scale that finishes in roughly a minute on a
 // laptop-class core while preserving the paper's figure shapes; pass
@@ -14,7 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "coll/runtime.hpp"
+#include "obs/report.hpp"
 #include "simbase/table.hpp"
+#include "simbase/trace.hpp"
 #include "simbase/units.hpp"
 
 namespace han::bench {
@@ -94,5 +98,60 @@ inline void print_header(const char* figure, const std::string& detail) {
 inline double speedup(double baseline, double value) {
   return value > 0.0 ? baseline / value : 0.0;
 }
+
+/// The shared observability hookup of every bench/app binary:
+///
+///   --metrics <base>   write `<base>[suffix].json` + `.csv` run reports
+///   --trace <base>     write `<base>[suffix].trace.json` Perfetto traces
+///
+/// Usage: construct from Args, `attach()` each world right after creating
+/// it, `emit()` when that world's workload is done (pass a suffix when one
+/// binary runs several worlds). Both flags are independent; without either
+/// the helper is inert.
+class Obs {
+ public:
+  Obs(const Args& args, std::string binary)
+      : binary_(std::move(binary)),
+        metrics_base_(args.get_string("--metrics", "")),
+        trace_base_(args.get_string("--trace", "")) {}
+
+  bool metrics_enabled() const { return !metrics_base_.empty(); }
+  bool trace_enabled() const { return !trace_base_.empty(); }
+
+  /// Wire a world (and its collective runtime, when the bench has one)
+  /// into this binary's report/trace outputs.
+  void attach(mpi::SimWorld& world, coll::CollRuntime* rt = nullptr) {
+    world.metrics().set_meta("binary", binary_);
+    if (trace_enabled()) {
+      world.set_tracer(&tracer_);
+      if (rt != nullptr) rt->set_tracer(&tracer_);
+    }
+  }
+
+  /// Write the attached world's report(s). Clears the trace buffer so a
+  /// following attach/emit pair starts fresh.
+  void emit(mpi::SimWorld& world, const std::string& suffix = "") {
+    if (metrics_enabled()) {
+      const std::string base = metrics_base_ + suffix;
+      if (obs::write_report(world.metrics(), world.now(), base)) {
+        std::printf("metrics: %s.json %s.csv\n", base.c_str(), base.c_str());
+      }
+    }
+    if (trace_enabled()) {
+      const std::string path = trace_base_ + suffix + ".trace.json";
+      if (tracer_.save(path)) {
+        std::printf("trace: %s (%zu spans, %zu counter samples)\n",
+                    path.c_str(), tracer_.size(), tracer_.counter_count());
+      }
+      tracer_.clear();
+    }
+  }
+
+ private:
+  std::string binary_;
+  std::string metrics_base_;
+  std::string trace_base_;
+  sim::Tracer tracer_;
+};
 
 }  // namespace han::bench

@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
           " segment=" + sim::format_bytes(seg));
 
   bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+  bench::Obs obs(args, "fig02_task_costs");
+  obs.attach(hw.world, &hw.rt);
   tune::TaskBench tb(hw.world, hw.han, hw.world.world_comm());
 
   for (const auto& cfg : bench::fig_configs(seg)) {
@@ -59,5 +61,6 @@ int main(int argc, char** argv) {
         "%.2f us\n",
         both.max() * 1e6, sbib.max() * 1e6);
   }
+  obs.emit(hw.world);
   return 0;
 }

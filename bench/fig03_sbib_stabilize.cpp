@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
           sim::format_bytes(seg) + " leader=" + std::to_string(leader));
 
   bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+  bench::Obs obs(args, "fig03_sbib_stabilize");
+  obs.attach(hw.world, &hw.rt);
   tune::TaskBench tb(hw.world, hw.han, hw.world.world_comm());
 
   sim::Table t([&] {
@@ -48,5 +50,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: early steps above the stabilized value, late "
       "steps flat (pipeline filled).\n");
+  obs.emit(hw.world);
   return 0;
 }

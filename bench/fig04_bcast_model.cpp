@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
           " message=" + sim::format_bytes(msg));
 
   bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+  bench::Obs obs(args, "fig04_bcast_model");
+  obs.attach(hw.world, &hw.rt);
   tune::Searcher searcher(hw.world, hw.han, hw.world.world_comm());
 
   const std::vector<std::size_t> segments{16 << 10, 64 << 10, 256 << 10,
@@ -70,5 +72,6 @@ int main(int argc, char** argv) {
         "of the optimum\n",
         pick_meas * 1e6, 100.0 * (pick_meas - best_meas) / best_meas);
   }
+  obs.emit(hw.world);
   return 0;
 }

@@ -79,6 +79,8 @@ int main(int argc, char** argv) {
           " segment=" + sim::format_bytes(seg));
 
   bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+  bench::Obs obs(args, "fig06_ib_ir_overlap");
+  obs.attach(hw.world, &hw.rt);
 
   sim::Table t({"config", "ib us", "ir us", "ib+ir concurrent us",
                 "serial/concurrent", "vs perfect overlap"});
@@ -96,5 +98,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected: serial/concurrent well above 1 (high overlap via "
       "opposite full-duplex directions).\n");
+  obs.emit(hw.world);
   return 0;
 }

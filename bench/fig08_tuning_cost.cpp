@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   sim::Table t({"collective", "strategy", "tuning time (sim s)",
                 "% of exhaustive", "configs evaluated"});
+  bench::Obs obs(args, "fig08_tuning_cost");
 
   for (coll::CollKind kind :
        {coll::CollKind::Bcast, coll::CollKind::Allreduce}) {
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
       const bool task_based = strategy >= 2;
       const bool heuristics = strategy == 1 || strategy == 3;
       bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+      obs.attach(hw.world, &hw.rt);
       tune::Searcher s(hw.world, hw.han, hw.world.world_comm());
 
       int evaluations = 0;
@@ -62,6 +64,8 @@ int main(int argc, char** argv) {
       std::printf("  done: %s / %s\n", coll::coll_kind_name(kind),
                   kNames[strategy]);
       std::fflush(stdout);
+      obs.emit(hw.world, std::string(".") + coll::coll_kind_name(kind) +
+                             ".s" + std::to_string(strategy));
     }
   }
   t.print("search cost comparison");

@@ -20,10 +20,12 @@ int main(int argc, char** argv) {
       "Fig. 9 — accuracy of the tuning strategies",
       "machine=aries nodes=" + std::to_string(scale.nodes) +
           " ppn=" + std::to_string(scale.ppn));
+  bench::Obs obs(args, "fig09_tuning_accuracy");
 
   for (coll::CollKind kind :
        {coll::CollKind::Bcast, coll::CollKind::Allreduce}) {
     bench::HanWorld hw(machine::make_aries(scale.nodes, scale.ppn));
+    obs.attach(hw.world, &hw.rt);
     tune::Searcher s(hw.world, hw.han, hw.world.world_comm());
     s.prepare(kind, false);
 
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
     }
     t.print(std::string("MPI_") + coll::coll_kind_name(kind) +
             " time-to-completion by tuning method");
+    obs.emit(hw.world, std::string(".") + coll::coll_kind_name(kind));
   }
   std::printf(
       "\nExpected: task-model column tracks the exhaustive best; "

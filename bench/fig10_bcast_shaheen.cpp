@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
   opt.kind = coll::CollKind::Bcast;
   opt.stacks = {"ompi", "cray", "han"};
   opt.sizes = bench::ladder4(4, max_bytes);
+  bench::Obs obs(args, "fig10_bcast_shaheen");
+  opt.obs = &obs;
   bench::run_imb_figure(opt);
   return 0;
 }

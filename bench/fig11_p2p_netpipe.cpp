@@ -21,14 +21,19 @@ int main(int argc, char** argv) {
   benchkit::NetpipeOptions opt;
   opt.sizes = bench::ladder4(4, max_bytes);
 
+  bench::Obs obs(args, "fig11_p2p_netpipe");
   mpi::SimWorld ompi_world(profile);
+  obs.attach(ompi_world);
   const auto ompi_pts = benchkit::netpipe(ompi_world, opt);
+  obs.emit(ompi_world, ".ompi");
 
   const machine::P2pParams cray = vendor::cray_p2p();
   mpi::SimWorld::Options wo;
   wo.p2p_override = &cray;
   mpi::SimWorld cray_world(profile, wo);
+  obs.attach(cray_world);
   const auto cray_pts = benchkit::netpipe(cray_world, opt);
+  obs.emit(cray_world, ".cray");
 
   sim::Table t({"bytes", "ompi GB/s", "cray GB/s", "ompi lat us",
                 "cray lat us", "cray/ompi bw"});

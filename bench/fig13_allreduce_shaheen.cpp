@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   opt.kind = coll::CollKind::Allreduce;
   opt.stacks = {"ompi", "cray", "han"};
   opt.sizes = bench::ladder4(4, max_bytes);
+  bench::Obs obs(args, "fig13_allreduce_shaheen");
+  opt.obs = &obs;
   bench::run_imb_figure(opt);
   return 0;
 }

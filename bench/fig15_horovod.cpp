@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
           sim::format_bytes(opt.fusion_bytes) + " ppn=" +
           std::to_string(ppn));
 
+  bench::Obs obs(args, "fig15_horovod");
   sim::Table t({"workers", "ompi img/s", "intel img/s", "han img/s",
                 "han vs ompi %", "han vs intel %"});
   for (int nodes : node_counts) {
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     const char* names[3] = {"ompi", "intel", "han"};
     for (int i = 0; i < 3; ++i) {
       auto stack = vendor::make_stack(names[i], profile);
+      obs.attach(stack->world(), &stack->runtime());
       if (i == 2) {
         auto* hs = static_cast<vendor::HanStack*>(stack.get());
         tune::TunerOptions topt;
@@ -42,6 +44,11 @@ int main(int argc, char** argv) {
       imgs[i] = apps::run_horovod(*stack, opt).images_per_sec;
       std::printf("  %d workers / %s done\n", nodes * ppn, names[i]);
       std::fflush(stdout);
+      std::string suffix = ".";
+      suffix += std::to_string(nodes * ppn);
+      suffix += ".";
+      suffix += names[i];
+      obs.emit(stack->world(), suffix);
     }
     t.begin_row()
         .cell(std::to_string(nodes * ppn))

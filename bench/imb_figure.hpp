@@ -15,12 +15,16 @@ struct ImbFigureOptions {
   std::vector<std::string> stacks;  // "han" must be included
   std::vector<std::size_t> sizes;
   bool autotune_han = true;
+  Obs* obs = nullptr;  // per-stack reports suffixed ".<stack>"
 };
 
 inline void run_imb_figure(const ImbFigureOptions& opt) {
   std::vector<std::unique_ptr<vendor::MpiStack>> stacks;
   for (const std::string& name : opt.stacks) {
     stacks.push_back(vendor::make_stack(name, opt.profile));
+    if (opt.obs != nullptr) {
+      opt.obs->attach(stacks.back()->world(), &stacks.back()->runtime());
+    }
     if (name == "han" && opt.autotune_han) {
       auto* hs = static_cast<vendor::HanStack*>(stacks.back().get());
       tune::TunerOptions topt;
@@ -44,6 +48,9 @@ inline void run_imb_figure(const ImbFigureOptions& opt) {
                           : benchkit::imb_allreduce(*stack, iopt));
     std::printf("  measured stack: %s\n", stack->name().c_str());
     std::fflush(stdout);
+    if (opt.obs != nullptr) {
+      opt.obs->emit(stack->world(), "." + stack->name());
+    }
   }
 
   std::size_t han_idx = 0;

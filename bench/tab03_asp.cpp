@@ -39,9 +39,11 @@ int main(int argc, char** argv) {
     apps::AspReport report;
   };
   std::vector<Row> rows;
+  bench::Obs obs(args, "tab03_asp");
   for (const char* name : {"ompi", "intel", "mvapich", "han"}) {
     auto stack = vendor::make_stack(name, machine::make_opath(scale.nodes,
                                                               scale.ppn));
+    obs.attach(stack->world(), &stack->runtime());
     if (std::string(name) == "han") {
       auto* hs = static_cast<vendor::HanStack*>(stack.get());
       tune::TunerOptions topt;
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
     rows.push_back({name, apps::run_asp(*stack, opt)});
     std::printf("  measured stack: %s\n", name);
     std::fflush(stdout);
+    obs.emit(stack->world(), std::string(".") + name);
   }
 
   const double han_total = rows.back().report.total_sec;

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: hansim [--machine aries|opath] [--nodes N] [--ppn P]\n"
         "              [--op bcast|allreduce] [--stacks ompi,han,...]\n"
-        "              [--min bytes] [--max bytes] [--tune]\n");
+        "              [--min bytes] [--max bytes] [--tune]\n"
+        "              [--metrics base] [--trace base]\n");
     return 0;
   }
   const std::string machine = args.get_string("--machine", "aries");
@@ -47,9 +48,11 @@ int main(int argc, char** argv) {
     if (!item.empty()) names.push_back(item);
   }
 
+  bench::Obs obs(args, "hansim");
   std::vector<std::unique_ptr<vendor::MpiStack>> stacks;
   for (const std::string& name : names) {
     stacks.push_back(vendor::make_stack(name, profile));
+    obs.attach(stacks.back()->world(), &stacks.back()->runtime());
     if (name == "han" && args.has("--tune")) {
       auto* hs = static_cast<vendor::HanStack*>(stacks.back().get());
       tune::TunerOptions topt;
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
     results.push_back(op == "allreduce"
                           ? benchkit::imb_allreduce(*stack, iopt)
                           : benchkit::imb_bcast(*stack, iopt));
+    obs.emit(stack->world(), "." + stack->name());
   }
   for (std::size_t row = 0; row < iopt.sizes.size(); ++row) {
     t.begin_row().cell(sim::format_bytes(iopt.sizes[row]));

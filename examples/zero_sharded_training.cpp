@@ -7,10 +7,14 @@
 #include <cstdio>
 
 #include "apps/zero.hpp"
+#include "bench/bench_util.hpp"
 
 using namespace han;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  bench::Obs obs(args, "zero_sharded_training");
+
   apps::ZeroOptions options;
   options.model_bytes = 244ull << 20;  // AlexNet-sized fp32 model
   options.bucket_bytes = 64 << 20;
@@ -26,8 +30,14 @@ int main() {
     const machine::MachineProfile profile = machine::make_opath(nodes, 12);
     auto ompi = vendor::make_stack("ompi", profile);
     auto han = vendor::make_stack("han", profile);
+    std::string suffix = ".";
+    suffix += std::to_string(nodes);
+    obs.attach(ompi->world(), &ompi->runtime());
     const apps::ZeroReport r_ompi = apps::run_zero(*ompi, options);
+    obs.emit(ompi->world(), suffix + "n.ompi");
+    obs.attach(han->world(), &han->runtime());
     const apps::ZeroReport r_han = apps::run_zero(*han, options);
+    obs.emit(han->world(), suffix + "n.han");
     std::printf("%8d %14.1f %14.1f %9.2f%% %14.2f\n", r_han.workers,
                 r_ompi.images_per_sec, r_han.images_per_sec,
                 100.0 * (r_han.images_per_sec / r_ompi.images_per_sec - 1.0),

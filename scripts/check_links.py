@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Markdown link checker (stdlib only) for the repo's docs.
+
+Checks every inline link in the given markdown files:
+
+  * relative file links must point at an existing file/directory
+    (relative to the linking file);
+  * `#anchor` fragments — same-file or cross-file — must match a heading
+    in the target file (GitHub-style slugs);
+  * absolute URLs are accepted without network access (scheme check only).
+
+Exit status 0 when every link resolves, 1 otherwise (one line per
+broken link). Usage: check_links.py FILE.md [FILE.md ...]
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — skips images' leading "!" which still match fine, and
+# ignores code spans by stripping fenced/inline code first.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+CODE_RE = re.compile(r"`[^`]*`")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces→dashes."""
+    text = re.sub(r"[*_`]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        content = FENCE_RE.sub("", f.read())
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(content)}
+
+
+def check_file(md_path: str) -> list:
+    errors = []
+    base_dir = os.path.dirname(os.path.abspath(md_path))
+    with open(md_path, encoding="utf-8") as f:
+        content = CODE_RE.sub("", FENCE_RE.sub("", f.read()))
+
+    for match in LINK_RE.finditer(content):
+        target = match.group(1)
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(os.path.join(base_dir, path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{md_path}: broken link '{target}' "
+                              f"(no such file: {path_part})")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = md_path
+        if fragment and anchor_file.endswith(".md"):
+            if slugify(fragment) not in anchors_of(anchor_file):
+                errors.append(f"{md_path}: broken anchor '{target}' "
+                              f"(no heading '#{fragment}' in {anchor_file})")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    for md in sys.argv[1:]:
+        failures.extend(check_file(md))
+    for line in failures:
+        print(line, file=sys.stderr)
+    checked = len(sys.argv) - 1
+    print(f"check_links: {checked} files, {len(failures)} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,11 @@ AspReport run_asp(vendor::MpiStack& stack, const AspOptions& options) {
   report.comm_sec = (*comm_time)[slowest];
   report.comm_ratio =
       report.total_sec > 0.0 ? report.comm_sec / report.total_sec : 0.0;
+  obs::MetricsRegistry& m = stack.world().metrics();
+  m.counter("app.asp.iterations")
+      .add(static_cast<double>(options.iterations));
+  m.counter("app.asp.total_seconds").add(report.total_sec);
+  m.counter("app.asp.comm_seconds").add(report.comm_sec);
   return report;
 }
 

@@ -60,6 +60,12 @@ HorovodReport run_horovod(vendor::MpiStack& stack,
   report.images_per_sec =
       static_cast<double>(options.batch_per_worker) * workers /
       report.step_sec;
+  obs::MetricsRegistry& m = stack.world().metrics();
+  m.counter("app.horovod.steps").add(static_cast<double>(options.steps));
+  m.counter("app.horovod.step_seconds")
+      .add(report.step_sec * options.steps);
+  m.counter("app.horovod.comm_seconds")
+      .add(report.comm_sec_per_step * options.steps);
   return report;
 }
 

@@ -79,6 +79,13 @@ ZeroReport run_zero(vendor::MpiStack& stack, const ZeroOptions& options) {
   report.images_per_sec =
       static_cast<double>(options.batch_per_worker) * workers /
       report.step_sec;
+  obs::MetricsRegistry& m = stack.world().metrics();
+  m.counter("app.zero.steps").add(static_cast<double>(options.steps));
+  m.counter("app.zero.step_seconds").add(report.step_sec * options.steps);
+  m.counter("app.zero.gather_seconds")
+      .add(report.gather_sec_per_step * options.steps);
+  m.counter("app.zero.comm_seconds")
+      .add(report.comm_sec_per_step * options.steps);
   return report;
 }
 

@@ -159,6 +159,8 @@ double Searcher::measure_collective(CollKind kind, std::size_t msg_bytes,
   // (Exhaustive search cost = sum of real collective runs.)
   const double elapsed = world_->now() - before;
   bench_charge_ += elapsed;
+  world_->metrics().counter("tune.search.measurements").add(1.0);
+  world_->metrics().counter("tune.search.seconds").add(elapsed);
 
   double sum = 0.0;
   for (double w : *worst) sum += w;

@@ -42,7 +42,10 @@ TaskBench::TaskBench(mpi::SimWorld& world, core::HanModule& han,
 void TaskBench::run_charged(const mpi::SimWorld::Program& program) {
   const double before = world_->now();
   world_->run(program);
-  cost_ += world_->now() - before;
+  const double elapsed = world_->now() - before;
+  cost_ += elapsed;
+  world_->metrics().counter("tune.taskbench.runs").add(1.0);
+  world_->metrics().counter("tune.taskbench.seconds").add(elapsed);
 }
 
 namespace {

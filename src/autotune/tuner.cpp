@@ -30,20 +30,29 @@ TuneReport Tuner::tune(const TunerOptions& options) {
   const int nodes = hc.node_count();
   const int ppn = hc.max_ppn();
 
+  obs::MetricsRegistry& metrics = world_->metrics();
+  std::size_t entries = 0;
+  std::size_t estimates = 0;
   const double cost0 = searcher_.tuning_cost();
   for (coll::CollKind kind : opts.kinds) {
     searcher_.prepare(kind, opts.heuristics);
     for (std::size_t m : opts.message_sizes) {
       const SearchResult result =
           searcher_.estimate(kind, m, opts.heuristics);
+      estimates += result.evaluations;
       if (result.best) {
         report.table.insert(kind, nodes, ppn, m, result.best->cfg);
+        ++entries;
       }
       report.task_benchmarks =
           std::max(report.task_benchmarks, result.evaluations);
     }
   }
   report.tuning_cost = searcher_.tuning_cost() - cost0;
+  metrics.counter("tune.runs").add(1.0);
+  metrics.counter("tune.table_entries").add(static_cast<double>(entries));
+  metrics.counter("tune.model_estimates").add(static_cast<double>(estimates));
+  metrics.counter("tune.cost_seconds").add(report.tuning_cost);
   return report;
 }
 

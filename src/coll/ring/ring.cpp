@@ -15,6 +15,11 @@ constexpr sim::Time kRingActionDelay = 0.05e-6;
 // CollConfig::segment, the paper's irs knob).
 constexpr std::size_t kRingDefaultSegment = 64 << 10;
 
+void count_op(mpi::SimWorld& world, const char* op, std::size_t bytes) {
+  world.metrics().counter(std::string("ring.") + op).add(1.0);
+  world.metrics().counter("ring.bytes").add(static_cast<double>(bytes));
+}
+
 BuildSpec ring_spec(std::size_t bytes, mpi::Datatype dtype, mpi::ReduceOp op) {
   BuildSpec spec;
   spec.alg = Algorithm::Ring;
@@ -37,6 +42,7 @@ mpi::Request RingModule::ireduce_scatter(const mpi::Comm& comm, int me,
                                          mpi::Datatype dtype, mpi::ReduceOp op,
                                          const CollConfig& cfg) {
   HAN_ASSERT(send.bytes >= recv.bytes);
+  count_op(world(), "reduce_scatter", send.bytes);
   BuildSpec spec = ring_spec(send.bytes, dtype, op);
   spec.segment = cfg.segment != 0 ? cfg.segment : kRingDefaultSegment;
   const int n = comm.size();
@@ -51,6 +57,7 @@ mpi::Request RingModule::ireduce_scatter_strided(
     const CollConfig& cfg) {
   const int n = comm.size();
   HAN_ASSERT(send.bytes >= (n - 1) * stride + recv.bytes);
+  count_op(world(), "reduce_scatter_strided", send.bytes);
   BuildSpec spec = ring_spec(send.bytes, dtype, op);
   spec.segment = cfg.segment != 0 ? cfg.segment : kRingDefaultSegment;
   const std::size_t len = recv.bytes;
@@ -66,6 +73,7 @@ mpi::Request RingModule::iallgather(const mpi::Comm& comm, int me,
                                     mpi::BufView send, mpi::BufView recv,
                                     const CollConfig& cfg) {
   (void)cfg;
+  count_op(world(), "allgather", send.bytes);
   const BuildSpec spec =
       ring_spec(send.bytes, mpi::Datatype::Byte, mpi::ReduceOp::Sum);
   const int n = comm.size();
@@ -79,6 +87,7 @@ mpi::Request RingModule::iallreduce(const mpi::Comm& comm, int me,
                                     mpi::Datatype dtype, mpi::ReduceOp op,
                                     const CollConfig& cfg) {
   (void)cfg;
+  count_op(world(), "allreduce", send.bytes);
   const BuildSpec spec = ring_spec(send.bytes, dtype, op);
   const int n = comm.size();
   return rt().start(

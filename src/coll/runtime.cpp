@@ -9,7 +9,53 @@ namespace {
 // shifted above it. User P2P tags on the same communicator should stay
 // below 2^20 to avoid colliding with collective traffic.
 constexpr int kTagBits = 20;
+
+constexpr const char* kKindNames[] = {"send",    "recv", "copy",
+                                      "reduce",  "compute", "noop",
+                                      "cross_copy", "cross_reduce"};
+constexpr int kNumKinds = 8;
 }  // namespace
+
+CollRuntime::CollRuntime(mpi::SimWorld& world) : world_(&world) {
+  obs::MetricsRegistry& m = world_->metrics();
+  for (int k = 0; k < kNumKinds; ++k) {
+    const std::string kind = kKindNames[k];
+    kinds_[k].actions = &m.counter("coll.actions." + kind);
+    kinds_[k].bytes = &m.counter("coll.bytes." + kind);
+    kinds_[k].busy = &m.counter("coll.busy_seconds." + kind);
+  }
+  inflight_ = &m.gauge("coll.inflight");
+  action_seconds_ = &m.histogram(
+      "coll.action_seconds",
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+}
+
+CollRuntime::LevelStats& CollRuntime::make_level(const std::string& label) {
+  auto it = levels_.find(label);
+  if (it == levels_.end()) {
+    obs::MetricsRegistry& m = world_->metrics();
+    const std::string base = "coll.level." + label;
+    LevelStats ls;
+    ls.actions = &m.counter(base + ".actions");
+    ls.bytes = &m.counter(base + ".bytes");
+    ls.busy = &m.counter(base + ".busy_seconds");
+    ls.inflight = &m.gauge(base + ".inflight");
+    it = levels_.emplace(label, ls).first;
+  }
+  return it->second;
+}
+
+CollRuntime::LevelStats* CollRuntime::level_stats(int context) {
+  auto it = level_of_.find(context);
+  if (it != level_of_.end()) return it->second;
+  LevelStats* flat = &make_level("flat");
+  level_of_.emplace(context, flat);
+  return flat;
+}
+
+void CollRuntime::set_level_label(int context, const std::string& label) {
+  level_of_[context] = &make_level(label);
+}
 
 mpi::Request CollRuntime::start(const mpi::Comm& comm, int comm_rank,
                                 const std::function<Plan()>& build,
@@ -151,23 +197,35 @@ void CollRuntime::execute(const InstancePtr& inst, int rank, int action) {
                             static_cast<std::uint64_t>(a.tag));
   HAN_ASSERT_MSG(a.tag >= 0 && a.tag < (1 << kTagBits),
                  "plan action tag out of range");
-  std::function<void()> done = [this, inst, rank, action] {
+  const int kind = static_cast<int>(a.kind);
+  const sim::Time t0 = world_->now();
+  const double abytes = static_cast<double>(a.bytes);
+  LevelStats* level = level_stats(comm.context());
+  kinds_[kind].actions->add(1.0);
+  kinds_[kind].bytes->add(abytes);
+  level->actions->add(1.0);
+  level->bytes->add(abytes);
+  inflight_->add(t0, 1.0);
+  level->inflight->add(t0, 1.0);
+  std::function<void()> done = [this, inst, rank, action, kind, t0,
+                                level] {
+    const sim::Time now = world_->now();
+    const sim::Time dt = now - t0;
+    kinds_[kind].busy->add(dt);
+    level->busy->add(dt);
+    inflight_->add(now, -1.0);
+    level->inflight->add(now, -1.0);
+    action_seconds_->observe(dt);
+    if (tracer_ != nullptr) {
+      const int wr = inst->comm->world_rank(rank);
+      const std::string name =
+          std::string(kKindNames[kind]) + " " +
+          sim::format_bytes(
+              inst->plan.ranks[rank].actions[action].bytes);
+      tracer_->span(wr, "coll", name, t0, now, world_->rank(wr).node);
+    }
     complete_action(inst, rank, action);
   };
-  if (tracer_ != nullptr) {
-    static const char* kKindNames[] = {"send", "recv",   "copy",
-                                       "reduce", "compute", "noop",
-                                       "cross_copy", "cross_reduce"};
-    const double t0 = world_->now();
-    const std::string name =
-        std::string(kKindNames[static_cast<int>(a.kind)]) + " " +
-        sim::format_bytes(a.bytes);
-    const int wr = comm.world_rank(rank);
-    done = [this, inst, rank, action, t0, name, wr] {
-      tracer_->span(wr, "coll", name, t0, world_->now());
-      complete_action(inst, rank, action);
-    };
-  }
 
   switch (a.kind) {
     case Action::Kind::Send: {

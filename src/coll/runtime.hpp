@@ -23,7 +23,7 @@ namespace han::coll {
 
 class CollRuntime {
  public:
-  explicit CollRuntime(mpi::SimWorld& world) : world_(&world) {}
+  explicit CollRuntime(mpi::SimWorld& world);
   CollRuntime(const CollRuntime&) = delete;
   CollRuntime& operator=(const CollRuntime&) = delete;
 
@@ -41,10 +41,31 @@ class CollRuntime {
   std::size_t live_instances() const { return instances_.size(); }
 
   /// Attach a tracer: every executed action emits a (rank, kind, bytes)
-  /// span. Pass nullptr to detach.
+  /// span, grouped under the rank's simulated node. Pass nullptr to detach.
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Label a communicator context as a hierarchy level ("intra", "inter",
+  /// ...). Actions on that context are accounted under
+  /// `coll.level.<label>.*` instead of the default "flat" bucket; the
+  /// level's in-flight gauge yields the paper's overlap ratio via
+  /// mean_active. HanModule labels its sub-communicators automatically.
+  void set_level_label(int context, const std::string& label);
+
  private:
+  struct LevelStats {
+    obs::Counter* actions = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* busy = nullptr;   // summed action-seconds
+    obs::Gauge* inflight = nullptr;
+  };
+  struct KindStats {
+    obs::Counter* actions = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* busy = nullptr;
+  };
+
+  LevelStats& make_level(const std::string& label);
+  LevelStats* level_stats(int context);
   struct RankState {
     bool arrived = false;
     std::vector<mpi::BufView> user_bufs;
@@ -84,6 +105,12 @@ class CollRuntime {
   // Per-comm-context, per-comm-rank collective call counters.
   std::unordered_map<int, std::vector<std::uint64_t>> call_seq_;
   std::map<std::pair<int, std::uint64_t>, InstancePtr> instances_;
+  // Observability (pointers into the world's registry; stable for life).
+  KindStats kinds_[8];
+  obs::Gauge* inflight_ = nullptr;
+  obs::Histogram* action_seconds_ = nullptr;
+  std::map<std::string, LevelStats> levels_;       // stable value addresses
+  std::unordered_map<int, LevelStats*> level_of_;  // context -> level
 };
 
 }  // namespace han::coll

@@ -21,13 +21,20 @@ ResourceId FlowNet::add_resource(std::string name, double capacity_bps) {
   resource_mark_.push_back(0);
   avail_.push_back(0.0);
   pending_count_.push_back(0);
-  return static_cast<ResourceId>(resources_.size() - 1);
+  ResourceObs obs;
+  obs.last_change = engine_->now();
+  robs_.push_back(obs);
+  const auto id = static_cast<ResourceId>(resources_.size() - 1);
+  if (metrics_ != nullptr) register_resource_metrics(id);
+  return id;
 }
 
 void FlowNet::set_capacity(ResourceId id, double capacity_bps) {
   HAN_ASSERT(id < resources_.size());
   HAN_ASSERT_MSG(capacity_bps > 0.0, "resource capacity must be positive");
+  account(id);
   resources_[id].capacity = capacity_bps;
+  refresh_gauges(id);
   const ResourceId seeds[] = {id};
   mark_dirty(seeds);
 }
@@ -64,9 +71,12 @@ FlowId FlowNet::start_flow(std::span<const ResourceId> resources, double bytes,
       flow.resources.end());
   flow.on_complete = std::move(on_complete);
 
+  if (flows_started_ != nullptr) flows_started_->add(1.0);
   for (ResourceId r : flow.resources) {
     HAN_ASSERT(r < resources_.size());
+    account(r);  // close the interval at the old queue depth
     resources_[r].flows.push_back(id);
+    refresh_gauges(r);
   }
   if (flow.resources.empty()) {
     // A resource-less flow is only limited by its rate cap.
@@ -84,6 +94,7 @@ FlowId FlowNet::start_flow(std::span<const ResourceId> resources, double bytes,
 void FlowNet::abort_flow(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
+  if (flows_aborted_ != nullptr) flows_aborted_->add(1.0);
   const std::vector<ResourceId> seeds = it->second.resources;
   detach_flow(id, it->second);
   flows_.erase(it);
@@ -175,6 +186,7 @@ void FlowNet::schedule_completion(FlowId id, Flow& flow) {
 void FlowNet::finish_flow(FlowId id) {
   auto it = flows_.find(id);
   HAN_ASSERT(it != flows_.end());
+  if (flows_completed_ != nullptr) flows_completed_->add(1.0);
   settle(it->second);
   const std::vector<ResourceId> seeds = it->second.resources;
   std::function<void()> on_complete = std::move(it->second.on_complete);
@@ -186,11 +198,14 @@ void FlowNet::finish_flow(FlowId id) {
 
 void FlowNet::detach_flow(FlowId id, const Flow& flow) {
   for (ResourceId r : flow.resources) {
+    account(r);  // integrate the allocation the flow was part of
     auto& list = resources_[r].flows;
     auto pos = std::find(list.begin(), list.end(), id);
     HAN_ASSERT(pos != list.end());
     *pos = list.back();
     list.pop_back();
+    robs_[r].rate_sum = std::max(0.0, robs_[r].rate_sum - flow.rate);
+    refresh_gauges(r);
   }
 }
 
@@ -282,6 +297,85 @@ void FlowNet::rebalance() {
     }
     schedule_completion(fid, flow);
   }
+
+  // New allocation is in force from `now`: close the old integration
+  // interval and record the fresh per-resource rate sums.
+  for (ResourceId r : comp_resources) {
+    account(r);
+    double sum = 0.0;
+    for (FlowId fid : resources_[r].flows) sum += flows_.at(fid).rate;
+    robs_[r].rate_sum = sum;
+    refresh_gauges(r);
+  }
+}
+
+// ---- Observability --------------------------------------------------------
+
+void FlowNet::account(ResourceId id) {
+  ResourceObs& obs = robs_[id];
+  const sim::Time now = engine_->now();
+  const sim::Time dt = now - obs.last_change;
+  obs.last_change = now;
+  if (dt <= 0.0) return;
+  const double moved = obs.rate_sum * dt;
+  obs.busy_bytes += moved;
+  if (obs.bytes != nullptr && moved > 0.0) obs.bytes->add(moved);
+  if (obs.queue_hist != nullptr) {
+    obs.queue_hist->observe(static_cast<double>(resources_[id].flows.size()),
+                            dt);
+  }
+}
+
+void FlowNet::refresh_gauges(ResourceId id) {
+  ResourceObs& obs = robs_[id];
+  if (obs.util == nullptr) return;
+  const sim::Time now = engine_->now();
+  obs.util->set(now, obs.rate_sum / resources_[id].capacity);
+  obs.queue->set(now, static_cast<double>(resources_[id].flows.size()));
+}
+
+void FlowNet::register_resource_metrics(ResourceId id) {
+  const std::string base = "net.res." + resources_[id].name;
+  ResourceObs& obs = robs_[id];
+  obs.util = &metrics_->gauge(base + ".util");
+  obs.queue = &metrics_->gauge(base + ".queue");
+  obs.bytes = &metrics_->counter(base + ".bytes");
+  refresh_gauges(id);
+}
+
+void FlowNet::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    flows_started_ = flows_completed_ = flows_aborted_ = nullptr;
+    for (ResourceObs& obs : robs_) {
+      obs.util = obs.queue = nullptr;
+      obs.bytes = nullptr;
+      obs.queue_hist = nullptr;
+    }
+    return;
+  }
+  flows_started_ = &registry->counter("net.flows.started");
+  flows_completed_ = &registry->counter("net.flows.completed");
+  flows_aborted_ = &registry->counter("net.flows.aborted");
+  for (ResourceId r = 0; r < resources_.size(); ++r) {
+    register_resource_metrics(r);
+  }
+}
+
+void FlowNet::enable_queue_histogram(ResourceId id,
+                                     const std::string& metric_name) {
+  HAN_ASSERT(id < resources_.size());
+  HAN_ASSERT_MSG(metrics_ != nullptr,
+                 "attach a metrics registry before enabling queue histograms");
+  account(id);
+  robs_[id].queue_hist = &metrics_->histogram(metric_name, {});
+}
+
+double FlowNet::resource_busy_bytes(ResourceId id) const {
+  HAN_ASSERT(id < resources_.size());
+  const ResourceObs& obs = robs_[id];
+  const sim::Time dt = engine_->now() - obs.last_change;
+  return obs.busy_bytes + (dt > 0.0 ? obs.rate_sum * dt : 0.0);
 }
 
 }  // namespace han::net

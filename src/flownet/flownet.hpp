@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simbase/engine.hpp"
 #include "simbase/units.hpp"
 
@@ -70,7 +71,22 @@ class FlowNet {
   /// Sum of active flow rates through a resource (for tests/invariants).
   double resource_usage(ResourceId id) const;
 
-  sim::Engine& engine() { return *engine_; }
+  std::size_t resource_count() const { return resources_.size(); }
+
+  /// Attach a metrics registry: every resource gets a utilization gauge
+  /// (`net.res.<name>.util`, fraction of capacity), an active-flow gauge
+  /// (`net.res.<name>.queue`), and a bytes-moved counter
+  /// (`net.res.<name>.bytes`), plus global flow lifecycle counters. Covers
+  /// resources added before and after the call. Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Additionally record `id`'s active-flow count as a time-weighted
+  /// histogram under `metric_name` (congestion queue depth distribution).
+  /// Requires an attached registry.
+  void enable_queue_histogram(ResourceId id, const std::string& metric_name);
+
+  /// Total bytes moved through a resource so far (settled to `now`).
+  double resource_busy_bytes(ResourceId id) const;
 
  private:
   struct Resource {
@@ -107,7 +123,29 @@ class FlowNet {
   void finish_flow(FlowId id);
   void detach_flow(FlowId id, const Flow& flow);
 
+  // Per-resource observability accounting. `rate_sum` mirrors the rate
+  // allocation in effect since `last_change`; account() integrates it (and
+  // the active-flow count) up to `now` BEFORE any mutation of the
+  // resource's flow list or rates.
+  struct ResourceObs {
+    double rate_sum = 0.0;
+    sim::Time last_change = 0.0;
+    double busy_bytes = 0.0;
+    obs::Gauge* util = nullptr;
+    obs::Gauge* queue = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Histogram* queue_hist = nullptr;
+  };
+  void account(ResourceId id);
+  void refresh_gauges(ResourceId id);
+  void register_resource_metrics(ResourceId id);
+
   sim::Engine* engine_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* flows_started_ = nullptr;
+  obs::Counter* flows_completed_ = nullptr;
+  obs::Counter* flows_aborted_ = nullptr;
+  std::vector<ResourceObs> robs_;
   std::vector<Resource> resources_;
   std::unordered_map<FlowId, Flow> flows_;
   FlowId next_flow_id_ = 1;

@@ -89,8 +89,15 @@ HanConfig HanModule::default_config(CollKind kind, int /*nodes*/, int ppn,
 HanConfig HanModule::decide(CollKind kind, const mpi::Comm& comm,
                             std::size_t bytes) {
   HanComm& hc = han_comm(comm);
-  if (decider_) return decider_(kind, hc.node_count(), hc.max_ppn(), bytes);
-  return default_config(kind, hc.node_count(), hc.max_ppn(), bytes);
+  HanConfig cfg =
+      decider_ ? decider_(kind, hc.node_count(), hc.max_ppn(), bytes)
+               : default_config(kind, hc.node_count(), hc.max_ppn(), bytes);
+  obs::MetricsRegistry& m = world().metrics();
+  m.counter(std::string("han.decide.") + coll::coll_kind_name(kind)).add(1.0);
+  m.counter("han.decide.bytes").add(static_cast<double>(bytes));
+  m.counter("han.cfg.imod." + cfg.imod).add(1.0);
+  m.counter("han.cfg.smod." + cfg.smod).add(1.0);
+  return cfg;
 }
 
 HanComm& HanModule::han_comm(const mpi::Comm& comm) {
@@ -100,6 +107,15 @@ HanComm& HanModule::han_comm(const mpi::Comm& comm) {
              .emplace(comm.context(),
                       std::make_unique<HanComm>(world(), comm))
              .first;
+    // Label the new sub-communicators so runtime accounting separates the
+    // hierarchy levels (coll.level.intra.* / coll.level.inter.*).
+    const HanComm& hc = *it->second;
+    for (int pr = 0; pr < comm.size(); ++pr) {
+      rt().set_level_label(hc.low(pr).context(), "intra");
+      if (hc.up(pr) != nullptr) {
+        rt().set_level_label(hc.up(pr)->context(), "inter");
+      }
+    }
   }
   return *it->second;
 }

@@ -35,6 +35,17 @@ ClusterFabric::ClusterFabric(net::FlowNet& net,
   }
 }
 
+void ClusterFabric::register_observability(net::FlowNet& net,
+                                           const MachineProfile& profile,
+                                           obs::MetricsRegistry& registry)
+    const {
+  registry.set_meta("machine.nodes", std::to_string(profile.nodes));
+  registry.set_meta("machine.ppn", std::to_string(profile.procs_per_node));
+  registry.set_meta("machine.numa_per_node",
+                    std::to_string(profile.numa_per_node));
+  net.enable_queue_histogram(fabric_, "net.fabric.queue_depth");
+}
+
 void ClusterFabric::inter_path(int src_node, int dst_node,
                                std::vector<net::ResourceId>& out) const {
   HAN_ASSERT(src_node != dst_node);

@@ -47,6 +47,13 @@ class ClusterFabric {
   void pair_path(int node, int numa_a, int numa_b,
                  std::vector<net::ResourceId>& out) const;
 
+  /// Wire the fabric into a metrics registry already attached to `net`:
+  /// records the machine shape as report metadata and tracks the shared
+  /// fabric resource's congestion (queue-depth distribution) under
+  /// `net.fabric.queue_depth`.
+  void register_observability(net::FlowNet& net, const MachineProfile& profile,
+                              obs::MetricsRegistry& registry) const;
+
  private:
   int numa_per_node_ = 1;
   net::ResourceId fabric_ = 0;

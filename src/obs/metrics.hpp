@@ -1,0 +1,148 @@
+// han::obs — metrics registry for the simulated stack.
+//
+// Whole-collective timings hide *why* a configuration wins (paper §IV:
+// level-dependent bandwidth, congestion at hot processes, imperfect
+// overlap). This layer gives every subsystem a place to publish the
+// quantities that explain a run:
+//
+//  * Counter    — monotonically increasing total (bytes moved, actions
+//                 executed, benchmark cost seconds).
+//  * Gauge      — instantaneous value with time-weighted statistics
+//                 (link utilization, queue depth, in-flight concurrency).
+//                 `mean_active` — the time-weighted mean over the window
+//                 where the gauge was nonzero — is the overlap ratio when
+//                 the gauge counts in-flight tasks.
+//  * Histogram  — weighted value distribution over fixed buckets (action
+//                 durations, time-weighted congestion queue depth).
+//
+// A registry belongs to one SimWorld; all updates carry simulated time.
+// Export (JSON/CSV, see obs/report.hpp) iterates metrics in name order and
+// formats through snprintf, so two identical simulator runs produce
+// byte-identical reports. When a Tracer is attached, every gauge change
+// also lands as a Perfetto counter-track sample ("C" event).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simbase/trace.hpp"
+#include "simbase/units.hpp"
+
+namespace han::obs {
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  /// Set the instantaneous value at simulated time `now`. Time must be
+  /// non-decreasing across updates (the simulator guarantees this).
+  void set(sim::Time now, double value);
+  void add(sim::Time now, double delta) { set(now, value_ + delta); }
+
+  double value() const { return value_; }
+  double max() const { return max_; }
+  /// Time-weighted mean over [first update, now].
+  double mean(sim::Time now) const;
+  /// Time-weighted mean over the sub-window where the value was nonzero.
+  /// For an in-flight-task gauge this is the overlap ratio: 1.0 = strictly
+  /// serial, k = on average k tasks ran concurrently while any ran.
+  double mean_active(sim::Time now) const;
+  /// Total time the value was nonzero.
+  double active_seconds(sim::Time now) const;
+
+ private:
+  friend class MetricsRegistry;
+  double pending_integral(sim::Time now) const;
+
+  MetricsRegistry* owner_ = nullptr;  // tracer feed; set at creation
+  std::string name_;
+  double value_ = 0.0;
+  double max_ = 0.0;
+  double integral_ = 0.0;  // ∫ value dt since first update
+  double nonzero_ = 0.0;   // ∫ [value != 0] dt since first update
+  sim::Time t0_ = 0.0;
+  sim::Time last_ = 0.0;
+  bool started_ = false;
+  bool emitted_ = false;
+  double last_emitted_ = 0.0;
+};
+
+class Histogram {
+ public:
+  /// `bounds` are ascending upper bucket edges; an implicit +inf bucket is
+  /// appended. Empty bounds use a power-of-4 default suited to counts.
+  explicit Histogram(std::vector<double> bounds = {});
+
+  /// Record `value` with `weight` (1.0 for plain counts; a duration for
+  /// time-weighted distributions such as congestion queue depth).
+  void observe(double value, double weight = 1.0);
+
+  double total_weight() const { return total_weight_; }
+  double weighted_mean() const;
+  /// Weighted q-quantile estimated from bucket edges (upper edge of the
+  /// bucket containing the q-th weight; max bound for the overflow bucket).
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<double> weights_;  // bounds_.size() + 1 (overflow last)
+  double total_weight_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. References stay valid for the registry's lifetime
+  /// (instrumentation caches them; never erase a metric).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  /// Free-form report metadata (machine shape, binary name). Exported
+  /// under "meta"; keep values run-independent or reports lose their
+  /// byte-for-byte determinism.
+  void set_meta(std::string_view key, std::string_view value);
+
+  /// Attach a tracer: every gauge change is mirrored as a counter-track
+  /// sample. Pass nullptr to detach.
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  sim::Tracer* tracer() { return tracer_; }
+
+  std::size_t metric_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Deterministic structured report; `now` closes the gauges' integration
+  /// windows. See docs/OBSERVABILITY.md for the schema.
+  std::string to_json(sim::Time now) const;
+  /// CSV flattening: `type,name,field,value` rows in the JSON's order.
+  std::string to_csv(sim::Time now) const;
+
+ private:
+  // std::map: stable references plus name-sorted iteration for export.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> meta_;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace han::obs

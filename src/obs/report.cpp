@@ -1,0 +1,39 @@
+#include "obs/report.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace han::obs {
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  errno = 0;
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "obs::write_report: cannot open '%s': %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  f << content;
+  f.flush();
+  if (!f) {
+    std::fprintf(stderr, "obs::write_report: write to '%s' failed: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_report(const MetricsRegistry& registry, sim::Time now,
+                  const std::string& base) {
+  const bool json_ok = write_file(base + ".json", registry.to_json(now));
+  const bool csv_ok = write_file(base + ".csv", registry.to_csv(now));
+  return json_ok && csv_ok;
+}
+
+}  // namespace han::obs

@@ -1,0 +1,18 @@
+// Structured run-report export: one metrics registry -> `<base>.json` +
+// `<base>.csv`. The shared `--metrics <base>` flag of every bench/app
+// binary lands here (bench/bench_util.hpp::Obs).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace han::obs {
+
+/// Write `<base>.json` and `<base>.csv`. `now` closes the gauges'
+/// integration windows (pass the world's simulated time). Returns false on
+/// I/O failure (after reporting it on stderr).
+bool write_report(const MetricsRegistry& registry, sim::Time now,
+                  const std::string& base);
+
+}  // namespace han::obs

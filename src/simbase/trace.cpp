@@ -1,18 +1,31 @@
 #include "simbase/trace.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <utility>
 
 namespace han::sim {
 
 namespace {
 
-void append_escaped(std::string& out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+// JSON string escaping. Control characters (< 0x20) must be \uXXXX-escaped
+// or the output is invalid JSON — span names built from user strings can
+// legally contain them.
+void append_escaped(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
   }
 }
 
@@ -21,9 +34,47 @@ void append_escaped(std::string& out, const std::string& s) {
 std::string Tracer::to_chrome_json() const {
   std::string out = "{\"traceEvents\":[\n";
   char buf[96];
-  for (std::size_t i = 0; i < spans_.size(); ++i) {
-    const Span& s = spans_[i];
-    out += "{\"ph\":\"X\",\"pid\":0,\"tid\":";
+  bool first = true;
+  auto sep = [&out, &first] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Metadata: name processes after simulated nodes and threads after world
+  // ranks, so Perfetto's track labels read "node 2 / rank 17".
+  std::vector<int> pids;
+  std::vector<std::pair<int, int>> tids;  // (pid, tid)
+  for (const Span& s : spans_) {
+    pids.push_back(s.pid);
+    tids.emplace_back(s.pid, s.tid);
+  }
+  for (const CounterSample& c : counters_) pids.push_back(c.pid);
+  std::sort(pids.begin(), pids.end());
+  pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (int pid : pids) {
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                  "\"args\":{\"name\":\"node %d\"}}",
+                  pid, pid);
+    out += buf;
+  }
+  for (const auto& [pid, tid] : tids) {
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"rank %d\"}}",
+                  pid, tid, tid);
+    out += buf;
+  }
+
+  for (const Span& s : spans_) {
+    sep();
+    out += "{\"ph\":\"X\",\"pid\":";
+    out += std::to_string(s.pid);
+    out += ",\"tid\":";
     out += std::to_string(s.tid);
     out += ",\"cat\":\"";
     append_escaped(out, s.cat);
@@ -32,10 +83,21 @@ std::string Tracer::to_chrome_json() const {
     std::snprintf(buf, sizeof(buf), "\",\"ts\":%.3f,\"dur\":%.3f}",
                   s.start * 1e6, s.duration * 1e6);
     out += buf;
-    if (i + 1 < spans_.size()) out += ',';
-    out += '\n';
   }
-  out += "]}\n";
+
+  for (const CounterSample& c : counters_) {
+    sep();
+    out += "{\"ph\":\"C\",\"pid\":";
+    out += std::to_string(c.pid);
+    out += ",\"name\":\"";
+    append_escaped(out, c.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ts\":%.3f,\"args\":{\"value\":%.9g}}", c.t * 1e6,
+                  c.value);
+    out += buf;
+  }
+
+  out += "\n]}\n";
   return out;
 }
 

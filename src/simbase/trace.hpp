@@ -1,7 +1,9 @@
-// Execution tracing: collects (rank, category, name, start, duration)
-// spans of simulated activity and exports Chrome trace-event JSON —
-// loadable in chrome://tracing or Perfetto to inspect how a collective's
-// tasks pipeline and overlap (the visual counterpart of paper Fig. 1/5).
+// Execution tracing: collects (node, rank, category, name, start, duration)
+// spans of simulated activity plus named counter-track samples, and exports
+// Chrome trace-event JSON — loadable in chrome://tracing or Perfetto to
+// inspect how a collective's tasks pipeline and overlap (the visual
+// counterpart of paper Fig. 1/5) and how link utilization / queue depth /
+// in-flight concurrency evolve alongside ("C" counter events).
 #pragma once
 
 #include <string>
@@ -15,6 +17,7 @@ namespace han::sim {
 class Tracer {
  public:
   struct Span {
+    int pid = 0;  // simulated node id (Perfetto groups ranks by process)
     int tid = 0;  // simulated world rank
     std::string cat;
     std::string name;
@@ -22,17 +25,37 @@ class Tracer {
     Time duration = 0.0;
   };
 
+  /// Counter-track sample: rendered by Perfetto as a stepped time series
+  /// under process `pid` (track identity is the (pid, name) pair).
+  struct CounterSample {
+    int pid = 0;
+    std::string name;
+    Time t = 0.0;
+    double value = 0.0;
+  };
+
   void span(int tid, std::string_view cat, std::string_view name, Time start,
-            Time end) {
-    spans_.push_back(Span{tid, std::string(cat), std::string(name), start,
-                          end - start});
+            Time end, int pid = 0) {
+    spans_.push_back(Span{pid, tid, std::string(cat), std::string(name),
+                          start, end - start});
+  }
+
+  void counter(std::string_view name, Time t, double value, int pid = 0) {
+    counters_.push_back(CounterSample{pid, std::string(name), t, value});
   }
 
   std::size_t size() const { return spans_.size(); }
-  void clear() { spans_.clear(); }
+  std::size_t counter_count() const { return counters_.size(); }
+  void clear() {
+    spans_.clear();
+    counters_.clear();
+  }
   const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<CounterSample>& counters() const { return counters_; }
 
-  /// Chrome trace-event JSON ("X" complete events, microsecond units).
+  /// Chrome trace-event JSON: "X" complete events (microsecond units),
+  /// "C" counter events, and "M" metadata naming each pid "node <n>" /
+  /// each tid "rank <r>".
   std::string to_chrome_json() const;
 
   /// Best-effort file write; returns false on I/O failure.
@@ -40,6 +63,7 @@ class Tracer {
 
  private:
   std::vector<Span> spans_;
+  std::vector<CounterSample> counters_;
 };
 
 }  // namespace han::sim

@@ -49,6 +49,10 @@ SimWorld::SimWorld(machine::MachineProfile profile, Options options)
   jitter_rng_.reseed(options.jitter_seed);
   net_tx_lane_.resize(total);
   copy_lane_.resize(total);
+  flownet_.set_metrics(&metrics_);
+  fabric_.register_observability(flownet_, profile_, metrics_);
+  msg_counter_ = &metrics_.counter("mpi.messages");
+  msg_bytes_counter_ = &metrics_.counter("mpi.p2p_bytes");
 }
 
 std::vector<Comm*> SimWorld::comm_split(const Comm& parent,
@@ -163,6 +167,8 @@ Request SimWorld::isend_ctx(const Comm& comm, int ctx, int src, int dst,
   const int d = comm.world_rank(dst);
   Request sreq = make_request(engine_);
   ++messages_sent_;
+  msg_counter_->add(1.0);
+  msg_bytes_counter_->add(static_cast<double>(buf.bytes));
 
   ArrivedMsg msg;
   msg.ctx = ctx;

@@ -16,6 +16,7 @@
 #include "flownet/flownet.hpp"
 #include "machine/fabric.hpp"
 #include "machine/machine.hpp"
+#include "obs/metrics.hpp"
 #include "simbase/cotask.hpp"
 #include "simbase/engine.hpp"
 #include "simmpi/buffer.hpp"
@@ -160,6 +161,17 @@ class SimWorld {
   /// Total messages sent so far (diagnostics).
   std::uint64_t messages_sent() const { return messages_sent_; }
 
+  // --- Observability -------------------------------------------------------
+
+  /// The world's metrics registry. Wired into the flow network and fabric
+  /// at construction; collective runtimes and apps add their own series.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Mirror every gauge change into `tracer` as a Perfetto counter track
+  /// ("C" events). Pass nullptr to stop.
+  void set_tracer(sim::Tracer* tracer) { metrics_.set_tracer(tracer); }
+
  private:
   struct PostedRecv {
     int ctx;
@@ -212,8 +224,11 @@ class SimWorld {
   Options options_;
   machine::P2pParams p2p_;
   sim::Engine engine_;
+  obs::MetricsRegistry metrics_;
   net::FlowNet flownet_;
   machine::ClusterFabric fabric_;
+  obs::Counter* msg_counter_ = nullptr;
+  obs::Counter* msg_bytes_counter_ = nullptr;
   std::vector<Rank> ranks_;
   std::deque<std::unique_ptr<Comm>> comms_;
   Comm* world_comm_ = nullptr;

@@ -34,6 +34,8 @@ class MpiStack {
   const std::string& name() const { return name_; }
   mpi::SimWorld& world() { return world_; }
   coll::ModuleSet& modules() { return mods_; }
+  /// The stack's collective runtime (tracing/observability hookup).
+  coll::CollRuntime& runtime() { return rt_; }
 
   /// Collectives on the stack's world communicator. Every rank calls.
   virtual mpi::Request ibcast(int rank, int root, mpi::BufView buf,
