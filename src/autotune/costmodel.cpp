@@ -1,19 +1,101 @@
 #include "autotune/costmodel.hpp"
 
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "han/task/shapes.hpp"
+
 namespace han::tune {
 
-double bcast_model_cost(const BcastTaskCosts& costs, int u) {
-  HAN_ASSERT(u >= 1);
-  const std::size_t leaders = costs.ib0.t.size();
+namespace {
+
+// Stage-role bits forming a step signature during a symbolic walk. The
+// model walks the SAME shapes the graph builders emit (task/shapes.hpp):
+// each pipeline step collapses to the set of stages active in it, and the
+// signature selects the benchmarked task cost for that step — no per-kind
+// closed forms to drift from the executor.
+enum : unsigned { kSr = 1, kIr = 2, kIb = 4, kSb = 8 };
+
+unsigned role_bit(const char* role) {
+  const std::string_view r(role);
+  if (r == "sr") return kSr;
+  if (r == "ir") return kIr;
+  if (r == "ib") return kIb;
+  if (r == "sb") return kSb;
+  return 0;
+}
+
+/// Collapse the stepped pipeline to per-step signatures, in step order.
+/// Empty steps are dropped — the TaskScheduler's frontier skips them too.
+std::vector<unsigned> step_signatures(
+    const std::vector<task::StageSpec>& stages, int u) {
+  const int last = task::shape_steps(stages, u) - 1;
+  std::vector<unsigned> sig;
+  for (int t = 0; t <= last; ++t) {
+    unsigned mask = 0;
+    for (const task::StageSpec& s : stages) {
+      const int seg = t - s.lag;
+      if (s.enabled && seg >= 0 && seg < u) mask |= role_bit(s.role);
+    }
+    if (mask != 0) sig.push_back(mask);
+  }
+  return sig;
+}
+
+/// Walk the signature sequence under the TaskScheduler's frontier rule:
+/// step s starts when step s - window completed. At window = 1 this is the
+/// lock-step serial sum (exact — runs of equal signatures are multiplied
+/// out, reproducing the paper's eq. 3/4 arithmetic bit for bit); for
+/// window > 1 it ignores intra-step data dependencies, so it is an
+/// optimistic bound. Collective cost = the slowest leader's walk.
+template <typename CostOf>
+double walk_cost(const std::vector<unsigned>& sig, const CostOf& cost_of,
+                 int window) {
+  if (sig.empty()) return 0.0;
+  const std::size_t leaders = cost_of(sig[0]).t.size();
   double worst = 0.0;
   for (std::size_t i = 0; i < leaders; ++i) {
-    // u == 1: ib(0) followed by the lone sb — no sbib steps at all.
-    const double t = costs.ib0.t[i] +
-                     static_cast<double>(u - 1) * costs.sbib_stable.t[i] +
-                     costs.sb0.t[i];
-    worst = std::max(worst, t);
+    double total = 0.0;
+    if (window <= 1) {
+      for (std::size_t s = 0; s < sig.size();) {
+        std::size_t run = s + 1;
+        while (run < sig.size() && sig[run] == sig[s]) ++run;
+        total += static_cast<double>(run - s) * cost_of(sig[s]).t[i];
+        s = run;
+      }
+    } else {
+      std::vector<double> done(sig.size(), 0.0);
+      for (std::size_t s = 0; s < sig.size(); ++s) {
+        const double start = s >= static_cast<std::size_t>(window)
+                                 ? done[s - window]
+                                 : 0.0;
+        done[s] = start + cost_of(sig[s]).t[i];
+      }
+      total = done.back();
+    }
+    worst = std::max(worst, total);
   }
   return worst;
+}
+
+}  // namespace
+
+double bcast_model_cost(const BcastTaskCosts& costs, int u, int window) {
+  HAN_ASSERT(u >= 1);
+  // ib(0); sbib(1..u-1); sb(u-1) — eq. 3 falls out of the walk.
+  const std::vector<unsigned> sig =
+      step_signatures(task::bcast_shape(/*has_intra=*/true), u);
+  return walk_cost(
+      sig,
+      [&](unsigned m) -> const PerLeader& {
+        switch (m) {
+          case kIb: return costs.ib0;
+          case kIb | kSb: return costs.sbib_stable;
+          default: return costs.sb0;  // kSb
+        }
+      },
+      window);
 }
 
 AllreduceTaskCosts AllreduceTaskCosts::from_trace(const PipelineTrace& trace) {
@@ -63,7 +145,8 @@ AffineFit AffineFit::from_points(std::size_t b1, double t1, std::size_t b2,
 
 double reduce_scatter_model_cost(const ReduceScatterTaskCosts& costs,
                                  const core::HanConfig& cfg,
-                                 std::size_t msg_bytes, int nodes, int ppn) {
+                                 std::size_t msg_bytes, int nodes, int ppn,
+                                 int window) {
   HAN_ASSERT(nodes >= 1 && ppn >= 1);
   const std::size_t m = std::max<std::size_t>(msg_bytes, 1);
   const std::size_t region = std::max<std::size_t>(m / nodes, 1);
@@ -72,48 +155,64 @@ double reduce_scatter_model_cost(const ReduceScatterTaskCosts& costs,
 
   if (cfg.imod == "ring") {
     if (!has_intra) return costs.inter_ring.at(m);
-    // u serial intra reduces of ~fs bytes; the last slice's ring (a
-    // strided vector of nodes * slice bytes) cannot be overlapped; ss.
-    const std::size_t slice = std::min(fs, region);
-    const int u = static_cast<int>((m + slice - 1) / slice);
-    return u * costs.intra_reduce.at(slice) +
-           costs.inter_ring.at(nodes * slice) +
+    // Walk the same slice sequence the builder emits: nodes intra reduces
+    // per slice (serial), each slice's strided ring hidden behind the next
+    // slice's reduces; the last ring and the ss tail cannot overlap.
+    double t = 0.0;
+    std::size_t last_len = 0;
+    task::for_each_ring_slice(
+        region, fs, mpi::Datatype::Byte,
+        [&](int /*k*/, std::size_t /*off*/, std::size_t len) {
+          t += static_cast<double>(nodes) * costs.intra_reduce.at(len);
+          last_len = len;
+        });
+    return t + costs.inter_ring.at(static_cast<std::size_t>(nodes) * last_len) +
            costs.intra_scatter.at(region);
   }
 
+  // Tree path: the sr ⊕ ir pipeline shape, then the inter scatter and ss.
   const int u = static_cast<int>((m + fs - 1) / fs);
-  double worst = 0.0;
-  if (has_intra) {
-    // sr ⊕ ir pipeline over the u segments, then the inter scatter and ss.
-    for (std::size_t i = 0; i < costs.sr0.t.size(); ++i) {
-      const double t = costs.sr0.t[i] +
-                       static_cast<double>(u - 1) * costs.irsr_stable.t[i] +
-                       costs.ir_tail.t[i];
-      worst = std::max(worst, t);
-    }
-  } else {
-    for (double t : costs.ir_tail.t) worst = std::max(worst, u * t);
-  }
-  return worst + costs.inter_scatter.at(m) +
+  const std::vector<unsigned> sig =
+      step_signatures(task::reduce_scatter_tree_shape(has_intra), u);
+  const double pipeline = walk_cost(
+      sig,
+      [&](unsigned s) -> const PerLeader& {
+        switch (s) {
+          case kSr: return costs.sr0;
+          case kSr | kIr: return costs.irsr_stable;
+          default: return costs.ir_tail;  // kIr
+        }
+      },
+      window);
+  return pipeline + costs.inter_scatter.at(m) +
          (has_intra ? costs.intra_scatter.at(region) : 0.0);
 }
 
-double allreduce_model_cost(const AllreduceTaskCosts& costs, int u) {
+double allreduce_model_cost(const AllreduceTaskCosts& costs, int u,
+                            int window) {
   HAN_ASSERT(u >= 1);
-  const std::size_t leaders = costs.sr0.t.size();
-  double worst = 0.0;
-  for (std::size_t i = 0; i < leaders; ++i) {
-    double t = costs.sr0.t[i];
-    if (u >= 2) t += costs.irsr.t[i];
-    if (u >= 3) t += costs.ibirsr.t[i];
-    if (u >= 4) t += static_cast<double>(u - 3) * costs.sbibirsr_stable.t[i];
-    // Drain: always present once the 4-stage pipeline exists; for tiny u
-    // the drain tasks approximate the remaining ir/ib/sb of the last
-    // segments.
-    t += costs.sbibir.t[i] + costs.sbib.t[i] + costs.sb.t[i];
-    worst = std::max(worst, t);
-  }
-  return worst;
+  // sr(0); irsr; ibirsr; sbibirsr(3..u-1); sbibir; sbib; sb — eq. 4.
+  const std::vector<unsigned> sig =
+      step_signatures(task::allreduce_shape(/*has_intra=*/true), u);
+  return walk_cost(
+      sig,
+      [&](unsigned m) -> const PerLeader& {
+        switch (m) {
+          case kSr: return costs.sr0;
+          case kSr | kIr: return costs.irsr;
+          case kSr | kIr | kIb: return costs.ibirsr;
+          case kSr | kIr | kIb | kSb: return costs.sbibirsr_stable;
+          // Drain: for tiny u the drain tasks approximate the remaining
+          // ir/ib/sb of the last segments.
+          case kIr | kIb | kSb:
+          case kIr | kIb:
+          case kIr: return costs.sbibir;
+          case kIb | kSb:
+          case kIb: return costs.sbib;
+          default: return costs.sb;  // kSb
+        }
+      },
+      window);
 }
 
 }  // namespace han::tune

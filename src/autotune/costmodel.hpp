@@ -21,8 +21,13 @@ struct BcastTaskCosts {
   PerLeader sbib_stable;  // T_i(sbib(s))
 };
 
-/// Eq. 3. `u` = segment count of the modeled message.
-double bcast_model_cost(const BcastTaskCosts& costs, int u);
+/// Eq. 3. `u` = segment count of the modeled message. The cost is computed
+/// by symbolically walking the bcast pipeline shape (han/task/shapes.hpp)
+/// — the same shape the graph builders execute. `window` mirrors the
+/// TaskScheduler's in-flight step window: 1 (the default) is the paper's
+/// lock-step pipeline, exactly eq. 3; larger windows give an optimistic
+/// bound where step s starts when step s - window finished.
+double bcast_model_cost(const BcastTaskCosts& costs, int u, int window = 1);
 
 struct AllreduceTaskCosts {
   PerLeader sr0;              // T_i(sr(0))
@@ -38,8 +43,10 @@ struct AllreduceTaskCosts {
 };
 
 /// Eq. 4 with the obvious clamping for u < 4 (fewer fill/drain steps than
-/// the pipeline depth).
-double allreduce_model_cost(const AllreduceTaskCosts& costs, int u);
+/// the pipeline depth) — a symbolic walk of the allreduce shape; see
+/// bcast_model_cost for the window semantics.
+double allreduce_model_cost(const AllreduceTaskCosts& costs, int u,
+                            int window = 1);
 
 /// Affine cost fit t(bytes) = base + per_byte * bytes from two sampled
 /// points. The simulated fabric is linear in message size past the eager
@@ -79,6 +86,7 @@ struct ReduceScatterTaskCosts {
 ///     max_i( u*sr(0) ) + ring(n*slice) + ss(m/n)
 double reduce_scatter_model_cost(const ReduceScatterTaskCosts& costs,
                                  const core::HanConfig& cfg,
-                                 std::size_t msg_bytes, int nodes, int ppn);
+                                 std::size_t msg_bytes, int nodes, int ppn,
+                                 int window = 1);
 
 }  // namespace han::tune

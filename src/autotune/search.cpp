@@ -57,7 +57,18 @@ std::vector<HanConfig> SearchSpace::enumerate(CollKind kind) const {
       }
     }
   }
-  return out;
+  // Cross with the scheduler windows last so the base Table II axes stay
+  // contiguous ({1} — the default — leaves the space unchanged).
+  std::vector<HanConfig> expanded;
+  expanded.reserve(out.size() * std::max<std::size_t>(windows.size(), 1));
+  for (int w : windows.empty() ? std::vector<int>{1} : windows) {
+    for (const HanConfig& base : out) {
+      HanConfig c = base;
+      c.window = w;
+      expanded.push_back(std::move(c));
+    }
+  }
+  return expanded;
 }
 
 bool heuristic_allows(const HanConfig& cfg, CollKind kind,
@@ -88,6 +99,9 @@ bool heuristic_allows(const HanConfig& cfg, CollKind kind,
   if (cfg.imod == "ring" && msg_bytes > 0 && msg_bytes < (4u << 10)) {
     return false;
   }
+  // A deep in-flight window only pays off once the pipeline has enough
+  // steps to overlap; on short pipelines it just duplicates window = 1.
+  if (cfg.window > 1 && u > 0 && u < 4) return false;
   (void)kind;
   return true;
 }
@@ -285,16 +299,16 @@ double Searcher::estimate_config(CollKind kind, std::size_t msg_bytes,
       1, static_cast<int>((msg_bytes + cfg.fs - 1) /
                           std::max<std::size_t>(cfg.fs, 1)));
   if (kind == CollKind::Bcast) {
-    return bcast_model_cost(bcast_costs(cfg), u);
+    return bcast_model_cost(bcast_costs(cfg), u, cfg.window);
   }
   if (kind == CollKind::ReduceScatter) {
     core::HanComm& hc = han_->han_comm(*comm_);
     return reduce_scatter_model_cost(reduce_scatter_costs(cfg), cfg,
                                      msg_bytes, hc.node_count(),
-                                     hc.max_ppn());
+                                     hc.max_ppn(), cfg.window);
   }
   HAN_ASSERT(kind == CollKind::Allreduce);
-  return allreduce_model_cost(allreduce_costs(cfg), u);
+  return allreduce_model_cost(allreduce_costs(cfg), u, cfg.window);
 }
 
 }  // namespace han::tune

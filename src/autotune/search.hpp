@@ -31,6 +31,10 @@ struct SearchSpace {
   /// Add the ring inter module for the kinds it implements
   /// (reduce-scatter); one config per fs x smod.
   bool include_ring = true;
+  /// Scheduler in-flight step windows to try. The default space keeps the
+  /// paper's lock-step pipeline only; add e.g. {1, 2} to let the tuner
+  /// weigh deeper in-flight overlap (cost model walks the same windows).
+  std::vector<int> windows{1};
 
   /// Every configuration of the space (paper: S x A combinations).
   std::vector<core::HanConfig> enumerate(coll::CollKind kind) const;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "coll/validate.hpp"
+
 namespace han::coll {
 
 namespace {
@@ -28,6 +30,23 @@ CollRuntime::CollRuntime(mpi::SimWorld& world) : world_(&world) {
   action_seconds_ = &m.histogram(
       "coll.action_seconds",
       {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+  destroy_observer_ = world_->add_comm_destroy_observer(
+      [this](int context) { evict_context(context); });
+}
+
+CollRuntime::~CollRuntime() {
+  world_->remove_comm_destroy_observer(destroy_observer_);
+}
+
+void CollRuntime::evict_context(int context) {
+  HAN_ASSERT_MSG(
+      instances_.lower_bound(std::make_pair(context, std::uint64_t{0})) ==
+              instances_.end() ||
+          instances_.lower_bound(std::make_pair(context, std::uint64_t{0}))
+                  ->first.first != context,
+      "communicator freed with live collective instances");
+  call_seq_.erase(context);
+  level_of_.erase(context);
 }
 
 CollRuntime::LevelStats& CollRuntime::make_level(const std::string& label) {
@@ -81,8 +100,8 @@ CollRuntime::InstancePtr CollRuntime::get_or_create(
   inst->comm = &comm;
   inst->seq = seq;
   inst->plan = build();
-  HAN_ASSERT_MSG(static_cast<int>(inst->plan.ranks.size()) == comm.size(),
-                 "plan rank count != communicator size");
+  const std::string defect = validate_plan(inst->plan, comm.size());
+  HAN_ASSERT_MSG(defect.empty(), defect.c_str());
 
   const int n = comm.size();
   inst->ranks.resize(n);

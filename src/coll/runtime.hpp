@@ -24,6 +24,7 @@ namespace han::coll {
 class CollRuntime {
  public:
   explicit CollRuntime(mpi::SimWorld& world);
+  ~CollRuntime();
   CollRuntime(const CollRuntime&) = delete;
   CollRuntime& operator=(const CollRuntime&) = delete;
 
@@ -43,6 +44,7 @@ class CollRuntime {
   /// Attach a tracer: every executed action emits a (rank, kind, bytes)
   /// span, grouped under the rank's simulated node. Pass nullptr to detach.
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  sim::Tracer* tracer() const { return tracer_; }
 
   /// Label a communicator context as a hierarchy level ("intra", "inter",
   /// ...). Actions on that context are accounted under
@@ -99,9 +101,14 @@ class CollRuntime {
   mpi::BufView slot_view(Instance& inst, int rank, SlotRef ref,
                          std::size_t bytes) const;
   void maybe_retire(const InstancePtr& inst);
+  /// Drop per-context state when its communicator is destroyed: the
+  /// recycled context id would otherwise hand a fresh comm the stale call
+  /// sequence and level label.
+  void evict_context(int context);
 
   mpi::SimWorld* world_;
   sim::Tracer* tracer_ = nullptr;
+  int destroy_observer_ = -1;  // SimWorld comm-destroy observer token
   // Per-comm-context, per-comm-rank collective call counters.
   std::unordered_map<int, std::vector<std::uint64_t>> call_seq_;
   std::map<std::pair<int, std::uint64_t>, InstancePtr> instances_;

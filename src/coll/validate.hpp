@@ -1,0 +1,26 @@
+// Structural validation of collective Plans before execution.
+//
+// CollRuntime trusts a Plan's indices (dep rank/action, slot numbers,
+// peers); a malformed builder otherwise surfaces as a deep out-of-bounds
+// access or a silent hang mid-simulation. validate_plan() front-loads the
+// checks — index ranges, slot bounds, and global (cross-rank) cycle
+// detection — and reports the first defect as a human-readable string, so
+// the runtime can fail fast at start() with the builder named in the
+// message. The matching TaskGraph check lives in han/task/graph.hpp.
+#pragma once
+
+#include <string>
+
+#include "coll/plan.hpp"
+
+namespace han::coll {
+
+/// Check `plan` for structural defects: rank list mismatch against
+/// `comm_size`, dependency rank/action indices out of range, self-deps,
+/// Send/Recv/Cross* peers outside the communicator, slot references past
+/// the rank's user+temp slots, negative tags, and dependency cycles across
+/// the whole multi-rank DAG (Kahn). Returns "" when well-formed, else a
+/// description of the first defect found.
+std::string validate_plan(const Plan& plan, int comm_size);
+
+}  // namespace han::coll

@@ -1,6 +1,7 @@
 #include "han/config.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "simbase/units.hpp"
@@ -33,6 +34,7 @@ std::string HanConfig::to_string() const {
   out += " iralg=" + std::string(coll::algorithm_name(iralg));
   out += " ibs=" + sim::format_bytes(ibs);
   out += " irs=" + sim::format_bytes(irs);
+  out += " window=" + std::to_string(window);
   return out;
 }
 
@@ -61,6 +63,11 @@ bool HanConfig::parse(const std::string& text, HanConfig* out) {
       cfg.ibs = sim::parse_bytes(value, &ok);
     } else if (key == "irs") {
       cfg.irs = sim::parse_bytes(value, &ok);
+    } else if (key == "window") {
+      char* rest = nullptr;
+      const long v = std::strtol(value.c_str(), &rest, 10);
+      ok = rest != nullptr && *rest == '\0' && !value.empty() && v >= 1;
+      if (ok) cfg.window = static_cast<int>(v);
     } else {
       ok = false;
     }

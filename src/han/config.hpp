@@ -17,6 +17,8 @@ struct HanConfig {
   coll::Algorithm iralg = coll::Algorithm::Binary;  // inter reduce algorithm
   std::size_t ibs = 0;  // inter bcast segment size (if imod supports it)
   std::size_t irs = 0;  // inter reduce segment size (if imod supports it)
+  int window = 1;       // scheduler in-flight step window (1 = lock-step,
+                        // the paper's wait-all barrier semantics)
 
   friend bool operator==(const HanConfig&, const HanConfig&) = default;
 

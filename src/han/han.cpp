@@ -2,9 +2,8 @@
 
 #include <algorithm>
 
-#include <cstring>
-
-#include "coll/builders.hpp"
+#include "han/task/builders.hpp"
+#include "han/task/scheduler.hpp"
 
 namespace han::core {
 
@@ -12,36 +11,30 @@ namespace {
 
 using coll::CollConfig;
 using coll::CollKind;
-using coll::Segmenter;
 using mpi::BufView;
 using mpi::Request;
-
-BufView seg_of(BufView buf, const Segmenter& segs, int i) {
-  return buf.slice(segs.offset(i), segs.length(i));
-}
-
-/// Owning temp buffer usable as BufView slices; empty in timing-only mode.
-struct TempBuf {
-  std::vector<std::byte> storage;
-  mpi::Datatype dtype = mpi::Datatype::Byte;
-
-  TempBuf(bool data_mode, std::size_t bytes, mpi::Datatype t) : dtype(t) {
-    if (data_mode) storage.resize(bytes);
-  }
-  BufView view(std::size_t off, std::size_t len) {
-    if (storage.empty()) {
-      BufView v = BufView::timing_only(len, dtype);
-      return v;
-    }
-    return BufView{storage.data() + off, len, dtype};
-  }
-};
 
 }  // namespace
 
 HanModule::HanModule(mpi::SimWorld& world, coll::CollRuntime& rt,
                      coll::ModuleSet& mods)
-    : coll::CollModule(world, rt), mods_(&mods) {}
+    : coll::CollModule(world, rt), mods_(&mods) {
+  // When a communicator dies, its cached HanComm must die with it — the
+  // context id is recycled, and a later comm reusing it would otherwise
+  // inherit this comm's low/up splits. Freeing the splits re-enters
+  // free_comm, which evicts the runtime's per-context state for them too.
+  destroy_observer_ = world.add_comm_destroy_observer([this](int context) {
+    auto it = comms_.find(context);
+    if (it == comms_.end()) return;
+    std::unique_ptr<HanComm> hc = std::move(it->second);
+    comms_.erase(it);
+    for (mpi::Comm* sub : hc->sub_comms()) this->world().free_comm(sub);
+  });
+}
+
+HanModule::~HanModule() {
+  world().remove_comm_destroy_observer(destroy_observer_);
+}
 
 HanConfig HanModule::default_config(CollKind kind, int /*nodes*/, int ppn,
                                     std::size_t bytes) {
@@ -134,407 +127,6 @@ coll::CollModule* HanModule::intra_module(const HanConfig& cfg) {
   return m;
 }
 
-// ---------------------------------------------------------------------------
-// MPI_Bcast (paper Fig. 1)
-// ---------------------------------------------------------------------------
-
-namespace {
-
-sim::CoTask bcast_program(HanModule& m, mpi::SimWorld& w,
-                          const mpi::Comm& comm, int me, int root,
-                          BufView buf, mpi::Datatype dtype, HanConfig cfg,
-                          Request done) {
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm& low = hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const int root_low = hc.low_rank(root);
-  const bool has_intra = low.size() > 1;
-  const bool has_inter = hc.up(me) != nullptr;
-
-  coll::CollModule* smod = m.intra_module(cfg);
-
-  if (!has_inter) {
-    if (has_intra) {
-      co_await *smod->ibcast(low, me_low, root_low, buf, dtype, CollConfig{});
-    }
-    done->complete();
-    co_return;
-  }
-
-  coll::CollModule* imod = m.inter_module(cfg);
-  const CollConfig icfg{cfg.ibalg, cfg.ibs};
-  const Segmenter segs(buf.bytes, cfg.fs, dtype);
-  const int u = segs.count();
-
-  // The up communicator carrying data is the one holding the root: every
-  // rank whose local rank equals the root's local rank is a "leader" for
-  // this operation (Open MPI HAN's root_low_rank trick — no relay hop).
-  if (me_low == root_low) {
-    const mpi::Comm& up = *hc.up(me);
-    const int me_up = hc.up_rank(me);
-    const int root_up = hc.up_rank(root);
-
-    // Task ib(0).
-    co_await *imod->ibcast(up, me_up, root_up, seg_of(buf, segs, 0), dtype,
-                           icfg);
-    // Tasks sbib(1) .. sbib(u-1): intra bcast of segment i-1 overlapped
-    // with inter bcast of segment i.
-    for (int i = 1; i < u; ++i) {
-      std::vector<Request> task;
-      if (has_intra) {
-        task.push_back(smod->ibcast(low, me_low, root_low,
-                                    seg_of(buf, segs, i - 1), dtype,
-                                    CollConfig{}));
-      }
-      task.push_back(
-          imod->ibcast(up, me_up, root_up, seg_of(buf, segs, i), dtype, icfg));
-      co_await mpi::wait_all(w.engine(), std::move(task));
-    }
-    // Task sb(u-1).
-    if (has_intra) {
-      co_await *smod->ibcast(low, me_low, root_low, seg_of(buf, segs, u - 1),
-                             dtype, CollConfig{});
-    }
-  } else {
-    // Tasks sb(0) .. sb(u-1).
-    for (int i = 0; i < u; ++i) {
-      co_await *smod->ibcast(low, me_low, root_low, seg_of(buf, segs, i),
-                             dtype, CollConfig{});
-    }
-  }
-  done->complete();
-}
-
-}  // namespace
-
-mpi::Request HanModule::ibcast_cfg(const mpi::Comm& comm, int me, int root,
-                                   BufView buf, mpi::Datatype dtype,
-                                   const HanConfig& cfg) {
-  Request done = mpi::make_request(world().engine());
-  bcast_program(*this, world(), comm, me, root, buf, dtype, cfg, done)
-      .start();
-  return done;
-}
-
-mpi::Request HanModule::ibcast(const mpi::Comm& comm, int me, int root,
-                               BufView buf, mpi::Datatype dtype,
-                               const CollConfig& /*cfg*/) {
-  return ibcast_cfg(comm, me, root, buf, dtype,
-                    decide(CollKind::Bcast, comm, buf.bytes));
-}
-
-// ---------------------------------------------------------------------------
-// MPI_Reduce: sr → ir pipeline (the rooted prefix of Fig. 5)
-// ---------------------------------------------------------------------------
-
-namespace {
-
-sim::CoTask reduce_program(HanModule& m, mpi::SimWorld& w,
-                           const mpi::Comm& comm, int me, int root,
-                           BufView send, BufView recv, mpi::Datatype dtype,
-                           mpi::ReduceOp op, HanConfig cfg, Request done) {
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm& low = hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const int root_low = hc.low_rank(root);
-  const bool has_intra = low.size() > 1;
-  const bool has_inter = hc.up(me) != nullptr;
-
-  coll::CollModule* smod = m.intra_module(cfg);
-
-  if (!has_inter) {
-    if (has_intra) {
-      co_await *smod->ireduce(low, me_low, root_low, send, recv, dtype, op,
-                              CollConfig{});
-    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
-      std::memcpy(recv.data, send.data, send.bytes);
-    }
-    done->complete();
-    co_return;
-  }
-
-  coll::CollModule* imod = m.inter_module(cfg);
-  const CollConfig ircfg{cfg.iralg, cfg.irs};
-  const Segmenter segs(send.bytes, cfg.fs, dtype);
-  const int u = segs.count();
-
-  if (me_low == root_low) {
-    const mpi::Comm& up = *hc.up(me);
-    const int me_up = hc.up_rank(me);
-    const int root_up = hc.up_rank(root);
-    // Per-node partial results; feeds the inter-node reduction.
-    TempBuf partial(w.data_mode(), send.bytes, dtype);
-
-    auto sr = [&](int i) {
-      if (!has_intra) return Request();  // partial == own send segment
-      return smod->ireduce(low, me_low, root_low, seg_of(send, segs, i),
-                           partial.view(segs.offset(i), segs.length(i)),
-                           dtype, op, CollConfig{});
-    };
-    auto ir = [&](int i) {
-      BufView contrib = has_intra
-                            ? partial.view(segs.offset(i), segs.length(i))
-                            : seg_of(send, segs, i);
-      return imod->ireduce(up, me_up, root_up, contrib,
-                           seg_of(recv, segs, i), dtype, op, ircfg);
-    };
-
-    if (has_intra) {
-      co_await *sr(0);  // task sr(0)
-      for (int i = 1; i < u; ++i) {
-        // Task irsr(i): inter reduce of segment i-1 + intra reduce of i.
-        std::vector<Request> task{ir(i - 1), sr(i)};
-        co_await mpi::wait_all(w.engine(), std::move(task));
-      }
-      co_await *ir(u - 1);
-    } else {
-      // No intra level: pipeline degenerates to sequential ir tasks.
-      for (int i = 0; i < u; ++i) co_await *ir(i);
-    }
-  } else {
-    for (int i = 0; i < u; ++i) {
-      co_await *smod->ireduce(low, me_low, root_low, seg_of(send, segs, i),
-                              BufView::timing_only(segs.length(i), dtype),
-                              dtype, op, CollConfig{});
-    }
-  }
-  done->complete();
-}
-
-}  // namespace
-
-mpi::Request HanModule::ireduce_cfg(const mpi::Comm& comm, int me, int root,
-                                    BufView send, BufView recv,
-                                    mpi::Datatype dtype, mpi::ReduceOp op,
-                                    const HanConfig& cfg) {
-  Request done = mpi::make_request(world().engine());
-  reduce_program(*this, world(), comm, me, root, send, recv, dtype, op, cfg,
-                 done)
-      .start();
-  return done;
-}
-
-mpi::Request HanModule::ireduce(const mpi::Comm& comm, int me, int root,
-                                BufView send, BufView recv,
-                                mpi::Datatype dtype, mpi::ReduceOp op,
-                                const CollConfig& /*cfg*/) {
-  return ireduce_cfg(comm, me, root, send, recv, dtype, op,
-                     decide(CollKind::Reduce, comm, send.bytes));
-}
-
-// ---------------------------------------------------------------------------
-// MPI_Allreduce (paper Fig. 5): 4-stage sr → ir → ib → sb pipeline
-// ---------------------------------------------------------------------------
-
-namespace {
-
-sim::CoTask allreduce_program(HanModule& m, mpi::SimWorld& w,
-                              const mpi::Comm& comm, int me, BufView send,
-                              BufView recv, mpi::Datatype dtype,
-                              mpi::ReduceOp op, HanConfig cfg, Request done) {
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm& low = hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const bool has_intra = low.size() > 1;
-  const bool has_inter = hc.up(me) != nullptr;
-
-  coll::CollModule* smod = m.intra_module(cfg);
-
-  if (!has_inter) {
-    if (has_intra) {
-      co_await *smod->iallreduce(low, me_low, send, recv, dtype, op,
-                                 CollConfig{});
-    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
-      std::memcpy(recv.data, send.data, send.bytes);
-    }
-    done->complete();
-    co_return;
-  }
-
-  coll::CollModule* imod = m.inter_module(cfg);
-  // Paper §III-B: ir and ib use the same algorithm and the same root to
-  // maximize the opposite-direction overlap on the full-duplex network.
-  const CollConfig ircfg{cfg.iralg, cfg.irs};
-  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
-  const Segmenter segs(send.bytes, cfg.fs, dtype);
-  const int u = segs.count();
-  const bool leader = me_low == 0;  // no user root: node-local rank 0 leads
-
-  if (leader) {
-    const mpi::Comm& up = *hc.up(me);
-    const int me_up = hc.up_rank(me);
-    TempBuf partial(w.data_mode(), send.bytes, dtype);
-
-    auto sr = [&](int i) {
-      return smod->ireduce(low, me_low, /*root=*/0, seg_of(send, segs, i),
-                           partial.view(segs.offset(i), segs.length(i)),
-                           dtype, op, CollConfig{});
-    };
-    auto ir = [&](int i) {
-      BufView contrib = has_intra
-                            ? partial.view(segs.offset(i), segs.length(i))
-                            : seg_of(send, segs, i);
-      return imod->ireduce(up, me_up, /*root=*/0, contrib,
-                           seg_of(recv, segs, i), dtype, op, ircfg);
-    };
-    auto ib = [&](int i) {
-      return imod->ibcast(up, me_up, /*root=*/0, seg_of(recv, segs, i), dtype,
-                          ibcfg);
-    };
-    auto sb = [&](int i) {
-      return smod->ibcast(low, me_low, /*root=*/0, seg_of(recv, segs, i),
-                          dtype, CollConfig{});
-    };
-
-    // Steps t = 0 .. u+2 generate exactly the paper's task sequence:
-    // sr(0); irsr(1); ibirsr(2); sbibirsr(3..u-1); sbibir; sbib; sb.
-    for (int t = 0; t <= u + 2; ++t) {
-      std::vector<Request> task;
-      if (has_intra && t <= u - 1) task.push_back(sr(t));
-      if (t >= 1 && t - 1 <= u - 1) task.push_back(ir(t - 1));
-      if (t >= 2 && t - 2 <= u - 1) task.push_back(ib(t - 2));
-      if (has_intra && t >= 3 && t - 3 <= u - 1) task.push_back(sb(t - 3));
-      if (!task.empty()) co_await mpi::wait_all(w.engine(), std::move(task));
-    }
-  } else {
-    // Task sbsr(i): receive broadcast segment i-3 while contributing
-    // segment i to the intra-node reduction.
-    for (int t = 0; t <= u + 2; ++t) {
-      std::vector<Request> task;
-      if (t <= u - 1) {
-        task.push_back(smod->ireduce(
-            low, me_low, /*root=*/0, seg_of(send, segs, t),
-            BufView::timing_only(segs.length(t), dtype), dtype, op,
-            CollConfig{}));
-      }
-      if (t >= 3 && t - 3 <= u - 1) {
-        task.push_back(smod->ibcast(low, me_low, /*root=*/0,
-                                    seg_of(recv, segs, t - 3), dtype,
-                                    CollConfig{}));
-      }
-      if (!task.empty()) co_await mpi::wait_all(w.engine(), std::move(task));
-    }
-  }
-  done->complete();
-}
-
-}  // namespace
-
-mpi::Request HanModule::iallreduce_cfg(const mpi::Comm& comm, int me,
-                                       BufView send, BufView recv,
-                                       mpi::Datatype dtype, mpi::ReduceOp op,
-                                       const HanConfig& cfg) {
-  Request done = mpi::make_request(world().engine());
-  allreduce_program(*this, world(), comm, me, send, recv, dtype, op, cfg,
-                    done)
-      .start();
-  return done;
-}
-
-mpi::Request HanModule::iallreduce(const mpi::Comm& comm, int me,
-                                   BufView send, BufView recv,
-                                   mpi::Datatype dtype, mpi::ReduceOp op,
-                                   const CollConfig& /*cfg*/) {
-  return iallreduce_cfg(comm, me, send, recv, dtype, op,
-                        decide(CollKind::Allreduce, comm, send.bytes));
-}
-
-// ---------------------------------------------------------------------------
-// Extension: multi-leader allreduce — stripe the segment pipeline across k
-// node-local leaders, each driving its own up communicator.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-sim::CoTask multileader_allreduce_program(HanModule& m, mpi::SimWorld& w,
-                                          const mpi::Comm& comm, int me,
-                                          BufView send, BufView recv,
-                                          mpi::Datatype dtype,
-                                          mpi::ReduceOp op, HanConfig cfg,
-                                          int k, Request done) {
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm& low = hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const bool has_intra = low.size() > 1;
-  const bool has_inter = hc.up(me) != nullptr;
-  k = std::max(1, std::min(k, low.size()));
-
-  if (!has_inter || !has_intra || k == 1) {
-    // Degenerate shapes reuse the single-leader pipeline.
-    mpi::Request inner = m.iallreduce_cfg(comm, me, send, recv, dtype, op,
-                                          cfg);
-    inner->on_complete([done] { done->complete(); });
-    co_return;
-  }
-
-  coll::CollModule* imod = m.inter_module(cfg);
-  coll::CollModule* smod = m.intra_module(cfg);
-  const CollConfig ircfg{cfg.iralg, cfg.irs};
-  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
-  const Segmenter segs(send.bytes, cfg.fs, dtype);
-  const int u = segs.count();
-  const int leader_idx = me_low < k ? me_low : -1;
-  TempBuf partial(w.data_mode() && leader_idx >= 0, send.bytes, dtype);
-
-  // Stripe j = segments with i % k == j, owned by leader j. Every rank
-  // participates in all sr/sb (consistent low-comm call order); leader j
-  // additionally drives ir/ib for its stripe on up comm j.
-  for (int t = 0; t <= u + 2; ++t) {
-    std::vector<Request> task;
-    if (t <= u - 1) {
-      const int owner = t % k;
-      task.push_back(smod->ireduce(
-          low, me_low, owner, seg_of(send, segs, t),
-          me_low == owner
-              ? partial.view(segs.offset(t), segs.length(t))
-              : BufView::timing_only(segs.length(t), dtype),
-          dtype, op, CollConfig{}));
-    }
-    if (leader_idx >= 0 && t >= 1 && t - 1 <= u - 1 &&
-        (t - 1) % k == leader_idx) {
-      const mpi::Comm& up = *hc.up(me);
-      task.push_back(imod->ireduce(
-          up, hc.up_rank(me), /*root=*/0,
-          partial.view(segs.offset(t - 1), segs.length(t - 1)),
-          seg_of(recv, segs, t - 1), dtype, op, ircfg));
-    }
-    if (leader_idx >= 0 && t >= 2 && t - 2 <= u - 1 &&
-        (t - 2) % k == leader_idx) {
-      const mpi::Comm& up = *hc.up(me);
-      task.push_back(imod->ibcast(up, hc.up_rank(me), /*root=*/0,
-                                  seg_of(recv, segs, t - 2), dtype, ibcfg));
-    }
-    if (t >= 3 && t - 3 <= u - 1) {
-      const int owner = (t - 3) % k;
-      task.push_back(smod->ibcast(low, me_low, owner,
-                                  seg_of(recv, segs, t - 3), dtype,
-                                  CollConfig{}));
-    }
-    if (!task.empty()) co_await mpi::wait_all(w.engine(), std::move(task));
-  }
-  done->complete();
-}
-
-}  // namespace
-
-mpi::Request HanModule::iallreduce_multileader(const mpi::Comm& comm, int me,
-                                               BufView send, BufView recv,
-                                               mpi::Datatype dtype,
-                                               mpi::ReduceOp op,
-                                               const HanConfig& cfg,
-                                               int leaders) {
-  Request done = mpi::make_request(world().engine());
-  multileader_allreduce_program(*this, world(), comm, me, send, recv, dtype,
-                                op, cfg, leaders, done)
-      .start();
-  return done;
-}
-
-// ---------------------------------------------------------------------------
-// Extensions: Gather / Scatter / Allgather / Barrier (paper §III: "similar
-// designs can be extended to other collective operations")
-// ---------------------------------------------------------------------------
-
 namespace {
 
 /// HAN's two-level data layout requires node-contiguous rank placement on
@@ -552,317 +144,94 @@ bool node_contiguous(const HanComm& hc) {
   return true;
 }
 
-sim::CoTask gather_program(HanModule& m, mpi::SimWorld& w,
-                           const mpi::Comm& comm, int me, int root,
-                           BufView send, BufView recv, HanConfig cfg,
-                           Request done) {
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm& low = hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const int root_low = hc.low_rank(root);
-  const bool has_inter = hc.up(me) != nullptr;
-  const std::size_t block = send.bytes;
+}  // namespace
 
-  if (!has_inter) {
-    co_await *m.modules().libnbc().igather(low, me_low, root_low, send, recv,
-                                           CollConfig{});
-    done->complete();
-    co_return;
-  }
+// Every collective below builds its per-rank TaskGraph declaratively
+// (task/builders.cpp) and hands it to the TaskScheduler; cfg.window = 1
+// reproduces the paper's lock-step wait-all pipelines.
 
-  coll::CollModule* imod = m.inter_module(cfg);
-  // Stage 1 (sg): node-local gather to this operation's leaders. P2P
-  // gather over the shm pipe — Open MPI similarly falls back to a P2P
-  // module for intra-node gather.
-  TempBuf node_block(w.data_mode(), block * low.size(), mpi::Datatype::Byte);
-  const bool leader = me_low == root_low;
-  co_await *m.modules().libnbc().igather(
-      low, me_low, root_low, send,
-      leader ? node_block.view(0, block * low.size())
-             : BufView::timing_only(block * low.size()),
-      CollConfig{});
-
-  // Stage 2 (ig): inter-node gather of node blocks to the root.
-  if (leader) {
-    const mpi::Comm& up = *hc.up(me);
-    co_await *imod->igather(up, hc.up_rank(me), hc.up_rank(root),
-                            node_block.view(0, block * low.size()),
-                            me == root ? recv
-                                       : BufView::timing_only(recv.bytes),
-                            CollConfig{});
-  }
-  done->complete();
+mpi::Request HanModule::ibcast_cfg(const mpi::Comm& comm, int me, int root,
+                                   BufView buf, mpi::Datatype dtype,
+                                   const HanConfig& cfg) {
+  return task::TaskScheduler::run(
+      rt(), task::build_bcast(*this, comm, me, root, buf, dtype, cfg),
+      cfg.window, comm.world_rank(me));
 }
 
-sim::CoTask scatter_program(HanModule& m, mpi::SimWorld& w,
-                            const mpi::Comm& comm, int me, int root,
-                            BufView send, BufView recv, HanConfig cfg,
-                            Request done) {
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm& low = hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const int root_low = hc.low_rank(root);
-  const bool has_inter = hc.up(me) != nullptr;
-  const std::size_t block = recv.bytes;
-
-  if (!has_inter) {
-    co_await *m.modules().libnbc().iscatter(low, me_low, root_low, send, recv,
-                                            CollConfig{});
-    done->complete();
-    co_return;
-  }
-
-  coll::CollModule* imod = m.inter_module(cfg);
-  TempBuf node_block(w.data_mode(), block * low.size(), mpi::Datatype::Byte);
-  const bool leader = me_low == root_low;
-  if (leader) {
-    const mpi::Comm& up = *hc.up(me);
-    co_await *imod->iscatter(up, hc.up_rank(me), hc.up_rank(root),
-                             me == root ? send
-                                        : BufView::timing_only(send.bytes),
-                             node_block.view(0, block * low.size()),
-                             CollConfig{});
-  }
-  co_await *m.modules().libnbc().iscatter(
-      low, me_low, root_low,
-      leader ? node_block.view(0, block * low.size())
-             : BufView::timing_only(block * low.size()),
-      recv, CollConfig{});
-  done->complete();
+mpi::Request HanModule::ibcast(const mpi::Comm& comm, int me, int root,
+                               BufView buf, mpi::Datatype dtype,
+                               const CollConfig& /*cfg*/) {
+  return ibcast_cfg(comm, me, root, buf, dtype,
+                    decide(CollKind::Bcast, comm, buf.bytes));
 }
 
-sim::CoTask allgather_program(HanModule& m, mpi::SimWorld& w,
-                              const mpi::Comm& comm, int me, BufView send,
-                              BufView recv, HanConfig cfg, Request done) {
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm& low = hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const bool has_inter = hc.up(me) != nullptr;
-  const std::size_t block = send.bytes;
-
-  if (!has_inter) {
-    co_await *m.modules().libnbc().iallgather(low, me_low, send, recv,
-                                              CollConfig{});
-    done->complete();
-    co_return;
-  }
-
-  coll::CollModule* imod = m.inter_module(cfg);
-  coll::CollModule* smod = m.intra_module(cfg);
-  const bool leader = me_low == 0;
-
-  // sg: gather node block to the leader.
-  TempBuf node_block(w.data_mode(), block * low.size(), mpi::Datatype::Byte);
-  co_await *m.modules().libnbc().igather(
-      low, me_low, /*root=*/0, send,
-      leader ? node_block.view(0, block * low.size())
-             : BufView::timing_only(block * low.size()),
-      CollConfig{});
-
-  // iag: inter-node allgather of node blocks (leaders only) straight into
-  // the final layout (node-contiguous placement).
-  if (leader) {
-    const mpi::Comm& up = *hc.up(me);
-    co_await *imod->iallgather(up, hc.up_rank(me),
-                               node_block.view(0, block * low.size()), recv,
-                               CollConfig{});
-  }
-
-  // sb: broadcast the assembled buffer within the node.
-  co_await *smod->ibcast(low, me_low, /*root=*/0, recv, mpi::Datatype::Byte,
-                         CollConfig{});
-  done->complete();
+mpi::Request HanModule::ireduce_cfg(const mpi::Comm& comm, int me, int root,
+                                    BufView send, BufView recv,
+                                    mpi::Datatype dtype, mpi::ReduceOp op,
+                                    const HanConfig& cfg) {
+  return task::TaskScheduler::run(
+      rt(),
+      task::build_reduce(*this, comm, me, root, send, recv, dtype, op, cfg),
+      cfg.window, comm.world_rank(me));
 }
 
-// Hierarchical reduce-scatter (equal blocks, MPI_Reduce_scatter_block
-// semantics). Three stages in the paper's task-composition style:
-//   sr(i):  intra-node reduce of segment i to the leader (pipelined)
-//   inter:  either a ring reduce-scatter over the leaders (imod == "ring",
-//           each leader ends with its node's region — ~m bytes moved), or
-//           the sr→ir reduce pipeline to up-root 0 followed by one inter
-//           scatter of the node regions (~2m, but log-depth at small m)
-//   ss:     intra-node scatter of the node's region into per-rank blocks
-sim::CoTask reduce_scatter_program(HanModule& m, mpi::SimWorld& w,
-                                   const mpi::Comm& comm, int me,
+mpi::Request HanModule::ireduce(const mpi::Comm& comm, int me, int root,
+                                BufView send, BufView recv,
+                                mpi::Datatype dtype, mpi::ReduceOp op,
+                                const CollConfig& /*cfg*/) {
+  return ireduce_cfg(comm, me, root, send, recv, dtype, op,
+                     decide(CollKind::Reduce, comm, send.bytes));
+}
+
+mpi::Request HanModule::iallreduce_cfg(const mpi::Comm& comm, int me,
+                                       BufView send, BufView recv,
+                                       mpi::Datatype dtype, mpi::ReduceOp op,
+                                       const HanConfig& cfg) {
+  return task::TaskScheduler::run(
+      rt(),
+      task::build_allreduce(*this, comm, me, send, recv, dtype, op, cfg),
+      cfg.window, comm.world_rank(me));
+}
+
+mpi::Request HanModule::iallreduce(const mpi::Comm& comm, int me,
                                    BufView send, BufView recv,
                                    mpi::Datatype dtype, mpi::ReduceOp op,
-                                   HanConfig cfg, Request done) {
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm& low = hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const bool has_intra = low.size() > 1;
-  const bool has_inter = hc.up(me) != nullptr;
-  const std::size_t total = send.bytes;
-
-  coll::CollModule* smod = m.intra_module(cfg);
-
-  if (!has_inter) {
-    if (has_intra) {
-      // Single node: reduce to the leader, then scatter the blocks back.
-      TempBuf full(w.data_mode() && me_low == 0, total, dtype);
-      co_await *smod->ireduce(low, me_low, /*root=*/0, send,
-                              full.view(0, total), dtype, op, CollConfig{});
-      co_await *m.modules().libnbc().iscatter(low, me_low, /*root=*/0,
-                                              full.view(0, total), recv,
-                                              CollConfig{});
-    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
-      std::memcpy(recv.data, send.data, send.bytes);
-    }
-    done->complete();
-    co_return;
-  }
-
-  coll::CollModule* imod = m.inter_module(cfg);
-  const std::size_t region = recv.bytes * low.size();  // this node's slice
-  const Segmenter segs(total, cfg.fs, dtype);
-  const int u = segs.count();
-  const bool leader = me_low == 0;
-  const bool ring = cfg.imod == "ring";
-
-  if (leader) {
-    const mpi::Comm& up = *hc.up(me);
-    const int me_up = hc.up_rank(me);
-    TempBuf partial(w.data_mode() && has_intra, total, dtype);  // node sums
-    TempBuf node_region(w.data_mode() && has_intra, region, dtype);
-    // Without an intra level the node's region is the caller's block.
-    BufView region_buf = has_intra ? node_region.view(0, region) : recv;
-
-    auto sr = [&](int i) {
-      return smod->ireduce(low, me_low, /*root=*/0, seg_of(send, segs, i),
-                           partial.view(segs.offset(i), segs.length(i)),
-                           dtype, op, CollConfig{});
-    };
-    auto contrib = [&](int i) {
-      return has_intra ? partial.view(segs.offset(i), segs.length(i))
-                       : seg_of(send, segs, i);
-    };
-
-    if (ring) {
-      const CollConfig ircfg{coll::Algorithm::Ring, cfg.irs};
-      if (has_intra) {
-        // Slice the node region and pipeline the two levels: while the
-        // inter-node ring reduce-scatters slice k-1 (the strided chunk
-        // set {j*region + slice k-1 : j}), the intra level reduces the
-        // pieces of slice k. Mirrors the tree path's sr ⊕ ir overlap.
-        const Segmenter sl(region, std::min(cfg.fs, region), dtype);
-        const int nodes = hc.node_count();
-        Request ring_prev;
-        for (int k = 0; k < sl.count(); ++k) {
-          for (int j = 0; j < nodes; ++j) {
-            const std::size_t off = j * region + sl.offset(k);
-            co_await *smod->ireduce(low, me_low, /*root=*/0,
-                                    send.slice(off, sl.length(k)),
-                                    partial.view(off, sl.length(k)), dtype,
-                                    op, CollConfig{});
-          }
-          if (ring_prev) co_await *ring_prev;
-          ring_prev = m.modules().ring().ireduce_scatter_strided(
-              up, me_up, partial.view(sl.offset(k), total - sl.offset(k)),
-              node_region.view(sl.offset(k), sl.length(k)), region, dtype,
-              op, ircfg);
-        }
-        co_await *ring_prev;
-      } else {
-        // No intra level: one bandwidth-optimal ring reduce-scatter of
-        // the whole vector — chunk j of the up comm is exactly node j's
-        // region (node-contiguous placement).
-        co_await *imod->ireduce_scatter(up, me_up, send, region_buf, dtype,
-                                        op, ircfg);
-      }
-    } else {
-      // Tree path: sr ⊕ ir pipeline reducing the whole vector to up-root
-      // 0, then one inter scatter of the node regions.
-      const CollConfig ircfg{cfg.iralg, cfg.irs};
-      TempBuf full_red(w.data_mode() && me_up == 0, total, dtype);
-      auto ir = [&](int i) {
-        return imod->ireduce(up, me_up, /*root=*/0, contrib(i),
-                             full_red.view(segs.offset(i), segs.length(i)),
-                             dtype, op, ircfg);
-      };
-      if (has_intra) {
-        co_await *sr(0);
-        for (int i = 1; i < u; ++i) {
-          std::vector<Request> task{ir(i - 1), sr(i)};
-          co_await mpi::wait_all(w.engine(), std::move(task));
-        }
-        co_await *ir(u - 1);
-      } else {
-        for (int i = 0; i < u; ++i) co_await *ir(i);
-      }
-      co_await *imod->iscatter(up, me_up, /*root=*/0, full_red.view(0, total),
-                               region_buf, CollConfig{});
-    }
-
-    // ss: scatter the node's reduced region into per-rank blocks.
-    if (has_intra) {
-      co_await *m.modules().libnbc().iscatter(low, me_low, /*root=*/0,
-                                              node_region.view(0, region),
-                                              recv, CollConfig{});
-    }
-  } else {
-    // Non-leaders: contribute to every sr (in exactly the leader's issue
-    // order — the low comm matches collectives by call order), then
-    // receive their block.
-    if (ring) {
-      const Segmenter sl(region, std::min(cfg.fs, region), dtype);
-      const int nodes = hc.node_count();
-      for (int k = 0; k < sl.count(); ++k) {
-        for (int j = 0; j < nodes; ++j) {
-          const std::size_t off = j * region + sl.offset(k);
-          co_await *smod->ireduce(low, me_low, /*root=*/0,
-                                  send.slice(off, sl.length(k)),
-                                  BufView::timing_only(sl.length(k), dtype),
-                                  dtype, op, CollConfig{});
-        }
-      }
-    } else {
-      for (int i = 0; i < u; ++i) {
-        co_await *smod->ireduce(low, me_low, /*root=*/0,
-                                seg_of(send, segs, i),
-                                BufView::timing_only(segs.length(i), dtype),
-                                dtype, op, CollConfig{});
-      }
-    }
-    co_await *m.modules().libnbc().iscatter(low, me_low, /*root=*/0,
-                                            BufView::timing_only(region),
-                                            recv, CollConfig{});
-  }
-  done->complete();
+                                   const CollConfig& /*cfg*/) {
+  return iallreduce_cfg(comm, me, send, recv, dtype, op,
+                        decide(CollKind::Allreduce, comm, send.bytes));
 }
 
-sim::CoTask barrier_program(HanModule& m, const mpi::Comm& comm, int me,
-                            Request done) {
-  HanComm& hc = m.han_comm(comm);
+mpi::Request HanModule::iallreduce_multileader(const mpi::Comm& comm, int me,
+                                               BufView send, BufView recv,
+                                               mpi::Datatype dtype,
+                                               mpi::ReduceOp op,
+                                               const HanConfig& cfg,
+                                               int leaders) {
+  HanComm& hc = han_comm(comm);
   const mpi::Comm& low = hc.low(me);
-  const int me_low = hc.low_rank(me);
   const bool has_intra = low.size() > 1;
   const bool has_inter = hc.up(me) != nullptr;
-
-  // Fan-in: node barrier; leaders: inter barrier; fan-out: node signal.
-  if (has_intra) co_await *m.modules().sm().ibarrier(low, me_low);
-  if (has_inter && me_low == 0) {
-    co_await *m.modules().libnbc().ibarrier(*hc.up(me), hc.up_rank(me));
+  const int k = std::max(1, std::min(leaders, low.size()));
+  if (!has_inter || !has_intra || k == 1) {
+    // Degenerate shapes reuse the single-leader pipeline.
+    return iallreduce_cfg(comm, me, send, recv, dtype, op, cfg);
   }
-  if (has_intra) {
-    co_await *m.modules().sm().ibcast(low, me_low, /*root=*/0,
-                                      BufView::timing_only(0),
-                                      mpi::Datatype::Byte, CollConfig{});
-  }
-  done->complete();
+  return task::TaskScheduler::run(
+      rt(),
+      task::build_allreduce_multileader(*this, comm, me, send, recv, dtype,
+                                        op, cfg, k),
+      cfg.window, comm.world_rank(me));
 }
-
-}  // namespace
 
 mpi::Request HanModule::igather(const mpi::Comm& comm, int me, int root,
                                 BufView send, BufView recv,
                                 const CollConfig& /*cfg*/) {
   HAN_ASSERT_MSG(node_contiguous(han_comm(comm)),
                  "HAN gather requires node-contiguous rank placement");
-  Request done = mpi::make_request(world().engine());
-  gather_program(*this, world(), comm, me, root, send, recv,
-                 decide(CollKind::Gather, comm, send.bytes), done)
-      .start();
-  return done;
+  const HanConfig cfg = decide(CollKind::Gather, comm, send.bytes);
+  return task::TaskScheduler::run(
+      rt(), task::build_gather(*this, comm, me, root, send, recv, cfg),
+      cfg.window, comm.world_rank(me));
 }
 
 mpi::Request HanModule::iscatter(const mpi::Comm& comm, int me, int root,
@@ -870,11 +239,10 @@ mpi::Request HanModule::iscatter(const mpi::Comm& comm, int me, int root,
                                  const CollConfig& /*cfg*/) {
   HAN_ASSERT_MSG(node_contiguous(han_comm(comm)),
                  "HAN scatter requires node-contiguous rank placement");
-  Request done = mpi::make_request(world().engine());
-  scatter_program(*this, world(), comm, me, root, send, recv,
-                  decide(CollKind::Scatter, comm, recv.bytes), done)
-      .start();
-  return done;
+  const HanConfig cfg = decide(CollKind::Scatter, comm, recv.bytes);
+  return task::TaskScheduler::run(
+      rt(), task::build_scatter(*this, comm, me, root, send, recv, cfg),
+      cfg.window, comm.world_rank(me));
 }
 
 mpi::Request HanModule::iallgather(const mpi::Comm& comm, int me,
@@ -882,11 +250,10 @@ mpi::Request HanModule::iallgather(const mpi::Comm& comm, int me,
                                    const CollConfig& /*cfg*/) {
   HAN_ASSERT_MSG(node_contiguous(han_comm(comm)),
                  "HAN allgather requires node-contiguous rank placement");
-  Request done = mpi::make_request(world().engine());
-  allgather_program(*this, world(), comm, me, send, recv,
-                    decide(CollKind::Allgather, comm, send.bytes), done)
-      .start();
-  return done;
+  const HanConfig cfg = decide(CollKind::Allgather, comm, send.bytes);
+  return task::TaskScheduler::run(
+      rt(), task::build_allgather(*this, comm, me, send, recv, cfg),
+      cfg.window, comm.world_rank(me));
 }
 
 mpi::Request HanModule::ireduce_scatter_cfg(const mpi::Comm& comm, int me,
@@ -902,11 +269,11 @@ mpi::Request HanModule::ireduce_scatter_cfg(const mpi::Comm& comm, int me,
       "reduce_scatter: send must be comm_size equal blocks of recv.bytes");
   HAN_ASSERT_MSG(hc.node_count() * hc.max_ppn() == comm.size(),
                  "HAN reduce_scatter requires a uniform ppn");
-  Request done = mpi::make_request(world().engine());
-  reduce_scatter_program(*this, world(), comm, me, send, recv, dtype, op, cfg,
-                         done)
-      .start();
-  return done;
+  return task::TaskScheduler::run(
+      rt(),
+      task::build_reduce_scatter(*this, comm, me, send, recv, dtype, op,
+                                 cfg),
+      cfg.window, comm.world_rank(me));
 }
 
 mpi::Request HanModule::ireduce_scatter(const mpi::Comm& comm, int me,
@@ -919,9 +286,8 @@ mpi::Request HanModule::ireduce_scatter(const mpi::Comm& comm, int me,
 }
 
 mpi::Request HanModule::ibarrier(const mpi::Comm& comm, int me) {
-  Request done = mpi::make_request(world().engine());
-  barrier_program(*this, comm, me, done).start();
-  return done;
+  return task::TaskScheduler::run(rt(), task::build_barrier(*this, comm, me),
+                                  /*window=*/1, comm.world_rank(me));
 }
 
 }  // namespace han::core

@@ -31,6 +31,7 @@ class HanModule : public coll::CollModule {
 
   HanModule(mpi::SimWorld& world, coll::CollRuntime& rt,
             coll::ModuleSet& mods);
+  ~HanModule();
 
   std::string_view name() const override { return "han"; }
   bool nonblocking_capable() const override { return true; }
@@ -107,8 +108,10 @@ class HanModule : public coll::CollModule {
   /// The hierarchical communicator pair for `comm` (built lazily, cached).
   HanComm& han_comm(const mpi::Comm& comm);
 
-  /// Public world access for extension modules (han3.hpp).
+  /// Public world / runtime access for extension modules (han3.hpp) and
+  /// the task-graph builders.
   mpi::SimWorld& world_ref() { return world(); }
+  coll::CollRuntime& rt_ref() { return rt(); }
 
   coll::CollModule* inter_module(const HanConfig& cfg);
   coll::CollModule* intra_module(const HanConfig& cfg);
@@ -118,6 +121,7 @@ class HanModule : public coll::CollModule {
   coll::ModuleSet* mods_;
   Decider decider_;
   std::unordered_map<int, std::unique_ptr<HanComm>> comms_;  // by context
+  int destroy_observer_ = -1;  // SimWorld comm-destroy observer token
 };
 
 }  // namespace han::core

@@ -1,37 +1,29 @@
 #include "han/han3.hpp"
 
-#include <cstring>
+#include <algorithm>
 
-#include "coll/builders.hpp"
+#include "han/task/builders.hpp"
+#include "han/task/scheduler.hpp"
 
 namespace han::core {
 
-namespace {
-
-using coll::CollConfig;
-using coll::Segmenter;
-using mpi::BufView;
-using mpi::Request;
-
-BufView seg_of(BufView buf, const Segmenter& segs, int i) {
-  return buf.slice(segs.offset(i), segs.length(i));
+Han3::Han3(HanModule& han) : han_(&han) {
+  // Mirror HanModule's eviction: a destroyed parent comm takes its cached
+  // Comm3 (and the leaf/mid/up splits) with it before the context id is
+  // recycled.
+  destroy_observer_ =
+      han_->world_ref().add_comm_destroy_observer([this](int context) {
+        auto it = comms_.find(context);
+        if (it == comms_.end()) return;
+        std::unique_ptr<Comm3> c3 = std::move(it->second);
+        comms_.erase(it);
+        for (mpi::Comm* sub : c3->subs) han_->world_ref().free_comm(sub);
+      });
 }
 
-struct TempBuf {
-  std::vector<std::byte> storage;
-  mpi::Datatype dtype = mpi::Datatype::Byte;
-  TempBuf(bool data_mode, std::size_t bytes, mpi::Datatype t) : dtype(t) {
-    if (data_mode) storage.resize(bytes);
-  }
-  BufView view(std::size_t off, std::size_t len) {
-    if (storage.empty()) return BufView::timing_only(len, dtype);
-    return BufView{storage.data() + off, len, dtype};
-  }
-};
-
-}  // namespace
-
-Han3::Han3(HanModule& han) : han_(&han) {}
+Han3::~Han3() {
+  han_->world_ref().remove_comm_destroy_observer(destroy_observer_);
+}
 
 bool Han3::applicable() const {
   return han_->world_ref().profile().numa_per_node > 1;
@@ -76,6 +68,16 @@ Han3::Comm3& Han3::comm3(const mpi::Comm& comm) {
     color[pr] = node_leader ? 0 : -1;
   }
   c3->up = w.comm_split(comm, color, key);
+
+  for (const auto& vec : {c3->leaf, c3->mid, c3->up}) {
+    for (mpi::Comm* c : vec) {
+      if (c != nullptr && std::find(c3->subs.begin(), c3->subs.end(), c) ==
+                              c3->subs.end()) {
+        c3->subs.push_back(c);
+      }
+    }
+  }
+
   if (c3->up[0] != nullptr && c3->up[0]->size() <= 1) {
     std::fill(c3->up.begin(), c3->up.end(), nullptr);
   }
@@ -85,176 +87,31 @@ Han3::Comm3& Han3::comm3(const mpi::Comm& comm) {
   return ref;
 }
 
-// ---------------------------------------------------------------------------
-// 3-level Bcast: ib(i) → nb(i-1) → sb(i-2)
-// ---------------------------------------------------------------------------
-
-namespace {
-
-sim::CoTask bcast3_program(HanModule& m, Han3::Comm3& c3, mpi::SimWorld& w,
-                           int me, BufView buf, mpi::Datatype dtype,
-                           HanConfig cfg, Request done) {
-  coll::CollModule* imod = m.inter_module(cfg);
-  coll::CollModule* smod = m.intra_module(cfg);
-  const CollConfig icfg{cfg.ibalg, cfg.ibs};
-  const Segmenter segs(buf.bytes, cfg.fs, dtype);
-  const int u = segs.count();
-
-  const mpi::Comm& leaf = *c3.leaf[me];
-  const int me_leaf = c3.leaf_rank[me];
-  const bool numa_leader = c3.numa_leader(me);
-  const bool node_leader = c3.node_leader(me);
-  const bool has_leaf = leaf.size() > 1;
-  const bool has_mid = c3.mid[me] != nullptr && c3.mid[me]->size() > 1;
-  const bool has_up = c3.up[me] != nullptr;
-
-  for (int t = 0; t <= u + 1; ++t) {
-    std::vector<Request> task;
-    const int wr = leaf.world_rank(me_leaf);  // my world rank
-    if (node_leader && has_up && t <= u - 1) {
-      const mpi::Comm& up = *c3.up[me];
-      task.push_back(imod->ibcast(up, up.comm_rank_of_world(wr), /*root=*/0,
-                                  seg_of(buf, segs, t), dtype, icfg));
-    }
-    if (numa_leader && has_mid && t >= 1 && t - 1 <= u - 1) {
-      const mpi::Comm& mid = *c3.mid[me];
-      task.push_back(smod->ibcast(mid, mid.comm_rank_of_world(wr),
-                                  /*root=*/0, seg_of(buf, segs, t - 1),
-                                  dtype, CollConfig{}));
-    }
-    if (has_leaf && t >= 2 && t - 2 <= u - 1) {
-      task.push_back(smod->ibcast(leaf, me_leaf, /*root=*/0,
-                                  seg_of(buf, segs, t - 2), dtype,
-                                  CollConfig{}));
-    }
-    if (!task.empty()) co_await mpi::wait_all(w.engine(), std::move(task));
-  }
-  done->complete();
-}
-
-}  // namespace
+// Both 3-level pipelines (bcast3 ib → mb → sb, allreduce3
+// sr → mr → ir → ib → mb → sb) are declarative TaskGraphs now
+// (task/builders.cpp); the scheduler's window reproduces the lock-step
+// wait-all semantics at cfg.window = 1.
 
 mpi::Request Han3::ibcast(const mpi::Comm& comm, int me, int root,
-                          BufView buf, mpi::Datatype dtype,
+                          mpi::BufView buf, mpi::Datatype dtype,
                           const HanConfig& cfg) {
   Comm3& c3 = comm3(comm);
   HAN_ASSERT_MSG(c3.node_leader(root),
                  "Han3 prototype: the root must be a node leader");
   (void)root;
-  Request done = mpi::make_request(han_->world_ref().engine());
-  bcast3_program(*han_, c3, han_->world_ref(), me, buf, dtype, cfg, done)
-      .start();
-  return done;
+  return task::TaskScheduler::run(
+      han_->rt_ref(), task::build_bcast3(*han_, c3, me, buf, dtype, cfg),
+      cfg.window, comm.world_rank(me));
 }
 
-// ---------------------------------------------------------------------------
-// 3-level Allreduce: sr → mr → ir → ib → mb → sb (6-stage pipeline)
-// ---------------------------------------------------------------------------
-
-namespace {
-
-sim::CoTask allreduce3_program(HanModule& m, Han3::Comm3& c3,
-                               mpi::SimWorld& w, int me, BufView send,
-                               BufView recv, mpi::Datatype dtype,
-                               mpi::ReduceOp op, HanConfig cfg,
-                               Request done) {
-  coll::CollModule* imod = m.inter_module(cfg);
-  coll::CollModule* smod = m.intra_module(cfg);
-  const CollConfig ircfg{cfg.iralg, cfg.irs};
-  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
-  const Segmenter segs(send.bytes, cfg.fs, dtype);
-  const int u = segs.count();
-
-  const mpi::Comm& leaf = *c3.leaf[me];
-  const int me_leaf = c3.leaf_rank[me];
-  const bool numa_leader = c3.numa_leader(me);
-  const bool node_leader = c3.node_leader(me);
-  const bool has_leaf = leaf.size() > 1;
-  const bool has_mid = c3.mid[me] != nullptr && c3.mid[me]->size() > 1;
-  const bool has_up = c3.up[me] != nullptr;
-
-  TempBuf leaf_part(w.data_mode() && numa_leader, send.bytes, dtype);
-  TempBuf node_part(w.data_mode() && node_leader, send.bytes, dtype);
-
-  auto leaf_contrib = [&](int i) {
-    return has_leaf ? leaf_part.view(segs.offset(i), segs.length(i))
-                    : seg_of(send, segs, i);
-  };
-  auto node_contrib = [&](int i) {
-    return has_mid ? node_part.view(segs.offset(i), segs.length(i))
-                   : leaf_contrib(i);
-  };
-
-  for (int t = 0; t <= u + 4; ++t) {
-    std::vector<Request> task;
-    // sr(t): leaf reduce to the NUMA leader.
-    if (has_leaf && t <= u - 1) {
-      task.push_back(smod->ireduce(
-          leaf, me_leaf, /*root=*/0, seg_of(send, segs, t),
-          numa_leader ? leaf_part.view(segs.offset(t), segs.length(t))
-                      : BufView::timing_only(segs.length(t), dtype),
-          dtype, op, CollConfig{}));
-    }
-    // mr(t-1): mid reduce (numa leaders) to the node leader.
-    if (numa_leader && has_mid && t >= 1 && t - 1 <= u - 1) {
-      const mpi::Comm& mid = *c3.mid[me];
-      const int i = t - 1;
-      task.push_back(smod->ireduce(
-          mid, mid.comm_rank_of_world(leaf.world_rank(me_leaf)),
-          /*root=*/0, leaf_contrib(i),
-          node_leader ? node_part.view(segs.offset(i), segs.length(i))
-                      : BufView::timing_only(segs.length(i), dtype),
-          dtype, op, CollConfig{}));
-    }
-    // ir(t-2): inter-node reduce among node leaders.
-    if (node_leader && has_up && t >= 2 && t - 2 <= u - 1) {
-      const mpi::Comm& up = *c3.up[me];
-      const int i = t - 2;
-      task.push_back(imod->ireduce(
-          up, up.comm_rank_of_world(leaf.world_rank(me_leaf)), /*root=*/0,
-          node_contrib(i), seg_of(recv, segs, i), dtype, op, ircfg));
-    }
-    // ib(t-3): inter-node bcast of the total.
-    if (node_leader && has_up && t >= 3 && t - 3 <= u - 1) {
-      const mpi::Comm& up = *c3.up[me];
-      task.push_back(imod->ibcast(
-          up, up.comm_rank_of_world(leaf.world_rank(me_leaf)), /*root=*/0,
-          seg_of(recv, segs, t - 3), dtype, ibcfg));
-    }
-    // mb(t-4): mid bcast to the numa leaders.
-    if (numa_leader && has_mid && t >= 4 && t - 4 <= u - 1) {
-      const mpi::Comm& mid = *c3.mid[me];
-      task.push_back(smod->ibcast(
-          mid, mid.comm_rank_of_world(leaf.world_rank(me_leaf)),
-          /*root=*/0, seg_of(recv, segs, t - 4), dtype, CollConfig{}));
-    }
-    // sb(t-5): leaf bcast.
-    if (has_leaf && t >= 5 && t - 5 <= u - 1) {
-      task.push_back(smod->ibcast(leaf, me_leaf, /*root=*/0,
-                                  seg_of(recv, segs, t - 5), dtype,
-                                  CollConfig{}));
-    }
-    if (!task.empty()) co_await mpi::wait_all(w.engine(), std::move(task));
-  }
-  // Degenerate case: no stage wrote recv (single rank overall).
-  if (!has_leaf && !has_mid && !has_up && w.data_mode() &&
-      send.has_data() && recv.has_data()) {
-    std::memcpy(recv.data, send.data, send.bytes);
-  }
-  done->complete();
-}
-
-}  // namespace
-
-mpi::Request Han3::iallreduce(const mpi::Comm& comm, int me, BufView send,
-                              BufView recv, mpi::Datatype dtype,
+mpi::Request Han3::iallreduce(const mpi::Comm& comm, int me, mpi::BufView send,
+                              mpi::BufView recv, mpi::Datatype dtype,
                               mpi::ReduceOp op, const HanConfig& cfg) {
   Comm3& c3 = comm3(comm);
-  Request done = mpi::make_request(han_->world_ref().engine());
-  allreduce3_program(*han_, c3, han_->world_ref(), me, send, recv, dtype,
-                     op, cfg, done)
-      .start();
-  return done;
+  return task::TaskScheduler::run(
+      han_->rt_ref(),
+      task::build_allreduce3(*han_, c3, me, send, recv, dtype, op, cfg),
+      cfg.window, comm.world_rank(me));
 }
 
 }  // namespace han::core

@@ -22,6 +22,7 @@ namespace han::core {
 class Han3 {
  public:
   explicit Han3(HanModule& han);
+  ~Han3();
 
   /// True when the world profile actually has more than one NUMA domain
   /// per node (otherwise fall back to the 2-level HanModule).
@@ -43,6 +44,7 @@ class Han3 {
     std::vector<mpi::Comm*> up;    // per parent rank: node leaders comm
                                    // (null for non-node-leaders)
     std::vector<int> leaf_rank;    // rank within leaf comm
+    std::vector<mpi::Comm*> subs;  // distinct splits, for free on destroy
     bool numa_leader(int pr) const { return leaf_rank[pr] == 0; }
     bool node_leader(int pr) const { return mid[pr] != nullptr && up[pr] != nullptr; }
   };
@@ -51,6 +53,7 @@ class Han3 {
  private:
   HanModule* han_;
   std::unordered_map<int, std::unique_ptr<Comm3>> comms_;
+  int destroy_observer_ = -1;  // SimWorld comm-destroy observer token
 };
 
 }  // namespace han::core

@@ -27,6 +27,20 @@ HanComm::HanComm(mpi::SimWorld& world, const mpi::Comm& parent)
     up_rank_[pr] = up_[pr]->comm_rank_of_world(parent.world_rank(pr));
   }
   node_count_ = up_[0] != nullptr ? up_[0]->size() : 1;
+
+  // Record the distinct splits before the single-node up comms are
+  // forgotten below — they exist in the world either way and must be
+  // freed with the parent.
+  for (const auto& vec : {low_, up_}) {
+    for (mpi::Comm* c : vec) {
+      if (c != nullptr &&
+          std::find(sub_comms_.begin(), sub_comms_.end(), c) ==
+              sub_comms_.end()) {
+        sub_comms_.push_back(c);
+      }
+    }
+  }
+
   if (node_count_ <= 1) {
     // Single node: no inter level.
     std::fill(up_.begin(), up_.end(), nullptr);

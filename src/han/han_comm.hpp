@@ -39,12 +39,17 @@ class HanComm {
   int node_count() const { return node_count_; }
   int max_ppn() const { return max_ppn_; }
 
+  /// The distinct low/up communicators created by this split (owners:
+  /// SimWorld). Exposed so the parent comm's destruction can free them.
+  const std::vector<mpi::Comm*>& sub_comms() const { return sub_comms_; }
+
  private:
   const mpi::Comm* parent_;
   std::vector<mpi::Comm*> low_;   // per parent rank
   std::vector<mpi::Comm*> up_;    // per parent rank
   std::vector<int> low_rank_;     // per parent rank
   std::vector<int> up_rank_;      // per parent rank
+  std::vector<mpi::Comm*> sub_comms_;  // distinct low/up comms
   int node_count_ = 0;
   int max_ppn_ = 0;
 };

@@ -1,0 +1,35 @@
+// Small helpers shared by the HAN graph builders (2-level, 3-level, ring):
+// segment slicing over a Segmenter and an owning temp buffer that degrades
+// to timing-only views when the world carries no payloads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coll/builders.hpp"
+#include "simmpi/buffer.hpp"
+
+namespace han::core {
+
+inline mpi::BufView seg_of(mpi::BufView buf, const coll::Segmenter& segs,
+                           int i) {
+  return buf.slice(segs.offset(i), segs.length(i));
+}
+
+/// Owning temp buffer usable as BufView slices; empty in timing-only mode.
+/// Graph builders park these in TaskGraph::keepalive so the storage
+/// outlives the asynchronous execution.
+struct TempBuf {
+  std::vector<std::byte> storage;
+  mpi::Datatype dtype = mpi::Datatype::Byte;
+
+  TempBuf(bool data_mode, std::size_t bytes, mpi::Datatype t) : dtype(t) {
+    if (data_mode) storage.resize(bytes);
+  }
+  mpi::BufView view(std::size_t off, std::size_t len) {
+    if (storage.empty()) return mpi::BufView::timing_only(len, dtype);
+    return mpi::BufView{storage.data() + off, len, dtype};
+  }
+};
+
+}  // namespace han::core

@@ -1,0 +1,1021 @@
+#include "han/task/builders.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "han/han_util.hpp"
+#include "han/task/shapes.hpp"
+
+namespace han::task {
+
+namespace {
+
+using coll::CollConfig;
+using coll::CollModule;
+using coll::Segmenter;
+using core::HanComm;
+using core::HanConfig;
+using core::TempBuf;
+using core::seg_of;
+using mpi::BufView;
+using mpi::Datatype;
+using mpi::ReduceOp;
+
+std::shared_ptr<TempBuf> make_temp(TaskGraph& g, bool data_mode,
+                                   std::size_t bytes, Datatype t) {
+  auto buf = std::make_shared<TempBuf>(data_mode, bytes, t);
+  g.keepalive.push_back(buf);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bcast (paper Fig. 1): leaders run ib(0), sbib(1..u-1), sb(u-1); other
+// ranks run sb(0..u-1).
+// ---------------------------------------------------------------------------
+
+TaskGraph build_bcast(core::HanModule& m, const mpi::Comm& comm, int me,
+                      int root, BufView buf, Datatype dtype,
+                      const HanConfig& cfg) {
+  TaskGraph g;
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.low_rank(root);
+  const bool has_intra = low->size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+  CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter) {
+    if (has_intra) {
+      g.add({Op::Bcast, Level::Intra, low, 0, -1, buf.bytes, {},
+             [smod, low, me_low, root_low, buf, dtype] {
+               return smod->ibcast(*low, me_low, root_low, buf, dtype,
+                                   CollConfig{});
+             }});
+    }
+    return g;
+  }
+
+  CollModule* imod = m.inter_module(cfg);
+  const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  const Segmenter segs(buf.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+
+  // The up communicator carrying data is the one holding the root: every
+  // rank whose local rank equals the root's local rank is a "leader" for
+  // this operation (Open MPI HAN's root_low_rank trick — no relay hop).
+  if (me_low == root_low) {
+    const mpi::Comm* up = hc.up(me);
+    const int me_up = hc.up_rank(me);
+    const int root_up = hc.up_rank(root);
+    std::vector<int> ib_node(u, -1);
+    for_each_task(
+        bcast_shape(has_intra), u,
+        [&](int t, const StageSpec& s, int i) {
+          const BufView seg = seg_of(buf, segs, i);
+          if (std::string_view(s.role) == "ib") {
+            ib_node[i] =
+                g.add({s.op, s.level, up, t, i, seg.bytes, {},
+                       [imod, up, me_up, root_up, seg, dtype, icfg] {
+                         return imod->ibcast(*up, me_up, root_up, seg, dtype,
+                                             icfg);
+                       }});
+          } else {  // sb(i): intra bcast once segment i has arrived
+            g.add({s.op, s.level, low, t, i, seg.bytes, {ib_node[i]},
+                   [smod, low, me_low, root_low, seg, dtype] {
+                     return smod->ibcast(*low, me_low, root_low, seg, dtype,
+                                         CollConfig{});
+                   }});
+          }
+        });
+  } else {
+    for_each_task(
+        bcast_follower_shape(), u, [&](int t, const StageSpec& s, int i) {
+          const BufView seg = seg_of(buf, segs, i);
+          g.add({s.op, s.level, low, t, i, seg.bytes, {},
+                 [smod, low, me_low, root_low, seg, dtype] {
+                   return smod->ibcast(*low, me_low, root_low, seg, dtype,
+                                       CollConfig{});
+                 }});
+        });
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Reduce: sr → ir pipeline (the rooted prefix of Fig. 5)
+// ---------------------------------------------------------------------------
+
+TaskGraph build_reduce(core::HanModule& m, const mpi::Comm& comm, int me,
+                       int root, BufView send, BufView recv, Datatype dtype,
+                       ReduceOp op, const HanConfig& cfg) {
+  TaskGraph g;
+  mpi::SimWorld& w = m.world_ref();
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.low_rank(root);
+  const bool has_intra = low->size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+  CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter) {
+    if (has_intra) {
+      g.add({Op::Reduce, Level::Intra, low, 0, -1, send.bytes, {},
+             [smod, low, me_low, root_low, send, recv, dtype, op] {
+               return smod->ireduce(*low, me_low, root_low, send, recv,
+                                    dtype, op, CollConfig{});
+             }});
+    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    return g;
+  }
+
+  CollModule* imod = m.inter_module(cfg);
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const Segmenter segs(send.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+
+  if (me_low == root_low) {
+    const mpi::Comm* up = hc.up(me);
+    const int me_up = hc.up_rank(me);
+    const int root_up = hc.up_rank(root);
+    // Per-node partial results; feeds the inter-node reduction.
+    auto partial = make_temp(g, w.data_mode(), send.bytes, dtype);
+    std::vector<int> sr_node(u, -1);
+    for_each_task(
+        reduce_shape(has_intra), u, [&](int t, const StageSpec& s, int i) {
+          if (std::string_view(s.role) == "sr") {
+            const BufView dst =
+                partial->view(segs.offset(i), segs.length(i));
+            const BufView src = seg_of(send, segs, i);
+            sr_node[i] =
+                g.add({s.op, s.level, low, t, i, src.bytes, {},
+                       [smod, low, me_low, root_low, src, dst, dtype, op] {
+                         return smod->ireduce(*low, me_low, root_low, src,
+                                              dst, dtype, op, CollConfig{});
+                       }});
+          } else {  // ir(i): inter reduce of the node partials
+            const BufView contrib =
+                has_intra ? partial->view(segs.offset(i), segs.length(i))
+                          : seg_of(send, segs, i);
+            const BufView dst = seg_of(recv, segs, i);
+            std::vector<int> deps;
+            if (has_intra) deps.push_back(sr_node[i]);
+            g.add({s.op, s.level, up, t, i, contrib.bytes, std::move(deps),
+                   [imod, up, me_up, root_up, contrib, dst, dtype, op,
+                    ircfg] {
+                     return imod->ireduce(*up, me_up, root_up, contrib, dst,
+                                          dtype, op, ircfg);
+                   }});
+          }
+        });
+  } else {
+    for_each_task(
+        reduce_follower_shape(), u, [&](int t, const StageSpec& s, int i) {
+          const BufView src = seg_of(send, segs, i);
+          const BufView dst = BufView::timing_only(segs.length(i), dtype);
+          g.add({s.op, s.level, low, t, i, src.bytes, {},
+                 [smod, low, me_low, root_low, src, dst, dtype, op] {
+                   return smod->ireduce(*low, me_low, root_low, src, dst,
+                                        dtype, op, CollConfig{});
+                 }});
+        });
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Allreduce (paper Fig. 5): 4-stage sr → ir → ib → sb pipeline
+// ---------------------------------------------------------------------------
+
+TaskGraph build_allreduce(core::HanModule& m, const mpi::Comm& comm, int me,
+                          BufView send, BufView recv, Datatype dtype,
+                          ReduceOp op, const HanConfig& cfg) {
+  TaskGraph g;
+  mpi::SimWorld& w = m.world_ref();
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_intra = low->size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+  CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter) {
+    if (has_intra) {
+      g.add({Op::Reduce, Level::Intra, low, 0, -1, send.bytes, {},
+             [smod, low, me_low, send, recv, dtype, op] {
+               return smod->iallreduce(*low, me_low, send, recv, dtype, op,
+                                       CollConfig{});
+             }});
+    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    return g;
+  }
+
+  CollModule* imod = m.inter_module(cfg);
+  // Paper §III-B: ir and ib use the same algorithm and the same root to
+  // maximize the opposite-direction overlap on the full-duplex network.
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
+  const Segmenter segs(send.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+  const bool leader = me_low == 0;  // no user root: node-local rank 0 leads
+
+  if (leader) {
+    const mpi::Comm* up = hc.up(me);
+    const int me_up = hc.up_rank(me);
+    auto partial = make_temp(g, w.data_mode(), send.bytes, dtype);
+    std::vector<int> sr_node(u, -1), ir_node(u, -1), ib_node(u, -1);
+    for_each_task(
+        allreduce_shape(has_intra), u,
+        [&](int t, const StageSpec& s, int i) {
+          const std::string_view role(s.role);
+          if (role == "sr") {
+            const BufView src = seg_of(send, segs, i);
+            const BufView dst =
+                partial->view(segs.offset(i), segs.length(i));
+            sr_node[i] =
+                g.add({s.op, s.level, low, t, i, src.bytes, {},
+                       [smod, low, me_low, src, dst, dtype, op] {
+                         return smod->ireduce(*low, me_low, /*root=*/0, src,
+                                              dst, dtype, op, CollConfig{});
+                       }});
+          } else if (role == "ir") {
+            const BufView contrib =
+                has_intra ? partial->view(segs.offset(i), segs.length(i))
+                          : seg_of(send, segs, i);
+            const BufView dst = seg_of(recv, segs, i);
+            std::vector<int> deps;
+            if (has_intra) deps.push_back(sr_node[i]);
+            ir_node[i] =
+                g.add({s.op, s.level, up, t, i, contrib.bytes,
+                       std::move(deps),
+                       [imod, up, me_up, contrib, dst, dtype, op, ircfg] {
+                         return imod->ireduce(*up, me_up, /*root=*/0,
+                                              contrib, dst, dtype, op,
+                                              ircfg);
+                       }});
+          } else if (role == "ib") {
+            const BufView seg = seg_of(recv, segs, i);
+            ib_node[i] =
+                g.add({s.op, s.level, up, t, i, seg.bytes, {ir_node[i]},
+                       [imod, up, me_up, seg, dtype, ibcfg] {
+                         return imod->ibcast(*up, me_up, /*root=*/0, seg,
+                                             dtype, ibcfg);
+                       }});
+          } else {  // sb
+            const BufView seg = seg_of(recv, segs, i);
+            g.add({s.op, s.level, low, t, i, seg.bytes, {ib_node[i]},
+                   [smod, low, me_low, seg, dtype] {
+                     return smod->ibcast(*low, me_low, /*root=*/0, seg,
+                                         dtype, CollConfig{});
+                   }});
+          }
+        });
+  } else {
+    // Task sbsr(i): receive broadcast segment i-3 while contributing
+    // segment i to the intra-node reduction.
+    for_each_task(
+        allreduce_follower_shape(), u,
+        [&](int t, const StageSpec& s, int i) {
+          if (std::string_view(s.role) == "sr") {
+            const BufView src = seg_of(send, segs, i);
+            const BufView dst = BufView::timing_only(segs.length(i), dtype);
+            g.add({s.op, s.level, low, t, i, src.bytes, {},
+                   [smod, low, me_low, src, dst, dtype, op] {
+                     return smod->ireduce(*low, me_low, /*root=*/0, src, dst,
+                                          dtype, op, CollConfig{});
+                   }});
+          } else {  // sb
+            const BufView seg = seg_of(recv, segs, i);
+            g.add({s.op, s.level, low, t, i, seg.bytes, {},
+                   [smod, low, me_low, seg, dtype] {
+                     return smod->ibcast(*low, me_low, /*root=*/0, seg,
+                                         dtype, CollConfig{});
+                   }});
+          }
+        });
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-leader allreduce: stripe the segment pipeline across k node-local
+// leaders, each driving its own up communicator. Stripe j = segments with
+// i % k == j; every rank participates in all sr/sb (consistent low-comm
+// call order); leader j additionally drives ir/ib for its stripe.
+// ---------------------------------------------------------------------------
+
+TaskGraph build_allreduce_multileader(core::HanModule& m,
+                                      const mpi::Comm& comm, int me,
+                                      BufView send, BufView recv,
+                                      Datatype dtype, ReduceOp op,
+                                      const HanConfig& cfg, int k) {
+  TaskGraph g;
+  mpi::SimWorld& w = m.world_ref();
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  CollModule* imod = m.inter_module(cfg);
+  CollModule* smod = m.intra_module(cfg);
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
+  const Segmenter segs(send.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+  const int leader_idx = me_low < k ? me_low : -1;
+  auto partial =
+      make_temp(g, w.data_mode() && leader_idx >= 0, send.bytes, dtype);
+  const mpi::Comm* up = hc.up(me);
+  const int me_up = hc.up_rank(me);
+
+  std::vector<int> sr_node(u, -1), ir_node(u, -1), ib_node(u, -1);
+  for (int t = 0; t <= u + 2; ++t) {
+    if (t <= u - 1) {
+      const int owner = t % k;
+      const BufView src = seg_of(send, segs, t);
+      const BufView dst =
+          me_low == owner ? partial->view(segs.offset(t), segs.length(t))
+                          : BufView::timing_only(segs.length(t), dtype);
+      sr_node[t] =
+          g.add({Op::Reduce, Level::Intra, low, t, t, src.bytes, {},
+                 [smod, low, me_low, owner, src, dst, dtype, op] {
+                   return smod->ireduce(*low, me_low, owner, src, dst, dtype,
+                                        op, CollConfig{});
+                 }});
+    }
+    if (leader_idx >= 0 && t >= 1 && t - 1 <= u - 1 &&
+        (t - 1) % k == leader_idx) {
+      const int i = t - 1;
+      const BufView contrib = partial->view(segs.offset(i), segs.length(i));
+      const BufView dst = seg_of(recv, segs, i);
+      ir_node[i] =
+          g.add({Op::Reduce, Level::Inter, up, t, i, contrib.bytes,
+                 {sr_node[i]},
+                 [imod, up, me_up, contrib, dst, dtype, op, ircfg] {
+                   return imod->ireduce(*up, me_up, /*root=*/0, contrib, dst,
+                                        dtype, op, ircfg);
+                 }});
+    }
+    if (leader_idx >= 0 && t >= 2 && t - 2 <= u - 1 &&
+        (t - 2) % k == leader_idx) {
+      const int i = t - 2;
+      const BufView seg = seg_of(recv, segs, i);
+      ib_node[i] = g.add({Op::Bcast, Level::Inter, up, t, i, seg.bytes,
+                          {ir_node[i]},
+                          [imod, up, me_up, seg, dtype, ibcfg] {
+                            return imod->ibcast(*up, me_up, /*root=*/0, seg,
+                                                dtype, ibcfg);
+                          }});
+    }
+    if (t >= 3 && t - 3 <= u - 1) {
+      const int i = t - 3;
+      const int owner = i % k;
+      const BufView seg = seg_of(recv, segs, i);
+      std::vector<int> deps;
+      if (ib_node[i] >= 0) deps.push_back(ib_node[i]);
+      g.add({Op::Bcast, Level::Intra, low, t, i, seg.bytes, std::move(deps),
+             [smod, low, me_low, owner, seg, dtype] {
+               return smod->ibcast(*low, me_low, owner, seg, dtype,
+                                   CollConfig{});
+             }});
+    }
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Reduce-scatter (equal blocks): sr pipeline → inter ring-or-tree → ss.
+// The ring path is dependency-driven (all nodes at step 0): slice k's
+// strided inter-node ring overlaps slice k+1's intra reduces, exactly the
+// seed's issue-without-await structure, which step barriers cannot express.
+// ---------------------------------------------------------------------------
+
+TaskGraph build_reduce_scatter(core::HanModule& m, const mpi::Comm& comm,
+                               int me, BufView send, BufView recv,
+                               Datatype dtype, ReduceOp op,
+                               const HanConfig& cfg) {
+  TaskGraph g;
+  mpi::SimWorld& w = m.world_ref();
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_intra = low->size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+  const std::size_t total = send.bytes;
+  CollModule* smod = m.intra_module(cfg);
+  CollModule* libnbc = &m.modules().libnbc();
+
+  if (!has_inter) {
+    if (has_intra) {
+      // Single node: reduce to the leader, then scatter the blocks back.
+      auto full = make_temp(g, w.data_mode() && me_low == 0, total, dtype);
+      const BufView fullv = full->view(0, total);
+      const int red =
+          g.add({Op::Reduce, Level::Intra, low, 0, -1, total, {},
+                 [smod, low, me_low, send, fullv, dtype, op] {
+                   return smod->ireduce(*low, me_low, /*root=*/0, send,
+                                        fullv, dtype, op, CollConfig{});
+                 }});
+      g.add({Op::Scatter, Level::Intra, low, 1, -1, total, {red},
+             [libnbc, low, me_low, fullv, recv] {
+               return libnbc->iscatter(*low, me_low, /*root=*/0, fullv, recv,
+                                       CollConfig{});
+             }});
+    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    return g;
+  }
+
+  CollModule* imod = m.inter_module(cfg);
+  const std::size_t region = recv.bytes * low->size();  // this node's slice
+  const Segmenter segs(total, cfg.fs, dtype);
+  const int u = segs.count();
+  const bool leader = me_low == 0;
+  const bool ring = cfg.imod == "ring";
+
+  if (leader) {
+    const mpi::Comm* up = hc.up(me);
+    const int me_up = hc.up_rank(me);
+    auto partial = make_temp(g, w.data_mode() && has_intra, total, dtype);
+    auto node_region =
+        make_temp(g, w.data_mode() && has_intra, region, dtype);
+    // Without an intra level the node's region is the caller's block.
+    const BufView region_buf =
+        has_intra ? node_region->view(0, region) : recv;
+    int inter_last = -1;  // node delivering this node's region
+
+    if (ring) {
+      const CollConfig ircfg{coll::Algorithm::Ring, cfg.irs};
+      if (has_intra) {
+        coll::RingModule* rmod = &m.modules().ring();
+        const int nodes = hc.node_count();
+        int sr_last = -1, ring_prev = -1, ring_prev2 = -1;
+        for_each_ring_slice(
+            region, cfg.fs, dtype,
+            [&](int k, std::size_t s_off, std::size_t s_len) {
+              for (int j = 0; j < nodes; ++j) {
+                const std::size_t off = j * region + s_off;
+                const BufView src = send.slice(off, s_len);
+                const BufView dst = partial->view(off, s_len);
+                std::vector<int> deps;
+                if (sr_last >= 0) deps.push_back(sr_last);
+                // Slice k's reduces start once ring(k-1) is *issued*
+                // (i.e. ring(k-2) completed) — they overlap ring(k-1),
+                // which is the point of the two-level pipeline.
+                if (j == 0 && ring_prev2 >= 0) deps.push_back(ring_prev2);
+                sr_last = g.add(
+                    {Op::Reduce, Level::Intra, low, 0, k, s_len,
+                     std::move(deps),
+                     [smod, low, me_low, src, dst, dtype, op] {
+                       return smod->ireduce(*low, me_low, /*root=*/0, src,
+                                            dst, dtype, op, CollConfig{});
+                     }});
+              }
+              const BufView src = partial->view(s_off, total - s_off);
+              const BufView dst = node_region->view(s_off, s_len);
+              std::vector<int> deps{sr_last};
+              if (ring_prev >= 0) deps.push_back(ring_prev);
+              ring_prev2 = ring_prev;
+              ring_prev = g.add(
+                  {Op::ReduceScatter, Level::Inter, up, 0, k, src.bytes,
+                   std::move(deps),
+                   [rmod, up, me_up, src, dst, region, dtype, op, ircfg] {
+                     return rmod->ireduce_scatter_strided(
+                         *up, me_up, src, dst, region, dtype, op, ircfg);
+                   }});
+            });
+        inter_last = ring_prev;
+      } else {
+        // No intra level: one bandwidth-optimal ring reduce-scatter of
+        // the whole vector — chunk j of the up comm is exactly node j's
+        // region (node-contiguous placement).
+        inter_last =
+            g.add({Op::ReduceScatter, Level::Inter, up, 0, -1, total, {},
+                   [imod, up, me_up, send, region_buf, dtype, op, ircfg] {
+                     return imod->ireduce_scatter(*up, me_up, send,
+                                                  region_buf, dtype, op,
+                                                  ircfg);
+                   }});
+      }
+    } else {
+      // Tree path: sr ⊕ ir pipeline reducing the whole vector to up-root
+      // 0, then one inter scatter of the node regions.
+      const CollConfig ircfg{cfg.iralg, cfg.irs};
+      auto full_red = make_temp(g, w.data_mode() && me_up == 0, total, dtype);
+      std::vector<int> sr_node(u, -1);
+      int ir_last = -1;
+      for_each_task(
+          reduce_scatter_tree_shape(has_intra), u,
+          [&](int t, const StageSpec& s, int i) {
+            if (std::string_view(s.role) == "sr") {
+              const BufView src = seg_of(send, segs, i);
+              const BufView dst =
+                  partial->view(segs.offset(i), segs.length(i));
+              sr_node[i] =
+                  g.add({s.op, s.level, low, t, i, src.bytes, {},
+                         [smod, low, me_low, src, dst, dtype, op] {
+                           return smod->ireduce(*low, me_low, /*root=*/0,
+                                                src, dst, dtype, op,
+                                                CollConfig{});
+                         }});
+            } else {  // ir(i)
+              const BufView contrib =
+                  has_intra ? partial->view(segs.offset(i), segs.length(i))
+                            : seg_of(send, segs, i);
+              const BufView dst =
+                  full_red->view(segs.offset(i), segs.length(i));
+              std::vector<int> deps;
+              if (has_intra) deps.push_back(sr_node[i]);
+              ir_last = g.add(
+                  {s.op, s.level, up, t, i, contrib.bytes, std::move(deps),
+                   [imod, up, me_up, contrib, dst, dtype, op, ircfg] {
+                     return imod->ireduce(*up, me_up, /*root=*/0, contrib,
+                                          dst, dtype, op, ircfg);
+                   }});
+            }
+          });
+      const BufView fullv = full_red->view(0, total);
+      const int tail = shape_steps(reduce_scatter_tree_shape(has_intra), u);
+      inter_last =
+          g.add({Op::Scatter, Level::Inter, up, tail, -1, total, {ir_last},
+                 [imod, up, me_up, fullv, region_buf] {
+                   return imod->iscatter(*up, me_up, /*root=*/0, fullv,
+                                         region_buf, CollConfig{});
+                 }});
+    }
+
+    // ss: scatter the node's reduced region into per-rank blocks.
+    if (has_intra) {
+      const BufView regionv = node_region->view(0, region);
+      const int tail = g.nodes[inter_last].step + 1;
+      g.add({Op::Scatter, Level::Intra, low, tail, -1, region, {inter_last},
+             [libnbc, low, me_low, regionv, recv] {
+               return libnbc->iscatter(*low, me_low, /*root=*/0, regionv,
+                                       recv, CollConfig{});
+             }});
+    }
+  } else {
+    // Non-leaders: contribute to every sr (in exactly the leader's issue
+    // order — the low comm matches collectives by call order), then
+    // receive their block.
+    int sr_last = -1;
+    if (ring) {
+      const int nodes = hc.node_count();
+      for_each_ring_slice(
+          region, cfg.fs, dtype,
+          [&](int k, std::size_t s_off, std::size_t s_len) {
+            for (int j = 0; j < nodes; ++j) {
+              const std::size_t off = j * region + s_off;
+              const BufView src = send.slice(off, s_len);
+              const BufView dst = BufView::timing_only(s_len, dtype);
+              std::vector<int> deps;
+              if (sr_last >= 0) deps.push_back(sr_last);
+              sr_last = g.add(
+                  {Op::Reduce, Level::Intra, low, 0, k, s_len,
+                   std::move(deps),
+                   [smod, low, me_low, src, dst, dtype, op] {
+                     return smod->ireduce(*low, me_low, /*root=*/0, src, dst,
+                                          dtype, op, CollConfig{});
+                   }});
+            }
+          });
+    } else {
+      for (int i = 0; i < u; ++i) {
+        const BufView src = seg_of(send, segs, i);
+        const BufView dst = BufView::timing_only(segs.length(i), dtype);
+        sr_last = g.add({Op::Reduce, Level::Intra, low, i, i, src.bytes, {},
+                         [smod, low, me_low, src, dst, dtype, op] {
+                           return smod->ireduce(*low, me_low, /*root=*/0,
+                                                src, dst, dtype, op,
+                                                CollConfig{});
+                         }});
+      }
+    }
+    const BufView regionv = BufView::timing_only(region);
+    const int tail = sr_last >= 0 ? g.nodes[sr_last].step + 1 : 0;
+    std::vector<int> deps;
+    if (sr_last >= 0) deps.push_back(sr_last);
+    g.add({Op::Scatter, Level::Intra, low, tail, -1, region,
+           std::move(deps), [libnbc, low, me_low, regionv, recv] {
+             return libnbc->iscatter(*low, me_low, /*root=*/0, regionv, recv,
+                                     CollConfig{});
+           }});
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Gather / Scatter / Allgather / Barrier (paper §III: "similar designs can
+// be extended to other collective operations")
+// ---------------------------------------------------------------------------
+
+TaskGraph build_gather(core::HanModule& m, const mpi::Comm& comm, int me,
+                       int root, BufView send, BufView recv,
+                       const HanConfig& cfg) {
+  TaskGraph g;
+  mpi::SimWorld& w = m.world_ref();
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.low_rank(root);
+  const bool has_inter = hc.up(me) != nullptr;
+  const std::size_t block = send.bytes;
+  CollModule* libnbc = &m.modules().libnbc();
+
+  if (!has_inter) {
+    g.add({Op::Gather, Level::Intra, low, 0, -1, block, {},
+           [libnbc, low, me_low, root_low, send, recv] {
+             return libnbc->igather(*low, me_low, root_low, send, recv,
+                                    CollConfig{});
+           }});
+    return g;
+  }
+
+  CollModule* imod = m.inter_module(cfg);
+  // sg: node-local gather to this operation's leaders. P2P gather over the
+  // shm pipe — Open MPI similarly falls back to a P2P module here.
+  const std::size_t node_bytes = block * low->size();
+  auto node_block =
+      make_temp(g, w.data_mode(), node_bytes, mpi::Datatype::Byte);
+  const bool leader = me_low == root_low;
+  const BufView node_dst = leader ? node_block->view(0, node_bytes)
+                                  : BufView::timing_only(node_bytes);
+  const int sg = g.add({Op::Gather, Level::Intra, low, 0, -1, block, {},
+                        [libnbc, low, me_low, root_low, send, node_dst] {
+                          return libnbc->igather(*low, me_low, root_low,
+                                                 send, node_dst,
+                                                 CollConfig{});
+                        }});
+  // ig: inter-node gather of node blocks to the root.
+  if (leader) {
+    const mpi::Comm* up = hc.up(me);
+    const int me_up = hc.up_rank(me);
+    const int root_up = hc.up_rank(root);
+    const BufView node_src = node_block->view(0, node_bytes);
+    const BufView dst =
+        me == root ? recv : BufView::timing_only(recv.bytes);
+    g.add({Op::Gather, Level::Inter, up, 1, -1, node_bytes, {sg},
+           [imod, up, me_up, root_up, node_src, dst] {
+             return imod->igather(*up, me_up, root_up, node_src, dst,
+                                  CollConfig{});
+           }});
+  }
+  return g;
+}
+
+TaskGraph build_scatter(core::HanModule& m, const mpi::Comm& comm, int me,
+                        int root, BufView send, BufView recv,
+                        const HanConfig& cfg) {
+  TaskGraph g;
+  mpi::SimWorld& w = m.world_ref();
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.low_rank(root);
+  const bool has_inter = hc.up(me) != nullptr;
+  const std::size_t block = recv.bytes;
+  CollModule* libnbc = &m.modules().libnbc();
+
+  if (!has_inter) {
+    g.add({Op::Scatter, Level::Intra, low, 0, -1, block, {},
+           [libnbc, low, me_low, root_low, send, recv] {
+             return libnbc->iscatter(*low, me_low, root_low, send, recv,
+                                     CollConfig{});
+           }});
+    return g;
+  }
+
+  CollModule* imod = m.inter_module(cfg);
+  const std::size_t node_bytes = block * low->size();
+  auto node_block =
+      make_temp(g, w.data_mode(), node_bytes, mpi::Datatype::Byte);
+  const bool leader = me_low == root_low;
+  std::vector<int> ss_deps;
+  if (leader) {
+    const mpi::Comm* up = hc.up(me);
+    const int me_up = hc.up_rank(me);
+    const int root_up = hc.up_rank(root);
+    const BufView src =
+        me == root ? send : BufView::timing_only(send.bytes);
+    const BufView node_dst = node_block->view(0, node_bytes);
+    ss_deps.push_back(
+        g.add({Op::Scatter, Level::Inter, up, 0, -1, node_bytes, {},
+               [imod, up, me_up, root_up, src, node_dst] {
+                 return imod->iscatter(*up, me_up, root_up, src, node_dst,
+                                       CollConfig{});
+               }}));
+  }
+  const BufView node_src = leader ? node_block->view(0, node_bytes)
+                                  : BufView::timing_only(node_bytes);
+  g.add({Op::Scatter, Level::Intra, low, leader ? 1 : 0, -1, block,
+         std::move(ss_deps), [libnbc, low, me_low, root_low, node_src, recv] {
+           return libnbc->iscatter(*low, me_low, root_low, node_src, recv,
+                                   CollConfig{});
+         }});
+  return g;
+}
+
+TaskGraph build_allgather(core::HanModule& m, const mpi::Comm& comm, int me,
+                          BufView send, BufView recv, const HanConfig& cfg) {
+  TaskGraph g;
+  mpi::SimWorld& w = m.world_ref();
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_inter = hc.up(me) != nullptr;
+  const std::size_t block = send.bytes;
+  CollModule* libnbc = &m.modules().libnbc();
+
+  if (!has_inter) {
+    g.add({Op::Allgather, Level::Intra, low, 0, -1, block, {},
+           [libnbc, low, me_low, send, recv] {
+             return libnbc->iallgather(*low, me_low, send, recv,
+                                       CollConfig{});
+           }});
+    return g;
+  }
+
+  CollModule* imod = m.inter_module(cfg);
+  CollModule* smod = m.intra_module(cfg);
+  const bool leader = me_low == 0;
+  const std::size_t node_bytes = block * low->size();
+  auto node_block =
+      make_temp(g, w.data_mode(), node_bytes, mpi::Datatype::Byte);
+
+  // sg: gather node block to the leader.
+  const BufView node_dst = leader ? node_block->view(0, node_bytes)
+                                  : BufView::timing_only(node_bytes);
+  const int sg = g.add({Op::Gather, Level::Intra, low, 0, -1, block, {},
+                        [libnbc, low, me_low, send, node_dst] {
+                          return libnbc->igather(*low, me_low, /*root=*/0,
+                                                 send, node_dst,
+                                                 CollConfig{});
+                        }});
+  // iag: inter-node allgather of node blocks (leaders only) straight into
+  // the final layout (node-contiguous placement).
+  int sb_dep = sg;
+  if (leader) {
+    const mpi::Comm* up = hc.up(me);
+    const int me_up = hc.up_rank(me);
+    const BufView node_src = node_block->view(0, node_bytes);
+    sb_dep = g.add({Op::Allgather, Level::Inter, up, 1, -1, node_bytes, {sg},
+                    [imod, up, me_up, node_src, recv] {
+                      return imod->iallgather(*up, me_up, node_src, recv,
+                                              CollConfig{});
+                    }});
+  }
+  // sb: broadcast the assembled buffer within the node.
+  g.add({Op::Bcast, Level::Intra, low, leader ? 2 : 1, -1, recv.bytes,
+         {sb_dep}, [smod, low, me_low, recv] {
+           return smod->ibcast(*low, me_low, /*root=*/0, recv,
+                               mpi::Datatype::Byte, CollConfig{});
+         }});
+  return g;
+}
+
+TaskGraph build_barrier(core::HanModule& m, const mpi::Comm& comm, int me) {
+  TaskGraph g;
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_intra = low->size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+  coll::SmModule* sm = &m.modules().sm();
+  CollModule* libnbc = &m.modules().libnbc();
+
+  // Fan-in: node barrier; leaders: inter barrier; fan-out: node signal.
+  int prev = -1;
+  if (has_intra) {
+    prev = g.add({Op::Barrier, Level::Intra, low, 0, -1, 0, {},
+                  [sm, low, me_low] { return sm->ibarrier(*low, me_low); }});
+  }
+  if (has_inter && me_low == 0) {
+    const mpi::Comm* up = hc.up(me);
+    const int me_up = hc.up_rank(me);
+    std::vector<int> deps;
+    if (prev >= 0) deps.push_back(prev);
+    prev = g.add({Op::Barrier, Level::Inter, up, prev >= 0 ? 1 : 0, -1, 0,
+                  std::move(deps),
+                  [libnbc, up, me_up] { return libnbc->ibarrier(*up, me_up); }});
+  }
+  if (has_intra) {
+    const int step = prev >= 0 ? g.nodes[prev].step + 1 : 0;
+    std::vector<int> deps;
+    if (prev >= 0) deps.push_back(prev);
+    g.add({Op::Bcast, Level::Intra, low, step, -1, 0, std::move(deps),
+           [sm, low, me_low] {
+             return sm->ibcast(*low, me_low, /*root=*/0,
+                               BufView::timing_only(0), mpi::Datatype::Byte,
+                               CollConfig{});
+           }});
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// 3-level pipelines (NUMA-aware): bcast3 ib → mb → sb and allreduce3
+// sr → mr → ir → ib → mb → sb. Stage enables are per-rank roles, so the
+// same shapes serve leaders and followers (and the cost model).
+// ---------------------------------------------------------------------------
+
+TaskGraph build_bcast3(core::HanModule& m, core::Han3::Comm3& c3, int me,
+                       BufView buf, Datatype dtype, const HanConfig& cfg) {
+  TaskGraph g;
+  CollModule* imod = m.inter_module(cfg);
+  CollModule* smod = m.intra_module(cfg);
+  const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  const Segmenter segs(buf.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+
+  const mpi::Comm* leaf = c3.leaf[me];
+  const int me_leaf = c3.leaf_rank[me];
+  const bool numa_leader = c3.numa_leader(me);
+  const bool node_leader = c3.node_leader(me);
+  const bool has_leaf = leaf->size() > 1;
+  const bool has_mid = c3.mid[me] != nullptr && c3.mid[me]->size() > 1;
+  const bool has_up = c3.up[me] != nullptr;
+  const int wr = leaf->world_rank(me_leaf);  // my world rank
+
+  const mpi::Comm* up = has_up ? c3.up[me] : nullptr;
+  const mpi::Comm* mid = c3.mid[me];
+  const int me_up = up != nullptr ? up->comm_rank_of_world(wr) : -1;
+  const int me_mid = mid != nullptr ? mid->comm_rank_of_world(wr) : -1;
+
+  std::vector<int> ib_node(u, -1), mb_node(u, -1);
+  for_each_task(
+      bcast3_shape(node_leader && has_up, numa_leader && has_mid, has_leaf),
+      u, [&](int t, const StageSpec& s, int i) {
+        const BufView seg = seg_of(buf, segs, i);
+        const std::string_view role(s.role);
+        if (role == "ib") {
+          ib_node[i] = g.add({s.op, s.level, up, t, i, seg.bytes, {},
+                              [imod, up, me_up, seg, dtype, icfg] {
+                                return imod->ibcast(*up, me_up, /*root=*/0,
+                                                    seg, dtype, icfg);
+                              }});
+        } else if (role == "mb") {
+          std::vector<int> deps;
+          if (ib_node[i] >= 0) deps.push_back(ib_node[i]);
+          mb_node[i] = g.add({s.op, s.level, mid, t, i, seg.bytes,
+                              std::move(deps),
+                              [smod, mid, me_mid, seg, dtype] {
+                                return smod->ibcast(*mid, me_mid, /*root=*/0,
+                                                    seg, dtype,
+                                                    CollConfig{});
+                              }});
+        } else {  // sb
+          std::vector<int> deps;
+          if (mb_node[i] >= 0) {
+            deps.push_back(mb_node[i]);
+          } else if (ib_node[i] >= 0) {
+            deps.push_back(ib_node[i]);
+          }
+          g.add({s.op, s.level, leaf, t, i, seg.bytes, std::move(deps),
+                 [smod, leaf, me_leaf, seg, dtype] {
+                   return smod->ibcast(*leaf, me_leaf, /*root=*/0, seg,
+                                       dtype, CollConfig{});
+                 }});
+        }
+      });
+  return g;
+}
+
+TaskGraph build_allreduce3(core::HanModule& m, core::Han3::Comm3& c3, int me,
+                           BufView send, BufView recv, Datatype dtype,
+                           ReduceOp op, const HanConfig& cfg) {
+  TaskGraph g;
+  mpi::SimWorld& w = m.world_ref();
+  CollModule* imod = m.inter_module(cfg);
+  CollModule* smod = m.intra_module(cfg);
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
+  const Segmenter segs(send.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+
+  const mpi::Comm* leaf = c3.leaf[me];
+  const int me_leaf = c3.leaf_rank[me];
+  const bool numa_leader = c3.numa_leader(me);
+  const bool node_leader = c3.node_leader(me);
+  const bool has_leaf = leaf->size() > 1;
+  const bool has_mid = c3.mid[me] != nullptr && c3.mid[me]->size() > 1;
+  const bool has_up = c3.up[me] != nullptr;
+  const int wr = leaf->world_rank(me_leaf);
+
+  if (!has_leaf && !has_mid && !has_up) {
+    // Degenerate case: single rank overall.
+    if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    return g;
+  }
+
+  const mpi::Comm* up = has_up ? c3.up[me] : nullptr;
+  const mpi::Comm* mid = c3.mid[me];
+  const int me_up = up != nullptr ? up->comm_rank_of_world(wr) : -1;
+  const int me_mid = mid != nullptr ? mid->comm_rank_of_world(wr) : -1;
+
+  auto leaf_part =
+      make_temp(g, w.data_mode() && numa_leader, send.bytes, dtype);
+  auto node_part =
+      make_temp(g, w.data_mode() && node_leader, send.bytes, dtype);
+
+  auto leaf_contrib = [&](int i) {
+    return has_leaf ? leaf_part->view(segs.offset(i), segs.length(i))
+                    : seg_of(send, segs, i);
+  };
+  auto node_contrib = [&](int i) {
+    return has_mid ? node_part->view(segs.offset(i), segs.length(i))
+                   : leaf_contrib(i);
+  };
+
+  std::vector<int> sr_node(u, -1), mr_node(u, -1), ir_node(u, -1),
+      ib_node(u, -1), mb_node(u, -1);
+  auto first_of = [](std::initializer_list<int> ids) {
+    std::vector<int> deps;
+    for (int id : ids) {
+      if (id >= 0) {
+        deps.push_back(id);
+        break;
+      }
+    }
+    return deps;
+  };
+
+  for_each_task(
+      allreduce3_shape(node_leader && has_up, numa_leader && has_mid,
+                       has_leaf),
+      u, [&](int t, const StageSpec& s, int i) {
+        const std::string_view role(s.role);
+        if (role == "sr") {  // leaf reduce to the NUMA leader
+          const BufView src = seg_of(send, segs, i);
+          const BufView dst =
+              numa_leader ? leaf_part->view(segs.offset(i), segs.length(i))
+                          : BufView::timing_only(segs.length(i), dtype);
+          sr_node[i] =
+              g.add({s.op, s.level, leaf, t, i, src.bytes, {},
+                     [smod, leaf, me_leaf, src, dst, dtype, op] {
+                       return smod->ireduce(*leaf, me_leaf, /*root=*/0, src,
+                                            dst, dtype, op, CollConfig{});
+                     }});
+        } else if (role == "mr") {  // mid reduce to the node leader
+          const BufView src = leaf_contrib(i);
+          const BufView dst =
+              node_leader ? node_part->view(segs.offset(i), segs.length(i))
+                          : BufView::timing_only(segs.length(i), dtype);
+          mr_node[i] =
+              g.add({s.op, s.level, mid, t, i, src.bytes,
+                     first_of({sr_node[i]}),
+                     [smod, mid, me_mid, src, dst, dtype, op] {
+                       return smod->ireduce(*mid, me_mid, /*root=*/0, src,
+                                            dst, dtype, op, CollConfig{});
+                     }});
+        } else if (role == "ir") {  // inter-node reduce among node leaders
+          const BufView src = node_contrib(i);
+          const BufView dst = seg_of(recv, segs, i);
+          ir_node[i] =
+              g.add({s.op, s.level, up, t, i, src.bytes,
+                     first_of({mr_node[i], sr_node[i]}),
+                     [imod, up, me_up, src, dst, dtype, op, ircfg] {
+                       return imod->ireduce(*up, me_up, /*root=*/0, src, dst,
+                                            dtype, op, ircfg);
+                     }});
+        } else if (role == "ib") {  // inter-node bcast of the total
+          const BufView seg = seg_of(recv, segs, i);
+          ib_node[i] = g.add({s.op, s.level, up, t, i, seg.bytes,
+                              first_of({ir_node[i]}),
+                              [imod, up, me_up, seg, dtype, ibcfg] {
+                                return imod->ibcast(*up, me_up, /*root=*/0,
+                                                    seg, dtype, ibcfg);
+                              }});
+        } else if (role == "mb") {  // mid bcast to the numa leaders
+          const BufView seg = seg_of(recv, segs, i);
+          mb_node[i] = g.add({s.op, s.level, mid, t, i, seg.bytes,
+                              first_of({ib_node[i]}),
+                              [smod, mid, me_mid, seg, dtype] {
+                                return smod->ibcast(*mid, me_mid, /*root=*/0,
+                                                    seg, dtype,
+                                                    CollConfig{});
+                              }});
+        } else {  // sb: leaf bcast
+          const BufView seg = seg_of(recv, segs, i);
+          g.add({s.op, s.level, leaf, t, i, seg.bytes,
+                 first_of({mb_node[i], ib_node[i]}),
+                 [smod, leaf, me_leaf, seg, dtype] {
+                   return smod->ibcast(*leaf, me_leaf, /*root=*/0, seg,
+                                       dtype, CollConfig{});
+                 }});
+        }
+      });
+  return g;
+}
+
+}  // namespace han::task

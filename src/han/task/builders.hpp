@@ -1,0 +1,65 @@
+// Declarative TaskGraph builders for the HAN collectives.
+//
+// Each builder returns the calling rank's task graph for one collective
+// operation — the graph the TaskScheduler executes and (structurally) the
+// one the cost model walks. An empty graph means the operation is a local
+// no-op; any required send→recv copy has already been performed by the
+// builder (matching the seed programs' synchronous degenerate paths).
+#pragma once
+
+#include "han/han3.hpp"
+#include "han/task/graph.hpp"
+
+namespace han::task {
+
+TaskGraph build_bcast(core::HanModule& m, const mpi::Comm& comm, int me,
+                      int root, mpi::BufView buf, mpi::Datatype dtype,
+                      const core::HanConfig& cfg);
+
+TaskGraph build_reduce(core::HanModule& m, const mpi::Comm& comm, int me,
+                       int root, mpi::BufView send, mpi::BufView recv,
+                       mpi::Datatype dtype, mpi::ReduceOp op,
+                       const core::HanConfig& cfg);
+
+TaskGraph build_allreduce(core::HanModule& m, const mpi::Comm& comm, int me,
+                          mpi::BufView send, mpi::BufView recv,
+                          mpi::Datatype dtype, mpi::ReduceOp op,
+                          const core::HanConfig& cfg);
+
+/// Non-degenerate multi-leader allreduce (has_inter && has_intra && k > 1;
+/// the degenerate shapes delegate to build_allreduce in han.cpp).
+TaskGraph build_allreduce_multileader(core::HanModule& m,
+                                      const mpi::Comm& comm, int me,
+                                      mpi::BufView send, mpi::BufView recv,
+                                      mpi::Datatype dtype, mpi::ReduceOp op,
+                                      const core::HanConfig& cfg, int k);
+
+TaskGraph build_reduce_scatter(core::HanModule& m, const mpi::Comm& comm,
+                               int me, mpi::BufView send, mpi::BufView recv,
+                               mpi::Datatype dtype, mpi::ReduceOp op,
+                               const core::HanConfig& cfg);
+
+TaskGraph build_gather(core::HanModule& m, const mpi::Comm& comm, int me,
+                       int root, mpi::BufView send, mpi::BufView recv,
+                       const core::HanConfig& cfg);
+
+TaskGraph build_scatter(core::HanModule& m, const mpi::Comm& comm, int me,
+                        int root, mpi::BufView send, mpi::BufView recv,
+                        const core::HanConfig& cfg);
+
+TaskGraph build_allgather(core::HanModule& m, const mpi::Comm& comm, int me,
+                          mpi::BufView send, mpi::BufView recv,
+                          const core::HanConfig& cfg);
+
+TaskGraph build_barrier(core::HanModule& m, const mpi::Comm& comm, int me);
+
+TaskGraph build_bcast3(core::HanModule& m, core::Han3::Comm3& c3, int me,
+                       mpi::BufView buf, mpi::Datatype dtype,
+                       const core::HanConfig& cfg);
+
+TaskGraph build_allreduce3(core::HanModule& m, core::Han3::Comm3& c3, int me,
+                           mpi::BufView send, mpi::BufView recv,
+                           mpi::Datatype dtype, mpi::ReduceOp op,
+                           const core::HanConfig& cfg);
+
+}  // namespace han::task

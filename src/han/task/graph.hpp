@@ -1,0 +1,72 @@
+// TaskGraph: the first-class IR of a HAN collective (paper §III).
+//
+// A hierarchical collective is a DAG of per-level sub-collectives
+// ("tasks"). Each node binds the operation kind, the hierarchy level, the
+// communicator it runs on, its segment, and an issue closure carrying the
+// bound submodule + buffers + configuration. Edges are explicit data
+// dependencies; the pipeline *step* expresses the paper's lock-step
+// barrier structure (all tasks of step t start once step t-1 finished —
+// at scheduler window 1 — while larger windows let later steps start as
+// soon as their data dependencies allow).
+//
+// The same graph shape drives both execution (task/scheduler.hpp) and
+// cost prediction (autotune/costmodel.cpp walks shapes from
+// task/shapes.hpp) — one source of truth, so the model cannot drift from
+// the executor.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/request.hpp"
+
+namespace han::task {
+
+enum class Level { Intra, Mid, Inter, Local };
+enum class Op {
+  Bcast,
+  Reduce,
+  Gather,
+  Scatter,
+  Allgather,
+  ReduceScatter,
+  Barrier,
+};
+
+const char* level_name(Level level);
+const char* op_name(Op op);
+
+struct TaskNode {
+  Op op = Op::Bcast;
+  Level level = Level::Intra;
+  const mpi::Comm* comm = nullptr;  // communicator the task runs on
+  int step = 0;                     // pipeline step (window gating)
+  int seg = -1;                     // segment index; -1 = whole message
+  std::size_t bytes = 0;            // payload moved (tracing)
+  std::vector<int> deps;            // prerequisite node indices
+  std::function<mpi::Request()> issue;  // bound submodule call
+};
+
+struct TaskGraph {
+  std::vector<TaskNode> nodes;
+  /// Owners of temp buffers the issue closures slice into; released when
+  /// the scheduler finishes.
+  std::vector<std::shared_ptr<void>> keepalive;
+
+  int add(TaskNode node) {
+    nodes.push_back(std::move(node));
+    return static_cast<int>(nodes.size()) - 1;
+  }
+  bool empty() const { return nodes.empty(); }
+  int max_step() const;
+};
+
+/// Structural validation: returns "" when the graph is well-formed, else a
+/// description of the first defect. Checks issue closures, dep indices,
+/// self-dependencies, negative steps, and acyclicity (Kahn).
+std::string validate_graph(const TaskGraph& graph);
+
+}  // namespace han::task

@@ -1,0 +1,144 @@
+#include "han/task/scheduler.hpp"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace han::task {
+
+namespace {
+
+/// Per-run execution state, kept alive by the completion callbacks.
+struct Exec : std::enable_shared_from_this<Exec> {
+  coll::CollRuntime* rt = nullptr;
+  TaskGraph g;
+  int window = 1;
+  int trace_rank = 0;
+  mpi::Request done;
+
+  std::vector<int> deps_left;
+  std::vector<char> issued;
+  std::vector<std::vector<int>> dependents;
+  std::vector<int> ctx_prev;  // previous node on the same comm, -1 if none
+  std::vector<long> step_total, step_done;
+  int frontier = 0;
+  int remaining = 0;
+
+  obs::Gauge* inflight = nullptr;
+  obs::Counter* c_issued = nullptr;
+  obs::Counter* c_completed = nullptr;
+
+  void init() {
+    const int n = static_cast<int>(g.nodes.size());
+    deps_left.assign(n, 0);
+    issued.assign(n, 0);
+    dependents.assign(n, {});
+    ctx_prev.assign(n, -1);
+    const int steps = g.max_step() + 1;
+    step_total.assign(steps, 0);
+    step_done.assign(steps, 0);
+    remaining = n;
+
+    std::unordered_map<int, int> last_on_ctx;
+    for (int i = 0; i < n; ++i) {
+      const TaskNode& node = g.nodes[i];
+      deps_left[i] = static_cast<int>(node.deps.size());
+      for (int d : node.deps) dependents[d].push_back(i);
+      ++step_total[node.step];
+      if (node.comm != nullptr) {
+        auto [it, fresh] = last_on_ctx.try_emplace(node.comm->context(), i);
+        if (!fresh) {
+          ctx_prev[i] = it->second;
+          it->second = i;
+        }
+      }
+    }
+    while (frontier < steps && step_done[frontier] == step_total[frontier]) {
+      ++frontier;
+    }
+
+    obs::MetricsRegistry& m = rt->world().metrics();
+    inflight = &m.gauge("han.task.inflight");
+    c_issued = &m.counter("han.task.issued");
+    c_completed = &m.counter("han.task.completed");
+    m.counter("han.task.graphs").add(1.0);
+    m.counter("han.task.nodes").add(static_cast<double>(n));
+  }
+
+  bool issuable(int i) const {
+    return !issued[i] && deps_left[i] == 0 &&
+           g.nodes[i].step < frontier + window &&
+           (ctx_prev[i] < 0 || issued[ctx_prev[i]]);
+  }
+
+  /// Issue everything currently issuable, in emission order. A single
+  /// forward pass suffices: issuing node i can only unblock (via the
+  /// per-comm FIFO) nodes emitted after it.
+  void pump() {
+    for (int i = 0; i < static_cast<int>(g.nodes.size()); ++i) {
+      if (!issuable(i)) continue;
+      issued[i] = 1;
+      c_issued->add(1.0);
+      rt->world().metrics().counter(
+          std::string("han.task.op.") + op_name(g.nodes[i].op)).add(1.0);
+      const double t0 = rt->world().now();
+      inflight->add(t0, 1.0);
+      mpi::Request req = g.nodes[i].issue();
+      HAN_ASSERT_MSG(req != nullptr, "task issue returned a null request");
+      req->on_complete([self = shared_from_this(), i, t0] {
+        self->finish(i, t0);
+      });
+    }
+  }
+
+  void finish(int i, double t0) {
+    const double now = rt->world().now();
+    inflight->add(now, -1.0);
+    c_completed->add(1.0);
+    if (sim::Tracer* tr = rt->tracer()) {
+      const TaskNode& node = g.nodes[i];
+      const std::string name = std::string("task.") + level_name(node.level) +
+                               "." + op_name(node.op);
+      tr->span(trace_rank, "han.task", name, t0, now,
+               rt->world().rank(trace_rank).node);
+    }
+    ++step_done[g.nodes[i].step];
+    const int steps = static_cast<int>(step_total.size());
+    while (frontier < steps && step_done[frontier] == step_total[frontier]) {
+      ++frontier;
+    }
+    for (int j : dependents[i]) --deps_left[j];
+    if (--remaining == 0) {
+      g.keepalive.clear();
+      done->complete();
+      return;
+    }
+    pump();
+  }
+};
+
+}  // namespace
+
+mpi::Request TaskScheduler::run(coll::CollRuntime& rt, TaskGraph graph,
+                                int window, int trace_rank) {
+  HAN_ASSERT_MSG(window >= 1, "scheduler window must be >= 1");
+  const std::string defect = validate_graph(graph);
+  HAN_ASSERT_MSG(defect.empty(), defect.c_str());
+  mpi::Request done = mpi::make_request(rt.world().engine());
+  if (graph.empty()) {
+    done->complete();  // degenerate: nothing to run
+    return done;
+  }
+  auto exec = std::make_shared<Exec>();
+  exec->rt = &rt;
+  exec->g = std::move(graph);
+  exec->window = window;
+  exec->trace_rank = trace_rank;
+  exec->done = done;
+  exec->init();
+  exec->pump();
+  return done;
+}
+
+}  // namespace han::task

@@ -1,0 +1,126 @@
+// Pipeline shapes shared by the graph builders and the cost model.
+//
+// A HAN collective's stepped pipeline is fully described by an ordered
+// stage list: stage s contributes the task for segment (t - lag_s) at
+// step t. The list order is the per-step emission order (which fixes the
+// FIFO order on the NIC / copy lanes, so it is semantically meaningful).
+// task/builders.cpp maps each emitted (step, stage, seg) to an issue
+// closure; autotune/costmodel.cpp walks the identical emission to sum
+// benchmarked task costs along the critical path — the executor and the
+// predictor can never disagree about structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coll/builders.hpp"
+#include "han/task/graph.hpp"
+
+namespace han::task {
+
+struct StageSpec {
+  const char* role;  // "sr" | "ir" | "ib" | "sb" | "mr" | "mb"
+  Op op;
+  Level level;
+  int lag;            // segment index at step t is t - lag
+  bool enabled = true;
+};
+
+inline int shape_steps(const std::vector<StageSpec>& stages, int u) {
+  int max_lag = 0;
+  for (const StageSpec& s : stages) {
+    if (s.enabled && s.lag > max_lag) max_lag = s.lag;
+  }
+  return u + max_lag;  // steps run 0 .. u-1+max_lag
+}
+
+/// Invoke fn(step, stage, seg) for every task of the stepped pipeline, in
+/// step order and, within a step, in stage-list order.
+template <typename Fn>
+void for_each_task(const std::vector<StageSpec>& stages, int u, Fn&& fn) {
+  const int last = shape_steps(stages, u) - 1;
+  for (int t = 0; t <= last; ++t) {
+    for (const StageSpec& s : stages) {
+      const int seg = t - s.lag;
+      if (s.enabled && seg >= 0 && seg < u) fn(t, s, seg);
+    }
+  }
+}
+
+// --- canonical HAN shapes --------------------------------------------------
+// Stage order within a step mirrors the paper's task sequences (and the
+// seed implementation's issue order exactly).
+
+/// Bcast leader (Fig. 1): ib(0); sbib(1..u-1); sb(u-1).
+inline std::vector<StageSpec> bcast_shape(bool has_intra) {
+  return {{"sb", Op::Bcast, Level::Intra, 1, has_intra},
+          {"ib", Op::Bcast, Level::Inter, 0, true}};
+}
+
+/// Bcast non-leader: the intra stage alone.
+inline std::vector<StageSpec> bcast_follower_shape() {
+  return {{"sb", Op::Bcast, Level::Intra, 0, true}};
+}
+
+/// Reduce leader: sr(0); irsr(1..u-1); ir(u-1).
+inline std::vector<StageSpec> reduce_shape(bool has_intra) {
+  return {{"ir", Op::Reduce, Level::Inter, 1, true},
+          {"sr", Op::Reduce, Level::Intra, 0, has_intra}};
+}
+
+inline std::vector<StageSpec> reduce_follower_shape() {
+  return {{"sr", Op::Reduce, Level::Intra, 0, true}};
+}
+
+/// Allreduce leader (Fig. 5): the 4-stage sr → ir → ib → sb pipeline.
+inline std::vector<StageSpec> allreduce_shape(bool has_intra) {
+  return {{"sr", Op::Reduce, Level::Intra, 0, has_intra},
+          {"ir", Op::Reduce, Level::Inter, 1, true},
+          {"ib", Op::Bcast, Level::Inter, 2, true},
+          {"sb", Op::Bcast, Level::Intra, 3, has_intra}};
+}
+
+/// Allreduce non-leader: contribute sr(t) while receiving sb(t-3).
+inline std::vector<StageSpec> allreduce_follower_shape() {
+  return {{"sr", Op::Reduce, Level::Intra, 0, true},
+          {"sb", Op::Bcast, Level::Intra, 3, true}};
+}
+
+/// Reduce-scatter tree path, pipeline part: sr ⊕ ir reducing the whole
+/// vector to up-root 0 (the inter scatter + intra scatter tails are
+/// appended by the builder / walked by the model separately).
+inline std::vector<StageSpec> reduce_scatter_tree_shape(bool has_intra) {
+  return reduce_shape(has_intra);
+}
+
+/// 3-level Bcast: ib(t) → mb(t-1) → sb(t-2).
+inline std::vector<StageSpec> bcast3_shape(bool has_up, bool has_mid,
+                                           bool has_leaf) {
+  return {{"ib", Op::Bcast, Level::Inter, 0, has_up},
+          {"mb", Op::Bcast, Level::Mid, 1, has_mid},
+          {"sb", Op::Bcast, Level::Intra, 2, has_leaf}};
+}
+
+/// 3-level Allreduce: sr → mr → ir → ib → mb → sb, each one segment
+/// behind the previous.
+inline std::vector<StageSpec> allreduce3_shape(bool has_up, bool has_mid,
+                                               bool has_leaf) {
+  return {{"sr", Op::Reduce, Level::Intra, 0, has_leaf},
+          {"mr", Op::Reduce, Level::Mid, 1, has_mid},
+          {"ir", Op::Reduce, Level::Inter, 2, has_up},
+          {"ib", Op::Bcast, Level::Inter, 3, has_up},
+          {"mb", Op::Bcast, Level::Mid, 4, has_mid},
+          {"sb", Op::Bcast, Level::Intra, 5, has_leaf}};
+}
+
+/// Reduce-scatter ring path: the node region is cut into slices of
+/// min(fs, region); slice k's strided inter-node ring overlaps slice
+/// k+1's intra reduces. fn(k, off, len) per slice, in order.
+template <typename Fn>
+void for_each_ring_slice(std::size_t region, std::size_t fs,
+                         mpi::Datatype dtype, Fn&& fn) {
+  const coll::Segmenter sl(region, std::min(fs, region), dtype);
+  for (int k = 0; k < sl.count(); ++k) fn(k, sl.offset(k), sl.length(k));
+}
+
+}  // namespace han::task

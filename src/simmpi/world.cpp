@@ -76,10 +76,48 @@ std::vector<Comm*> SimWorld::comm_split(const Comm& parent,
     world_ranks.reserve(members.size());
     for (int pr : members) world_ranks.push_back(parent.world_rank(pr));
     comms_.push_back(
-        std::make_unique<Comm>(next_context_++, std::move(world_ranks)));
+        std::make_unique<Comm>(next_context(), std::move(world_ranks)));
     for (int pr : members) result[pr] = comms_.back().get();
   }
   return result;
+}
+
+void SimWorld::free_comm(Comm* comm) {
+  HAN_ASSERT_MSG(comm != nullptr && comm != world_comm_,
+                 "cannot free the world communicator");
+  auto it = std::find_if(comms_.begin(), comms_.end(),
+                         [&](const std::unique_ptr<Comm>& c) {
+                           return c.get() == comm;
+                         });
+  HAN_ASSERT_MSG(it != comms_.end(),
+                 "free_comm of an unknown (or already freed) communicator");
+  const int ctx = comm->context();
+  // Notify while the id still names the dying comm; observers may free
+  // derived communicators re-entrantly (e.g. HanComm's low/up splits).
+  for (const auto& [token, fn] : destroy_observers_) fn(ctx);
+  it = std::find_if(comms_.begin(), comms_.end(),
+                    [&](const std::unique_ptr<Comm>& c) {
+                      return c.get() == comm;
+                    });
+  HAN_ASSERT(it != comms_.end());
+  comms_.erase(it);
+  free_contexts_.push_back(ctx);
+}
+
+int SimWorld::add_comm_destroy_observer(std::function<void(int)> fn) {
+  const int token = next_observer_token_++;
+  destroy_observers_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void SimWorld::remove_comm_destroy_observer(int token) {
+  for (auto it = destroy_observers_.begin(); it != destroy_observers_.end();
+       ++it) {
+    if (it->first == token) {
+      destroy_observers_.erase(it);
+      return;
+    }
+  }
 }
 
 std::vector<Comm*> SimWorld::comm_split_shared(const Comm& parent) {

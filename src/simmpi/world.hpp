@@ -105,9 +105,31 @@ class SimWorld {
   /// MPI_Comm_split_type(SHARED): groups parent ranks by physical node.
   std::vector<Comm*> comm_split_shared(const Comm& parent);
 
-  /// Allocate a fresh matching context (used by collective executors to
-  /// isolate their traffic from application P2P on the same comm).
-  int next_context() { return next_context_++; }
+  /// MPI_Comm_free. Notifies the destroy observers (so caches keyed by
+  /// the context id evict), then recycles the context for a later split —
+  /// which is exactly why those caches must evict: a fresh communicator
+  /// may legally reuse the dying one's id. The world comm cannot be freed,
+  /// and outstanding traffic on the comm must have drained.
+  void free_comm(Comm* comm);
+
+  /// Observe communicator destruction; `fn` receives the dying comm's
+  /// context id before it is recycled. Returns a token for
+  /// remove_comm_destroy_observer (call it before the observer's owner
+  /// outlives its captured state).
+  int add_comm_destroy_observer(std::function<void(int)> fn);
+  void remove_comm_destroy_observer(int token);
+
+  /// Allocate a matching context (used by collective executors to isolate
+  /// their traffic from application P2P on the same comm). Freed comm
+  /// contexts are recycled first, like MPI cid allocation.
+  int next_context() {
+    if (!free_contexts_.empty()) {
+      const int c = free_contexts_.back();
+      free_contexts_.pop_back();
+      return c;
+    }
+    return next_context_++;
+  }
 
   // --- P2P ----------------------------------------------------------------
 
@@ -233,6 +255,9 @@ class SimWorld {
   std::deque<std::unique_ptr<Comm>> comms_;
   Comm* world_comm_ = nullptr;
   int next_context_ = 0;
+  std::vector<int> free_contexts_;  // recycled by next_context()
+  std::vector<std::pair<int, std::function<void(int)>>> destroy_observers_;
+  int next_observer_token_ = 0;
   std::vector<RankMatch> matching_;
   std::uint64_t match_order_ = 0;
   std::uint64_t messages_sent_ = 0;

@@ -74,6 +74,7 @@ TEST(HanConfigTest, ToStringParseRoundTrip) {
   c.iralg = Algorithm::Binomial;
   c.ibs = 32 << 10;
   c.irs = 16 << 10;
+  c.window = 3;
   HanConfig parsed;
   ASSERT_TRUE(HanConfig::parse(c.to_string(), &parsed));
   EXPECT_EQ(parsed, c);
@@ -422,6 +423,145 @@ TEST(HanTiming, OverlapImperfectButReal) {
   // pipelined ≈ (8+1)/2 * serial. Expect somewhere in between.
   EXPECT_LT(pipelined, 8.0 * serial);
   EXPECT_GT(pipelined, 3.0 * serial);
+}
+
+// --- scheduler window > 1 -----------------------------------------------
+
+// A deeper in-flight window must keep the data correct and can only help
+// the pipeline: it relaxes the lock-step gate while every data dependency
+// stays enforced.
+TEST(SchedulerWindow, DeepWindowCorrectAndNoSlower) {
+  const std::size_t count = 16384;  // 64KB, 8 segments of 8KB
+  auto run_with_window = [&](int window, std::vector<double>* times) {
+    HanHarness h(machine::make_aries(4, 4));
+    const int n = h.world.world_size();
+    HanConfig cfg;
+    cfg.fs = 8 << 10;
+    cfg.imod = "adapt";
+    cfg.smod = "sm";
+    cfg.ibalg = Algorithm::Binary;
+    cfg.iralg = Algorithm::Binary;
+    cfg.ibs = 4 << 10;
+    cfg.irs = 4 << 10;
+    cfg.window = window;
+    std::vector<std::vector<std::int32_t>> send(n), recv(n);
+    for (int r = 0; r < n; ++r) {
+      send[r] = pattern_vec(r, count);
+      recv[r].assign(count, -1);
+    }
+    *times = run_collective(h.world, [&](mpi::Rank& rank) {
+      const int me = rank.world_rank;
+      return h.han.iallreduce_cfg(
+          h.world.world_comm(), me, BufView::of(send[me], Datatype::Int32),
+          BufView::of(recv[me], Datatype::Int32), Datatype::Int32,
+          ReduceOp::Sum, cfg);
+    });
+    const auto expect = expected_reduce(ReduceOp::Sum, n, count);
+    for (int r = 0; r < n; ++r) EXPECT_EQ(recv[r], expect) << "rank " << r;
+  };
+  std::vector<double> t1, t4;
+  run_with_window(1, &t1);
+  run_with_window(4, &t4);
+  const double worst1 = *std::max_element(t1.begin(), t1.end());
+  const double worst4 = *std::max_element(t4.begin(), t4.end());
+  EXPECT_LE(worst4, worst1 * (1.0 + 1e-9))
+      << "window=4 slower than lock-step";
+}
+
+// --- communicator destruction / context-id reuse ------------------------
+
+// Freeing a comm must evict the cached HanComm and the runtime's
+// per-context call sequence before the context id is recycled; a fresh
+// comm reusing the id would otherwise bind to the stale hierarchy.
+TEST(Eviction, ContextReuseGetsFreshHanComm) {
+  HanHarness h(machine::make_aries(2, 2));
+  mpi::SimWorld& w = h.world;
+  const std::vector<int> color(4, 0), key{0, 1, 2, 3};
+  mpi::Comm* c1 = w.comm_split(w.world_comm(), color, key)[0];
+  const int ctx = c1->context();
+
+  HanConfig cfg;
+  cfg.fs = 1 << 10;
+  cfg.imod = "libnbc";
+  cfg.smod = "sm";
+  auto bcast_on = [&](mpi::Comm* c) {
+    std::vector<std::vector<std::int32_t>> bufs(4);
+    for (int r = 0; r < 4; ++r) {
+      bufs[r] = r == 0 ? pattern_vec(0, 1024)
+                       : std::vector<std::int32_t>(1024, -1);
+    }
+    run_collective(w, [&](mpi::Rank& rank) {
+      return h.han.ibcast_cfg(
+          *c, rank.world_rank, 0,
+          BufView::of(bufs[rank.world_rank], Datatype::Int32),
+          Datatype::Int32, cfg);
+    });
+    const auto expect = pattern_vec(0, 1024);
+    for (int r = 0; r < 4; ++r) EXPECT_EQ(bufs[r], expect) << "rank " << r;
+  };
+
+  bcast_on(c1);  // caches the HanComm and advances call_seq on ctx
+  w.free_comm(c1);
+
+  // The recycled id must name a *fresh* hierarchy, not c1's.
+  mpi::Comm* c2 = w.comm_split(w.world_comm(), color, key)[0];
+  EXPECT_EQ(c2->context(), ctx);
+  bcast_on(c2);
+}
+
+// Shrinking reuse: a size-2 comm's stale call_seq (sized for 2 ranks)
+// would make a size-4 successor on the same context index out of bounds.
+TEST(Eviction, ReuseByLargerCommunicator) {
+  HanHarness h(machine::make_aries(2, 2));
+  mpi::SimWorld& w = h.world;
+  const std::vector<int> key{0, 1, 2, 3};
+  const std::vector<int> pair_color{0, 0, -1, -1};
+  mpi::Comm* small = w.comm_split(w.world_comm(), pair_color, key)[0];
+  const int ctx = small->context();
+  ASSERT_EQ(small->size(), 2);
+
+  HanConfig cfg;
+  cfg.fs = 1 << 10;
+  cfg.imod = "libnbc";
+  cfg.smod = "sm";
+  std::vector<std::vector<std::int32_t>> bufs(4);
+  for (int r = 0; r < 4; ++r) {
+    bufs[r] = r == 0 ? pattern_vec(0, 256)
+                     : std::vector<std::int32_t>(256, -1);
+  }
+  run_collective(w, [&](mpi::Rank& rank) -> mpi::Request {
+    const int me = rank.world_rank;
+    if (me >= 2) {  // not a member: nothing to do this phase
+      mpi::Request r = mpi::make_request(w.engine());
+      r->complete();
+      return r;
+    }
+    return h.han.ibcast_cfg(*small, me, 0,
+                            BufView::of(bufs[me], Datatype::Int32),
+                            Datatype::Int32, cfg);
+  });
+  EXPECT_EQ(bufs[1], pattern_vec(0, 256));
+  w.free_comm(small);
+
+  const std::vector<int> all_color(4, 0);
+  mpi::Comm* big = w.comm_split(w.world_comm(), all_color, key)[0];
+  EXPECT_EQ(big->context(), ctx);
+  ASSERT_EQ(big->size(), 4);
+  for (int r = 1; r < 4; ++r) bufs[r].assign(256, -1);
+  run_collective(w, [&](mpi::Rank& rank) {
+    return h.han.ibcast_cfg(*big, rank.world_rank, 0,
+                            BufView::of(bufs[rank.world_rank],
+                                        Datatype::Int32),
+                            Datatype::Int32, cfg);
+  });
+  const auto expect = pattern_vec(0, 256);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(bufs[r], expect) << "rank " << r;
+}
+
+TEST(Eviction, WorldCommCannotBeFreed) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  HanHarness h(machine::make_aries(1, 2));
+  EXPECT_DEATH(h.world.free_comm(&h.world.world_comm()), "world");
 }
 
 }  // namespace

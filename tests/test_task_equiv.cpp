@@ -1,0 +1,586 @@
+// Equivalence suite for the task-graph refactor: graph-built collectives
+// must produce byte-identical buffers and identical simulated completion
+// times to the seed coroutine programs. The golden timings below were
+// captured by running this suite against the seed (pre-refactor) with
+// HAN_PRINT_GOLDEN=1; any drift at window=1 is a regression.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "coll_test_util.hpp"
+#include "han/han.hpp"
+#include "han/han3.hpp"
+
+namespace han::core {
+namespace {
+
+using mpi::BufView;
+using mpi::Datatype;
+using mpi::ReduceOp;
+using test::expected_reduce;
+using test::pattern_vec;
+using test::run_collective;
+
+using Elems = std::vector<std::int32_t>;
+
+struct EquivHarness : test::CollHarness {
+  explicit EquivHarness(machine::MachineProfile profile)
+      : CollHarness(std::move(profile), /*data_mode=*/true),
+        han(world, rt, mods),
+        han3(han) {}
+  HanModule han;
+  Han3 han3;
+};
+
+struct Timing {
+  double max_t = 0.0;
+  double sum_t = 0.0;
+};
+
+Timing run_once(EquivHarness& h,
+                const std::function<mpi::Request(mpi::Rank&)>& issue) {
+  const std::vector<double> done = run_collective(h.world, issue);
+  Timing t;
+  for (double d : done) {
+    EXPECT_GE(d, 0.0);
+    t.max_t = std::max(t.max_t, d);
+    t.sum_t += d;
+  }
+  return t;
+}
+
+struct Shape {
+  const char* tag;
+  int nodes, ppn;
+};
+constexpr Shape kShapes[] = {{"1n4p", 1, 4}, {"2x2", 2, 2}, {"8x4", 8, 4}};
+
+struct SizeCase {
+  const char* tag;
+  std::size_t bytes;
+  bool pipelined;
+};
+constexpr SizeCase kSizes[] = {{"small", 8 << 10, false},
+                               {"pipe", 1 << 20, true}};
+
+// small: one segment (fs > msg), unsegmented libnbc inter + sm intra —
+// the seed's small-message shape. pipe: 8 segments of 128 KiB through
+// the segmented ADAPT chain — the seed's pipelined shape.
+HanConfig equiv_cfg(bool pipelined) {
+  HanConfig c;
+  c.smod = "sm";
+  if (!pipelined) {
+    c.fs = 64 << 10;
+    c.imod = "libnbc";
+    c.ibalg = coll::Algorithm::Binomial;
+    c.iralg = coll::Algorithm::Binomial;
+    c.ibs = 0;
+    c.irs = 0;
+  } else {
+    c.fs = 128 << 10;
+    c.imod = "adapt";
+    c.ibalg = coll::Algorithm::Chain;
+    c.iralg = coll::Algorithm::Chain;
+    c.ibs = 32 << 10;
+    c.irs = 32 << 10;
+  }
+  return c;
+}
+
+HanConfig ring_cfg(bool pipelined) {
+  HanConfig c = equiv_cfg(pipelined);
+  c.imod = "ring";
+  return c;
+}
+
+struct Golden {
+  const char* name;
+  double max_t;
+  double sum_t;
+};
+
+// Captured from the seed coroutine programs (hexfloat, bit-exact). The
+// sentinel keeps the array non-empty while regenerating the table.
+constexpr Golden kGolden[] = {
+    {"__sentinel__", 0.0, 0.0},
+    // clang-format off
+    // GOLDEN-TABLE-BEGIN
+    {"bcast.1n4p.small", 0x1.f3dd7b958a093p-19, 0x1.b1307c74b6403p-17},
+    {"bcast.1n4p.pipe", 0x1.063be1c3237cfp-11, 0x1.cae06b1b3d3d8p-10},
+    {"bcast.2x2.small", 0x1.26bf516954e2ep-17, 0x1.d14309cdbbde9p-16},
+    {"bcast.2x2.pipe", 0x1.2619ffb07e3cbp-12, 0x1.1766f1b4f3145p-10},
+    {"bcast.8x4.small", 0x1.2c60a397e6e49p-16, 0x1.aea4420e99f34p-12},
+    {"bcast.8x4.pipe", 0x1.cd1aa359a7587p-12, 0x1.a135a7cc38647p-7},
+    {"bcast_root5.8x4.pipe", 0x1.cd1aa359a7587p-12, 0x1.a135a7cc38649p-7},
+    {"reduce.1n4p.small", 0x1.c5253a65e9832p-17, 0x1.8d4a5cdaebca1p-16},
+    {"reduce.1n4p.pipe", 0x1.ccf51b1c7a473p-10, 0x1.a07fd0afd2f75p-9},
+    {"reduce.2x2.small", 0x1.d0c048b7f4f54p-17, 0x1.b317ddee99a88p-16},
+    {"reduce.2x2.pipe", 0x1.86c8760622f89p-11, 0x1.f90aaf37911f1p-10},
+    {"reduce.8x4.small", 0x1.99be417fac171p-15, 0x1.29de0eca5005dp-12},
+    {"reduce.8x4.pipe", 0x1.907d39ab934b1p-10, 0x1.6c0ee52d7b69cp-6},
+    {"allreduce.1n4p.small", 0x1.210e4ca5a602bp-16, 0x1.18b8acc18b899p-14},
+    {"allreduce.1n4p.pipe", 0x1.280985ff0602dp-9, 0x1.1fd69af1a4cb4p-7},
+    {"allreduce.2x2.small", 0x1.7bbfcd10a4ec1p-16, 0x1.5cb0e6cf69724p-14},
+    {"allreduce.2x2.pipe", 0x1.c21b84b78e593p-11, 0x1.bac1fdb9c8c5p-9},
+    {"allreduce.8x4.small", 0x1.17f749a5cfc4ap-14, 0x1.02b3a901a949fp-9},
+    {"allreduce.8x4.pipe", 0x1.197ed0787c29bp-9, 0x1.14023106ce4afp-4},
+    {"ml_allreduce.1n4p.small", 0x1.210e4ca5a602bp-16, 0x1.18b8acc18b899p-14},
+    {"ml_allreduce.1n4p.pipe", 0x1.280985ff0602dp-9, 0x1.1fd69af1a4cb4p-7},
+    {"ml_allreduce.2x2.small", 0x1.7bbfcd10a4ec1p-16, 0x1.5cb0e6cf69724p-14},
+    {"ml_allreduce.2x2.pipe", 0x1.ac5b399dbae9cp-11, 0x1.a5192f943cbaap-9},
+    {"ml_allreduce.8x4.small", 0x1.17f749a5cfc4ap-14, 0x1.02b3a901a949fp-9},
+    {"ml_allreduce.8x4.pipe", 0x1.f9a90c23f6df6p-10, 0x1.eec3131f7a574p-5},
+    {"rs_tree.1n4p.small", 0x1.289cabbdbb17bp-16, 0x1.1d1f55872e1e4p-14},
+    {"rs_tree.1n4p.pipe", 0x1.0eb592442c866p-9, 0x1.061b9cb1902e8p-7},
+    {"rs_tree.2x2.small", 0x1.5cb975b560256p-16, 0x1.4e4332af7373cp-14},
+    {"rs_tree.2x2.pipe", 0x1.052e8dcdc641ep-10, 0x1.051710d97edccp-8},
+    {"rs_tree.8x4.small", 0x1.db3ce0dade7bap-15, 0x1.cff59629c67c5p-10},
+    {"rs_tree.8x4.pipe", 0x1.bb4f5d938707dp-10, 0x1.afd46a6a1eebp-5},
+    {"rs_ring.2x2.small", 0x1.b6e448c0398a9p-17, 0x1.ab4b07b65352p-15},
+    {"rs_ring.2x2.pipe", 0x1.a9b4abd4cd63fp-11, 0x1.a99d2ee085feep-9},
+    {"rs_ring.8x4.small", 0x1.168c00331faf8p-15, 0x1.1385799a52d88p-10},
+    {"rs_ring.8x4.pipe", 0x1.6056bbc62c124p-10, 0x1.5e2b1b0c155e3p-5},
+    {"gather.1n4p.small", 0x1.1397ff016f078p-18, 0x1.56696b50ae157p-17},
+    {"gather.1n4p.pipe", 0x1.a7a4381cebb7dp-14, 0x1.a4f7b57281ec6p-12},
+    {"gather.2x2.small", 0x1.c037397d6fd45p-18, 0x1.12fcd10216fp-16},
+    {"gather.2x2.pipe", 0x1.c7d20f98c44acp-13, 0x1.4c894077b58bfp-11},
+    {"gather.8x4.small", 0x1.3debe98aad1e8p-17, 0x1.6366274426d86p-14},
+    {"gather.8x4.pipe", 0x1.1aafdc4e1655p-13, 0x1.704e38bb0df0dp-10},
+    {"scatter.1n4p.small", 0x1.18283a2b19589p-18, 0x1.d465c2a1cae5cp-17},
+    {"scatter.1n4p.pipe", 0x1.41d825af7b166p-12, 0x1.fa10f23530adfp-11},
+    {"scatter.2x2.small", 0x1.d165456596aafp-18, 0x1.978c394de3e47p-16},
+    {"scatter.2x2.pipe", 0x1.07294b2ad3164p-12, 0x1.06cb5759b581ep-10},
+    {"scatter.8x4.small", 0x1.05fa7d6cc991dp-17, 0x1.b1baa550d329ap-13},
+    {"scatter.8x4.pipe", 0x1.5584afc59287p-13, 0x1.f35a2cf4a3417p-9},
+    {"allgather.1n4p.small", 0x1.047e868a64e5p-17, 0x1.047e868a64e5p-15},
+    {"allgather.1n4p.pipe", 0x1.4815569271f13p-12, 0x1.4815569271f13p-10},
+    {"allgather.2x2.small", 0x1.851b55f6b7a58p-17, 0x1.63c4d6664dc1p-15},
+    {"allgather.2x2.pipe", 0x1.acf7b2452fd1cp-11, 0x1.6b6059da26155p-9},
+    {"allgather.8x4.small", 0x1.b5d86b99a1d41p-16, 0x1.ad82cbb5875bp-11},
+    {"allgather.8x4.pipe", 0x1.be693bc7d8f86p-11, 0x1.9d9d8f92541a1p-6},
+    {"barrier.1n4p", 0x1.6a634b28f33e4p-20, 0x1.457a5d942fcd4p-18},
+    {"barrier.2x2", 0x1.09147bb80742fp-18, 0x1.ed4009db4b14ep-17},
+    {"barrier.8x4", 0x1.2aa26af9731e1p-17, 0x1.26054d46dabp-12},
+    {"bcast3.2n4p2d.small", 0x1.b47e84638339cp-17, 0x1.5509ca16976e2p-14},
+    {"bcast3.2n4p2d.pipe", 0x1.1f01265a1836bp-13, 0x1.170064db93aecp-10},
+    {"bcast3.4n8p2d.small", 0x1.2364c15008408p-16, 0x1.bd05ca3b38532p-12},
+    {"bcast3.4n8p2d.pipe", 0x1.ad6503e5a4c2dp-13, 0x1.9a9c10dbf82a6p-8},
+    {"allreduce3.2n4p2d.small", 0x1.f472d9c54e34bp-16, 0x1.c4b87c9ed84edp-13},
+    {"allreduce3.2n4p2d.pipe", 0x1.7afa9e79303b3p-12, 0x1.76fa3db9edf74p-9},
+    {"allreduce3.4n8p2d.small", 0x1.967ac21a8fap-15, 0x1.7409d40159949p-10},
+    {"allreduce3.4n8p2d.pipe", 0x1.43768a97dc223p-11, 0x1.40394d93d5b96p-6},
+    // GOLDEN-TABLE-END
+    // clang-format on
+};
+
+void check_golden(const std::string& name, const Timing& t) {
+  if (std::getenv("HAN_PRINT_GOLDEN") != nullptr) {
+    std::printf("    {\"%s\", %a, %a},\n", name.c_str(), t.max_t, t.sum_t);
+    std::fflush(stdout);
+    return;
+  }
+  for (const Golden& g : kGolden) {
+    if (name == g.name) {
+      EXPECT_NEAR(t.max_t, g.max_t, std::abs(g.max_t) * 1e-12 + 1e-15)
+          << name << " max completion time drifted from seed";
+      EXPECT_NEAR(t.sum_t, g.sum_t, std::abs(g.sum_t) * 1e-12 + 1e-15)
+          << name << " summed completion times drifted from seed";
+      return;
+    }
+  }
+  ADD_FAILURE() << "no golden timing recorded for scenario " << name;
+}
+
+std::string scenario_name(const char* kind, const Shape& s,
+                          const SizeCase& z) {
+  return std::string(kind) + "." + s.tag + "." + z.tag;
+}
+
+// --- two-level kinds ------------------------------------------------------
+
+TEST(TaskEquiv, Bcast) {
+  for (const Shape& s : kShapes) {
+    for (const SizeCase& z : kSizes) {
+      EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+      const int n = h.world.world_size();
+      const std::size_t count = z.bytes / sizeof(std::int32_t);
+      const int root = 0;
+      std::vector<Elems> bufs(n);
+      for (int r = 0; r < n; ++r) {
+        bufs[r] = r == root ? pattern_vec(root, count) : Elems(count, -1);
+      }
+      const HanConfig cfg = equiv_cfg(z.pipelined);
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        return h.han.ibcast_cfg(h.world.world_comm(), rank.world_rank, root,
+                                BufView::of(bufs[rank.world_rank],
+                                            Datatype::Int32),
+                                Datatype::Int32, cfg);
+      });
+      const Elems expect = pattern_vec(root, count);
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(bufs[r], expect) << "rank " << r;
+      }
+      check_golden(scenario_name("bcast", s, z), t);
+    }
+  }
+}
+
+TEST(TaskEquiv, BcastNonzeroRoot) {
+  // root on another node, non-leader low rank: exercises root_low logic.
+  const Shape s{"8x4", 8, 4};
+  const SizeCase z = kSizes[1];
+  EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+  const int n = h.world.world_size();
+  const std::size_t count = z.bytes / sizeof(std::int32_t);
+  const int root = 5;
+  std::vector<Elems> bufs(n);
+  for (int r = 0; r < n; ++r) {
+    bufs[r] = r == root ? pattern_vec(root, count) : Elems(count, -1);
+  }
+  const HanConfig cfg = equiv_cfg(z.pipelined);
+  const Timing t = run_once(h, [&](mpi::Rank& rank) {
+    return h.han.ibcast_cfg(h.world.world_comm(), rank.world_rank, root,
+                            BufView::of(bufs[rank.world_rank],
+                                        Datatype::Int32),
+                            Datatype::Int32, cfg);
+  });
+  const Elems expect = pattern_vec(root, count);
+  for (int r = 0; r < n; ++r) EXPECT_EQ(bufs[r], expect) << "rank " << r;
+  check_golden("bcast_root5.8x4.pipe", t);
+}
+
+TEST(TaskEquiv, Reduce) {
+  for (const Shape& s : kShapes) {
+    for (const SizeCase& z : kSizes) {
+      EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+      const int n = h.world.world_size();
+      const std::size_t count = z.bytes / sizeof(std::int32_t);
+      const int root = 0;
+      std::vector<Elems> send(n), recv(n);
+      for (int r = 0; r < n; ++r) {
+        send[r] = pattern_vec(r, count);
+        recv[r] = Elems(count, -1);
+      }
+      const HanConfig cfg = equiv_cfg(z.pipelined);
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        const int r = rank.world_rank;
+        return h.han.ireduce_cfg(h.world.world_comm(), r, root,
+                                 BufView::of(send[r], Datatype::Int32),
+                                 BufView::of(recv[r], Datatype::Int32),
+                                 Datatype::Int32, ReduceOp::Sum, cfg);
+      });
+      EXPECT_EQ(recv[root], expected_reduce(ReduceOp::Sum, n, count));
+      check_golden(scenario_name("reduce", s, z), t);
+    }
+  }
+}
+
+TEST(TaskEquiv, Allreduce) {
+  for (const Shape& s : kShapes) {
+    for (const SizeCase& z : kSizes) {
+      EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+      const int n = h.world.world_size();
+      const std::size_t count = z.bytes / sizeof(std::int32_t);
+      std::vector<Elems> send(n), recv(n);
+      for (int r = 0; r < n; ++r) {
+        send[r] = pattern_vec(r, count);
+        recv[r] = Elems(count, -1);
+      }
+      const HanConfig cfg = equiv_cfg(z.pipelined);
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        const int r = rank.world_rank;
+        return h.han.iallreduce_cfg(h.world.world_comm(), r,
+                                    BufView::of(send[r], Datatype::Int32),
+                                    BufView::of(recv[r], Datatype::Int32),
+                                    Datatype::Int32, ReduceOp::Sum, cfg);
+      });
+      const Elems expect = expected_reduce(ReduceOp::Sum, n, count);
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(recv[r], expect) << "rank " << r;
+      }
+      check_golden(scenario_name("allreduce", s, z), t);
+    }
+  }
+}
+
+TEST(TaskEquiv, MultiLeaderAllreduce) {
+  for (const Shape& s : kShapes) {
+    if (s.ppn < 2) continue;
+    for (const SizeCase& z : kSizes) {
+      EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+      const int n = h.world.world_size();
+      const std::size_t count = z.bytes / sizeof(std::int32_t);
+      std::vector<Elems> send(n), recv(n);
+      for (int r = 0; r < n; ++r) {
+        send[r] = pattern_vec(r, count);
+        recv[r] = Elems(count, -1);
+      }
+      const HanConfig cfg = equiv_cfg(z.pipelined);
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        const int r = rank.world_rank;
+        return h.han.iallreduce_multileader(
+            h.world.world_comm(), r, BufView::of(send[r], Datatype::Int32),
+            BufView::of(recv[r], Datatype::Int32), Datatype::Int32,
+            ReduceOp::Sum, cfg, /*leaders=*/2);
+      });
+      const Elems expect = expected_reduce(ReduceOp::Sum, n, count);
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(recv[r], expect) << "rank " << r;
+      }
+      check_golden(scenario_name("ml_allreduce", s, z), t);
+    }
+  }
+}
+
+TEST(TaskEquiv, ReduceScatterTree) {
+  for (const Shape& s : kShapes) {
+    for (const SizeCase& z : kSizes) {
+      EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+      const int n = h.world.world_size();
+      const std::size_t count = z.bytes / sizeof(std::int32_t);
+      const std::size_t block = count / static_cast<std::size_t>(n);
+      std::vector<Elems> send(n), recv(n);
+      for (int r = 0; r < n; ++r) {
+        send[r] = pattern_vec(r, count);
+        recv[r] = Elems(block, -1);
+      }
+      const HanConfig cfg = equiv_cfg(z.pipelined);
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        const int r = rank.world_rank;
+        return h.han.ireduce_scatter_cfg(
+            h.world.world_comm(), r, BufView::of(send[r], Datatype::Int32),
+            BufView::of(recv[r], Datatype::Int32), Datatype::Int32,
+            ReduceOp::Sum, cfg);
+      });
+      const Elems full = expected_reduce(ReduceOp::Sum, n, count);
+      for (int r = 0; r < n; ++r) {
+        const Elems expect(full.begin() + static_cast<long>(block) * r,
+                           full.begin() + static_cast<long>(block) * (r + 1));
+        EXPECT_EQ(recv[r], expect) << "rank " << r;
+      }
+      check_golden(scenario_name("rs_tree", s, z), t);
+    }
+  }
+}
+
+TEST(TaskEquiv, ReduceScatterRing) {
+  for (const Shape& s : kShapes) {
+    if (s.nodes < 2) continue;  // 1-node ring degenerates to the tree path
+    for (const SizeCase& z : kSizes) {
+      EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+      const int n = h.world.world_size();
+      const std::size_t count = z.bytes / sizeof(std::int32_t);
+      const std::size_t block = count / static_cast<std::size_t>(n);
+      std::vector<Elems> send(n), recv(n);
+      for (int r = 0; r < n; ++r) {
+        send[r] = pattern_vec(r, count);
+        recv[r] = Elems(block, -1);
+      }
+      const HanConfig cfg = ring_cfg(z.pipelined);
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        const int r = rank.world_rank;
+        return h.han.ireduce_scatter_cfg(
+            h.world.world_comm(), r, BufView::of(send[r], Datatype::Int32),
+            BufView::of(recv[r], Datatype::Int32), Datatype::Int32,
+            ReduceOp::Sum, cfg);
+      });
+      const Elems full = expected_reduce(ReduceOp::Sum, n, count);
+      for (int r = 0; r < n; ++r) {
+        const Elems expect(full.begin() + static_cast<long>(block) * r,
+                           full.begin() + static_cast<long>(block) * (r + 1));
+        EXPECT_EQ(recv[r], expect) << "rank " << r;
+      }
+      check_golden(scenario_name("rs_ring", s, z), t);
+    }
+  }
+}
+
+TEST(TaskEquiv, Gather) {
+  for (const Shape& s : kShapes) {
+    for (const SizeCase& z : kSizes) {
+      EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+      const int n = h.world.world_size();
+      const std::size_t block = z.bytes / sizeof(std::int32_t) /
+                                static_cast<std::size_t>(n);
+      const int root = 0;
+      std::vector<Elems> send(n);
+      for (int r = 0; r < n; ++r) send[r] = pattern_vec(r, block);
+      Elems recv(block * static_cast<std::size_t>(n), -1);
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        const int r = rank.world_rank;
+        return h.han.igather(h.world.world_comm(), r, root,
+                             BufView::of(send[r], Datatype::Int32),
+                             r == root ? BufView::of(recv, Datatype::Int32)
+                                       : BufView{},
+                             coll::CollConfig{});
+      });
+      for (int r = 0; r < n; ++r) {
+        const Elems expect = pattern_vec(r, block);
+        const Elems got(recv.begin() + static_cast<long>(block) * r,
+                        recv.begin() + static_cast<long>(block) * (r + 1));
+        EXPECT_EQ(got, expect) << "rank " << r;
+      }
+      check_golden(scenario_name("gather", s, z), t);
+    }
+  }
+}
+
+TEST(TaskEquiv, Scatter) {
+  for (const Shape& s : kShapes) {
+    for (const SizeCase& z : kSizes) {
+      EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+      const int n = h.world.world_size();
+      const std::size_t block = z.bytes / sizeof(std::int32_t) /
+                                static_cast<std::size_t>(n);
+      const int root = 0;
+      Elems send = pattern_vec(root, block * static_cast<std::size_t>(n));
+      std::vector<Elems> recv(n);
+      for (int r = 0; r < n; ++r) recv[r] = Elems(block, -1);
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        const int r = rank.world_rank;
+        return h.han.iscatter(h.world.world_comm(), r, root,
+                              r == root ? BufView::of(send, Datatype::Int32)
+                                        : BufView{},
+                              BufView::of(recv[r], Datatype::Int32),
+                              coll::CollConfig{});
+      });
+      for (int r = 0; r < n; ++r) {
+        const Elems expect(send.begin() + static_cast<long>(block) * r,
+                           send.begin() + static_cast<long>(block) * (r + 1));
+        EXPECT_EQ(recv[r], expect) << "rank " << r;
+      }
+      check_golden(scenario_name("scatter", s, z), t);
+    }
+  }
+}
+
+TEST(TaskEquiv, Allgather) {
+  for (const Shape& s : kShapes) {
+    for (const SizeCase& z : kSizes) {
+      EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+      const int n = h.world.world_size();
+      const std::size_t block = z.bytes / sizeof(std::int32_t) /
+                                static_cast<std::size_t>(n);
+      std::vector<Elems> send(n), recv(n);
+      for (int r = 0; r < n; ++r) {
+        send[r] = pattern_vec(r, block);
+        recv[r] = Elems(block * static_cast<std::size_t>(n), -1);
+      }
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        const int r = rank.world_rank;
+        return h.han.iallgather(h.world.world_comm(), r,
+                                BufView::of(send[r], Datatype::Int32),
+                                BufView::of(recv[r], Datatype::Int32),
+                                coll::CollConfig{});
+      });
+      Elems expect;
+      for (int r = 0; r < n; ++r) {
+        const Elems part = pattern_vec(r, block);
+        expect.insert(expect.end(), part.begin(), part.end());
+      }
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(recv[r], expect) << "rank " << r;
+      }
+      check_golden(scenario_name("allgather", s, z), t);
+    }
+  }
+}
+
+TEST(TaskEquiv, Barrier) {
+  for (const Shape& s : kShapes) {
+    EquivHarness h(machine::make_aries(s.nodes, s.ppn));
+    const Timing t = run_once(h, [&](mpi::Rank& rank) {
+      return h.han.ibarrier(h.world.world_comm(), rank.world_rank);
+    });
+    check_golden(std::string("barrier.") + s.tag, t);
+  }
+}
+
+// --- three-level (NUMA) kinds ---------------------------------------------
+
+HanConfig cfg3(bool pipelined) {
+  HanConfig c;
+  c.smod = "sm";
+  c.imod = "adapt";
+  c.ibalg = coll::Algorithm::Binary;
+  c.iralg = coll::Algorithm::Binary;
+  if (!pipelined) {
+    c.fs = 64 << 10;
+  } else {
+    c.fs = 32 << 10;
+    c.ibs = 16 << 10;
+    c.irs = 16 << 10;
+  }
+  return c;
+}
+
+constexpr Shape kShapes3[] = {{"2n4p2d", 2, 4}, {"4n8p2d", 4, 8}};
+constexpr SizeCase kSizes3[] = {{"small", 8 << 10, false},
+                                {"pipe", 256 << 10, true}};
+
+TEST(TaskEquiv, Bcast3) {
+  for (const Shape& s : kShapes3) {
+    for (const SizeCase& z : kSizes3) {
+      EquivHarness h(
+          machine::with_numa(machine::make_aries(s.nodes, s.ppn), 2));
+      ASSERT_TRUE(h.han3.applicable());
+      const int n = h.world.world_size();
+      const std::size_t count = z.bytes / sizeof(std::int32_t);
+      const int root = 0;  // must be a node leader
+      std::vector<Elems> bufs(n);
+      for (int r = 0; r < n; ++r) {
+        bufs[r] = r == root ? pattern_vec(root, count) : Elems(count, -1);
+      }
+      const HanConfig cfg = cfg3(z.pipelined);
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        return h.han3.ibcast(h.world.world_comm(), rank.world_rank, root,
+                             BufView::of(bufs[rank.world_rank],
+                                         Datatype::Int32),
+                             Datatype::Int32, cfg);
+      });
+      const Elems expect = pattern_vec(root, count);
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(bufs[r], expect) << "rank " << r;
+      }
+      check_golden(scenario_name("bcast3", s, z), t);
+    }
+  }
+}
+
+TEST(TaskEquiv, Allreduce3) {
+  for (const Shape& s : kShapes3) {
+    for (const SizeCase& z : kSizes3) {
+      EquivHarness h(
+          machine::with_numa(machine::make_aries(s.nodes, s.ppn), 2));
+      ASSERT_TRUE(h.han3.applicable());
+      const int n = h.world.world_size();
+      const std::size_t count = z.bytes / sizeof(std::int32_t);
+      std::vector<Elems> send(n), recv(n);
+      for (int r = 0; r < n; ++r) {
+        send[r] = pattern_vec(r, count);
+        recv[r] = Elems(count, -1);
+      }
+      const HanConfig cfg = cfg3(z.pipelined);
+      const Timing t = run_once(h, [&](mpi::Rank& rank) {
+        const int r = rank.world_rank;
+        return h.han3.iallreduce(h.world.world_comm(), r,
+                                 BufView::of(send[r], Datatype::Int32),
+                                 BufView::of(recv[r], Datatype::Int32),
+                                 Datatype::Int32, ReduceOp::Sum, cfg);
+      });
+      const Elems expect = expected_reduce(ReduceOp::Sum, n, count);
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(recv[r], expect) << "rank " << r;
+      }
+      check_golden(scenario_name("allreduce3", s, z), t);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace han::core
