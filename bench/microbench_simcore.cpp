@@ -26,6 +26,30 @@ void BM_EngineScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1 << 10)->Arg(1 << 14);
 
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  // Retry-timer shape: most events are cancelled before they fire. Guards
+  // O(1) cancellation, eager slot reclamation, and stale-entry compaction.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<sim::EventId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    sim::Engine e;
+    int fired = 0;
+    ids.clear();
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(e.schedule_at(static_cast<double>(i % 257),
+                                  [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (i % 4 != 0) e.cancel(ids[i]);  // 75% never fire
+    }
+    e.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineCancelHeavy)->Arg(1 << 12);
+
 void BM_FlownetChurn(benchmark::State& state) {
   const int flows = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -46,6 +70,34 @@ void BM_FlownetChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * flows);
 }
 BENCHMARK(BM_FlownetChurn)->Arg(64)->Arg(512);
+
+void BM_FlownetRebalanceLargeComponent(benchmark::State& state) {
+  // One connected component spanning every resource: staggered completions
+  // force repeated full-component water-filling passes — the worst case
+  // for collect_component and the progressive-filling loop.
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    net::FlowNet fn(e);
+    std::vector<net::ResourceId> res;
+    for (int i = 0; i < 32; ++i) {
+      res.push_back(fn.add_resource("r", 1e9));
+    }
+    int done = 0;
+    for (int i = 0; i < flows; ++i) {
+      // Chained paths {i, i+1} keep the component connected; distinct
+      // sizes stagger the completions so every finish triggers a
+      // rebalance of the surviving component.
+      const net::ResourceId path[] = {res[i % 32], res[(i + 1) % 32]};
+      fn.start_flow(path, 1e6 * (1.0 + 0.03 * static_cast<double>(i % 29)),
+                    net::FlowNet::no_cap(), [&done] { ++done; });
+    }
+    e.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlownetRebalanceLargeComponent)->Arg(256);
 
 void BM_P2pMessageRate(benchmark::State& state) {
   const int msgs = static_cast<int>(state.range(0));
@@ -95,6 +147,69 @@ void BM_HanBcastEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HanBcastEndToEnd)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_HanAllreduceWindowed(benchmark::State& state) {
+  // Windowed task-graph issue loop: window > 1 keeps several pipeline
+  // steps in flight, exercising the scheduler's ready-set management
+  // rather than the lock-step wait-all path.
+  const int window = static_cast<int>(state.range(0));
+  core::HanConfig cfg;
+  cfg.fs = 256 << 10;
+  cfg.window = window;
+  for (auto _ : state) {
+    mpi::SimWorld w(machine::make_aries(4, 8));
+    coll::CollRuntime rt(w);
+    coll::ModuleSet mods(w, rt);
+    core::HanModule han(w, rt, mods);
+    w.run([&](mpi::Rank& rank) -> sim::CoTask {
+      return [](mpi::SimWorld& w, core::HanModule& han, int me,
+                const core::HanConfig& cfg) -> sim::CoTask {
+        mpi::Request r = han.iallreduce_cfg(
+            w.world_comm(), me, mpi::BufView::timing_only(4 << 20),
+            mpi::BufView::timing_only(4 << 20), mpi::Datatype::Byte,
+            mpi::ReduceOp::Sum, cfg);
+        co_await *r;
+      }(w, han, rank.world_rank, cfg);
+    });
+    benchmark::DoNotOptimize(w.now());
+  }
+}
+BENCHMARK(BM_HanAllreduceWindowed)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HanRingReduceScatterEndToEnd(benchmark::State& state) {
+  // Ring reduce-scatter across leaders: long dependency chains of small
+  // flows — the han::ring subsystem's hot shape.
+  const int nodes = static_cast<int>(state.range(0));
+  core::HanConfig cfg;
+  cfg.imod = "ring";
+  cfg.smod = "sm";
+  cfg.fs = 1 << 20;
+  for (auto _ : state) {
+    mpi::SimWorld w(machine::make_aries(nodes, 8));
+    coll::CollRuntime rt(w);
+    coll::ModuleSet mods(w, rt);
+    core::HanModule han(w, rt, mods);
+    const std::size_t bytes = 8 << 20;
+    w.run([&](mpi::Rank& rank) -> sim::CoTask {
+      return [](mpi::SimWorld& w, core::HanModule& han, int me,
+                const core::HanConfig& cfg, std::size_t bytes) -> sim::CoTask {
+        const auto procs = static_cast<std::size_t>(w.world_size());
+        mpi::Request r = han.ireduce_scatter_cfg(
+            w.world_comm(), me, mpi::BufView::timing_only(bytes),
+            mpi::BufView::timing_only(bytes / procs), mpi::Datatype::Byte,
+            mpi::ReduceOp::Sum, cfg);
+        co_await *r;
+      }(w, han, rank.world_rank, cfg, bytes);
+    });
+    benchmark::DoNotOptimize(w.now());
+  }
+}
+BENCHMARK(BM_HanRingReduceScatterEndToEnd)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Simulator-core perf report: run microbench_simcore, compare to the seed.
+
+Runs the google-benchmark binary in JSON mode, sanity-checks the output
+(the run must complete and every throughput benchmark must report a
+positive items/sec), and writes a compact report with the current numbers
+next to the recorded pre-overhaul baseline and the resulting speedups.
+
+The committed BENCH_simcore.json at the repo root is this script's output;
+re-run after any simulator-core change and commit the result so the perf
+trajectory is recorded in-tree:
+
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j --target microbench_simcore
+    python3 scripts/perf_report.py --bench build/bench/microbench_simcore
+
+NOTE: --benchmark_min_time takes a bare number of seconds ("0.05"); the
+benchmark library bundled in the toolchain rejects unit suffixes ("0.05s").
+
+Exit status: 0 on success, 1 when the benchmark binary crashes, emits
+unparseable JSON, or any benchmark reports zero/absent throughput where
+the baseline has one.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "bench", "baseline_seed.json")
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_simcore.json")
+
+
+def run_benchmarks(bench, min_time, bench_filter):
+    # JSON goes to a file (--benchmark_out), not stdout: the in-memory JSON
+    # reporter (--benchmark_format=json) measurably perturbs the first
+    # benchmarks on small machines, while the out-file path matches the
+    # plain console numbers.
+    out = tempfile.NamedTemporaryFile(
+        mode="r", suffix=".json", prefix="bench_", delete=False)
+    cmd = [
+        bench,
+        f"--benchmark_out={out.name}",
+        "--benchmark_out_format=json",
+        # Bare seconds: the installed benchmark rejects "0.05s".
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            sys.exit(f"error: {bench} exited with status {proc.returncode}")
+        try:
+            return json.load(out)
+        except json.JSONDecodeError as exc:
+            sys.exit(f"error: benchmark output is not valid JSON: {exc}")
+    except OSError as exc:
+        sys.exit(f"error: cannot run {bench}: {exc}")
+    finally:
+        out.close()
+        os.unlink(out.name)
+
+
+def index_by_name(report):
+    out = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        out[entry["name"]] = entry
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default="build/bench/microbench_simcore",
+                    help="path to the microbench_simcore binary")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="seed benchmark JSON captured before the overhaul")
+    ap.add_argument("--output", default=DEFAULT_OUTPUT,
+                    help="report destination (committed at the repo root)")
+    ap.add_argument("--min-time", default="0.05",
+                    help="per-benchmark min time in bare seconds (no suffix)")
+    ap.add_argument("--filter", default="",
+                    help="optional --benchmark_filter regex")
+    args = ap.parse_args()
+
+    current = run_benchmarks(args.bench, args.min_time, args.filter)
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    cur_by_name = index_by_name(current)
+    base_by_name = index_by_name(baseline)
+    if not cur_by_name:
+        sys.exit("error: benchmark run produced no results")
+
+    rows = []
+    failures = []
+    for name, cur in sorted(cur_by_name.items()):
+        base = base_by_name.get(name)
+        row = {"name": name}
+        cur_ips = cur.get("items_per_second")
+        if cur_ips is not None:
+            if not cur_ips > 0.0:
+                failures.append(f"{name}: items_per_second parses to {cur_ips}")
+            row["items_per_second"] = cur_ips
+        row["real_time"] = cur.get("real_time")
+        row["time_unit"] = cur.get("time_unit")
+        if base is not None:
+            base_ips = base.get("items_per_second")
+            if base_ips is not None and cur_ips is None:
+                failures.append(f"{name}: baseline has items/sec, current lost it")
+            if base_ips:
+                row["baseline_items_per_second"] = base_ips
+                if cur_ips:
+                    row["speedup"] = cur_ips / base_ips
+            elif base.get("real_time") and cur.get("real_time") \
+                    and base.get("time_unit") == cur.get("time_unit"):
+                row["baseline_real_time"] = base["real_time"]
+                row["speedup"] = base["real_time"] / cur["real_time"]
+        rows.append(row)
+
+    # Baseline benchmarks that disappeared are a report failure too: a
+    # renamed benchmark silently breaks the recorded trajectory.
+    for name in sorted(set(base_by_name) - set(cur_by_name)):
+        if args.filter:
+            continue  # partial runs are fine when an explicit filter is set
+        failures.append(f"{name}: present in baseline, missing from this run")
+
+    report = {
+        "description": "simulator-core perf trajectory: current vs seed "
+                       "(see docs/PERFORMANCE.md)",
+        "bench_binary": args.bench,
+        "min_time_seconds": args.min_time,
+        "context": current.get("context", {}),
+        "benchmarks": rows,
+    }
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    width = max(len(r["name"]) for r in rows)
+    for r in rows:
+        ips = r.get("items_per_second")
+        speed = r.get("speedup")
+        ips_txt = f"{ips:14.4g}/s" if ips is not None else f"{r['real_time']:10.4g} {r['time_unit']:>2}"
+        speed_txt = f"  {speed:5.2f}x vs seed" if speed is not None else ""
+        print(f"{r['name']:<{width}}  {ips_txt}{speed_txt}")
+    print(f"wrote {os.path.relpath(args.output, os.getcwd())}")
+
+    if failures:
+        for f_ in failures:
+            print(f"FAIL: {f_}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

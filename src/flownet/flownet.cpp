@@ -17,6 +17,14 @@ constexpr double kShareTolerance = 1e-12;
 
 ResourceId FlowNet::add_resource(std::string name, double capacity_bps) {
   HAN_ASSERT_MSG(capacity_bps > 0.0, "resource capacity must be positive");
+  if (resources_.empty()) {
+    // Typical fabrics register a few dozen resources back to back.
+    resources_.reserve(16);
+    resource_mark_.reserve(16);
+    avail_.reserve(16);
+    pending_count_.reserve(16);
+    robs_.reserve(16);
+  }
   resources_.push_back(Resource{std::move(name), capacity_bps, {}});
   resource_mark_.push_back(0);
   avail_.push_back(0.0);
@@ -49,26 +57,75 @@ const std::string& FlowNet::resource_name(ResourceId id) const {
   return resources_[id].name;
 }
 
+FlowNet::~FlowNet() {
+  // Slots are placement-constructed in acquire_flow; only slots that were
+  // ever handed out exist.
+  for (std::uint32_t s = 0; s < pool_size_; ++s) slot_ref(s).~FlowSlot();
+}
+
+FlowId FlowNet::acquire_flow() {
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slot_ref(slot).next_free;
+  } else {
+    if ((pool_size_ & (kFlowChunkSize - 1)) == 0) {
+      chunks_.emplace_back(new std::byte[sizeof(FlowSlot) * kFlowChunkSize]);
+    }
+    slot = pool_size_++;
+    new (&slot_ref(slot)) FlowSlot();
+    flow_mark_.push_back(0);
+  }
+  FlowSlot& fs = slot_ref(slot);
+  ++fs.generation;  // >= 1 from the first use, so no live id is 0
+  fs.live = true;
+  ++live_flows_;
+  return make_id(fs.generation, slot);
+}
+
+void FlowNet::release_flow(FlowId id) {
+  const std::uint32_t slot = slot_of(id);
+  FlowSlot& fs = slot_ref(slot);
+  HAN_ASSERT(fs.live && fs.generation == gen_of(id));
+  fs.live = false;
+  fs.flow.on_complete = nullptr;  // destroy the capture eagerly
+  fs.flow.resources.clear();
+  fs.next_free = free_head_;
+  free_head_ = slot;
+  --live_flows_;
+}
+
 FlowId FlowNet::start_flow(std::span<const ResourceId> resources, double bytes,
-                           double rate_cap,
-                           std::function<void()> on_complete) {
+                           double rate_cap, Callback on_complete) {
   HAN_ASSERT_MSG(rate_cap > 0.0, "rate cap must be positive");
-  const FlowId id = next_flow_id_++;
   if (bytes <= kByteEpsilon) {
     engine_->schedule_after(0.0, std::move(on_complete));
-    return id;
+    return kInvalidFlow;
   }
 
-  Flow flow;
+  const FlowId id = acquire_flow();
+  Flow& flow = slot_ref(slot_of(id)).flow;
   flow.remaining = bytes;
   flow.rate = 0.0;  // assigned by the batched rebalance at this timestamp
   flow.rate_cap = rate_cap;
   flow.last_update = engine_->now();
+  flow.order = next_order_++;
+  flow.completion_gen = 0;
   flow.resources.assign(resources.begin(), resources.end());
-  std::sort(flow.resources.begin(), flow.resources.end());
-  flow.resources.erase(
-      std::unique(flow.resources.begin(), flow.resources.end()),
-      flow.resources.end());
+  if (flow.resources.size() == 2) {
+    // Point-to-point paths (tx lane + rx lane) dominate; skip the
+    // generic sort/unique machinery for them.
+    if (flow.resources[0] > flow.resources[1]) {
+      std::swap(flow.resources[0], flow.resources[1]);
+    } else if (flow.resources[0] == flow.resources[1]) {
+      flow.resources.pop_back();
+    }
+  } else if (flow.resources.size() > 2) {
+    std::sort(flow.resources.begin(), flow.resources.end());
+    flow.resources.erase(
+        std::unique(flow.resources.begin(), flow.resources.end()),
+        flow.resources.end());
+  }
   flow.on_complete = std::move(on_complete);
 
   if (flows_started_ != nullptr) flows_started_->add(1.0);
@@ -81,36 +138,34 @@ FlowId FlowNet::start_flow(std::span<const ResourceId> resources, double bytes,
   if (flow.resources.empty()) {
     // A resource-less flow is only limited by its rate cap.
     flow.rate = rate_cap;
-    flows_.emplace(id, std::move(flow));
-    schedule_completion(id, flows_.at(id));
+    schedule_completion(id, flow);
   } else {
-    const std::vector<ResourceId> seeds = flow.resources;
-    flows_.emplace(id, std::move(flow));
-    mark_dirty(seeds);
+    mark_dirty(flow.resources);
   }
   return id;
 }
 
 void FlowNet::abort_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
+  Flow* flow = lookup(id);
+  if (flow == nullptr) return;
   if (flows_aborted_ != nullptr) flows_aborted_->add(1.0);
-  const std::vector<ResourceId> seeds = it->second.resources;
-  detach_flow(id, it->second);
-  flows_.erase(it);
-  mark_dirty(seeds);
+  // Marking before detaching spares a copy of the path; it only records
+  // dirty seeds (and schedules the one pending rebalance event).
+  mark_dirty(flow->resources);
+  detach_flow(id, *flow);
+  release_flow(id);
 }
 
 double FlowNet::flow_rate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  const Flow* flow = lookup(id);
+  return flow == nullptr ? 0.0 : flow->rate;
 }
 
 double FlowNet::resource_usage(ResourceId id) const {
   HAN_ASSERT(id < resources_.size());
   double usage = 0.0;
   for (FlowId f : resources_[id].flows) {
-    usage += flows_.at(f).rate;
+    usage += lookup(f)->rate;
   }
   return usage;
 }
@@ -131,8 +186,8 @@ void FlowNet::collect_component(std::span<const ResourceId> seeds,
                                 std::vector<FlowId>& comp_flows) {
   comp_resources.clear();
   comp_flows.clear();
-  std::vector<ResourceId> stack;
-  stack.reserve(seeds.size());
+  auto& stack = stack_;
+  stack.clear();
   for (ResourceId r : seeds) {
     if (resource_mark_[r] == 0) {
       resource_mark_[r] = 1;
@@ -140,15 +195,20 @@ void FlowNet::collect_component(std::span<const ResourceId> seeds,
     }
   }
 
-  // Flows are deduplicated with a sort afterwards; marking flows would need
-  // a hash set, and the sort is cheap relative to the rate computation.
+  comp_keys_.clear();
   while (!stack.empty()) {
     const ResourceId r = stack.back();
     stack.pop_back();
     comp_resources.push_back(r);
     for (FlowId fid : resources_[r].flows) {
+      const std::uint32_t fs = slot_of(fid);
+      if (flow_mark_[fs] != 0) continue;
+      flow_mark_[fs] = 1;
+      // Ids in resource lists are live by invariant: skip the full lookup.
+      const Flow& flow = slot_ref(fs).flow;
+      comp_keys_.push_back(flow.order);
       comp_flows.push_back(fid);
-      for (ResourceId other : flows_.at(fid).resources) {
+      for (ResourceId other : flow.resources) {
         if (resource_mark_[other] == 0) {
           resource_mark_[other] = 1;
           stack.push_back(other);
@@ -157,14 +217,36 @@ void FlowNet::collect_component(std::span<const ResourceId> seeds,
     }
   }
   for (ResourceId r : comp_resources) resource_mark_[r] = 0;
-  std::sort(comp_flows.begin(), comp_flows.end());
-  comp_flows.erase(std::unique(comp_flows.begin(), comp_flows.end()),
-                   comp_flows.end());
+  // Creation order — the iteration order of the original map-based design
+  // (monotonic ids), which the water-filling and completion-scheduling
+  // loops depend on for bit-identical floating-point results. Orders are
+  // allotted one per flow start, so packing {order << 16 | position} into
+  // one word sorts keys half the size of (order, id) pairs; components
+  // beyond 2^16 flows (or 2^48 starts) take the plain pair sort.
+  const std::size_t n = comp_flows.size();
+  if (n < (1u << 16) && next_order_ < (std::uint64_t{1} << 48)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      comp_keys_[i] = (comp_keys_[i] << 16) | i;
+    }
+    std::sort(comp_keys_.begin(), comp_keys_.end());
+    order_scratch_.assign(comp_flows.begin(), comp_flows.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      comp_flows[i] = order_scratch_[comp_keys_[i] & 0xffffu];
+    }
+  } else {
+    std::vector<std::pair<std::uint64_t, FlowId>> pairs;
+    pairs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pairs.emplace_back(comp_keys_[i], comp_flows[i]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    for (std::size_t i = 0; i < n; ++i) comp_flows[i] = pairs[i].second;
+  }
+  for (FlowId fid : comp_flows) flow_mark_[slot_of(fid)] = 0;
   std::sort(comp_resources.begin(), comp_resources.end());
 }
 
-void FlowNet::settle(Flow& flow) {
-  const sim::Time now = engine_->now();
+void FlowNet::settle_at(Flow& flow, sim::Time now) {
   if (now > flow.last_update && flow.rate > 0.0) {
     flow.remaining -= flow.rate * (now - flow.last_update);
     if (flow.remaining < 0.0) flow.remaining = 0.0;
@@ -173,26 +255,23 @@ void FlowNet::settle(Flow& flow) {
 }
 
 void FlowNet::schedule_completion(FlowId id, Flow& flow) {
-  const std::uint64_t generation = ++flow.generation;
+  const std::uint64_t generation = ++flow.completion_gen;
   HAN_ASSERT_MSG(flow.rate > 0.0, "active flow starved (rate == 0)");
   const sim::Time eta = flow.remaining / flow.rate;
   engine_->schedule_after(eta, [this, id, generation] {
-    auto it = flows_.find(id);
-    if (it == flows_.end() || it->second.generation != generation) return;
-    finish_flow(id);
+    Flow* f = lookup(id);
+    if (f == nullptr || f->completion_gen != generation) return;
+    finish_flow(id, *f);  // already resolved: skip the second lookup
   });
 }
 
-void FlowNet::finish_flow(FlowId id) {
-  auto it = flows_.find(id);
-  HAN_ASSERT(it != flows_.end());
+void FlowNet::finish_flow(FlowId id, Flow& flow) {
   if (flows_completed_ != nullptr) flows_completed_->add(1.0);
-  settle(it->second);
-  const std::vector<ResourceId> seeds = it->second.resources;
-  std::function<void()> on_complete = std::move(it->second.on_complete);
-  detach_flow(id, it->second);
-  flows_.erase(it);
-  mark_dirty(seeds);
+  settle_at(flow, engine_->now());
+  mark_dirty(flow.resources);  // before detach: spares copying the path
+  Callback on_complete = std::move(flow.on_complete);
+  detach_flow(id, flow);
+  release_flow(id);
   if (on_complete) on_complete();
 }
 
@@ -211,7 +290,10 @@ void FlowNet::detach_flow(FlowId id, const Flow& flow) {
 
 void FlowNet::rebalance() {
   rebalance_pending_ = false;
-  std::vector<ResourceId> seeds;
+  // Swap dirty_ out through a member buffer: both vectors keep their
+  // capacity across rebalances, so steady-state churn never reallocates.
+  auto& seeds = seeds_;
+  seeds.clear();
   seeds.swap(dirty_);
 
   auto& comp_resources = scratch_resources_;
@@ -219,8 +301,17 @@ void FlowNet::rebalance() {
   collect_component(seeds, comp_resources, comp_flows);
   if (comp_flows.empty()) return;
 
-  // Account progress under the outgoing allocation before changing rates.
-  for (FlowId fid : comp_flows) settle(flows_.at(fid));
+  // Records never move (chunked slab), so resolve each component flow once
+  // and run every loop below on raw pointers. Account progress under the
+  // outgoing allocation before changing rates.
+  const std::size_t n = comp_flows.size();
+  const sim::Time now = engine_->now();
+  comp_ptrs_.clear();
+  for (FlowId fid : comp_flows) {
+    Flow* flow = &slot_ref(slot_of(fid)).flow;
+    comp_ptrs_.push_back(flow);
+    settle_at(*flow, now);
+  }
 
   // Progressive filling (water-filling): repeatedly find the lowest
   // bottleneck level (equal share on some resource, or a flow's own rate
@@ -230,9 +321,12 @@ void FlowNet::rebalance() {
     avail_[r] = resources_[r].capacity;
     pending_count_[r] = 0;
   }
-  std::vector<FlowId> unfixed = comp_flows;
-  for (FlowId fid : unfixed) {
-    for (ResourceId r : flows_.at(fid).resources) ++pending_count_[r];
+  auto& unfixed = unfixed_;
+  auto& still_unfixed = still_unfixed_;
+  unfixed.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    unfixed.push_back(i);
+    for (ResourceId r : comp_ptrs_[i]->resources) ++pending_count_[r];
   }
 
   while (!unfixed.empty()) {
@@ -244,8 +338,8 @@ void FlowNet::rebalance() {
       }
     }
     bool cap_bound = false;
-    for (FlowId fid : unfixed) {
-      const double cap = flows_.at(fid).rate_cap;
+    for (std::uint32_t i : unfixed) {
+      const double cap = comp_ptrs_[i]->rate_cap;
       if (cap < level) {
         level = cap;
         cap_bound = true;
@@ -255,17 +349,18 @@ void FlowNet::rebalance() {
     }
     HAN_ASSERT(std::isfinite(level));
 
-    std::vector<FlowId> still_unfixed;
-    still_unfixed.reserve(unfixed.size());
-    for (FlowId fid : unfixed) {
-      Flow& flow = flows_.at(fid);
-      bool bound =
-          cap_bound && flow.rate_cap <= level * (1.0 + kShareTolerance);
+    still_unfixed.clear();
+    // Loop-invariant: the bound test compares against the same scaled
+    // level for every flow in this pass.
+    const double thresh = level * (1.0 + kShareTolerance);
+    for (std::uint32_t i : unfixed) {
+      Flow& flow = *comp_ptrs_[i];
+      bool bound = cap_bound && flow.rate_cap <= thresh;
       if (!bound) {
         for (ResourceId r : flow.resources) {
           const double share = std::max(avail_[r], 0.0) /
                                static_cast<double>(pending_count_[r]);
-          if (share <= level * (1.0 + kShareTolerance)) {
+          if (share <= thresh) {
             bound = true;
             break;
           }
@@ -280,7 +375,7 @@ void FlowNet::rebalance() {
           --pending_count_[r];
         }
       } else {
-        still_unfixed.push_back(fid);
+        still_unfixed.push_back(i);
       }
     }
     HAN_ASSERT_MSG(still_unfixed.size() < unfixed.size(),
@@ -288,14 +383,14 @@ void FlowNet::rebalance() {
     unfixed.swap(still_unfixed);
   }
 
-  for (FlowId fid : comp_flows) {
-    Flow& flow = flows_.at(fid);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Flow& flow = *comp_ptrs_[i];
     if (flow.remaining <= kByteEpsilon) {
       // Finished within floating-point residue: complete now.
       flow.remaining = 0.0;
       flow.rate = std::max(flow.rate, 1.0);
     }
-    schedule_completion(fid, flow);
+    schedule_completion(comp_flows[i], flow);
   }
 
   // New allocation is in force from `now`: close the old integration
@@ -303,7 +398,9 @@ void FlowNet::rebalance() {
   for (ResourceId r : comp_resources) {
     account(r);
     double sum = 0.0;
-    for (FlowId fid : resources_[r].flows) sum += flows_.at(fid).rate;
+    for (FlowId fid : resources_[r].flows) {
+      sum += slot_ref(slot_of(fid)).flow.rate;
+    }
     robs_[r].rate_sum = sum;
     refresh_gauges(r);
   }
@@ -315,8 +412,10 @@ void FlowNet::account(ResourceId id) {
   ResourceObs& obs = robs_[id];
   const sim::Time now = engine_->now();
   const sim::Time dt = now - obs.last_change;
-  obs.last_change = now;
+  // Same-timestamp mutation bursts (the common case: a batch of flow
+  // starts/finishes at one simulated instant) leave without writing.
   if (dt <= 0.0) return;
+  obs.last_change = now;
   const double moved = obs.rate_sum * dt;
   obs.busy_bytes += moved;
   if (obs.bytes != nullptr && moved > 0.0) obs.bytes->add(moved);

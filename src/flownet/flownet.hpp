@@ -11,30 +11,46 @@
 // model is built around: congestion at a hot process, level-dependent
 // bandwidth, and the imperfect overlap of inter-node and intra-node
 // collectives caused by the shared memory bus.
+//
+// Hot-path design (see docs/PERFORMANCE.md): flow records live in a
+// generation-tagged slot map — a FlowId packs {generation, slot}, lookup
+// is an index plus a tag compare, and slots recycle through a free list so
+// steady-state churn never touches the allocator. The ≤4-resource path is
+// stored inline (SmallVec) and completion callbacks use the engine's SBO
+// callback type. Rate recomputation iterates component flows in creation
+// order, which keeps results bit-identical to the original map-based
+// implementation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <limits>
+#include <memory>
+#include <new>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "simbase/engine.hpp"
+#include "simbase/small_vec.hpp"
 #include "simbase/units.hpp"
 
 namespace han::net {
 
 using ResourceId = std::uint32_t;
+/// Packed {generation << 32 | slot}. A stale id (finished/aborted flow,
+/// even after its slot was recycled) is recognized by its generation tag.
 using FlowId = std::uint64_t;
 
 inline constexpr FlowId kInvalidFlow = 0;
 
 class FlowNet {
  public:
+  using Callback = sim::Engine::Callback;
+
   explicit FlowNet(sim::Engine& engine) : engine_(&engine) {}
+  ~FlowNet();
   FlowNet(const FlowNet&) = delete;
   FlowNet& operator=(const FlowNet&) = delete;
 
@@ -51,19 +67,20 @@ class FlowNet {
   /// Start a flow of `bytes` across `resources`. `rate_cap` bounds the
   /// flow's rate regardless of resource headroom (models per-message
   /// protocol efficiency); pass no_cap() for unbounded. `on_complete`
-  /// fires once, at the simulated time the last byte arrives.
+  /// fires once, at the simulated time the last byte arrives. Zero-byte
+  /// flows complete via a 0-delay event and return kInvalidFlow.
   FlowId start_flow(std::span<const ResourceId> resources, double bytes,
-                    double rate_cap, std::function<void()> on_complete);
+                    double rate_cap, Callback on_complete);
 
   static constexpr double no_cap() {
     return std::numeric_limits<double>::infinity();
   }
 
   /// Cancel a flow in flight (no completion callback fires). No-op if the
-  /// flow already completed.
+  /// flow already completed (stale ids stay inert across slot reuse).
   void abort_flow(FlowId id);
 
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return live_flows_; }
 
   /// Current rate of an active flow (bytes/sec); 0 if unknown/finished.
   double flow_rate(FlowId id) const;
@@ -72,6 +89,10 @@ class FlowNet {
   double resource_usage(ResourceId id) const;
 
   std::size_t resource_count() const { return resources_.size(); }
+
+  /// Slot-map diagnostics: slots allocated so far (tests assert the pool
+  /// recycles instead of growing under churn).
+  std::size_t flow_pool_capacity() const { return pool_size_; }
 
   /// Attach a metrics registry: every resource gets a utilization gauge
   /// (`net.res.<name>.util`, fraction of capacity), an active-flow gauge
@@ -92,7 +113,9 @@ class FlowNet {
   struct Resource {
     std::string name;
     double capacity = 0.0;
-    std::vector<FlowId> flows;  // active flows through this resource
+    // Active flows through this resource. Queue depths stay single-digit
+    // on the machine shapes we model; the spill path covers hot spots.
+    sim::SmallVec<FlowId, 8> flows;
   };
 
   struct Flow {
@@ -100,10 +123,65 @@ class FlowNet {
     double rate = 0.0;       // bytes/sec under the current allocation
     double rate_cap = 0.0;
     sim::Time last_update = 0.0;
-    std::vector<ResourceId> resources;
-    std::function<void()> on_complete;
-    std::uint64_t generation = 0;  // invalidates stale completion events
+    std::uint64_t order = 0;  // creation order: deterministic iteration
+    std::uint64_t completion_gen = 0;  // invalidates stale completion events
+    sim::SmallVec<ResourceId, 4> resources;
+    Callback on_complete;
   };
+
+  struct FlowSlot {
+    Flow flow;
+    std::uint32_t generation = 0;  // bumped on allocation; 0 = never used
+    std::uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  // 64 slots (~10 KB) per chunk: chunk addresses are stable, so growth
+  // never relocates flow records, and records are placement-constructed on
+  // first use (slots are handed out sequentially).
+  static constexpr std::uint32_t kFlowChunkShift = 6;
+  static constexpr std::uint32_t kFlowChunkSize = 1u << kFlowChunkShift;
+
+  static std::uint32_t slot_of(FlowId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu);
+  }
+  static std::uint32_t gen_of(FlowId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static FlowId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<FlowId>(gen) << 32) | slot;
+  }
+
+  FlowSlot& slot_ref(std::uint32_t s) {
+    auto* slots =
+        reinterpret_cast<FlowSlot*>(chunks_[s >> kFlowChunkShift].get());
+    return slots[s & (kFlowChunkSize - 1)];
+  }
+  const FlowSlot& slot_ref(std::uint32_t s) const {
+    auto* slots =
+        reinterpret_cast<const FlowSlot*>(chunks_[s >> kFlowChunkShift].get());
+    return slots[s & (kFlowChunkSize - 1)];
+  }
+
+  Flow* lookup(FlowId id) {
+    const std::uint32_t s = slot_of(id);
+    if (s >= pool_size_) return nullptr;
+    FlowSlot& fs = slot_ref(s);
+    if (!fs.live || fs.generation != gen_of(id)) return nullptr;
+    return &fs.flow;
+  }
+  const Flow* lookup(FlowId id) const {
+    return const_cast<FlowNet*>(this)->lookup(id);
+  }
+  Flow& flow_ref(FlowId id) {
+    Flow* f = lookup(id);
+    HAN_ASSERT(f != nullptr);
+    return *f;
+  }
+
+  FlowId acquire_flow();
+  void release_flow(FlowId id);
 
   // Mark resources dirty and schedule one batched rebalance at the current
   // timestamp (after all same-time events). Batching keeps synchronized
@@ -118,9 +196,10 @@ class FlowNet {
                          std::vector<ResourceId>& comp_resources,
                          std::vector<FlowId>& comp_flows);
 
-  void settle(Flow& flow);  // account progress since last_update
+  // Account progress since last_update (callers hoist `now` out of loops).
+  void settle_at(Flow& flow, sim::Time now);
   void schedule_completion(FlowId id, Flow& flow);
-  void finish_flow(FlowId id);
+  void finish_flow(FlowId id, Flow& flow);
   void detach_flow(FlowId id, const Flow& flow);
 
   // Per-resource observability accounting. `rate_sum` mirrors the rate
@@ -147,17 +226,29 @@ class FlowNet {
   obs::Counter* flows_aborted_ = nullptr;
   std::vector<ResourceObs> robs_;
   std::vector<Resource> resources_;
-  std::unordered_map<FlowId, Flow> flows_;
-  FlowId next_flow_id_ = 1;
+  // Flow slot map: chunked slab + free list.
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::uint32_t pool_size_ = 0;  // slots ever created
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_flows_ = 0;
+  std::uint64_t next_order_ = 1;
   bool rebalance_pending_ = false;
   std::vector<ResourceId> dirty_;
-  // Scratch buffers reused across rebalance() calls (indexed by ResourceId,
-  // reset via the component list).
+  // Scratch buffers reused across rebalance() calls (indexed by ResourceId
+  // or flow slot, reset via the component list).
   std::vector<char> resource_mark_;
+  std::vector<char> flow_mark_;
   std::vector<double> avail_;
   std::vector<int> pending_count_;
   std::vector<ResourceId> scratch_resources_;
   std::vector<FlowId> scratch_flows_;
+  std::vector<Flow*> comp_ptrs_;  // resolved once per rebalance
+  std::vector<std::uint32_t> unfixed_;        // indices into comp_ptrs_
+  std::vector<std::uint32_t> still_unfixed_;
+  std::vector<ResourceId> seeds_;  // rebalance takes dirty_ through here
+  std::vector<ResourceId> stack_;  // collect_component DFS stack
+  std::vector<std::uint64_t> comp_keys_;  // packed {order, position} keys
+  std::vector<FlowId> order_scratch_;     // pre-sort snapshot of comp_flows
 };
 
 }  // namespace han::net

@@ -1,13 +1,15 @@
 #include "han/task/scheduler.hpp"
 
+#include <array>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace han::task {
 
 namespace {
+
+constexpr int kOpCount = static_cast<int>(Op::Barrier) + 1;
 
 /// Per-run execution state, kept alive by the completion callbacks.
 struct Exec : std::enable_shared_from_this<Exec> {
@@ -28,6 +30,7 @@ struct Exec : std::enable_shared_from_this<Exec> {
   obs::Gauge* inflight = nullptr;
   obs::Counter* c_issued = nullptr;
   obs::Counter* c_completed = nullptr;
+  std::array<obs::Counter*, kOpCount> c_per_op{};  // cached off the hot loop
 
   void init() {
     const int n = static_cast<int>(g.nodes.size());
@@ -40,18 +43,27 @@ struct Exec : std::enable_shared_from_this<Exec> {
     step_done.assign(steps, 0);
     remaining = n;
 
-    std::unordered_map<int, int> last_on_ctx;
+    // Per-comm FIFO threading: a graph touches a handful of communicators
+    // (intra/mid/inter), so a flat {ctx, last node} vector with a linear
+    // scan beats a hash map on every shape we build.
+    std::vector<std::pair<int, int>> last_on_ctx;
     for (int i = 0; i < n; ++i) {
       const TaskNode& node = g.nodes[i];
       deps_left[i] = static_cast<int>(node.deps.size());
       for (int d : node.deps) dependents[d].push_back(i);
       ++step_total[node.step];
       if (node.comm != nullptr) {
-        auto [it, fresh] = last_on_ctx.try_emplace(node.comm->context(), i);
-        if (!fresh) {
-          ctx_prev[i] = it->second;
-          it->second = i;
+        const int ctx = node.comm->context();
+        bool found = false;
+        for (auto& [c, last] : last_on_ctx) {
+          if (c == ctx) {
+            ctx_prev[i] = last;
+            last = i;
+            found = true;
+            break;
+          }
         }
+        if (!found) last_on_ctx.emplace_back(ctx, i);
       }
     }
     while (frontier < steps && step_done[frontier] == step_total[frontier]) {
@@ -62,6 +74,12 @@ struct Exec : std::enable_shared_from_this<Exec> {
     inflight = &m.gauge("han.task.inflight");
     c_issued = &m.counter("han.task.issued");
     c_completed = &m.counter("han.task.completed");
+    for (const TaskNode& node : g.nodes) {
+      auto& slot = c_per_op[static_cast<int>(node.op)];
+      if (slot == nullptr) {
+        slot = &m.counter(std::string("han.task.op.") + op_name(node.op));
+      }
+    }
     m.counter("han.task.graphs").add(1.0);
     m.counter("han.task.nodes").add(static_cast<double>(n));
   }
@@ -80,8 +98,7 @@ struct Exec : std::enable_shared_from_this<Exec> {
       if (!issuable(i)) continue;
       issued[i] = 1;
       c_issued->add(1.0);
-      rt->world().metrics().counter(
-          std::string("han.task.op.") + op_name(g.nodes[i].op)).add(1.0);
+      c_per_op[static_cast<int>(g.nodes[i].op)]->add(1.0);
       const double t0 = rt->world().now();
       inflight->add(t0, 1.0);
       mpi::Request req = g.nodes[i].issue();

@@ -56,7 +56,9 @@ class CoTask {
 
 /// One-shot completion object supporting multiple coroutine waiters and
 /// plain callback subscribers. Completion resumes/invokes everyone via the
-/// engine at the current simulated time.
+/// engine at the current simulated time. Subscribed callbacks are stored
+/// as the engine's SBO callback type, so completion fan-out stays
+/// allocation-free for small captures.
 class Waitable {
  public:
   explicit Waitable(Engine& engine) : engine_(&engine) {}
@@ -67,7 +69,7 @@ class Waitable {
 
   /// Subscribe a callback; fires immediately (as a 0-delay event) if the
   /// waitable is already complete.
-  void on_complete(std::function<void()> cb) {
+  void on_complete(Engine::Callback cb) {
     if (done_) {
       engine_->schedule_after(0.0, std::move(cb));
     } else {
@@ -108,7 +110,7 @@ class Waitable {
   Engine* engine_;
   bool done_ = false;
   std::vector<std::coroutine_handle<>> waiters_;
-  std::vector<std::function<void()>> callbacks_;
+  std::vector<Engine::Callback> callbacks_;
 };
 
 /// Awaitable timer: `co_await Delay{engine, dt};`

@@ -1,0 +1,59 @@
+// RingQueue: a growable power-of-two circular FIFO for move-only types.
+//
+// Replaces std::deque in the simulator's serial lanes and CPU progression
+// queues: a deque allocates per chunk and walks a map of blocks, while a
+// lane's queue is tiny and hot — push at tail, pop at head, millions of
+// times per run. Capacity never shrinks; the steady state is
+// allocation-free.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "simbase/assert.hpp"
+
+namespace han::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(v);
+    ++size_;
+  }
+
+  T& front() {
+    HAN_ASSERT(size_ > 0);
+    return buf_[head_];
+  }
+
+  T pop_front() {
+    HAN_ASSERT(size_ > 0);
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+    return v;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> fresh(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      fresh[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace han::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <type_traits>
 
 #include "simbase/assert.hpp"
 
@@ -46,14 +47,38 @@ bool op_valid_for(ReduceOp op, Datatype t) {
 
 namespace {
 
+// Integral Sum/Prod wrap on overflow (MPI leaves overflow undefined; we
+// pick two's-complement wraparound so results are deterministic and the
+// arithmetic is defined under UBSan). Done in the unsigned type — same
+// bits, no signed-overflow UB.
+template <typename T>
+T wrap_add(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+  } else {
+    return a + b;
+  }
+}
+
+template <typename T>
+T wrap_mul(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+  } else {
+    return a * b;
+  }
+}
+
 template <typename T>
 void reduce_typed(ReduceOp op, T* acc, const T* in, std::size_t count) {
   switch (op) {
     case ReduceOp::Sum:
-      for (std::size_t i = 0; i < count; ++i) acc[i] = acc[i] + in[i];
+      for (std::size_t i = 0; i < count; ++i) acc[i] = wrap_add(acc[i], in[i]);
       break;
     case ReduceOp::Prod:
-      for (std::size_t i = 0; i < count; ++i) acc[i] = acc[i] * in[i];
+      for (std::size_t i = 0; i < count; ++i) acc[i] = wrap_mul(acc[i], in[i]);
       break;
     case ReduceOp::Max:
       for (std::size_t i = 0; i < count; ++i) acc[i] = std::max(acc[i], in[i]);

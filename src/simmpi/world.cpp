@@ -142,7 +142,7 @@ sim::Time SimWorld::path_latency(int src_world, int dst_world) const {
 
 void SimWorld::start_data_flow(int src_world, int dst_world,
                                std::size_t bytes,
-                               std::function<void()> done) {
+                               sim::Engine::Callback done) {
   const sim::Time lat = path_latency(src_world, dst_world);
   std::vector<net::ResourceId> path;
   double flow_bytes = static_cast<double>(bytes);
@@ -183,10 +183,10 @@ void SimWorld::start_data_flow(int src_world, int dst_world,
             done = std::move(done)]() mutable {
         lane->submit([this, path = std::move(path), flow_bytes, cap,
                       done = std::move(done)](
-                         std::function<void()> release) mutable {
+                         SerialLane::Release release) mutable {
           flownet_.start_flow(path, flow_bytes, cap,
                               [done = std::move(done),
-                               release = std::move(release)] {
+                               release = std::move(release)]() mutable {
                                 done();
                                 release();
                               });
@@ -378,9 +378,9 @@ Request SimWorld::copy_flow_pair(int world_rank, int peer_world,
   };
   copy_lane_[world_rank].submit(
       [this, path = std::move(path), bytes, cap,
-       part_done](std::function<void()> release) mutable {
+       part_done](SerialLane::Release release) mutable {
         flownet_.start_flow(path, static_cast<double>(bytes), cap,
-                            [part_done, release = std::move(release)] {
+                            [part_done, release = std::move(release)]() mutable {
                               part_done();
                               release();
                             });

@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "simbase/cotask.hpp"
 #include "simbase/engine.hpp"
+#include "simbase/serial_lane.hpp"
 #include "simmpi/buffer.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/cpulane.hpp"
@@ -216,9 +217,13 @@ class SimWorld {
     std::uint64_t order;
   };
 
+  // Match queues are contiguous vectors, not deques: they are searched
+  // linearly on every send/recv (usually hitting near the front and
+  // staying short), so cache-dense storage beats a chunked deque; ordered
+  // erase preserves the MPI first-match semantics.
   struct RankMatch {
-    std::deque<PostedRecv> posted;
-    std::deque<ArrivedMsg> unexpected;
+    std::vector<PostedRecv> posted;
+    std::vector<ArrivedMsg> unexpected;
   };
 
   sim::Time path_latency(int src_world, int dst_world) const;
@@ -236,7 +241,7 @@ class SimWorld {
   /// last byte lands. Chooses shm vs network path and applies the
   /// efficiency curve.
   void start_data_flow(int src_world, int dst_world, std::size_t bytes,
-                       std::function<void()> done);
+                       sim::Engine::Callback done);
 
   void deliver(ArrivedMsg msg);
   void match_eager(const ArrivedMsg& msg, PostedRecv& pr);

@@ -1,11 +1,15 @@
 // Unit tests for simbase: units, stats, RNG, event engine, coroutine glue.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "simbase/cotask.hpp"
 #include "simbase/engine.hpp"
+#include "simbase/inline_fn.hpp"
 #include "simbase/rng.hpp"
+#include "simbase/small_vec.hpp"
 #include "simbase/stats.hpp"
 #include "simbase/table.hpp"
 #include "simbase/units.hpp"
@@ -163,6 +167,258 @@ TEST(Engine, NestedSchedulingFromCallback) {
   });
   e.run();
   EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+// --- engine: hot-path regression suite ---------------------------------
+//
+// The pooled-event engine must preserve the original implementation's
+// determinism contract bit-for-bit. The trace below was captured from the
+// seed (priority_queue + map) engine over a deliberately tie-heavy
+// schedule; any queue or pool change that alters firing order fails here.
+
+TEST(Engine, GoldenEventOrderTrace) {
+  // Generator: 160 roots over 8 distinct timestamps (Rng(0xD373C7)),
+  // every third callback schedules two children (one zero-delay into the
+  // draining batch, one at +0.5), every seventh root is cancelled.
+  Engine e;
+  Rng rng(0xD373C7ull);
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  int next_id = 0;
+  for (int i = 0; i < 160; ++i) {
+    const double t = static_cast<double>(rng.next_below(8));
+    const int id = next_id++;
+    ids.push_back(e.schedule_at(t, [&, id] {
+      order.push_back(id);
+      if (id % 3 == 0) {
+        const int c1 = next_id++;
+        e.schedule_after(0.0, [&order, c1] { order.push_back(c1); });
+        const int c2 = next_id++;
+        e.schedule_after(0.5, [&order, c2] { order.push_back(c2); });
+      }
+    }));
+  }
+  for (int i = 0; i < 160; i += 7) e.cancel(ids[i]);
+  e.run();
+
+  static const int kGolden[] = {
+    34, 36, 51, 58, 74, 76, 80, 90, 96, 117, 122, 127, 143, 160, 162, 164,
+    166, 168, 161, 163, 165, 167, 169, 15, 18, 25, 30, 39, 47, 55, 66, 75,
+    94, 95, 109, 131, 135, 139, 157, 170, 172, 174, 176, 178, 180, 182, 171, 173,
+    175, 177, 179, 181, 183, 44, 46, 62, 64, 68, 83, 89, 101, 111, 116, 184,
+    185, 8, 17, 26, 31, 38, 41, 45, 50, 57, 67, 72, 81, 97, 100, 102,
+    108, 130, 134, 152, 186, 188, 190, 192, 194, 196, 187, 189, 191, 193, 195, 197,
+    10, 22, 29, 40, 52, 59, 60, 79, 85, 88, 93, 121, 124, 128, 132, 137,
+    144, 149, 151, 158, 198, 200, 202, 204, 199, 201, 203, 205, 3, 5, 9, 19,
+    32, 48, 69, 73, 78, 87, 99, 110, 113, 118, 120, 129, 136, 138, 141, 146,
+    148, 153, 156, 206, 208, 210, 212, 214, 216, 218, 220, 222, 224, 226, 228, 230,
+    207, 209, 211, 213, 215, 217, 219, 221, 223, 225, 227, 229, 231, 1, 11, 12,
+    20, 23, 27, 43, 71, 82, 107, 115, 145, 150, 232, 234, 236, 233, 235, 237,
+    2, 4, 6, 13, 16, 24, 33, 37, 53, 54, 61, 65, 86, 92, 103, 104,
+    106, 114, 123, 125, 142, 155, 159, 238, 240, 242, 244, 246, 248, 250, 239, 241,
+    243, 245, 247, 249, 251  };
+  ASSERT_EQ(order.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ASSERT_EQ(order[i], kGolden[i]) << "first divergence at position " << i;
+  }
+  EXPECT_EQ(e.events_processed(), std::size(kGolden));
+  EXPECT_DOUBLE_EQ(e.now(), 7.5);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, CancelReclaimsPoolSlots) {
+  // Regression for the seed leak: cancelled events stayed in the callback
+  // map forever. Schedule/cancel 10k events; the pool must recycle a small
+  // working set instead of growing, and occupancy must return to zero.
+  Engine e;
+  for (int i = 0; i < 10000; ++i) {
+    EventId id = e.schedule_at(static_cast<double>(i), [] {});
+    e.cancel(id);
+  }
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.pool_in_use(), 0u);
+  // Eager reclamation: one slot is recycled 10k times.
+  EXPECT_LE(e.pool_capacity(), 16u);
+  e.run();
+  EXPECT_EQ(e.events_processed(), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST(Engine, CancelInterleavedWithFiring) {
+  // Cancel half the events while the rest fire; pool occupancy and the
+  // live count must both drain to zero, and capacity must stay bounded by
+  // the peak live population (slots recycle through the free list).
+  Engine e;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 100; ++round) {
+    ids.clear();
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(
+          e.schedule_at(static_cast<double>(round), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 100; i += 2) e.cancel(ids[i]);
+    e.run();
+  }
+  EXPECT_EQ(fired, 100 * 50);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.pool_in_use(), 0u);
+  EXPECT_LE(e.pool_capacity(), 256u);  // one chunk covers the peak of 100
+}
+
+TEST(Engine, StaleEventIdIsInertAfterSlotReuse) {
+  Engine e;
+  bool first = false, second = false;
+  EventId a = e.schedule_at(1.0, [&] { first = true; });
+  e.cancel(a);
+  // The new event recycles a's slot but gets a fresh sequence number.
+  EventId b = e.schedule_at(2.0, [&] { second = true; });
+  EXPECT_EQ(a.slot, b.slot);
+  e.cancel(a);  // stale handle: must not kill b
+  e.cancel(a);  // double-cancel: no-op
+  e.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(Engine, SelfCancelInsideCallbackIsNoop) {
+  Engine e;
+  int fired = 0;
+  EventId id{};
+  id = e.schedule_at(1.0, [&] {
+    ++fired;
+    e.cancel(id);  // cancelling the event that is currently firing
+  });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pool_in_use(), 0u);
+}
+
+TEST(Engine, CancelWithinDueBatch) {
+  // An event cancelled by an earlier event at the SAME timestamp must not
+  // fire even though both were already popped into the due batch.
+  Engine e;
+  bool victim_fired = false;
+  EventId victim{};
+  e.schedule_at(1.0, [&] { e.cancel(victim); });
+  victim = e.schedule_at(1.0, [&] { victim_fired = true; });
+  e.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.pool_in_use(), 0u);
+}
+
+TEST(Engine, CancelHeavyPurgeKeepsOrder) {
+  // Enough cancellations to trigger queue compaction; survivors must still
+  // fire in (time, FIFO) order.
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(e.schedule_at(static_cast<double>(i % 31), [&order, i] {
+      order.push_back(i);
+    }));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 4 != 0) e.cancel(ids[i]);
+  }
+  e.run();
+  ASSERT_EQ(order.size(), 500u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const int a = order[i - 1], b = order[i];
+    EXPECT_TRUE(a % 31 < b % 31 || (a % 31 == b % 31 && a < b))
+        << "out of order: " << a << " then " << b;
+  }
+  EXPECT_EQ(e.pool_in_use(), 0u);
+}
+
+// --- InlineFn -----------------------------------------------------------
+
+TEST(InlineFnTest, SmallCaptureStaysInline) {
+  int x = 0;
+  InlineFn<void()> f([&x] { ++x; });
+  EXPECT_TRUE(f.is_inline());
+  f();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(InlineFnTest, LargeCaptureSpillsToHeap) {
+  std::array<double, 16> big{};
+  big[7] = 42.0;
+  InlineFn<double()> f([big] { return big[7]; });
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_DOUBLE_EQ(f(), 42.0);
+}
+
+TEST(InlineFnTest, MovePreservesNonTrivialCapture) {
+  // unique_ptr capture exercises the non-trivial relocate path.
+  auto p = std::make_unique<int>(7);
+  InlineFn<int()> f([q = std::move(p)] { return *q; });
+  InlineFn<int()> g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));
+  ASSERT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(), 7);
+  InlineFn<int()> h;
+  h = std::move(g);
+  EXPECT_EQ(h(), 7);
+}
+
+TEST(InlineFnTest, TrivialCaptureMovesByCopy) {
+  int hits = 0;
+  InlineFn<void()> f([&hits] { ++hits; });
+  InlineFn<void()> g(std::move(f));
+  g();
+  g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFnTest, DestructorRunsCaptureDtor) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InlineFn<void()> f([counter] { ++*counter; });
+    f();
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+  EXPECT_EQ(*counter, 1);
+}
+
+// --- SmallVec -----------------------------------------------------------
+
+TEST(SmallVecTest, StaysInlineUpToN) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  v.push_back(4);
+  EXPECT_FALSE(v.is_inline());
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVecTest, BackAndPopBack) {
+  SmallVec<int, 4> v{1, 2, 3};
+  EXPECT_EQ(v.back(), 3);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmallVecTest, EraseKeepsOrder) {
+  SmallVec<int, 2> v{1, 2, 3, 4, 5};
+  v.erase(v.begin() + 1, v.begin() + 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 4);
+  EXPECT_EQ(v[2], 5);
+}
+
+TEST(SmallVecTest, MoveStealsHeapBuffer) {
+  SmallVec<int, 2> v{1, 2, 3, 4};
+  EXPECT_FALSE(v.is_inline());
+  SmallVec<int, 2> w(std::move(v));
+  EXPECT_TRUE(v.empty());
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w[3], 4);
 }
 
 // --- coroutines -------------------------------------------------------
