@@ -16,17 +16,17 @@ double measure_multileader(HanWorld& hw, std::size_t msg,
                                                 hw.world.world_size());
   auto worst = std::make_shared<double>(0.0);
   hw.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](HanWorld& hw, std::shared_ptr<mpi::SyncDomain> sync,
-              std::shared_ptr<double> worst, std::size_t msg,
-              core::HanConfig cfg, int k, int me) -> sim::CoTask {
-      co_await *sync->arrive();
-      const double t0 = hw.world.now();
-      mpi::Request r = hw.han.iallreduce_multileader(
-          hw.world.world_comm(), me, mpi::BufView::timing_only(msg),
-          mpi::BufView::timing_only(msg), mpi::Datatype::Byte,
-          mpi::ReduceOp::Sum, cfg, k);
+    return [](HanWorld& hw2, std::shared_ptr<mpi::SyncDomain> sync2,
+              std::shared_ptr<double> worst2, std::size_t msg2,
+              core::HanConfig cfg2, int k2, int me) -> sim::CoTask {
+      co_await *sync2->arrive();
+      const double t0 = hw2.world.now();
+      mpi::Request r = hw2.han.iallreduce_multileader(
+          hw2.world.world_comm(), me, mpi::BufView::timing_only(msg2),
+          mpi::BufView::timing_only(msg2), mpi::Datatype::Byte,
+          mpi::ReduceOp::Sum, cfg2, k2);
       co_await *r;
-      *worst = std::max(*worst, hw.world.now() - t0);
+      *worst2 = std::max(*worst2, hw2.world.now() - t0);
     }(hw, sync, worst, msg, cfg, k, rank.world_rank);
   });
   return *worst;

@@ -21,21 +21,21 @@ double timed(Numa3World& hw, bool three_level, std::size_t bytes,
                                                 hw.world.world_size());
   auto worst = std::make_shared<double>(0.0);
   hw.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](Numa3World& hw, std::shared_ptr<mpi::SyncDomain> sync,
-              std::shared_ptr<double> worst, bool three_level,
-              std::size_t bytes, core::HanConfig cfg, int me) -> sim::CoTask {
-      co_await *sync->arrive();
-      const double t0 = hw.world.now();
+    return [](Numa3World& hw2, std::shared_ptr<mpi::SyncDomain> sync2,
+              std::shared_ptr<double> worst2, bool three_level2,
+              std::size_t bytes2, core::HanConfig cfg2, int me) -> sim::CoTask {
+      co_await *sync2->arrive();
+      const double t0 = hw2.world.now();
       mpi::Request r =
-          three_level
-              ? hw.han3.ibcast(hw.world.world_comm(), me, 0,
-                               mpi::BufView::timing_only(bytes),
-                               mpi::Datatype::Byte, cfg)
-              : hw.han.ibcast_cfg(hw.world.world_comm(), me, 0,
-                                  mpi::BufView::timing_only(bytes),
-                                  mpi::Datatype::Byte, cfg);
+          three_level2
+              ? hw2.han3.ibcast(hw2.world.world_comm(), me, 0,
+                               mpi::BufView::timing_only(bytes2),
+                               mpi::Datatype::Byte, cfg2)
+              : hw2.han.ibcast_cfg(hw2.world.world_comm(), me, 0,
+                                  mpi::BufView::timing_only(bytes2),
+                                  mpi::Datatype::Byte, cfg2);
       co_await *r;
-      *worst = std::max(*worst, hw.world.now() - t0);
+      *worst2 = std::max(*worst2, hw2.world.now() - t0);
     }(hw, sync, worst, three_level, bytes, cfg, rank.world_rank);
   });
   return *worst;

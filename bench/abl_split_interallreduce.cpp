@@ -21,21 +21,21 @@ double measure_fused(HanWorld& hw, std::size_t msg, std::size_t fs) {
   auto worst = std::make_shared<double>(0.0);
 
   hw.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](HanWorld& hw, core::HanComm& hc,
-              std::shared_ptr<mpi::SyncDomain> sync,
-              std::shared_ptr<double> worst, std::size_t msg, std::size_t fs,
+    return [](HanWorld& hw2, core::HanComm& hc2,
+              std::shared_ptr<mpi::SyncDomain> sync2,
+              std::shared_ptr<double> worst2, std::size_t msg2, std::size_t fs2,
               int pr) -> sim::CoTask {
       using coll::CollConfig;
-      const coll::Segmenter segs(msg, fs, mpi::Datatype::Byte);
+      const coll::Segmenter segs(msg2, fs2, mpi::Datatype::Byte);
       const int u = segs.count();
-      const mpi::Comm& low = hc.low(pr);
-      const int me_low = hc.low_rank(pr);
+      const mpi::Comm& low = hc2.low(pr);
+      const int me_low = hc2.low_rank(pr);
       const bool leader = me_low == 0;
-      coll::CollModule& smod = hw.mods.sm();
-      coll::CollModule& imod = hw.mods.adapt();
+      coll::CollModule& smod = hw2.mods.sm();
+      coll::CollModule& imod = hw2.mods.adapt();
 
-      co_await *sync->arrive();
-      const double t0 = hw.world.now();
+      co_await *sync2->arrive();
+      const double t0 = hw2.world.now();
       // 3-stage pipeline: steps t issue sr(t), inter-allreduce(t-1),
       // sb(t-2) concurrently per task.
       for (int t = 0; t <= u + 1; ++t) {
@@ -49,7 +49,7 @@ double measure_fused(HanWorld& hw, std::size_t msg, std::size_t fs) {
         }
         if (leader && t >= 1 && t - 1 <= u - 1) {
           task.push_back(imod.iallreduce(
-              *hc.up(pr), hc.up_rank(pr),
+              *hc2.up(pr), hc2.up_rank(pr),
               mpi::BufView::timing_only(segs.length(t - 1)),
               mpi::BufView::timing_only(segs.length(t - 1)),
               mpi::Datatype::Byte, mpi::ReduceOp::Sum, CollConfig{}));
@@ -60,10 +60,10 @@ double measure_fused(HanWorld& hw, std::size_t msg, std::size_t fs) {
                                      mpi::Datatype::Byte, CollConfig{}));
         }
         if (!task.empty()) {
-          co_await mpi::wait_all(hw.world.engine(), std::move(task));
+          co_await mpi::wait_all(hw2.world.engine(), std::move(task));
         }
       }
-      *worst = std::max(*worst, hw.world.now() - t0);
+      *worst2 = std::max(*worst2, hw2.world.now() - t0);
     }(hw, hc, sync, worst, msg, fs, rank.world_rank);
   });
   return *worst;

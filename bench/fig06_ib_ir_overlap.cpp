@@ -28,31 +28,31 @@ OverlapResult measure_overlap(HanWorld& hw, const core::HanConfig& cfg,
                                                   hw.world.world_size());
     auto worst = std::make_shared<double>(0.0);
     hw.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](HanWorld& hw, core::HanComm& hc, coll::CollModule* imod,
-                CollConfig ibcfg, CollConfig ircfg,
-                std::shared_ptr<mpi::SyncDomain> sync,
-                std::shared_ptr<double> worst, std::size_t seg, int phase,
+      return [](HanWorld& hw3, core::HanComm& hc2, coll::CollModule* imod2,
+                CollConfig ibcfg2, CollConfig ircfg2,
+                std::shared_ptr<mpi::SyncDomain> sync2,
+                std::shared_ptr<double> worst3, std::size_t seg2, int phase2,
                 int pr) -> sim::CoTask {
-        co_await *sync->arrive();
-        if (hc.low_rank(pr) != 0) co_return;
-        const mpi::Comm& up = *hc.up(pr);
-        const int me = hc.up_rank(pr);
-        const double t0 = hw.world.now();
+        co_await *sync2->arrive();
+        if (hc2.low_rank(pr) != 0) co_return;
+        const mpi::Comm& up = *hc2.up(pr);
+        const int me = hc2.up_rank(pr);
+        const double t0 = hw3.world.now();
         std::vector<mpi::Request> task;
-        if (phase == 0 || phase == 2) {
-          task.push_back(imod->ibcast(up, me, 0,
-                                      mpi::BufView::timing_only(seg),
-                                      mpi::Datatype::Byte, ibcfg));
+        if (phase2 == 0 || phase2 == 2) {
+          task.push_back(imod2->ibcast(up, me, 0,
+                                      mpi::BufView::timing_only(seg2),
+                                      mpi::Datatype::Byte, ibcfg2));
         }
-        if (phase == 1 || phase == 2) {
-          task.push_back(imod->ireduce(up, me, 0,
-                                       mpi::BufView::timing_only(seg),
-                                       mpi::BufView::timing_only(seg),
+        if (phase2 == 1 || phase2 == 2) {
+          task.push_back(imod2->ireduce(up, me, 0,
+                                       mpi::BufView::timing_only(seg2),
+                                       mpi::BufView::timing_only(seg2),
                                        mpi::Datatype::Byte,
-                                       mpi::ReduceOp::Sum, ircfg));
+                                       mpi::ReduceOp::Sum, ircfg2));
         }
-        co_await mpi::wait_all(hw.world.engine(), std::move(task));
-        *worst = std::max(*worst, hw.world.now() - t0);
+        co_await mpi::wait_all(hw3.world.engine(), std::move(task));
+        *worst3 = std::max(*worst3, hw3.world.now() - t0);
       }(hw, hc, imod, ibcfg, ircfg, sync, worst, seg, phase,
         rank.world_rank);
     });
@@ -72,15 +72,15 @@ double han_allreduce(HanWorld& hw, const core::HanConfig& cfg,
                      std::size_t msg) {
   auto worst = std::make_shared<double>(0.0);
   hw.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](HanWorld& hw, core::HanConfig cfg, std::size_t msg,
-              std::shared_ptr<double> worst, int pr) -> sim::CoTask {
-      const double t0 = hw.world.now();
-      mpi::Request r = hw.han.iallreduce_cfg(
-          hw.world.world_comm(), pr, mpi::BufView::timing_only(msg),
-          mpi::BufView::timing_only(msg), mpi::Datatype::Byte,
-          mpi::ReduceOp::Sum, cfg);
+    return [](HanWorld& hw2, core::HanConfig cfg2, std::size_t msg2,
+              std::shared_ptr<double> worst2, int pr) -> sim::CoTask {
+      const double t0 = hw2.world.now();
+      mpi::Request r = hw2.han.iallreduce_cfg(
+          hw2.world.world_comm(), pr, mpi::BufView::timing_only(msg2),
+          mpi::BufView::timing_only(msg2), mpi::Datatype::Byte,
+          mpi::ReduceOp::Sum, cfg2);
       co_await *r;
-      *worst = std::max(*worst, hw.world.now() - t0);
+      *worst2 = std::max(*worst2, hw2.world.now() - t0);
     }(hw, cfg, msg, worst, rank.world_rank);
   });
   return *worst;

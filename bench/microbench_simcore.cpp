@@ -105,17 +105,17 @@ void BM_P2pMessageRate(benchmark::State& state) {
     mpi::SimWorld w(machine::make_aries(2, 1));
     w.run([&](mpi::Rank& rank) -> sim::CoTask {
       if (rank.world_rank == 0) {
-        return [](mpi::SimWorld& w, int msgs) -> sim::CoTask {
-          for (int i = 0; i < msgs; ++i) {
-            mpi::Request r = w.isend(w.world_comm(), 0, 1, i,
+        return [](mpi::SimWorld& w6, int msgs3) -> sim::CoTask {
+          for (int i = 0; i < msgs3; ++i) {
+            mpi::Request r = w6.isend(w6.world_comm(), 0, 1, i,
                                      mpi::BufView::timing_only(4096));
             co_await *r;
           }
         }(w, msgs);
       }
-      return [](mpi::SimWorld& w, int msgs) -> sim::CoTask {
-        for (int i = 0; i < msgs; ++i) {
-          mpi::Request r = w.irecv(w.world_comm(), 1, 0, i,
+      return [](mpi::SimWorld& w5, int msgs2) -> sim::CoTask {
+        for (int i = 0; i < msgs2; ++i) {
+          mpi::Request r = w5.irecv(w5.world_comm(), 1, 0, i,
                                    mpi::BufView::timing_only(4096));
           co_await *r;
         }
@@ -135,9 +135,9 @@ void BM_HanBcastEndToEnd(benchmark::State& state) {
     coll::ModuleSet mods(w, rt);
     core::HanModule han(w, rt, mods);
     w.run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](mpi::SimWorld& w, core::HanModule& han,
+      return [](mpi::SimWorld& w4, core::HanModule& han4,
                 int me) -> sim::CoTask {
-        mpi::Request r = han.ibcast(w.world_comm(), me, 0,
+        mpi::Request r = han4.ibcast(w4.world_comm(), me, 0,
                                     mpi::BufView::timing_only(4 << 20),
                                     mpi::Datatype::Byte, coll::CollConfig{});
         co_await *r;
@@ -162,12 +162,12 @@ void BM_HanAllreduceWindowed(benchmark::State& state) {
     coll::ModuleSet mods(w, rt);
     core::HanModule han(w, rt, mods);
     w.run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](mpi::SimWorld& w, core::HanModule& han, int me,
-                const core::HanConfig& cfg) -> sim::CoTask {
-        mpi::Request r = han.iallreduce_cfg(
-            w.world_comm(), me, mpi::BufView::timing_only(4 << 20),
+      return [](mpi::SimWorld& w3, core::HanModule& han3, int me,
+                const core::HanConfig& cfg3) -> sim::CoTask {
+        mpi::Request r = han3.iallreduce_cfg(
+            w3.world_comm(), me, mpi::BufView::timing_only(4 << 20),
             mpi::BufView::timing_only(4 << 20), mpi::Datatype::Byte,
-            mpi::ReduceOp::Sum, cfg);
+            mpi::ReduceOp::Sum, cfg3);
         co_await *r;
       }(w, han, rank.world_rank, cfg);
     });
@@ -194,13 +194,13 @@ void BM_HanRingReduceScatterEndToEnd(benchmark::State& state) {
     core::HanModule han(w, rt, mods);
     const std::size_t bytes = 8 << 20;
     w.run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](mpi::SimWorld& w, core::HanModule& han, int me,
-                const core::HanConfig& cfg, std::size_t bytes) -> sim::CoTask {
-        const auto procs = static_cast<std::size_t>(w.world_size());
-        mpi::Request r = han.ireduce_scatter_cfg(
-            w.world_comm(), me, mpi::BufView::timing_only(bytes),
-            mpi::BufView::timing_only(bytes / procs), mpi::Datatype::Byte,
-            mpi::ReduceOp::Sum, cfg);
+      return [](mpi::SimWorld& w2, core::HanModule& han2, int me,
+                const core::HanConfig& cfg2, std::size_t bytes2) -> sim::CoTask {
+        const auto procs = static_cast<std::size_t>(w2.world_size());
+        mpi::Request r = han2.ireduce_scatter_cfg(
+            w2.world_comm(), me, mpi::BufView::timing_only(bytes2),
+            mpi::BufView::timing_only(bytes2 / procs), mpi::Datatype::Byte,
+            mpi::ReduceOp::Sum, cfg2);
         co_await *r;
       }(w, han, rank.world_rank, cfg, bytes);
     });

@@ -2,7 +2,7 @@
 //
 // Run any collective on any stack/machine/shape without writing code:
 //
-//   hansim --machine aries --nodes 16 --ppn 8 \
+//   hansim --machine aries --nodes 16 --ppn 8 [cont.]
 //          --op bcast --stacks ompi,cray,han --min 4 --max 4M
 //
 // Flags (all optional):

@@ -36,12 +36,12 @@ int main() {
   for (int r = 0; r < P; ++r) buf[r].assign(1024, r == 0 ? 42 : -1);
 
   world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](mpi::SimWorld& w, core::HanModule& han,
-              std::vector<std::vector<std::int32_t>>& buf,
+    return [](mpi::SimWorld& w, core::HanModule& han3,
+              std::vector<std::vector<std::int32_t>>& buf2,
               int me) -> sim::CoTask {
-      mpi::Request r = han.ibcast(
+      mpi::Request r = han3.ibcast(
           w.world_comm(), me, /*root=*/0,
-          mpi::BufView::of(buf[me], mpi::Datatype::Int32),
+          mpi::BufView::of(buf2[me], mpi::Datatype::Int32),
           mpi::Datatype::Int32, coll::CollConfig{});
       co_await *r;
     }(world, han, buf, rank.world_rank);
@@ -62,14 +62,14 @@ int main() {
   }
   const double t0 = world.now();
   world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](mpi::SimWorld& w, core::HanModule& han,
-              std::vector<std::vector<std::int32_t>>& send,
-              std::vector<std::vector<std::int32_t>>& recv,
+    return [](mpi::SimWorld& w, core::HanModule& han2,
+              std::vector<std::vector<std::int32_t>>& send2,
+              std::vector<std::vector<std::int32_t>>& recv2,
               int me) -> sim::CoTask {
-      mpi::Request r = han.iallreduce(
+      mpi::Request r = han2.iallreduce(
           w.world_comm(), me,
-          mpi::BufView::of(send[me], mpi::Datatype::Int32),
-          mpi::BufView::of(recv[me], mpi::Datatype::Int32),
+          mpi::BufView::of(send2[me], mpi::Datatype::Int32),
+          mpi::BufView::of(recv2[me], mpi::Datatype::Int32),
           mpi::Datatype::Int32, mpi::ReduceOp::Sum, coll::CollConfig{});
       co_await *r;
     }(world, han, send, recv, rank.world_rank);

@@ -28,11 +28,11 @@ int main() {
   cfg.ibs = 64 << 10;
 
   world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](mpi::SimWorld& w, core::HanModule& han, core::HanConfig cfg,
+    return [](mpi::SimWorld& w, core::HanModule& han2, core::HanConfig cfg2,
               int me) -> sim::CoTask {
-      mpi::Request r = han.ibcast_cfg(w.world_comm(), me, 0,
+      mpi::Request r = han2.ibcast_cfg(w.world_comm(), me, 0,
                                       mpi::BufView::timing_only(2 << 20),
-                                      mpi::Datatype::Byte, cfg);
+                                      mpi::Datatype::Byte, cfg2);
       co_await *r;
     }(world, han, cfg, rank.world_rank);
   });

@@ -18,23 +18,23 @@ AspReport run_asp(vendor::MpiStack& stack, const AspOptions& options) {
 
   const double start = w.now();
   w.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](vendor::MpiStack& stack, mpi::SimWorld& w,
-              std::shared_ptr<std::vector<double>> comm_time,
-              std::shared_ptr<std::vector<double>> total_time,
-              std::size_t row_bytes, double compute_sec, int iterations,
-              int procs, int me) -> sim::CoTask {
-      const double t_begin = w.now();
+    return [](vendor::MpiStack& stack2, mpi::SimWorld& w2,
+              std::shared_ptr<std::vector<double>> comm_time2,
+              std::shared_ptr<std::vector<double>> total_time2,
+              std::size_t row_bytes2, double compute_sec2, int iterations,
+              int procs2, int me) -> sim::CoTask {
+      const double t_begin = w2.now();
       for (int k = 0; k < iterations; ++k) {
-        const int root = k % procs;  // owner of row k under block layout
-        const double t0 = w.now();
-        mpi::Request bc = stack.ibcast(me, root,
-                                       BufView::timing_only(row_bytes),
+        const int root = k % procs2;  // owner of row k under block layout
+        const double t0 = w2.now();
+        mpi::Request bc = stack2.ibcast(me, root,
+                                       BufView::timing_only(row_bytes2),
                                        mpi::Datatype::Float);
         co_await *bc;
-        (*comm_time)[me] += w.now() - t0;
-        co_await *w.compute(me, compute_sec);
+        (*comm_time2)[me] += w2.now() - t0;
+        co_await *w2.compute(me, compute_sec2);
       }
-      (*total_time)[me] = w.now() - t_begin;
+      (*total_time2)[me] = w2.now() - t_begin;
     }(stack, w, comm_time, total_time, row_bytes, compute_sec,
       options.iterations, procs, rank.world_rank);
   });

@@ -24,28 +24,28 @@ HorovodReport run_horovod(vendor::MpiStack& stack,
   auto step_t = std::make_shared<std::vector<double>>(rounds, 0.0);
 
   w.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](vendor::MpiStack& stack, mpi::SimWorld& w,
-              std::shared_ptr<mpi::SyncDomain> sync,
-              std::shared_ptr<std::vector<double>> step_t,
-              std::vector<std::size_t> chunks, HorovodOptions opt,
-              int rounds, int me) -> sim::CoTask {
-      for (int s = 0; s < rounds; ++s) {
-        co_await *sync->arrive();
-        const double t0 = w.now();
+    return [](vendor::MpiStack& stack2, mpi::SimWorld& w2,
+              std::shared_ptr<mpi::SyncDomain> sync2,
+              std::shared_ptr<std::vector<double>> step_t2,
+              std::vector<std::size_t> chunks2, HorovodOptions opt,
+              int rounds2, int me) -> sim::CoTask {
+      for (int s = 0; s < rounds2; ++s) {
+        co_await *sync2->arrive();
+        const double t0 = w2.now();
         // Backprop: gradients stream out; the first fusion buffer is
         // ready after the non-overlappable fraction of compute.
-        mpi::Request compute = w.compute(me, opt.compute_sec_per_step);
+        mpi::Request compute = w2.compute(me, opt.compute_sec_per_step);
         co_await sim::Delay{
-            w.engine(),
+            w2.engine(),
             (1.0 - opt.overlap_fraction) * opt.compute_sec_per_step};
-        for (std::size_t bytes : chunks) {
-          mpi::Request ar = stack.iallreduce(
+        for (std::size_t bytes : chunks2) {
+          mpi::Request ar = stack2.iallreduce(
               me, BufView::timing_only(bytes), BufView::timing_only(bytes),
               mpi::Datatype::Float, mpi::ReduceOp::Sum);
           co_await *ar;
         }
         co_await *compute;
-        (*step_t)[s] = std::max((*step_t)[s], w.now() - t0);
+        (*step_t2)[s] = std::max((*step_t2)[s], w2.now() - t0);
       }
     }(stack, w, sync, step_t, chunks, options, rounds, rank.world_rank);
   });

@@ -28,38 +28,38 @@ ZeroReport run_zero(vendor::MpiStack& stack, const ZeroOptions& options) {
   auto gather_t = std::make_shared<std::vector<double>>(rounds, 0.0);
 
   w.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](vendor::MpiStack& stack, mpi::SimWorld& w,
-              std::shared_ptr<mpi::SyncDomain> sync,
-              std::shared_ptr<std::vector<double>> step_t,
-              std::shared_ptr<std::vector<double>> gather_t,
-              std::vector<std::size_t> blocks, ZeroOptions opt, int rounds,
-              int workers, int me) -> sim::CoTask {
-      for (int s = 0; s < rounds; ++s) {
-        co_await *sync->arrive();
-        const double t0 = w.now();
+    return [](vendor::MpiStack& stack2, mpi::SimWorld& w2,
+              std::shared_ptr<mpi::SyncDomain> sync2,
+              std::shared_ptr<std::vector<double>> step_t2,
+              std::shared_ptr<std::vector<double>> gather_t2,
+              std::vector<std::size_t> blocks2, ZeroOptions opt, int rounds2,
+              int workers2, int me) -> sim::CoTask {
+      for (int s = 0; s < rounds2; ++s) {
+        co_await *sync2->arrive();
+        const double t0 = w2.now();
         // Allgather the updated parameter shards — exposed at the start
         // of forward (FSDP prefetches per layer; bucket granularity here).
-        for (std::size_t block : blocks) {
-          co_await *stack.iallgather(
+        for (std::size_t block : blocks2) {
+          co_await *stack2.iallgather(
               me, BufView::timing_only(block, mpi::Datatype::Float),
-              BufView::timing_only(block * workers, mpi::Datatype::Float));
+              BufView::timing_only(block * workers2, mpi::Datatype::Float));
         }
-        (*gather_t)[s] = std::max((*gather_t)[s], w.now() - t0);
+        (*gather_t2)[s] = std::max((*gather_t2)[s], w2.now() - t0);
         // Backprop: gradient buckets stream out and are reduce-scattered
         // under the overlappable tail of compute.
-        mpi::Request compute = w.compute(me, opt.compute_sec_per_step);
+        mpi::Request compute = w2.compute(me, opt.compute_sec_per_step);
         co_await sim::Delay{
-            w.engine(),
+            w2.engine(),
             (1.0 - opt.overlap_fraction) * opt.compute_sec_per_step};
-        for (std::size_t block : blocks) {
-          co_await *stack.ireduce_scatter(
+        for (std::size_t block : blocks2) {
+          co_await *stack2.ireduce_scatter(
               me,
-              BufView::timing_only(block * workers, mpi::Datatype::Float),
+              BufView::timing_only(block * workers2, mpi::Datatype::Float),
               BufView::timing_only(block, mpi::Datatype::Float),
               mpi::Datatype::Float, mpi::ReduceOp::Sum);
         }
         co_await *compute;
-        (*step_t)[s] = std::max((*step_t)[s], w.now() - t0);
+        (*step_t2)[s] = std::max((*step_t2)[s], w2.now() - t0);
       }
     }(stack, w, sync, step_t, gather_t, blocks, options, rounds, workers,
       rank.world_rank);

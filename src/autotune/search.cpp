@@ -122,33 +122,33 @@ double Searcher::measure_collective(CollKind kind, std::size_t msg_bytes,
 
   const double before = world_->now();
   world_->run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](Searcher& s, std::shared_ptr<mpi::SyncDomain> sync,
-              std::shared_ptr<std::vector<double>> worst, CollKind kind,
-              std::size_t bytes, HanConfig cfg, int iters,
+    return [](Searcher& s, std::shared_ptr<mpi::SyncDomain> sync2,
+              std::shared_ptr<std::vector<double>> worst2, CollKind kind2,
+              std::size_t bytes, HanConfig cfg2, int iters2,
               int pr) -> sim::CoTask {
-      for (int it = 0; it < iters; ++it) {
-        co_await *sync->arrive();
+      for (int it = 0; it < iters2; ++it) {
+        co_await *sync2->arrive();
         const double t0 = s.world_->now();
         mpi::Request r;
-        switch (kind) {
+        switch (kind2) {
           case CollKind::Bcast:
             r = s.han_->ibcast_cfg(*s.comm_, pr, 0,
                                    BufView::timing_only(bytes),
-                                   mpi::Datatype::Byte, cfg);
+                                   mpi::Datatype::Byte, cfg2);
             break;
           case CollKind::Allreduce:
             r = s.han_->iallreduce_cfg(*s.comm_, pr,
                                        BufView::timing_only(bytes),
                                        BufView::timing_only(bytes),
                                        mpi::Datatype::Byte,
-                                       mpi::ReduceOp::Sum, cfg);
+                                       mpi::ReduceOp::Sum, cfg2);
             break;
           case CollKind::Reduce:
             r = s.han_->ireduce_cfg(*s.comm_, pr, 0,
                                     BufView::timing_only(bytes),
                                     BufView::timing_only(bytes),
                                     mpi::Datatype::Byte, mpi::ReduceOp::Sum,
-                                    cfg);
+                                    cfg2);
             break;
           case CollKind::ReduceScatter: {
             // Equal blocks: round the vector to a multiple of the comm.
@@ -158,14 +158,14 @@ double Searcher::measure_collective(CollKind kind, std::size_t msg_bytes,
                 *s.comm_, pr,
                 BufView::timing_only(block * s.comm_->size()),
                 BufView::timing_only(block), mpi::Datatype::Byte,
-                mpi::ReduceOp::Sum, cfg);
+                mpi::ReduceOp::Sum, cfg2);
             break;
           }
           default:
-            HAN_ASSERT_MSG(false, "unsupported kind in measure_collective");
+            HAN_ASSERT_MSG(false, "unsupported kind2 in measure_collective");
         }
         co_await *r;
-        (*worst)[it] = std::max((*worst)[it], s.world_->now() - t0);
+        (*worst2)[it] = std::max((*worst2)[it], s.world_->now() - t0);
       }
     }(*this, sync, worst, kind, msg_bytes, cfg, iters, rank.world_rank);
   });

@@ -75,21 +75,21 @@ PerLeader TaskBench::bench_ib(const HanConfig& cfg, std::size_t seg_bytes,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
-              CollConfig icfg, std::shared_ptr<mpi::SyncDomain> sync,
-              std::vector<std::vector<double>>& results, std::size_t seg,
-              int iters, int pr) -> sim::CoTask {
-      const bool leader = hc.low_rank(pr) == 0;
-      for (int it = 0; it < iters; ++it) {
-        co_await *sync->arrive();
+    return [](TaskBench& tb, core::HanComm& hc11, coll::CollModule* imod7,
+              CollConfig icfg4, std::shared_ptr<mpi::SyncDomain> sync11,
+              std::vector<std::vector<double>>& results8, std::size_t seg,
+              int iters8, int pr) -> sim::CoTask {
+      const bool leader = hc11.low_rank(pr) == 0;
+      for (int it = 0; it < iters8; ++it) {
+        co_await *sync11->arrive();
         if (leader) {
           const double t0 = tb.world().now();
           mpi::Request r =
-              imod->ibcast(*hc.up(pr), hc.up_rank(pr), 0,
+              imod7->ibcast(*hc11.up(pr), hc11.up_rank(pr), 0,
                            BufView::timing_only(seg), mpi::Datatype::Byte,
-                           icfg);
+                           icfg4);
           co_await *r;
-          results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+          results8[it][hc11.up_rank(pr)] = tb.world().now() - t0;
         }
       }
     }(*this, hc, imod, icfg, sync, results, seg_bytes, iters,
@@ -108,20 +108,20 @@ PerLeader TaskBench::bench_sb(const HanConfig& cfg, std::size_t seg_bytes,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* smod,
-              std::shared_ptr<mpi::SyncDomain> sync,
-              std::vector<std::vector<double>>& results, std::size_t seg,
-              int iters, int pr) -> sim::CoTask {
-      const bool leader = hc.low_rank(pr) == 0;
-      for (int it = 0; it < iters; ++it) {
-        co_await *sync->arrive();
+    return [](TaskBench& tb, core::HanComm& hc10, coll::CollModule* smod8,
+              std::shared_ptr<mpi::SyncDomain> sync10,
+              std::vector<std::vector<double>>& results7, std::size_t seg,
+              int iters7, int pr) -> sim::CoTask {
+      const bool leader = hc10.low_rank(pr) == 0;
+      for (int it = 0; it < iters7; ++it) {
+        co_await *sync10->arrive();
         const double t0 = tb.world().now();
         mpi::Request r =
-            smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+            smod8->ibcast(hc10.low(pr), hc10.low_rank(pr), 0,
                          BufView::timing_only(seg), mpi::Datatype::Byte,
                          CollConfig{});
         co_await *r;
-        if (leader) results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+        if (leader) results7[it][hc10.up_rank(pr)] = tb.world().now() - t0;
       }
     }(*this, hc, smod, sync, results, seg_bytes, iters, rank.world_rank);
   });
@@ -141,26 +141,26 @@ PerLeader TaskBench::bench_concurrent_ib_sb(const HanConfig& cfg,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
-              coll::CollModule* smod, CollConfig icfg,
-              std::shared_ptr<mpi::SyncDomain> sync,
-              std::vector<std::vector<double>>& results, std::size_t seg,
-              int iters, int pr) -> sim::CoTask {
-      const bool leader = hc.low_rank(pr) == 0;
-      for (int it = 0; it < iters; ++it) {
-        co_await *sync->arrive();
+    return [](TaskBench& tb, core::HanComm& hc9, coll::CollModule* imod6,
+              coll::CollModule* smod7, CollConfig icfg3,
+              std::shared_ptr<mpi::SyncDomain> sync9,
+              std::vector<std::vector<double>>& results6, std::size_t seg,
+              int iters6, int pr) -> sim::CoTask {
+      const bool leader = hc9.low_rank(pr) == 0;
+      for (int it = 0; it < iters6; ++it) {
+        co_await *sync9->arrive();
         const double t0 = tb.world().now();
         std::vector<mpi::Request> task;
-        task.push_back(smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+        task.push_back(smod7->ibcast(hc9.low(pr), hc9.low_rank(pr), 0,
                                     BufView::timing_only(seg),
                                     mpi::Datatype::Byte, CollConfig{}));
         if (leader) {
-          task.push_back(imod->ibcast(*hc.up(pr), hc.up_rank(pr), 0,
+          task.push_back(imod6->ibcast(*hc9.up(pr), hc9.up_rank(pr), 0,
                                       BufView::timing_only(seg),
-                                      mpi::Datatype::Byte, icfg));
+                                      mpi::Datatype::Byte, icfg3));
         }
         co_await mpi::wait_all(tb.world().engine(), std::move(task));
-        if (leader) results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+        if (leader) results6[it][hc9.up_rank(pr)] = tb.world().now() - t0;
       }
     }(*this, hc, imod, smod, icfg, sync, results, seg_bytes, iters,
       rank.world_rank);
@@ -183,34 +183,34 @@ PipelineTrace TaskBench::bench_sbib_pipeline(const HanConfig& cfg,
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
-              coll::CollModule* smod, CollConfig icfg,
-              std::shared_ptr<mpi::SyncDomain> sync, PipelineTrace& trace,
-              const PerLeader& delay_by, std::size_t seg, int steps,
+    return [](TaskBench& tb, core::HanComm& hc8, coll::CollModule* imod5,
+              coll::CollModule* smod6, CollConfig icfg2,
+              std::shared_ptr<mpi::SyncDomain> sync8, PipelineTrace& trace4,
+              const PerLeader& delay_by2, std::size_t seg, int steps2,
               int pr) -> sim::CoTask {
-      const bool leader = hc.low_rank(pr) == 0;
-      co_await *sync->arrive();
+      const bool leader = hc8.low_rank(pr) == 0;
+      co_await *sync8->arrive();
       if (leader) {
         // Reproduce the staggered entry after ib(0): the paper's key
         // benchmarking correction (Fig. 2, red bars).
         co_await sim::Delay{tb.world().engine(),
-                            delay_by.t[hc.up_rank(pr)]};
-        for (int k = 0; k < steps; ++k) {
+                            delay_by2.t[hc8.up_rank(pr)]};
+        for (int k = 0; k < steps2; ++k) {
           const double t0 = tb.world().now();
           std::vector<mpi::Request> task;
-          task.push_back(smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+          task.push_back(smod6->ibcast(hc8.low(pr), hc8.low_rank(pr), 0,
                                       BufView::timing_only(seg),
                                       mpi::Datatype::Byte, CollConfig{}));
-          task.push_back(imod->ibcast(*hc.up(pr), hc.up_rank(pr), 0,
+          task.push_back(imod5->ibcast(*hc8.up(pr), hc8.up_rank(pr), 0,
                                       BufView::timing_only(seg),
-                                      mpi::Datatype::Byte, icfg));
+                                      mpi::Datatype::Byte, icfg2));
           co_await mpi::wait_all(tb.world().engine(), std::move(task));
-          trace.steps[k].t[hc.up_rank(pr)] = tb.world().now() - t0;
+          trace4.steps[k].t[hc8.up_rank(pr)] = tb.world().now() - t0;
         }
       } else {
-        for (int k = 0; k < steps; ++k) {
+        for (int k = 0; k < steps2; ++k) {
           mpi::Request r =
-              smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+              smod6->ibcast(hc8.low(pr), hc8.low_rank(pr), 0,
                            BufView::timing_only(seg), mpi::Datatype::Byte,
                            CollConfig{});
           co_await *r;
@@ -232,20 +232,20 @@ PerLeader TaskBench::bench_sr(const HanConfig& cfg, std::size_t seg_bytes,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* smod,
-              std::shared_ptr<mpi::SyncDomain> sync,
-              std::vector<std::vector<double>>& results, std::size_t seg,
-              int iters, int pr) -> sim::CoTask {
-      const bool leader = hc.low_rank(pr) == 0;
-      for (int it = 0; it < iters; ++it) {
-        co_await *sync->arrive();
+    return [](TaskBench& tb, core::HanComm& hc7, coll::CollModule* smod5,
+              std::shared_ptr<mpi::SyncDomain> sync7,
+              std::vector<std::vector<double>>& results5, std::size_t seg,
+              int iters5, int pr) -> sim::CoTask {
+      const bool leader = hc7.low_rank(pr) == 0;
+      for (int it = 0; it < iters5; ++it) {
+        co_await *sync7->arrive();
         const double t0 = tb.world().now();
-        mpi::Request r = smod->ireduce(
-            hc.low(pr), hc.low_rank(pr), 0, BufView::timing_only(seg),
+        mpi::Request r = smod5->ireduce(
+            hc7.low(pr), hc7.low_rank(pr), 0, BufView::timing_only(seg),
             BufView::timing_only(seg), mpi::Datatype::Byte,
             mpi::ReduceOp::Sum, CollConfig{});
         co_await *r;
-        if (leader) results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+        if (leader) results5[it][hc7.up_rank(pr)] = tb.world().now() - t0;
       }
     }(*this, hc, smod, sync, results, seg_bytes, iters, rank.world_rank);
   });
@@ -269,50 +269,50 @@ PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
-              coll::CollModule* smod, CollConfig ircfg, CollConfig ibcfg,
-              std::shared_ptr<mpi::SyncDomain> sync, PipelineTrace& trace,
-              std::size_t seg, int u, int total_steps,
+    return [](TaskBench& tb, core::HanComm& hc6, coll::CollModule* imod4,
+              coll::CollModule* smod4, CollConfig ircfg3, CollConfig ibcfg2,
+              std::shared_ptr<mpi::SyncDomain> sync6, PipelineTrace& trace3,
+              std::size_t seg, int u, int total_steps3,
               int pr) -> sim::CoTask {
-      const bool leader = hc.low_rank(pr) == 0;
+      const bool leader = hc6.low_rank(pr) == 0;
       const mpi::Datatype dt = mpi::Datatype::Byte;
       const mpi::ReduceOp op = mpi::ReduceOp::Sum;
-      co_await *sync->arrive();
-      for (int t = 0; t < total_steps; ++t) {
+      co_await *sync6->arrive();
+      for (int t = 0; t < total_steps3; ++t) {
         const double t0 = tb.world().now();
         std::vector<mpi::Request> task;
         if (leader) {
           if (t <= u - 1) {
-            task.push_back(smod->ireduce(hc.low(pr), hc.low_rank(pr), 0,
+            task.push_back(smod4->ireduce(hc6.low(pr), hc6.low_rank(pr), 0,
                                          BufView::timing_only(seg),
                                          BufView::timing_only(seg), dt, op,
                                          CollConfig{}));
           }
           if (t >= 1 && t - 1 <= u - 1) {
-            task.push_back(imod->ireduce(*hc.up(pr), hc.up_rank(pr), 0,
+            task.push_back(imod4->ireduce(*hc6.up(pr), hc6.up_rank(pr), 0,
                                          BufView::timing_only(seg),
                                          BufView::timing_only(seg), dt, op,
-                                         ircfg));
+                                         ircfg3));
           }
           if (t >= 2 && t - 2 <= u - 1) {
-            task.push_back(imod->ibcast(*hc.up(pr), hc.up_rank(pr), 0,
+            task.push_back(imod4->ibcast(*hc6.up(pr), hc6.up_rank(pr), 0,
                                         BufView::timing_only(seg), dt,
-                                        ibcfg));
+                                        ibcfg2));
           }
           if (t >= 3 && t - 3 <= u - 1) {
-            task.push_back(smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+            task.push_back(smod4->ibcast(hc6.low(pr), hc6.low_rank(pr), 0,
                                         BufView::timing_only(seg), dt,
                                         CollConfig{}));
           }
         } else {
           if (t <= u - 1) {
-            task.push_back(smod->ireduce(hc.low(pr), hc.low_rank(pr), 0,
+            task.push_back(smod4->ireduce(hc6.low(pr), hc6.low_rank(pr), 0,
                                          BufView::timing_only(seg),
                                          BufView::timing_only(seg), dt, op,
                                          CollConfig{}));
           }
           if (t >= 3 && t - 3 <= u - 1) {
-            task.push_back(smod->ibcast(hc.low(pr), hc.low_rank(pr), 0,
+            task.push_back(smod4->ibcast(hc6.low(pr), hc6.low_rank(pr), 0,
                                         BufView::timing_only(seg), dt,
                                         CollConfig{}));
           }
@@ -320,7 +320,7 @@ PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
         if (!task.empty()) {
           co_await mpi::wait_all(tb.world().engine(), std::move(task));
         }
-        if (leader) trace.steps[t].t[hc.up_rank(pr)] = tb.world().now() - t0;
+        if (leader) trace3.steps[t].t[hc6.up_rank(pr)] = tb.world().now() - t0;
       }
     }(*this, hc, imod, smod, ircfg, ibcfg, sync, trace, seg_bytes, steps,
       total_steps, rank.world_rank);
@@ -344,34 +344,34 @@ PipelineTrace TaskBench::bench_reduce_pipeline(const HanConfig& cfg,
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
-              coll::CollModule* smod, CollConfig ircfg,
-              std::shared_ptr<mpi::SyncDomain> sync, PipelineTrace& trace,
-              std::size_t seg, int u, int total_steps,
+    return [](TaskBench& tb, core::HanComm& hc5, coll::CollModule* imod3,
+              coll::CollModule* smod3, CollConfig ircfg2,
+              std::shared_ptr<mpi::SyncDomain> sync5, PipelineTrace& trace2,
+              std::size_t seg, int u, int total_steps2,
               int pr) -> sim::CoTask {
-      const bool leader = hc.low_rank(pr) == 0;
+      const bool leader = hc5.low_rank(pr) == 0;
       const mpi::Datatype dt = mpi::Datatype::Byte;
       const mpi::ReduceOp op = mpi::ReduceOp::Sum;
-      co_await *sync->arrive();
-      for (int t = 0; t < total_steps; ++t) {
+      co_await *sync5->arrive();
+      for (int t = 0; t < total_steps2; ++t) {
         const double t0 = tb.world().now();
         std::vector<mpi::Request> task;
         if (t <= u - 1) {
-          task.push_back(smod->ireduce(hc.low(pr), hc.low_rank(pr), 0,
+          task.push_back(smod3->ireduce(hc5.low(pr), hc5.low_rank(pr), 0,
                                        BufView::timing_only(seg),
                                        BufView::timing_only(seg), dt, op,
                                        CollConfig{}));
         }
         if (leader && t >= 1 && t - 1 <= u - 1) {
-          task.push_back(imod->ireduce(*hc.up(pr), hc.up_rank(pr), 0,
+          task.push_back(imod3->ireduce(*hc5.up(pr), hc5.up_rank(pr), 0,
                                        BufView::timing_only(seg),
                                        BufView::timing_only(seg), dt, op,
-                                       ircfg));
+                                       ircfg2));
         }
         if (!task.empty()) {
           co_await mpi::wait_all(tb.world().engine(), std::move(task));
         }
-        if (leader) trace.steps[t].t[hc.up_rank(pr)] = tb.world().now() - t0;
+        if (leader) trace2.steps[t].t[hc5.up_rank(pr)] = tb.world().now() - t0;
       }
     }(*this, hc, imod, smod, ircfg, sync, trace, seg_bytes, steps,
       total_steps, rank.world_rank);
@@ -389,21 +389,21 @@ PerLeader TaskBench::bench_inter_scatter(const HanConfig& cfg,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* imod,
-              std::shared_ptr<mpi::SyncDomain> sync,
-              std::vector<std::vector<double>>& results, std::size_t bytes,
-              int iters, int pr) -> sim::CoTask {
-      const bool leader = hc.low_rank(pr) == 0;
-      for (int it = 0; it < iters; ++it) {
-        co_await *sync->arrive();
+    return [](TaskBench& tb, core::HanComm& hc4, coll::CollModule* imod2,
+              std::shared_ptr<mpi::SyncDomain> sync4,
+              std::vector<std::vector<double>>& results4, std::size_t bytes4,
+              int iters4, int pr) -> sim::CoTask {
+      const bool leader = hc4.low_rank(pr) == 0;
+      for (int it = 0; it < iters4; ++it) {
+        co_await *sync4->arrive();
         if (leader) {
-          const int nodes = hc.up(pr)->size();
+          const int nodes = hc4.up(pr)->size();
           const double t0 = tb.world().now();
-          mpi::Request r = imod->iscatter(
-              *hc.up(pr), hc.up_rank(pr), 0, BufView::timing_only(bytes),
-              BufView::timing_only(bytes / nodes), CollConfig{});
+          mpi::Request r = imod2->iscatter(
+              *hc4.up(pr), hc4.up_rank(pr), 0, BufView::timing_only(bytes4),
+              BufView::timing_only(bytes4 / nodes), CollConfig{});
           co_await *r;
-          results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+          results4[it][hc4.up_rank(pr)] = tb.world().now() - t0;
         }
       }
     }(*this, hc, imod, sync, results, bytes, iters, rank.world_rank);
@@ -422,22 +422,22 @@ PerLeader TaskBench::bench_inter_ring_rs(const HanConfig& cfg,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc, coll::RingModule& ring,
-              CollConfig rcfg, std::shared_ptr<mpi::SyncDomain> sync,
-              std::vector<std::vector<double>>& results, std::size_t bytes,
-              int iters, int pr) -> sim::CoTask {
-      const bool leader = hc.low_rank(pr) == 0;
-      for (int it = 0; it < iters; ++it) {
-        co_await *sync->arrive();
+    return [](TaskBench& tb, core::HanComm& hc3, coll::RingModule& ring2,
+              CollConfig rcfg2, std::shared_ptr<mpi::SyncDomain> sync3,
+              std::vector<std::vector<double>>& results3, std::size_t bytes3,
+              int iters3, int pr) -> sim::CoTask {
+      const bool leader = hc3.low_rank(pr) == 0;
+      for (int it = 0; it < iters3; ++it) {
+        co_await *sync3->arrive();
         if (leader) {
-          const int nodes = hc.up(pr)->size();
+          const int nodes = hc3.up(pr)->size();
           const double t0 = tb.world().now();
-          mpi::Request r = ring.ireduce_scatter(
-              *hc.up(pr), hc.up_rank(pr), BufView::timing_only(bytes),
-              BufView::timing_only(bytes / nodes), mpi::Datatype::Byte,
-              mpi::ReduceOp::Sum, rcfg);
+          mpi::Request r = ring2.ireduce_scatter(
+              *hc3.up(pr), hc3.up_rank(pr), BufView::timing_only(bytes3),
+              BufView::timing_only(bytes3 / nodes), mpi::Datatype::Byte,
+              mpi::ReduceOp::Sum, rcfg2);
           co_await *r;
-          results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+          results3[it][hc3.up_rank(pr)] = tb.world().now() - t0;
         }
       }
     }(*this, hc, ring, rcfg, sync, results, bytes, iters, rank.world_rank);
@@ -456,20 +456,20 @@ PerLeader TaskBench::bench_intra_scatter(const HanConfig& cfg,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc, coll::CollModule* smod,
-              std::shared_ptr<mpi::SyncDomain> sync,
-              std::vector<std::vector<double>>& results, std::size_t bytes,
-              int iters, int pr) -> sim::CoTask {
-      const bool leader = hc.low_rank(pr) == 0;
-      for (int it = 0; it < iters; ++it) {
-        co_await *sync->arrive();
-        const int p = hc.low(pr).size();
+    return [](TaskBench& tb, core::HanComm& hc2, coll::CollModule* smod2,
+              std::shared_ptr<mpi::SyncDomain> sync2,
+              std::vector<std::vector<double>>& results2, std::size_t bytes2,
+              int iters2, int pr) -> sim::CoTask {
+      const bool leader = hc2.low_rank(pr) == 0;
+      for (int it = 0; it < iters2; ++it) {
+        co_await *sync2->arrive();
+        const int p = hc2.low(pr).size();
         const double t0 = tb.world().now();
-        mpi::Request r = smod->iscatter(
-            hc.low(pr), hc.low_rank(pr), 0, BufView::timing_only(bytes),
-            BufView::timing_only(bytes / p), CollConfig{});
+        mpi::Request r = smod2->iscatter(
+            hc2.low(pr), hc2.low_rank(pr), 0, BufView::timing_only(bytes2),
+            BufView::timing_only(bytes2 / p), CollConfig{});
         co_await *r;
-        if (leader) results[it][hc.up_rank(pr)] = tb.world().now() - t0;
+        if (leader) results2[it][hc2.up_rank(pr)] = tb.world().now() - t0;
       }
     }(*this, hc, smod, sync, results, bytes, iters, rank.world_rank);
   });

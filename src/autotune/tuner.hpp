@@ -16,9 +16,17 @@ struct TunerOptions {
   std::vector<std::size_t> message_sizes{
       4 << 10,  16 << 10, 64 << 10, 256 << 10,
       1 << 20,  4 << 20,  16 << 20};
-  std::vector<coll::CollKind> kinds{coll::CollKind::Bcast,
-                                    coll::CollKind::Allreduce,
-                                    coll::CollKind::ReduceScatter};
+  // Built by push_back rather than an initializer list: GCC 12 emits a
+  // spurious -Wmaybe-uninitialized for the byte-sized backing array when
+  // this NSDMI is inlined into callers under -O2.
+  static std::vector<coll::CollKind> default_kinds() {
+    std::vector<coll::CollKind> v;
+    v.push_back(coll::CollKind::Bcast);
+    v.push_back(coll::CollKind::Allreduce);
+    v.push_back(coll::CollKind::ReduceScatter);
+    return v;
+  }
+  std::vector<coll::CollKind> kinds = default_kinds();
   bool heuristics = false;  // user-toggleable (paper: accuracy trade-off)
 };
 

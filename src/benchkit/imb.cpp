@@ -34,25 +34,25 @@ std::vector<ImbPoint> imb_run(vendor::MpiStack& stack, Op op,
     auto worst = std::make_shared<std::vector<double>>(rounds, 0.0);
 
     w.run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](vendor::MpiStack& stack, mpi::SimWorld& w, Op op,
-                std::shared_ptr<mpi::SyncDomain> sync,
-                std::shared_ptr<std::vector<double>> worst,
-                std::size_t bytes, int rounds, int root,
+      return [](vendor::MpiStack& stack2, mpi::SimWorld& w2, Op op2,
+                std::shared_ptr<mpi::SyncDomain> sync2,
+                std::shared_ptr<std::vector<double>> worst2,
+                std::size_t bytes2, int rounds2, int root,
                 int me) -> sim::CoTask {
-        for (int r = 0; r < rounds; ++r) {
-          co_await *sync->arrive();
-          const double t0 = w.now();
+        for (int r = 0; r < rounds2; ++r) {
+          co_await *sync2->arrive();
+          const double t0 = w2.now();
           mpi::Request req;
-          if (op == Op::Bcast) {
-            req = stack.ibcast(me, root, BufView::timing_only(bytes),
+          if (op2 == Op::Bcast) {
+            req = stack2.ibcast(me, root, BufView::timing_only(bytes2),
                                mpi::Datatype::Byte);
           } else {
-            req = stack.iallreduce(me, BufView::timing_only(bytes),
-                                   BufView::timing_only(bytes),
+            req = stack2.iallreduce(me, BufView::timing_only(bytes2),
+                                   BufView::timing_only(bytes2),
                                    mpi::Datatype::Float, mpi::ReduceOp::Sum);
           }
           co_await *req;
-          (*worst)[r] = std::max((*worst)[r], w.now() - t0);
+          (*worst2)[r] = std::max((*worst2)[r], w2.now() - t0);
         }
       }(stack, w, op, sync, worst, bytes, rounds, options.root,
         rank.world_rank);

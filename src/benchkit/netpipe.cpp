@@ -17,26 +17,26 @@ std::vector<NetpipePoint> netpipe(mpi::SimWorld& world,
   for (std::size_t bytes : options.sizes) {
     auto rtt = std::make_shared<double>(0.0);
     world.run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](mpi::SimWorld& w, std::shared_ptr<double> rtt, int a, int b,
-                std::size_t bytes, int iters, int me) -> sim::CoTask {
-        if (me == a) {
+      return [](mpi::SimWorld& w, std::shared_ptr<double> rtt2, int a2, int b2,
+                std::size_t bytes2, int iters, int me) -> sim::CoTask {
+        if (me == a2) {
           const double t0 = w.now();
           for (int i = 0; i < iters; ++i) {
-            mpi::Request s = w.isend(w.world_comm(), a, b, i,
-                                     BufView::timing_only(bytes));
+            mpi::Request s = w.isend(w.world_comm(), a2, b2, i,
+                                     BufView::timing_only(bytes2));
             co_await *s;
-            mpi::Request r = w.irecv(w.world_comm(), a, b, 1000 + i,
-                                     BufView::timing_only(bytes));
+            mpi::Request r = w.irecv(w.world_comm(), a2, b2, 1000 + i,
+                                     BufView::timing_only(bytes2));
             co_await *r;
           }
-          *rtt = (w.now() - t0) / iters;
-        } else if (me == b) {
+          *rtt2 = (w.now() - t0) / iters;
+        } else if (me == b2) {
           for (int i = 0; i < iters; ++i) {
-            mpi::Request r = w.irecv(w.world_comm(), b, a, i,
-                                     BufView::timing_only(bytes));
+            mpi::Request r = w.irecv(w.world_comm(), b2, a2, i,
+                                     BufView::timing_only(bytes2));
             co_await *r;
-            mpi::Request s = w.isend(w.world_comm(), b, a, 1000 + i,
-                                     BufView::timing_only(bytes));
+            mpi::Request s = w.isend(w.world_comm(), b2, a2, 1000 + i,
+                                     BufView::timing_only(bytes2));
             co_await *s;
           }
         }

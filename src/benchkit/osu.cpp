@@ -16,23 +16,23 @@ std::vector<OsuLatencyPoint> osu_latency(mpi::SimWorld& world,
   for (std::size_t bytes : options.sizes) {
     auto rtt = std::make_shared<double>(0.0);
     world.run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](mpi::SimWorld& w, std::shared_ptr<double> rtt, int a, int b,
-                std::size_t bytes, int iters, int me) -> sim::CoTask {
-        if (me == a) {
+      return [](mpi::SimWorld& w, std::shared_ptr<double> rtt2, int a3, int b3,
+                std::size_t bytes4, int iters, int me) -> sim::CoTask {
+        if (me == a3) {
           const double t0 = w.now();
           for (int i = 0; i < iters; ++i) {
-            co_await *w.isend(w.world_comm(), a, b, i,
-                              BufView::timing_only(bytes));
-            co_await *w.irecv(w.world_comm(), a, b, 1000 + i,
-                              BufView::timing_only(bytes));
+            co_await *w.isend(w.world_comm(), a3, b3, i,
+                              BufView::timing_only(bytes4));
+            co_await *w.irecv(w.world_comm(), a3, b3, 1000 + i,
+                              BufView::timing_only(bytes4));
           }
-          *rtt = (w.now() - t0) / iters;
-        } else if (me == b) {
+          *rtt2 = (w.now() - t0) / iters;
+        } else if (me == b3) {
           for (int i = 0; i < iters; ++i) {
-            co_await *w.irecv(w.world_comm(), b, a, i,
-                              BufView::timing_only(bytes));
-            co_await *w.isend(w.world_comm(), b, a, 1000 + i,
-                              BufView::timing_only(bytes));
+            co_await *w.irecv(w.world_comm(), b3, a3, i,
+                              BufView::timing_only(bytes4));
+            co_await *w.isend(w.world_comm(), b3, a3, 1000 + i,
+                              BufView::timing_only(bytes4));
           }
         }
         co_return;
@@ -53,32 +53,32 @@ std::vector<OsuBwPoint> osu_bw(mpi::SimWorld& world,
   for (std::size_t bytes : options.sizes) {
     auto elapsed = std::make_shared<double>(0.0);
     world.run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](mpi::SimWorld& w, std::shared_ptr<double> elapsed, int a,
-                int b, std::size_t bytes, int iters, int window,
+      return [](mpi::SimWorld& w, std::shared_ptr<double> elapsed2, int a2,
+                int b2, std::size_t bytes3, int iters, int window,
                 int me) -> sim::CoTask {
-        if (me == a) {
+        if (me == a2) {
           const double t0 = w.now();
           for (int it = 0; it < iters; ++it) {
             std::vector<mpi::Request> sends;
             for (int i = 0; i < window; ++i) {
-              sends.push_back(w.isend(w.world_comm(), a, b, it * 1000 + i,
-                                      BufView::timing_only(bytes)));
+              sends.push_back(w.isend(w.world_comm(), a2, b2, it * 1000 + i,
+                                      BufView::timing_only(bytes3)));
             }
             co_await mpi::wait_all(w.engine(), std::move(sends));
             // Window ack.
-            co_await *w.irecv(w.world_comm(), a, b, 900000 + it,
+            co_await *w.irecv(w.world_comm(), a2, b2, 900000 + it,
                               BufView::timing_only(0));
           }
-          *elapsed = w.now() - t0;
-        } else if (me == b) {
+          *elapsed2 = w.now() - t0;
+        } else if (me == b2) {
           for (int it = 0; it < iters; ++it) {
             std::vector<mpi::Request> recvs;
             for (int i = 0; i < window; ++i) {
-              recvs.push_back(w.irecv(w.world_comm(), b, a, it * 1000 + i,
-                                      BufView::timing_only(bytes)));
+              recvs.push_back(w.irecv(w.world_comm(), b2, a2, it * 1000 + i,
+                                      BufView::timing_only(bytes3)));
             }
             co_await mpi::wait_all(w.engine(), std::move(recvs));
-            co_await *w.isend(w.world_comm(), b, a, 900000 + it,
+            co_await *w.isend(w.world_comm(), b2, a2, 900000 + it,
                               BufView::timing_only(0));
           }
         }
@@ -106,20 +106,20 @@ std::vector<OsuMbwMrPoint> osu_mbw_mr(mpi::SimWorld& world,
     auto t_start = std::make_shared<double>(-1.0);
     world.run([&](mpi::Rank& rank) -> sim::CoTask {
       return [](mpi::SimWorld& w, std::shared_ptr<std::vector<double>> done,
-                std::shared_ptr<double> t_start, int pairs, int ppn,
-                std::size_t bytes, int iters, int window,
+                std::shared_ptr<double> t_start2, int pairs2, int ppn2,
+                std::size_t bytes2, int iters, int window,
                 int me) -> sim::CoTask {
-        const bool sender = me < pairs;
-        const bool receiver = me >= ppn && me < ppn + pairs;
+        const bool sender = me < pairs2;
+        const bool receiver = me >= ppn2 && me < ppn2 + pairs2;
         if (sender) {
-          if (*t_start < 0) *t_start = w.now();
-          const int peer = me + ppn;
+          if (*t_start2 < 0) *t_start2 = w.now();
+          const int peer = me + ppn2;
           for (int it = 0; it < iters; ++it) {
             std::vector<mpi::Request> sends;
             for (int i = 0; i < window; ++i) {
               sends.push_back(w.isend(w.world_comm(), me, peer,
                                       it * 1000 + i,
-                                      BufView::timing_only(bytes)));
+                                      BufView::timing_only(bytes2)));
             }
             co_await mpi::wait_all(w.engine(), std::move(sends));
             co_await *w.irecv(w.world_comm(), me, peer, 900000 + it,
@@ -127,13 +127,13 @@ std::vector<OsuMbwMrPoint> osu_mbw_mr(mpi::SimWorld& world,
           }
           (*done)[me] = w.now();
         } else if (receiver) {
-          const int peer = me - ppn;
+          const int peer = me - ppn2;
           for (int it = 0; it < iters; ++it) {
             std::vector<mpi::Request> recvs;
             for (int i = 0; i < window; ++i) {
               recvs.push_back(w.irecv(w.world_comm(), me, peer,
                                       it * 1000 + i,
-                                      BufView::timing_only(bytes)));
+                                      BufView::timing_only(bytes2)));
             }
             co_await mpi::wait_all(w.engine(), std::move(recvs));
             co_await *w.isend(w.world_comm(), me, peer, 900000 + it,

@@ -38,15 +38,15 @@ inline std::vector<double> run_collective(
     const std::function<double(int)>& delay = nullptr) {
   std::vector<double> done(w.world_size(), -1.0);
   w.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](mpi::SimWorld& w, mpi::Rank& rank,
-              const std::function<mpi::Request(mpi::Rank&)>& issue,
-              const std::function<double(int)>& delay,
-              std::vector<double>& done) -> sim::CoTask {
-      if (delay) co_await sim::Delay{w.engine(), delay(rank.world_rank)};
-      const double t0 = w.now();
-      mpi::Request r = issue(rank);
+    return [](mpi::SimWorld& w2, mpi::Rank& rank2,
+              const std::function<mpi::Request(mpi::Rank&)>& issue2,
+              const std::function<double(int)>& delay2,
+              std::vector<double>& done2) -> sim::CoTask {
+      if (delay2) co_await sim::Delay{w2.engine(), delay2(rank2.world_rank)};
+      const double t0 = w2.now();
+      mpi::Request r = issue2(rank2);
       co_await *r;
-      done[rank.world_rank] = w.now() - t0;
+      done2[rank2.world_rank] = w2.now() - t0;
     }(w, rank, issue, delay, done);
   });
   return done;

@@ -383,14 +383,14 @@ TEST(Barrier, NoRankLeavesBeforeLastEnters) {
   CollHarness h(machine::make_aries(4, 2), /*data_mode=*/false);
   std::vector<double> leave(8, -1.0);
   h.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](CollHarness& h, mpi::Rank& rank,
-              std::vector<double>& leave) -> sim::CoTask {
+    return [](CollHarness& h3, mpi::Rank& rank3,
+              std::vector<double>& leave3) -> sim::CoTask {
       // Rank r arrives at r * 10us.
-      co_await sim::Delay{h.world.engine(), rank.world_rank * 10e-6};
-      mpi::Request r = h.mods.libnbc().ibarrier(h.world.world_comm(),
-                                                rank.world_rank);
+      co_await sim::Delay{h3.world.engine(), rank3.world_rank * 10e-6};
+      mpi::Request r = h3.mods.libnbc().ibarrier(h3.world.world_comm(),
+                                                rank3.world_rank);
       co_await *r;
-      leave[rank.world_rank] = h.world.now();
+      leave3[rank3.world_rank] = h3.world.now();
     }(h, rank, leave);
   });
   // Last entry at 70us; nobody can leave earlier.
@@ -401,13 +401,13 @@ TEST(SmBarrier, FlagDisseminationHoldsEveryone) {
   CollHarness h(machine::make_aries(1, 6), /*data_mode=*/false);
   std::vector<double> leave(6, -1.0);
   h.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](CollHarness& h, mpi::Rank& rank,
-              std::vector<double>& leave) -> sim::CoTask {
-      co_await sim::Delay{h.world.engine(), rank.world_rank * 5e-6};
+    return [](CollHarness& h2, mpi::Rank& rank2,
+              std::vector<double>& leave2) -> sim::CoTask {
+      co_await sim::Delay{h2.world.engine(), rank2.world_rank * 5e-6};
       mpi::Request r =
-          h.mods.sm().ibarrier(h.world.world_comm(), rank.world_rank);
+          h2.mods.sm().ibarrier(h2.world.world_comm(), rank2.world_rank);
       co_await *r;
-      leave[rank.world_rank] = h.world.now();
+      leave2[rank2.world_rank] = h2.world.now();
     }(h, rank, leave);
   });
   for (int r = 0; r < 6; ++r) EXPECT_GE(leave[r], 25e-6) << "rank " << r;

@@ -356,13 +356,13 @@ TEST(HanBarrier, HoldsUntilLastArrival) {
   HanHarness h(machine::make_aries(3, 3), /*data_mode=*/false);
   std::vector<double> leave(9, -1.0);
   h.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](HanHarness& h, mpi::Rank& rank,
-              std::vector<double>& leave) -> sim::CoTask {
-      co_await sim::Delay{h.world.engine(), rank.world_rank * 10e-6};
+    return [](HanHarness& h2, mpi::Rank& rank2,
+              std::vector<double>& leave2) -> sim::CoTask {
+      co_await sim::Delay{h2.world.engine(), rank2.world_rank * 10e-6};
       mpi::Request r =
-          h.han.ibarrier(h.world.world_comm(), rank.world_rank);
+          h2.han.ibarrier(h2.world.world_comm(), rank2.world_rank);
       co_await *r;
-      leave[rank.world_rank] = h.world.now();
+      leave2[rank2.world_rank] = h2.world.now();
     }(h, rank, leave);
   });
   for (int r = 0; r < 9; ++r) EXPECT_GE(leave[r], 80e-6) << "rank " << r;

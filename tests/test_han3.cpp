@@ -60,18 +60,18 @@ TEST(NumaMachine, CrossNumaPipeSlowerThanLocal) {
     double done = 0.0;
     w.run([&](mpi::Rank& rank) -> sim::CoTask {
       if (rank.world_rank == 0) {
-        return [](mpi::SimWorld& w, int dst) -> sim::CoTask {
-          mpi::Request r = w.isend(w.world_comm(), 0, dst, 1,
+        return [](mpi::SimWorld& w3, int dst3) -> sim::CoTask {
+          mpi::Request r = w3.isend(w3.world_comm(), 0, dst3, 1,
                                    BufView::timing_only(1 << 20));
           co_await *r;
         }(w, dst);
       }
       if (rank.world_rank == dst) {
-        return [](mpi::SimWorld& w, int dst, double& done) -> sim::CoTask {
-          mpi::Request r = w.irecv(w.world_comm(), dst, 0, 1,
+        return [](mpi::SimWorld& w2, int dst2, double& done2) -> sim::CoTask {
+          mpi::Request r = w2.irecv(w2.world_comm(), dst2, 0, 1,
                                    BufView::timing_only(1 << 20));
           co_await *r;
-          done = w.now();
+          done2 = w2.now();
         }(w, dst, done);
       }
       return [](mpi::SimWorld&) -> sim::CoTask { co_return; }(w);

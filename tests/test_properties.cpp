@@ -173,12 +173,12 @@ TEST(Concurrency, OverlappingCollectivesOnDistinctComms) {
                               : std::vector<std::int32_t>(512, -1);
   }
   h.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](HanHarness& h, std::vector<mpi::Comm*>& comms,
-              std::vector<std::vector<std::int32_t>>& bufs,
+    return [](HanHarness& h3, std::vector<mpi::Comm*>& comms2,
+              std::vector<std::vector<std::int32_t>>& bufs3,
               int me) -> sim::CoTask {
-      mpi::Comm& comm = *comms[me];
-      mpi::Request r = h.han.ibcast(comm, comm.comm_rank_of_world(me), 0,
-                                    BufView::of(bufs[me], Datatype::Int32),
+      mpi::Comm& comm = *comms2[me];
+      mpi::Request r = h3.han.ibcast(comm, comm.comm_rank_of_world(me), 0,
+                                    BufView::of(bufs3[me], Datatype::Int32),
                                     Datatype::Int32, CollConfig{});
       co_await *r;
     }(h, comms, bufs, rank.world_rank);
@@ -202,17 +202,17 @@ TEST(Concurrency, BackToBackCollectivesKeepOrder) {
     }
   }
   h.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](HanHarness& h,
-              std::vector<std::vector<std::vector<std::int32_t>>>& bufs,
+    return [](HanHarness& h2,
+              std::vector<std::vector<std::vector<std::int32_t>>>& bufs2,
               int me) -> sim::CoTask {
       std::vector<mpi::Request> reqs;
       for (int i = 0; i < 4; ++i) {
-        reqs.push_back(h.han.ibcast(
-            h.world.world_comm(), me, 0,
-            BufView::of(bufs[i][me], Datatype::Int32), Datatype::Int32,
+        reqs.push_back(h2.han.ibcast(
+            h2.world.world_comm(), me, 0,
+            BufView::of(bufs2[i][me], Datatype::Int32), Datatype::Int32,
             CollConfig{}));
       }
-      co_await mpi::wait_all(h.world.engine(), std::move(reqs));
+      co_await mpi::wait_all(h2.world.engine(), std::move(reqs));
     }(h, bufs, rank.world_rank);
   });
   for (int i = 0; i < 4; ++i) {
@@ -238,24 +238,24 @@ TEST(P2pOrdering, SameTagMessagesArriveInSendOrder) {
 
   w.run([&](mpi::Rank& rank) -> sim::CoTask {
     if (rank.world_rank == 0) {
-      return [](mpi::SimWorld& w, std::vector<std::vector<std::int32_t>>& out,
-                int k) -> sim::CoTask {
+      return [](mpi::SimWorld& w3, std::vector<std::vector<std::int32_t>>& out2,
+                int k3) -> sim::CoTask {
         std::vector<mpi::Request> rs;
-        for (int i = 0; i < k; ++i) {
-          rs.push_back(w.isend(w.world_comm(), 0, 1, /*tag=*/7,
-                               BufView::of(out[i], Datatype::Int32)));
+        for (int i = 0; i < k3; ++i) {
+          rs.push_back(w3.isend(w3.world_comm(), 0, 1, /*tag=*/7,
+                               BufView::of(out2[i], Datatype::Int32)));
         }
-        co_await mpi::wait_all(w.engine(), std::move(rs));
+        co_await mpi::wait_all(w3.engine(), std::move(rs));
       }(w, out, k);
     }
-    return [](mpi::SimWorld& w, std::vector<std::vector<std::int32_t>>& in,
-              int k) -> sim::CoTask {
+    return [](mpi::SimWorld& w2, std::vector<std::vector<std::int32_t>>& in2,
+              int k2) -> sim::CoTask {
       std::vector<mpi::Request> rs;
-      for (int i = 0; i < k; ++i) {
-        rs.push_back(w.irecv(w.world_comm(), 1, 0, /*tag=*/7,
-                             BufView::of(in[i], Datatype::Int32)));
+      for (int i = 0; i < k2; ++i) {
+        rs.push_back(w2.irecv(w2.world_comm(), 1, 0, /*tag=*/7,
+                             BufView::of(in2[i], Datatype::Int32)));
       }
-      co_await mpi::wait_all(w.engine(), std::move(rs));
+      co_await mpi::wait_all(w2.engine(), std::move(rs));
     }(w, in, k);
   });
   for (int i = 0; i < k; ++i) EXPECT_EQ(in[i][0], i * 111) << "msg " << i;
@@ -379,13 +379,13 @@ TEST(Jitter, NoisePerturbsButStaysDeterministic) {
     core::HanModule han(world, rt, mods);
     auto done = std::make_shared<double>(0.0);
     world.run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](mpi::SimWorld& w, core::HanModule& han,
-                std::shared_ptr<double> done, int me) -> sim::CoTask {
-        mpi::Request r = han.ibcast(w.world_comm(), me, 0,
+      return [](mpi::SimWorld& w, core::HanModule& han2,
+                std::shared_ptr<double> done2, int me) -> sim::CoTask {
+        mpi::Request r = han2.ibcast(w.world_comm(), me, 0,
                                     BufView::timing_only(256 << 10),
                                     Datatype::Byte, CollConfig{});
         co_await *r;
-        *done = std::max(*done, w.now());
+        *done2 = std::max(*done2, w.now());
       }(world, han, done, rank.world_rank);
     });
     return *done;

@@ -267,11 +267,11 @@ TEST(P2p, UnexpectedMessageMatchedLater) {
       return sender_prog(w, 1, BufView::of(src, Datatype::Int32), 5);
     }
     if (rank.world_rank == 1) {
-      return [](SimWorld& w, std::vector<std::int32_t>& dst) -> CoTask {
+      return [](SimWorld& w13, std::vector<std::int32_t>& dst3) -> CoTask {
         // Let the eager message arrive unexpected first.
-        co_await sim::Delay{w.engine(), 1e-3};
-        Request r = w.irecv(w.world_comm(), 1, 0,
-                            5, BufView::of(dst, Datatype::Int32));
+        co_await sim::Delay{w13.engine(), 1e-3};
+        Request r = w13.irecv(w13.world_comm(), 1, 0,
+                            5, BufView::of(dst3, Datatype::Int32));
         co_await *r;
       }(w, dst);
     }
@@ -287,24 +287,24 @@ TEST(P2p, TagsKeepMessagesApart) {
 
   w.run([&](Rank& rank) -> CoTask {
     if (rank.world_rank == 0) {
-      return [](SimWorld& w, std::vector<std::int32_t>& a,
-                std::vector<std::int32_t>& b) -> CoTask {
-        Request r1 = w.isend(w.world_comm(), 0, 1, /*tag=*/10,
-                             BufView::of(a, Datatype::Int32));
-        Request r2 = w.isend(w.world_comm(), 0, 1, /*tag=*/20,
-                             BufView::of(b, Datatype::Int32));
+      return [](SimWorld& w12, std::vector<std::int32_t>& a3,
+                std::vector<std::int32_t>& b3) -> CoTask {
+        Request r1 = w12.isend(w12.world_comm(), 0, 1, /*tag=*/10,
+                             BufView::of(a3, Datatype::Int32));
+        Request r2 = w12.isend(w12.world_comm(), 0, 1, /*tag=*/20,
+                             BufView::of(b3, Datatype::Int32));
         co_await *r1;
         co_await *r2;
       }(w, a, b);
     }
     if (rank.world_rank == 1) {
-      return [](SimWorld& w, std::vector<std::int32_t>& ra,
-                std::vector<std::int32_t>& rb) -> CoTask {
+      return [](SimWorld& w11, std::vector<std::int32_t>& ra3,
+                std::vector<std::int32_t>& rb3) -> CoTask {
         // Post in reverse tag order: matching must be by tag, not arrival.
-        Request r2 = w.irecv(w.world_comm(), 1, 0, /*tag=*/20,
-                             BufView::of(rb, Datatype::Int32));
-        Request r1 = w.irecv(w.world_comm(), 1, 0, /*tag=*/10,
-                             BufView::of(ra, Datatype::Int32));
+        Request r2 = w11.irecv(w11.world_comm(), 1, 0, /*tag=*/20,
+                             BufView::of(rb3, Datatype::Int32));
+        Request r1 = w11.irecv(w11.world_comm(), 1, 0, /*tag=*/10,
+                             BufView::of(ra3, Datatype::Int32));
         co_await *r1;
         co_await *r2;
       }(w, ra, rb);
@@ -320,12 +320,12 @@ TEST(P2p, SelfSendWorks) {
   std::vector<std::int32_t> src{7}, dst{0};
   w.run([&](Rank& rank) -> CoTask {
     if (rank.world_rank == 0) {
-      return [](SimWorld& w, std::vector<std::int32_t>& src,
-                std::vector<std::int32_t>& dst) -> CoTask {
-        Request rr = w.irecv(w.world_comm(), 0, 0, 3,
-                             BufView::of(dst, Datatype::Int32));
-        Request sr = w.isend(w.world_comm(), 0, 0, 3,
-                             BufView::of(src, Datatype::Int32));
+      return [](SimWorld& w10, std::vector<std::int32_t>& src2,
+                std::vector<std::int32_t>& dst2) -> CoTask {
+        Request rr = w10.irecv(w10.world_comm(), 0, 0, 3,
+                             BufView::of(dst2, Datatype::Int32));
+        Request sr = w10.isend(w10.world_comm(), 0, 0, 3,
+                             BufView::of(src2, Datatype::Int32));
         co_await *sr;
         co_await *rr;
       }(w, src, dst);
@@ -342,23 +342,23 @@ TEST(P2p, ContextsIsolateTraffic) {
   std::vector<std::int32_t> ra{0}, rb{0};
   w.run([&](Rank& rank) -> CoTask {
     if (rank.world_rank == 0) {
-      return [](SimWorld& w, int ctx2, std::vector<std::int32_t>& a,
-                std::vector<std::int32_t>& b) -> CoTask {
-        Request r1 = w.isend(w.world_comm(), 0, 1, 1,
-                             BufView::of(a, Datatype::Int32));
-        Request r2 = w.isend_ctx(w.world_comm(), ctx2, 0, 1, 1,
-                                 BufView::of(b, Datatype::Int32));
+      return [](SimWorld& w9, int ctx23, std::vector<std::int32_t>& a2,
+                std::vector<std::int32_t>& b2) -> CoTask {
+        Request r1 = w9.isend(w9.world_comm(), 0, 1, 1,
+                             BufView::of(a2, Datatype::Int32));
+        Request r2 = w9.isend_ctx(w9.world_comm(), ctx23, 0, 1, 1,
+                                 BufView::of(b2, Datatype::Int32));
         co_await *r1;
         co_await *r2;
       }(w, ctx2, a, b);
     }
     if (rank.world_rank == 1) {
-      return [](SimWorld& w, int ctx2, std::vector<std::int32_t>& ra,
-                std::vector<std::int32_t>& rb) -> CoTask {
-        Request r2 = w.irecv_ctx(w.world_comm(), ctx2, 1, 0, 1,
-                                 BufView::of(rb, Datatype::Int32));
-        Request r1 = w.irecv(w.world_comm(), 1, 0, 1,
-                             BufView::of(ra, Datatype::Int32));
+      return [](SimWorld& w8, int ctx22, std::vector<std::int32_t>& ra2,
+                std::vector<std::int32_t>& rb2) -> CoTask {
+        Request r2 = w8.irecv_ctx(w8.world_comm(), ctx22, 1, 0, 1,
+                                 BufView::of(rb2, Datatype::Int32));
+        Request r1 = w8.irecv(w8.world_comm(), 1, 0, 1,
+                             BufView::of(ra2, Datatype::Int32));
         co_await *r1;
         co_await *r2;
       }(w, ctx2, ra, rb);
@@ -378,21 +378,21 @@ TEST(P2p, ManyToOneCongestionSlowsDown) {
     double last_done = 0.0;
     w.run([&](Rank& rank) -> CoTask {
       if (rank.world_rank == 0) {
-        return [](SimWorld& w, int nsenders, double& last_done,
-                  std::size_t bytes) -> CoTask {
+        return [](SimWorld& w7, int nsenders2, double& last_done2,
+                  std::size_t bytes3) -> CoTask {
           std::vector<Request> reqs;
-          for (int s = 1; s <= nsenders; ++s) {
-            reqs.push_back(w.irecv(w.world_comm(), 0, s, s,
-                                   BufView::timing_only(bytes)));
+          for (int s = 1; s <= nsenders2; ++s) {
+            reqs.push_back(w7.irecv(w7.world_comm(), 0, s, s,
+                                   BufView::timing_only(bytes3)));
           }
-          co_await wait_all(w.engine(), reqs);
-          last_done = w.now();
+          co_await wait_all(w7.engine(), reqs);
+          last_done2 = w7.now();
         }(w, nsenders, last_done, bytes);
       }
       if (rank.world_rank >= 1 && rank.world_rank <= nsenders) {
-        return [](SimWorld& w, int me, std::size_t bytes) -> CoTask {
-          Request r = w.isend(w.world_comm(), me, 0, me,
-                              BufView::timing_only(bytes));
+        return [](SimWorld& w6, int me, std::size_t bytes2) -> CoTask {
+          Request r = w6.isend(w6.world_comm(), me, 0, me,
+                              BufView::timing_only(bytes2));
           co_await *r;
         }(w, rank.world_rank, bytes);
       }
@@ -444,12 +444,12 @@ TEST(LocalPrimitives, CpuSerializesCompute) {
   double done = 0.0;
   w.run([&](Rank& rank) -> CoTask {
     if (rank.world_rank == 0) {
-      return [](SimWorld& w, double& done) -> CoTask {
-        Request a = w.compute(0, 1e-3);
-        Request b = w.compute(0, 1e-3);
+      return [](SimWorld& w5, double& done3) -> CoTask {
+        Request a = w5.compute(0, 1e-3);
+        Request b = w5.compute(0, 1e-3);
         co_await *a;
         co_await *b;
-        done = w.now();
+        done3 = w5.now();
       }(w, done);
     }
     return [](SimWorld&) -> CoTask { co_return; }(w);
@@ -461,11 +461,11 @@ TEST(SyncDomainTest, AllPartiesRendezvous) {
   SimWorld w(tiny(1, 4));
   std::vector<double> resumed(4, -1.0);
   w.run([&](Rank& rank) -> CoTask {
-    return [](SimWorld& w, int me, std::vector<double>& resumed) -> CoTask {
+    return [](SimWorld& w4, int me, std::vector<double>& resumed2) -> CoTask {
       // Stagger arrivals; everyone resumes at the last arrival.
-      co_await sim::Delay{w.engine(), 1e-4 * me};
-      co_await *w.sync();
-      resumed[me] = w.now();
+      co_await sim::Delay{w4.engine(), 1e-4 * me};
+      co_await *w4.sync();
+      resumed2[me] = w4.now();
     }(w, rank.world_rank, resumed);
   });
   for (int r = 0; r < 4; ++r) EXPECT_NEAR(resumed[r], 3e-4, 1e-9);
@@ -475,9 +475,9 @@ TEST(SyncDomainTest, MultipleRounds) {
   SimWorld w(tiny(1, 2));
   int rounds_done = 0;
   w.run([&](Rank& rank) -> CoTask {
-    return [](SimWorld& w, int me, int& rounds) -> CoTask {
+    return [](SimWorld& w3, int me, int& rounds) -> CoTask {
       for (int i = 0; i < 5; ++i) {
-        co_await *w.sync();
+        co_await *w3.sync();
         if (me == 0) ++rounds;
       }
     }(w, rank.world_rank, rounds_done);
@@ -490,9 +490,9 @@ TEST(WaitAllTest, EmptySetCompletesImmediately) {
   bool done = false;
   w.run([&](Rank& rank) -> CoTask {
     if (rank.world_rank == 0) {
-      return [](SimWorld& w, bool& done) -> CoTask {
-        co_await wait_all(w.engine(), {});
-        done = true;
+      return [](SimWorld& w2, bool& done2) -> CoTask {
+        co_await wait_all(w2.engine(), {});
+        done2 = true;
       }(w, done);
     }
     return [](SimWorld&) -> CoTask { co_return; }(w);

@@ -40,10 +40,10 @@ TEST_P(StackBcastData, PayloadReachesEveryRank) {
                           : std::vector<std::int32_t>(c.count, -1);
   }
   stack->world().run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](MpiStack& s, std::vector<std::vector<std::int32_t>>& bufs,
+    return [](MpiStack& s, std::vector<std::vector<std::int32_t>>& bufs2,
               int root, int me) -> sim::CoTask {
       mpi::Request r = s.ibcast(me, root,
-                                BufView::of(bufs[me], Datatype::Int32),
+                                BufView::of(bufs2[me], Datatype::Int32),
                                 Datatype::Int32);
       co_await *r;
     }(*stack, bufs, c.root, rank.world_rank);
@@ -78,11 +78,11 @@ TEST_P(StackAllreduceData, EveryRankHoldsSum) {
     recv[r].assign(c.count, -99);
   }
   stack->world().run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](MpiStack& s, std::vector<std::vector<std::int32_t>>& send,
-              std::vector<std::vector<std::int32_t>>& recv,
+    return [](MpiStack& s, std::vector<std::vector<std::int32_t>>& send4,
+              std::vector<std::vector<std::int32_t>>& recv4,
               int me) -> sim::CoTask {
-      mpi::Request r = s.iallreduce(me, BufView::of(send[me], Datatype::Int32),
-                                    BufView::of(recv[me], Datatype::Int32),
+      mpi::Request r = s.iallreduce(me, BufView::of(send4[me], Datatype::Int32),
+                                    BufView::of(recv4[me], Datatype::Int32),
                                     Datatype::Int32, ReduceOp::Sum);
       co_await *r;
     }(*stack, send, recv, rank.world_rank);
@@ -116,12 +116,12 @@ TEST(StackSingleNode, AllStacksHandleOneNode) {
       recv[r].assign(100, 0);
     }
     stack->world().run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](MpiStack& s, std::vector<std::vector<std::int32_t>>& send,
-                std::vector<std::vector<std::int32_t>>& recv,
+      return [](MpiStack& s, std::vector<std::vector<std::int32_t>>& send3,
+                std::vector<std::vector<std::int32_t>>& recv3,
                 int me) -> sim::CoTask {
         mpi::Request r = s.iallreduce(
-            me, BufView::of(send[me], Datatype::Int32),
-            BufView::of(recv[me], Datatype::Int32), Datatype::Int32,
+            me, BufView::of(send3[me], Datatype::Int32),
+            BufView::of(recv3[me], Datatype::Int32), Datatype::Int32,
             ReduceOp::Max);
         co_await *r;
       }(*stack, send, recv, rank.world_rank);
@@ -142,12 +142,12 @@ TEST(StackSingleRankPerNode, NoIntraLevel) {
       recv[r].assign(64, 0);
     }
     stack->world().run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](MpiStack& s, std::vector<std::vector<std::int32_t>>& send,
-                std::vector<std::vector<std::int32_t>>& recv,
+      return [](MpiStack& s, std::vector<std::vector<std::int32_t>>& send2,
+                std::vector<std::vector<std::int32_t>>& recv2,
                 int me) -> sim::CoTask {
         mpi::Request r = s.iallreduce(
-            me, BufView::of(send[me], Datatype::Int32),
-            BufView::of(recv[me], Datatype::Int32), Datatype::Int32,
+            me, BufView::of(send2[me], Datatype::Int32),
+            BufView::of(recv2[me], Datatype::Int32), Datatype::Int32,
             ReduceOp::Sum);
         co_await *r;
       }(*stack, send, recv, rank.world_rank);
