@@ -102,6 +102,10 @@ CollRuntime::InstancePtr CollRuntime::get_or_create(
   inst->plan = build();
   const std::string defect = validate_plan(inst->plan, comm.size());
   HAN_ASSERT_MSG(defect.empty(), defect.c_str());
+  if (plan_checker_) {
+    const std::string verdict = plan_checker_(inst->plan, comm.size());
+    HAN_ASSERT_MSG(verdict.empty(), verdict.c_str());
+  }
 
   const int n = comm.size();
   inst->ranks.resize(n);

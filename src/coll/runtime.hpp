@@ -46,6 +46,16 @@ class CollRuntime {
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
   sim::Tracer* tracer() const { return tracer_; }
 
+  /// Install an extra pre-execution plan check, run on every freshly
+  /// built Plan right after the structural validate_plan(). Returns "" to
+  /// accept or a diagnostic to abort on (HAN_ASSERT with the message).
+  /// han::verify::arm_plan_gate() installs its semantic analyzer here —
+  /// dependency injection keeps coll/ below verify/ in the layer order.
+  using PlanChecker = std::function<std::string(const Plan&, int comm_size)>;
+  void set_plan_checker(PlanChecker checker) {
+    plan_checker_ = std::move(checker);
+  }
+
   /// Label a communicator context as a hierarchy level ("intra", "inter",
   /// ...). Actions on that context are accounted under
   /// `coll.level.<label>.*` instead of the default "flat" bucket; the
@@ -108,6 +118,7 @@ class CollRuntime {
 
   mpi::SimWorld* world_;
   sim::Tracer* tracer_ = nullptr;
+  PlanChecker plan_checker_;
   int destroy_observer_ = -1;  // SimWorld comm-destroy observer token
   // Per-comm-context, per-comm-rank collective call counters.
   std::unordered_map<int, std::vector<std::uint64_t>> call_seq_;

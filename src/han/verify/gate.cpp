@@ -1,0 +1,19 @@
+// Pre-execution gate: wires analyze_plan into CollRuntime's plan-checker
+// hook so every Plan any module builds is semantically verified before the
+// runtime schedules a single action.
+#include "coll/runtime.hpp"
+#include "han/verify/verify.hpp"
+
+namespace han::verify {
+
+void arm_plan_gate(coll::CollRuntime& rt, Options opts) {
+  rt.set_plan_checker(
+      [opts](const coll::Plan& plan, int comm_size) -> std::string {
+        const Report rep = analyze_plan(plan, comm_size, opts);
+        if (rep.clean()) return {};
+        return "verify: plan rejected by pre-execution analysis:\n" +
+               rep.to_string();
+      });
+}
+
+}  // namespace han::verify

@@ -1,0 +1,274 @@
+// TaskGraph-level deadlock analysis, parameterized by the scheduler
+// window. Models the TaskScheduler's issue rules (data deps, per-comm
+// FIFO, step window) per rank plus rendezvous-conservative cross-rank
+// collective-instance matching, then searches the combined wait-for graph
+// for cycles. See verify.hpp for the model.
+#include "han/verify/verify.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "han/task/graph.hpp"
+#include "han/verify/internal.hpp"
+
+namespace han::verify {
+
+namespace {
+
+std::string graph_op_name(int op) {
+  if (op >= 0 && op <= static_cast<int>(task::Op::Barrier)) {
+    return task::op_name(static_cast<task::Op>(op));
+  }
+  return "op" + std::to_string(op);
+}
+
+}  // namespace
+
+GraphSummary summarize(const task::TaskGraph& graph, int world_rank) {
+  GraphSummary s;
+  s.world_rank = world_rank;
+  s.nodes.reserve(graph.nodes.size());
+  for (const task::TaskNode& node : graph.nodes) {
+    GraphNodeSummary n;
+    n.step = node.step;
+    n.op = static_cast<int>(node.op);
+    n.deps = node.deps;
+    if (node.comm != nullptr) {
+      n.ctx = node.comm->context();
+      n.members.assign(node.comm->world_ranks().begin(),
+                       node.comm->world_ranks().end());
+    }
+    s.nodes.push_back(std::move(n));
+  }
+  return s;
+}
+
+Report analyze_task_graphs(const std::vector<GraphSummary>& graphs,
+                           int window, const Options& opts) {
+  Report rep;
+  if (window < 1) window = 1;
+
+  // Deterministic rank order.
+  std::vector<int> order(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return graphs[a].world_rank < graphs[b].world_rank;
+  });
+  std::map<int, int> rank_to_idx;  // world rank -> graphs index
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    rank_to_idx[graphs[i].world_rank] = static_cast<int>(i);
+  }
+
+  // Event layout: per rank, 2 events per node (issue = base + 2j,
+  // completion = base + 2j + 1) followed by one "steps <= s all complete"
+  // barrier event per pipeline step.
+  std::vector<int> node_base(graphs.size(), 0);
+  std::vector<int> barrier_base(graphs.size(), 0);
+  std::vector<int> num_steps(graphs.size(), 0);
+  int num_events = 0;
+  for (int gi : order) {
+    const GraphSummary& g = graphs[gi];
+    int max_step = -1;
+    for (const GraphNodeSummary& n : g.nodes) {
+      max_step = std::max(max_step, n.step);
+    }
+    num_steps[gi] = max_step + 1;
+    node_base[gi] = num_events;
+    num_events += 2 * static_cast<int>(g.nodes.size());
+    barrier_base[gi] = num_events;
+    num_events += num_steps[gi];
+    rep.actions += static_cast<int>(g.nodes.size());
+  }
+  auto issue_ev = [&](int gi, int j) { return node_base[gi] + 2 * j; };
+  auto comp_ev = [&](int gi, int j) { return node_base[gi] + 2 * j + 1; };
+
+  std::vector<std::vector<int>> wait(num_events);
+
+  // Per-rank scheduler rules.
+  for (int gi : order) {
+    const GraphSummary& g = graphs[gi];
+    std::vector<std::pair<int, int>> last_on_ctx;  // mirrors scheduler
+    for (int j = 0; j < static_cast<int>(g.nodes.size()); ++j) {
+      const GraphNodeSummary& n = g.nodes[j];
+      wait[issue_ev(gi, j)].push_back(comp_ev(gi, j));
+      for (int d : n.deps) {
+        wait[comp_ev(gi, d)].push_back(issue_ev(gi, j));
+      }
+      if (n.ctx >= 0) {
+        bool found = false;
+        for (auto& [c, last] : last_on_ctx) {
+          if (c == n.ctx) {
+            wait[issue_ev(gi, last)].push_back(issue_ev(gi, j));
+            last = j;
+            found = true;
+            break;
+          }
+        }
+        if (!found) last_on_ctx.emplace_back(n.ctx, j);
+      }
+      // Window gating: node at step s cannot issue until every step
+      // <= s - window completed on this rank.
+      wait[comp_ev(gi, j)].push_back(barrier_base[gi] + n.step);
+      if (n.step - window >= 0) {
+        wait[barrier_base[gi] + n.step - window].push_back(issue_ev(gi, j));
+      }
+    }
+    for (int s = 1; s < num_steps[gi]; ++s) {
+      wait[barrier_base[gi] + s - 1].push_back(barrier_base[gi] + s);
+    }
+  }
+
+  // Cross-rank collective-instance matching: the k-th node on context c
+  // forms one instance across the member ranks; a rank's part cannot
+  // complete before every member issued theirs.
+  struct CtxSeq {
+    std::vector<int> members;            // world ranks, from the first node
+    std::map<int, std::vector<int>> seq; // world rank -> node indices
+  };
+  std::map<int, CtxSeq> ctxs;
+  for (int gi : order) {
+    const GraphSummary& g = graphs[gi];
+    for (int j = 0; j < static_cast<int>(g.nodes.size()); ++j) {
+      const GraphNodeSummary& n = g.nodes[j];
+      if (n.ctx < 0) continue;
+      CtxSeq& cs = ctxs[n.ctx];
+      if (cs.members.empty()) cs.members = n.members;
+      cs.seq[g.world_rank].push_back(j);
+    }
+  }
+  for (const auto& [ctx, cs] : ctxs) {
+    // Member ranks we have a graph for (a member absent from `graphs` is
+    // outside the analysis scope, e.g. a partial sweep).
+    std::vector<int> present;
+    for (int r : cs.members) {
+      if (rank_to_idx.count(r) != 0) present.push_back(r);
+    }
+    if (present.empty()) continue;
+    std::size_t min_count = static_cast<std::size_t>(-1);
+    for (int r : present) {
+      auto it = cs.seq.find(r);
+      const std::size_t count = it == cs.seq.end() ? 0 : it->second.size();
+      min_count = std::min(min_count, count);
+    }
+    const int r0 = present.front();
+    for (int r : present) {
+      auto it = cs.seq.find(r);
+      const std::size_t count = it == cs.seq.end() ? 0 : it->second.size();
+      auto it0 = cs.seq.find(r0);
+      const std::size_t count0 =
+          it0 == cs.seq.end() ? 0 : it0->second.size();
+      if (count != count0) {
+        Finding f;
+        f.code = Diag::CollectiveCountMismatch;
+        f.severity = Severity::Error;
+        f.rank_a = r0;
+        f.rank_b = r;
+        f.message = "context " + std::to_string(ctx) + ": rank " +
+                    std::to_string(r0) + " runs " + std::to_string(count0) +
+                    " collectives but member rank " + std::to_string(r) +
+                    " runs " + std::to_string(count);
+        rep.findings.push_back(std::move(f));
+      }
+    }
+    // Op-sequence agreement over the common prefix.
+    for (std::size_t k = 0; k < min_count; ++k) {
+      const GraphSummary& g0 = graphs[rank_to_idx.at(r0)];
+      const int op0 = g0.nodes[cs.seq.at(r0)[k]].op;
+      for (int r : present) {
+        const GraphSummary& g = graphs[rank_to_idx.at(r)];
+        const int j = cs.seq.at(r)[k];
+        if (g.nodes[j].op != op0) {
+          Finding f;
+          f.code = Diag::CollectiveOrderMismatch;
+          f.severity = Severity::Error;
+          f.rank_a = r0;
+          f.index_a = cs.seq.at(r0)[k];
+          f.rank_b = r;
+          f.index_b = j;
+          f.message = "context " + std::to_string(ctx) + " collective " +
+                      std::to_string(k) + ": rank " + std::to_string(r0) +
+                      " issues " + graph_op_name(op0) + " but rank " +
+                      std::to_string(r) + " issues " +
+                      graph_op_name(g.nodes[j].op);
+          rep.findings.push_back(std::move(f));
+        }
+      }
+    }
+    rep.match_edges += static_cast<int>(min_count);
+    for (std::size_t k = 0; k < min_count; ++k) {
+      for (int r : present) {
+        const int gi = rank_to_idx.at(r);
+        const int j = cs.seq.at(r)[k];
+        for (int r2 : present) {
+          if (r2 == r) continue;
+          const int gi2 = rank_to_idx.at(r2);
+          const int j2 = cs.seq.at(r2)[k];
+          wait[issue_ev(gi2, j2)].push_back(comp_ev(gi, j));
+        }
+      }
+    }
+  }
+
+  // Cycle search.
+  if (opts.check_deadlock) {
+    int num_comp = 0;
+    const std::vector<int> comp = internal::tarjan_scc(wait, &num_comp);
+    std::vector<int> scc_size(num_comp, 0), scc_min(num_comp, num_events);
+    for (int v = 0; v < num_events; ++v) {
+      ++scc_size[comp[v]];
+      scc_min[comp[v]] = std::min(scc_min[comp[v]], v);
+    }
+    auto describe = [&](int ev, Finding* f) {
+      // Recover (rank, node/barrier) from the event id.
+      for (int gi : order) {
+        const int nodes_end = node_base[gi] +
+                              2 * static_cast<int>(graphs[gi].nodes.size());
+        if (ev >= node_base[gi] && ev < nodes_end) {
+          const int j = (ev - node_base[gi]) / 2;
+          const bool completion = ((ev - node_base[gi]) % 2) != 0;
+          if (f != nullptr) {
+            f->cycle.push_back({graphs[gi].world_rank, j, completion});
+          }
+          const GraphNodeSummary& n = graphs[gi].nodes[j];
+          return "rank " + std::to_string(graphs[gi].world_rank) +
+                 " task " + std::to_string(j) + " (" +
+                 graph_op_name(n.op) + " step " + std::to_string(n.step) +
+                 (n.ctx >= 0 ? " ctx " + std::to_string(n.ctx) : "") +
+                 (completion ? ") completion" : ") issue");
+        }
+        if (ev >= barrier_base[gi] &&
+            ev < barrier_base[gi] + num_steps[gi]) {
+          return "rank " + std::to_string(graphs[gi].world_rank) +
+                 " step " + std::to_string(ev - barrier_base[gi]) +
+                 " barrier";
+        }
+      }
+      return std::string("event ") + std::to_string(ev);
+    };
+    int reported = 0;
+    for (int c = 0; c < num_comp && reported < 4; ++c) {
+      if (scc_size[c] < 2) continue;
+      ++reported;
+      const std::vector<int> cyc =
+          internal::witness_cycle(wait, comp, scc_min[c]);
+      Finding f;
+      f.code = Diag::GraphWaitCycle;
+      f.severity = Severity::Error;
+      std::string msg = "window " + std::to_string(window) +
+                        ": wait cycle of " + std::to_string(cyc.size()) +
+                        " events: ";
+      for (std::size_t i = 0; i < cyc.size(); ++i) {
+        if (i > 0) msg += " -> ";
+        msg += describe(cyc[i], &f);
+      }
+      f.message = std::move(msg);
+      rep.findings.push_back(std::move(f));
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace han::verify

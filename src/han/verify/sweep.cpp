@@ -1,0 +1,439 @@
+#include "han/verify/sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "autotune/search.hpp"
+#include "coll/builders.hpp"
+#include "coll/registry.hpp"
+#include "coll/ring/ring_builders.hpp"
+#include "coll/validate.hpp"
+#include "han/han.hpp"
+#include "han/han3.hpp"
+#include "han/task/builders.hpp"
+#include "machine/machine.hpp"
+
+namespace han::verify {
+
+namespace {
+
+using coll::Algorithm;
+using coll::BuildSpec;
+using coll::CollKind;
+using core::HanConfig;
+using mpi::BufView;
+using mpi::Datatype;
+
+void record(SweepResult& out, std::string name, const Report& rep) {
+  SweepEntry e;
+  e.name = std::move(name);
+  e.actions = rep.actions;
+  for (const Finding& f : rep.findings) {
+    if (f.severity == Severity::Error) {
+      ++e.errors;
+    } else {
+      ++e.warnings;
+    }
+    e.lines.push_back(
+        std::string(f.severity == Severity::Error ? "error[" : "warning[") +
+        diag_name(f.code) + "]: " + f.message);
+  }
+  if (rep.truncated) {
+    ++e.errors;
+    e.lines.push_back("error[truncated]: race analysis hit max_race_pairs");
+  }
+  out.entries.push_back(std::move(e));
+}
+
+void record_defect(SweepResult& out, std::string name, std::string defect) {
+  SweepEntry e;
+  e.name = std::move(name);
+  e.errors = 1;
+  e.lines.push_back("error[invalid]: " + std::move(defect));
+  out.entries.push_back(std::move(e));
+}
+
+// ---- plan.* family ------------------------------------------------------
+
+void plan_case(SweepResult& out, const std::string& name,
+               const coll::Plan& plan, int comm_size) {
+  std::string defect = coll::validate_plan(plan, comm_size);
+  if (!defect.empty()) {
+    record_defect(out, name, std::move(defect));
+    return;
+  }
+  record(out, name, analyze_plan(plan, comm_size));
+}
+
+void sweep_plans(SweepResult& out) {
+  struct SizeCase {
+    const char* tag;
+    std::size_t bytes;
+    std::size_t segment;
+  };
+  // 4 KiB unsegmented plus a pipelined 1 MiB / 64 KiB split; byte counts
+  // stay Int32-aligned for the reduce family.
+  const SizeCase kSizes[] = {{"small", 4 << 10, 0},
+                             {"pipe", 1 << 20, 64 << 10}};
+  const int kComms[] = {2, 3, 4, 8, 16};
+  const Algorithm kTreeAlgs[] = {Algorithm::Linear, Algorithm::Chain,
+                                 Algorithm::Binary, Algorithm::Binomial};
+
+  for (int n : kComms) {
+    for (const SizeCase& sz : kSizes) {
+      BuildSpec spec;
+      spec.bytes = sz.bytes;
+      spec.segment = sz.segment;
+      spec.dtype = Datatype::Int32;
+      const std::string suffix =
+          ".n" + std::to_string(n) + "." + sz.tag;
+      for (Algorithm alg : kTreeAlgs) {
+        BuildSpec s = spec;
+        s.alg = alg;
+        plan_case(out, std::string("plan.tree_bcast.") +
+                           coll::algorithm_name(alg) + suffix,
+                  coll::build_tree_bcast(n, s), n);
+        plan_case(out, std::string("plan.tree_reduce.") +
+                           coll::algorithm_name(alg) + suffix,
+                  coll::build_tree_reduce(n, s), n);
+        // Non-zero root exercises the builders' rank rotation.
+        if (n > 2) {
+          s.root = 1;
+          plan_case(out, std::string("plan.tree_bcast.") +
+                             coll::algorithm_name(alg) + ".root1" + suffix,
+                    coll::build_tree_bcast(n, s), n);
+          plan_case(out, std::string("plan.tree_reduce.") +
+                             coll::algorithm_name(alg) + ".root1" + suffix,
+                    coll::build_tree_reduce(n, s), n);
+        }
+      }
+      plan_case(out, "plan.recdoub_allreduce" + suffix,
+                coll::build_recdoub_allreduce(n, spec), n);
+      plan_case(out, "plan.linear_gather" + suffix,
+                coll::build_linear_gather(n, spec), n);
+      plan_case(out, "plan.linear_scatter" + suffix,
+                coll::build_linear_scatter(n, spec), n);
+      {
+        // Ring chunks are bytes/n; keep them element-aligned and nonzero.
+        BuildSpec rs = spec;
+        rs.bytes = static_cast<std::size_t>(n) * (64 << 10);
+        plan_case(out, "plan.ring_reduce_scatter" + suffix,
+                  coll::build_ring_reduce_scatter(n, rs), n);
+        plan_case(out, "plan.ring_allreduce" + suffix,
+                  coll::build_ring_allreduce(n, rs), n);
+        BuildSpec st = spec;
+        st.bytes = static_cast<std::size_t>(n) * (32 << 10);
+        plan_case(out, "plan.ring_reduce_scatter_strided" + suffix,
+                  coll::build_ring_reduce_scatter_strided(
+                      n, st, /*chunk_stride=*/32 << 10,
+                      /*chunk_bytes=*/16 << 10),
+                  n);
+        plan_case(out, "plan.ring_allgather" + suffix,
+                  coll::build_ring_allgather(n, spec), n);
+      }
+    }
+    BuildSpec barrier;
+    plan_case(out, "plan.dissemination_barrier.n" + std::to_string(n),
+              coll::build_dissemination_barrier(n, barrier), n);
+  }
+}
+
+// ---- graph.* family -----------------------------------------------------
+
+struct GraphWorld {
+  explicit GraphWorld(machine::MachineProfile profile)
+      : world(std::move(profile)),
+        rt(world),
+        mods(world, rt),
+        han(world, rt, mods) {}
+  mpi::SimWorld world;
+  coll::CollRuntime rt;
+  coll::ModuleSet mods;
+  core::HanModule han;
+};
+
+/// Build one rank's graph, or record the structural defect and return
+/// false.
+bool checked_summarize(SweepResult& out, const std::string& name, int rank,
+                       task::TaskGraph graph,
+                       std::vector<GraphSummary>& summaries) {
+  const std::string defect = task::validate_graph(graph);
+  if (!defect.empty()) {
+    record_defect(out, name,
+                  "rank " + std::to_string(rank) + ": " + defect);
+    return false;
+  }
+  summaries.push_back(summarize(graph, rank));
+  return true;
+}
+
+void graph_case(SweepResult& out, const std::string& name,
+                const std::vector<GraphSummary>& summaries,
+                const std::vector<int>& windows) {
+  for (int w : windows) {
+    record(out, name + ".w" + std::to_string(w),
+           analyze_task_graphs(summaries, w));
+  }
+}
+
+void sweep_graphs(SweepResult& out, const SweepOptions& opts) {
+  tune::SearchSpace space;
+  if (!opts.full_space) {
+    // Smoke subset: one inter/intra module combination per segment size.
+    space.imods = {"adapt"};
+    space.adapt_algs = {Algorithm::Chain};
+    space.adapt_inter_segments = {32 << 10};
+  }
+
+  struct Topo {
+    const char* tag;
+    int nodes, ppn;
+  };
+  const Topo kTopos[] = {{"2x2", 2, 2}, {"4x4", 4, 4}, {"8x2", 8, 2}};
+  const std::size_t kBytes = 1 << 20;
+
+  for (const Topo& topo : kTopos) {
+    GraphWorld gw(machine::make_aries(topo.nodes, topo.ppn));
+    const mpi::Comm& wc = gw.world.world_comm();
+    const int n = wc.size();
+    const std::string tprefix = std::string("graph.") + topo.tag + ".";
+
+    struct KindCase {
+      CollKind kind;
+      bool full;  // full SearchSpace, or the (fs, smod) subset (the
+                  // linear-phase collectives ignore the inter knobs)
+    };
+    const KindCase kKinds[] = {
+        {CollKind::Bcast, true},          {CollKind::Reduce, true},
+        {CollKind::Allreduce, true},      {CollKind::ReduceScatter, true},
+        {CollKind::Gather, false},        {CollKind::Scatter, false},
+        {CollKind::Allgather, false},
+    };
+    for (const KindCase& kc : kKinds) {
+      tune::SearchSpace ks = space;
+      if (!kc.full) {
+        ks.imods = {"libnbc"};
+        ks.include_ring = false;
+      }
+      for (const HanConfig& cfg : ks.enumerate(kc.kind)) {
+        const std::string name = tprefix + coll::coll_kind_name(kc.kind) +
+                                 "." + cfg.to_string();
+        std::vector<GraphSummary> summaries;
+        bool ok = true;
+        for (int me = 0; me < n && ok; ++me) {
+          task::TaskGraph g;
+          switch (kc.kind) {
+            case CollKind::Bcast:
+              g = task::build_bcast(gw.han, wc, me, 0,
+                                    BufView::timing_only(kBytes),
+                                    Datatype::Byte, cfg);
+              break;
+            case CollKind::Reduce:
+              g = task::build_reduce(gw.han, wc, me, 0,
+                                     BufView::timing_only(kBytes),
+                                     BufView::timing_only(kBytes),
+                                     Datatype::Int32, mpi::ReduceOp::Sum,
+                                     cfg);
+              break;
+            case CollKind::Allreduce:
+              g = task::build_allreduce(gw.han, wc, me,
+                                        BufView::timing_only(kBytes),
+                                        BufView::timing_only(kBytes),
+                                        Datatype::Int32, mpi::ReduceOp::Sum,
+                                        cfg);
+              break;
+            case CollKind::ReduceScatter:
+              g = task::build_reduce_scatter(
+                  gw.han, wc, me,
+                  BufView::timing_only(kBytes),
+                  BufView::timing_only(kBytes / static_cast<std::size_t>(n)),
+                  Datatype::Int32, mpi::ReduceOp::Sum, cfg);
+              break;
+            case CollKind::Gather:
+              g = task::build_gather(
+                  gw.han, wc, me, 0, BufView::timing_only(kBytes),
+                  BufView::timing_only(kBytes * static_cast<std::size_t>(n)),
+                  cfg);
+              break;
+            case CollKind::Scatter:
+              g = task::build_scatter(
+                  gw.han, wc, me, 0,
+                  BufView::timing_only(kBytes * static_cast<std::size_t>(n)),
+                  BufView::timing_only(kBytes), cfg);
+              break;
+            case CollKind::Allgather:
+              g = task::build_allgather(
+                  gw.han, wc, me, BufView::timing_only(kBytes),
+                  BufView::timing_only(kBytes * static_cast<std::size_t>(n)),
+                  cfg);
+              break;
+            default:
+              break;
+          }
+          ok = checked_summarize(out, name, me, std::move(g), summaries);
+        }
+        if (ok) graph_case(out, name, summaries, opts.windows);
+      }
+    }
+
+    // Barrier has no Table II knobs.
+    {
+      std::vector<GraphSummary> summaries;
+      bool ok = true;
+      for (int me = 0; me < n && ok; ++me) {
+        ok = checked_summarize(out, tprefix + "barrier", me,
+                               task::build_barrier(gw.han, wc, me),
+                               summaries);
+      }
+      if (ok) graph_case(out, tprefix + "barrier", summaries, opts.windows);
+    }
+
+    // Multi-leader allreduce (k = 2) on multi-node, multi-rank topologies.
+    if (topo.nodes > 1 && topo.ppn >= 2) {
+      for (const HanConfig& cfg : space.enumerate(CollKind::Allreduce)) {
+        const std::string name =
+            tprefix + "allreduce_ml2." + cfg.to_string();
+        std::vector<GraphSummary> summaries;
+        bool ok = true;
+        for (int me = 0; me < n && ok; ++me) {
+          ok = checked_summarize(
+              out, name, me,
+              task::build_allreduce_multileader(
+                  gw.han, wc, me, BufView::timing_only(kBytes),
+                  BufView::timing_only(kBytes), Datatype::Int32,
+                  mpi::ReduceOp::Sum, cfg, /*k=*/2),
+              summaries);
+        }
+        if (ok) graph_case(out, name, summaries, opts.windows);
+      }
+    }
+  }
+
+  // 3-level builders on a NUMA topology (2 nodes x 2 domains x 4 ranks).
+  {
+    GraphWorld gw(machine::with_numa(machine::make_opath(2, 8), 2));
+    core::Han3 han3(gw.han);
+    if (han3.applicable()) {
+      const mpi::Comm& wc = gw.world.world_comm();
+      const int n = wc.size();
+      core::Han3::Comm3& c3 = han3.comm3(wc);
+      for (const HanConfig& cfg : space.enumerate(CollKind::Bcast)) {
+        const std::string name =
+            std::string("graph.numa2x2x4.bcast3.") + cfg.to_string();
+        std::vector<GraphSummary> summaries;
+        bool ok = true;
+        for (int me = 0; me < n && ok; ++me) {
+          ok = checked_summarize(
+              out, name, me,
+              task::build_bcast3(gw.han, c3, me,
+                                 BufView::timing_only(kBytes),
+                                 Datatype::Byte, cfg),
+              summaries);
+        }
+        if (ok) graph_case(out, name, summaries, opts.windows);
+      }
+      for (const HanConfig& cfg : space.enumerate(CollKind::Allreduce)) {
+        const std::string name =
+            std::string("graph.numa2x2x4.allreduce3.") + cfg.to_string();
+        std::vector<GraphSummary> summaries;
+        bool ok = true;
+        for (int me = 0; me < n && ok; ++me) {
+          ok = checked_summarize(
+              out, name, me,
+              task::build_allreduce3(gw.han, c3, me,
+                                     BufView::timing_only(kBytes),
+                                     BufView::timing_only(kBytes),
+                                     Datatype::Int32, mpi::ReduceOp::Sum,
+                                     cfg),
+              summaries);
+        }
+        if (ok) graph_case(out, name, summaries, opts.windows);
+      }
+    }
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int SweepResult::total_errors() const {
+  int n = 0;
+  for (const SweepEntry& e : entries) n += e.errors;
+  return n;
+}
+
+int SweepResult::total_warnings() const {
+  int n = 0;
+  for (const SweepEntry& e : entries) n += e.warnings;
+  return n;
+}
+
+std::string SweepResult::to_json() const {
+  std::string j = "{\n  \"totals\": {\"cases\": " +
+                  std::to_string(entries.size()) +
+                  ", \"errors\": " + std::to_string(total_errors()) +
+                  ", \"warnings\": " + std::to_string(total_warnings()) +
+                  "},\n  \"cases\": {\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SweepEntry& e = entries[i];
+    j += "    \"" + json_escape(e.name) +
+         "\": {\"actions\": " + std::to_string(e.actions) +
+         ", \"errors\": " + std::to_string(e.errors) +
+         ", \"warnings\": " + std::to_string(e.warnings) +
+         ", \"findings\": [";
+    for (std::size_t k = 0; k < e.lines.size(); ++k) {
+      if (k > 0) j += ", ";
+      j += "\"" + json_escape(e.lines[k]) + "\"";
+    }
+    j += "]}";
+    j += i + 1 < entries.size() ? ",\n" : "\n";
+  }
+  j += "  }\n}\n";
+  return j;
+}
+
+std::string SweepResult::summary() const {
+  std::string s = std::to_string(entries.size()) + " cases, " +
+                  std::to_string(total_errors()) + " errors, " +
+                  std::to_string(total_warnings()) + " warnings\n";
+  for (const SweepEntry& e : entries) {
+    if (e.lines.empty()) continue;
+    s += e.name + ":\n";
+    for (const std::string& line : e.lines) s += "  " + line + "\n";
+  }
+  return s;
+}
+
+SweepResult run_sweep(const SweepOptions& opts) {
+  SweepResult out;
+  if (opts.plans) sweep_plans(out);
+  if (opts.graphs) sweep_graphs(out, opts);
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const SweepEntry& a, const SweepEntry& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace han::verify

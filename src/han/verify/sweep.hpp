@@ -1,0 +1,54 @@
+// Full builder x SearchSpace verification sweep — the backing of the
+// `han_verify` CLI and its CI gate.
+//
+// Two families of cases:
+//  * plan.* — the pure Plan builders (tree bcast/reduce, recursive
+//    doubling, linear gather/scatter, dissemination barrier, the ring
+//    family) across comm sizes, message sizes, and segment sizes, analyzed
+//    with analyze_plan.
+//  * graph.* — the HAN TaskGraph builders (six 2-level collectives,
+//    barrier, multi-leader allreduce, 3-level bcast/allreduce) built for
+//    every rank of simulated topologies across the autotuner's full
+//    SearchSpace, analyzed with analyze_task_graphs at every window.
+//
+// Results are deterministic: case names are stable, entries sorted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "han/verify/verify.hpp"
+
+namespace han::verify {
+
+struct SweepOptions {
+  /// Scheduler windows the graph-level analysis runs at.
+  std::vector<int> windows{1, 2, 3};
+  bool plans = true;   // plan.* family
+  bool graphs = true;  // graph.* family
+  /// Full autotuner SearchSpace; false = one config per (fs, smod) smoke
+  /// subset (fast local runs).
+  bool full_space = true;
+};
+
+struct SweepEntry {
+  std::string name;
+  int actions = 0;
+  int errors = 0;
+  int warnings = 0;
+  std::vector<std::string> lines;  // findings, one per line
+};
+
+struct SweepResult {
+  std::vector<SweepEntry> entries;  // sorted by name
+  int total_errors() const;
+  int total_warnings() const;
+  /// obs-style report: deterministic key order, totals first.
+  std::string to_json() const;
+  /// Human summary: totals plus every entry with findings.
+  std::string summary() const;
+};
+
+SweepResult run_sweep(const SweepOptions& opts = {});
+
+}  // namespace han::verify
