@@ -87,6 +87,7 @@ core::HanModule::Decider LookupTable::decider() const {
 std::string LookupTable::serialize() const {
   std::string out = "# HAN autotuning lookup table\n";
   out += "# kind nodes ppn log2_bytes : config\n";
+  out += "version " + std::to_string(kFormatVersion) + "\n";
   for (const auto& [key, cfg] : entries_) {
     char line[64];
     std::snprintf(line, sizeof(line), "%s %d %d %d : ",
@@ -103,8 +104,23 @@ bool LookupTable::deserialize(const std::string& text, LookupTable* out) {
   LookupTable table;
   std::istringstream in(text);
   std::string line;
+  bool saw_entry = false;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
+    // Optional "version N" header (first non-comment line). Version-less
+    // files are the v1 seed format — their configs carry no synthesized
+    // schedules, so they parse unchanged. Later formats are rejected
+    // rather than misread.
+    if (!saw_entry && line.compare(0, 8, "version ") == 0) {
+      std::istringstream vs(line.substr(8));
+      int v = 0;
+      if (!(vs >> v) || v < 1 || v > kFormatVersion) return false;
+      std::string trailing;
+      if (vs >> trailing) return false;
+      saw_entry = true;
+      continue;
+    }
+    saw_entry = true;
     std::istringstream ls(line);
     std::string kind_s, colon;
     int nodes = 0, ppn = 0, log2b = 0;

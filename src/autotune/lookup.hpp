@@ -21,6 +21,12 @@ namespace han::tune {
 
 class LookupTable {
  public:
+  /// Text-format version written by serialize(). v1 = the version-less
+  /// seed format (plain Table II configs); v2 adds the header line and
+  /// may carry synthesized-schedule ids (`sched=`) in config values.
+  /// deserialize() accepts v1 and v2 and rejects anything newer.
+  static constexpr int kFormatVersion = 2;
+
   struct Key {
     coll::CollKind kind;
     int nodes;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "han/synth/spec.hpp"
+
 namespace han::tune {
 
 using coll::Algorithm;
@@ -66,6 +68,22 @@ std::vector<HanConfig> SearchSpace::enumerate(CollKind kind) const {
       HanConfig c = base;
       c.window = w;
       expanded.push_back(std::move(c));
+    }
+  }
+  // Synthesized-schedule ids join as an extra axis: the hand-written
+  // builders (sched="") stay first, then each matching id crossed over
+  // the whole space. Ids for other kinds are skipped, not errors — one
+  // SearchSpace serves every collective.
+  if (!scheds.empty()) {
+    const std::size_t plain = expanded.size();
+    for (const std::string& id : scheds) {
+      synth::SynthSpec spec;
+      if (!synth::SynthSpec::parse(id, &spec) || spec.kind != kind) continue;
+      for (std::size_t i = 0; i < plain; ++i) {
+        HanConfig c = expanded[i];
+        c.sched = id;
+        expanded.push_back(std::move(c));
+      }
     }
   }
   return expanded;

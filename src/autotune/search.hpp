@@ -35,6 +35,11 @@ struct SearchSpace {
   /// paper's lock-step pipeline only; add e.g. {1, 2} to let the tuner
   /// weigh deeper in-flight overlap (cost model walks the same windows).
   std::vector<int> windows{1};
+  /// Synthesized-schedule ids (synth::SynthSpec) to cross into the space.
+  /// Empty — the default — leaves the space unchanged; otherwise every
+  /// config is also tried with each id whose kind matches the collective
+  /// (ids for other kinds are skipped, mismatched ids never enumerate).
+  std::vector<std::string> scheds;
 
   /// Every configuration of the space (paper: S x A combinations).
   std::vector<core::HanConfig> enumerate(coll::CollKind kind) const;

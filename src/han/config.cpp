@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "han/synth/spec.hpp"
 #include "simbase/units.hpp"
 
 namespace han::core {
@@ -35,6 +36,9 @@ std::string HanConfig::to_string() const {
   out += " ibs=" + sim::format_bytes(ibs);
   out += " irs=" + sim::format_bytes(irs);
   out += " window=" + std::to_string(window);
+  // Only synthesized schedules carry the extra token, so hand-tuned
+  // config strings (and their goldens) are unchanged.
+  if (!sched.empty()) out += " sched=" + sched;
   return out;
 }
 
@@ -52,9 +56,13 @@ bool HanConfig::parse(const std::string& text, HanConfig* out) {
     if (key == "fs") {
       cfg.fs = sim::parse_bytes(value, &ok);
     } else if (key == "imod") {
-      cfg.imod = value;
+      // Closed sets: a truncated module name must fail here, loudly, not
+      // surface later as a missing-module assert (or worse, be cached).
+      ok = value == "libnbc" || value == "adapt" || value == "ring";
+      if (ok) cfg.imod = value;
     } else if (key == "smod") {
-      cfg.smod = value;
+      ok = value == "sm" || value == "solo";
+      if (ok) cfg.smod = value;
     } else if (key == "ibalg") {
       cfg.ibalg = parse_alg(value, &ok);
     } else if (key == "iralg") {
@@ -68,6 +76,10 @@ bool HanConfig::parse(const std::string& text, HanConfig* out) {
       const long v = std::strtol(value.c_str(), &rest, 10);
       ok = rest != nullptr && *rest == '\0' && !value.empty() && v >= 1;
       if (ok) cfg.window = static_cast<int>(v);
+    } else if (key == "sched") {
+      synth::SynthSpec spec;
+      ok = synth::SynthSpec::parse(value, &spec);
+      if (ok) cfg.sched = value;
     } else {
       ok = false;
     }

@@ -19,12 +19,17 @@ struct HanConfig {
   std::size_t irs = 0;  // inter reduce segment size (if imod supports it)
   int window = 1;       // scheduler in-flight step window (1 = lock-step,
                         // the paper's wait-all barrier semantics)
+  std::string sched;    // synthesized-schedule id (synth::SynthSpec);
+                        // "" = the hand-written builders
 
   friend bool operator==(const HanConfig&, const HanConfig&) = default;
 
   std::string to_string() const;
 
   /// Parse the to_string() form back; returns false on malformed input.
+  /// Strict: unknown keys, bad values, unknown imod/smod names, and
+  /// malformed or truncated sched ids all fail (never silently fall back
+  /// to defaults).
   static bool parse(const std::string& text, HanConfig* out);
 };
 

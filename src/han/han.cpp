@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "han/synth/schedule_builder.hpp"
 #include "han/task/builders.hpp"
 #include "han/task/scheduler.hpp"
 
@@ -13,6 +14,19 @@ using coll::CollConfig;
 using coll::CollKind;
 using mpi::BufView;
 using mpi::Request;
+
+/// Resolve cfg.sched into a validated SynthSpec of the expected kind.
+/// A config naming a schedule is either synthesizer output or a cached
+/// table entry; a malformed or wrong-kind id there is corruption, not a
+/// fallback situation.
+synth::SynthSpec resolve_sched(const HanConfig& cfg, CollKind kind) {
+  synth::SynthSpec spec;
+  HAN_ASSERT_MSG(synth::SynthSpec::parse(cfg.sched, &spec),
+                 "cfg.sched is not a valid synthesized-schedule id");
+  HAN_ASSERT_MSG(spec.kind == kind,
+                 "cfg.sched names a schedule for a different collective");
+  return spec;
+}
 
 }  // namespace
 
@@ -153,6 +167,14 @@ bool node_contiguous(const HanComm& hc) {
 mpi::Request HanModule::ibcast_cfg(const mpi::Comm& comm, int me, int root,
                                    BufView buf, mpi::Datatype dtype,
                                    const HanConfig& cfg) {
+  if (!cfg.sched.empty()) {
+    const synth::SynthSpec spec = resolve_sched(cfg, CollKind::Bcast);
+    return task::TaskScheduler::run(
+        rt(),
+        synth::build_schedule_bcast(*this, comm, me, root, buf, dtype, cfg,
+                                    spec),
+        cfg.window, comm.world_rank(me));
+  }
   return task::TaskScheduler::run(
       rt(), task::build_bcast(*this, comm, me, root, buf, dtype, cfg),
       cfg.window, comm.world_rank(me));
@@ -187,6 +209,14 @@ mpi::Request HanModule::iallreduce_cfg(const mpi::Comm& comm, int me,
                                        BufView send, BufView recv,
                                        mpi::Datatype dtype, mpi::ReduceOp op,
                                        const HanConfig& cfg) {
+  if (!cfg.sched.empty()) {
+    const synth::SynthSpec spec = resolve_sched(cfg, CollKind::Allreduce);
+    return task::TaskScheduler::run(
+        rt(),
+        synth::build_schedule_allreduce(*this, comm, me, send, recv, dtype,
+                                        op, cfg, spec),
+        cfg.window, comm.world_rank(me));
+  }
   return task::TaskScheduler::run(
       rt(),
       task::build_allreduce(*this, comm, me, send, recv, dtype, op, cfg),

@@ -1,0 +1,93 @@
+#include "han/synth/cost.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace han::synth {
+
+namespace {
+
+int ceil_log2(int n) {
+  int bits = 0;
+  for (int v = n - 1; v > 0; v >>= 1) ++bits;
+  return std::max(bits, 1);
+}
+
+/// Replay the parametric builder's emission on the abstract machine and
+/// return the makespan. Lane 0 is the shared intra lane; lanes 1..k are
+/// the per-leader inter lanes (stripe owner of segment i is i % k).
+double walk(const SynthSpec& spec, int u, std::size_t seg_len, int window,
+            int k, int nodes, int ppn) {
+  // Affine per-task costs in abstract units; the log factor is the tree
+  // depth of the level's collective, the byte slopes encode that the
+  // inter fabric is the scarcer resource.
+  const double intra =
+      ppn > 1 ? (1.0 + static_cast<double>(seg_len) / 65536.0) *
+                    ceil_log2(ppn)
+              : 0.0;
+  const double inter = (4.0 + static_cast<double>(seg_len) / 16384.0) *
+                       ceil_log2(nodes);
+
+  std::vector<double> lane_free(1 + static_cast<std::size_t>(k), 0.0);
+  std::vector<double> fin_sr(u, 0.0), fin_ir(u, 0.0), fin_ib(u, 0.0);
+  const int last = u - 1 + spec.max_lag();
+  // Frontier gating: a task at step t may start only once every task of
+  // steps <= t - window has finished (the TaskScheduler's window rule,
+  // conservative against its forward-pump refinement).
+  std::vector<double> step_max(static_cast<std::size_t>(last) + 1, 0.0);
+  std::vector<double> gate(static_cast<std::size_t>(last) + 1, 0.0);
+
+  double makespan = 0.0;
+  for (int t = 0; t <= last; ++t) {
+    gate[t] = t > 0 ? std::max(gate[t - 1], step_max[t - 1]) : 0.0;
+    for (const StageSlot& slot : spec.stages) {
+      const int i = t - slot.lag;
+      if (i < 0 || i >= u) continue;
+      const bool is_intra = slot.role == "sr" || slot.role == "sb";
+      const double cost = is_intra ? intra : inter;
+      if (cost == 0.0) continue;  // degenerate level: no task emitted
+      const std::size_t lane =
+          is_intra ? 0 : 1 + static_cast<std::size_t>(i % k);
+      double start = lane_free[lane];
+      if (t >= window) start = std::max(start, gate[t - window + 1]);
+      if (slot.role == "ir") {
+        start = std::max(start, fin_sr[i]);
+      } else if (slot.role == "ib") {
+        start = std::max(start, fin_ir[i]);
+      } else if (slot.role == "sb") {
+        start = std::max(start, fin_ib[i]);
+      }
+      const double fin = start + cost;
+      lane_free[lane] = fin;
+      if (slot.role == "sr") {
+        fin_sr[i] = fin;
+      } else if (slot.role == "ir") {
+        fin_ir[i] = fin;
+      } else if (slot.role == "ib") {
+        fin_ib[i] = fin;
+      }
+      step_max[t] = std::max(step_max[t], fin);
+      makespan = std::max(makespan, fin);
+    }
+  }
+  return makespan;
+}
+
+}  // namespace
+
+CostPoint symbolic_cost(const SynthSpec& spec, const core::HanConfig& cfg,
+                        int nodes, int ppn, std::size_t msg_bytes) {
+  const std::size_t m = std::max<std::size_t>(msg_bytes, 1);
+  const std::size_t fs = std::max<std::size_t>(cfg.fs, 1);
+  const int u = static_cast<int>((m + fs - 1) / fs);
+  const std::size_t seg = (m + static_cast<std::size_t>(u) - 1) /
+                          static_cast<std::size_t>(u);
+  const int k = std::max(1, std::min(spec.leaders, ppn));
+
+  CostPoint c;
+  c.lat = walk(spec, std::min(u, 2), seg, cfg.window, k, nodes, ppn);
+  c.bw = walk(spec, u, seg, cfg.window, k, nodes, ppn);
+  return c;
+}
+
+}  // namespace han::synth

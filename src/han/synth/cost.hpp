@@ -1,0 +1,46 @@
+// Symbolic pruning costs for schedule synthesis (docs/SYNTHESIS.md).
+//
+// The synthesizer cannot afford to simulate every candidate, so each
+// SynthSpec x HanConfig pair is first walked on an abstract node machine:
+// one serial intra lane (the low communicator runs one collective at a
+// time) and one serial inter lane per leader stripe (each leader drives
+// its own up communicator). Task costs are affine in the segment length,
+// scaled by the log-depth of the level's tree — abstract units, only the
+// relative ordering matters. The walk replays the exact emission the
+// parametric builder performs (same stage order, same lags, same
+// dependency chain, same frontier/window gating as the TaskScheduler), in
+// the spirit of autotune/costmodel.cpp's step-signature walks: the pruner
+// and the builder cannot disagree about structure.
+//
+// Two points summarize a candidate: `lat` (makespan of a 2-segment
+// pipeline — dominated by fill/drain and intra-step dependency chains)
+// and `bw` (makespan at full segmentation — steady-state throughput).
+// Candidates are pruned to the (lat, bw) pareto frontier; the survivors
+// are ranked by the deterministic simulator, never by this model.
+#pragma once
+
+#include <cstddef>
+
+#include "han/config.hpp"
+#include "han/synth/spec.hpp"
+
+namespace han::synth {
+
+struct CostPoint {
+  double lat = 0.0;  // fill-sensitive makespan (u = 2), abstract units
+  double bw = 0.0;   // steady-state makespan (u = ceil(m / fs))
+
+  friend bool operator==(const CostPoint&, const CostPoint&) = default;
+
+  /// Strict pareto dominance: at least as good on both axes, better on one.
+  bool dominates(const CostPoint& o) const {
+    return lat <= o.lat && bw <= o.bw && (lat < o.lat || bw < o.bw);
+  }
+};
+
+/// Walk one candidate on the abstract machine. `nodes`/`ppn` give the
+/// topology; cfg contributes fs (segment count) and window (step gating).
+CostPoint symbolic_cost(const SynthSpec& spec, const core::HanConfig& cfg,
+                        int nodes, int ppn, std::size_t msg_bytes);
+
+}  // namespace han::synth

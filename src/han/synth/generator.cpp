@@ -1,0 +1,105 @@
+#include "han/synth/generator.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace han::synth {
+
+namespace {
+
+/// The dependency-chain order of each kind (prerequisite first).
+std::vector<std::string> chain_roles(coll::CollKind kind) {
+  if (kind == coll::CollKind::Bcast) return {"ib", "sb"};
+  return {"sr", "ir", "ib", "sb"};
+}
+
+void push_if_valid(std::vector<SynthSpec>& out, SynthSpec spec) {
+  if (spec.validate().empty()) out.push_back(std::move(spec));
+}
+
+}  // namespace
+
+std::vector<SynthSpec> enumerate_specs(coll::CollKind kind, int ppn,
+                                       const GeneratorOptions& opts) {
+  const std::vector<std::string> chain = chain_roles(kind);
+  const int links = static_cast<int>(chain.size()) - 1;
+  const int slack = std::max(opts.max_extra_lag, 0);
+
+  // Lag assignments: chain head at 0, each link delta in [0, slack].
+  std::vector<std::vector<int>> lag_sets;
+  std::vector<int> deltas(links, 0);
+  for (;;) {
+    std::vector<int> lags(chain.size(), 0);
+    for (int l = 0; l < links; ++l) lags[l + 1] = lags[l] + deltas[l];
+    lag_sets.push_back(std::move(lags));
+    int carry = links - 1;
+    while (carry >= 0 && deltas[carry] == slack) deltas[carry--] = 0;
+    if (carry < 0) break;
+    ++deltas[carry];
+  }
+
+  // Leader counts, clamped and deduplicated (bcast is single-leader; the
+  // validate() call filters k > 1 there).
+  std::vector<int> ks;
+  for (int k : opts.leader_counts) {
+    const int kk = std::max(1, std::min(k, ppn));
+    if (std::find(ks.begin(), ks.end(), kk) == ks.end()) ks.push_back(kk);
+  }
+  std::sort(ks.begin(), ks.end());
+
+  std::vector<SynthSpec> out;
+  // Emission orders: every permutation of the chain's stages
+  // (std::next_permutation over indices; validate() rejects orders that
+  // emit a stage before its equal-lag prerequisite).
+  std::vector<int> perm(chain.size());
+  for (std::size_t j = 0; j < perm.size(); ++j) perm[j] = static_cast<int>(j);
+  std::sort(perm.begin(), perm.end());
+  do {
+    for (const std::vector<int>& lags : lag_sets) {
+      for (int k : ks) {
+        SynthSpec spec;
+        spec.kind = kind;
+        spec.leaders = k;
+        for (int idx : perm) {
+          spec.stages.push_back({chain[idx], lags[idx]});
+        }
+        push_if_valid(out, std::move(spec));
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  std::sort(out.begin(), out.end(),
+            [](const SynthSpec& a, const SynthSpec& b) {
+              return a.id() < b.id();
+            });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+SynthSpec mutate_spec(const SynthSpec& base, sim::Rng& rng, int ppn) {
+  SynthSpec spec = base;
+  switch (rng.next_below(3)) {
+    case 0: {  // bump one stage's lag by +-1
+      const std::size_t at = rng.next_below(spec.stages.size());
+      const int delta = rng.next_below(2) == 0 ? -1 : 1;
+      spec.stages[at].lag += delta;
+      break;
+    }
+    case 1: {  // swap two adjacent stages in the emission order
+      if (spec.stages.size() >= 2) {
+        const std::size_t at = rng.next_below(spec.stages.size() - 1);
+        std::swap(spec.stages[at], spec.stages[at + 1]);
+      }
+      break;
+    }
+    default: {  // halve or double the leader stripe count
+      const int k =
+          rng.next_below(2) == 0 ? spec.leaders / 2 : spec.leaders * 2;
+      spec.leaders = std::max(1, std::min(k, ppn));
+      break;
+    }
+  }
+  return spec;
+}
+
+}  // namespace han::synth

@@ -1,0 +1,39 @@
+// The bounded generator grammar of the schedule synthesizer
+// (docs/SYNTHESIS.md).
+//
+// Candidates are SynthSpecs: an emission order over the kind's shape
+// primitives, per-stage pipeline lags, and a leader (stripe) count.
+// enumerate_specs walks the whole bounded grammar — every emission-order
+// permutation x every lag assignment with chain deltas in
+// [0, max_extra_lag] x every leader count that fits the node — keeping
+// only specs SynthSpec::validate accepts. mutate_spec applies one random
+// edit (bump a lag, swap adjacent stages, halve/double leaders) driven by
+// the deterministic sim::Rng, for the local-search pass around the pareto
+// frontier.
+#pragma once
+
+#include <vector>
+
+#include "han/synth/spec.hpp"
+#include "simbase/rng.hpp"
+
+namespace han::synth {
+
+struct GeneratorOptions {
+  /// Per-link lag slack above the dependency chain's minimum (0 = only
+  /// specs whose consecutive stages share a step where allowed).
+  int max_extra_lag = 2;
+  /// Leader counts to try (clamped to ppn; duplicates removed).
+  std::vector<int> leader_counts{1, 2, 4};
+};
+
+/// Every valid spec of the bounded grammar, deduplicated, sorted by id.
+std::vector<SynthSpec> enumerate_specs(coll::CollKind kind, int ppn,
+                                       const GeneratorOptions& opts = {});
+
+/// One random edit of `base`. The result may be invalid (validate()
+/// non-empty) or equal to base — callers filter; determinism comes from
+/// the caller-owned rng.
+SynthSpec mutate_spec(const SynthSpec& base, sim::Rng& rng, int ppn);
+
+}  // namespace han::synth

@@ -1,0 +1,221 @@
+#include "han/synth/schedule_builder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "han/han_util.hpp"
+
+namespace han::synth {
+
+namespace {
+
+using coll::CollConfig;
+using coll::CollModule;
+using coll::Segmenter;
+using core::HanComm;
+using core::HanConfig;
+using core::TempBuf;
+using core::seg_of;
+using mpi::BufView;
+using mpi::Datatype;
+using mpi::ReduceOp;
+using task::Level;
+using task::Op;
+using task::TaskGraph;
+
+std::shared_ptr<TempBuf> make_temp(TaskGraph& g, bool data_mode,
+                                   std::size_t bytes, Datatype t) {
+  auto buf = std::make_shared<TempBuf>(data_mode, bytes, t);
+  g.keepalive.push_back(buf);
+  return buf;
+}
+
+}  // namespace
+
+TaskGraph build_schedule_allreduce(core::HanModule& m, const mpi::Comm& comm,
+                                   int me, BufView send, BufView recv,
+                                   Datatype dtype, ReduceOp op,
+                                   const HanConfig& cfg,
+                                   const SynthSpec& spec) {
+  TaskGraph g;
+  mpi::SimWorld& w = m.world_ref();
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_intra = low->size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+  CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter) {
+    // Degenerate hierarchy: the spec's inter stages vanish; mirror
+    // task::build_allreduce exactly.
+    if (has_intra) {
+      g.add({Op::Reduce, Level::Intra, low, 0, -1, send.bytes, {},
+             [smod, low, me_low, send, recv, dtype, op] {
+               return smod->iallreduce(*low, me_low, send, recv, dtype, op,
+                                       CollConfig{});
+             }});
+    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    return g;
+  }
+
+  CollModule* imod = m.inter_module(cfg);
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
+  const Segmenter segs(send.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+  // Stripe count: segment i is owned by local rank i % k; leaders drive
+  // ir/ib for their stripe on their own up communicator.
+  const int k = has_intra
+                    ? std::max(1, std::min(spec.leaders, low->size()))
+                    : 1;
+  const int leader_idx = me_low < k ? me_low : -1;
+  const mpi::Comm* up = hc.up(me);
+  const int me_up = hc.up_rank(me);
+  auto partial =
+      make_temp(g, w.data_mode() && leader_idx >= 0, send.bytes, dtype);
+
+  std::vector<int> sr_node(u, -1), ir_node(u, -1), ib_node(u, -1);
+  // Emit step by step, stages in the spec's order — the emission order IS
+  // the per-comm FIFO order, and it is identical across ranks for the low
+  // comm because every rank walks the same stage list (inter stages are
+  // simply skipped by non-owners).
+  const int last = u - 1 + spec.max_lag();
+  for (int t = 0; t <= last; ++t) {
+    for (const StageSlot& slot : spec.stages) {
+      const int i = t - slot.lag;
+      if (i < 0 || i >= u) continue;
+      const int owner = i % k;
+      if (slot.role == "sr") {
+        if (!has_intra) continue;
+        const BufView src = seg_of(send, segs, i);
+        const BufView dst =
+            me_low == owner ? partial->view(segs.offset(i), segs.length(i))
+                            : BufView::timing_only(segs.length(i), dtype);
+        sr_node[i] =
+            g.add({Op::Reduce, Level::Intra, low, t, i, src.bytes, {},
+                   [smod, low, me_low, owner, src, dst, dtype, op] {
+                     return smod->ireduce(*low, me_low, owner, src, dst,
+                                          dtype, op, CollConfig{});
+                   }});
+      } else if (slot.role == "ir") {
+        if (leader_idx != owner) continue;
+        const BufView contrib =
+            has_intra ? partial->view(segs.offset(i), segs.length(i))
+                      : seg_of(send, segs, i);
+        const BufView dst = seg_of(recv, segs, i);
+        std::vector<int> deps;
+        if (sr_node[i] >= 0) deps.push_back(sr_node[i]);
+        ir_node[i] =
+            g.add({Op::Reduce, Level::Inter, up, t, i, contrib.bytes,
+                   std::move(deps),
+                   [imod, up, me_up, contrib, dst, dtype, op, ircfg] {
+                     return imod->ireduce(*up, me_up, /*root=*/0, contrib,
+                                          dst, dtype, op, ircfg);
+                   }});
+      } else if (slot.role == "ib") {
+        if (leader_idx != owner) continue;
+        const BufView seg = seg_of(recv, segs, i);
+        ib_node[i] =
+            g.add({Op::Bcast, Level::Inter, up, t, i, seg.bytes,
+                   {ir_node[i]},
+                   [imod, up, me_up, seg, dtype, ibcfg] {
+                     return imod->ibcast(*up, me_up, /*root=*/0, seg, dtype,
+                                         ibcfg);
+                   }});
+      } else {  // sb
+        if (!has_intra) continue;
+        const BufView seg = seg_of(recv, segs, i);
+        std::vector<int> deps;
+        if (ib_node[i] >= 0) deps.push_back(ib_node[i]);
+        g.add({Op::Bcast, Level::Intra, low, t, i, seg.bytes,
+               std::move(deps), [smod, low, me_low, owner, seg, dtype] {
+                 return smod->ibcast(*low, me_low, owner, seg, dtype,
+                                     CollConfig{});
+               }});
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph build_schedule_bcast(core::HanModule& m, const mpi::Comm& comm,
+                               int me, int root, BufView buf, Datatype dtype,
+                               const HanConfig& cfg, const SynthSpec& spec) {
+  TaskGraph g;
+  HanComm& hc = m.han_comm(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.low_rank(root);
+  const bool has_intra = low->size() > 1;
+  const bool has_inter = hc.up(me) != nullptr;
+  CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter) {
+    if (has_intra) {
+      g.add({Op::Bcast, Level::Intra, low, 0, -1, buf.bytes, {},
+             [smod, low, me_low, root_low, buf, dtype] {
+               return smod->ibcast(*low, me_low, root_low, buf, dtype,
+                                   CollConfig{});
+             }});
+    }
+    return g;
+  }
+
+  CollModule* imod = m.inter_module(cfg);
+  const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  const Segmenter segs(buf.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+
+  if (me_low == root_low) {
+    const mpi::Comm* up = hc.up(me);
+    const int me_up = hc.up_rank(me);
+    const int root_up = hc.up_rank(root);
+    std::vector<int> ib_node(u, -1);
+    const int last = u - 1 + spec.max_lag();
+    for (int t = 0; t <= last; ++t) {
+      for (const StageSlot& slot : spec.stages) {
+        const int i = t - slot.lag;
+        if (i < 0 || i >= u) continue;
+        const BufView seg = seg_of(buf, segs, i);
+        if (slot.role == "ib") {
+          ib_node[i] =
+              g.add({Op::Bcast, Level::Inter, up, t, i, seg.bytes, {},
+                     [imod, up, me_up, root_up, seg, dtype, icfg] {
+                       return imod->ibcast(*up, me_up, root_up, seg, dtype,
+                                           icfg);
+                     }});
+        } else {  // sb
+          if (!has_intra) continue;
+          std::vector<int> deps;
+          if (ib_node[i] >= 0) deps.push_back(ib_node[i]);
+          g.add({Op::Bcast, Level::Intra, low, t, i, seg.bytes,
+                 std::move(deps),
+                 [smod, low, me_low, root_low, seg, dtype] {
+                   return smod->ibcast(*low, me_low, root_low, seg, dtype,
+                                       CollConfig{});
+                 }});
+        }
+      }
+    }
+  } else {
+    // Followers run the intra stage alone at lag 0 (as in
+    // task::build_bcast): the low comm matches collectives by call order,
+    // and a follower has no reason to idle behind the leader's lag.
+    for (int i = 0; i < u; ++i) {
+      const BufView seg = seg_of(buf, segs, i);
+      g.add({Op::Bcast, Level::Intra, low, i, i, seg.bytes, {},
+             [smod, low, me_low, root_low, seg, dtype] {
+               return smod->ibcast(*low, me_low, root_low, seg, dtype,
+                                   CollConfig{});
+             }});
+    }
+  }
+  return g;
+}
+
+}  // namespace han::synth

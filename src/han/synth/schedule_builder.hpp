@@ -1,0 +1,41 @@
+// Parametric TaskGraph builders for synthesized schedules.
+//
+// task/builders.cpp hard-codes the paper's shapes; these builders accept
+// any validated SynthSpec and emit the corresponding stepped pipeline:
+// the spec's stage list (in its emission order, with its lags) for the
+// participating ranks, striped over spec.leaders node-local leaders for
+// allreduce (segment i is owned by local rank i % k). With
+// SynthSpec::canonical the produced graphs are structurally identical to
+// task::build_allreduce / task::build_bcast, so dispatching through a
+// spec is never a regression.
+//
+// Compiled into han_core (not the han_synth search library): HanModule
+// dispatches any HanConfig whose `sched` field names a spec
+// (docs/SYNTHESIS.md), whether it came from the synthesizer, a lookup
+// table, or a hand-typed config string.
+#pragma once
+
+#include "han/han.hpp"
+#include "han/synth/spec.hpp"
+#include "han/task/graph.hpp"
+
+namespace han::synth {
+
+/// Allreduce from a spec. Degenerate hierarchies (single node) fall back
+/// to the same graphs task::build_allreduce emits.
+task::TaskGraph build_schedule_allreduce(core::HanModule& m,
+                                         const mpi::Comm& comm, int me,
+                                         mpi::BufView send, mpi::BufView recv,
+                                         mpi::Datatype dtype, mpi::ReduceOp op,
+                                         const core::HanConfig& cfg,
+                                         const SynthSpec& spec);
+
+/// Bcast from a spec (single-leader; leaders = ranks sharing the root's
+/// local rank, as in task::build_bcast).
+task::TaskGraph build_schedule_bcast(core::HanModule& m,
+                                     const mpi::Comm& comm, int me, int root,
+                                     mpi::BufView buf, mpi::Datatype dtype,
+                                     const core::HanConfig& cfg,
+                                     const SynthSpec& spec);
+
+}  // namespace han::synth

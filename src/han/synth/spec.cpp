@@ -1,0 +1,188 @@
+#include "han/synth/spec.hpp"
+
+#include <algorithm>
+
+namespace han::synth {
+
+namespace {
+
+const char* kind_tag(coll::CollKind kind) {
+  switch (kind) {
+    case coll::CollKind::Allreduce: return "ar";
+    case coll::CollKind::Bcast: return "bc";
+    default: return nullptr;
+  }
+}
+
+bool known_role(const std::string& role) {
+  return role == "sr" || role == "ir" || role == "ib" || role == "sb";
+}
+
+/// The dependency chain of each kind, prerequisite first. A stage's
+/// prerequisite is the previous element that the spec actually contains.
+const std::vector<std::string>& dep_chain(coll::CollKind kind) {
+  static const std::vector<std::string> kAllreduce{"sr", "ir", "ib", "sb"};
+  static const std::vector<std::string> kBcast{"ib", "sb"};
+  return kind == coll::CollKind::Bcast ? kBcast : kAllreduce;
+}
+
+/// Parse a non-negative integer at s[pos..]; advances pos past the
+/// digits. Returns -1 when no digit is present or the value overflows a
+/// small sane bound (lags and leader counts are tiny).
+int parse_small_int(const std::string& s, std::size_t* pos) {
+  if (*pos >= s.size() || s[*pos] < '0' || s[*pos] > '9') return -1;
+  int v = 0;
+  while (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9') {
+    v = v * 10 + (s[*pos] - '0');
+    if (v > 9999) return -1;
+    ++*pos;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string SynthSpec::id() const {
+  std::string out = kind_tag(kind) == nullptr ? "??" : kind_tag(kind);
+  out += std::to_string(kVersion);
+  out += ":k" + std::to_string(leaders) + ":";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out += '.';
+    out += stages[i].role + std::to_string(stages[i].lag);
+  }
+  return out;
+}
+
+bool SynthSpec::parse(const std::string& text, SynthSpec* out) {
+  SynthSpec spec;
+  if (text.size() < 2) return false;
+  const std::string tag = text.substr(0, 2);
+  if (tag == "ar") {
+    spec.kind = coll::CollKind::Allreduce;
+  } else if (tag == "bc") {
+    spec.kind = coll::CollKind::Bcast;
+  } else {
+    return false;
+  }
+  std::size_t pos = 2;
+  const int version = parse_small_int(text, &pos);
+  if (version != kVersion) return false;
+  if (pos + 1 >= text.size() || text[pos] != ':' || text[pos + 1] != 'k') {
+    return false;
+  }
+  pos += 2;
+  spec.leaders = parse_small_int(text, &pos);
+  if (spec.leaders < 0) return false;
+  if (pos >= text.size() || text[pos] != ':') return false;
+  ++pos;
+  // Stage list: role-lag pairs joined by '.'; at least one stage.
+  while (true) {
+    if (pos + 2 > text.size()) return false;
+    StageSlot slot;
+    slot.role = text.substr(pos, 2);
+    if (!known_role(slot.role)) return false;
+    pos += 2;
+    slot.lag = parse_small_int(text, &pos);
+    if (slot.lag < 0) return false;
+    spec.stages.push_back(std::move(slot));
+    if (pos == text.size()) break;
+    if (text[pos] != '.') return false;
+    ++pos;
+  }
+  if (!spec.validate().empty()) return false;
+  *out = std::move(spec);
+  return true;
+}
+
+int SynthSpec::lag_of(const std::string& role) const {
+  for (const StageSlot& s : stages) {
+    if (s.role == role) return s.lag;
+  }
+  return -1;
+}
+
+int SynthSpec::max_lag() const {
+  int m = 0;
+  for (const StageSlot& s : stages) m = std::max(m, s.lag);
+  return m;
+}
+
+std::string SynthSpec::validate() const {
+  if (kind_tag(kind) == nullptr) {
+    return "synth spec: unsupported collective kind";
+  }
+  const std::vector<std::string>& chain = dep_chain(kind);
+  // Exactly the kind's stage multiset, each role once.
+  if (stages.size() != chain.size()) {
+    return "synth spec: expected " + std::to_string(chain.size()) +
+           " stages, got " + std::to_string(stages.size());
+  }
+  for (const std::string& role : chain) {
+    int count = 0;
+    for (const StageSlot& s : stages) count += s.role == role;
+    if (count != 1) {
+      return "synth spec: stage '" + role + "' must appear exactly once";
+    }
+  }
+  for (const StageSlot& s : stages) {
+    if (s.lag < 0 || s.lag > kMaxLag) {
+      return "synth spec: stage '" + s.role + "' lag " +
+             std::to_string(s.lag) + " outside [0, " +
+             std::to_string(kMaxLag) + "]";
+    }
+  }
+  // Lag monotonicity along the dependency chain, head pinned to 0 (a
+  // uniform shift only inserts idle steps).
+  if (lag_of(chain.front()) != 0) {
+    return "synth spec: chain head '" + chain.front() + "' must have lag 0";
+  }
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const int prev = lag_of(chain[i - 1]);
+    const int cur = lag_of(chain[i]);
+    if (cur < prev) {
+      return "synth spec: stage '" + chain[i] + "' lag " +
+             std::to_string(cur) + " below its prerequisite '" +
+             chain[i - 1] + "' lag " + std::to_string(prev);
+    }
+    if (cur == prev) {
+      // Same step: the prerequisite must be emitted first so the builder
+      // can reference it as a dependency (and the scheduler's in-step
+      // dependency chaining works).
+      std::size_t at_prev = 0, at_cur = 0;
+      for (std::size_t j = 0; j < stages.size(); ++j) {
+        if (stages[j].role == chain[i - 1]) at_prev = j;
+        if (stages[j].role == chain[i]) at_cur = j;
+      }
+      if (at_cur < at_prev) {
+        return "synth spec: stage '" + chain[i] +
+               "' emitted before its equal-lag prerequisite '" +
+               chain[i - 1] + "'";
+      }
+    }
+  }
+  if (leaders < 1 || leaders > kMaxLeaders) {
+    return "synth spec: leaders " + std::to_string(leaders) +
+           " outside [1, " + std::to_string(kMaxLeaders) + "]";
+  }
+  if (kind == coll::CollKind::Bcast && leaders != 1) {
+    return "synth spec: bcast schedules are single-leader";
+  }
+  return "";
+}
+
+SynthSpec SynthSpec::canonical(coll::CollKind kind) {
+  SynthSpec spec;
+  spec.kind = kind;
+  spec.leaders = 1;
+  if (kind == coll::CollKind::Bcast) {
+    // Mirrors task::bcast_shape: sb(t-1) emitted before ib(t).
+    spec.stages = {{"sb", 1}, {"ib", 0}};
+  } else {
+    // Mirrors task::allreduce_shape (paper Fig. 5).
+    spec.kind = coll::CollKind::Allreduce;
+    spec.stages = {{"sr", 0}, {"ir", 1}, {"ib", 2}, {"sb", 3}};
+  }
+  return spec;
+}
+
+}  // namespace han::synth

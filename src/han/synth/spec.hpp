@@ -1,0 +1,86 @@
+// SynthSpec: the serializable identity of a *synthesized* hierarchical
+// schedule (docs/SYNTHESIS.md).
+//
+// HAN's hand-written builders hard-code one point of the schedule space:
+// the paper's stage lags (sr0.ir1.ib2.sb3 for allreduce), a single leader,
+// and a fixed per-step emission order. A SynthSpec names any point of the
+// bounded generator grammar over the same shape primitives
+// (task/shapes.hpp): the ordered stage list with per-stage pipeline lags,
+// plus a leader (stripe) count. Together with the ordinary Table II knobs
+// carried by HanConfig (fs, imod, smod, algorithms, window) it fully
+// determines a TaskGraph, built by synth::build_schedule_* — so a
+// synthesized schedule can be cached in the autotuner LookupTable and
+// dispatched exactly like a tuned configuration (HanConfig::sched).
+//
+// The id grammar is space-free (HanConfig::to_string tokens are
+// space-separated) and versioned:
+//
+//   allreduce:  ar1:k<leaders>:sr<lag>.ir<lag>.ib<lag>.sb<lag>
+//   bcast:      bc1:k1:ib<lag>.sb<lag>
+//
+// Stage order in the id IS the per-step emission order (it fixes the
+// per-comm FIFO order, so it is semantically meaningful — see
+// task/shapes.hpp). parse() round-trips id() exactly and rejects any
+// malformed or truncated id loudly; validate() holds the semantic rules
+// (lag monotonicity along the dependency chain, prerequisite-first order
+// for equal lags) that make the built graph well-formed by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coll/types.hpp"
+
+namespace han::synth {
+
+/// One pipeline stage of a synthesized schedule: the stage role (the
+/// shape-primitive names of task/shapes.hpp) and its pipeline lag —
+/// segment index at step t is t - lag.
+struct StageSlot {
+  std::string role;  // "sr" | "ir" | "ib" | "sb"
+  int lag = 0;
+
+  friend bool operator==(const StageSlot&, const StageSlot&) = default;
+};
+
+struct SynthSpec {
+  /// Schedule ids are versioned; bump when the grammar changes shape.
+  static constexpr int kVersion = 1;
+  /// Upper bound on any stage lag (keeps ids compact and pipelines sane).
+  static constexpr int kMaxLag = 9;
+  /// Upper bound on the leader (stripe) count.
+  static constexpr int kMaxLeaders = 64;
+
+  coll::CollKind kind = coll::CollKind::Allreduce;  // Allreduce | Bcast
+  std::vector<StageSlot> stages;  // per-step emission order
+  int leaders = 1;                // segment-stripe count k (allreduce)
+
+  friend bool operator==(const SynthSpec&, const SynthSpec&) = default;
+
+  /// Canonical, parseable identifier (the HanConfig::sched value).
+  std::string id() const;
+
+  /// Strict inverse of id(): returns false on any malformed, truncated,
+  /// or semantically invalid input (out->* unspecified then). A true
+  /// return implies validate().empty().
+  static bool parse(const std::string& id, SynthSpec* out);
+
+  /// "" when the spec is well-formed, else a description of the first
+  /// defect. Rules: the stage multiset matches the kind (allreduce:
+  /// sr/ir/ib/sb once each; bcast: ib/sb once each), lags are in
+  /// [0, kMaxLag] and non-decreasing along the dependency chain
+  /// (sr <= ir <= ib <= sb; ib <= sb for bcast) with the chain head at
+  /// lag 0, a dependency's prerequisite is emitted first when lags are
+  /// equal, and leaders is in [1, kMaxLeaders] (1 for bcast).
+  std::string validate() const;
+
+  int lag_of(const std::string& role) const;  // -1 when absent
+  int max_lag() const;
+
+  /// The paper's hand-written shapes, as specs: allreduce
+  /// ar1:k1:sr0.ir1.ib2.sb3 and bcast bc1:k1:sb1.ib0 (these build graphs
+  /// structurally identical to task::build_allreduce / task::build_bcast).
+  static SynthSpec canonical(coll::CollKind kind);
+};
+
+}  // namespace han::synth

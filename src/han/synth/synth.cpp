@@ -1,0 +1,323 @@
+#include "han/synth/synth.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "autotune/search.hpp"
+#include "coll/registry.hpp"
+#include "han/han.hpp"
+#include "han/synth/schedule_builder.hpp"
+#include "han/verify/verify.hpp"
+#include "machine/machine.hpp"
+#include "simbase/units.hpp"
+
+namespace han::synth {
+
+namespace {
+
+using coll::CollKind;
+using core::HanConfig;
+using mpi::BufView;
+using mpi::Datatype;
+
+struct SynthWorld {
+  explicit SynthWorld(machine::MachineProfile profile)
+      : world(std::move(profile)),
+        rt(world),
+        mods(world, rt),
+        han(world, rt, mods) {}
+  mpi::SimWorld world;
+  coll::CollRuntime rt;
+  coll::ModuleSet mods;
+  core::HanModule han;
+};
+
+/// Per-rank graphs of one candidate, built by the same parametric builder
+/// the dispatch path uses.
+task::TaskGraph build_candidate(SynthWorld& sw, const mpi::Comm& wc, int me,
+                                CollKind kind, std::size_t bytes,
+                                const HanConfig& cfg, const SynthSpec& spec) {
+  if (kind == CollKind::Bcast) {
+    return build_schedule_bcast(sw.han, wc, me, /*root=*/0,
+                                BufView::timing_only(bytes), Datatype::Byte,
+                                cfg, spec);
+  }
+  return build_schedule_allreduce(sw.han, wc, me, BufView::timing_only(bytes),
+                                  BufView::timing_only(bytes), Datatype::Byte,
+                                  mpi::ReduceOp::Sum, cfg, spec);
+}
+
+/// The soundness gate: structural validation plus the cross-rank deadlock
+/// analysis at the candidate's own scheduler window. ANY finding — error
+/// or warning — disqualifies the candidate from execution.
+void gate_candidate(SynthWorld& sw, CollKind kind, std::size_t bytes,
+                    Candidate& cand) {
+  const mpi::Comm& wc = sw.world.world_comm();
+  std::vector<verify::GraphSummary> summaries;
+  for (int me = 0; me < wc.size(); ++me) {
+    task::TaskGraph g =
+        build_candidate(sw, wc, me, kind, bytes, cand.cfg, cand.spec);
+    if (!task::validate_graph(g).empty()) {
+      cand.verify_errors += 1;
+      return;
+    }
+    summaries.push_back(verify::summarize(g, me));
+  }
+  const verify::Report rep =
+      verify::analyze_task_graphs(summaries, cand.cfg.window);
+  for (const verify::Finding& f : rep.findings) {
+    if (f.severity == verify::Severity::Error) {
+      ++cand.verify_errors;
+    } else {
+      ++cand.verify_warnings;
+    }
+  }
+  if (rep.truncated) ++cand.verify_errors;
+  cand.verified = cand.verify_errors == 0 && cand.verify_warnings == 0;
+}
+
+std::vector<std::size_t> pareto_frontier(const std::vector<Candidate>& pool) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < pool.size() && !dominated; ++j) {
+      dominated = j != i && pool[j].cost.dominates(pool[i].cost);
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string fmt_candidate(const Candidate& c) {
+  std::string j = "{\"cfg\": \"" + c.cfg.to_string() + "\"";
+  j += ", \"lat\": " + fmt_double(c.cost.lat);
+  j += ", \"bw\": " + fmt_double(c.cost.bw);
+  j += std::string(", \"verified\": ") + (c.verified ? "true" : "false");
+  j += ", \"errors\": " + std::to_string(c.verify_errors);
+  j += ", \"warnings\": " + std::to_string(c.verify_warnings);
+  if (c.time >= 0.0) j += ", \"time\": " + fmt_double(c.time);
+  j += "}";
+  return j;
+}
+
+}  // namespace
+
+int SynthResult::finalist_findings() const {
+  int n = 0;
+  for (const SynthCase& c : cases) {
+    for (const Candidate& f : c.finalists) {
+      n += f.verify_errors + f.verify_warnings;
+    }
+  }
+  return n;
+}
+
+int SynthResult::wins() const {
+  int n = 0;
+  for (const SynthCase& c : cases) {
+    if (c.winner < 0 || c.baseline < 0.0) continue;
+    n += c.finalists[c.winner].time <= c.baseline * (1.0 + 1e-9);
+  }
+  return n;
+}
+
+tune::LookupTable SynthResult::winners() const {
+  tune::LookupTable table;
+  for (const SynthCase& c : cases) {
+    if (c.winner < 0) continue;
+    table.insert(c.kind, opts.nodes, opts.ppn, c.bytes,
+                 c.finalists[c.winner].cfg);
+  }
+  return table;
+}
+
+std::string SynthResult::to_json() const {
+  int explored = 0, frontier = 0, finalists = 0;
+  for (const SynthCase& c : cases) {
+    explored += c.explored;
+    frontier += c.frontier;
+    finalists += static_cast<int>(c.finalists.size());
+  }
+  std::string j = "{\n  \"totals\": {\"cases\": " +
+                  std::to_string(cases.size()) +
+                  ", \"explored\": " + std::to_string(explored) +
+                  ", \"frontier\": " + std::to_string(frontier) +
+                  ", \"finalists\": " + std::to_string(finalists) +
+                  ", \"finalist_findings\": " +
+                  std::to_string(finalist_findings()) +
+                  ", \"wins\": " + std::to_string(wins()) + "},\n";
+  j += "  \"options\": {\"machine\": \"" + std::to_string(opts.nodes) + "x" +
+       std::to_string(opts.ppn) + "\", \"seed\": " +
+       std::to_string(opts.seed) +
+       ", \"mutation_rounds\": " + std::to_string(opts.mutation_rounds) +
+       ", \"mutants_per_round\": " + std::to_string(opts.mutants_per_round) +
+       ", \"max_finalists\": " + std::to_string(opts.max_finalists) + "},\n";
+  j += "  \"cases\": {\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const SynthCase& c = cases[i];
+    j += "    \"" + c.name + "\": {\"explored\": " +
+         std::to_string(c.explored) +
+         ", \"frontier\": " + std::to_string(c.frontier);
+    if (c.baseline >= 0.0) {
+      j += ", \"baseline\": {\"cfg\": \"" + c.baseline_cfg +
+           "\", \"time\": " + fmt_double(c.baseline) + "}";
+    }
+    j += ", \"finalists\": [";
+    for (std::size_t f = 0; f < c.finalists.size(); ++f) {
+      if (f > 0) j += ", ";
+      j += fmt_candidate(c.finalists[f]);
+    }
+    j += "]";
+    if (c.winner >= 0) {
+      const Candidate& w = c.finalists[c.winner];
+      j += ", \"winner\": {\"cfg\": \"" + w.cfg.to_string() +
+           "\", \"time\": " + fmt_double(w.time);
+      if (c.baseline > 0.0) {
+        j += ", \"vs_baseline\": " + fmt_double(w.time / c.baseline);
+      }
+      j += "}";
+    }
+    j += "}";
+    j += i + 1 < cases.size() ? ",\n" : "\n";
+  }
+  j += "  }\n}\n";
+  return j;
+}
+
+SynthResult run_synthesis(const SynthOptions& opts) {
+  SynthResult result;
+  result.opts = opts;
+
+  std::uint64_t case_ordinal = 0;
+  for (CollKind kind : opts.kinds) {
+    for (std::size_t bytes : opts.sizes) {
+      SynthCase c;
+      c.kind = kind;
+      c.bytes = bytes;
+      c.name = std::string(coll::coll_kind_name(kind)) + "." +
+               std::to_string(opts.nodes) + "x" + std::to_string(opts.ppn) +
+               "." + sim::format_bytes(bytes);
+
+      // Base Table II configs every spec is crossed with. ADAPT/Binary is
+      // the workhorse inter module; fs and window are the axes that
+      // interact with the schedule shape.
+      std::vector<HanConfig> bases;
+      for (std::size_t fs : opts.fs_sizes) {
+        for (int w : opts.windows) {
+          HanConfig base;
+          base.fs = fs;
+          base.imod = "adapt";
+          base.smod = "sm";
+          base.ibalg = coll::Algorithm::Binary;
+          base.iralg = coll::Algorithm::Binary;
+          base.ibs = 32 << 10;
+          base.irs = 32 << 10;
+          base.window = w;
+          bases.push_back(std::move(base));
+        }
+      }
+
+      // 1. Enumerate the grammar across the base configs and cost it.
+      std::vector<Candidate> pool;
+      std::set<std::string> seen;
+      auto admit = [&](SynthSpec spec, const HanConfig& base) {
+        if (!spec.validate().empty()) return;
+        Candidate cand;
+        cand.cfg = base;
+        cand.cfg.sched = spec.id();
+        if (!seen.insert(cand.cfg.to_string()).second) return;
+        cand.spec = std::move(spec);
+        cand.cost =
+            symbolic_cost(cand.spec, cand.cfg, opts.nodes, opts.ppn, bytes);
+        pool.push_back(std::move(cand));
+      };
+      for (const SynthSpec& spec :
+           enumerate_specs(kind, opts.ppn, opts.grammar)) {
+        for (const HanConfig& base : bases) admit(spec, base);
+      }
+
+      // 2. Pareto prune, then mutate around the frontier.
+      sim::Rng rng(opts.seed + 0x9e3779b97f4a7c15ull * (case_ordinal + 1));
+      std::vector<std::size_t> frontier = pareto_frontier(pool);
+      for (int round = 0; round < opts.mutation_rounds; ++round) {
+        for (int mi = 0; mi < opts.mutants_per_round; ++mi) {
+          const Candidate& parent =
+              pool[frontier[rng.next_below(frontier.size())]];
+          HanConfig base = parent.cfg;
+          base.sched.clear();
+          admit(mutate_spec(parent.spec, rng, opts.ppn), base);
+        }
+        frontier = pareto_frontier(pool);
+      }
+      c.explored = static_cast<int>(pool.size());
+      c.frontier = static_cast<int>(frontier.size());
+
+      // 3. Select finalists: the frontier's best by combined cost, plus
+      // the canonical shape under every base config (so the winner can
+      // never lose to the hand-written builders).
+      std::vector<std::size_t> order = frontier;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double ca = pool[a].cost.lat + pool[a].cost.bw;
+                  const double cb = pool[b].cost.lat + pool[b].cost.bw;
+                  if (ca != cb) return ca < cb;
+                  return pool[a].cfg.to_string() < pool[b].cfg.to_string();
+                });
+      if (static_cast<int>(order.size()) > opts.max_finalists) {
+        order.resize(static_cast<std::size_t>(opts.max_finalists));
+      }
+      const std::string canonical_id = SynthSpec::canonical(kind).id();
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (pool[i].cfg.sched != canonical_id) continue;
+        if (std::find(order.begin(), order.end(), i) == order.end()) {
+          order.push_back(i);
+        }
+      }
+      for (std::size_t idx : order) c.finalists.push_back(pool[idx]);
+      std::sort(c.finalists.begin(), c.finalists.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.cfg.to_string() < b.cfg.to_string();
+                });
+
+      // 4. Verify gate + simulator scoring on the real topology.
+      SynthWorld sw(machine::make_aries(opts.nodes, opts.ppn));
+      const mpi::Comm& wc = sw.world.world_comm();
+      for (Candidate& cand : c.finalists) {
+        gate_candidate(sw, kind, bytes, cand);
+      }
+      tune::Searcher searcher(sw.world, sw.han, wc);
+      for (const HanConfig& base : bases) {
+        const double t = searcher.measure_collective(kind, bytes, base);
+        if (c.baseline < 0.0 || t < c.baseline) {
+          c.baseline = t;
+          c.baseline_cfg = base.to_string();
+        }
+      }
+      for (std::size_t f = 0; f < c.finalists.size(); ++f) {
+        Candidate& cand = c.finalists[f];
+        if (!cand.verified) continue;
+        cand.time = searcher.measure_collective(kind, bytes, cand.cfg);
+        if (c.winner < 0 || cand.time < c.finalists[c.winner].time) {
+          c.winner = static_cast<int>(f);
+        }
+      }
+
+      result.cases.push_back(std::move(c));
+      ++case_ordinal;
+    }
+  }
+  std::sort(result.cases.begin(), result.cases.end(),
+            [](const SynthCase& a, const SynthCase& b) {
+              return a.name < b.name;
+            });
+  return result;
+}
+
+}  // namespace han::synth

@@ -11,6 +11,7 @@
 #include "coll/validate.hpp"
 #include "han/han.hpp"
 #include "han/han3.hpp"
+#include "han/synth/schedule_builder.hpp"
 #include "han/task/builders.hpp"
 #include "machine/machine.hpp"
 
@@ -434,6 +435,50 @@ SweepResult run_sweep(const SweepOptions& opts) {
               return a.name < b.name;
             });
   return out;
+}
+
+void verify_lookup(const tune::LookupTable& table, SweepResult& out) {
+  for (const auto& [key, cfg] : table.entries()) {
+    if (cfg.sched.empty()) continue;
+    const std::string name =
+        std::string("lookup.") + coll::coll_kind_name(key.kind) + "." +
+        std::to_string(key.nodes) + "x" + std::to_string(key.ppn) +
+        ".log2_" + std::to_string(key.log2_bytes);
+    synth::SynthSpec spec;
+    if (!synth::SynthSpec::parse(cfg.sched, &spec)) {
+      record_defect(out, name, "unparseable sched id '" + cfg.sched + "'");
+      continue;
+    }
+    if (spec.kind != key.kind) {
+      record_defect(out, name,
+                    "sched id '" + cfg.sched + "' is for another kind");
+      continue;
+    }
+    if (key.nodes < 2 || key.ppn < 1) {
+      record_defect(out, name, "entry shape has no inter level");
+      continue;
+    }
+    // Rebuild the schedule exactly as dispatch would: the entry's own
+    // topology, its bucket's message size, its config's window.
+    GraphWorld gw(machine::make_aries(key.nodes, key.ppn));
+    const mpi::Comm& wc = gw.world.world_comm();
+    const std::size_t bytes = std::size_t{1} << key.log2_bytes;
+    std::vector<GraphSummary> summaries;
+    bool ok = true;
+    for (int me = 0; ok && me < wc.size(); ++me) {
+      task::TaskGraph g =
+          key.kind == CollKind::Bcast
+              ? synth::build_schedule_bcast(
+                    gw.han, wc, me, /*root=*/0, BufView::timing_only(bytes),
+                    Datatype::Byte, cfg, spec)
+              : synth::build_schedule_allreduce(
+                    gw.han, wc, me, BufView::timing_only(bytes),
+                    BufView::timing_only(bytes), Datatype::Byte,
+                    mpi::ReduceOp::Sum, cfg, spec);
+      ok = checked_summarize(out, name, me, std::move(g), summaries);
+    }
+    if (ok) record(out, name, analyze_task_graphs(summaries, cfg.window));
+  }
 }
 
 }  // namespace han::verify

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "autotune/lookup.hpp"
 #include "han/verify/verify.hpp"
 
 namespace han::verify {
@@ -50,5 +51,13 @@ struct SweepResult {
 };
 
 SweepResult run_sweep(const SweepOptions& opts = {});
+
+/// Re-verify every cached synthesized schedule of a lookup table: each
+/// entry with a non-empty cfg.sched is rebuilt on its own (nodes, ppn)
+/// topology at its bucket's message size and analyzed at its window
+/// (entries named "lookup.<kind>.<n>x<p>.log2_<b>"). Unparseable ids and
+/// kind mismatches are recorded as defects, never skipped silently.
+/// Appends to `out` (the han_verify CLI sorts at the end).
+void verify_lookup(const tune::LookupTable& table, SweepResult& out);
 
 }  // namespace han::verify

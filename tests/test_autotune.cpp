@@ -201,10 +201,40 @@ TEST(LookupTableTest, DeserializeRejectsGarbage) {
   EXPECT_TRUE(LookupTable::deserialize("# only comments\n", &t));
 }
 
+TEST(LookupTableTest, FormatVersionHeader) {
+  // serialize() writes the current format version.
+  LookupTable t;
+  EXPECT_NE(t.serialize().find(
+                "version " + std::to_string(LookupTable::kFormatVersion)),
+            std::string::npos);
+
+  // Version-less text is the v1 seed format and still parses.
+  LookupTable back;
+  EXPECT_TRUE(LookupTable::deserialize(
+      "bcast 2 2 20 : fs=64K imod=adapt smod=sm ibalg=binary iralg=binary "
+      "ibs=32K irs=32K\n",
+      &back));
+  EXPECT_EQ(back.size(), 1u);
+
+  // An explicit v1 or v2 header parses; newer or mangled headers do not.
+  EXPECT_TRUE(LookupTable::deserialize("version 1\n", &back));
+  EXPECT_TRUE(LookupTable::deserialize("version 2\n", &back));
+  EXPECT_FALSE(LookupTable::deserialize("version 3\n", &back));
+  EXPECT_FALSE(LookupTable::deserialize("version 0\n", &back));
+  EXPECT_FALSE(LookupTable::deserialize("version two\n", &back));
+  EXPECT_FALSE(LookupTable::deserialize("version 2 extra\n", &back));
+  // A version line after an entry is not a header.
+  EXPECT_FALSE(LookupTable::deserialize(
+      "bcast 2 2 20 : fs=64K imod=adapt smod=sm ibalg=binary iralg=binary "
+      "ibs=32K irs=32K\nversion 2\n",
+      &back));
+}
+
 TEST(LookupTableTest, RandomizedRoundTripEveryKind) {
   // Property: serialize -> deserialize -> serialize is byte-identical for
   // arbitrary tables spanning every collective kind (including the ring
-  // reduce-scatter configs) and the full config knob ranges.
+  // reduce-scatter configs and synthesized-schedule entries) and the full
+  // config knob ranges.
   std::mt19937 rng(20260806);
   const CollKind kinds[] = {
       CollKind::Bcast,     CollKind::Reduce,  CollKind::Allreduce,
@@ -236,6 +266,16 @@ TEST(LookupTableTest, RandomizedRoundTripEveryKind) {
                     : std::size_t{1} <<
                           std::uniform_int_distribution<int>(12, 20)(rng);
       cfg.irs = cfg.ibs;
+      // Roughly a third of the entries carry a synthesized schedule id
+      // (the v2 format extension).
+      const char* scheds[] = {"ar1:k1:sr0.ir1.ib2.sb3",
+                              "ar1:k2:sr0.ir0.ib1.sb2",
+                              "ar1:k4:ib3.ir1.sr0.sb4",
+                              "bc1:k1:sb1.ib0",
+                              "bc1:k1:ib0.sb2"};
+      if (std::uniform_int_distribution<int>(0, 2)(rng) == 0) {
+        cfg.sched = pick(scheds);
+      }
       t.insert(pick(kinds),
                std::uniform_int_distribution<int>(1, 512)(rng),
                std::uniform_int_distribution<int>(1, 128)(rng),

@@ -1,0 +1,299 @@
+// han::synth — spec grammar, canonical-shape equivalence, synthesis
+// determinism, and the winner cache round trip (docs/SYNTHESIS.md).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "autotune/search.hpp"
+#include "coll/registry.hpp"
+#include "han/han.hpp"
+#include "han/synth/schedule_builder.hpp"
+#include "han/synth/synth.hpp"
+#include "han/task/builders.hpp"
+#include "han/verify/sweep.hpp"
+#include "machine/machine.hpp"
+
+namespace han {
+namespace {
+
+using coll::CollKind;
+using core::HanConfig;
+using mpi::BufView;
+using mpi::Datatype;
+using synth::SynthSpec;
+
+struct SynthWorld {
+  explicit SynthWorld(machine::MachineProfile profile)
+      : world(std::move(profile)),
+        rt(world),
+        mods(world, rt),
+        han(world, rt, mods) {}
+  mpi::SimWorld world;
+  coll::CollRuntime rt;
+  coll::ModuleSet mods;
+  core::HanModule han;
+};
+
+HanConfig base_cfg(std::size_t fs, int window) {
+  HanConfig cfg;
+  cfg.fs = fs;
+  cfg.imod = "adapt";
+  cfg.smod = "sm";
+  cfg.ibalg = coll::Algorithm::Binary;
+  cfg.iralg = coll::Algorithm::Binary;
+  cfg.ibs = 32 << 10;
+  cfg.irs = 32 << 10;
+  cfg.window = window;
+  return cfg;
+}
+
+/// Node-for-node graph equality (everything but the issue closures, which
+/// are not comparable).
+void expect_same_graph(const task::TaskGraph& a, const task::TaskGraph& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.nodes.size(), b.nodes.size()) << label;
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    const task::TaskNode& na = a.nodes[i];
+    const task::TaskNode& nb = b.nodes[i];
+    EXPECT_EQ(na.op, nb.op) << label << " node " << i;
+    EXPECT_EQ(na.level, nb.level) << label << " node " << i;
+    EXPECT_EQ(na.comm, nb.comm) << label << " node " << i;
+    EXPECT_EQ(na.step, nb.step) << label << " node " << i;
+    EXPECT_EQ(na.seg, nb.seg) << label << " node " << i;
+    EXPECT_EQ(na.bytes, nb.bytes) << label << " node " << i;
+    EXPECT_EQ(na.deps, nb.deps) << label << " node " << i;
+  }
+}
+
+// --- spec grammar -----------------------------------------------------------
+
+TEST(SynthSpecTest, IdParseRoundTripAcrossGrammar) {
+  for (CollKind kind : {CollKind::Allreduce, CollKind::Bcast}) {
+    const std::vector<SynthSpec> specs = synth::enumerate_specs(kind, 4);
+    ASSERT_FALSE(specs.empty());
+    for (const SynthSpec& spec : specs) {
+      EXPECT_TRUE(spec.validate().empty()) << spec.id();
+      SynthSpec back;
+      ASSERT_TRUE(SynthSpec::parse(spec.id(), &back)) << spec.id();
+      EXPECT_EQ(back, spec) << spec.id();
+      EXPECT_EQ(back.id(), spec.id());
+    }
+  }
+  EXPECT_TRUE(SynthSpec::canonical(CollKind::Allreduce).validate().empty());
+  EXPECT_TRUE(SynthSpec::canonical(CollKind::Bcast).validate().empty());
+}
+
+TEST(SynthSpecTest, RejectsMalformedAndTruncatedIds) {
+  const char* bad[] = {
+      "",
+      "ar1",
+      "ar1:k1",
+      "ar9:k1:sr0.ir1.ib2.sb3",     // unknown grammar version
+      "xx1:k1:sr0.ir1.ib2.sb3",     // unknown kind tag
+      "ar1:k1:sr0.ir1.ib2",         // missing stage
+      "ar1:k1:sr0.ir1.ib2.sb",      // truncated trailing lag
+      "ar1:k1:sr0.ir1.ib2.sb3.",    // trailing separator
+      "ar1:k1:sr0.ir1.ib2.sb3x",    // trailing junk
+      "ar1:k1:sr0.ir1.ib2.sb3.sb4", // duplicate stage
+      "ar1:k0:sr0.ir1.ib2.sb3",     // leaders < 1
+      "ar1:k999:sr0.ir1.ib2.sb3",   // leaders > kMaxLeaders
+      "ar1:k1:sr1.ir1.ib2.sb3",     // chain head lag != 0
+      "ar1:k1:sr0.ir1.ib0.sb3",     // lag decreasing along the chain
+      "ar1:k1:ir0.sr0.ib1.sb2",     // equal-lag prerequisite emitted late
+      "bc1:k2:ib0.sb1",             // bcast is single-leader
+      "bc1:k1:ib0",                 // missing stage
+  };
+  for (const char* id : bad) {
+    SynthSpec spec;
+    EXPECT_FALSE(SynthSpec::parse(id, &spec)) << "'" << id << "'";
+  }
+}
+
+// --- canonical shape == hand-written builders -------------------------------
+
+TEST(SynthBuilderTest, CanonicalAllreduceMatchesHandWritten) {
+  SynthWorld sw(machine::make_aries(2, 4));
+  const mpi::Comm& wc = sw.world.world_comm();
+  const SynthSpec spec = SynthSpec::canonical(CollKind::Allreduce);
+  for (std::size_t bytes : {std::size_t{64} << 10, std::size_t{1} << 20}) {
+    for (int window : {1, 2}) {
+      const HanConfig cfg = base_cfg(64 << 10, window);
+      for (int me = 0; me < wc.size(); ++me) {
+        task::TaskGraph hand = task::build_allreduce(
+            sw.han, wc, me, BufView::timing_only(bytes),
+            BufView::timing_only(bytes), Datatype::Byte, mpi::ReduceOp::Sum,
+            cfg);
+        task::TaskGraph synthd = synth::build_schedule_allreduce(
+            sw.han, wc, me, BufView::timing_only(bytes),
+            BufView::timing_only(bytes), Datatype::Byte, mpi::ReduceOp::Sum,
+            cfg, spec);
+        expect_same_graph(hand, synthd,
+                          "allreduce rank " + std::to_string(me));
+      }
+    }
+  }
+}
+
+TEST(SynthBuilderTest, CanonicalBcastMatchesHandWritten) {
+  SynthWorld sw(machine::make_aries(2, 4));
+  const mpi::Comm& wc = sw.world.world_comm();
+  const SynthSpec spec = SynthSpec::canonical(CollKind::Bcast);
+  for (std::size_t bytes : {std::size_t{64} << 10, std::size_t{1} << 20}) {
+    const HanConfig cfg = base_cfg(64 << 10, 1);
+    for (int me = 0; me < wc.size(); ++me) {
+      task::TaskGraph hand =
+          task::build_bcast(sw.han, wc, me, 0, BufView::timing_only(bytes),
+                            Datatype::Byte, cfg);
+      task::TaskGraph synthd = synth::build_schedule_bcast(
+          sw.han, wc, me, 0, BufView::timing_only(bytes), Datatype::Byte,
+          cfg, spec);
+      expect_same_graph(hand, synthd, "bcast rank " + std::to_string(me));
+    }
+  }
+}
+
+// --- HanConfig round trip ---------------------------------------------------
+
+TEST(SynthConfigTest, SchedFieldRoundTripsAndFailsLoudlyWhenTruncated) {
+  HanConfig cfg = base_cfg(64 << 10, 2);
+  cfg.sched = SynthSpec::canonical(CollKind::Allreduce).id();
+  HanConfig back;
+  ASSERT_TRUE(HanConfig::parse(cfg.to_string(), &back));
+  EXPECT_EQ(back.sched, cfg.sched);
+  EXPECT_EQ(back.to_string(), cfg.to_string());
+
+  // A truncated schedule id must fail the whole parse, not silently
+  // dispatch to the hand-written builders.
+  std::string text = cfg.to_string();
+  text.resize(text.size() - 1);
+  EXPECT_FALSE(HanConfig::parse(text, &back)) << text;
+  EXPECT_FALSE(HanConfig::parse("fs=64K sched=", &back));
+  EXPECT_FALSE(HanConfig::parse("fs=64K sched=ar1", &back));
+}
+
+// --- cost model -------------------------------------------------------------
+
+TEST(SynthCostTest, CostsArePositiveAndBandwidthDominatesLatency) {
+  const HanConfig cfg = base_cfg(64 << 10, 1);
+  const synth::CostPoint c = synth::symbolic_cost(
+      SynthSpec::canonical(CollKind::Allreduce), cfg, 4, 8, 1 << 20);
+  EXPECT_GT(c.lat, 0.0);
+  // The bw walk covers every segment, the lat walk at most two.
+  EXPECT_GE(c.bw, c.lat);
+  synth::CostPoint a{1.0, 2.0};
+  EXPECT_TRUE(a.dominates(synth::CostPoint{1.0, 3.0}));
+  EXPECT_FALSE(a.dominates(a));
+  EXPECT_FALSE(a.dominates(synth::CostPoint{0.5, 3.0}));
+}
+
+// --- synthesis engine -------------------------------------------------------
+
+synth::SynthOptions tiny_options() {
+  synth::SynthOptions opts;
+  opts.sizes = {64 << 10};
+  opts.fs_sizes = {64 << 10};
+  opts.windows = {2};
+  opts.mutation_rounds = 1;
+  opts.mutants_per_round = 4;
+  opts.max_finalists = 3;
+  return opts;
+}
+
+TEST(SynthEngineTest, DeterministicAcrossRuns) {
+  const synth::SynthOptions opts = tiny_options();
+  const synth::SynthResult a = synth::run_synthesis(opts);
+  const synth::SynthResult b = synth::run_synthesis(opts);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.winners().serialize(), b.winners().serialize());
+  ASSERT_EQ(a.cases.size(), b.cases.size());
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    ASSERT_EQ(a.cases[i].winner, b.cases[i].winner);
+    if (a.cases[i].winner < 0) continue;
+    EXPECT_EQ(a.cases[i].finalists[a.cases[i].winner].cfg.to_string(),
+              b.cases[i].finalists[b.cases[i].winner].cfg.to_string());
+  }
+}
+
+TEST(SynthEngineTest, FinalistsVerifyCleanAndWinnersNeverLose) {
+  const synth::SynthResult r = synth::run_synthesis(tiny_options());
+  EXPECT_EQ(r.finalist_findings(), 0);
+  ASSERT_EQ(r.cases.size(), 2u);  // allreduce + bcast at one size
+  EXPECT_EQ(r.wins(), 2);
+  for (const synth::SynthCase& c : r.cases) {
+    ASSERT_GE(c.winner, 0) << c.name;
+    ASSERT_GT(c.baseline, 0.0) << c.name;
+    const synth::Candidate& w = c.finalists[c.winner];
+    EXPECT_TRUE(w.verified) << c.name;
+    EXPECT_LE(w.time, c.baseline * (1.0 + 1e-9)) << c.name;
+    EXPECT_FALSE(w.cfg.sched.empty()) << c.name;
+  }
+}
+
+TEST(SynthEngineTest, WinnerSurvivesSerializeLoadDispatchRoundTrip) {
+  const synth::SynthOptions opts = tiny_options();
+  const synth::SynthResult r = synth::run_synthesis(opts);
+  const std::string text = r.winners().serialize();
+
+  tune::LookupTable table;
+  ASSERT_TRUE(tune::LookupTable::deserialize(text, &table)) << text;
+  EXPECT_EQ(table.serialize(), text);
+
+  // Every reloaded winner re-verifies clean...
+  verify::SweepResult sweep;
+  verify::verify_lookup(table, sweep);
+  EXPECT_EQ(sweep.entries.size(), r.cases.size());
+  EXPECT_EQ(sweep.total_errors(), 0) << sweep.summary();
+  EXPECT_EQ(sweep.total_warnings(), 0) << sweep.summary();
+
+  // ...and dispatches through the ordinary cfg entry points, reproducing
+  // the exact time the synthesizer measured (the simulator is
+  // deterministic and measurements are translation-invariant).
+  SynthWorld sw(machine::make_aries(opts.nodes, opts.ppn));
+  tune::Searcher searcher(sw.world, sw.han, sw.world.world_comm());
+  for (const synth::SynthCase& c : r.cases) {
+    const HanConfig* cfg =
+        table.find(c.kind, opts.nodes, opts.ppn, c.bytes);
+    ASSERT_NE(cfg, nullptr) << c.name;
+    EXPECT_EQ(cfg->to_string(), c.finalists[c.winner].cfg.to_string());
+    const double t = searcher.measure_collective(c.kind, c.bytes, *cfg);
+    EXPECT_NEAR(t, c.finalists[c.winner].time,
+                1e-12 + 1e-9 * c.finalists[c.winner].time)
+        << c.name;
+  }
+}
+
+// --- search-space axis ------------------------------------------------------
+
+TEST(SynthSearchSpaceTest, SchedAxisCrossesMatchingKindsOnly) {
+  tune::SearchSpace space;
+  space.fs_sizes = {64 << 10};
+  space.imods = {"adapt"};
+  space.smods = {"sm"};
+  space.adapt_algs = {coll::Algorithm::Binary};
+  space.adapt_inter_segments = {32 << 10};
+  const std::size_t plain =
+      space.enumerate(CollKind::Allreduce).size();
+
+  space.scheds = {SynthSpec::canonical(CollKind::Allreduce).id(),
+                  SynthSpec::canonical(CollKind::Bcast).id()};
+  const std::vector<HanConfig> ar = space.enumerate(CollKind::Allreduce);
+  // One matching id doubles the space; the bcast id is skipped.
+  EXPECT_EQ(ar.size(), plain * 2);
+  std::size_t with_sched = 0;
+  for (const HanConfig& cfg : ar) {
+    if (!cfg.sched.empty()) {
+      ++with_sched;
+      EXPECT_EQ(cfg.sched, space.scheds[0]);
+    }
+  }
+  EXPECT_EQ(with_sched, plain);
+
+  // Unknown kinds keep the plain space (no sched id applies).
+  for (const HanConfig& cfg : space.enumerate(CollKind::Gather)) {
+    EXPECT_TRUE(cfg.sched.empty());
+  }
+}
+
+}  // namespace
+}  // namespace han

@@ -1,0 +1,141 @@
+// han_synth — bounded, verified schedule synthesis (docs/SYNTHESIS.md).
+//
+//   han_synth [--smoke] [--nodes N] [--ppn P] [--sizes 64K,1M]
+//             [--seed S] [--rounds R] [--mutants M] [--finalists K]
+//             [--json <path>] [--save-lookup <path>] [--quiet]
+//
+// Runs han::synth::run_synthesis: enumerate the generator grammar, prune
+// on the symbolic (lat, bw) pareto frontier, gate survivors through
+// han::verify, score the finalists in the simulator, and pick a winner
+// per (collective, size) case. --save-lookup persists the winners as a
+// LookupTable file that HanModule dispatches like any tuned config.
+// Exit status: 0 = every finalist verified clean and every case's winner
+// matched or beat the hand-written baseline; 2 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "han/synth/synth.hpp"
+
+namespace {
+
+bool parse_sizes(const char* arg, std::vector<std::size_t>* out) {
+  out->clear();
+  std::size_t v = 0;
+  bool any = false;
+  for (const char* p = arg;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      v = v * 10 + static_cast<std::size_t>(*p - '0');
+      any = true;
+    } else if (*p == 'K' || *p == 'k') {
+      v <<= 10;
+    } else if (*p == 'M' || *p == 'm') {
+      v <<= 20;
+    } else if (*p == ',' || *p == '\0') {
+      if (!any || v == 0) return false;
+      out->push_back(v);
+      v = 0;
+      any = false;
+      if (*p == '\0') break;
+    } else {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  han::synth::SynthOptions opts;
+  bool quiet = false;
+  std::string json_path;
+  std::string lookup_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const bool has_val = i + 1 < argc;
+    if (std::strcmp(a, "--smoke") == 0) {
+      // Tiny-budget CI configuration: one size per kind, one base config
+      // axis value each, a single short mutation round.
+      opts.sizes = {64 << 10};
+      opts.fs_sizes = {64 << 10};
+      opts.windows = {2};
+      opts.mutation_rounds = 1;
+      opts.mutants_per_round = 8;
+      opts.max_finalists = 4;
+    } else if (std::strcmp(a, "--nodes") == 0 && has_val) {
+      opts.nodes = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--ppn") == 0 && has_val) {
+      opts.ppn = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--sizes") == 0 && has_val) {
+      if (!parse_sizes(argv[++i], &opts.sizes)) {
+        std::fprintf(stderr, "han_synth: bad --sizes list '%s'\n", argv[i]);
+        return 1;
+      }
+    } else if (std::strcmp(a, "--seed") == 0 && has_val) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(a, "--rounds") == 0 && has_val) {
+      opts.mutation_rounds = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--mutants") == 0 && has_val) {
+      opts.mutants_per_round = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--finalists") == 0 && has_val) {
+      opts.max_finalists = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--json") == 0 && has_val) {
+      json_path = argv[++i];
+    } else if (std::strcmp(a, "--save-lookup") == 0 && has_val) {
+      lookup_path = argv[++i];
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: han_synth [--smoke] [--nodes N] [--ppn P] "
+                   "[--sizes 64K,1M] [--seed S] [--rounds R] [--mutants M] "
+                   "[--finalists K] [--json <path>] "
+                   "[--save-lookup <path>] [--quiet]\n");
+      return std::strcmp(a, "--help") == 0 ? 0 : 1;
+    }
+  }
+  if (opts.nodes < 2 || opts.ppn < 1) {
+    std::fprintf(stderr, "han_synth: need --nodes >= 2 and --ppn >= 1\n");
+    return 1;
+  }
+
+  const han::synth::SynthResult result = han::synth::run_synthesis(opts);
+
+  if (!json_path.empty()) {
+    const std::string j = result.to_json();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "han_synth: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(j.data(), 1, j.size(), f);
+    std::fclose(f);
+  }
+  if (!lookup_path.empty() && !result.winners().save(lookup_path)) {
+    return 1;
+  }
+
+  const int findings = result.finalist_findings();
+  const int wins = result.wins();
+  const int cases = static_cast<int>(result.cases.size());
+  if (!quiet) {
+    for (const han::synth::SynthCase& c : result.cases) {
+      const char* verdict = "NO WINNER";
+      double ratio = 0.0;
+      if (c.winner >= 0 && c.baseline > 0.0) {
+        ratio = c.finalists[c.winner].time / c.baseline;
+        verdict = ratio <= 1.0 + 1e-9 ? "ok" : "SLOWER";
+      }
+      std::printf("%-24s explored %4d  frontier %3d  finalists %2zu  "
+                  "vs_baseline %.4f  %s\n",
+                  c.name.c_str(), c.explored, c.frontier, c.finalists.size(),
+                  ratio, verdict);
+    }
+    std::printf("han_synth: %d cases, %d findings among finalists, "
+                "%d/%d wins\n",
+                cases, findings, wins, cases);
+  }
+  return findings == 0 && wins == cases ? 0 : 2;
+}

@@ -1,7 +1,12 @@
 // han_verify — the static verification gate for collective schedules.
 //
 //   han_verify [--smoke] [--no-plans] [--no-graphs] [--no-exec]
-//              [--windows 1,2,3] [--json <path>] [--quiet]
+//              [--windows 1,2,3] [--from-lookup <path>]
+//              [--json <path>] [--quiet]
+//
+// --from-lookup <path> re-verifies every cached synthesized schedule
+// (`sched=` entry) of a saved LookupTable instead of running the builder
+// sweep — the gate for synthesis caches (docs/SYNTHESIS.md).
 //
 // Runs the han::verify sweep (every Plan/TaskGraph builder across the
 // autotuner's SearchSpace; see docs/VERIFICATION.md) plus an execution
@@ -13,9 +18,11 @@
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "autotune/lookup.hpp"
 #include "han/han.hpp"
 #include "han/verify/sweep.hpp"
 #include "han/verify/verify.hpp"
@@ -212,6 +219,7 @@ int main(int argc, char** argv) {
   bool exec = true;
   bool quiet = false;
   std::string json_path;
+  std::string lookup_path;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--smoke") == 0) {
@@ -232,17 +240,31 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(a, "--from-lookup") == 0 && i + 1 < argc) {
+      lookup_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: han_verify [--smoke] [--no-plans] [--no-graphs] "
-                   "[--no-exec] [--windows 1,2,3] [--json <path>] "
-                   "[--quiet]\n");
+                   "[--no-exec] [--windows 1,2,3] [--from-lookup <path>] "
+                   "[--json <path>] [--quiet]\n");
       return std::strcmp(a, "--help") == 0 ? 0 : 1;
     }
   }
 
-  verify::SweepResult result = verify::run_sweep(opts);
-  if (exec) run_exec(result);
+  verify::SweepResult result;
+  if (!lookup_path.empty()) {
+    const std::optional<tune::LookupTable> table =
+        tune::LookupTable::load(lookup_path);
+    if (!table.has_value()) {
+      std::fprintf(stderr, "han_verify: cannot load lookup table '%s'\n",
+                   lookup_path.c_str());
+      return 1;
+    }
+    verify::verify_lookup(*table, result);
+  } else {
+    result = verify::run_sweep(opts);
+    if (exec) run_exec(result);
+  }
   std::sort(result.entries.begin(), result.entries.end(),
             [](const verify::SweepEntry& a, const verify::SweepEntry& b) {
               return a.name < b.name;
