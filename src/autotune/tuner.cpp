@@ -1,8 +1,41 @@
 #include "autotune/tuner.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "parallel/pool.hpp"
 
 namespace han::tune {
+
+namespace {
+
+/// A private machine replica for one tuning job: same profile and world
+/// options as the tuner's world, nothing shared with it.
+struct TuneWorld {
+  TuneWorld(machine::MachineProfile profile, mpi::SimWorld::Options o)
+      : world(std::move(profile), o),
+        rt(world),
+        mods(world, rt),
+        han(world, rt, mods) {}
+  mpi::SimWorld world;
+  coll::CollRuntime rt;
+  coll::ModuleSet mods;
+  core::HanModule han;
+};
+
+/// Everything one per-kind job produces. The world is kept alive so its
+/// metrics (tune.search.*, tune.taskbench.*, sim.*) can be merged into the
+/// caller's registry after the join, in kind order.
+struct KindOutcome {
+  std::unique_ptr<TuneWorld> tw;
+  std::vector<std::pair<std::size_t, core::HanConfig>> winners;
+  std::size_t estimates = 0;
+  int max_evaluations = 0;
+  double cost = 0.0;
+};
+
+}  // namespace
 
 Tuner::Tuner(mpi::SimWorld& world, core::HanModule& han,
              const mpi::Comm& comm, SearchSpace space)
@@ -33,22 +66,68 @@ TuneReport Tuner::tune(const TunerOptions& options) {
   obs::MetricsRegistry& metrics = world_->metrics();
   std::size_t entries = 0;
   std::size_t estimates = 0;
-  const double cost0 = searcher_.tuning_cost();
-  for (coll::CollKind kind : opts.kinds) {
-    searcher_.prepare(kind, opts.heuristics);
-    for (std::size_t m : opts.message_sizes) {
-      const SearchResult result =
-          searcher_.estimate(kind, m, opts.heuristics);
-      estimates += result.evaluations;
-      if (result.best) {
-        report.table.insert(kind, nodes, ppn, m, result.best->cfg);
+
+  if (comm_ == &world_->world_comm()) {
+    // World-communicator tuning: each kind is an independent job on a
+    // private replica of the machine. The serial jobs=1 run executes the
+    // same jobs inline in the same order, so results are identical by
+    // construction for every jobs value.
+    const machine::MachineProfile& profile = world_->profile();
+    const mpi::SimWorld::Options wopts = world_->options();
+    std::vector<KindOutcome> outcomes = par::parallel_map(
+        opts.jobs, static_cast<int>(opts.kinds.size()),
+        [&](int i) {
+          const coll::CollKind kind = opts.kinds[static_cast<std::size_t>(i)];
+          KindOutcome o;
+          o.tw = std::make_unique<TuneWorld>(profile, wopts);
+          Searcher s(o.tw->world, o.tw->han, o.tw->world.world_comm(),
+                     searcher_.space());
+          const double cost0 = s.tuning_cost();
+          s.prepare(kind, opts.heuristics);
+          for (std::size_t m : opts.message_sizes) {
+            const SearchResult result = s.estimate(kind, m, opts.heuristics);
+            o.estimates += static_cast<std::size_t>(result.evaluations);
+            if (result.best) o.winners.emplace_back(m, result.best->cfg);
+            o.max_evaluations = std::max(o.max_evaluations,
+                                         result.evaluations);
+          }
+          o.cost = s.tuning_cost() - cost0;
+          return o;
+        });
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const coll::CollKind kind = opts.kinds[i];
+      KindOutcome& o = outcomes[i];
+      for (const auto& [m, cfg] : o.winners) {
+        report.table.insert(kind, nodes, ppn, m, cfg);
         ++entries;
       }
+      estimates += o.estimates;
       report.task_benchmarks =
-          std::max(report.task_benchmarks, result.evaluations);
+          std::max(report.task_benchmarks, o.max_evaluations);
+      report.tuning_cost += o.cost;
+      metrics.merge_counters(o.tw->world.metrics());
     }
+  } else {
+    // Sub-communicator tuning has no world replica to run in; keep the
+    // in-place serial path on the shared searcher.
+    const double cost0 = searcher_.tuning_cost();
+    for (coll::CollKind kind : opts.kinds) {
+      searcher_.prepare(kind, opts.heuristics);
+      for (std::size_t m : opts.message_sizes) {
+        const SearchResult result =
+            searcher_.estimate(kind, m, opts.heuristics);
+        estimates += static_cast<std::size_t>(result.evaluations);
+        if (result.best) {
+          report.table.insert(kind, nodes, ppn, m, result.best->cfg);
+          ++entries;
+        }
+        report.task_benchmarks =
+            std::max(report.task_benchmarks, result.evaluations);
+      }
+    }
+    report.tuning_cost = searcher_.tuning_cost() - cost0;
   }
-  report.tuning_cost = searcher_.tuning_cost() - cost0;
+
   metrics.counter("tune.runs").add(1.0);
   metrics.counter("tune.table_entries").add(static_cast<double>(entries));
   metrics.counter("tune.model_estimates").add(static_cast<double>(estimates));

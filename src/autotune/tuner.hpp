@@ -28,6 +28,13 @@ struct TunerOptions {
   }
   std::vector<coll::CollKind> kinds = default_kinds();
   bool heuristics = false;  // user-toggleable (paper: accuracy trade-off)
+  /// Concurrent per-kind tuning jobs (han::par). Each job rebuilds the
+  /// machine in a private SimWorld and the results merge in kind order, so
+  /// every jobs value — including the serial 1, the default — produces an
+  /// identical report (0 = one job per hardware thread). Only applies when
+  /// the tuner targets the world communicator; sub-communicator tuning
+  /// cannot be replayed in a fresh world and stays serial in place.
+  int jobs = 1;
 };
 
 struct TuneReport {
@@ -49,6 +56,9 @@ class Tuner {
   void install(const LookupTable& table);
 
   Searcher& searcher() { return searcher_; }
+  mpi::SimWorld& world() { return *world_; }
+  core::HanModule& han() { return *han_; }
+  const mpi::Comm& comm() const { return *comm_; }
 
  private:
   mpi::SimWorld* world_;

@@ -10,6 +10,7 @@
 #include "han/synth/schedule_builder.hpp"
 #include "han/verify/verify.hpp"
 #include "machine/machine.hpp"
+#include "parallel/pool.hpp"
 #include "simbase/units.hpp"
 
 namespace han::synth {
@@ -191,128 +192,151 @@ std::string SynthResult::to_json() const {
   return j;
 }
 
+namespace {
+
+/// One synthesis case, end to end: enumerate → prune/mutate → verify →
+/// measure. Owns its world and rng stream; `case_ordinal` seeds the
+/// mutation rng exactly as the serial loop always did, so the per-case
+/// result is independent of how many cases run concurrently around it.
+SynthCase run_case(const SynthOptions& opts, CollKind kind,
+                   std::size_t bytes, std::uint64_t case_ordinal) {
+  SynthCase c;
+  c.kind = kind;
+  c.bytes = bytes;
+  c.name = std::string(coll::coll_kind_name(kind)) + "." +
+           std::to_string(opts.nodes) + "x" + std::to_string(opts.ppn) +
+           "." + sim::format_bytes(bytes);
+
+  // Base Table II configs every spec is crossed with. ADAPT/Binary is
+  // the workhorse inter module; fs and window are the axes that
+  // interact with the schedule shape.
+  std::vector<HanConfig> bases;
+  for (std::size_t fs : opts.fs_sizes) {
+    for (int w : opts.windows) {
+      HanConfig base;
+      base.fs = fs;
+      base.imod = "adapt";
+      base.smod = "sm";
+      base.ibalg = coll::Algorithm::Binary;
+      base.iralg = coll::Algorithm::Binary;
+      base.ibs = 32 << 10;
+      base.irs = 32 << 10;
+      base.window = w;
+      bases.push_back(std::move(base));
+    }
+  }
+
+  // 1. Enumerate the grammar across the base configs and cost it.
+  std::vector<Candidate> pool;
+  std::set<std::string> seen;
+  auto admit = [&](SynthSpec spec, const HanConfig& base) {
+    if (!spec.validate().empty()) return;
+    Candidate cand;
+    cand.cfg = base;
+    cand.cfg.sched = spec.id();
+    if (!seen.insert(cand.cfg.to_string()).second) return;
+    cand.spec = std::move(spec);
+    cand.cost =
+        symbolic_cost(cand.spec, cand.cfg, opts.nodes, opts.ppn, bytes);
+    pool.push_back(std::move(cand));
+  };
+  for (const SynthSpec& spec :
+       enumerate_specs(kind, opts.ppn, opts.grammar)) {
+    for (const HanConfig& base : bases) admit(spec, base);
+  }
+
+  // 2. Pareto prune, then mutate around the frontier.
+  sim::Rng rng(opts.seed + 0x9e3779b97f4a7c15ull * (case_ordinal + 1));
+  std::vector<std::size_t> frontier = pareto_frontier(pool);
+  for (int round = 0; round < opts.mutation_rounds; ++round) {
+    for (int mi = 0; mi < opts.mutants_per_round; ++mi) {
+      const Candidate& parent =
+          pool[frontier[rng.next_below(frontier.size())]];
+      HanConfig base = parent.cfg;
+      base.sched.clear();
+      admit(mutate_spec(parent.spec, rng, opts.ppn), base);
+    }
+    frontier = pareto_frontier(pool);
+  }
+  c.explored = static_cast<int>(pool.size());
+  c.frontier = static_cast<int>(frontier.size());
+
+  // 3. Select finalists: the frontier's best by combined cost, plus
+  // the canonical shape under every base config (so the winner can
+  // never lose to the hand-written builders).
+  std::vector<std::size_t> order = frontier;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double ca = pool[a].cost.lat + pool[a].cost.bw;
+              const double cb = pool[b].cost.lat + pool[b].cost.bw;
+              if (ca != cb) return ca < cb;
+              return pool[a].cfg.to_string() < pool[b].cfg.to_string();
+            });
+  if (static_cast<int>(order.size()) > opts.max_finalists) {
+    order.resize(static_cast<std::size_t>(opts.max_finalists));
+  }
+  const std::string canonical_id = SynthSpec::canonical(kind).id();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool[i].cfg.sched != canonical_id) continue;
+    if (std::find(order.begin(), order.end(), i) == order.end()) {
+      order.push_back(i);
+    }
+  }
+  for (std::size_t idx : order) c.finalists.push_back(pool[idx]);
+  std::sort(c.finalists.begin(), c.finalists.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.cfg.to_string() < b.cfg.to_string();
+            });
+
+  // 4. Verify gate + simulator scoring on the real topology.
+  SynthWorld sw(machine::make_aries(opts.nodes, opts.ppn));
+  const mpi::Comm& wc = sw.world.world_comm();
+  for (Candidate& cand : c.finalists) {
+    gate_candidate(sw, kind, bytes, cand);
+  }
+  tune::Searcher searcher(sw.world, sw.han, wc);
+  for (const HanConfig& base : bases) {
+    const double t = searcher.measure_collective(kind, bytes, base);
+    if (c.baseline < 0.0 || t < c.baseline) {
+      c.baseline = t;
+      c.baseline_cfg = base.to_string();
+    }
+  }
+  for (std::size_t f = 0; f < c.finalists.size(); ++f) {
+    Candidate& cand = c.finalists[f];
+    if (!cand.verified) continue;
+    cand.time = searcher.measure_collective(kind, bytes, cand.cfg);
+    if (c.winner < 0 || cand.time < c.finalists[c.winner].time) {
+      c.winner = static_cast<int>(f);
+    }
+  }
+
+  return c;
+}
+
+}  // namespace
+
 SynthResult run_synthesis(const SynthOptions& opts) {
   SynthResult result;
   result.opts = opts;
 
-  std::uint64_t case_ordinal = 0;
+  // Flatten the (kind, size) grid into independent case jobs. The flat
+  // index doubles as the case ordinal the mutation rng is seeded with —
+  // identical to the serial loop's running counter.
+  struct CaseInput {
+    CollKind kind;
+    std::size_t bytes;
+  };
+  std::vector<CaseInput> inputs;
   for (CollKind kind : opts.kinds) {
-    for (std::size_t bytes : opts.sizes) {
-      SynthCase c;
-      c.kind = kind;
-      c.bytes = bytes;
-      c.name = std::string(coll::coll_kind_name(kind)) + "." +
-               std::to_string(opts.nodes) + "x" + std::to_string(opts.ppn) +
-               "." + sim::format_bytes(bytes);
-
-      // Base Table II configs every spec is crossed with. ADAPT/Binary is
-      // the workhorse inter module; fs and window are the axes that
-      // interact with the schedule shape.
-      std::vector<HanConfig> bases;
-      for (std::size_t fs : opts.fs_sizes) {
-        for (int w : opts.windows) {
-          HanConfig base;
-          base.fs = fs;
-          base.imod = "adapt";
-          base.smod = "sm";
-          base.ibalg = coll::Algorithm::Binary;
-          base.iralg = coll::Algorithm::Binary;
-          base.ibs = 32 << 10;
-          base.irs = 32 << 10;
-          base.window = w;
-          bases.push_back(std::move(base));
-        }
-      }
-
-      // 1. Enumerate the grammar across the base configs and cost it.
-      std::vector<Candidate> pool;
-      std::set<std::string> seen;
-      auto admit = [&](SynthSpec spec, const HanConfig& base) {
-        if (!spec.validate().empty()) return;
-        Candidate cand;
-        cand.cfg = base;
-        cand.cfg.sched = spec.id();
-        if (!seen.insert(cand.cfg.to_string()).second) return;
-        cand.spec = std::move(spec);
-        cand.cost =
-            symbolic_cost(cand.spec, cand.cfg, opts.nodes, opts.ppn, bytes);
-        pool.push_back(std::move(cand));
-      };
-      for (const SynthSpec& spec :
-           enumerate_specs(kind, opts.ppn, opts.grammar)) {
-        for (const HanConfig& base : bases) admit(spec, base);
-      }
-
-      // 2. Pareto prune, then mutate around the frontier.
-      sim::Rng rng(opts.seed + 0x9e3779b97f4a7c15ull * (case_ordinal + 1));
-      std::vector<std::size_t> frontier = pareto_frontier(pool);
-      for (int round = 0; round < opts.mutation_rounds; ++round) {
-        for (int mi = 0; mi < opts.mutants_per_round; ++mi) {
-          const Candidate& parent =
-              pool[frontier[rng.next_below(frontier.size())]];
-          HanConfig base = parent.cfg;
-          base.sched.clear();
-          admit(mutate_spec(parent.spec, rng, opts.ppn), base);
-        }
-        frontier = pareto_frontier(pool);
-      }
-      c.explored = static_cast<int>(pool.size());
-      c.frontier = static_cast<int>(frontier.size());
-
-      // 3. Select finalists: the frontier's best by combined cost, plus
-      // the canonical shape under every base config (so the winner can
-      // never lose to the hand-written builders).
-      std::vector<std::size_t> order = frontier;
-      std::sort(order.begin(), order.end(),
-                [&](std::size_t a, std::size_t b) {
-                  const double ca = pool[a].cost.lat + pool[a].cost.bw;
-                  const double cb = pool[b].cost.lat + pool[b].cost.bw;
-                  if (ca != cb) return ca < cb;
-                  return pool[a].cfg.to_string() < pool[b].cfg.to_string();
-                });
-      if (static_cast<int>(order.size()) > opts.max_finalists) {
-        order.resize(static_cast<std::size_t>(opts.max_finalists));
-      }
-      const std::string canonical_id = SynthSpec::canonical(kind).id();
-      for (std::size_t i = 0; i < pool.size(); ++i) {
-        if (pool[i].cfg.sched != canonical_id) continue;
-        if (std::find(order.begin(), order.end(), i) == order.end()) {
-          order.push_back(i);
-        }
-      }
-      for (std::size_t idx : order) c.finalists.push_back(pool[idx]);
-      std::sort(c.finalists.begin(), c.finalists.end(),
-                [](const Candidate& a, const Candidate& b) {
-                  return a.cfg.to_string() < b.cfg.to_string();
-                });
-
-      // 4. Verify gate + simulator scoring on the real topology.
-      SynthWorld sw(machine::make_aries(opts.nodes, opts.ppn));
-      const mpi::Comm& wc = sw.world.world_comm();
-      for (Candidate& cand : c.finalists) {
-        gate_candidate(sw, kind, bytes, cand);
-      }
-      tune::Searcher searcher(sw.world, sw.han, wc);
-      for (const HanConfig& base : bases) {
-        const double t = searcher.measure_collective(kind, bytes, base);
-        if (c.baseline < 0.0 || t < c.baseline) {
-          c.baseline = t;
-          c.baseline_cfg = base.to_string();
-        }
-      }
-      for (std::size_t f = 0; f < c.finalists.size(); ++f) {
-        Candidate& cand = c.finalists[f];
-        if (!cand.verified) continue;
-        cand.time = searcher.measure_collective(kind, bytes, cand.cfg);
-        if (c.winner < 0 || cand.time < c.finalists[c.winner].time) {
-          c.winner = static_cast<int>(f);
-        }
-      }
-
-      result.cases.push_back(std::move(c));
-      ++case_ordinal;
-    }
+    for (std::size_t bytes : opts.sizes) inputs.push_back({kind, bytes});
   }
+  result.cases = par::parallel_map(
+      opts.jobs, static_cast<int>(inputs.size()), [&](int i) {
+        const CaseInput& in = inputs[static_cast<std::size_t>(i)];
+        return run_case(opts, in.kind, in.bytes,
+                        static_cast<std::uint64_t>(i));
+      });
   std::sort(result.cases.begin(), result.cases.end(),
             [](const SynthCase& a, const SynthCase& b) {
               return a.name < b.name;

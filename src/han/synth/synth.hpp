@@ -48,6 +48,11 @@ struct SynthOptions {
   /// simulator) per case, beyond the always-included canonical shape.
   int max_finalists = 6;
   GeneratorOptions grammar;
+  /// Concurrent (kind, size) case jobs (han::par). Cases already own their
+  /// worlds and rng streams, and results merge in input order before the
+  /// name sort, so every jobs value produces byte-identical reports
+  /// (0 = one job per hardware thread).
+  int jobs = 1;
 };
 
 struct Candidate {

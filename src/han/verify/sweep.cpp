@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <memory>
 
 #include "autotune/search.hpp"
 #include "coll/builders.hpp"
+#include "parallel/pool.hpp"
 #include "coll/registry.hpp"
 #include "coll/ring/ring_builders.hpp"
 #include "coll/validate.hpp"
@@ -67,7 +69,8 @@ void plan_case(SweepResult& out, const std::string& name,
   record(out, name, analyze_plan(plan, comm_size));
 }
 
-void sweep_plans(SweepResult& out) {
+/// One plan-family sweep job: every builder at one communicator size.
+void sweep_plans_for(SweepResult& out, int n) {
   struct SizeCase {
     const char* tag;
     std::size_t bytes;
@@ -77,11 +80,10 @@ void sweep_plans(SweepResult& out) {
   // stay Int32-aligned for the reduce family.
   const SizeCase kSizes[] = {{"small", 4 << 10, 0},
                              {"pipe", 1 << 20, 64 << 10}};
-  const int kComms[] = {2, 3, 4, 8, 16};
   const Algorithm kTreeAlgs[] = {Algorithm::Linear, Algorithm::Chain,
                                  Algorithm::Binary, Algorithm::Binomial};
 
-  for (int n : kComms) {
+  {
     for (const SizeCase& sz : kSizes) {
       BuildSpec spec;
       spec.bytes = sz.bytes;
@@ -178,180 +180,175 @@ void graph_case(SweepResult& out, const std::string& name,
   }
 }
 
-void sweep_graphs(SweepResult& out, const SweepOptions& opts) {
+/// The SearchSpace a sweep enumerates (full, or the smoke subset: one
+/// inter/intra module combination per segment size).
+tune::SearchSpace sweep_space(bool full_space) {
   tune::SearchSpace space;
-  if (!opts.full_space) {
-    // Smoke subset: one inter/intra module combination per segment size.
+  if (!full_space) {
     space.imods = {"adapt"};
     space.adapt_algs = {Algorithm::Chain};
     space.adapt_inter_segments = {32 << 10};
   }
+  return space;
+}
 
-  struct Topo {
-    const char* tag;
-    int nodes, ppn;
-  };
-  const Topo kTopos[] = {{"2x2", 2, 2}, {"4x4", 4, 4}, {"8x2", 8, 2}};
-  const std::size_t kBytes = 1 << 20;
+constexpr std::size_t kGraphBytes = 1 << 20;
 
-  for (const Topo& topo : kTopos) {
-    GraphWorld gw(machine::make_aries(topo.nodes, topo.ppn));
-    const mpi::Comm& wc = gw.world.world_comm();
-    const int n = wc.size();
-    const std::string tprefix = std::string("graph.") + topo.tag + ".";
-
-    struct KindCase {
-      CollKind kind;
-      bool full;  // full SearchSpace, or the (fs, smod) subset (the
-                  // linear-phase collectives ignore the inter knobs)
-    };
-    const KindCase kKinds[] = {
-        {CollKind::Bcast, true},          {CollKind::Reduce, true},
-        {CollKind::Allreduce, true},      {CollKind::ReduceScatter, true},
-        {CollKind::Gather, false},        {CollKind::Scatter, false},
-        {CollKind::Allgather, false},
-    };
-    for (const KindCase& kc : kKinds) {
-      tune::SearchSpace ks = space;
-      if (!kc.full) {
-        ks.imods = {"libnbc"};
-        ks.include_ring = false;
-      }
-      for (const HanConfig& cfg : ks.enumerate(kc.kind)) {
-        const std::string name = tprefix + coll::coll_kind_name(kc.kind) +
-                                 "." + cfg.to_string();
-        std::vector<GraphSummary> summaries;
-        bool ok = true;
-        for (int me = 0; me < n && ok; ++me) {
-          task::TaskGraph g;
-          switch (kc.kind) {
-            case CollKind::Bcast:
-              g = task::build_bcast(gw.han, wc, me, 0,
-                                    BufView::timing_only(kBytes),
-                                    Datatype::Byte, cfg);
-              break;
-            case CollKind::Reduce:
-              g = task::build_reduce(gw.han, wc, me, 0,
-                                     BufView::timing_only(kBytes),
-                                     BufView::timing_only(kBytes),
-                                     Datatype::Int32, mpi::ReduceOp::Sum,
-                                     cfg);
-              break;
-            case CollKind::Allreduce:
-              g = task::build_allreduce(gw.han, wc, me,
-                                        BufView::timing_only(kBytes),
-                                        BufView::timing_only(kBytes),
-                                        Datatype::Int32, mpi::ReduceOp::Sum,
-                                        cfg);
-              break;
-            case CollKind::ReduceScatter:
-              g = task::build_reduce_scatter(
-                  gw.han, wc, me,
-                  BufView::timing_only(kBytes),
-                  BufView::timing_only(kBytes / static_cast<std::size_t>(n)),
-                  Datatype::Int32, mpi::ReduceOp::Sum, cfg);
-              break;
-            case CollKind::Gather:
-              g = task::build_gather(
-                  gw.han, wc, me, 0, BufView::timing_only(kBytes),
-                  BufView::timing_only(kBytes * static_cast<std::size_t>(n)),
-                  cfg);
-              break;
-            case CollKind::Scatter:
-              g = task::build_scatter(
-                  gw.han, wc, me, 0,
-                  BufView::timing_only(kBytes * static_cast<std::size_t>(n)),
-                  BufView::timing_only(kBytes), cfg);
-              break;
-            case CollKind::Allgather:
-              g = task::build_allgather(
-                  gw.han, wc, me, BufView::timing_only(kBytes),
-                  BufView::timing_only(kBytes * static_cast<std::size_t>(n)),
-                  cfg);
-              break;
-            default:
-              break;
-          }
-          ok = checked_summarize(out, name, me, std::move(g), summaries);
-        }
-        if (ok) graph_case(out, name, summaries, opts.windows);
-      }
-    }
-
-    // Barrier has no Table II knobs.
-    {
-      std::vector<GraphSummary> summaries;
-      bool ok = true;
-      for (int me = 0; me < n && ok; ++me) {
-        ok = checked_summarize(out, tprefix + "barrier", me,
-                               task::build_barrier(gw.han, wc, me),
-                               summaries);
-      }
-      if (ok) graph_case(out, tprefix + "barrier", summaries, opts.windows);
-    }
-
-    // Multi-leader allreduce (k = 2) on multi-node, multi-rank topologies.
-    if (topo.nodes > 1 && topo.ppn >= 2) {
-      for (const HanConfig& cfg : space.enumerate(CollKind::Allreduce)) {
-        const std::string name =
-            tprefix + "allreduce_ml2." + cfg.to_string();
-        std::vector<GraphSummary> summaries;
-        bool ok = true;
-        for (int me = 0; me < n && ok; ++me) {
-          ok = checked_summarize(
-              out, name, me,
-              task::build_allreduce_multileader(
-                  gw.han, wc, me, BufView::timing_only(kBytes),
-                  BufView::timing_only(kBytes), Datatype::Int32,
-                  mpi::ReduceOp::Sum, cfg, /*k=*/2),
-              summaries);
-        }
-        if (ok) graph_case(out, name, summaries, opts.windows);
-      }
-    }
+/// One graph-family sweep job: every SearchSpace config of one collective
+/// kind on one topology. Owns its world — jobs share nothing.
+void graph_kind_job(SweepResult& out, const char* topo_tag, int topo_nodes,
+                    int topo_ppn, CollKind kind, bool full_kind,
+                    bool full_space, const std::vector<int>& windows) {
+  GraphWorld gw(machine::make_aries(topo_nodes, topo_ppn));
+  const mpi::Comm& wc = gw.world.world_comm();
+  const int n = wc.size();
+  const std::size_t kBytes = kGraphBytes;
+  const std::string tprefix = std::string("graph.") + topo_tag + ".";
+  tune::SearchSpace ks = sweep_space(full_space);
+  if (!full_kind) {
+    // The linear-phase collectives ignore the inter knobs.
+    ks.imods = {"libnbc"};
+    ks.include_ring = false;
   }
-
-  // 3-level builders on a NUMA topology (2 nodes x 2 domains x 4 ranks).
-  {
-    GraphWorld gw(machine::with_numa(machine::make_opath(2, 8), 2));
-    core::Han3 han3(gw.han);
-    if (han3.applicable()) {
-      const mpi::Comm& wc = gw.world.world_comm();
-      const int n = wc.size();
-      core::Han3::Comm3& c3 = han3.comm3(wc);
-      for (const HanConfig& cfg : space.enumerate(CollKind::Bcast)) {
-        const std::string name =
-            std::string("graph.numa2x2x4.bcast3.") + cfg.to_string();
-        std::vector<GraphSummary> summaries;
-        bool ok = true;
-        for (int me = 0; me < n && ok; ++me) {
-          ok = checked_summarize(
-              out, name, me,
-              task::build_bcast3(gw.han, c3, me,
+  for (const HanConfig& cfg : ks.enumerate(kind)) {
+    const std::string name = tprefix + coll::coll_kind_name(kind) +
+                             "." + cfg.to_string();
+    std::vector<GraphSummary> summaries;
+    bool ok = true;
+    for (int me = 0; me < n && ok; ++me) {
+      task::TaskGraph g;
+      switch (kind) {
+        case CollKind::Bcast:
+          g = task::build_bcast(gw.han, wc, me, 0,
+                                BufView::timing_only(kBytes),
+                                Datatype::Byte, cfg);
+          break;
+        case CollKind::Reduce:
+          g = task::build_reduce(gw.han, wc, me, 0,
                                  BufView::timing_only(kBytes),
-                                 Datatype::Byte, cfg),
-              summaries);
-        }
-        if (ok) graph_case(out, name, summaries, opts.windows);
+                                 BufView::timing_only(kBytes),
+                                 Datatype::Int32, mpi::ReduceOp::Sum,
+                                 cfg);
+          break;
+        case CollKind::Allreduce:
+          g = task::build_allreduce(gw.han, wc, me,
+                                    BufView::timing_only(kBytes),
+                                    BufView::timing_only(kBytes),
+                                    Datatype::Int32, mpi::ReduceOp::Sum,
+                                    cfg);
+          break;
+        case CollKind::ReduceScatter:
+          g = task::build_reduce_scatter(
+              gw.han, wc, me,
+              BufView::timing_only(kBytes),
+              BufView::timing_only(kBytes / static_cast<std::size_t>(n)),
+              Datatype::Int32, mpi::ReduceOp::Sum, cfg);
+          break;
+        case CollKind::Gather:
+          g = task::build_gather(
+              gw.han, wc, me, 0, BufView::timing_only(kBytes),
+              BufView::timing_only(kBytes * static_cast<std::size_t>(n)),
+              cfg);
+          break;
+        case CollKind::Scatter:
+          g = task::build_scatter(
+              gw.han, wc, me, 0,
+              BufView::timing_only(kBytes * static_cast<std::size_t>(n)),
+              BufView::timing_only(kBytes), cfg);
+          break;
+        case CollKind::Allgather:
+          g = task::build_allgather(
+              gw.han, wc, me, BufView::timing_only(kBytes),
+              BufView::timing_only(kBytes * static_cast<std::size_t>(n)),
+              cfg);
+          break;
+        default:
+          break;
       }
-      for (const HanConfig& cfg : space.enumerate(CollKind::Allreduce)) {
-        const std::string name =
-            std::string("graph.numa2x2x4.allreduce3.") + cfg.to_string();
-        std::vector<GraphSummary> summaries;
-        bool ok = true;
-        for (int me = 0; me < n && ok; ++me) {
-          ok = checked_summarize(
-              out, name, me,
-              task::build_allreduce3(gw.han, c3, me,
-                                     BufView::timing_only(kBytes),
-                                     BufView::timing_only(kBytes),
-                                     Datatype::Int32, mpi::ReduceOp::Sum,
-                                     cfg),
-              summaries);
-        }
-        if (ok) graph_case(out, name, summaries, opts.windows);
-      }
+      ok = checked_summarize(out, name, me, std::move(g), summaries);
     }
+    if (ok) graph_case(out, name, summaries, windows);
+  }
+}
+
+/// Barrier has no Table II knobs: one case per topology.
+void graph_barrier_job(SweepResult& out, const char* topo_tag,
+                       int topo_nodes, int topo_ppn,
+                       const std::vector<int>& windows) {
+  GraphWorld gw(machine::make_aries(topo_nodes, topo_ppn));
+  const mpi::Comm& wc = gw.world.world_comm();
+  const int n = wc.size();
+  const std::string name = std::string("graph.") + topo_tag + ".barrier";
+  std::vector<GraphSummary> summaries;
+  bool ok = true;
+  for (int me = 0; me < n && ok; ++me) {
+    ok = checked_summarize(out, name, me,
+                           task::build_barrier(gw.han, wc, me), summaries);
+  }
+  if (ok) graph_case(out, name, summaries, windows);
+}
+
+/// Multi-leader allreduce (k = 2); only scheduled for multi-node,
+/// multi-rank topologies.
+void graph_ml2_job(SweepResult& out, const char* topo_tag, int topo_nodes,
+                   int topo_ppn, bool full_space,
+                   const std::vector<int>& windows) {
+  GraphWorld gw(machine::make_aries(topo_nodes, topo_ppn));
+  const mpi::Comm& wc = gw.world.world_comm();
+  const int n = wc.size();
+  const std::size_t kBytes = kGraphBytes;
+  tune::SearchSpace space = sweep_space(full_space);
+  for (const HanConfig& cfg : space.enumerate(CollKind::Allreduce)) {
+    const std::string name = std::string("graph.") + topo_tag +
+                             ".allreduce_ml2." + cfg.to_string();
+    std::vector<GraphSummary> summaries;
+    bool ok = true;
+    for (int me = 0; me < n && ok; ++me) {
+      ok = checked_summarize(
+          out, name, me,
+          task::build_allreduce_multileader(
+              gw.han, wc, me, BufView::timing_only(kBytes),
+              BufView::timing_only(kBytes), Datatype::Int32,
+              mpi::ReduceOp::Sum, cfg, /*k=*/2),
+          summaries);
+    }
+    if (ok) graph_case(out, name, summaries, windows);
+  }
+}
+
+/// 3-level builders on a NUMA topology (2 nodes x 2 domains x 4 ranks).
+/// One job per kind (bcast3, allreduce3).
+void graph_numa_job(SweepResult& out, CollKind kind, bool full_space,
+                    const std::vector<int>& windows) {
+  GraphWorld gw(machine::with_numa(machine::make_opath(2, 8), 2));
+  core::Han3 han3(gw.han);
+  if (!han3.applicable()) return;
+  const mpi::Comm& wc = gw.world.world_comm();
+  const int n = wc.size();
+  const std::size_t kBytes = kGraphBytes;
+  core::Han3::Comm3& c3 = han3.comm3(wc);
+  tune::SearchSpace space = sweep_space(full_space);
+  for (const HanConfig& cfg : space.enumerate(kind)) {
+    const std::string name =
+        std::string("graph.numa2x2x4.") +
+        (kind == CollKind::Bcast ? "bcast3." : "allreduce3.") +
+        cfg.to_string();
+    std::vector<GraphSummary> summaries;
+    bool ok = true;
+    for (int me = 0; me < n && ok; ++me) {
+      task::TaskGraph g =
+          kind == CollKind::Bcast
+              ? task::build_bcast3(gw.han, c3, me,
+                                   BufView::timing_only(kBytes),
+                                   Datatype::Byte, cfg)
+              : task::build_allreduce3(gw.han, c3, me,
+                                       BufView::timing_only(kBytes),
+                                       BufView::timing_only(kBytes),
+                                       Datatype::Int32, mpi::ReduceOp::Sum,
+                                       cfg);
+      ok = checked_summarize(out, name, me, std::move(g), summaries);
+    }
+    if (ok) graph_case(out, name, summaries, windows);
   }
 }
 
@@ -427,9 +424,68 @@ std::string SweepResult::summary() const {
 }
 
 SweepResult run_sweep(const SweepOptions& opts) {
+  // The sweep is a flat list of independent jobs, each of which builds its
+  // own worlds and fills a private fragment. Fragments concatenate in
+  // input order before the name sort, so the report is byte-identical for
+  // every opts.jobs value.
+  std::vector<std::function<void(SweepResult&)>> jobs;
+  if (opts.plans) {
+    for (int n : {2, 3, 4, 8, 16}) {
+      jobs.push_back([n](SweepResult& frag) { sweep_plans_for(frag, n); });
+    }
+  }
+  if (opts.graphs) {
+    struct Topo {
+      const char* tag;
+      int nodes, ppn;
+    };
+    static const Topo kTopos[] = {{"2x2", 2, 2}, {"4x4", 4, 4},
+                                  {"8x2", 8, 2}};
+    struct KindCase {
+      CollKind kind;
+      bool full;  // full SearchSpace, or the (fs, smod) subset (the
+                  // linear-phase collectives ignore the inter knobs)
+    };
+    static const KindCase kKinds[] = {
+        {CollKind::Bcast, true},          {CollKind::Reduce, true},
+        {CollKind::Allreduce, true},      {CollKind::ReduceScatter, true},
+        {CollKind::Gather, false},        {CollKind::Scatter, false},
+        {CollKind::Allgather, false},
+    };
+    for (const Topo& t : kTopos) {
+      for (const KindCase& kc : kKinds) {
+        jobs.push_back([&t, kc, &opts](SweepResult& frag) {
+          graph_kind_job(frag, t.tag, t.nodes, t.ppn, kc.kind, kc.full,
+                         opts.full_space, opts.windows);
+        });
+      }
+      jobs.push_back([&t, &opts](SweepResult& frag) {
+        graph_barrier_job(frag, t.tag, t.nodes, t.ppn, opts.windows);
+      });
+      if (t.nodes > 1 && t.ppn >= 2) {
+        jobs.push_back([&t, &opts](SweepResult& frag) {
+          graph_ml2_job(frag, t.tag, t.nodes, t.ppn, opts.full_space,
+                        opts.windows);
+        });
+      }
+    }
+    for (CollKind kind : {CollKind::Bcast, CollKind::Allreduce}) {
+      jobs.push_back([kind, &opts](SweepResult& frag) {
+        graph_numa_job(frag, kind, opts.full_space, opts.windows);
+      });
+    }
+  }
+
+  std::vector<SweepResult> frags = par::parallel_map(
+      opts.jobs, static_cast<int>(jobs.size()), [&jobs](int i) {
+        SweepResult frag;
+        jobs[static_cast<std::size_t>(i)](frag);
+        return frag;
+      });
   SweepResult out;
-  if (opts.plans) sweep_plans(out);
-  if (opts.graphs) sweep_graphs(out, opts);
+  for (SweepResult& frag : frags) {
+    for (SweepEntry& e : frag.entries) out.entries.push_back(std::move(e));
+  }
   std::sort(out.entries.begin(), out.entries.end(),
             [](const SweepEntry& a, const SweepEntry& b) {
               return a.name < b.name;

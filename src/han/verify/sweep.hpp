@@ -30,6 +30,11 @@ struct SweepOptions {
   /// Full autotuner SearchSpace; false = one config per (fs, smod) smoke
   /// subset (fast local runs).
   bool full_space = true;
+  /// Concurrent sweep jobs (han::par). Every job builds its own worlds and
+  /// results merge in input order, so any jobs value — including the
+  /// serial 1, the default — produces byte-identical reports (0 = one job
+  /// per hardware thread).
+  int jobs = 1;
 };
 
 struct SweepEntry {

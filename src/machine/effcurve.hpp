@@ -32,6 +32,7 @@ class EffCurve {
   double at(std::uint64_t bytes) const;
 
   bool empty() const { return knots_.empty(); }
+  const std::vector<Knot>& knots() const { return knots_; }
 
  private:
   std::vector<Knot> knots_;

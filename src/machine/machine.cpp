@@ -1,5 +1,8 @@
 #include "machine/machine.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "simbase/assert.hpp"
 
 namespace han::machine {
@@ -99,6 +102,16 @@ MachineProfile make_opath(int nodes, int ppn) {
   m.ompi_p2p.rndv_rtt_extra = 1.1e-6;
   m.ompi_p2p.net_efficiency = ompi_net_efficiency();
   return m;
+}
+
+void scale_net_efficiency(MachineProfile& profile, double factor,
+                          std::uint64_t min_bytes) {
+  std::vector<EffCurve::Knot> knots = profile.ompi_p2p.net_efficiency.knots();
+  for (EffCurve::Knot& k : knots) {
+    if (k.bytes < min_bytes) continue;
+    k.efficiency = std::min(1.0, std::max(1e-3, k.efficiency * factor));
+  }
+  profile.ompi_p2p.net_efficiency = EffCurve(std::move(knots));
 }
 
 }  // namespace han::machine

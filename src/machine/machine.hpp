@@ -85,6 +85,13 @@ MachineProfile with_numa(MachineProfile profile, int domains);
 /// 512KB where the rendezvous pipeline is not yet saturated (Fig. 11).
 EffCurve ompi_net_efficiency();
 
+/// Scale the profile's P2P efficiency-curve knots at or above `min_bytes`
+/// by `factor` (clamped into (0, 1]). Models a firmware or driver change
+/// that shifts large-message behavior only — the knob the tuning DB's
+/// staleness detection keys on.
+void scale_net_efficiency(MachineProfile& profile, double factor,
+                          std::uint64_t min_bytes);
+
 /// Vendor-quality efficiency curve: the same peak, but a much flatter
 /// mid-range (Cray/Intel tuned pipelines).
 EffCurve vendor_net_efficiency();

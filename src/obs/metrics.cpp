@@ -151,6 +151,12 @@ void MetricsRegistry::set_meta(std::string_view key, std::string_view value) {
   meta_[std::string(key)] = std::string(value);
 }
 
+void MetricsRegistry::merge_counters(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).add(c.value());
+  }
+}
+
 std::string MetricsRegistry::to_json(sim::Time now) const {
   std::string out = "{\n\"meta\":{";
   bool first = true;

@@ -121,6 +121,13 @@ class MetricsRegistry {
   /// byte-for-byte determinism.
   void set_meta(std::string_view key, std::string_view value);
 
+  /// Fold another registry's counters into this one (find-or-create, then
+  /// add). Batched parallel drivers (han::par) give every job a private
+  /// registry and merge in input order, so the merged totals match a
+  /// serial run exactly. Gauges and histograms are time-coupled to their
+  /// own engine and are deliberately not merged.
+  void merge_counters(const MetricsRegistry& other);
+
   /// Attach a tracer: every gauge change is mirrored as a counter-track
   /// sample. Pass nullptr to detach.
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }

@@ -1,0 +1,62 @@
+#include "parallel/pool.hpp"
+
+#include <algorithm>
+
+namespace han::par {
+
+int resolve_jobs(int jobs) {
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::max(jobs, 1);
+}
+
+int parse_jobs(const char* arg) {
+  if (arg == nullptr || *arg == '\0') return -1;
+  int v = 0;
+  for (const char* p = arg; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9' || v > 4096) return -1;
+    v = v * 10 + (*p - '0');
+  }
+  return v;
+}
+
+ThreadPool::ThreadPool(int threads, int tasks, std::function<void(int)> body)
+    : body_(std::move(body)), tasks_(tasks) {
+  HAN_ASSERT(threads >= 1);
+  const int workers = std::min(threads, std::max(tasks, 1));
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] {
+      for (;;) {
+        const int i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks_ || failed_.load(std::memory_order_relaxed)) return;
+        try {
+          body_(i);
+        } catch (...) {
+          // First failure wins; remaining workers drain and stop. The
+          // partially-filled result slots are discarded by the rethrow.
+          std::lock_guard<std::mutex> lock(error_mu_);
+          if (!error_) error_ = std::current_exception();
+          failed_.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::wait() {
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace han::par

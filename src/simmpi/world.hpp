@@ -87,6 +87,7 @@ class SimWorld {
   machine::ClusterFabric& fabric() { return fabric_; }
   const machine::MachineProfile& profile() const { return profile_; }
   const machine::P2pParams& p2p() const { return p2p_; }
+  const Options& options() const { return options_; }
   bool data_mode() const { return options_.data_mode; }
 
   int world_size() const { return profile_.total_procs(); }

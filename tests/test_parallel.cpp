@@ -1,0 +1,145 @@
+// han::par — the batched parallel simulation driver: result ordering,
+// exception propagation, and the byte-identity contract (--jobs N output
+// == serial output) across the verify sweep, the tuner, and synthesis.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "autotune/tuner.hpp"
+#include "coll/module.hpp"
+#include "coll/runtime.hpp"
+#include "han/han.hpp"
+#include "han/synth/synth.hpp"
+#include "han/verify/sweep.hpp"
+#include "machine/machine.hpp"
+#include "parallel/pool.hpp"
+
+namespace han {
+namespace {
+
+using coll::Algorithm;
+using coll::CollKind;
+
+// --- parallel_map plumbing ----------------------------------------------
+
+TEST(ParallelMap, ResultsLandAtInputIndex) {
+  const std::vector<int> r =
+      par::parallel_map(4, 33, [](int i) { return i * i; });
+  ASSERT_EQ(r.size(), 33u);
+  for (int i = 0; i < 33; ++i) EXPECT_EQ(r[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ParallelMap, SerialAndParallelAgree) {
+  const auto fn = [](int i) { return std::to_string(i * 7 + 3); };
+  EXPECT_EQ(par::parallel_map(1, 9, fn), par::parallel_map(3, 9, fn));
+}
+
+TEST(ParallelMap, EmptyAndSingleton) {
+  EXPECT_TRUE(par::parallel_map(8, 0, [](int i) { return i; }).empty());
+  const std::vector<int> one = par::parallel_map(8, 1, [](int i) { return i + 41; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 41);
+}
+
+TEST(ParallelMap, ExceptionPropagatesFromWorker) {
+  const auto boom = [](int i) -> int {
+    if (i == 5) throw std::runtime_error("boom");
+    return i;
+  };
+  EXPECT_THROW(par::parallel_map(4, 8, boom), std::runtime_error);
+  EXPECT_THROW(par::parallel_map(1, 8, boom), std::runtime_error);
+}
+
+TEST(ParallelMap, ResolveJobs) {
+  EXPECT_GE(par::resolve_jobs(0), 1);  // 0 = one per hardware thread
+  EXPECT_EQ(par::resolve_jobs(5), 5);
+  EXPECT_EQ(par::resolve_jobs(-3), 1);  // clamped
+}
+
+TEST(ParallelMap, ParseJobs) {
+  EXPECT_EQ(par::parse_jobs("4"), 4);
+  EXPECT_EQ(par::parse_jobs("0"), 0);
+  EXPECT_EQ(par::parse_jobs("-1"), -1);
+  EXPECT_EQ(par::parse_jobs("abc"), -1);
+  EXPECT_EQ(par::parse_jobs("4x"), -1);
+  EXPECT_EQ(par::parse_jobs(""), -1);
+}
+
+// --- byte-identity across the drivers -----------------------------------
+
+TEST(ParallelSweep, ReportByteIdenticalToSerial) {
+  verify::SweepOptions o;
+  o.full_space = false;  // smoke subset keeps this test fast
+  o.windows = {2};
+  const std::string serial = verify::run_sweep(o).to_json();
+  o.jobs = 4;
+  const std::string parallel = verify::run_sweep(o).to_json();
+  EXPECT_EQ(serial, parallel);
+}
+
+struct TuneHarness {
+  explicit TuneHarness(machine::MachineProfile profile)
+      : world(std::move(profile)),
+        rt(world),
+        mods(world, rt),
+        han(world, rt, mods) {}
+  mpi::SimWorld world;
+  coll::CollRuntime rt;
+  coll::ModuleSet mods;
+  core::HanModule han;
+};
+
+tune::SearchSpace small_space() {
+  tune::SearchSpace s;
+  s.fs_sizes = {64 << 10, 1 << 20};
+  s.adapt_algs = {Algorithm::Chain};
+  s.adapt_inter_segments = {64 << 10};
+  return s;
+}
+
+TEST(ParallelTuner, TableCostAndCountersMatchSerial) {
+  tune::TunerOptions o;
+  o.message_sizes = {64 << 10, 1 << 20};
+  o.kinds = {CollKind::Bcast, CollKind::Allreduce};
+
+  TuneHarness a(machine::make_aries(4, 2));
+  tune::Tuner ta(a.world, a.han, a.world.world_comm(), small_space());
+  const tune::TuneReport ra = ta.tune(o);  // jobs = 1, the serial path
+
+  o.jobs = 4;
+  TuneHarness b(machine::make_aries(4, 2));
+  tune::Tuner tb(b.world, b.han, b.world.world_comm(), small_space());
+  const tune::TuneReport rb = tb.tune(o);
+
+  EXPECT_EQ(ra.table.serialize(), rb.table.serialize());
+  EXPECT_DOUBLE_EQ(ra.tuning_cost, rb.tuning_cost);
+  EXPECT_EQ(ra.task_benchmarks, rb.task_benchmarks);
+  // Per-job registries merge in kind order, so the tuner's merge-safe
+  // counters match the serial run exactly.
+  for (const char* name : {"tune.runs", "tune.table_entries",
+                           "tune.model_estimates", "tune.cost_seconds"}) {
+    EXPECT_DOUBLE_EQ(a.world.metrics().counter(name).value(),
+                     b.world.metrics().counter(name).value())
+        << name;
+  }
+}
+
+TEST(ParallelSynth, ReportByteIdenticalToSerial) {
+  synth::SynthOptions o;
+  o.kinds = {CollKind::Allreduce};
+  o.sizes = {64 << 10};
+  o.fs_sizes = {64 << 10};
+  o.windows = {2};
+  o.mutation_rounds = 1;
+  o.mutants_per_round = 8;
+  o.max_finalists = 4;
+  const std::string serial = synth::run_synthesis(o).to_json();
+  o.jobs = 2;
+  const std::string parallel = synth::run_synthesis(o).to_json();
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace han

@@ -2,7 +2,10 @@
 //
 //   han_synth [--smoke] [--nodes N] [--ppn P] [--sizes 64K,1M]
 //             [--seed S] [--rounds R] [--mutants M] [--finalists K]
-//             [--json <path>] [--save-lookup <path>] [--quiet]
+//             [--jobs N] [--json <path>] [--save-lookup <path>] [--quiet]
+//
+// --jobs N runs the independent (collective, size) cases on N threads
+// (0 = one per hardware thread); results are byte-identical for every N.
 //
 // Runs han::synth::run_synthesis: enumerate the generator grammar, prune
 // on the symbolic (lat, bw) pareto frontier, gate survivors through
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "han/synth/synth.hpp"
+#include "parallel/pool.hpp"
 
 namespace {
 
@@ -81,6 +85,12 @@ int main(int argc, char** argv) {
       opts.mutants_per_round = std::atoi(argv[++i]);
     } else if (std::strcmp(a, "--finalists") == 0 && has_val) {
       opts.max_finalists = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--jobs") == 0 && has_val) {
+      opts.jobs = han::par::parse_jobs(argv[++i]);
+      if (opts.jobs < 0) {
+        std::fprintf(stderr, "han_synth: bad --jobs value '%s'\n", argv[i]);
+        return 1;
+      }
     } else if (std::strcmp(a, "--json") == 0 && has_val) {
       json_path = argv[++i];
     } else if (std::strcmp(a, "--save-lookup") == 0 && has_val) {
@@ -91,7 +101,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: han_synth [--smoke] [--nodes N] [--ppn P] "
                    "[--sizes 64K,1M] [--seed S] [--rounds R] [--mutants M] "
-                   "[--finalists K] [--json <path>] "
+                   "[--finalists K] [--jobs N] [--json <path>] "
                    "[--save-lookup <path>] [--quiet]\n");
       return std::strcmp(a, "--help") == 0 ? 0 : 1;
     }

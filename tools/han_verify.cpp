@@ -1,8 +1,11 @@
 // han_verify — the static verification gate for collective schedules.
 //
 //   han_verify [--smoke] [--no-plans] [--no-graphs] [--no-exec]
-//              [--windows 1,2,3] [--from-lookup <path>]
+//              [--windows 1,2,3] [--jobs N] [--from-lookup <path>]
 //              [--json <path>] [--quiet]
+//
+// --jobs N runs the sweep's independent cases on N threads (0 = one per
+// hardware thread); reports are byte-identical for every N.
 //
 // --from-lookup <path> re-verifies every cached synthesized schedule
 // (`sched=` entry) of a saved LookupTable instead of running the builder
@@ -26,6 +29,7 @@
 #include "han/han.hpp"
 #include "han/verify/sweep.hpp"
 #include "han/verify/verify.hpp"
+#include "parallel/pool.hpp"
 
 namespace {
 
@@ -238,6 +242,12 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 1;
       }
+    } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+      opts.jobs = han::par::parse_jobs(argv[++i]);
+      if (opts.jobs < 0) {
+        std::fprintf(stderr, "han_verify: bad --jobs value '%s'\n", argv[i]);
+        return 1;
+      }
     } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(a, "--from-lookup") == 0 && i + 1 < argc) {
@@ -245,8 +255,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: han_verify [--smoke] [--no-plans] [--no-graphs] "
-                   "[--no-exec] [--windows 1,2,3] [--from-lookup <path>] "
-                   "[--json <path>] [--quiet]\n");
+                   "[--no-exec] [--windows 1,2,3] [--jobs N] "
+                   "[--from-lookup <path>] [--json <path>] [--quiet]\n");
       return std::strcmp(a, "--help") == 0 ? 0 : 1;
     }
   }
