@@ -15,13 +15,13 @@ namespace han::bench {
 
 /// The fused variant: per segment, sr → inter-allreduce → sb.
 double measure_fused(HanWorld& hw, std::size_t msg, std::size_t fs) {
-  core::HanComm& hc = hw.han.han_comm(hw.world.world_comm());
+  core::Hierarchy& hc = hw.han.flat_hierarchy(hw.world.world_comm());
   auto sync = std::make_shared<mpi::SyncDomain>(hw.world.engine(),
                                                 hw.world.world_size());
   auto worst = std::make_shared<double>(0.0);
 
   hw.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](HanWorld& hw2, core::HanComm& hc2,
+    return [](HanWorld& hw2, core::Hierarchy& hc2,
               std::shared_ptr<mpi::SyncDomain> sync2,
               std::shared_ptr<double> worst2, std::size_t msg2, std::size_t fs2,
               int pr) -> sim::CoTask {

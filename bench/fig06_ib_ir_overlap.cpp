@@ -17,7 +17,7 @@ struct OverlapResult {
 OverlapResult measure_overlap(HanWorld& hw, const core::HanConfig& cfg,
                               std::size_t seg) {
   using coll::CollConfig;
-  core::HanComm& hc = hw.han.han_comm(hw.world.world_comm());
+  core::Hierarchy& hc = hw.han.flat_hierarchy(hw.world.world_comm());
   coll::CollModule* imod = hw.han.inter_module(cfg);
   const CollConfig ibcfg{cfg.ibalg, cfg.ibs};
   const CollConfig ircfg{cfg.iralg, cfg.irs};
@@ -28,7 +28,7 @@ OverlapResult measure_overlap(HanWorld& hw, const core::HanConfig& cfg,
                                                   hw.world.world_size());
     auto worst = std::make_shared<double>(0.0);
     hw.world.run([&](mpi::Rank& rank) -> sim::CoTask {
-      return [](HanWorld& hw3, core::HanComm& hc2, coll::CollModule* imod2,
+      return [](HanWorld& hw3, core::Hierarchy& hc2, coll::CollModule* imod2,
                 CollConfig ibcfg2, CollConfig ircfg2,
                 std::shared_ptr<mpi::SyncDomain> sync2,
                 std::shared_ptr<double> worst3, std::size_t seg2, int phase2,

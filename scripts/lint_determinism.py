@@ -51,7 +51,6 @@ ALLOWLIST = [
     ("src/simmpi/comm.hpp", "unordered-decl", "to_comm_rank_"),
     ("src/han/han.hpp", "unordered-include", "<unordered_map>"),
     ("src/han/han.hpp", "unordered-decl", "comms_"),
-    ("src/han/han3.hpp", "unordered-decl", "comms_"),
     ("src/coll/runtime.hpp", "unordered-include", "<unordered_map>"),
     ("src/coll/runtime.hpp", "unordered-decl", "call_seq_"),
     ("src/coll/runtime.hpp", "unordered-decl", "level_of_"),

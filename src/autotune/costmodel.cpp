@@ -1,6 +1,7 @@
 #include "autotune/costmodel.hpp"
 
 #include <algorithm>
+#include <map>
 #include <string_view>
 #include <vector>
 
@@ -15,7 +16,7 @@ namespace {
 // each pipeline step collapses to the set of stages active in it, and the
 // signature selects the benchmarked task cost for that step — no per-kind
 // closed forms to drift from the executor.
-enum : unsigned { kSr = 1, kIr = 2, kIb = 4, kSb = 8 };
+enum : unsigned { kSr = 1, kIr = 2, kIb = 4, kSb = 8, kMr = 16, kMb = 32 };
 
 unsigned role_bit(const char* role) {
   const std::string_view r(role);
@@ -23,6 +24,8 @@ unsigned role_bit(const char* role) {
   if (r == "ir") return kIr;
   if (r == "ib") return kIb;
   if (r == "sb") return kSb;
+  if (r == "mr") return kMr;
+  if (r == "mb") return kMb;
   return 0;
 }
 
@@ -79,6 +82,70 @@ double walk_cost(const std::vector<unsigned>& sig, const CostOf& cost_of,
   return worst;
 }
 
+/// Benchmarked composite for the flat sr/ir/ib/sb part of a signature.
+const PerLeader& flat_bcast_cost(const BcastTaskCosts& costs, unsigned m) {
+  switch (m) {
+    case kIb: return costs.ib0;
+    case kIb | kSb: return costs.sbib_stable;
+    default: return costs.sb0;  // kSb
+  }
+}
+
+const PerLeader& flat_allreduce_cost(const AllreduceTaskCosts& costs,
+                                     unsigned m) {
+  switch (m) {
+    case kSr: return costs.sr0;
+    case kSr | kIr: return costs.irsr;
+    case kSr | kIr | kIb: return costs.ibirsr;
+    case kSr | kIr | kIb | kSb: return costs.sbibirsr_stable;
+    // Drain: for tiny u the drain tasks approximate the remaining
+    // ir/ib/sb of the last segments.
+    case kIr | kIb | kSb:
+    case kIr | kIb:
+    case kIr: return costs.sbibir;
+    case kIb | kSb:
+    case kIb: return costs.sbib;
+    default: return costs.sb;  // kSb
+  }
+}
+
+/// Level placeholders for a model-only ladder walk: the shapes read only
+/// tier indices and the top/leaf positions, so any depth-consistent vector
+/// works.
+std::vector<task::Level> model_levels(int depth) {
+  std::vector<task::Level> v(static_cast<std::size_t>(depth),
+                             task::Level::Mid);
+  v.front() = task::Level::Intra;
+  v.back() = task::Level::Inter;
+  return v;
+}
+
+/// Price every distinct signature of a ladder walk: the flat composite of
+/// the sr/ir/ib/sb bits (zero when a step is mid-only) plus the solo mid
+/// cost when a mid stage is active.
+template <typename FlatCost>
+std::map<unsigned, PerLeader> ladder_cost_table(
+    const std::vector<unsigned>& sig, const FlatCost& flat_cost,
+    const PerLeader& mid_solo, const PerLeader& zero_like) {
+  std::map<unsigned, PerLeader> table;
+  for (unsigned m : sig) {
+    if (table.count(m) != 0) continue;
+    const unsigned flat = m & (kSr | kIr | kIb | kSb);
+    PerLeader c;
+    if (flat != 0) {
+      c = flat_cost(flat);
+    } else {
+      c.t.assign(zero_like.t.size(), 0.0);
+    }
+    if ((m & (kMr | kMb)) != 0) {
+      HAN_ASSERT(c.t.size() == mid_solo.t.size());
+      for (std::size_t i = 0; i < c.t.size(); ++i) c.t[i] += mid_solo.t[i];
+    }
+    table.emplace(m, std::move(c));
+  }
+  return table;
+}
+
 }  // namespace
 
 double bcast_model_cost(const BcastTaskCosts& costs, int u, int window) {
@@ -89,12 +156,25 @@ double bcast_model_cost(const BcastTaskCosts& costs, int u, int window) {
   return walk_cost(
       sig,
       [&](unsigned m) -> const PerLeader& {
-        switch (m) {
-          case kIb: return costs.ib0;
-          case kIb | kSb: return costs.sbib_stable;
-          default: return costs.sb0;  // kSb
-        }
+        return flat_bcast_cost(costs, m);
       },
+      window);
+}
+
+double bcast_ladder_model_cost(const BcastTaskCosts& costs,
+                               const MidTaskCosts& mid, int depth, int u,
+                               int window) {
+  HAN_ASSERT(depth >= 2 && u >= 1);
+  if (depth == 2) return bcast_model_cost(costs, u, window);
+  const std::vector<unsigned> sig = step_signatures(
+      task::bcast_ladder_shape(model_levels(depth),
+                               std::vector<bool>(depth, true)),
+      u);
+  const std::map<unsigned, PerLeader> table = ladder_cost_table(
+      sig, [&](unsigned m) { return flat_bcast_cost(costs, m); }, mid.mb,
+      costs.sb0);
+  return walk_cost(
+      sig, [&](unsigned m) -> const PerLeader& { return table.at(m); },
       window);
 }
 
@@ -197,21 +277,33 @@ double allreduce_model_cost(const AllreduceTaskCosts& costs, int u,
   return walk_cost(
       sig,
       [&](unsigned m) -> const PerLeader& {
-        switch (m) {
-          case kSr: return costs.sr0;
-          case kSr | kIr: return costs.irsr;
-          case kSr | kIr | kIb: return costs.ibirsr;
-          case kSr | kIr | kIb | kSb: return costs.sbibirsr_stable;
-          // Drain: for tiny u the drain tasks approximate the remaining
-          // ir/ib/sb of the last segments.
-          case kIr | kIb | kSb:
-          case kIr | kIb:
-          case kIr: return costs.sbibir;
-          case kIb | kSb:
-          case kIb: return costs.sbib;
-          default: return costs.sb;  // kSb
-        }
+        return flat_allreduce_cost(costs, m);
       },
+      window);
+}
+
+double allreduce_ladder_model_cost(const AllreduceTaskCosts& costs,
+                                   const MidTaskCosts& mid, int depth, int u,
+                                   int window) {
+  HAN_ASSERT(depth >= 2 && u >= 1);
+  if (depth == 2) return allreduce_model_cost(costs, u, window);
+  // The mid reduce and mid bcast lanes of one step share the cross-domain
+  // bus like concurrent mids do; one averaged solo cost prices both.
+  PerLeader mid_solo;
+  mid_solo.t.assign(mid.mr.t.size(), 0.0);
+  HAN_ASSERT(mid.mr.t.size() == mid.mb.t.size());
+  for (std::size_t i = 0; i < mid_solo.t.size(); ++i) {
+    mid_solo.t[i] = 0.5 * (mid.mr.t[i] + mid.mb.t[i]);
+  }
+  const std::vector<unsigned> sig = step_signatures(
+      task::allreduce_ladder_shape(model_levels(depth),
+                                   std::vector<bool>(depth, true)),
+      u);
+  const std::map<unsigned, PerLeader> table = ladder_cost_table(
+      sig, [&](unsigned m) { return flat_allreduce_cost(costs, m); },
+      mid_solo, costs.sb);
+  return walk_cost(
+      sig, [&](unsigned m) -> const PerLeader& { return table.at(m); },
       window);
 }
 

@@ -48,6 +48,31 @@ struct AllreduceTaskCosts {
 double allreduce_model_cost(const AllreduceTaskCosts& costs, int u,
                             int window = 1);
 
+/// Benchmarked solo costs of the mid-level ladder tasks (derived n-level
+/// hierarchies, docs/HIERARCHY.md): one mid-comm bcast/reduce of an fs
+/// segment, timed per node leader like the flat tasks.
+struct MidTaskCosts {
+  PerLeader mb;  // T_i(mb(0))
+  PerLeader mr;  // T_i(mr(0))
+};
+
+/// Depth-d generalization of eq. 3: a symbolic walk of
+/// task::bcast_ladder_shape. A step's cost is the flat 2-level composite
+/// benchmark of its sr/ir/ib/sb part plus the solo mid cost whenever a mid
+/// stage is active — mid stages ride the (slower, cross-domain) memory bus
+/// rather than the NIC, so no overlap with the inter stage is assumed;
+/// ladders deeper than 3 price all concurrently active mid stages as one
+/// bus lane, since they share it. Depth 2 is bcast_model_cost exactly.
+double bcast_ladder_model_cost(const BcastTaskCosts& costs,
+                               const MidTaskCosts& mid, int depth, int u,
+                               int window = 1);
+
+/// Depth-d generalization of eq. 4; see bcast_ladder_model_cost for the
+/// additive mid composition. Depth 2 is allreduce_model_cost exactly.
+double allreduce_ladder_model_cost(const AllreduceTaskCosts& costs,
+                                   const MidTaskCosts& mid, int depth, int u,
+                                   int window = 1);
+
 /// Affine cost fit t(bytes) = base + per_byte * bytes from two sampled
 /// points. The simulated fabric is linear in message size past the eager
 /// threshold, so two samples pin the whole size axis — the reduce-scatter

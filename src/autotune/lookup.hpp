@@ -23,9 +23,11 @@ class LookupTable {
  public:
   /// Text-format version written by serialize(). v1 = the version-less
   /// seed format (plain Table II configs); v2 adds the header line and
-  /// may carry synthesized-schedule ids (`sched=`) in config values.
-  /// deserialize() accepts v1 and v2 and rejects anything newer.
-  static constexpr int kFormatVersion = 2;
+  /// may carry synthesized-schedule ids (`sched=`) in config values; v3
+  /// may carry per-level hierarchy tokens (`lvl=`/`malg=`/`ms=`/`zcs=`,
+  /// docs/HIERARCHY.md) in config values. deserialize() accepts v1-v3
+  /// and rejects anything newer.
+  static constexpr int kFormatVersion = 3;
 
   struct Key {
     coll::CollKind kind;

@@ -70,6 +70,30 @@ std::vector<HanConfig> SearchSpace::enumerate(CollKind kind) const {
       expanded.push_back(std::move(c));
     }
   }
+  // Mid-level ladder axes (docs/HIERARCHY.md): crossed only when
+  // populated, so a flat space enumerates byte-identically to the seed's.
+  // Absent axes pin their knob to the default (malg=Default, zcs=0).
+  if (!mid_algs.empty() || !zc_switchovers.empty()) {
+    const std::vector<Algorithm> malgs =
+        mid_algs.empty() ? std::vector<Algorithm>{Algorithm::Default}
+                         : mid_algs;
+    const std::vector<std::size_t> zcss =
+        zc_switchovers.empty() ? std::vector<std::size_t>{0}
+                               : zc_switchovers;
+    std::vector<HanConfig> crossed;
+    crossed.reserve(expanded.size() * malgs.size() * zcss.size());
+    for (const HanConfig& base : expanded) {
+      for (Algorithm malg : malgs) {
+        for (std::size_t zcs : zcss) {
+          HanConfig c = base;
+          c.malg = malg;
+          c.zcs = zcs;
+          crossed.push_back(std::move(c));
+        }
+      }
+    }
+    expanded = std::move(crossed);
+  }
   // Synthesized-schedule ids join as an extra axis: the hand-written
   // builders (sched="") stay first, then each matching id crossed over
   // the whole space. Ids for other kinds are skipped, not errors — one
@@ -120,8 +144,24 @@ bool heuristic_allows(const HanConfig& cfg, CollKind kind,
   // A deep in-flight window only pays off once the pipeline has enough
   // steps to overlap; on short pipelines it just duplicates window = 1.
   if (cfg.window > 1 && u > 0 && u < 4) return false;
+  // Mid-level ladder knobs (docs/HIERARCHY.md). A zero-copy switchover far
+  // above the segment size copies-in-copies-out even well-pipelined
+  // messages; past 2*fs the zero-copy path always wins the bus.
+  if (cfg.zcs > 0 && cfg.zcs > 2 * cfg.fs) return false;
+  // The chain mid algorithm pipelines like the inter chain: it needs
+  // enough segments to fill.
+  if (cfg.malg == Algorithm::Chain && u > 0 && u < 4) return false;
   (void)kind;
   return true;
+}
+
+SearchSpace SearchSpace::for_profile(const machine::MachineProfile& profile) {
+  SearchSpace s;
+  if (profile.numa_per_node > 1) {
+    s.mid_algs = {Algorithm::Default, Algorithm::Binary};
+    s.zc_switchovers = {0, 256 << 10};
+  }
+  return s;
 }
 
 Searcher::Searcher(mpi::SimWorld& world, core::HanModule& han,
@@ -281,6 +321,17 @@ const ReduceScatterTaskCosts& Searcher::reduce_scatter_costs(
   return reduce_scatter_cache_.emplace(key, std::move(costs)).first->second;
 }
 
+const MidTaskCosts& Searcher::mid_costs(const HanConfig& cfg) {
+  const ConfigKey key{cfg.to_string()};
+  auto it = mid_cache_.find(key);
+  if (it != mid_cache_.end()) return it->second;
+
+  MidTaskCosts costs;
+  costs.mb = bench_.bench_mb(cfg, cfg.fs);
+  costs.mr = bench_.bench_mr(cfg, cfg.fs);
+  return mid_cache_.emplace(key, std::move(costs)).first->second;
+}
+
 void Searcher::prepare(CollKind kind, bool heuristics) {
   for (const HanConfig& cfg : space_.enumerate(kind)) {
     if (heuristics && !heuristic_allows(cfg, kind, 0, 0)) continue;
@@ -290,6 +341,12 @@ void Searcher::prepare(CollKind kind, bool heuristics) {
       reduce_scatter_costs(cfg);
     } else {
       allreduce_costs(cfg);
+    }
+    // Ladders with a mid level also need the solo mid task costs, so that
+    // estimate() stays measurement-free.
+    if (kind != CollKind::ReduceScatter &&
+        han_->ladder_for(*comm_, cfg).depth() > 2) {
+      mid_costs(cfg);
     }
   }
 }
@@ -317,15 +374,27 @@ double Searcher::estimate_config(CollKind kind, std::size_t msg_bytes,
       1, static_cast<int>((msg_bytes + cfg.fs - 1) /
                           std::max<std::size_t>(cfg.fs, 1)));
   if (kind == CollKind::Bcast) {
+    // Derived ladders deeper than 2 recurse through the mid levels: the
+    // flat composite costs plus the solo mid tasks (costmodel.hpp).
+    const int depth = han_->ladder_for(*comm_, cfg).depth();
+    if (depth > 2) {
+      return bcast_ladder_model_cost(bcast_costs(cfg), mid_costs(cfg),
+                                     depth, u, cfg.window);
+    }
     return bcast_model_cost(bcast_costs(cfg), u, cfg.window);
   }
   if (kind == CollKind::ReduceScatter) {
-    core::HanComm& hc = han_->han_comm(*comm_);
+    core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
     return reduce_scatter_model_cost(reduce_scatter_costs(cfg), cfg,
                                      msg_bytes, hc.node_count(),
                                      hc.max_ppn(), cfg.window);
   }
   HAN_ASSERT(kind == CollKind::Allreduce);
+  const int depth = han_->ladder_for(*comm_, cfg).depth();
+  if (depth > 2) {
+    return allreduce_ladder_model_cost(allreduce_costs(cfg), mid_costs(cfg),
+                                       depth, u, cfg.window);
+  }
   return allreduce_model_cost(allreduce_costs(cfg), u, cfg.window);
 }
 

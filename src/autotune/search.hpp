@@ -40,9 +40,22 @@ struct SearchSpace {
   /// config is also tried with each id whose kind matches the collective
   /// (ids for other kinds are skipped, mismatched ids never enumerate).
   std::vector<std::string> scheds;
+  /// Mid-level axes for derived n-level ladders (docs/HIERARCHY.md): the
+  /// mid-stage algorithm (HanConfig::malg) and the zero-copy switchover
+  /// (HanConfig::zcs; 0 = always zero-copy). Both empty — the default —
+  /// leave the space byte-identical to the flat 2-level one; the Tuner
+  /// populates them automatically on NUMA machine profiles.
+  std::vector<coll::Algorithm> mid_algs;
+  std::vector<std::size_t> zc_switchovers;
 
   /// Every configuration of the space (paper: S x A combinations).
   std::vector<core::HanConfig> enumerate(coll::CollKind kind) const;
+
+  /// The default space a machine profile calls for: flat machines get the
+  /// seed's space unchanged; NUMA-split profiles (numa_per_node > 1) also
+  /// get the mid-level axes, so the tuner weighs the derived 3-level
+  /// ladder's knobs wherever a mid level exists.
+  static SearchSpace for_profile(const machine::MachineProfile& profile);
 };
 
 /// §III-C pruning rules. `u` = segment count at the evaluated message size
@@ -104,6 +117,7 @@ class Searcher {
   const AllreduceTaskCosts& allreduce_costs(const core::HanConfig& cfg);
   const ReduceScatterTaskCosts& reduce_scatter_costs(
       const core::HanConfig& cfg);
+  const MidTaskCosts& mid_costs(const core::HanConfig& cfg);
 
   mpi::SimWorld* world_;
   core::HanModule* han_;
@@ -114,6 +128,7 @@ class Searcher {
   std::map<ConfigKey, BcastTaskCosts> bcast_cache_;
   std::map<ConfigKey, AllreduceTaskCosts> allreduce_cache_;
   std::map<ConfigKey, ReduceScatterTaskCosts> reduce_scatter_cache_;
+  std::map<ConfigKey, MidTaskCosts> mid_cache_;
 };
 
 }  // namespace han::tune

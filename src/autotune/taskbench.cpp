@@ -36,7 +36,7 @@ PerLeader PipelineTrace::stabilized(int tail) const {
 TaskBench::TaskBench(mpi::SimWorld& world, core::HanModule& han,
                      const mpi::Comm& comm)
     : world_(&world), han_(&han), comm_(&comm) {
-  leaders_ = han.han_comm(comm).node_count();
+  leaders_ = han.flat_hierarchy(comm).node_count();
 }
 
 void TaskBench::run_charged(const mpi::SimWorld::Program& program) {
@@ -66,7 +66,7 @@ PerLeader average(const std::vector<std::vector<double>>& iters,
 
 PerLeader TaskBench::bench_ib(const HanConfig& cfg, std::size_t seg_bytes,
                               int iters) {
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   coll::CollModule* imod = han_->inter_module(cfg);
   const CollConfig icfg{cfg.ibalg, cfg.ibs};
   auto sync =
@@ -75,7 +75,7 @@ PerLeader TaskBench::bench_ib(const HanConfig& cfg, std::size_t seg_bytes,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc11, coll::CollModule* imod7,
+    return [](TaskBench& tb, core::Hierarchy& hc11, coll::CollModule* imod7,
               CollConfig icfg4, std::shared_ptr<mpi::SyncDomain> sync11,
               std::vector<std::vector<double>>& results8, std::size_t seg,
               int iters8, int pr) -> sim::CoTask {
@@ -100,7 +100,7 @@ PerLeader TaskBench::bench_ib(const HanConfig& cfg, std::size_t seg_bytes,
 
 PerLeader TaskBench::bench_sb(const HanConfig& cfg, std::size_t seg_bytes,
                               int iters) {
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   coll::CollModule* smod = han_->intra_module(cfg);
   auto sync =
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
@@ -108,7 +108,7 @@ PerLeader TaskBench::bench_sb(const HanConfig& cfg, std::size_t seg_bytes,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc10, coll::CollModule* smod8,
+    return [](TaskBench& tb, core::Hierarchy& hc10, coll::CollModule* smod8,
               std::shared_ptr<mpi::SyncDomain> sync10,
               std::vector<std::vector<double>>& results7, std::size_t seg,
               int iters7, int pr) -> sim::CoTask {
@@ -131,7 +131,7 @@ PerLeader TaskBench::bench_sb(const HanConfig& cfg, std::size_t seg_bytes,
 PerLeader TaskBench::bench_concurrent_ib_sb(const HanConfig& cfg,
                                             std::size_t seg_bytes,
                                             int iters) {
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   coll::CollModule* imod = han_->inter_module(cfg);
   coll::CollModule* smod = han_->intra_module(cfg);
   const CollConfig icfg{cfg.ibalg, cfg.ibs};
@@ -141,7 +141,7 @@ PerLeader TaskBench::bench_concurrent_ib_sb(const HanConfig& cfg,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc9, coll::CollModule* imod6,
+    return [](TaskBench& tb, core::Hierarchy& hc9, coll::CollModule* imod6,
               coll::CollModule* smod7, CollConfig icfg3,
               std::shared_ptr<mpi::SyncDomain> sync9,
               std::vector<std::vector<double>>& results6, std::size_t seg,
@@ -172,7 +172,7 @@ PipelineTrace TaskBench::bench_sbib_pipeline(const HanConfig& cfg,
                                              std::size_t seg_bytes,
                                              int steps,
                                              const PerLeader& delay_by) {
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   coll::CollModule* imod = han_->inter_module(cfg);
   coll::CollModule* smod = han_->intra_module(cfg);
   const CollConfig icfg{cfg.ibalg, cfg.ibs};
@@ -183,7 +183,7 @@ PipelineTrace TaskBench::bench_sbib_pipeline(const HanConfig& cfg,
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc8, coll::CollModule* imod5,
+    return [](TaskBench& tb, core::Hierarchy& hc8, coll::CollModule* imod5,
               coll::CollModule* smod6, CollConfig icfg2,
               std::shared_ptr<mpi::SyncDomain> sync8, PipelineTrace& trace4,
               const PerLeader& delay_by2, std::size_t seg, int steps2,
@@ -224,7 +224,7 @@ PipelineTrace TaskBench::bench_sbib_pipeline(const HanConfig& cfg,
 
 PerLeader TaskBench::bench_sr(const HanConfig& cfg, std::size_t seg_bytes,
                               int iters) {
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   coll::CollModule* smod = han_->intra_module(cfg);
   auto sync =
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
@@ -232,7 +232,7 @@ PerLeader TaskBench::bench_sr(const HanConfig& cfg, std::size_t seg_bytes,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc7, coll::CollModule* smod5,
+    return [](TaskBench& tb, core::Hierarchy& hc7, coll::CollModule* smod5,
               std::shared_ptr<mpi::SyncDomain> sync7,
               std::vector<std::vector<double>>& results5, std::size_t seg,
               int iters5, int pr) -> sim::CoTask {
@@ -252,10 +252,94 @@ PerLeader TaskBench::bench_sr(const HanConfig& cfg, std::size_t seg_bytes,
   return average(results, leaders_);
 }
 
+PerLeader TaskBench::bench_mb(const HanConfig& cfg, std::size_t seg_bytes,
+                              int iters) {
+  core::Hierarchy& hc = han_->ladder_for(*comm_, cfg);
+  HAN_ASSERT_MSG(hc.depth() >= 3, "bench_mb needs a mid ladder level");
+  // Mirror task/builders.cpp's ladder_module for a mid level: the shared
+  // submodule, or the copy-in-copy-out p2p module under the switchover.
+  coll::CollModule* mod = cfg.zcs > 0 && seg_bytes < cfg.zcs
+                              ? &han_->modules().libnbc()
+                              : han_->intra_module(cfg);
+  const CollConfig mcfg{cfg.malg, cfg.ms};
+  const int top = hc.depth() - 1;
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+  std::vector<std::vector<double>> results(iters,
+                                           std::vector<double>(leaders_, 0));
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::Hierarchy& hc12, coll::CollModule* mod9,
+              CollConfig mcfg5, std::shared_ptr<mpi::SyncDomain> sync12,
+              std::vector<std::vector<double>>& results9, std::size_t seg,
+              int iters9, int top2, int pr) -> sim::CoTask {
+      // Every slot family broadcasts over its own mid comm; the node
+      // leaders' walk is the one the model prices.
+      const mpi::Comm* mid = hc12.comm(1, pr);
+      const bool leader = hc12.leader_below(top2, pr);
+      for (int it = 0; it < iters9; ++it) {
+        co_await *sync12->arrive();
+        if (mid == nullptr || mid->size() < 2) continue;
+        const double t0 = tb.world().now();
+        mpi::Request r =
+            mod9->ibcast(*mid, hc12.rank(1, pr), 0,
+                         BufView::timing_only(seg), mpi::Datatype::Byte,
+                         mcfg5);
+        co_await *r;
+        if (leader) {
+          results9[it][hc12.rank(top2, pr)] = tb.world().now() - t0;
+        }
+      }
+    }(*this, hc, mod, mcfg, sync, results, seg_bytes, iters, top,
+      rank.world_rank);
+  });
+  return average(results, leaders_);
+}
+
+PerLeader TaskBench::bench_mr(const HanConfig& cfg, std::size_t seg_bytes,
+                              int iters) {
+  core::Hierarchy& hc = han_->ladder_for(*comm_, cfg);
+  HAN_ASSERT_MSG(hc.depth() >= 3, "bench_mr needs a mid ladder level");
+  coll::CollModule* mod = cfg.zcs > 0 && seg_bytes < cfg.zcs
+                              ? &han_->modules().libnbc()
+                              : han_->intra_module(cfg);
+  const CollConfig mcfg{cfg.malg, cfg.ms};
+  const int top = hc.depth() - 1;
+  auto sync =
+      std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
+  std::vector<std::vector<double>> results(iters,
+                                           std::vector<double>(leaders_, 0));
+
+  run_charged([&](mpi::Rank& rank) -> sim::CoTask {
+    return [](TaskBench& tb, core::Hierarchy& hc13, coll::CollModule* mod10,
+              CollConfig mcfg6, std::shared_ptr<mpi::SyncDomain> sync13,
+              std::vector<std::vector<double>>& results10, std::size_t seg,
+              int iters10, int top3, int pr) -> sim::CoTask {
+      const mpi::Comm* mid = hc13.comm(1, pr);
+      const bool leader = hc13.leader_below(top3, pr);
+      for (int it = 0; it < iters10; ++it) {
+        co_await *sync13->arrive();
+        if (mid == nullptr || mid->size() < 2) continue;
+        const double t0 = tb.world().now();
+        mpi::Request r = mod10->ireduce(
+            *mid, hc13.rank(1, pr), 0, BufView::timing_only(seg),
+            BufView::timing_only(seg), mpi::Datatype::Byte,
+            mpi::ReduceOp::Sum, mcfg6);
+        co_await *r;
+        if (leader) {
+          results10[it][hc13.rank(top3, pr)] = tb.world().now() - t0;
+        }
+      }
+    }(*this, hc, mod, mcfg, sync, results, seg_bytes, iters, top,
+      rank.world_rank);
+  });
+  return average(results, leaders_);
+}
+
 PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
                                                   std::size_t seg_bytes,
                                                   int steps) {
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   coll::CollModule* imod = han_->inter_module(cfg);
   coll::CollModule* smod = han_->intra_module(cfg);
   const CollConfig ircfg{cfg.iralg, cfg.irs};
@@ -269,7 +353,7 @@ PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc6, coll::CollModule* imod4,
+    return [](TaskBench& tb, core::Hierarchy& hc6, coll::CollModule* imod4,
               coll::CollModule* smod4, CollConfig ircfg3, CollConfig ibcfg2,
               std::shared_ptr<mpi::SyncDomain> sync6, PipelineTrace& trace3,
               std::size_t seg, int u, int total_steps3,
@@ -331,7 +415,7 @@ PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
 PipelineTrace TaskBench::bench_reduce_pipeline(const HanConfig& cfg,
                                                std::size_t seg_bytes,
                                                int steps) {
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   coll::CollModule* imod = han_->inter_module(cfg);
   coll::CollModule* smod = han_->intra_module(cfg);
   const CollConfig ircfg{cfg.iralg, cfg.irs};
@@ -344,7 +428,7 @@ PipelineTrace TaskBench::bench_reduce_pipeline(const HanConfig& cfg,
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc5, coll::CollModule* imod3,
+    return [](TaskBench& tb, core::Hierarchy& hc5, coll::CollModule* imod3,
               coll::CollModule* smod3, CollConfig ircfg2,
               std::shared_ptr<mpi::SyncDomain> sync5, PipelineTrace& trace2,
               std::size_t seg, int u, int total_steps2,
@@ -381,7 +465,7 @@ PipelineTrace TaskBench::bench_reduce_pipeline(const HanConfig& cfg,
 
 PerLeader TaskBench::bench_inter_scatter(const HanConfig& cfg,
                                          std::size_t bytes, int iters) {
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   coll::CollModule* imod = han_->inter_module(cfg);
   auto sync =
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
@@ -389,7 +473,7 @@ PerLeader TaskBench::bench_inter_scatter(const HanConfig& cfg,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc4, coll::CollModule* imod2,
+    return [](TaskBench& tb, core::Hierarchy& hc4, coll::CollModule* imod2,
               std::shared_ptr<mpi::SyncDomain> sync4,
               std::vector<std::vector<double>>& results4, std::size_t bytes4,
               int iters4, int pr) -> sim::CoTask {
@@ -413,7 +497,7 @@ PerLeader TaskBench::bench_inter_scatter(const HanConfig& cfg,
 
 PerLeader TaskBench::bench_inter_ring_rs(const HanConfig& cfg,
                                          std::size_t bytes, int iters) {
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   coll::RingModule& ring = han_->modules().ring();
   const CollConfig rcfg{coll::Algorithm::Ring, cfg.irs};
   auto sync =
@@ -422,7 +506,7 @@ PerLeader TaskBench::bench_inter_ring_rs(const HanConfig& cfg,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc3, coll::RingModule& ring2,
+    return [](TaskBench& tb, core::Hierarchy& hc3, coll::RingModule& ring2,
               CollConfig rcfg2, std::shared_ptr<mpi::SyncDomain> sync3,
               std::vector<std::vector<double>>& results3, std::size_t bytes3,
               int iters3, int pr) -> sim::CoTask {
@@ -447,7 +531,7 @@ PerLeader TaskBench::bench_inter_ring_rs(const HanConfig& cfg,
 
 PerLeader TaskBench::bench_intra_scatter(const HanConfig& cfg,
                                          std::size_t bytes, int iters) {
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   (void)cfg;  // ss always uses the libnbc intra scatter, as the program does
   coll::CollModule* smod = &han_->modules().libnbc();
   auto sync =
@@ -456,7 +540,7 @@ PerLeader TaskBench::bench_intra_scatter(const HanConfig& cfg,
                                            std::vector<double>(leaders_, 0));
 
   run_charged([&](mpi::Rank& rank) -> sim::CoTask {
-    return [](TaskBench& tb, core::HanComm& hc2, coll::CollModule* smod2,
+    return [](TaskBench& tb, core::Hierarchy& hc2, coll::CollModule* smod2,
               std::shared_ptr<mpi::SyncDomain> sync2,
               std::vector<std::vector<double>>& results2, std::size_t bytes2,
               int iters2, int pr) -> sim::CoTask {

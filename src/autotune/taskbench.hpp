@@ -80,6 +80,21 @@ class TaskBench {
   PipelineTrace bench_allreduce_pipeline(const core::HanConfig& cfg,
                                          std::size_t seg_bytes, int steps);
 
+  // --- Mid-level ladder tasks (derived hierarchies) ----------------------
+
+  /// T_i(mb(0)): one mid-level (cross-domain, in-node) bcast of a segment
+  /// over every rank's mid sub-comm of the ladder `cfg` selects
+  /// (docs/HIERARCHY.md), timed per node leader. Requires a ladder of
+  /// depth >= 3. The zero-copy switchover is resolved against `seg_bytes`
+  /// — the builders resolve it against the whole message, so modeled
+  /// zcs > 0 configs are approximate.
+  PerLeader bench_mb(const core::HanConfig& cfg, std::size_t seg_bytes,
+                     int iters = 3);
+
+  /// T_i(mr(0)): the mirror mid-level reduce.
+  PerLeader bench_mr(const core::HanConfig& cfg, std::size_t seg_bytes,
+                     int iters = 3);
+
   // --- Reduce-scatter tasks ----------------------------------------------
 
   /// Instrumented sr ⊕ ir reduce pipeline (the front half of the allreduce

@@ -431,7 +431,7 @@ WarmStartReport warm_tune(TuneDb& db, Tuner& tuner,
   const TuneDb::Record* rec = db.find(sig.key());
   rep.cold = rec == nullptr;
 
-  core::HanComm& hc = tuner.han().han_comm(tuner.comm());
+  core::Hierarchy& hc = tuner.han().flat_hierarchy(tuner.comm());
   const int nodes = hc.node_count();
   const int ppn = hc.max_ppn();
 

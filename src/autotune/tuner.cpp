@@ -35,6 +35,20 @@ struct KindOutcome {
   double cost = 0.0;
 };
 
+/// NUMA profiles grow the mid-level ladder axes (docs/HIERARCHY.md)
+/// unless the caller pinned either axis explicitly. Flat profiles pass
+/// through untouched, keeping the seed's space byte for byte.
+SearchSpace with_profile_axes(SearchSpace space,
+                              const machine::MachineProfile& profile) {
+  if (profile.numa_per_node > 1 && space.mid_algs.empty() &&
+      space.zc_switchovers.empty()) {
+    SearchSpace d = SearchSpace::for_profile(profile);
+    space.mid_algs = std::move(d.mid_algs);
+    space.zc_switchovers = std::move(d.zc_switchovers);
+  }
+  return space;
+}
+
 }  // namespace
 
 Tuner::Tuner(mpi::SimWorld& world, core::HanModule& han,
@@ -42,7 +56,8 @@ Tuner::Tuner(mpi::SimWorld& world, core::HanModule& han,
     : world_(&world),
       han_(&han),
       comm_(&comm),
-      searcher_(world, han, comm, std::move(space)) {}
+      searcher_(world, han, comm,
+                with_profile_axes(std::move(space), world.profile())) {}
 
 TuneReport Tuner::tune(const TunerOptions& options) {
   // Callers assemble size lists programmatically (unions of app bucket
@@ -59,7 +74,7 @@ TuneReport Tuner::tune(const TunerOptions& options) {
                    opts.kinds.end());
 
   TuneReport report;
-  core::HanComm& hc = han_->han_comm(*comm_);
+  core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   const int nodes = hc.node_count();
   const int ppn = hc.max_ppn();
 

@@ -36,8 +36,14 @@ std::string HanConfig::to_string() const {
   out += " ibs=" + sim::format_bytes(ibs);
   out += " irs=" + sim::format_bytes(irs);
   out += " window=" + std::to_string(window);
-  // Only synthesized schedules carry the extra token, so hand-tuned
-  // config strings (and their goldens) are unchanged.
+  // Optional tokens only appear when non-default, so flat 2-level config
+  // strings (and their goldens) are unchanged.
+  if (lvl != 0) out += " lvl=" + std::to_string(lvl);
+  if (malg != coll::Algorithm::Default) {
+    out += " malg=" + std::string(coll::algorithm_name(malg));
+  }
+  if (ms != 0) out += " ms=" + sim::format_bytes(ms);
+  if (zcs != 0) out += " zcs=" + sim::format_bytes(zcs);
   if (!sched.empty()) out += " sched=" + sched;
   return out;
 }
@@ -76,6 +82,20 @@ bool HanConfig::parse(const std::string& text, HanConfig* out) {
       const long v = std::strtol(value.c_str(), &rest, 10);
       ok = rest != nullptr && *rest == '\0' && !value.empty() && v >= 1;
       if (ok) cfg.window = static_cast<int>(v);
+    } else if (key == "lvl") {
+      char* rest = nullptr;
+      const long v = std::strtol(value.c_str(), &rest, 10);
+      // 0 = derive; explicit depths must be plausible ladders. Anything
+      // else (including the reserved 1) is rejected loudly.
+      ok = rest != nullptr && *rest == '\0' && !value.empty() &&
+           (v == 0 || (v >= 2 && v <= 8));
+      if (ok) cfg.lvl = static_cast<int>(v);
+    } else if (key == "malg") {
+      cfg.malg = parse_alg(value, &ok);
+    } else if (key == "ms") {
+      cfg.ms = sim::parse_bytes(value, &ok);
+    } else if (key == "zcs") {
+      cfg.zcs = sim::parse_bytes(value, &ok);
     } else if (key == "sched") {
       synth::SynthSpec spec;
       ok = synth::SynthSpec::parse(value, &spec);

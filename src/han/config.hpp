@@ -22,6 +22,17 @@ struct HanConfig {
   std::string sched;    // synthesized-schedule id (synth::SynthSpec);
                         // "" = the hand-written builders
 
+  // --- per-level fields (n-level hierarchies, LookupTable format v3) ------
+  int lvl = 0;          // hierarchy depth: 0 = derive from the machine's
+                        // topology descriptor, 2 = force the flat 2-level
+                        // ladder (the paper's shape)
+  coll::Algorithm malg = coll::Algorithm::Default;  // mid-level algorithm
+  std::size_t ms = 0;   // mid-level segment size (0 = module default)
+  std::size_t zcs = 0;  // zero-copy switchover: intra/mid stages of
+                        // messages smaller than this use the
+                        // copy-in-copy-out p2p module instead of the
+                        // shared-memory one (0 = always shared memory)
+
   friend bool operator==(const HanConfig&, const HanConfig&) = default;
 
   std::string to_string() const;

@@ -33,16 +33,18 @@ synth::SynthSpec resolve_sched(const HanConfig& cfg, CollKind kind) {
 HanModule::HanModule(mpi::SimWorld& world, coll::CollRuntime& rt,
                      coll::ModuleSet& mods)
     : coll::CollModule(world, rt), mods_(&mods) {
-  // When a communicator dies, its cached HanComm must die with it — the
+  // When a communicator dies, its cached ladders must die with it — the
   // context id is recycled, and a later comm reusing it would otherwise
-  // inherit this comm's low/up splits. Freeing the splits re-enters
+  // inherit this comm's level splits. Freeing the splits re-enters
   // free_comm, which evicts the runtime's per-context state for them too.
   destroy_observer_ = world.add_comm_destroy_observer([this](int context) {
     auto it = comms_.find(context);
     if (it == comms_.end()) return;
-    std::unique_ptr<HanComm> hc = std::move(it->second);
+    std::vector<std::unique_ptr<Hierarchy>> ladders = std::move(it->second);
     comms_.erase(it);
-    for (mpi::Comm* sub : hc->sub_comms()) this->world().free_comm(sub);
+    for (const std::unique_ptr<Hierarchy>& h : ladders) {
+      for (mpi::Comm* sub : h->sub_comms()) this->world().free_comm(sub);
+    }
   });
 }
 
@@ -95,7 +97,7 @@ HanConfig HanModule::default_config(CollKind kind, int /*nodes*/, int ppn,
 
 HanConfig HanModule::decide(CollKind kind, const mpi::Comm& comm,
                             std::size_t bytes) {
-  HanComm& hc = han_comm(comm);
+  Hierarchy& hc = hierarchy(comm);
   HanConfig cfg =
       decider_ ? decider_(kind, hc.node_count(), hc.max_ppn(), bytes)
                : default_config(kind, hc.node_count(), hc.max_ppn(), bytes);
@@ -107,24 +109,40 @@ HanConfig HanModule::decide(CollKind kind, const mpi::Comm& comm,
   return cfg;
 }
 
-HanComm& HanModule::han_comm(const mpi::Comm& comm) {
-  auto it = comms_.find(comm.context());
-  if (it == comms_.end()) {
-    it = comms_
-             .emplace(comm.context(),
-                      std::make_unique<HanComm>(world(), comm))
-             .first;
-    // Label the new sub-communicators so runtime accounting separates the
-    // hierarchy levels (coll.level.intra.* / coll.level.inter.*).
-    const HanComm& hc = *it->second;
+Hierarchy& HanModule::hierarchy(const mpi::Comm& comm,
+                                const TopologyDescriptor& topo) {
+  std::vector<std::unique_ptr<Hierarchy>>& ladders = comms_[comm.context()];
+  for (const std::unique_ptr<Hierarchy>& h : ladders) {
+    if (h->topo() == topo) return *h;
+  }
+  ladders.push_back(std::make_unique<Hierarchy>(world(), comm, topo));
+  Hierarchy& h = *ladders.back();
+  // Label the new sub-communicators so runtime accounting separates the
+  // hierarchy levels (coll.level.intra.* / coll.level.mid.* /
+  // coll.level.inter.*).
+  const int top = h.depth() - 1;
+  for (int l = 0; l <= top; ++l) {
+    const char* label = l == 0 ? "intra" : l == top ? "inter" : "mid";
     for (int pr = 0; pr < comm.size(); ++pr) {
-      rt().set_level_label(hc.low(pr).context(), "intra");
-      if (hc.up(pr) != nullptr) {
-        rt().set_level_label(hc.up(pr)->context(), "inter");
+      if (h.comm(l, pr) != nullptr) {
+        rt().set_level_label(h.comm(l, pr)->context(), label);
       }
     }
   }
-  return *it->second;
+  return h;
+}
+
+Hierarchy& HanModule::hierarchy(const mpi::Comm& comm) {
+  return hierarchy(comm, TopologyDescriptor::from_profile(world().profile()));
+}
+
+Hierarchy& HanModule::flat_hierarchy(const mpi::Comm& comm) {
+  return hierarchy(comm, TopologyDescriptor::flat());
+}
+
+Hierarchy& HanModule::ladder_for(const mpi::Comm& comm,
+                                 const HanConfig& cfg) {
+  return cfg.lvl == 2 ? flat_hierarchy(comm) : hierarchy(comm);
 }
 
 coll::CollModule* HanModule::inter_module(const HanConfig& cfg) {
@@ -146,7 +164,7 @@ namespace {
 /// HAN's two-level data layout requires node-contiguous rank placement on
 /// the parent communicator (true for the world communicator; Open MPI HAN
 /// likewise disables itself otherwise).
-bool node_contiguous(const HanComm& hc) {
+bool node_contiguous(const Hierarchy& hc) {
   const mpi::Comm& parent = hc.parent();
   for (int pr = 1; pr < parent.size(); ++pr) {
     // Parent ranks on the same node must be consecutive.
@@ -237,7 +255,7 @@ mpi::Request HanModule::iallreduce_multileader(const mpi::Comm& comm, int me,
                                                mpi::ReduceOp op,
                                                const HanConfig& cfg,
                                                int leaders) {
-  HanComm& hc = han_comm(comm);
+  Hierarchy& hc = flat_hierarchy(comm);
   const mpi::Comm& low = hc.low(me);
   const bool has_intra = low.size() > 1;
   const bool has_inter = hc.up(me) != nullptr;
@@ -256,7 +274,7 @@ mpi::Request HanModule::iallreduce_multileader(const mpi::Comm& comm, int me,
 mpi::Request HanModule::igather(const mpi::Comm& comm, int me, int root,
                                 BufView send, BufView recv,
                                 const CollConfig& /*cfg*/) {
-  HAN_ASSERT_MSG(node_contiguous(han_comm(comm)),
+  HAN_ASSERT_MSG(node_contiguous(flat_hierarchy(comm)),
                  "HAN gather requires node-contiguous rank placement");
   const HanConfig cfg = decide(CollKind::Gather, comm, send.bytes);
   return task::TaskScheduler::run(
@@ -267,7 +285,7 @@ mpi::Request HanModule::igather(const mpi::Comm& comm, int me, int root,
 mpi::Request HanModule::iscatter(const mpi::Comm& comm, int me, int root,
                                  BufView send, BufView recv,
                                  const CollConfig& /*cfg*/) {
-  HAN_ASSERT_MSG(node_contiguous(han_comm(comm)),
+  HAN_ASSERT_MSG(node_contiguous(flat_hierarchy(comm)),
                  "HAN scatter requires node-contiguous rank placement");
   const HanConfig cfg = decide(CollKind::Scatter, comm, recv.bytes);
   return task::TaskScheduler::run(
@@ -278,7 +296,7 @@ mpi::Request HanModule::iscatter(const mpi::Comm& comm, int me, int root,
 mpi::Request HanModule::iallgather(const mpi::Comm& comm, int me,
                                    BufView send, BufView recv,
                                    const CollConfig& /*cfg*/) {
-  HAN_ASSERT_MSG(node_contiguous(han_comm(comm)),
+  HAN_ASSERT_MSG(node_contiguous(flat_hierarchy(comm)),
                  "HAN allgather requires node-contiguous rank placement");
   const HanConfig cfg = decide(CollKind::Allgather, comm, send.bytes);
   return task::TaskScheduler::run(
@@ -291,7 +309,7 @@ mpi::Request HanModule::ireduce_scatter_cfg(const mpi::Comm& comm, int me,
                                             mpi::Datatype dtype,
                                             mpi::ReduceOp op,
                                             const HanConfig& cfg) {
-  HanComm& hc = han_comm(comm);
+  Hierarchy& hc = flat_hierarchy(comm);
   HAN_ASSERT_MSG(node_contiguous(hc),
                  "HAN reduce_scatter requires node-contiguous rank placement");
   HAN_ASSERT_MSG(

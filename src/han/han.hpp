@@ -20,7 +20,7 @@
 
 #include "coll/registry.hpp"
 #include "han/config.hpp"
-#include "han/han_comm.hpp"
+#include "han/hierarchy.hpp"
 
 namespace han::core {
 
@@ -105,11 +105,25 @@ class HanModule : public coll::CollModule {
                                       mpi::Datatype dtype, mpi::ReduceOp op,
                                       const HanConfig& cfg, int leaders);
 
-  /// The hierarchical communicator pair for `comm` (built lazily, cached).
-  HanComm& han_comm(const mpi::Comm& comm);
+  /// The communicator ladder for `comm` under an explicit topology
+  /// descriptor (built lazily, cached per (context, descriptor); freed
+  /// with the communicator).
+  Hierarchy& hierarchy(const mpi::Comm& comm, const TopologyDescriptor& topo);
 
-  /// Public world / runtime access for extension modules (han3.hpp) and
-  /// the task-graph builders.
+  /// The ladder derived from the machine's topology descriptor (NUMA
+  /// machines get numa < node < cluster, flat machines node < cluster).
+  Hierarchy& hierarchy(const mpi::Comm& comm);
+
+  /// The paper's flat 2-level ladder (node < cluster) — the layout the
+  /// non-recursive collectives (gather/scatter/allgather/barrier,
+  /// reduce-scatter, multi-leader) are defined on.
+  Hierarchy& flat_hierarchy(const mpi::Comm& comm);
+
+  /// The ladder cfg selects: lvl == 2 forces the flat 2-level split; 0
+  /// (and any depth at or above the derived one) uses the derived ladder.
+  Hierarchy& ladder_for(const mpi::Comm& comm, const HanConfig& cfg);
+
+  /// Public world / runtime access for the task-graph builders.
   mpi::SimWorld& world_ref() { return world(); }
   coll::CollRuntime& rt_ref() { return rt(); }
 
@@ -120,7 +134,10 @@ class HanModule : public coll::CollModule {
  private:
   coll::ModuleSet* mods_;
   Decider decider_;
-  std::unordered_map<int, std::unique_ptr<HanComm>> comms_;  // by context
+  // Ladders cached by parent context; a context holds one ladder per
+  // distinct descriptor (flat + derived, typically). Vector scan keeps
+  // lookup deterministic and the descriptor set is tiny.
+  std::unordered_map<int, std::vector<std::unique_ptr<Hierarchy>>> comms_;
   int destroy_observer_ = -1;  // SimWorld comm-destroy observer token
 };
 

@@ -13,23 +13,54 @@ int ceil_log2(int n) {
   return std::max(bits, 1);
 }
 
+/// The universal dependency-chain order; every kind's chain (flat or
+/// three-level) is a subsequence. A stage's prerequisite is the nearest
+/// earlier element the spec actually contains.
+const char* const kChain[] = {"sr", "mr", "ir", "ib", "mb", "sb"};
+constexpr int kChainLen = 6;
+
+int chain_pos(const std::string& role) {
+  for (int p = 0; p < kChainLen; ++p) {
+    if (role == kChain[p]) return p;
+  }
+  return -1;
+}
+
 /// Replay the parametric builder's emission on the abstract machine and
-/// return the makespan. Lane 0 is the shared intra lane; lanes 1..k are
-/// the per-leader inter lanes (stripe owner of segment i is i % k).
+/// return the makespan. Lane 0 is the shared intra lane (sr/sb and — the
+/// memory bus serializes them — the mid stages mr/mb); lanes 1..k are the
+/// per-leader inter lanes (stripe owner of segment i is i % k).
 double walk(const SynthSpec& spec, int u, std::size_t seg_len, int window,
-            int k, int nodes, int ppn) {
+            int k, int nodes, int ppn, int numa) {
   // Affine per-task costs in abstract units; the log factor is the tree
   // depth of the level's collective, the byte slopes encode that the
-  // inter fabric is the scarcer resource.
+  // inter fabric is the scarcer resource and the cross-domain bus sits
+  // between it and the intra fabric.
   const double intra =
       ppn > 1 ? (1.0 + static_cast<double>(seg_len) / 65536.0) *
                     ceil_log2(ppn)
               : 0.0;
   const double inter = (4.0 + static_cast<double>(seg_len) / 16384.0) *
                        ceil_log2(nodes);
+  const double mid =
+      numa > 1 ? (1.0 + static_cast<double>(seg_len) / 32768.0) *
+                     ceil_log2(numa)
+               : 0.0;
+
+  // Which chain position each spec stage feeds from (nearest earlier
+  // chain element present in the spec; -1 at the chain head).
+  bool present[kChainLen] = {};
+  for (const StageSlot& slot : spec.stages) {
+    const int p = chain_pos(slot.role);
+    if (p >= 0) present[p] = true;
+  }
 
   std::vector<double> lane_free(1 + static_cast<std::size_t>(k), 0.0);
-  std::vector<double> fin_sr(u, 0.0), fin_ir(u, 0.0), fin_ib(u, 0.0);
+  // fin[p][i]: finish time of chain stage p on segment i (0 when the
+  // stage is absent or degenerate — dependents then see no constraint,
+  // matching the flat walk's behavior for skipped levels).
+  std::vector<std::vector<double>> fin(
+      kChainLen, std::vector<double>(static_cast<std::size_t>(u), 0.0));
   const int last = u - 1 + spec.max_lag();
   // Frontier gating: a task at step t may start only once every task of
   // steps <= t - window has finished (the TaskScheduler's window rule,
@@ -43,31 +74,26 @@ double walk(const SynthSpec& spec, int u, std::size_t seg_len, int window,
     for (const StageSlot& slot : spec.stages) {
       const int i = t - slot.lag;
       if (i < 0 || i >= u) continue;
+      const int p = chain_pos(slot.role);
       const bool is_intra = slot.role == "sr" || slot.role == "sb";
-      const double cost = is_intra ? intra : inter;
+      const bool is_mid = slot.role == "mr" || slot.role == "mb";
+      const double cost = is_intra ? intra : is_mid ? mid : inter;
       if (cost == 0.0) continue;  // degenerate level: no task emitted
       const std::size_t lane =
-          is_intra ? 0 : 1 + static_cast<std::size_t>(i % k);
+          is_intra || is_mid ? 0 : 1 + static_cast<std::size_t>(i % k);
       double start = lane_free[lane];
       if (t >= window) start = std::max(start, gate[t - window + 1]);
-      if (slot.role == "ir") {
-        start = std::max(start, fin_sr[i]);
-      } else if (slot.role == "ib") {
-        start = std::max(start, fin_ir[i]);
-      } else if (slot.role == "sb") {
-        start = std::max(start, fin_ib[i]);
+      for (int q = p - 1; q >= 0; --q) {
+        if (present[q]) {
+          start = std::max(start, fin[q][i]);
+          break;
+        }
       }
-      const double fin = start + cost;
-      lane_free[lane] = fin;
-      if (slot.role == "sr") {
-        fin_sr[i] = fin;
-      } else if (slot.role == "ir") {
-        fin_ir[i] = fin;
-      } else if (slot.role == "ib") {
-        fin_ib[i] = fin;
-      }
-      step_max[t] = std::max(step_max[t], fin);
-      makespan = std::max(makespan, fin);
+      const double done = start + cost;
+      lane_free[lane] = done;
+      fin[p][i] = done;
+      step_max[t] = std::max(step_max[t], done);
+      makespan = std::max(makespan, done);
     }
   }
   return makespan;
@@ -76,7 +102,8 @@ double walk(const SynthSpec& spec, int u, std::size_t seg_len, int window,
 }  // namespace
 
 CostPoint symbolic_cost(const SynthSpec& spec, const core::HanConfig& cfg,
-                        int nodes, int ppn, std::size_t msg_bytes) {
+                        int nodes, int ppn, std::size_t msg_bytes,
+                        int numa) {
   const std::size_t m = std::max<std::size_t>(msg_bytes, 1);
   const std::size_t fs = std::max<std::size_t>(cfg.fs, 1);
   const int u = static_cast<int>((m + fs - 1) / fs);
@@ -85,8 +112,8 @@ CostPoint symbolic_cost(const SynthSpec& spec, const core::HanConfig& cfg,
   const int k = std::max(1, std::min(spec.leaders, ppn));
 
   CostPoint c;
-  c.lat = walk(spec, std::min(u, 2), seg, cfg.window, k, nodes, ppn);
-  c.bw = walk(spec, u, seg, cfg.window, k, nodes, ppn);
+  c.lat = walk(spec, std::min(u, 2), seg, cfg.window, k, nodes, ppn, numa);
+  c.bw = walk(spec, u, seg, cfg.window, k, nodes, ppn, numa);
   return c;
 }
 

@@ -40,7 +40,13 @@ struct CostPoint {
 
 /// Walk one candidate on the abstract machine. `nodes`/`ppn` give the
 /// topology; cfg contributes fs (segment count) and window (step gating).
+/// `numa` is the NUMA domain count per node: mid stages ("mr"/"mb",
+/// docs/HIERARCHY.md) cost a cross-domain hop on the shared intra lane
+/// (the memory bus serializes them with sr/sb), and cost nothing when
+/// numa <= 1 — a flat walk is byte-identical to before the parameter
+/// existed.
 CostPoint symbolic_cost(const SynthSpec& spec, const core::HanConfig& cfg,
-                        int nodes, int ppn, std::size_t msg_bytes);
+                        int nodes, int ppn, std::size_t msg_bytes,
+                        int numa = 1);
 
 }  // namespace han::synth

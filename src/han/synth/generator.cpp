@@ -8,8 +8,12 @@ namespace han::synth {
 namespace {
 
 /// The dependency-chain order of each kind (prerequisite first).
-std::vector<std::string> chain_roles(coll::CollKind kind) {
-  if (kind == coll::CollKind::Bcast) return {"ib", "sb"};
+std::vector<std::string> chain_roles(coll::CollKind kind, bool three_level) {
+  if (kind == coll::CollKind::Bcast) {
+    if (three_level) return {"ib", "mb", "sb"};
+    return {"ib", "sb"};
+  }
+  if (three_level) return {"sr", "mr", "ir", "ib", "mb", "sb"};
   return {"sr", "ir", "ib", "sb"};
 }
 
@@ -21,7 +25,7 @@ void push_if_valid(std::vector<SynthSpec>& out, SynthSpec spec) {
 
 std::vector<SynthSpec> enumerate_specs(coll::CollKind kind, int ppn,
                                        const GeneratorOptions& opts) {
-  const std::vector<std::string> chain = chain_roles(kind);
+  const std::vector<std::string> chain = chain_roles(kind, opts.three_level);
   const int links = static_cast<int>(chain.size()) - 1;
   const int slack = std::max(opts.max_extra_lag, 0);
 
@@ -50,7 +54,10 @@ std::vector<SynthSpec> enumerate_specs(coll::CollKind kind, int ppn,
   std::vector<SynthSpec> out;
   // Emission orders: every permutation of the chain's stages
   // (std::next_permutation over indices; validate() rejects orders that
-  // emit a stage before its equal-lag prerequisite).
+  // emit a stage before its equal-lag prerequisite). The six-stage
+  // three-level chain would permute 720 ways — there only the chain-order
+  // emission enumerates, and mutate_spec's adjacent swaps explore order
+  // locally around the pareto frontier instead.
   std::vector<int> perm(chain.size());
   for (std::size_t j = 0; j < perm.size(); ++j) perm[j] = static_cast<int>(j);
   std::sort(perm.begin(), perm.end());
@@ -66,7 +73,8 @@ std::vector<SynthSpec> enumerate_specs(coll::CollKind kind, int ppn,
         push_if_valid(out, std::move(spec));
       }
     }
-  } while (std::next_permutation(perm.begin(), perm.end()));
+  } while (!opts.three_level &&
+           std::next_permutation(perm.begin(), perm.end()));
 
   std::sort(out.begin(), out.end(),
             [](const SynthSpec& a, const SynthSpec& b) {

@@ -25,6 +25,12 @@ struct GeneratorOptions {
   int max_extra_lag = 2;
   /// Leader counts to try (clamped to ppn; duplicates removed).
   std::vector<int> leader_counts{1, 2, 4};
+  /// Enumerate over the three-level ladder's chain (sr.mr.ir.ib.mb.sb /
+  /// ib.mb.sb, docs/HIERARCHY.md) instead of the flat one. The six-stage
+  /// permutation space explodes factorially, so three-level enumeration
+  /// keeps the chain-order emission only — mutate_spec still explores
+  /// order swaps locally around the frontier.
+  bool three_level = false;
 };
 
 /// Every valid spec of the bounded grammar, deduplicated, sorted by id.

@@ -14,7 +14,7 @@ namespace {
 using coll::CollConfig;
 using coll::CollModule;
 using coll::Segmenter;
-using core::HanComm;
+using core::Hierarchy;
 using core::HanConfig;
 using core::TempBuf;
 using core::seg_of;
@@ -32,6 +32,280 @@ std::shared_ptr<TempBuf> make_temp(TaskGraph& g, bool data_mode,
   return buf;
 }
 
+/// The intra/mid module of a three-level spec: the copy-in-copy-out p2p
+/// module under the zero-copy switchover, else the shared-memory module
+/// (task/builders.cpp's ladder_module rule).
+CollModule* low_module(core::HanModule& m, const HanConfig& cfg,
+                       std::size_t msg_bytes) {
+  if (cfg.zcs > 0 && msg_bytes < cfg.zcs) return &m.modules().libnbc();
+  return m.intra_module(cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Three-level specs (mid roles "mr"/"mb", docs/HIERARCHY.md) build on the
+// profile-derived ladder: level 0 is the numa domain, level 1 the node
+// (the mid family = ranks of one node sharing a level-0 slot), the top the
+// cluster. Striping stays node-local: segment i is owned by level-0 rank
+// i % k; owners carry the mid stages, the mid slot-0 owners carry the
+// inter stages. On a machine whose derived ladder is flat (depth 2, or a
+// dead mid) the mid stages vanish and dependencies fall through to the
+// nearest emitted stage — the degenerate graphs match the flat spec's.
+// ---------------------------------------------------------------------------
+
+TaskGraph build_allreduce_three_level(core::HanModule& m,
+                                      const mpi::Comm& comm, int me,
+                                      BufView send, BufView recv,
+                                      Datatype dtype, ReduceOp op,
+                                      const HanConfig& cfg,
+                                      const SynthSpec& spec) {
+  TaskGraph g;
+  mpi::SimWorld& w = m.world_ref();
+  Hierarchy& hc = m.hierarchy(comm);
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const bool has_intra = low->size() > 1;
+  const mpi::Comm* midc = hc.depth() >= 3 ? hc.comm(1, me) : nullptr;
+  const int me_mid = midc != nullptr ? hc.rank(1, me) : 0;
+  const bool has_mid = midc != nullptr && midc->size() > 1;
+  const mpi::Comm* up = hc.up(me);
+  const int me_up = hc.up_rank(me);
+  const bool has_inter = up != nullptr;
+  CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter && !has_mid) {
+    // Fully degenerate ladder: mirror the flat builder's single-node path.
+    if (has_intra) {
+      g.add({Op::Reduce, Level::Intra, low, 0, -1, send.bytes, {},
+             [smod, low, me_low, send, recv, dtype, op] {
+               return smod->iallreduce(*low, me_low, send, recv, dtype, op,
+                                       CollConfig{});
+             }});
+    } else if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    return g;
+  }
+
+  CollModule* imod = m.inter_module(cfg);
+  CollModule* lmod = low_module(m, cfg, send.bytes);
+  const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
+  const CollConfig mcfg{cfg.malg, cfg.ms};
+  const Segmenter segs(send.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+  const int k = has_intra
+                    ? std::max(1, std::min(spec.leaders, low->size()))
+                    : 1;
+  const bool striped = me_low < k;  // owner of some stripe
+  // Two temps keep src and dst disjoint along the ascent: partial holds
+  // the level-0 reduction, mpartial the mid reduction the inter stages
+  // forward.
+  auto partial =
+      make_temp(g, w.data_mode() && has_intra && striped, send.bytes, dtype);
+  auto mpartial = make_temp(
+      g, w.data_mode() && has_mid && has_inter && striped && me_mid == 0,
+      send.bytes, dtype);
+
+  std::vector<int> sr_node(u, -1), mr_node(u, -1), ir_node(u, -1),
+      ib_node(u, -1), mb_node(u, -1);
+  const int last = u - 1 + spec.max_lag();
+  for (int t = 0; t <= last; ++t) {
+    for (const StageSlot& slot : spec.stages) {
+      const int i = t - slot.lag;
+      if (i < 0 || i >= u) continue;
+      const int owner = i % k;
+      if (slot.role == "sr") {
+        if (!has_intra) continue;
+        const BufView src = seg_of(send, segs, i);
+        const BufView dst =
+            me_low == owner ? partial->view(segs.offset(i), segs.length(i))
+                            : BufView::timing_only(segs.length(i), dtype);
+        sr_node[i] =
+            g.add({Op::Reduce, Level::Intra, low, t, i, src.bytes, {},
+                   [lmod, low, me_low, owner, src, dst, dtype, op] {
+                     return lmod->ireduce(*low, me_low, owner, src, dst,
+                                          dtype, op, CollConfig{});
+                   }});
+      } else if (slot.role == "mr") {
+        if (!has_mid || me_low != owner) continue;
+        const BufView src =
+            has_intra ? partial->view(segs.offset(i), segs.length(i))
+                      : seg_of(send, segs, i);
+        // Without an inter level the mid reduce tops the ladder and lands
+        // straight in recv.
+        const BufView dst =
+            me_mid != 0 ? BufView::timing_only(segs.length(i), dtype)
+            : has_inter ? mpartial->view(segs.offset(i), segs.length(i))
+                        : seg_of(recv, segs, i);
+        std::vector<int> deps;
+        if (sr_node[i] >= 0) deps.push_back(sr_node[i]);
+        mr_node[i] =
+            g.add({Op::Reduce, Level::Mid, midc, t, i, src.bytes,
+                   std::move(deps),
+                   [lmod, midc, me_mid, src, dst, dtype, op, mcfg] {
+                     return lmod->ireduce(*midc, me_mid, /*root=*/0, src,
+                                          dst, dtype, op, mcfg);
+                   }});
+      } else if (slot.role == "ir") {
+        if (!has_inter || me_low != owner || me_mid != 0) continue;
+        const BufView contrib =
+            has_mid   ? mpartial->view(segs.offset(i), segs.length(i))
+            : has_intra ? partial->view(segs.offset(i), segs.length(i))
+                        : seg_of(send, segs, i);
+        const BufView dst = seg_of(recv, segs, i);
+        std::vector<int> deps;
+        if (mr_node[i] >= 0) {
+          deps.push_back(mr_node[i]);
+        } else if (sr_node[i] >= 0) {
+          deps.push_back(sr_node[i]);
+        }
+        ir_node[i] =
+            g.add({Op::Reduce, Level::Inter, up, t, i, contrib.bytes,
+                   std::move(deps),
+                   [imod, up, me_up, contrib, dst, dtype, op, ircfg] {
+                     return imod->ireduce(*up, me_up, /*root=*/0, contrib,
+                                          dst, dtype, op, ircfg);
+                   }});
+      } else if (slot.role == "ib") {
+        if (!has_inter || me_low != owner || me_mid != 0) continue;
+        const BufView seg = seg_of(recv, segs, i);
+        std::vector<int> deps;
+        if (ir_node[i] >= 0) deps.push_back(ir_node[i]);
+        ib_node[i] =
+            g.add({Op::Bcast, Level::Inter, up, t, i, seg.bytes,
+                   std::move(deps),
+                   [imod, up, me_up, seg, dtype, ibcfg] {
+                     return imod->ibcast(*up, me_up, /*root=*/0, seg, dtype,
+                                         ibcfg);
+                   }});
+      } else if (slot.role == "mb") {
+        if (!has_mid || me_low != owner) continue;
+        const BufView seg = seg_of(recv, segs, i);
+        std::vector<int> deps;
+        if (ib_node[i] >= 0) {
+          deps.push_back(ib_node[i]);
+        } else if (!has_inter && mr_node[i] >= 0) {
+          // Mid tops the ladder: its bcast returns the total its reduce
+          // just formed.
+          deps.push_back(mr_node[i]);
+        }
+        mb_node[i] =
+            g.add({Op::Bcast, Level::Mid, midc, t, i, seg.bytes,
+                   std::move(deps), [lmod, midc, me_mid, seg, dtype, mcfg] {
+                     return lmod->ibcast(*midc, me_mid, /*root=*/0, seg,
+                                         dtype, mcfg);
+                   }});
+      } else {  // sb
+        if (!has_intra) continue;
+        const BufView seg = seg_of(recv, segs, i);
+        std::vector<int> deps;
+        if (mb_node[i] >= 0) {
+          deps.push_back(mb_node[i]);
+        } else if (ib_node[i] >= 0) {
+          deps.push_back(ib_node[i]);
+        }
+        g.add({Op::Bcast, Level::Intra, low, t, i, seg.bytes,
+               std::move(deps), [lmod, low, me_low, owner, seg, dtype] {
+                 return lmod->ibcast(*low, me_low, owner, seg, dtype,
+                                     CollConfig{});
+               }});
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph build_bcast_three_level(core::HanModule& m, const mpi::Comm& comm,
+                                  int me, int root, BufView buf,
+                                  Datatype dtype, const HanConfig& cfg,
+                                  const SynthSpec& spec) {
+  TaskGraph g;
+  Hierarchy& hc = m.hierarchy(comm);
+  const int top = hc.depth() - 1;
+  const mpi::Comm* low = &hc.low(me);
+  const int me_low = hc.low_rank(me);
+  const int root_low = hc.rank(0, root);
+  const bool has_intra = low->size() > 1;
+  const mpi::Comm* midc = hc.depth() >= 3 ? hc.comm(1, me) : nullptr;
+  const int me_mid = midc != nullptr ? hc.rank(1, me) : 0;
+  const int root_mid = midc != nullptr ? hc.rank(1, root) : 0;
+  const bool has_mid = midc != nullptr && midc->size() > 1;
+  const mpi::Comm* up = hc.up(me);
+  const bool has_inter = up != nullptr;
+  CollModule* smod = m.intra_module(cfg);
+
+  if (!has_inter && !has_mid) {
+    if (has_intra) {
+      g.add({Op::Bcast, Level::Intra, low, 0, -1, buf.bytes, {},
+             [smod, low, me_low, root_low, buf, dtype] {
+               return smod->ibcast(*low, me_low, root_low, buf, dtype,
+                                   CollConfig{});
+             }});
+    }
+    return g;
+  }
+
+  // The n-level root trick (han/hierarchy.hpp): I run level l's stage iff
+  // I hold the root's slot at every level below it; the root index within
+  // my family is the root's own level-l rank.
+  const bool on_mid = has_mid && hc.same_slots_below(1, me, root);
+  const bool on_inter = has_inter && hc.same_slots_below(top, me, root);
+  CollModule* imod = m.inter_module(cfg);
+  CollModule* lmod = low_module(m, cfg, buf.bytes);
+  const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  const CollConfig mcfg{cfg.malg, cfg.ms};
+  const Segmenter segs(buf.bytes, cfg.fs, dtype);
+  const int u = segs.count();
+  const mpi::Comm* upc = up;
+  const int me_up = hc.up_rank(me);
+  const int root_up = hc.rank(top, root);
+
+  std::vector<int> ib_node(u, -1), mb_node(u, -1);
+  const int last = u - 1 + spec.max_lag();
+  for (int t = 0; t <= last; ++t) {
+    for (const StageSlot& slot : spec.stages) {
+      const int i = t - slot.lag;
+      if (i < 0 || i >= u) continue;
+      const BufView seg = seg_of(buf, segs, i);
+      if (slot.role == "ib") {
+        if (!on_inter) continue;
+        ib_node[i] =
+            g.add({Op::Bcast, Level::Inter, upc, t, i, seg.bytes, {},
+                   [imod, upc, me_up, root_up, seg, dtype, icfg] {
+                     return imod->ibcast(*upc, me_up, root_up, seg, dtype,
+                                         icfg);
+                   }});
+      } else if (slot.role == "mb") {
+        if (!on_mid) continue;
+        std::vector<int> deps;
+        if (ib_node[i] >= 0) deps.push_back(ib_node[i]);
+        mb_node[i] =
+            g.add({Op::Bcast, Level::Mid, midc, t, i, seg.bytes,
+                   std::move(deps),
+                   [lmod, midc, me_mid, root_mid, seg, dtype, mcfg] {
+                     return lmod->ibcast(*midc, me_mid, root_mid, seg,
+                                         dtype, mcfg);
+                   }});
+      } else {  // sb
+        if (!has_intra) continue;
+        std::vector<int> deps;
+        if (mb_node[i] >= 0) {
+          deps.push_back(mb_node[i]);
+        } else if (ib_node[i] >= 0) {
+          deps.push_back(ib_node[i]);
+        }
+        g.add({Op::Bcast, Level::Intra, low, t, i, seg.bytes,
+               std::move(deps),
+               [lmod, low, me_low, root_low, seg, dtype] {
+                 return lmod->ibcast(*low, me_low, root_low, seg, dtype,
+                                     CollConfig{});
+               }});
+      }
+    }
+  }
+  return g;
+}
+
 }  // namespace
 
 TaskGraph build_schedule_allreduce(core::HanModule& m, const mpi::Comm& comm,
@@ -39,9 +313,13 @@ TaskGraph build_schedule_allreduce(core::HanModule& m, const mpi::Comm& comm,
                                    Datatype dtype, ReduceOp op,
                                    const HanConfig& cfg,
                                    const SynthSpec& spec) {
+  if (spec.three_level()) {
+    return build_allreduce_three_level(m, comm, me, send, recv, dtype, op,
+                                       cfg, spec);
+  }
   TaskGraph g;
   mpi::SimWorld& w = m.world_ref();
-  HanComm& hc = m.han_comm(comm);
+  Hierarchy& hc = m.flat_hierarchy(comm);
   const mpi::Comm* low = &hc.low(me);
   const int me_low = hc.low_rank(me);
   const bool has_intra = low->size() > 1;
@@ -146,8 +424,11 @@ TaskGraph build_schedule_allreduce(core::HanModule& m, const mpi::Comm& comm,
 TaskGraph build_schedule_bcast(core::HanModule& m, const mpi::Comm& comm,
                                int me, int root, BufView buf, Datatype dtype,
                                const HanConfig& cfg, const SynthSpec& spec) {
+  if (spec.three_level()) {
+    return build_bcast_three_level(m, comm, me, root, buf, dtype, cfg, spec);
+  }
   TaskGraph g;
-  HanComm& hc = m.han_comm(comm);
+  Hierarchy& hc = m.flat_hierarchy(comm);
   const mpi::Comm* low = &hc.low(me);
   const int me_low = hc.low_rank(me);
   const int root_low = hc.low_rank(root);

@@ -9,6 +9,11 @@
 // task::build_allreduce / task::build_bcast, so dispatching through a
 // spec is never a regression.
 //
+// Flat specs build on the paper's flat 2-level ladder; specs carrying a
+// mid stage (SynthSpec::three_level) build on the profile-derived ladder
+// (docs/HIERARCHY.md) — on a machine whose derived ladder is flat the mid
+// stages degenerate away and the graphs match the flat spec's.
+//
 // Compiled into han_core (not the han_synth search library): HanModule
 // dispatches any HanConfig whose `sched` field names a spec
 // (docs/SYNTHESIS.md), whether it came from the synthesizer, a lookup

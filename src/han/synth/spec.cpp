@@ -15,15 +15,23 @@ const char* kind_tag(coll::CollKind kind) {
 }
 
 bool known_role(const std::string& role) {
-  return role == "sr" || role == "ir" || role == "ib" || role == "sb";
+  return role == "sr" || role == "ir" || role == "ib" || role == "sb" ||
+         role == "mr" || role == "mb";
 }
 
 /// The dependency chain of each kind, prerequisite first. A stage's
 /// prerequisite is the previous element that the spec actually contains.
-const std::vector<std::string>& dep_chain(coll::CollKind kind) {
+/// Specs carrying a mid role use the three-level ladder's chain
+/// (docs/HIERARCHY.md).
+const std::vector<std::string>& dep_chain(coll::CollKind kind,
+                                          bool three_level) {
   static const std::vector<std::string> kAllreduce{"sr", "ir", "ib", "sb"};
   static const std::vector<std::string> kBcast{"ib", "sb"};
-  return kind == coll::CollKind::Bcast ? kBcast : kAllreduce;
+  static const std::vector<std::string> kAllreduce3{"sr", "mr", "ir",
+                                                    "ib", "mb", "sb"};
+  static const std::vector<std::string> kBcast3{"ib", "mb", "sb"};
+  if (kind == coll::CollKind::Bcast) return three_level ? kBcast3 : kBcast;
+  return three_level ? kAllreduce3 : kAllreduce;
 }
 
 /// Parse a non-negative integer at s[pos..]; advances pos past the
@@ -107,11 +115,18 @@ int SynthSpec::max_lag() const {
   return m;
 }
 
+bool SynthSpec::three_level() const {
+  for (const StageSlot& s : stages) {
+    if (s.role == "mr" || s.role == "mb") return true;
+  }
+  return false;
+}
+
 std::string SynthSpec::validate() const {
   if (kind_tag(kind) == nullptr) {
     return "synth spec: unsupported collective kind";
   }
-  const std::vector<std::string>& chain = dep_chain(kind);
+  const std::vector<std::string>& chain = dep_chain(kind, three_level());
   // Exactly the kind's stage multiset, each role once.
   if (stages.size() != chain.size()) {
     return "synth spec: expected " + std::to_string(chain.size()) +
@@ -181,6 +196,23 @@ SynthSpec SynthSpec::canonical(coll::CollKind kind) {
     // Mirrors task::allreduce_shape (paper Fig. 5).
     spec.kind = coll::CollKind::Allreduce;
     spec.stages = {{"sr", 0}, {"ir", 1}, {"ib", 2}, {"sb", 3}};
+  }
+  return spec;
+}
+
+SynthSpec SynthSpec::canonical3(coll::CollKind kind) {
+  SynthSpec spec;
+  spec.kind = kind;
+  spec.leaders = 1;
+  if (kind == coll::CollKind::Bcast) {
+    // Mirrors task::bcast_ladder_shape at depth 3 (top-down emission).
+    spec.stages = {{"ib", 0}, {"mb", 1}, {"sb", 2}};
+  } else {
+    // Mirrors task::allreduce_ladder_shape at depth 3: reduce stages
+    // ascend the ladder, bcast stages descend.
+    spec.kind = coll::CollKind::Allreduce;
+    spec.stages = {{"sr", 0}, {"mr", 1}, {"ir", 2},
+                   {"ib", 3}, {"mb", 4}, {"sb", 5}};
   }
   return spec;
 }

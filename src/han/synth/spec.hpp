@@ -18,6 +18,12 @@
 //   allreduce:  ar1:k<leaders>:sr<lag>.ir<lag>.ib<lag>.sb<lag>
 //   bcast:      bc1:k1:ib<lag>.sb<lag>
 //
+// Three-level schedules (derived NUMA ladders, docs/HIERARCHY.md) add the
+// mid roles "mr"/"mb" to the same grammar — the dependency chain grows to
+// sr.mr.ir.ib.mb.sb (ib.mb.sb for bcast) whenever either mid role appears.
+// The token syntax is unchanged, so kVersion stays 1: a v1 parser that
+// knows the mid roles reads both shapes, and flat ids are untouched.
+//
 // Stage order in the id IS the per-step emission order (it fixes the
 // per-comm FIFO order, so it is semantically meaningful — see
 // task/shapes.hpp). parse() round-trips id() exactly and rejects any
@@ -37,7 +43,7 @@ namespace han::synth {
 /// shape-primitive names of task/shapes.hpp) and its pipeline lag —
 /// segment index at step t is t - lag.
 struct StageSlot {
-  std::string role;  // "sr" | "ir" | "ib" | "sb"
+  std::string role;  // "sr" | "ir" | "ib" | "sb" | "mr" | "mb"
   int lag = 0;
 
   friend bool operator==(const StageSlot&, const StageSlot&) = default;
@@ -77,10 +83,21 @@ struct SynthSpec {
   int lag_of(const std::string& role) const;  // -1 when absent
   int max_lag() const;
 
+  /// True when the spec carries a mid stage ("mr"/"mb") — the dependency
+  /// chain is then the three-level ladder's (validate() requires the full
+  /// mid multiset, so a lone mid role is rejected loudly).
+  bool three_level() const;
+
   /// The paper's hand-written shapes, as specs: allreduce
   /// ar1:k1:sr0.ir1.ib2.sb3 and bcast bc1:k1:sb1.ib0 (these build graphs
   /// structurally identical to task::build_allreduce / task::build_bcast).
   static SynthSpec canonical(coll::CollKind kind);
+
+  /// The derived three-level ladder's shapes (the retired han3 pipelines):
+  /// allreduce ar1:k1:sr0.mr1.ir2.ib3.mb4.sb5 and bcast
+  /// bc1:k1:ib0.mb1.sb2 — structurally identical to the depth-3 graphs of
+  /// task::build_allreduce / task::build_bcast on a NUMA machine.
+  static SynthSpec canonical3(coll::CollKind kind);
 };
 
 }  // namespace han::synth

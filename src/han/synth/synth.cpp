@@ -155,6 +155,7 @@ std::string SynthResult::to_json() const {
                   std::to_string(finalist_findings()) +
                   ", \"wins\": " + std::to_string(wins()) + "},\n";
   j += "  \"options\": {\"machine\": \"" + std::to_string(opts.nodes) + "x" +
+       (opts.numa > 1 ? std::to_string(opts.numa) + "x" : "") +
        std::to_string(opts.ppn) + "\", \"seed\": " +
        std::to_string(opts.seed) +
        ", \"mutation_rounds\": " + std::to_string(opts.mutation_rounds) +
@@ -203,8 +204,13 @@ SynthCase run_case(const SynthOptions& opts, CollKind kind,
   SynthCase c;
   c.kind = kind;
   c.bytes = bytes;
-  c.name = std::string(coll::coll_kind_name(kind)) + "." +
-           std::to_string(opts.nodes) + "x" + std::to_string(opts.ppn) +
+  // The numa segment appears only on NUMA machines, keeping flat-machine
+  // reports byte-identical to before the knob existed.
+  const std::string machine_tag =
+      std::to_string(opts.nodes) +
+      (opts.numa > 1 ? "x" + std::to_string(opts.numa) : "") + "x" +
+      std::to_string(opts.ppn);
+  c.name = std::string(coll::coll_kind_name(kind)) + "." + machine_tag +
            "." + sim::format_bytes(bytes);
 
   // Base Table II configs every spec is crossed with. ADAPT/Binary is
@@ -236,13 +242,22 @@ SynthCase run_case(const SynthOptions& opts, CollKind kind,
     cand.cfg.sched = spec.id();
     if (!seen.insert(cand.cfg.to_string()).second) return;
     cand.spec = std::move(spec);
-    cand.cost =
-        symbolic_cost(cand.spec, cand.cfg, opts.nodes, opts.ppn, bytes);
+    cand.cost = symbolic_cost(cand.spec, cand.cfg, opts.nodes, opts.ppn,
+                              bytes, opts.numa);
     pool.push_back(std::move(cand));
   };
   for (const SynthSpec& spec :
        enumerate_specs(kind, opts.ppn, opts.grammar)) {
     for (const HanConfig& base : bases) admit(spec, base);
+  }
+  if (opts.numa > 1) {
+    // NUMA machines additionally enumerate the three-level chain
+    // (chain-order emission only; mutation explores order — generator.hpp).
+    GeneratorOptions g3 = opts.grammar;
+    g3.three_level = true;
+    for (const SynthSpec& spec : enumerate_specs(kind, opts.ppn, g3)) {
+      for (const HanConfig& base : bases) admit(spec, base);
+    }
   }
 
   // 2. Pareto prune, then mutate around the frontier.
@@ -275,9 +290,15 @@ SynthCase run_case(const SynthOptions& opts, CollKind kind,
   if (static_cast<int>(order.size()) > opts.max_finalists) {
     order.resize(static_cast<std::size_t>(opts.max_finalists));
   }
-  const std::string canonical_id = SynthSpec::canonical(kind).id();
+  std::vector<std::string> canonical_ids{SynthSpec::canonical(kind).id()};
+  if (opts.numa > 1) {
+    canonical_ids.push_back(SynthSpec::canonical3(kind).id());
+  }
   for (std::size_t i = 0; i < pool.size(); ++i) {
-    if (pool[i].cfg.sched != canonical_id) continue;
+    if (std::find(canonical_ids.begin(), canonical_ids.end(),
+                  pool[i].cfg.sched) == canonical_ids.end()) {
+      continue;
+    }
     if (std::find(order.begin(), order.end(), i) == order.end()) {
       order.push_back(i);
     }
@@ -288,8 +309,12 @@ SynthCase run_case(const SynthOptions& opts, CollKind kind,
               return a.cfg.to_string() < b.cfg.to_string();
             });
 
-  // 4. Verify gate + simulator scoring on the real topology.
-  SynthWorld sw(machine::make_aries(opts.nodes, opts.ppn));
+  // 4. Verify gate + simulator scoring on the real topology. On a NUMA
+  // machine the hand-written baseline dispatches to the derived
+  // three-level ladder — a win means beating it, not just the flat seed.
+  machine::MachineProfile profile = machine::make_aries(opts.nodes, opts.ppn);
+  if (opts.numa > 1) profile = machine::with_numa(profile, opts.numa);
+  SynthWorld sw(std::move(profile));
   const mpi::Comm& wc = sw.world.world_comm();
   for (Candidate& cand : c.finalists) {
     gate_candidate(sw, kind, bytes, cand);

@@ -35,6 +35,13 @@ namespace han::synth {
 struct SynthOptions {
   int nodes = 2;
   int ppn = 2;
+  /// NUMA domains per node. 1 (the default) keeps the flat machine and
+  /// grammar — reports are byte-identical to before the knob existed.
+  /// Above 1 the case worlds are NUMA machines (machine::with_numa), the
+  /// three-level chain (mr/mb stages, docs/HIERARCHY.md) joins the
+  /// enumeration alongside the flat one, and the canonical three-level
+  /// ladder shape joins the always-included finalists.
+  int numa = 1;
   std::vector<coll::CollKind> kinds{coll::CollKind::Allreduce,
                                     coll::CollKind::Bcast};
   std::vector<std::size_t> sizes{64 << 10, 1 << 20};

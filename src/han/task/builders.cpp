@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "han/han_util.hpp"
+#include "han/hierarchy.hpp"
 #include "han/task/shapes.hpp"
 
 namespace han::task {
@@ -16,8 +17,8 @@ namespace {
 using coll::CollConfig;
 using coll::CollModule;
 using coll::Segmenter;
-using core::HanComm;
 using core::HanConfig;
+using core::Hierarchy;
 using core::TempBuf;
 using core::seg_of;
 using mpi::BufView;
@@ -31,84 +32,166 @@ std::shared_ptr<TempBuf> make_temp(TaskGraph& g, bool data_mode,
   return buf;
 }
 
+// ---------------------------------------------------------------------------
+// Ladder resolution: the per-operation view of a Hierarchy.
+// ---------------------------------------------------------------------------
+
+/// One rooted operation's resolved ladder: globally degenerate levels
+/// collapsed away, per-rank comms/ranks/roots/enables settled.
+struct Ladder {
+  std::vector<const mpi::Comm*> comm;  // my level family
+  std::vector<int> rank;               // my rank within it
+  std::vector<int> root;               // the op root's rank within its family
+  std::vector<Level> level;            // Intra / Mid / Inter task level
+  std::vector<bool> member;            // I hold the root's slots below this
+  std::vector<bool> enabled;           // member && my family moves data
+  bool flat2 = false;                  // the canonical intra+inter ladder
+  int de() const { return static_cast<int>(comm.size()); }
+};
+
+/// Does any family at level l have more than one member (i.e. can data
+/// move across this level anywhere in the world)?
+bool level_live(const Hierarchy& h, int l) {
+  for (int pr = 0; pr < h.parent().size(); ++pr) {
+    const mpi::Comm* c = h.comm(l, pr);
+    if (c != nullptr && c->size() > 1) return true;
+  }
+  return false;
+}
+
+Ladder make_ladder(const Hierarchy& h, int me, int root) {
+  const int d = h.depth();
+  // Dead outermost levels collapse away first — exactly HanComm's
+  // single-node up-nulling, applied from the top down.
+  int top = d - 1;
+  while (top > 0 && !level_live(h, top)) --top;
+  std::vector<int> keep;
+  if (top > 0 || level_live(h, 0)) {
+    for (int l = 0; l <= top; ++l) keep.push_back(l);
+  }
+  // Below the top, a dead level is spliced out while the ladder is deeper
+  // than the canonical 2: a deep descriptor on a machine without the
+  // matching domains collapses to the flat pipeline instead of pushing
+  // lag-chain bubbles (or null-comm tasks) through the schedule. At depth
+  // 2 the dead level keeps its disabled lag slot, preserving the seed's
+  // exact 2-level shapes.
+  while (static_cast<int>(keep.size()) > 2) {
+    bool spliced = false;
+    for (std::size_t i = 0; i + 1 < keep.size(); ++i) {
+      if (!level_live(h, keep[i])) {
+        keep.erase(keep.begin() + static_cast<std::ptrdiff_t>(i));
+        spliced = true;
+        break;
+      }
+    }
+    if (!spliced) break;
+  }
+
+  Ladder lad;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const int l = keep[i];
+    const mpi::Comm* c = h.comm(l, me);
+    lad.comm.push_back(c);
+    lad.rank.push_back(h.rank(l, me));
+    lad.root.push_back(h.rank(l, root));
+    lad.level.push_back(h.level_name(l) == "cluster" ? Level::Inter
+                        : i == 0                     ? Level::Intra
+                                                     : Level::Mid);
+    // The n-level root trick: I run level l's operation iff I hold the
+    // root's slot at every level below it (HanComm's root_low_rank test,
+    // generalized). Spliced levels have trivial all-zero slots, so the
+    // original level index is the right one to compare at.
+    lad.member.push_back(h.same_slots_below(l, me, root));
+    lad.enabled.push_back(lad.member.back() && c != nullptr && c->size() > 1);
+  }
+  lad.flat2 = lad.de() == 2 && lad.level[0] == Level::Intra &&
+              lad.level[1] == Level::Inter;
+  return lad;
+}
+
+/// The module running level l's stage: the inter level uses cfg.imod; the
+/// intra/mid levels use cfg.smod, or the copy-in-copy-out p2p module when
+/// the whole message sits under the zero-copy switchover cfg.zcs.
+CollModule* ladder_module(core::HanModule& m, const Ladder& lad, int l,
+                          const HanConfig& cfg, std::size_t msg_bytes) {
+  if (lad.level[l] == Level::Inter) return m.inter_module(cfg);
+  if (cfg.zcs > 0 && msg_bytes < cfg.zcs) return &m.modules().libnbc();
+  return m.intra_module(cfg);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Bcast (paper Fig. 1): leaders run ib(0), sbib(1..u-1), sb(u-1); other
-// ranks run sb(0..u-1).
+// Bcast (paper Fig. 1, generalized): the top level runs ib(t); each lower
+// level re-broadcasts one segment behind the level above; level 0 delivers
+// with sb. On the canonical flat ladder this is exactly the seed's leader
+// ib(0), sbib(1..u-1), sb(u-1) / follower sb(0..u-1) pair.
 // ---------------------------------------------------------------------------
 
 TaskGraph build_bcast(core::HanModule& m, const mpi::Comm& comm, int me,
                       int root, BufView buf, Datatype dtype,
                       const HanConfig& cfg) {
   TaskGraph g;
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm* low = &hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const int root_low = hc.low_rank(root);
-  const bool has_intra = low->size() > 1;
-  const bool has_inter = hc.up(me) != nullptr;
-  CollModule* smod = m.intra_module(cfg);
+  Hierarchy& h = m.ladder_for(comm, cfg);
+  const Ladder lad = make_ladder(h, me, root);
+  const int de = lad.de();
 
-  if (!has_inter) {
-    if (has_intra) {
-      g.add({Op::Bcast, Level::Intra, low, 0, -1, buf.bytes, {},
-             [smod, low, me_low, root_low, buf, dtype] {
-               return smod->ibcast(*low, me_low, root_low, buf, dtype,
-                                   CollConfig{});
+  if (de == 0) return g;  // single rank: nothing to move
+  if (de == 1) {
+    // Ladder collapsed to one intra level: a single unsegmented operation
+    // (the seed's single-node path).
+    if (lad.enabled[0]) {
+      CollModule* mod = ladder_module(m, lad, 0, cfg, buf.bytes);
+      const mpi::Comm* low = lad.comm[0];
+      const int me_l = lad.rank[0], root_l = lad.root[0];
+      g.add({Op::Bcast, lad.level[0], low, 0, -1, buf.bytes, {},
+             [mod, low, me_l, root_l, buf, dtype] {
+               return mod->ibcast(*low, me_l, root_l, buf, dtype,
+                                  CollConfig{});
              }});
     }
     return g;
   }
 
-  CollModule* imod = m.inter_module(cfg);
   const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  const CollConfig mcfg{cfg.malg, cfg.ms};
   const Segmenter segs(buf.bytes, cfg.fs, dtype);
   const int u = segs.count();
 
-  // The up communicator carrying data is the one holding the root: every
-  // rank whose local rank equals the root's local rank is a "leader" for
-  // this operation (Open MPI HAN's root_low_rank trick — no relay hop).
-  if (me_low == root_low) {
-    const mpi::Comm* up = hc.up(me);
-    const int me_up = hc.up_rank(me);
-    const int root_up = hc.up_rank(root);
-    std::vector<int> ib_node(u, -1);
-    for_each_task(
-        bcast_shape(has_intra), u,
-        [&](int t, const StageSpec& s, int i) {
-          const BufView seg = seg_of(buf, segs, i);
-          if (std::string_view(s.role) == "ib") {
-            ib_node[i] =
-                g.add({s.op, s.level, up, t, i, seg.bytes, {},
-                       [imod, up, me_up, root_up, seg, dtype, icfg] {
-                         return imod->ibcast(*up, me_up, root_up, seg, dtype,
-                                             icfg);
-                       }});
-          } else {  // sb(i): intra bcast once segment i has arrived
-            g.add({s.op, s.level, low, t, i, seg.bytes, {ib_node[i]},
-                   [smod, low, me_low, root_low, seg, dtype] {
-                     return smod->ibcast(*low, me_low, root_low, seg, dtype,
-                                         CollConfig{});
-                   }});
-          }
-        });
-  } else {
-    for_each_task(
-        bcast_follower_shape(), u, [&](int t, const StageSpec& s, int i) {
-          const BufView seg = seg_of(buf, segs, i);
-          g.add({s.op, s.level, low, t, i, seg.bytes, {},
-                 [smod, low, me_low, root_low, seg, dtype] {
-                   return smod->ibcast(*low, me_low, root_low, seg, dtype,
-                                       CollConfig{});
-                 }});
-        });
-  }
+  // Non-members of the root's inter family keep the seed's dedicated
+  // lag-0 follower shape on the flat ladder; deeper ladders share one
+  // shape whose per-rank enables encode every role.
+  const std::vector<StageSpec> shape =
+      lad.flat2 && !lad.member[1] ? bcast_follower_shape()
+                                  : bcast_ladder_shape(lad.level, lad.enabled);
+  std::vector<std::vector<int>> bc(de, std::vector<int>(u, -1));
+  for_each_task(shape, u, [&](int t, const StageSpec& s, int i) {
+    const int l = s.tier;
+    const BufView seg = seg_of(buf, segs, i);
+    const mpi::Comm* c = lad.comm[l];
+    const int me_l = lad.rank[l], root_l = lad.root[l];
+    CollModule* mod = ladder_module(m, lad, l, cfg, buf.bytes);
+    const CollConfig lcfg = lad.level[l] == Level::Inter ? icfg
+                            : l == 0                     ? CollConfig{}
+                                                         : mcfg;
+    // A level's bcast waits for the segment to arrive from the nearest
+    // level above that delivered it.
+    std::vector<int> deps;
+    for (int j = l + 1; j < de && deps.empty(); ++j) {
+      if (bc[j][i] >= 0) deps.push_back(bc[j][i]);
+    }
+    bc[l][i] = g.add({s.op, s.level, c, t, i, seg.bytes, std::move(deps),
+                      [mod, c, me_l, root_l, seg, dtype, lcfg] {
+                        return mod->ibcast(*c, me_l, root_l, seg, dtype,
+                                           lcfg);
+                      }});
+  });
   return g;
 }
 
 // ---------------------------------------------------------------------------
-// Reduce: sr → ir pipeline (the rooted prefix of Fig. 5)
+// Reduce: the mirror ladder — each level reduces into a per-level partial
+// one segment ahead of the level above (the rooted prefix of Fig. 5).
 // ---------------------------------------------------------------------------
 
 TaskGraph build_reduce(core::HanModule& m, const mpi::Comm& comm, int me,
@@ -116,20 +199,25 @@ TaskGraph build_reduce(core::HanModule& m, const mpi::Comm& comm, int me,
                        ReduceOp op, const HanConfig& cfg) {
   TaskGraph g;
   mpi::SimWorld& w = m.world_ref();
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm* low = &hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const int root_low = hc.low_rank(root);
-  const bool has_intra = low->size() > 1;
-  const bool has_inter = hc.up(me) != nullptr;
-  CollModule* smod = m.intra_module(cfg);
+  Hierarchy& h = m.ladder_for(comm, cfg);
+  const Ladder lad = make_ladder(h, me, root);
+  const int de = lad.de();
 
-  if (!has_inter) {
-    if (has_intra) {
-      g.add({Op::Reduce, Level::Intra, low, 0, -1, send.bytes, {},
-             [smod, low, me_low, root_low, send, recv, dtype, op] {
-               return smod->ireduce(*low, me_low, root_low, send, recv,
-                                    dtype, op, CollConfig{});
+  if (de == 0) {
+    if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    return g;
+  }
+  if (de == 1) {
+    if (lad.enabled[0]) {
+      CollModule* mod = ladder_module(m, lad, 0, cfg, send.bytes);
+      const mpi::Comm* low = lad.comm[0];
+      const int me_l = lad.rank[0], root_l = lad.root[0];
+      g.add({Op::Reduce, lad.level[0], low, 0, -1, send.bytes, {},
+             [mod, low, me_l, root_l, send, recv, dtype, op] {
+               return mod->ireduce(*low, me_l, root_l, send, recv, dtype, op,
+                                   CollConfig{});
              }});
     } else if (w.data_mode() && send.has_data() && recv.has_data()) {
       std::memcpy(recv.data, send.data, send.bytes);
@@ -137,62 +225,68 @@ TaskGraph build_reduce(core::HanModule& m, const mpi::Comm& comm, int me,
     return g;
   }
 
-  CollModule* imod = m.inter_module(cfg);
   const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const CollConfig mcfg{cfg.malg, cfg.ms};
   const Segmenter segs(send.bytes, cfg.fs, dtype);
   const int u = segs.count();
 
-  if (me_low == root_low) {
-    const mpi::Comm* up = hc.up(me);
-    const int me_up = hc.up_rank(me);
-    const int root_up = hc.up_rank(root);
-    // Per-node partial results; feeds the inter-node reduction.
-    auto partial = make_temp(g, w.data_mode(), send.bytes, dtype);
-    std::vector<int> sr_node(u, -1);
-    for_each_task(
-        reduce_shape(has_intra), u, [&](int t, const StageSpec& s, int i) {
-          if (std::string_view(s.role) == "sr") {
-            const BufView dst =
-                partial->view(segs.offset(i), segs.length(i));
-            const BufView src = seg_of(send, segs, i);
-            sr_node[i] =
-                g.add({s.op, s.level, low, t, i, src.bytes, {},
-                       [smod, low, me_low, root_low, src, dst, dtype, op] {
-                         return smod->ireduce(*low, me_low, root_low, src,
-                                              dst, dtype, op, CollConfig{});
-                       }});
-          } else {  // ir(i): inter reduce of the node partials
-            const BufView contrib =
-                has_intra ? partial->view(segs.offset(i), segs.length(i))
-                          : seg_of(send, segs, i);
-            const BufView dst = seg_of(recv, segs, i);
-            std::vector<int> deps;
-            if (has_intra) deps.push_back(sr_node[i]);
-            g.add({s.op, s.level, up, t, i, contrib.bytes, std::move(deps),
-                   [imod, up, me_up, root_up, contrib, dst, dtype, op,
-                    ircfg] {
-                     return imod->ireduce(*up, me_up, root_up, contrib, dst,
-                                          dtype, op, ircfg);
-                   }});
-          }
-        });
-  } else {
-    for_each_task(
-        reduce_follower_shape(), u, [&](int t, const StageSpec& s, int i) {
-          const BufView src = seg_of(send, segs, i);
-          const BufView dst = BufView::timing_only(segs.length(i), dtype);
-          g.add({s.op, s.level, low, t, i, src.bytes, {},
-                 [smod, low, me_low, root_low, src, dst, dtype, op] {
-                   return smod->ireduce(*low, me_low, root_low, src, dst,
-                                        dtype, op, CollConfig{});
-                 }});
-        });
+  // Per-level partials: level l reduces into part[l], which the next level
+  // up forwards (han3's leaf_part/node_part, generalized). Only ranks that
+  // participate at level l+1 hold real data in part[l].
+  std::vector<std::shared_ptr<TempBuf>> part(
+      static_cast<std::size_t>(de - 1));
+  for (int l = 0; l + 1 < de; ++l) {
+    part[static_cast<std::size_t>(l)] =
+        make_temp(g, w.data_mode() && lad.member[l + 1], send.bytes, dtype);
   }
+
+  std::vector<std::vector<int>> red(de, std::vector<int>(u, -1));
+  for_each_task(
+      reduce_ladder_shape(lad.level, lad.enabled), u,
+      [&](int t, const StageSpec& s, int i) {
+        const int l = s.tier;
+        const mpi::Comm* c = lad.comm[l];
+        const int me_l = lad.rank[l], root_l = lad.root[l];
+        CollModule* mod = ladder_module(m, lad, l, cfg, send.bytes);
+        const CollConfig lcfg = lad.level[l] == Level::Inter ? ircfg
+                                : l == 0                     ? CollConfig{}
+                                                             : mcfg;
+        // Contribution: the deepest live lower level's partial, else my
+        // own send segment.
+        BufView src = seg_of(send, segs, i);
+        for (int j = l - 1; j >= 0; --j) {
+          if (lad.enabled[j]) {
+            src = part[static_cast<std::size_t>(j)]->view(segs.offset(i),
+                                                          segs.length(i));
+            break;
+          }
+        }
+        const BufView dst =
+            l == de - 1 ? seg_of(recv, segs, i)
+            : lad.member[l + 1]
+                ? part[static_cast<std::size_t>(l)]->view(segs.offset(i),
+                                                          segs.length(i))
+                : BufView::timing_only(segs.length(i), dtype);
+        std::vector<int> deps;
+        for (int j = l - 1; j >= 0 && deps.empty(); --j) {
+          if (red[j][i] >= 0) deps.push_back(red[j][i]);
+        }
+        red[l][i] = g.add({s.op, s.level, c, t, i, src.bytes,
+                           std::move(deps),
+                           [mod, c, me_l, root_l, src, dst, dtype, op,
+                            lcfg] {
+                             return mod->ireduce(*c, me_l, root_l, src, dst,
+                                                 dtype, op, lcfg);
+                           }});
+      });
   return g;
 }
 
 // ---------------------------------------------------------------------------
-// Allreduce (paper Fig. 5): 4-stage sr → ir → ib → sb pipeline
+// Allreduce (paper Fig. 5, generalized): the reduce ladder ascends to the
+// top, then the bcast ladder descends — 2d stages over d live levels. On
+// the flat ladder this is exactly the paper's 4-stage sr → ir → ib → sb
+// pipeline; at depth 3 it is the retired allreduce3 bit for bit.
 // ---------------------------------------------------------------------------
 
 TaskGraph build_allreduce(core::HanModule& m, const mpi::Comm& comm, int me,
@@ -200,19 +294,26 @@ TaskGraph build_allreduce(core::HanModule& m, const mpi::Comm& comm, int me,
                           ReduceOp op, const HanConfig& cfg) {
   TaskGraph g;
   mpi::SimWorld& w = m.world_ref();
-  HanComm& hc = m.han_comm(comm);
-  const mpi::Comm* low = &hc.low(me);
-  const int me_low = hc.low_rank(me);
-  const bool has_intra = low->size() > 1;
-  const bool has_inter = hc.up(me) != nullptr;
-  CollModule* smod = m.intra_module(cfg);
+  Hierarchy& h = m.ladder_for(comm, cfg);
+  // No user root: the slot-0 leader chain carries the upper levels.
+  const Ladder lad = make_ladder(h, me, /*root=*/0);
+  const int de = lad.de();
 
-  if (!has_inter) {
-    if (has_intra) {
-      g.add({Op::Reduce, Level::Intra, low, 0, -1, send.bytes, {},
-             [smod, low, me_low, send, recv, dtype, op] {
-               return smod->iallreduce(*low, me_low, send, recv, dtype, op,
-                                       CollConfig{});
+  if (de == 0) {
+    if (w.data_mode() && send.has_data() && recv.has_data()) {
+      std::memcpy(recv.data, send.data, send.bytes);
+    }
+    return g;
+  }
+  if (de == 1) {
+    if (lad.enabled[0]) {
+      CollModule* mod = ladder_module(m, lad, 0, cfg, send.bytes);
+      const mpi::Comm* low = lad.comm[0];
+      const int me_l = lad.rank[0];
+      g.add({Op::Reduce, lad.level[0], low, 0, -1, send.bytes, {},
+             [mod, low, me_l, send, recv, dtype, op] {
+               return mod->iallreduce(*low, me_l, send, recv, dtype, op,
+                                      CollConfig{});
              }});
     } else if (w.data_mode() && send.has_data() && recv.has_data()) {
       std::memcpy(recv.data, send.data, send.bytes);
@@ -220,90 +321,80 @@ TaskGraph build_allreduce(core::HanModule& m, const mpi::Comm& comm, int me,
     return g;
   }
 
-  CollModule* imod = m.inter_module(cfg);
-  // Paper §III-B: ir and ib use the same algorithm and the same root to
+  // Paper §III-B: the inter reduce and bcast share algorithm and root to
   // maximize the opposite-direction overlap on the full-duplex network.
   const CollConfig ircfg{cfg.iralg, cfg.irs};
   const CollConfig ibcfg{cfg.iralg, cfg.ibs};
+  const CollConfig mcfg{cfg.malg, cfg.ms};
   const Segmenter segs(send.bytes, cfg.fs, dtype);
   const int u = segs.count();
-  const bool leader = me_low == 0;  // no user root: node-local rank 0 leads
 
-  if (leader) {
-    const mpi::Comm* up = hc.up(me);
-    const int me_up = hc.up_rank(me);
-    auto partial = make_temp(g, w.data_mode(), send.bytes, dtype);
-    std::vector<int> sr_node(u, -1), ir_node(u, -1), ib_node(u, -1);
-    for_each_task(
-        allreduce_shape(has_intra), u,
-        [&](int t, const StageSpec& s, int i) {
-          const std::string_view role(s.role);
-          if (role == "sr") {
-            const BufView src = seg_of(send, segs, i);
-            const BufView dst =
-                partial->view(segs.offset(i), segs.length(i));
-            sr_node[i] =
-                g.add({s.op, s.level, low, t, i, src.bytes, {},
-                       [smod, low, me_low, src, dst, dtype, op] {
-                         return smod->ireduce(*low, me_low, /*root=*/0, src,
-                                              dst, dtype, op, CollConfig{});
-                       }});
-          } else if (role == "ir") {
-            const BufView contrib =
-                has_intra ? partial->view(segs.offset(i), segs.length(i))
-                          : seg_of(send, segs, i);
-            const BufView dst = seg_of(recv, segs, i);
-            std::vector<int> deps;
-            if (has_intra) deps.push_back(sr_node[i]);
-            ir_node[i] =
-                g.add({s.op, s.level, up, t, i, contrib.bytes,
-                       std::move(deps),
-                       [imod, up, me_up, contrib, dst, dtype, op, ircfg] {
-                         return imod->ireduce(*up, me_up, /*root=*/0,
-                                              contrib, dst, dtype, op,
-                                              ircfg);
-                       }});
-          } else if (role == "ib") {
-            const BufView seg = seg_of(recv, segs, i);
-            ib_node[i] =
-                g.add({s.op, s.level, up, t, i, seg.bytes, {ir_node[i]},
-                       [imod, up, me_up, seg, dtype, ibcfg] {
-                         return imod->ibcast(*up, me_up, /*root=*/0, seg,
-                                             dtype, ibcfg);
-                       }});
-          } else {  // sb
-            const BufView seg = seg_of(recv, segs, i);
-            g.add({s.op, s.level, low, t, i, seg.bytes, {ib_node[i]},
-                   [smod, low, me_low, seg, dtype] {
-                     return smod->ibcast(*low, me_low, /*root=*/0, seg,
-                                         dtype, CollConfig{});
-                   }});
-          }
-        });
-  } else {
-    // Task sbsr(i): receive broadcast segment i-3 while contributing
-    // segment i to the intra-node reduction.
-    for_each_task(
-        allreduce_follower_shape(), u,
-        [&](int t, const StageSpec& s, int i) {
-          if (std::string_view(s.role) == "sr") {
-            const BufView src = seg_of(send, segs, i);
-            const BufView dst = BufView::timing_only(segs.length(i), dtype);
-            g.add({s.op, s.level, low, t, i, src.bytes, {},
-                   [smod, low, me_low, src, dst, dtype, op] {
-                     return smod->ireduce(*low, me_low, /*root=*/0, src, dst,
-                                          dtype, op, CollConfig{});
-                   }});
-          } else {  // sb
-            const BufView seg = seg_of(recv, segs, i);
-            g.add({s.op, s.level, low, t, i, seg.bytes, {},
-                   [smod, low, me_low, seg, dtype] {
-                     return smod->ibcast(*low, me_low, /*root=*/0, seg,
-                                         dtype, CollConfig{});
-                   }});
-          }
-        });
+  std::vector<std::shared_ptr<TempBuf>> part(
+      static_cast<std::size_t>(de - 1));
+  for (int l = 0; l + 1 < de; ++l) {
+    part[static_cast<std::size_t>(l)] =
+        make_temp(g, w.data_mode() && lad.member[l + 1], send.bytes, dtype);
   }
+
+  std::vector<std::vector<int>> red(de, std::vector<int>(u, -1));
+  std::vector<std::vector<int>> bc(de, std::vector<int>(u, -1));
+  for_each_task(
+      allreduce_ladder_shape(lad.level, lad.enabled), u,
+      [&](int t, const StageSpec& s, int i) {
+        const int l = s.tier;
+        const mpi::Comm* c = lad.comm[l];
+        const int me_l = lad.rank[l];
+        CollModule* mod = ladder_module(m, lad, l, cfg, send.bytes);
+        if (s.op == Op::Reduce) {
+          const CollConfig lcfg = lad.level[l] == Level::Inter ? ircfg
+                                  : l == 0                     ? CollConfig{}
+                                                               : mcfg;
+          BufView src = seg_of(send, segs, i);
+          for (int j = l - 1; j >= 0; --j) {
+            if (lad.enabled[j]) {
+              src = part[static_cast<std::size_t>(j)]->view(segs.offset(i),
+                                                            segs.length(i));
+              break;
+            }
+          }
+          const BufView dst =
+              l == de - 1 ? seg_of(recv, segs, i)
+              : lad.member[l + 1]
+                  ? part[static_cast<std::size_t>(l)]->view(segs.offset(i),
+                                                            segs.length(i))
+                  : BufView::timing_only(segs.length(i), dtype);
+          std::vector<int> deps;
+          for (int j = l - 1; j >= 0 && deps.empty(); --j) {
+            if (red[j][i] >= 0) deps.push_back(red[j][i]);
+          }
+          red[l][i] = g.add({s.op, s.level, c, t, i, src.bytes,
+                             std::move(deps),
+                             [mod, c, me_l, src, dst, dtype, op, lcfg] {
+                               return mod->ireduce(*c, me_l, /*root=*/0, src,
+                                                   dst, dtype, op, lcfg);
+                             }});
+        } else {  // the descending bcast half
+          const CollConfig lcfg = lad.level[l] == Level::Inter ? ibcfg
+                                  : l == 0                     ? CollConfig{}
+                                                               : mcfg;
+          const BufView seg = seg_of(recv, segs, i);
+          std::vector<int> deps;
+          if (l == de - 1) {
+            // The top bcast returns the total the top reduce just formed.
+            if (red[l][i] >= 0) deps.push_back(red[l][i]);
+          } else {
+            for (int j = l + 1; j < de && deps.empty(); ++j) {
+              if (bc[j][i] >= 0) deps.push_back(bc[j][i]);
+            }
+          }
+          bc[l][i] = g.add({s.op, s.level, c, t, i, seg.bytes,
+                            std::move(deps),
+                            [mod, c, me_l, seg, dtype, lcfg] {
+                              return mod->ibcast(*c, me_l, /*root=*/0, seg,
+                                                 dtype, lcfg);
+                            }});
+        }
+      });
   return g;
 }
 
@@ -321,7 +412,7 @@ TaskGraph build_allreduce_multileader(core::HanModule& m,
                                       const HanConfig& cfg, int k) {
   TaskGraph g;
   mpi::SimWorld& w = m.world_ref();
-  HanComm& hc = m.han_comm(comm);
+  Hierarchy& hc = m.flat_hierarchy(comm);
   const mpi::Comm* low = &hc.low(me);
   const int me_low = hc.low_rank(me);
   CollModule* imod = m.inter_module(cfg);
@@ -404,7 +495,7 @@ TaskGraph build_reduce_scatter(core::HanModule& m, const mpi::Comm& comm,
                                const HanConfig& cfg) {
   TaskGraph g;
   mpi::SimWorld& w = m.world_ref();
-  HanComm& hc = m.han_comm(comm);
+  Hierarchy& hc = m.flat_hierarchy(comm);
   const mpi::Comm* low = &hc.low(me);
   const int me_low = hc.low_rank(me);
   const bool has_intra = low->size() > 1;
@@ -623,7 +714,7 @@ TaskGraph build_gather(core::HanModule& m, const mpi::Comm& comm, int me,
                        const HanConfig& cfg) {
   TaskGraph g;
   mpi::SimWorld& w = m.world_ref();
-  HanComm& hc = m.han_comm(comm);
+  Hierarchy& hc = m.flat_hierarchy(comm);
   const mpi::Comm* low = &hc.low(me);
   const int me_low = hc.low_rank(me);
   const int root_low = hc.low_rank(root);
@@ -677,7 +768,7 @@ TaskGraph build_scatter(core::HanModule& m, const mpi::Comm& comm, int me,
                         const HanConfig& cfg) {
   TaskGraph g;
   mpi::SimWorld& w = m.world_ref();
-  HanComm& hc = m.han_comm(comm);
+  Hierarchy& hc = m.flat_hierarchy(comm);
   const mpi::Comm* low = &hc.low(me);
   const int me_low = hc.low_rank(me);
   const int root_low = hc.low_rank(root);
@@ -728,7 +819,7 @@ TaskGraph build_allgather(core::HanModule& m, const mpi::Comm& comm, int me,
                           BufView send, BufView recv, const HanConfig& cfg) {
   TaskGraph g;
   mpi::SimWorld& w = m.world_ref();
-  HanComm& hc = m.han_comm(comm);
+  Hierarchy& hc = m.flat_hierarchy(comm);
   const mpi::Comm* low = &hc.low(me);
   const int me_low = hc.low_rank(me);
   const bool has_inter = hc.up(me) != nullptr;
@@ -784,7 +875,7 @@ TaskGraph build_allgather(core::HanModule& m, const mpi::Comm& comm, int me,
 
 TaskGraph build_barrier(core::HanModule& m, const mpi::Comm& comm, int me) {
   TaskGraph g;
-  HanComm& hc = m.han_comm(comm);
+  Hierarchy& hc = m.flat_hierarchy(comm);
   const mpi::Comm* low = &hc.low(me);
   const int me_low = hc.low_rank(me);
   const bool has_intra = low->size() > 1;
@@ -818,203 +909,6 @@ TaskGraph build_barrier(core::HanModule& m, const mpi::Comm& comm, int me) {
                                CollConfig{});
            }});
   }
-  return g;
-}
-
-// ---------------------------------------------------------------------------
-// 3-level pipelines (NUMA-aware): bcast3 ib → mb → sb and allreduce3
-// sr → mr → ir → ib → mb → sb. Stage enables are per-rank roles, so the
-// same shapes serve leaders and followers (and the cost model).
-// ---------------------------------------------------------------------------
-
-TaskGraph build_bcast3(core::HanModule& m, core::Han3::Comm3& c3, int me,
-                       BufView buf, Datatype dtype, const HanConfig& cfg) {
-  TaskGraph g;
-  CollModule* imod = m.inter_module(cfg);
-  CollModule* smod = m.intra_module(cfg);
-  const CollConfig icfg{cfg.ibalg, cfg.ibs};
-  const Segmenter segs(buf.bytes, cfg.fs, dtype);
-  const int u = segs.count();
-
-  const mpi::Comm* leaf = c3.leaf[me];
-  const int me_leaf = c3.leaf_rank[me];
-  const bool numa_leader = c3.numa_leader(me);
-  const bool node_leader = c3.node_leader(me);
-  const bool has_leaf = leaf->size() > 1;
-  const bool has_mid = c3.mid[me] != nullptr && c3.mid[me]->size() > 1;
-  const bool has_up = c3.up[me] != nullptr;
-  const int wr = leaf->world_rank(me_leaf);  // my world rank
-
-  const mpi::Comm* up = has_up ? c3.up[me] : nullptr;
-  const mpi::Comm* mid = c3.mid[me];
-  const int me_up = up != nullptr ? up->comm_rank_of_world(wr) : -1;
-  const int me_mid = mid != nullptr ? mid->comm_rank_of_world(wr) : -1;
-
-  std::vector<int> ib_node(u, -1), mb_node(u, -1);
-  for_each_task(
-      bcast3_shape(node_leader && has_up, numa_leader && has_mid, has_leaf),
-      u, [&](int t, const StageSpec& s, int i) {
-        const BufView seg = seg_of(buf, segs, i);
-        const std::string_view role(s.role);
-        if (role == "ib") {
-          ib_node[i] = g.add({s.op, s.level, up, t, i, seg.bytes, {},
-                              [imod, up, me_up, seg, dtype, icfg] {
-                                return imod->ibcast(*up, me_up, /*root=*/0,
-                                                    seg, dtype, icfg);
-                              }});
-        } else if (role == "mb") {
-          std::vector<int> deps;
-          if (ib_node[i] >= 0) deps.push_back(ib_node[i]);
-          mb_node[i] = g.add({s.op, s.level, mid, t, i, seg.bytes,
-                              std::move(deps),
-                              [smod, mid, me_mid, seg, dtype] {
-                                return smod->ibcast(*mid, me_mid, /*root=*/0,
-                                                    seg, dtype,
-                                                    CollConfig{});
-                              }});
-        } else {  // sb
-          std::vector<int> deps;
-          if (mb_node[i] >= 0) {
-            deps.push_back(mb_node[i]);
-          } else if (ib_node[i] >= 0) {
-            deps.push_back(ib_node[i]);
-          }
-          g.add({s.op, s.level, leaf, t, i, seg.bytes, std::move(deps),
-                 [smod, leaf, me_leaf, seg, dtype] {
-                   return smod->ibcast(*leaf, me_leaf, /*root=*/0, seg,
-                                       dtype, CollConfig{});
-                 }});
-        }
-      });
-  return g;
-}
-
-TaskGraph build_allreduce3(core::HanModule& m, core::Han3::Comm3& c3, int me,
-                           BufView send, BufView recv, Datatype dtype,
-                           ReduceOp op, const HanConfig& cfg) {
-  TaskGraph g;
-  mpi::SimWorld& w = m.world_ref();
-  CollModule* imod = m.inter_module(cfg);
-  CollModule* smod = m.intra_module(cfg);
-  const CollConfig ircfg{cfg.iralg, cfg.irs};
-  const CollConfig ibcfg{cfg.iralg, cfg.ibs};
-  const Segmenter segs(send.bytes, cfg.fs, dtype);
-  const int u = segs.count();
-
-  const mpi::Comm* leaf = c3.leaf[me];
-  const int me_leaf = c3.leaf_rank[me];
-  const bool numa_leader = c3.numa_leader(me);
-  const bool node_leader = c3.node_leader(me);
-  const bool has_leaf = leaf->size() > 1;
-  const bool has_mid = c3.mid[me] != nullptr && c3.mid[me]->size() > 1;
-  const bool has_up = c3.up[me] != nullptr;
-  const int wr = leaf->world_rank(me_leaf);
-
-  if (!has_leaf && !has_mid && !has_up) {
-    // Degenerate case: single rank overall.
-    if (w.data_mode() && send.has_data() && recv.has_data()) {
-      std::memcpy(recv.data, send.data, send.bytes);
-    }
-    return g;
-  }
-
-  const mpi::Comm* up = has_up ? c3.up[me] : nullptr;
-  const mpi::Comm* mid = c3.mid[me];
-  const int me_up = up != nullptr ? up->comm_rank_of_world(wr) : -1;
-  const int me_mid = mid != nullptr ? mid->comm_rank_of_world(wr) : -1;
-
-  auto leaf_part =
-      make_temp(g, w.data_mode() && numa_leader, send.bytes, dtype);
-  auto node_part =
-      make_temp(g, w.data_mode() && node_leader, send.bytes, dtype);
-
-  auto leaf_contrib = [&](int i) {
-    return has_leaf ? leaf_part->view(segs.offset(i), segs.length(i))
-                    : seg_of(send, segs, i);
-  };
-  auto node_contrib = [&](int i) {
-    return has_mid ? node_part->view(segs.offset(i), segs.length(i))
-                   : leaf_contrib(i);
-  };
-
-  std::vector<int> sr_node(u, -1), mr_node(u, -1), ir_node(u, -1),
-      ib_node(u, -1), mb_node(u, -1);
-  auto first_of = [](std::initializer_list<int> ids) {
-    std::vector<int> deps;
-    for (int id : ids) {
-      if (id >= 0) {
-        deps.push_back(id);
-        break;
-      }
-    }
-    return deps;
-  };
-
-  for_each_task(
-      allreduce3_shape(node_leader && has_up, numa_leader && has_mid,
-                       has_leaf),
-      u, [&](int t, const StageSpec& s, int i) {
-        const std::string_view role(s.role);
-        if (role == "sr") {  // leaf reduce to the NUMA leader
-          const BufView src = seg_of(send, segs, i);
-          const BufView dst =
-              numa_leader ? leaf_part->view(segs.offset(i), segs.length(i))
-                          : BufView::timing_only(segs.length(i), dtype);
-          sr_node[i] =
-              g.add({s.op, s.level, leaf, t, i, src.bytes, {},
-                     [smod, leaf, me_leaf, src, dst, dtype, op] {
-                       return smod->ireduce(*leaf, me_leaf, /*root=*/0, src,
-                                            dst, dtype, op, CollConfig{});
-                     }});
-        } else if (role == "mr") {  // mid reduce to the node leader
-          const BufView src = leaf_contrib(i);
-          const BufView dst =
-              node_leader ? node_part->view(segs.offset(i), segs.length(i))
-                          : BufView::timing_only(segs.length(i), dtype);
-          mr_node[i] =
-              g.add({s.op, s.level, mid, t, i, src.bytes,
-                     first_of({sr_node[i]}),
-                     [smod, mid, me_mid, src, dst, dtype, op] {
-                       return smod->ireduce(*mid, me_mid, /*root=*/0, src,
-                                            dst, dtype, op, CollConfig{});
-                     }});
-        } else if (role == "ir") {  // inter-node reduce among node leaders
-          const BufView src = node_contrib(i);
-          const BufView dst = seg_of(recv, segs, i);
-          ir_node[i] =
-              g.add({s.op, s.level, up, t, i, src.bytes,
-                     first_of({mr_node[i], sr_node[i]}),
-                     [imod, up, me_up, src, dst, dtype, op, ircfg] {
-                       return imod->ireduce(*up, me_up, /*root=*/0, src, dst,
-                                            dtype, op, ircfg);
-                     }});
-        } else if (role == "ib") {  // inter-node bcast of the total
-          const BufView seg = seg_of(recv, segs, i);
-          ib_node[i] = g.add({s.op, s.level, up, t, i, seg.bytes,
-                              first_of({ir_node[i]}),
-                              [imod, up, me_up, seg, dtype, ibcfg] {
-                                return imod->ibcast(*up, me_up, /*root=*/0,
-                                                    seg, dtype, ibcfg);
-                              }});
-        } else if (role == "mb") {  // mid bcast to the numa leaders
-          const BufView seg = seg_of(recv, segs, i);
-          mb_node[i] = g.add({s.op, s.level, mid, t, i, seg.bytes,
-                              first_of({ib_node[i]}),
-                              [smod, mid, me_mid, seg, dtype] {
-                                return smod->ibcast(*mid, me_mid, /*root=*/0,
-                                                    seg, dtype,
-                                                    CollConfig{});
-                              }});
-        } else {  // sb: leaf bcast
-          const BufView seg = seg_of(recv, segs, i);
-          g.add({s.op, s.level, leaf, t, i, seg.bytes,
-                 first_of({mb_node[i], ib_node[i]}),
-                 [smod, leaf, me_leaf, seg, dtype] {
-                   return smod->ibcast(*leaf, me_leaf, /*root=*/0, seg,
-                                       dtype, CollConfig{});
-                 }});
-        }
-      });
   return g;
 }
 

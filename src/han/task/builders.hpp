@@ -5,9 +5,15 @@
 // one the cost model walks. An empty graph means the operation is a local
 // no-op; any required send→recv copy has already been performed by the
 // builder (matching the seed programs' synchronous degenerate paths).
+//
+// Bcast, reduce and allreduce are level-recursive: they resolve the
+// communicator ladder derived from the machine's topology descriptor
+// (hierarchy.hpp) and emit one pipeline stage per live level, so a flat
+// machine gets the paper's 2-level shapes bit-identically and a NUMA
+// machine gets the 3-level ladder that used to live in han3.cpp.
 #pragma once
 
-#include "han/han3.hpp"
+#include "han/han.hpp"
 #include "han/task/graph.hpp"
 
 namespace han::task {
@@ -52,14 +58,5 @@ TaskGraph build_allgather(core::HanModule& m, const mpi::Comm& comm, int me,
                           const core::HanConfig& cfg);
 
 TaskGraph build_barrier(core::HanModule& m, const mpi::Comm& comm, int me);
-
-TaskGraph build_bcast3(core::HanModule& m, core::Han3::Comm3& c3, int me,
-                       mpi::BufView buf, mpi::Datatype dtype,
-                       const core::HanConfig& cfg);
-
-TaskGraph build_allreduce3(core::HanModule& m, core::Han3::Comm3& c3, int me,
-                           mpi::BufView send, mpi::BufView recv,
-                           mpi::Datatype dtype, mpi::ReduceOp op,
-                           const core::HanConfig& cfg);
 
 }  // namespace han::task

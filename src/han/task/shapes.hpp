@@ -24,6 +24,7 @@ struct StageSpec {
   Level level;
   int lag;            // segment index at step t is t - lag
   bool enabled = true;
+  int tier = 0;       // ladder level index (0 = innermost) for n-level shapes
 };
 
 inline int shape_steps(const std::vector<StageSpec>& stages, int u) {
@@ -93,24 +94,70 @@ inline std::vector<StageSpec> reduce_scatter_tree_shape(bool has_intra) {
   return reduce_shape(has_intra);
 }
 
-/// 3-level Bcast: ib(t) → mb(t-1) → sb(t-2).
-inline std::vector<StageSpec> bcast3_shape(bool has_up, bool has_mid,
-                                           bool has_leaf) {
-  return {{"ib", Op::Bcast, Level::Inter, 0, has_up},
-          {"mb", Op::Bcast, Level::Mid, 1, has_mid},
-          {"sb", Op::Bcast, Level::Intra, 2, has_leaf}};
+// --- n-level ladder shapes -------------------------------------------------
+// Generalizations of the canonical shapes to a communicator ladder of
+// depth d (hierarchy.hpp). Stage roles follow the seed's naming: level 0
+// is "s*" (shared/leaf), the top level is "i*" (inter), every level in
+// between is "m*" (mid). Depth 2 reproduces the canonical shapes above —
+// including their per-step emission order — exactly; depth 3 reproduces
+// the retired bcast3/allreduce3 shapes exactly.
+
+inline const char* ladder_role(int l, int top, bool bcast) {
+  if (l == 0) return bcast ? "sb" : "sr";
+  if (l == top) return bcast ? "ib" : "ir";
+  return bcast ? "mb" : "mr";
 }
 
-/// 3-level Allreduce: sr → mr → ir → ib → mb → sb, each one segment
-/// behind the previous.
-inline std::vector<StageSpec> allreduce3_shape(bool has_up, bool has_mid,
-                                               bool has_leaf) {
-  return {{"sr", Op::Reduce, Level::Intra, 0, has_leaf},
-          {"mr", Op::Reduce, Level::Mid, 1, has_mid},
-          {"ir", Op::Reduce, Level::Inter, 2, has_up},
-          {"ib", Op::Bcast, Level::Inter, 3, has_up},
-          {"mb", Op::Bcast, Level::Mid, 4, has_mid},
-          {"sb", Op::Bcast, Level::Intra, 5, has_leaf}};
+/// Rooted bcast over a depth-d ladder: ib(t) → mb(t-1) → … → sb(t-(d-1)).
+/// Depth 2 keeps the canonical {sb, ib} per-step emission order of
+/// bcast_shape (frozen by the seed goldens); deeper ladders emit top-down.
+inline std::vector<StageSpec> bcast_ladder_shape(
+    const std::vector<Level>& level, const std::vector<bool>& enabled) {
+  const int d = static_cast<int>(level.size());
+  if (d == 2) {
+    return {{"sb", Op::Bcast, level[0], 1, enabled[0], 0},
+            {"ib", Op::Bcast, level[1], 0, enabled[1], 1}};
+  }
+  std::vector<StageSpec> s;
+  for (int l = d - 1; l >= 0; --l) {
+    s.push_back({ladder_role(l, d - 1, /*bcast=*/true), Op::Bcast, level[l],
+                 d - 1 - l, enabled[l], l});
+  }
+  return s;
+}
+
+/// Rooted reduce over a depth-d ladder: the mirror pipeline, emitted
+/// top-down like reduce_shape: ir(t-(d-1)) … mr(t-1), sr(t) — stage at
+/// level l lags by l. Depth 2 is reduce_shape exactly.
+inline std::vector<StageSpec> reduce_ladder_shape(
+    const std::vector<Level>& level, const std::vector<bool>& enabled) {
+  const int d = static_cast<int>(level.size());
+  std::vector<StageSpec> s;
+  for (int l = d - 1; l >= 0; --l) {
+    s.push_back({ladder_role(l, d - 1, /*bcast=*/false), Op::Reduce, level[l],
+                 l, enabled[l], l});
+  }
+  return s;
+}
+
+/// Allreduce over a depth-d ladder: the reduce stages ascend the ladder
+/// (sr → mr → … → ir, level l lagging l), then the bcast stages descend
+/// (ib → mb → … → sb, level l lagging 2d-1-l). Depth 2 is the paper's
+/// 4-stage sr → ir → ib → sb (allreduce_shape) exactly; depth 3 is the
+/// retired allreduce3 6-stage pipeline exactly.
+inline std::vector<StageSpec> allreduce_ladder_shape(
+    const std::vector<Level>& level, const std::vector<bool>& enabled) {
+  const int d = static_cast<int>(level.size());
+  std::vector<StageSpec> s;
+  for (int l = 0; l < d; ++l) {
+    s.push_back({ladder_role(l, d - 1, /*bcast=*/false), Op::Reduce, level[l],
+                 l, enabled[l], l});
+  }
+  for (int l = d - 1; l >= 0; --l) {
+    s.push_back({ladder_role(l, d - 1, /*bcast=*/true), Op::Bcast, level[l],
+                 2 * d - 1 - l, enabled[l], l});
+  }
+  return s;
 }
 
 /// Reduce-scatter ring path: the node region is cut into slices of

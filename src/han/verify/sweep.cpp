@@ -12,7 +12,6 @@
 #include "coll/ring/ring_builders.hpp"
 #include "coll/validate.hpp"
 #include "han/han.hpp"
-#include "han/han3.hpp"
 #include "han/synth/schedule_builder.hpp"
 #include "han/task/builders.hpp"
 #include "machine/machine.hpp"
@@ -316,36 +315,46 @@ void graph_ml2_job(SweepResult& out, const char* topo_tag, int topo_nodes,
   }
 }
 
-/// 3-level builders on a NUMA topology (2 nodes x 2 domains x 4 ranks).
-/// One job per kind (bcast3, allreduce3).
-void graph_numa_job(SweepResult& out, CollKind kind, bool full_space,
-                    const std::vector<int>& windows) {
-  GraphWorld gw(machine::with_numa(machine::make_opath(2, 8), 2));
-  core::Han3 han3(gw.han);
-  if (!han3.applicable()) return;
+/// Derived n-level builders on NUMA topologies: the machine's topology
+/// descriptor (numa < node < cluster) makes the generic bcast / reduce /
+/// allreduce builders emit the 3-level ladder pipelines that used to live
+/// in the hand-written bcast3/allreduce3. One job per (machine, kind).
+void graph_numa_job(SweepResult& out, const char* topo_tag,
+                    machine::MachineProfile profile, CollKind kind,
+                    bool full_space, const std::vector<int>& windows) {
+  GraphWorld gw(std::move(profile));
   const mpi::Comm& wc = gw.world.world_comm();
   const int n = wc.size();
   const std::size_t kBytes = kGraphBytes;
-  core::Han3::Comm3& c3 = han3.comm3(wc);
   tune::SearchSpace space = sweep_space(full_space);
   for (const HanConfig& cfg : space.enumerate(kind)) {
-    const std::string name =
-        std::string("graph.numa2x2x4.") +
-        (kind == CollKind::Bcast ? "bcast3." : "allreduce3.") +
-        cfg.to_string();
+    const std::string name = std::string("graph.") + topo_tag + "." +
+                             coll::coll_kind_name(kind) + "_lvl3." +
+                             cfg.to_string();
     std::vector<GraphSummary> summaries;
     bool ok = true;
     for (int me = 0; me < n && ok; ++me) {
-      task::TaskGraph g =
-          kind == CollKind::Bcast
-              ? task::build_bcast3(gw.han, c3, me,
-                                   BufView::timing_only(kBytes),
-                                   Datatype::Byte, cfg)
-              : task::build_allreduce3(gw.han, c3, me,
-                                       BufView::timing_only(kBytes),
-                                       BufView::timing_only(kBytes),
-                                       Datatype::Int32, mpi::ReduceOp::Sum,
-                                       cfg);
+      task::TaskGraph g;
+      switch (kind) {
+        case CollKind::Bcast:
+          g = task::build_bcast(gw.han, wc, me, 0,
+                                BufView::timing_only(kBytes),
+                                Datatype::Byte, cfg);
+          break;
+        case CollKind::Reduce:
+          g = task::build_reduce(gw.han, wc, me, 0,
+                                 BufView::timing_only(kBytes),
+                                 BufView::timing_only(kBytes),
+                                 Datatype::Int32, mpi::ReduceOp::Sum, cfg);
+          break;
+        default:
+          g = task::build_allreduce(gw.han, wc, me,
+                                    BufView::timing_only(kBytes),
+                                    BufView::timing_only(kBytes),
+                                    Datatype::Int32, mpi::ReduceOp::Sum,
+                                    cfg);
+          break;
+      }
       ok = checked_summarize(out, name, me, std::move(g), summaries);
     }
     if (ok) graph_case(out, name, summaries, windows);
@@ -469,10 +478,17 @@ SweepResult run_sweep(const SweepOptions& opts) {
         });
       }
     }
-    for (CollKind kind : {CollKind::Bcast, CollKind::Allreduce}) {
-      jobs.push_back([kind, &opts](SweepResult& frag) {
-        graph_numa_job(frag, kind, opts.full_space, opts.windows);
-      });
+    // NUMA variants of the stock machines: every registered numa-split
+    // profile is swept with the derived (3-level) builders by default.
+    for (const machine::StockMachine& sm : machine::stock_machines()) {
+      if (sm.profile.numa_per_node <= 1) continue;
+      for (CollKind kind :
+           {CollKind::Bcast, CollKind::Reduce, CollKind::Allreduce}) {
+        jobs.push_back([&sm, kind, &opts](SweepResult& frag) {
+          graph_numa_job(frag, sm.name, sm.profile, kind, opts.full_space,
+                         opts.windows);
+        });
+      }
     }
   }
 

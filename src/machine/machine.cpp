@@ -104,6 +104,32 @@ MachineProfile make_opath(int nodes, int ppn) {
   return m;
 }
 
+const std::vector<StockMachine>& stock_machines() {
+  static const std::vector<StockMachine> kStock = [] {
+    std::vector<StockMachine> v;
+    v.push_back({"aries2x8", make_aries(2, 8)});
+    v.push_back({"opath2x8", make_opath(2, 8)});
+    v.push_back({"aries_numa2x2x4", with_numa(make_aries(2, 8), 2)});
+    v.push_back({"opath_numa2x2x4", with_numa(make_opath(2, 8), 2)});
+    return v;
+  }();
+  return kStock;
+}
+
+bool make_stock(const std::string& family, int nodes, int ppn, int numa,
+                MachineProfile* out) {
+  MachineProfile m;
+  if (family == "aries") {
+    m = make_aries(nodes, ppn);
+  } else if (family == "opath") {
+    m = make_opath(nodes, ppn);
+  } else {
+    return false;
+  }
+  *out = with_numa(std::move(m), numa);
+  return true;
+}
+
 void scale_net_efficiency(MachineProfile& profile, double factor,
                           std::uint64_t min_bytes) {
   std::vector<EffCurve::Knot> knots = profile.ompi_p2p.net_efficiency.knots();

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "machine/effcurve.hpp"
 #include "simbase/units.hpp"
@@ -80,6 +81,24 @@ MachineProfile make_opath(int nodes = 32, int ppn = 48);
 /// get an equal share of the node bus, joined by an inter-socket link.
 /// `ppn` must divide evenly by `domains`.
 MachineProfile with_numa(MachineProfile profile, int domains);
+
+/// A named stock machine shape. The registry is what han_verify sweeps
+/// and what tools pick machines from by name; each family appears both
+/// flat and NUMA-split so derived three-level hierarchies are exercised
+/// by default.
+struct StockMachine {
+  const char* name;
+  MachineProfile profile;
+};
+
+/// Registered stock machines, in deterministic registration order.
+const std::vector<StockMachine>& stock_machines();
+
+/// Resolve a stock family ("aries" | "opath") at an arbitrary shape,
+/// NUMA-split into `numa` domains (1 = flat). Returns false and leaves
+/// `out` untouched for unknown families.
+bool make_stock(const std::string& family, int nodes, int ppn, int numa,
+                MachineProfile* out);
 
 /// Open MPI efficiency curve used on both machines: dips between 16KB and
 /// 512KB where the rendezvous pipeline is not yet saturated (Fig. 11).

@@ -120,7 +120,8 @@ SmpVendorStack::SmpVendorStack(std::string name,
                                VendorParams params, bool data_mode)
     : MpiStack(std::move(name), std::move(profile), &p2p, data_mode),
       params_(params) {
-  hc_ = std::make_unique<core::HanComm>(world_, world_.world_comm());
+  hc_ = std::make_unique<core::Hierarchy>(world_, world_.world_comm(),
+                                         core::TopologyDescriptor::flat());
 }
 
 coll::CollModule& SmpVendorStack::intra_module(std::size_t bytes) {
@@ -135,7 +136,7 @@ namespace {
 /// Two-level blocking bcast: whole-message inter phase into node leaders,
 /// then the intra phase — sequential levels, no overlap (the structural
 /// reason HAN overtakes vendors on large messages, Fig. 10).
-sim::CoTask smp_bcast(SmpVendorStack& stack, core::HanComm& hc,
+sim::CoTask smp_bcast(SmpVendorStack& stack, core::Hierarchy& hc,
                       coll::CollModule& intra, coll::CollModule& inter,
                       const SmpVendorStack::VendorParams& params, int me,
                       int root, BufView buf, mpi::Datatype dtype,
@@ -165,7 +166,7 @@ sim::CoTask smp_bcast(SmpVendorStack& stack, core::HanComm& hc,
 /// leaders (recursive doubling, or SALaR-style ring for large messages) →
 /// intra bcast.
 sim::CoTask smp_allreduce(SmpVendorStack& stack, mpi::SimWorld& w,
-                          core::HanComm& hc, coll::CollModule& intra,
+                          core::Hierarchy& hc, coll::CollModule& intra,
                           coll::CollModule& inter,
                           const SmpVendorStack::VendorParams& params, int me,
                           BufView send, BufView recv, mpi::Datatype dtype,

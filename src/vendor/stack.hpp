@@ -137,7 +137,7 @@ class SmpVendorStack : public MpiStack {
   coll::CollModule& intra_module(std::size_t bytes);
 
   VendorParams params_;
-  std::unique_ptr<core::HanComm> hc_;  // reused two-level split
+  std::unique_ptr<core::Hierarchy> hc_;  // reused flat two-level ladder
 };
 
 /// Vendor P2P parameter sets.

@@ -216,10 +216,12 @@ TEST(LookupTableTest, FormatVersionHeader) {
       &back));
   EXPECT_EQ(back.size(), 1u);
 
-  // An explicit v1 or v2 header parses; newer or mangled headers do not.
+  // An explicit v1, v2, or v3 header parses; newer or mangled headers do
+  // not.
   EXPECT_TRUE(LookupTable::deserialize("version 1\n", &back));
   EXPECT_TRUE(LookupTable::deserialize("version 2\n", &back));
-  EXPECT_FALSE(LookupTable::deserialize("version 3\n", &back));
+  EXPECT_TRUE(LookupTable::deserialize("version 3\n", &back));
+  EXPECT_FALSE(LookupTable::deserialize("version 4\n", &back));
   EXPECT_FALSE(LookupTable::deserialize("version 0\n", &back));
   EXPECT_FALSE(LookupTable::deserialize("version two\n", &back));
   EXPECT_FALSE(LookupTable::deserialize("version 2 extra\n", &back));
@@ -275,6 +277,20 @@ TEST(LookupTableTest, RandomizedRoundTripEveryKind) {
                               "bc1:k1:ib0.sb2"};
       if (std::uniform_int_distribution<int>(0, 2)(rng) == 0) {
         cfg.sched = pick(scheds);
+      }
+      // Roughly a third carry per-level hierarchy tokens (the v3 format
+      // extension: lvl/malg/ms/zcs, docs/HIERARCHY.md).
+      if (std::uniform_int_distribution<int>(0, 2)(rng) == 0) {
+        cfg.lvl = std::uniform_int_distribution<int>(0, 1)(rng) == 0
+                      ? 2
+                      : std::uniform_int_distribution<int>(3, 8)(rng);
+        cfg.malg = pick(algs);
+        cfg.ms = std::size_t{1}
+                 << std::uniform_int_distribution<int>(12, 18)(rng);
+        cfg.zcs = std::uniform_int_distribution<int>(0, 1)(rng) == 0
+                      ? 0
+                      : std::size_t{1} <<
+                            std::uniform_int_distribution<int>(14, 22)(rng);
       }
       t.insert(pick(kinds),
                std::uniform_int_distribution<int>(1, 512)(rng),
@@ -463,6 +479,126 @@ TEST(TunerIntegration, DuplicateSizesAndKindsDeduped) {
   EXPECT_EQ(ra.table.serialize(), rb.table.serialize());
   // Dedup means the repeated entries never re-benchmark: same task count.
   EXPECT_EQ(ra.task_benchmarks, rb.task_benchmarks);
+}
+
+// --- mid-level ladder axes (derived hierarchies, docs/HIERARCHY.md) --------
+
+TEST(LadderModel, Depth2MatchesFlatModels) {
+  BcastTaskCosts b;
+  b.ib0 = PerLeader{{10.0, 12.0}};
+  b.sb0 = PerLeader{{3.0, 2.0}};
+  b.sbib_stable = PerLeader{{5.0, 4.0}};
+  AllreduceTaskCosts a;
+  a.sr0 = PerLeader{{1.0}};
+  a.irsr = PerLeader{{2.0}};
+  a.ibirsr = PerLeader{{3.0}};
+  a.sbibirsr_stable = PerLeader{{4.0}};
+  a.sbibir = PerLeader{{3.0}};
+  a.sbib = PerLeader{{2.0}};
+  a.sb = PerLeader{{1.0}};
+  MidTaskCosts mid;
+  mid.mb = PerLeader{{0.5, 0.25}};
+  mid.mr = PerLeader{{0.75, 0.5}};
+  MidTaskCosts mid1;
+  mid1.mb = PerLeader{{0.5}};
+  mid1.mr = PerLeader{{0.75}};
+  for (int u : {1, 3, 8}) {
+    EXPECT_DOUBLE_EQ(bcast_ladder_model_cost(b, mid, 2, u),
+                     bcast_model_cost(b, u));
+    EXPECT_DOUBLE_EQ(allreduce_ladder_model_cost(a, mid1, 2, u),
+                     allreduce_model_cost(a, u));
+  }
+}
+
+TEST(LadderModel, Depth3AddsSoloMidCosts) {
+  BcastTaskCosts b;
+  b.ib0 = PerLeader{{2.0}};
+  b.sb0 = PerLeader{{1.0}};
+  b.sbib_stable = PerLeader{{2.5}};
+  MidTaskCosts mid;
+  mid.mb = PerLeader{{0.5}};
+  mid.mr = PerLeader{{0.5}};
+  // u=3, depth 3: ib(0)=2; ib+mb=2.5; ib+mb+sb=3.0; mb+sb=1.5; sb=1.0.
+  EXPECT_DOUBLE_EQ(bcast_ladder_model_cost(b, mid, 3, 3), 10.0);
+  for (int u : {1, 4, 16}) {
+    EXPECT_GT(bcast_ladder_model_cost(b, mid, 3, u),
+              bcast_model_cost(b, u));
+  }
+}
+
+TEST(MidLevelSearch, AxesCrossOnlyWhenPopulated) {
+  SearchSpace flat = small_space();
+  const std::vector<HanConfig> base = flat.enumerate(CollKind::Bcast);
+  for (const HanConfig& c : base) {
+    EXPECT_EQ(c.malg, Algorithm::Default);
+    EXPECT_EQ(c.zcs, 0u);
+  }
+  SearchSpace numa = small_space();
+  numa.mid_algs = {Algorithm::Default, Algorithm::Binary};
+  numa.zc_switchovers = {0, 256 << 10};
+  EXPECT_EQ(numa.enumerate(CollKind::Bcast).size(), base.size() * 4);
+}
+
+TEST(MidLevelSearch, ForProfileGrowsAxesOnNumaOnly) {
+  const SearchSpace flat =
+      SearchSpace::for_profile(machine::make_aries(2, 8));
+  EXPECT_TRUE(flat.mid_algs.empty());
+  EXPECT_TRUE(flat.zc_switchovers.empty());
+  const SearchSpace numa = SearchSpace::for_profile(
+      machine::with_numa(machine::make_aries(2, 8), 2));
+  EXPECT_FALSE(numa.mid_algs.empty());
+  EXPECT_FALSE(numa.zc_switchovers.empty());
+}
+
+TEST(MidLevelSearch, HeuristicsPruneMidKnobs) {
+  HanConfig c = cfg_of(64 << 10, "adapt", "sm", Algorithm::Binary, 64 << 10);
+  c.zcs = 1 << 20;  // far above 2*fs: the copy-in path can never pay off
+  EXPECT_FALSE(heuristic_allows(c, CollKind::Bcast, 4 << 20, 64));
+  c.zcs = 64 << 10;
+  EXPECT_TRUE(heuristic_allows(c, CollKind::Bcast, 4 << 20, 64));
+  c.malg = Algorithm::Chain;  // mid chain needs segments to pipeline
+  EXPECT_FALSE(heuristic_allows(c, CollKind::Bcast, 128 << 10, 2));
+  EXPECT_TRUE(heuristic_allows(c, CollKind::Bcast, 4 << 20, 64));
+}
+
+TEST(MidLevelSearch, LadderEstimateTracksMeasurementOnNuma) {
+  TuneHarness h(machine::with_numa(machine::make_aries(4, 8), 2));
+  ASSERT_EQ(h.han.hierarchy(h.world.world_comm()).depth(), 3);
+  Searcher s(h.world, h.han, h.world.world_comm(), small_space());
+  const std::size_t m = 4 << 20;
+  const HanConfig cfg =
+      cfg_of(256 << 10, "adapt", "sm", Algorithm::Binary, 64 << 10);
+  const double est = s.estimate_config(CollKind::Bcast, m, cfg);
+  const double meas = s.measure_collective(CollKind::Bcast, m, cfg);
+  EXPECT_GT(est, 0.0);
+  // The additive mid composition keeps Fig. 4's accuracy envelope.
+  EXPECT_LT(std::abs(est - meas) / meas, 1.0)
+      << "est " << est << " meas " << meas;
+}
+
+TEST(MidLevelSearch, TunerGrowsAxesAndTunesOnNuma) {
+  TuneHarness h(machine::with_numa(machine::make_aries(2, 8), 2));
+  Tuner tuner(h.world, h.han, h.world.world_comm(), small_space());
+  EXPECT_FALSE(tuner.searcher().space().mid_algs.empty());
+  EXPECT_FALSE(tuner.searcher().space().zc_switchovers.empty());
+  TunerOptions opt;
+  opt.message_sizes = {256 << 10, 4 << 20};
+  opt.kinds = {CollKind::Bcast};
+  const TuneReport report = tuner.tune(opt);
+  EXPECT_EQ(report.table.size(), 2u);
+  EXPECT_GT(report.tuning_cost, 0.0);
+  // Tables carrying the per-level knobs still round-trip (format v3).
+  const std::string text = report.table.serialize();
+  LookupTable back;
+  ASSERT_TRUE(LookupTable::deserialize(text, &back));
+  EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(MidLevelSearch, FlatProfileTunerSpaceUntouched) {
+  TuneHarness h(machine::make_aries(2, 8));
+  Tuner tuner(h.world, h.han, h.world.world_comm(), small_space());
+  EXPECT_TRUE(tuner.searcher().space().mid_algs.empty());
+  EXPECT_TRUE(tuner.searcher().space().zc_switchovers.empty());
 }
 
 }  // namespace

@@ -5,7 +5,7 @@
 
 #include "coll_test_util.hpp"
 #include "autotune/lookup.hpp"
-#include "han/han3.hpp"
+#include "han/han.hpp"
 
 namespace han {
 namespace {

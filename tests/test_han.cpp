@@ -28,11 +28,11 @@ struct HanHarness : test::CollHarness {
   HanModule han;
 };
 
-// --- HanComm ------------------------------------------------------------
+// --- flat Hierarchy (2-level compatibility view) -------------------------
 
 TEST(HanCommTest, TwoLevelStructure) {
   HanHarness h(machine::make_aries(3, 4));
-  HanComm& hc = h.han.han_comm(h.world.world_comm());
+  Hierarchy& hc = h.han.flat_hierarchy(h.world.world_comm());
   EXPECT_EQ(hc.node_count(), 3);
   EXPECT_EQ(hc.max_ppn(), 4);
   for (int pr = 0; pr < 12; ++pr) {
@@ -51,16 +51,29 @@ TEST(HanCommTest, TwoLevelStructure) {
 
 TEST(HanCommTest, SingleNodeHasNoUpComm) {
   HanHarness h(machine::make_aries(1, 4));
-  HanComm& hc = h.han.han_comm(h.world.world_comm());
+  Hierarchy& hc = h.han.flat_hierarchy(h.world.world_comm());
   EXPECT_EQ(hc.node_count(), 1);
   for (int pr = 0; pr < 4; ++pr) EXPECT_EQ(hc.up(pr), nullptr);
 }
 
 TEST(HanCommTest, CachedPerCommunicator) {
   HanHarness h(machine::make_aries(2, 2));
-  HanComm& a = h.han.han_comm(h.world.world_comm());
-  HanComm& b = h.han.han_comm(h.world.world_comm());
+  Hierarchy& a = h.han.flat_hierarchy(h.world.world_comm());
+  Hierarchy& b = h.han.flat_hierarchy(h.world.world_comm());
   EXPECT_EQ(&a, &b);
+}
+
+TEST(HanCommTest, DistinctDescriptorsDistinctLadders) {
+  // One comm can hold several ladders at once — the derived 3-level one
+  // and the flat 2-level one — each cached independently.
+  HanHarness h(machine::with_numa(machine::make_aries(2, 4), 2));
+  Hierarchy& derived = h.han.hierarchy(h.world.world_comm());
+  Hierarchy& flat = h.han.flat_hierarchy(h.world.world_comm());
+  EXPECT_NE(&derived, &flat);
+  EXPECT_EQ(derived.depth(), 3);
+  EXPECT_EQ(flat.depth(), 2);
+  EXPECT_EQ(&derived, &h.han.hierarchy(h.world.world_comm()));
+  EXPECT_EQ(&flat, &h.han.flat_hierarchy(h.world.world_comm()));
 }
 
 // --- HanConfig ----------------------------------------------------------
@@ -470,9 +483,10 @@ TEST(SchedulerWindow, DeepWindowCorrectAndNoSlower) {
 
 // --- communicator destruction / context-id reuse ------------------------
 
-// Freeing a comm must evict the cached HanComm and the runtime's
-// per-context call sequence before the context id is recycled; a fresh
-// comm reusing the id would otherwise bind to the stale hierarchy.
+// Freeing a comm must evict the cached Hierarchy ladders and the
+// runtime's per-context call sequence before the context id is recycled;
+// a fresh comm reusing the id would otherwise bind to the stale
+// hierarchy.
 TEST(Eviction, ContextReuseGetsFreshHanComm) {
   HanHarness h(machine::make_aries(2, 2));
   mpi::SimWorld& w = h.world;
@@ -500,7 +514,7 @@ TEST(Eviction, ContextReuseGetsFreshHanComm) {
     for (int r = 0; r < 4; ++r) EXPECT_EQ(bufs[r], expect) << "rank " << r;
   };
 
-  bcast_on(c1);  // caches the HanComm and advances call_seq on ctx
+  bcast_on(c1);  // caches the ladder and advances call_seq on ctx
   w.free_comm(c1);
 
   // The recycled id must name a *fresh* hierarchy, not c1's.

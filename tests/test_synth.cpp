@@ -263,6 +263,139 @@ TEST(SynthEngineTest, WinnerSurvivesSerializeLoadDispatchRoundTrip) {
   }
 }
 
+// --- three-level grammar (derived NUMA ladders, docs/HIERARCHY.md) ----------
+
+TEST(SynthSpec3Test, ThreeLevelGrammarRoundTripsAndDetectsMidRoles) {
+  for (CollKind kind : {CollKind::Allreduce, CollKind::Bcast}) {
+    synth::GeneratorOptions g3;
+    g3.three_level = true;
+    const std::vector<SynthSpec> specs = synth::enumerate_specs(kind, 4, g3);
+    ASSERT_FALSE(specs.empty());
+    for (const SynthSpec& spec : specs) {
+      EXPECT_TRUE(spec.three_level()) << spec.id();
+      EXPECT_TRUE(spec.validate().empty()) << spec.id();
+      SynthSpec back;
+      ASSERT_TRUE(SynthSpec::parse(spec.id(), &back)) << spec.id();
+      EXPECT_EQ(back, spec) << spec.id();
+    }
+    const SynthSpec canon3 = SynthSpec::canonical3(kind);
+    EXPECT_TRUE(canon3.validate().empty()) << canon3.id();
+    EXPECT_TRUE(canon3.three_level());
+    SynthSpec back;
+    ASSERT_TRUE(SynthSpec::parse(canon3.id(), &back));
+    EXPECT_EQ(back, canon3);
+  }
+  EXPECT_EQ(SynthSpec::canonical3(CollKind::Allreduce).id(),
+            "ar1:k1:sr0.mr1.ir2.ib3.mb4.sb5");
+  EXPECT_EQ(SynthSpec::canonical3(CollKind::Bcast).id(), "bc1:k1:ib0.mb1.sb2");
+  // Flat specs never report a mid chain.
+  EXPECT_FALSE(SynthSpec::canonical(CollKind::Allreduce).three_level());
+}
+
+TEST(SynthSpec3Test, LoneOrPartialMidRolesAreRejectedLoudly) {
+  const char* bad[] = {
+      "ar1:k1:sr0.mr1.ir2.ib3.sb4",     // mr without mb: wrong multiset
+      "ar1:k1:sr0.ir1.ib2.mb3.sb4",     // mb without mr
+      "bc1:k1:mb0.sb1",                 // mid chain head must be ib
+      "bc1:k1:ib0.mb1.mb2.sb3",         // duplicate mid stage
+      "ar1:k1:sr0.ir1.mr2.ib3.mb4.sb5", // lag order breaks the mid chain
+  };
+  for (const char* id : bad) {
+    SynthSpec spec;
+    EXPECT_FALSE(SynthSpec::parse(id, &spec)) << "'" << id << "'";
+  }
+}
+
+TEST(SynthBuilder3Test, Canonical3MatchesHandWrittenLadderOnNuma) {
+  SynthWorld sw(machine::with_numa(machine::make_aries(2, 4), 2));
+  const mpi::Comm& wc = sw.world.world_comm();
+  ASSERT_EQ(sw.han.hierarchy(wc).depth(), 3);
+  for (std::size_t bytes : {std::size_t{64} << 10, std::size_t{1} << 20}) {
+    for (int window : {1, 2}) {
+      const HanConfig cfg = base_cfg(64 << 10, window);
+      const SynthSpec ar3 = SynthSpec::canonical3(CollKind::Allreduce);
+      const SynthSpec bc3 = SynthSpec::canonical3(CollKind::Bcast);
+      for (int me = 0; me < wc.size(); ++me) {
+        task::TaskGraph hand = task::build_allreduce(
+            sw.han, wc, me, BufView::timing_only(bytes),
+            BufView::timing_only(bytes), Datatype::Byte, mpi::ReduceOp::Sum,
+            cfg);
+        task::TaskGraph synthd = synth::build_schedule_allreduce(
+            sw.han, wc, me, BufView::timing_only(bytes),
+            BufView::timing_only(bytes), Datatype::Byte, mpi::ReduceOp::Sum,
+            cfg, ar3);
+        expect_same_graph(hand, synthd,
+                          "allreduce3 rank " + std::to_string(me));
+
+        task::TaskGraph handb =
+            task::build_bcast(sw.han, wc, me, 0, BufView::timing_only(bytes),
+                              Datatype::Byte, cfg);
+        task::TaskGraph synthb = synth::build_schedule_bcast(
+            sw.han, wc, me, 0, BufView::timing_only(bytes), Datatype::Byte,
+            cfg, bc3);
+        expect_same_graph(handb, synthb,
+                          "bcast3 rank " + std::to_string(me));
+      }
+    }
+  }
+}
+
+TEST(SynthBuilder3Test, ThreeLevelSpecDegeneratesToFlatGraphOnFlatMachine) {
+  // A mid-carrying spec on a flat machine must drop its mid stages and
+  // reproduce the flat spec's graph (modulo the lag renumbering).
+  SynthWorld sw(machine::make_aries(2, 4));
+  const mpi::Comm& wc = sw.world.world_comm();
+  ASSERT_EQ(sw.han.hierarchy(wc).depth(), 2);
+  SynthSpec flat, three;
+  ASSERT_TRUE(SynthSpec::parse("bc1:k1:ib0.sb1", &flat));
+  ASSERT_TRUE(SynthSpec::parse("bc1:k1:ib0.mb1.sb2", &three));
+  const HanConfig cfg = base_cfg(64 << 10, 2);
+  const std::size_t bytes = 256 << 10;
+  for (int me = 0; me < wc.size(); ++me) {
+    task::TaskGraph g3 = synth::build_schedule_bcast(
+        sw.han, wc, me, 0, BufView::timing_only(bytes), Datatype::Byte, cfg,
+        three);
+    for (const task::TaskNode& n : g3.nodes) {
+      EXPECT_NE(n.level, task::Level::Mid) << "rank " << me;
+    }
+    EXPECT_TRUE(task::validate_graph(g3).empty()) << "rank " << me;
+    // Same stage multiset as the flat spec's graph.
+    task::TaskGraph g2 = synth::build_schedule_bcast(
+        sw.han, wc, me, 0, BufView::timing_only(bytes), Datatype::Byte, cfg,
+        flat);
+    EXPECT_EQ(g3.nodes.size(), g2.nodes.size()) << "rank " << me;
+  }
+}
+
+TEST(SynthEngine3Test, NumaSynthesisVerifiesCleanAndBeatsLadderBaseline) {
+  synth::SynthOptions opts = tiny_options();
+  opts.nodes = 2;
+  opts.ppn = 4;
+  opts.numa = 2;
+  const synth::SynthResult r = synth::run_synthesis(opts);
+  EXPECT_EQ(r.finalist_findings(), 0);
+  ASSERT_EQ(r.cases.size(), 2u);
+  EXPECT_EQ(r.wins(), 2);
+  for (const synth::SynthCase& c : r.cases) {
+    EXPECT_NE(c.name.find("2x2x4"), std::string::npos) << c.name;
+    ASSERT_GE(c.winner, 0) << c.name;
+    ASSERT_GT(c.baseline, 0.0) << c.name;
+    const synth::Candidate& w = c.finalists[c.winner];
+    EXPECT_TRUE(w.verified) << c.name;
+    EXPECT_LE(w.time, c.baseline * (1.0 + 1e-9)) << c.name;
+    // The canonical three-level ladder shape is always a finalist, so a
+    // clean run means the winner matched or beat the retired han3 shape.
+    bool has_canon3 = false;
+    for (const synth::Candidate& f : c.finalists) {
+      has_canon3 |= f.cfg.sched == SynthSpec::canonical3(c.kind).id();
+    }
+    EXPECT_TRUE(has_canon3) << c.name;
+  }
+  // The report is deterministic and carries the numa machine tag.
+  EXPECT_NE(r.to_json().find("\"machine\": \"2x2x4\""), std::string::npos);
+  EXPECT_EQ(r.to_json(), synth::run_synthesis(opts).to_json());
+}
+
 // --- search-space axis ------------------------------------------------------
 
 TEST(SynthSearchSpaceTest, SchedAxisCrossesMatchingKindsOnly) {

@@ -1,8 +1,12 @@
 // han_synth — bounded, verified schedule synthesis (docs/SYNTHESIS.md).
 //
-//   han_synth [--smoke] [--nodes N] [--ppn P] [--sizes 64K,1M]
+//   han_synth [--smoke] [--nodes N] [--ppn P] [--numa D] [--sizes 64K,1M]
 //             [--seed S] [--rounds R] [--mutants M] [--finalists K]
 //             [--jobs N] [--json <path>] [--save-lookup <path>] [--quiet]
+//
+// --numa D (D > 1) synthesizes on a NUMA machine: the three-level chain
+// (mr/mb stages, docs/HIERARCHY.md) joins the enumeration and the
+// baseline is the hand-written derived three-level ladder.
 //
 // --jobs N runs the independent (collective, size) cases on N threads
 // (0 = one per hardware thread); results are byte-identical for every N.
@@ -72,6 +76,8 @@ int main(int argc, char** argv) {
       opts.nodes = std::atoi(argv[++i]);
     } else if (std::strcmp(a, "--ppn") == 0 && has_val) {
       opts.ppn = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--numa") == 0 && has_val) {
+      opts.numa = std::atoi(argv[++i]);
     } else if (std::strcmp(a, "--sizes") == 0 && has_val) {
       if (!parse_sizes(argv[++i], &opts.sizes)) {
         std::fprintf(stderr, "han_synth: bad --sizes list '%s'\n", argv[i]);
@@ -100,14 +106,19 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: han_synth [--smoke] [--nodes N] [--ppn P] "
-                   "[--sizes 64K,1M] [--seed S] [--rounds R] [--mutants M] "
-                   "[--finalists K] [--jobs N] [--json <path>] "
-                   "[--save-lookup <path>] [--quiet]\n");
+                   "[--numa D] [--sizes 64K,1M] [--seed S] [--rounds R] "
+                   "[--mutants M] [--finalists K] [--jobs N] "
+                   "[--json <path>] [--save-lookup <path>] [--quiet]\n");
       return std::strcmp(a, "--help") == 0 ? 0 : 1;
     }
   }
   if (opts.nodes < 2 || opts.ppn < 1) {
     std::fprintf(stderr, "han_synth: need --nodes >= 2 and --ppn >= 1\n");
+    return 1;
+  }
+  if (opts.numa < 1 || opts.ppn % opts.numa != 0) {
+    std::fprintf(stderr,
+                 "han_synth: --numa must be >= 1 and divide --ppn\n");
     return 1;
   }
 
