@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   opt.kind = coll::CollKind::Bcast;
   opt.stacks = {"ompi", "intel", "mvapich", "han"};
   opt.sizes = bench::ladder4(4, max_bytes);
+  opt.jobs = static_cast<int>(args.get_long("--jobs", 1));
   bench::Obs obs(args, "fig12_bcast_stampede");
   opt.obs = &obs;
   bench::run_imb_figure(opt);

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   opt.kind = coll::CollKind::Allreduce;
   opt.stacks = {"ompi", "cray", "han"};
   opt.sizes = bench::ladder4(4, max_bytes);
+  opt.jobs = static_cast<int>(args.get_long("--jobs", 1));
   bench::Obs obs(args, "fig13_allreduce_shaheen");
   opt.obs = &obs;
   bench::run_imb_figure(opt);

@@ -2,14 +2,23 @@
 // Stampede2-like machine, scaling the worker count. Paper shape: HAN's
 // gain over default Open MPI and Intel MPI grows with scale, reaching
 // ~24.3% and ~9.1% at 1536 processes.
+//
+// Every (worker count, stack) cell owns its world, so --jobs N runs the
+// cells concurrently; prints, reports, and table rows are emitted after
+// the join in input order, so output is byte-identical for every N.
+// Tracing shares one buffer across cells and stays serial.
+#include <memory>
+
 #include "apps/horovod.hpp"
 #include "bench_util.hpp"
+#include "parallel/pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace han;
   bench::Args args(argc, argv);
   const int ppn =
       static_cast<int>(args.get_long("--ppn", args.has("--full") ? 48 : 24));
+  const int jobs = static_cast<int>(args.get_long("--jobs", 1));
   std::vector<int> node_counts{4, 8, 16};
   if (args.has("--full")) node_counts = {8, 16, 32};
 
@@ -24,34 +33,69 @@ int main(int argc, char** argv) {
           std::to_string(ppn));
 
   bench::Obs obs(args, "fig15_horovod");
+  static const char* kNames[3] = {"ompi", "intel", "han"};
+  struct Cell {
+    int nodes = 0;
+    int stack_idx = 0;
+    std::unique_ptr<vendor::MpiStack> stack;
+    double imgs = 0.0;
+  };
+  auto run_cell = [&](Cell c) {
+    const machine::MachineProfile profile = machine::make_opath(c.nodes, ppn);
+    c.stack = vendor::make_stack(kNames[c.stack_idx], profile);
+    obs.attach(c.stack->world(), &c.stack->runtime());
+    if (c.stack_idx == 2) {
+      auto* hs = static_cast<vendor::HanStack*>(c.stack.get());
+      tune::TunerOptions topt;
+      topt.heuristics = true;
+      topt.kinds = {coll::CollKind::Allreduce};
+      topt.message_sizes = {opt.fusion_bytes};
+      hs->autotune(topt);
+    }
+    c.imgs = apps::run_horovod(*c.stack, opt).images_per_sec;
+    return c;
+  };
+  std::vector<Cell> cells;
+  for (int nodes : node_counts) {
+    for (int i = 0; i < 3; ++i) {
+      Cell c;
+      c.nodes = nodes;
+      c.stack_idx = i;
+      cells.push_back(std::move(c));
+    }
+  }
+  std::vector<Cell> done;
+  if (obs.trace_enabled()) {
+    // The shared trace buffer needs each cell's emit right after its run.
+    for (Cell& c : cells) {
+      done.push_back(run_cell(std::move(c)));
+      const Cell& d = done.back();
+      std::printf("  %d workers / %s done\n", d.nodes * ppn,
+                  kNames[d.stack_idx]);
+      std::fflush(stdout);
+      obs.emit(d.stack->world(), "." + std::to_string(d.nodes * ppn) + "." +
+                                     kNames[d.stack_idx]);
+    }
+  } else {
+    done = par::parallel_map(jobs, static_cast<int>(cells.size()), [&](int i) {
+      return run_cell(std::move(cells[static_cast<std::size_t>(i)]));
+    });
+    for (const Cell& d : done) {
+      std::printf("  %d workers / %s done\n", d.nodes * ppn,
+                  kNames[d.stack_idx]);
+      std::fflush(stdout);
+      obs.emit(d.stack->world(), "." + std::to_string(d.nodes * ppn) + "." +
+                                     kNames[d.stack_idx]);
+    }
+  }
+
   sim::Table t({"workers", "ompi img/s", "intel img/s", "han img/s",
                 "han vs ompi %", "han vs intel %"});
-  for (int nodes : node_counts) {
-    const machine::MachineProfile profile = machine::make_opath(nodes, ppn);
+  for (std::size_t n = 0; n < node_counts.size(); ++n) {
     double imgs[3] = {0, 0, 0};
-    const char* names[3] = {"ompi", "intel", "han"};
-    for (int i = 0; i < 3; ++i) {
-      auto stack = vendor::make_stack(names[i], profile);
-      obs.attach(stack->world(), &stack->runtime());
-      if (i == 2) {
-        auto* hs = static_cast<vendor::HanStack*>(stack.get());
-        tune::TunerOptions topt;
-        topt.heuristics = true;
-        topt.kinds = {coll::CollKind::Allreduce};
-        topt.message_sizes = {opt.fusion_bytes};
-        hs->autotune(topt);
-      }
-      imgs[i] = apps::run_horovod(*stack, opt).images_per_sec;
-      std::printf("  %d workers / %s done\n", nodes * ppn, names[i]);
-      std::fflush(stdout);
-      std::string suffix = ".";
-      suffix += std::to_string(nodes * ppn);
-      suffix += ".";
-      suffix += names[i];
-      obs.emit(stack->world(), suffix);
-    }
+    for (int i = 0; i < 3; ++i) imgs[i] = done[n * 3 + i].imgs;
     t.begin_row()
-        .cell(std::to_string(nodes * ppn))
+        .cell(std::to_string(node_counts[n] * ppn))
         .cell(imgs[0], 1)
         .cell(imgs[1], 1)
         .cell(imgs[2], 1)

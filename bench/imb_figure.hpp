@@ -2,10 +2,17 @@
 // sweep a message ladder over several MPI stacks on one machine profile,
 // print the per-size table plus HAN's speedup against every competitor,
 // with the small/large split the paper uses (boundary 128KB).
+//
+// Every stack owns its own simulated world, so the series cells run
+// concurrently under --jobs N; results merge in input order and all
+// printing happens after the join, so output is byte-identical for every
+// N. Trace capture shares one buffer across stacks and keeps the serial
+// measure/emit interleave.
 #pragma once
 
 #include "bench_util.hpp"
 #include "benchkit/imb.hpp"
+#include "parallel/pool.hpp"
 
 namespace han::bench {
 
@@ -15,6 +22,7 @@ struct ImbFigureOptions {
   std::vector<std::string> stacks;  // "han" must be included
   std::vector<std::size_t> sizes;
   bool autotune_han = true;
+  int jobs = 1;        // concurrent series cells (one per stack)
   Obs* obs = nullptr;  // per-stack reports suffixed ".<stack>"
 };
 
@@ -40,16 +48,32 @@ inline void run_imb_figure(const ImbFigureOptions& opt) {
 
   benchkit::ImbOptions iopt;
   iopt.sizes = opt.sizes;
+  auto measure = [&](std::size_t i) {
+    return opt.kind == coll::CollKind::Bcast
+               ? benchkit::imb_bcast(*stacks[i], iopt)
+               : benchkit::imb_allreduce(*stacks[i], iopt);
+  };
 
   std::vector<std::vector<benchkit::ImbPoint>> results;
-  for (auto& stack : stacks) {
-    results.push_back(opt.kind == coll::CollKind::Bcast
-                          ? benchkit::imb_bcast(*stack, iopt)
-                          : benchkit::imb_allreduce(*stack, iopt));
-    std::printf("  measured stack: %s\n", stack->name().c_str());
-    std::fflush(stdout);
-    if (opt.obs != nullptr) {
-      opt.obs->emit(stack->world(), "." + stack->name());
+  if (opt.obs != nullptr && opt.obs->trace_enabled()) {
+    // The Obs tracer is one buffer shared by every attached world: each
+    // emit saves and clears it, so tracing requires measuring serially.
+    for (std::size_t i = 0; i < stacks.size(); ++i) {
+      results.push_back(measure(i));
+      std::printf("  measured stack: %s\n", stacks[i]->name().c_str());
+      std::fflush(stdout);
+      opt.obs->emit(stacks[i]->world(), "." + stacks[i]->name());
+    }
+  } else {
+    results = par::parallel_map(
+        opt.jobs, static_cast<int>(stacks.size()),
+        [&](int i) { return measure(static_cast<std::size_t>(i)); });
+    for (std::size_t i = 0; i < stacks.size(); ++i) {
+      std::printf("  measured stack: %s\n", stacks[i]->name().c_str());
+      std::fflush(stdout);
+      if (opt.obs != nullptr) {
+        opt.obs->emit(stacks[i]->world(), "." + stacks[i]->name());
+      }
     }
   }
 

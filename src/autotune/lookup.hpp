@@ -25,9 +25,10 @@ class LookupTable {
   /// seed format (plain Table II configs); v2 adds the header line and
   /// may carry synthesized-schedule ids (`sched=`) in config values; v3
   /// may carry per-level hierarchy tokens (`lvl=`/`malg=`/`ms=`/`zcs=`,
-  /// docs/HIERARCHY.md) in config values. deserialize() accepts v1-v3
-  /// and rejects anything newer.
-  static constexpr int kFormatVersion = 3;
+  /// docs/HIERARCHY.md); v4 may carry the multi-rail stripe factor
+  /// (`sf=`, docs/FABRIC.md) in config values. deserialize() accepts
+  /// v1-v4 and rejects anything newer.
+  static constexpr int kFormatVersion = 4;
 
   struct Key {
     coll::CollKind kind;

@@ -94,6 +94,28 @@ std::vector<HanConfig> SearchSpace::enumerate(CollKind kind) const {
     }
     expanded = std::move(crossed);
   }
+  // The rail-stripe axis (docs/FABRIC.md): crossed only when populated, so
+  // single-rail spaces enumerate byte-identically. sf > 1 never pairs with
+  // the ring inter module or reduce-scatter — the ring already saturates
+  // its rail per step and the reduce-scatter builders do not stripe
+  // (heuristic_allows prunes those pairs; skipping them here keeps the
+  // enumeration free of configs every strategy would discard).
+  if (!stripe_factors.empty()) {
+    std::vector<HanConfig> crossed;
+    crossed.reserve(expanded.size() * stripe_factors.size());
+    for (const HanConfig& base : expanded) {
+      for (int sf : stripe_factors) {
+        if (sf != 1 &&
+            (kind == CollKind::ReduceScatter || base.imod == "ring")) {
+          continue;
+        }
+        HanConfig c = base;
+        c.sf = std::max(1, sf);
+        crossed.push_back(std::move(c));
+      }
+    }
+    expanded = std::move(crossed);
+  }
   // Synthesized-schedule ids join as an extra axis: the hand-written
   // builders (sched="") stay first, then each matching id crossed over
   // the whole space. Ids for other kinds are skipped, not errors — one
@@ -151,7 +173,19 @@ bool heuristic_allows(const HanConfig& cfg, CollKind kind,
   // The chain mid algorithm pipelines like the inter chain: it needs
   // enough segments to fill.
   if (cfg.malg == Algorithm::Chain && u > 0 && u < 4) return false;
-  (void)kind;
+  // Rail striping (docs/FABRIC.md): the reduce-scatter builders do not
+  // stripe, and the ring inter module already drives its rail flat out per
+  // step — sf > 1 there only duplicates sf = 1.
+  if (cfg.sf > 1 &&
+      (kind == CollKind::ReduceScatter || cfg.imod == "ring")) {
+    return false;
+  }
+  // Striping wins bandwidth; slices under ~32KB pay sf plans' worth of
+  // per-message latency for no transfer-time gain.
+  if (cfg.sf > 1 &&
+      cfg.fs / static_cast<std::size_t>(cfg.sf) < (32u << 10)) {
+    return false;
+  }
   return true;
 }
 
@@ -160,6 +194,13 @@ SearchSpace SearchSpace::for_profile(const machine::MachineProfile& profile) {
   if (profile.numa_per_node > 1) {
     s.mid_algs = {Algorithm::Default, Algorithm::Binary};
     s.zc_switchovers = {0, 256 << 10};
+  }
+  if (profile.nics_per_node > 1) {
+    // Divisors of the NIC count: non-divisor stripes leave rails idle in
+    // the tail wrap-around for no bandwidth gain.
+    for (int d = 1; d <= profile.nics_per_node; ++d) {
+      if (profile.nics_per_node % d == 0) s.stripe_factors.push_back(d);
+    }
   }
   return s;
 }

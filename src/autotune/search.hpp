@@ -47,6 +47,11 @@ struct SearchSpace {
   /// populates them automatically on NUMA machine profiles.
   std::vector<coll::Algorithm> mid_algs;
   std::vector<std::size_t> zc_switchovers;
+  /// Inter-node stripe factors (HanConfig::sf, docs/FABRIC.md). Empty —
+  /// the default — leaves the space byte-identical to the single-rail
+  /// one; the Tuner populates it with the divisors of the machine's NIC
+  /// count on multi-rail profiles.
+  std::vector<int> stripe_factors;
 
   /// Every configuration of the space (paper: S x A combinations).
   std::vector<core::HanConfig> enumerate(coll::CollKind kind) const;
@@ -54,7 +59,8 @@ struct SearchSpace {
   /// The default space a machine profile calls for: flat machines get the
   /// seed's space unchanged; NUMA-split profiles (numa_per_node > 1) also
   /// get the mid-level axes, so the tuner weighs the derived 3-level
-  /// ladder's knobs wherever a mid level exists.
+  /// ladder's knobs wherever a mid level exists; multi-rail profiles
+  /// (nics_per_node > 1) also get the stripe axis.
   static SearchSpace for_profile(const machine::MachineProfile& profile);
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "han/task/stripe.hpp"
+
 namespace han::tune {
 
 using coll::CollConfig;
@@ -69,6 +71,10 @@ PerLeader TaskBench::bench_ib(const HanConfig& cfg, std::size_t seg_bytes,
   core::Hierarchy& hc = han_->flat_hierarchy(*comm_);
   coll::CollModule* imod = han_->inter_module(cfg);
   const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  // Inter benches stripe exactly as the builders do, so the composite
+  // task costs the model reuses already price the configured sf.
+  const int sf = task::effective_sf(cfg.sf, world_->profile(), seg_bytes,
+                                    mpi::Datatype::Byte);
   auto sync =
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
   std::vector<std::vector<double>> results(iters,
@@ -78,21 +84,20 @@ PerLeader TaskBench::bench_ib(const HanConfig& cfg, std::size_t seg_bytes,
     return [](TaskBench& tb, core::Hierarchy& hc11, coll::CollModule* imod7,
               CollConfig icfg4, std::shared_ptr<mpi::SyncDomain> sync11,
               std::vector<std::vector<double>>& results8, std::size_t seg,
-              int iters8, int pr) -> sim::CoTask {
+              int iters8, int sf8, int pr) -> sim::CoTask {
       const bool leader = hc11.low_rank(pr) == 0;
       for (int it = 0; it < iters8; ++it) {
         co_await *sync11->arrive();
         if (leader) {
           const double t0 = tb.world().now();
-          mpi::Request r =
-              imod7->ibcast(*hc11.up(pr), hc11.up_rank(pr), 0,
-                           BufView::timing_only(seg), mpi::Datatype::Byte,
-                           icfg4);
+          mpi::Request r = task::striped_ibcast(
+              tb.world().engine(), imod7, *hc11.up(pr), hc11.up_rank(pr), 0,
+              BufView::timing_only(seg), mpi::Datatype::Byte, icfg4, sf8);
           co_await *r;
           results8[it][hc11.up_rank(pr)] = tb.world().now() - t0;
         }
       }
-    }(*this, hc, imod, icfg, sync, results, seg_bytes, iters,
+    }(*this, hc, imod, icfg, sync, results, seg_bytes, iters, sf,
       rank.world_rank);
   });
   return average(results, leaders_);
@@ -135,6 +140,8 @@ PerLeader TaskBench::bench_concurrent_ib_sb(const HanConfig& cfg,
   coll::CollModule* imod = han_->inter_module(cfg);
   coll::CollModule* smod = han_->intra_module(cfg);
   const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  const int sf = task::effective_sf(cfg.sf, world_->profile(), seg_bytes,
+                                    mpi::Datatype::Byte);
   auto sync =
       std::make_shared<mpi::SyncDomain>(world_->engine(), comm_->size());
   std::vector<std::vector<double>> results(iters,
@@ -145,7 +152,7 @@ PerLeader TaskBench::bench_concurrent_ib_sb(const HanConfig& cfg,
               coll::CollModule* smod7, CollConfig icfg3,
               std::shared_ptr<mpi::SyncDomain> sync9,
               std::vector<std::vector<double>>& results6, std::size_t seg,
-              int iters6, int pr) -> sim::CoTask {
+              int iters6, int sf6, int pr) -> sim::CoTask {
       const bool leader = hc9.low_rank(pr) == 0;
       for (int it = 0; it < iters6; ++it) {
         co_await *sync9->arrive();
@@ -155,14 +162,14 @@ PerLeader TaskBench::bench_concurrent_ib_sb(const HanConfig& cfg,
                                     BufView::timing_only(seg),
                                     mpi::Datatype::Byte, CollConfig{}));
         if (leader) {
-          task.push_back(imod6->ibcast(*hc9.up(pr), hc9.up_rank(pr), 0,
-                                      BufView::timing_only(seg),
-                                      mpi::Datatype::Byte, icfg3));
+          task.push_back(task::striped_ibcast(
+              tb.world().engine(), imod6, *hc9.up(pr), hc9.up_rank(pr), 0,
+              BufView::timing_only(seg), mpi::Datatype::Byte, icfg3, sf6));
         }
         co_await mpi::wait_all(tb.world().engine(), std::move(task));
         if (leader) results6[it][hc9.up_rank(pr)] = tb.world().now() - t0;
       }
-    }(*this, hc, imod, smod, icfg, sync, results, seg_bytes, iters,
+    }(*this, hc, imod, smod, icfg, sync, results, seg_bytes, iters, sf,
       rank.world_rank);
   });
   return average(results, leaders_);
@@ -176,6 +183,8 @@ PipelineTrace TaskBench::bench_sbib_pipeline(const HanConfig& cfg,
   coll::CollModule* imod = han_->inter_module(cfg);
   coll::CollModule* smod = han_->intra_module(cfg);
   const CollConfig icfg{cfg.ibalg, cfg.ibs};
+  const int sf = task::effective_sf(cfg.sf, world_->profile(), seg_bytes,
+                                    mpi::Datatype::Byte);
 
   PipelineTrace trace;
   trace.steps.assign(steps, PerLeader{std::vector<double>(leaders_, 0.0)});
@@ -187,7 +196,7 @@ PipelineTrace TaskBench::bench_sbib_pipeline(const HanConfig& cfg,
               coll::CollModule* smod6, CollConfig icfg2,
               std::shared_ptr<mpi::SyncDomain> sync8, PipelineTrace& trace4,
               const PerLeader& delay_by2, std::size_t seg, int steps2,
-              int pr) -> sim::CoTask {
+              int sf5, int pr) -> sim::CoTask {
       const bool leader = hc8.low_rank(pr) == 0;
       co_await *sync8->arrive();
       if (leader) {
@@ -201,9 +210,9 @@ PipelineTrace TaskBench::bench_sbib_pipeline(const HanConfig& cfg,
           task.push_back(smod6->ibcast(hc8.low(pr), hc8.low_rank(pr), 0,
                                       BufView::timing_only(seg),
                                       mpi::Datatype::Byte, CollConfig{}));
-          task.push_back(imod5->ibcast(*hc8.up(pr), hc8.up_rank(pr), 0,
-                                      BufView::timing_only(seg),
-                                      mpi::Datatype::Byte, icfg2));
+          task.push_back(task::striped_ibcast(
+              tb.world().engine(), imod5, *hc8.up(pr), hc8.up_rank(pr), 0,
+              BufView::timing_only(seg), mpi::Datatype::Byte, icfg2, sf5));
           co_await mpi::wait_all(tb.world().engine(), std::move(task));
           trace4.steps[k].t[hc8.up_rank(pr)] = tb.world().now() - t0;
         }
@@ -217,7 +226,7 @@ PipelineTrace TaskBench::bench_sbib_pipeline(const HanConfig& cfg,
         }
       }
     }(*this, hc, imod, smod, icfg, sync, trace, delay_by, seg_bytes, steps,
-      rank.world_rank);
+      sf, rank.world_rank);
   });
   return trace;
 }
@@ -344,6 +353,8 @@ PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
   coll::CollModule* smod = han_->intra_module(cfg);
   const CollConfig ircfg{cfg.iralg, cfg.irs};
   const CollConfig ibcfg{cfg.iralg, cfg.ibs};
+  const int sf = task::effective_sf(cfg.sf, world_->profile(), seg_bytes,
+                                    mpi::Datatype::Byte);
 
   const int total_steps = steps + 3;
   PipelineTrace trace;
@@ -356,7 +367,7 @@ PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
     return [](TaskBench& tb, core::Hierarchy& hc6, coll::CollModule* imod4,
               coll::CollModule* smod4, CollConfig ircfg3, CollConfig ibcfg2,
               std::shared_ptr<mpi::SyncDomain> sync6, PipelineTrace& trace3,
-              std::size_t seg, int u, int total_steps3,
+              std::size_t seg, int u, int total_steps3, int sf4,
               int pr) -> sim::CoTask {
       const bool leader = hc6.low_rank(pr) == 0;
       const mpi::Datatype dt = mpi::Datatype::Byte;
@@ -373,15 +384,15 @@ PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
                                          CollConfig{}));
           }
           if (t >= 1 && t - 1 <= u - 1) {
-            task.push_back(imod4->ireduce(*hc6.up(pr), hc6.up_rank(pr), 0,
-                                         BufView::timing_only(seg),
-                                         BufView::timing_only(seg), dt, op,
-                                         ircfg3));
+            task.push_back(task::striped_ireduce(
+                tb.world().engine(), imod4, *hc6.up(pr), hc6.up_rank(pr), 0,
+                BufView::timing_only(seg), BufView::timing_only(seg), dt,
+                op, ircfg3, sf4));
           }
           if (t >= 2 && t - 2 <= u - 1) {
-            task.push_back(imod4->ibcast(*hc6.up(pr), hc6.up_rank(pr), 0,
-                                        BufView::timing_only(seg), dt,
-                                        ibcfg2));
+            task.push_back(task::striped_ibcast(
+                tb.world().engine(), imod4, *hc6.up(pr), hc6.up_rank(pr), 0,
+                BufView::timing_only(seg), dt, ibcfg2, sf4));
           }
           if (t >= 3 && t - 3 <= u - 1) {
             task.push_back(smod4->ibcast(hc6.low(pr), hc6.low_rank(pr), 0,
@@ -407,7 +418,7 @@ PipelineTrace TaskBench::bench_allreduce_pipeline(const HanConfig& cfg,
         if (leader) trace3.steps[t].t[hc6.up_rank(pr)] = tb.world().now() - t0;
       }
     }(*this, hc, imod, smod, ircfg, ibcfg, sync, trace, seg_bytes, steps,
-      total_steps, rank.world_rank);
+      total_steps, sf, rank.world_rank);
   });
   return trace;
 }
@@ -419,6 +430,8 @@ PipelineTrace TaskBench::bench_reduce_pipeline(const HanConfig& cfg,
   coll::CollModule* imod = han_->inter_module(cfg);
   coll::CollModule* smod = han_->intra_module(cfg);
   const CollConfig ircfg{cfg.iralg, cfg.irs};
+  const int sf = task::effective_sf(cfg.sf, world_->profile(), seg_bytes,
+                                    mpi::Datatype::Byte);
 
   const int total_steps = steps + 1;
   PipelineTrace trace;
@@ -431,7 +444,7 @@ PipelineTrace TaskBench::bench_reduce_pipeline(const HanConfig& cfg,
     return [](TaskBench& tb, core::Hierarchy& hc5, coll::CollModule* imod3,
               coll::CollModule* smod3, CollConfig ircfg2,
               std::shared_ptr<mpi::SyncDomain> sync5, PipelineTrace& trace2,
-              std::size_t seg, int u, int total_steps2,
+              std::size_t seg, int u, int total_steps2, int sf5,
               int pr) -> sim::CoTask {
       const bool leader = hc5.low_rank(pr) == 0;
       const mpi::Datatype dt = mpi::Datatype::Byte;
@@ -447,10 +460,10 @@ PipelineTrace TaskBench::bench_reduce_pipeline(const HanConfig& cfg,
                                        CollConfig{}));
         }
         if (leader && t >= 1 && t - 1 <= u - 1) {
-          task.push_back(imod3->ireduce(*hc5.up(pr), hc5.up_rank(pr), 0,
-                                       BufView::timing_only(seg),
-                                       BufView::timing_only(seg), dt, op,
-                                       ircfg2));
+          task.push_back(task::striped_ireduce(
+              tb.world().engine(), imod3, *hc5.up(pr), hc5.up_rank(pr), 0,
+              BufView::timing_only(seg), BufView::timing_only(seg), dt, op,
+              ircfg2, sf5));
         }
         if (!task.empty()) {
           co_await mpi::wait_all(tb.world().engine(), std::move(task));
@@ -458,7 +471,7 @@ PipelineTrace TaskBench::bench_reduce_pipeline(const HanConfig& cfg,
         if (leader) trace2.steps[t].t[hc5.up_rank(pr)] = tb.world().now() - t0;
       }
     }(*this, hc, imod, smod, ircfg, sync, trace, seg_bytes, steps,
-      total_steps, rank.world_rank);
+      total_steps, sf, rank.world_rank);
   });
   return trace;
 }

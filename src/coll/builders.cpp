@@ -34,6 +34,7 @@ void apply_action_delay(Plan& plan, sim::Time delay) {
 namespace detail {
 
 void finalize_plan(Plan& plan, const BuildSpec& spec) {
+  plan.rail = spec.rail;
   apply_action_delay(plan, spec.action_pre_delay);
   apply_setup(plan, spec.op_setup);
 }
@@ -100,8 +101,7 @@ Plan build_tree_bcast(int comm_size, const BuildSpec& spec) {
       }
     }
   }
-  apply_action_delay(plan, spec.action_pre_delay);
-  apply_setup(plan, spec.op_setup);
+  detail::finalize_plan(plan, spec);
   return plan;
 }
 
@@ -160,8 +160,7 @@ Plan build_tree_reduce(int comm_size, const BuildSpec& spec) {
       }
     }
   }
-  apply_action_delay(plan, spec.action_pre_delay);
-  apply_setup(plan, spec.op_setup);
+  detail::finalize_plan(plan, spec);
   return plan;
 }
 
@@ -229,8 +228,7 @@ Plan build_recdoub_allreduce(int comm_size, const BuildSpec& spec) {
       rp.add(std::move(send));
     }
   }
-  apply_action_delay(plan, spec.action_pre_delay);
-  apply_setup(plan, spec.op_setup);
+  detail::finalize_plan(plan, spec);
   return plan;
 }
 
@@ -251,8 +249,7 @@ Plan build_linear_gather(int comm_size, const BuildSpec& spec) {
       rp.add(send_action(spec.root, rank, block, SlotRef{0, 0}));
     }
   }
-  apply_action_delay(plan, spec.action_pre_delay);
-  apply_setup(plan, spec.op_setup);
+  detail::finalize_plan(plan, spec);
   return plan;
 }
 
@@ -274,8 +271,7 @@ Plan build_linear_scatter(int comm_size, const BuildSpec& spec) {
       rp.add(recv_action(spec.root, rank, block, SlotRef{1, 0}));
     }
   }
-  apply_action_delay(plan, spec.action_pre_delay);
-  apply_setup(plan, spec.op_setup);
+  detail::finalize_plan(plan, spec);
   return plan;
 }
 
@@ -294,8 +290,7 @@ Plan build_dissemination_barrier(int comm_size, const BuildSpec& spec) {
       prev = rp.add(std::move(recv));
     }
   }
-  apply_action_delay(plan, spec.action_pre_delay);
-  apply_setup(plan, spec.op_setup);
+  detail::finalize_plan(plan, spec);
   return plan;
 }
 

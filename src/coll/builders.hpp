@@ -23,6 +23,7 @@ struct BuildSpec {
   bool avx = false;            // reduction arithmetic rate class
   sim::Time action_pre_delay = 0.0;  // per-action progression cost (Libnbc)
   sim::Time op_setup = 0.0;    // one-time per-rank setup (ADAPT machinery)
+  int rail = -1;  // fabric rail for the plan's sends; -1 = machine policy
 };
 
 /// Message segmentation helper. Segment byte counts are aligned to the

@@ -86,6 +86,10 @@ struct RankPlan {
 
 struct Plan {
   int num_user_slots = 1;
+  /// Fabric rail carrying this plan's inter-node sends; -1 (default)
+  /// leaves the choice to the machine's RailPolicy. Striped schedules
+  /// issue one sub-plan per rail, each pinned here.
+  int rail = -1;
   std::vector<RankPlan> ranks;  // indexed by comm rank
 
   explicit Plan(int comm_size = 0, int user_slots = 1)

@@ -45,6 +45,7 @@ mpi::Request RingModule::ireduce_scatter(const mpi::Comm& comm, int me,
   count_op(world(), "reduce_scatter", send.bytes);
   BuildSpec spec = ring_spec(send.bytes, dtype, op);
   spec.segment = cfg.segment != 0 ? cfg.segment : kRingDefaultSegment;
+  spec.rail = cfg.rail;
   const int n = comm.size();
   return rt().start(
       comm, me, [n, spec] { return build_ring_reduce_scatter(n, spec); },
@@ -60,6 +61,7 @@ mpi::Request RingModule::ireduce_scatter_strided(
   count_op(world(), "reduce_scatter_strided", send.bytes);
   BuildSpec spec = ring_spec(send.bytes, dtype, op);
   spec.segment = cfg.segment != 0 ? cfg.segment : kRingDefaultSegment;
+  spec.rail = cfg.rail;
   const std::size_t len = recv.bytes;
   return rt().start(
       comm, me,

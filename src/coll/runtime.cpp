@@ -254,7 +254,7 @@ void CollRuntime::execute(const InstancePtr& inst, int rank, int action) {
     case Action::Kind::Send: {
       mpi::BufView src = slot_view(*inst, rank, a.src, a.bytes);
       mpi::Request r = world_->isend_ctx(comm, comm.context(), rank, a.peer,
-                                         tag, src);
+                                         tag, src, inst->plan.rail);
       r->on_complete(done);
       break;
     }

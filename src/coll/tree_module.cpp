@@ -26,6 +26,7 @@ BuildSpec TreeCollModule::resolve(const CollConfig& cfg,
   spec.avx = params_.avx_reduce;
   spec.action_pre_delay = params_.action_pre_delay;
   spec.op_setup = params_.op_setup;
+  spec.rail = cfg.rail;
   return spec;
 }
 

@@ -28,6 +28,7 @@ const char* algorithm_name(Algorithm a);
 struct CollConfig {
   Algorithm alg = Algorithm::Default;
   std::size_t segment = 0;  // internal pipelining granularity; 0 = whole msg
+  int rail = -1;  // pin inter-node sends to this fabric rail; -1 = policy
 
   friend bool operator==(const CollConfig&, const CollConfig&) = default;
 };

@@ -44,6 +44,7 @@ std::string HanConfig::to_string() const {
   }
   if (ms != 0) out += " ms=" + sim::format_bytes(ms);
   if (zcs != 0) out += " zcs=" + sim::format_bytes(zcs);
+  if (sf != 1) out += " sf=" + std::to_string(sf);
   if (!sched.empty()) out += " sched=" + sched;
   return out;
 }
@@ -96,6 +97,13 @@ bool HanConfig::parse(const std::string& text, HanConfig* out) {
       cfg.ms = sim::parse_bytes(value, &ok);
     } else if (key == "zcs") {
       cfg.zcs = sim::parse_bytes(value, &ok);
+    } else if (key == "sf") {
+      char* rest = nullptr;
+      const long v = std::strtol(value.c_str(), &rest, 10);
+      // Stripe factors are small NIC counts; 64 bounds any plausible node.
+      ok = rest != nullptr && *rest == '\0' && !value.empty() && v >= 1 &&
+           v <= 64;
+      if (ok) cfg.sf = static_cast<int>(v);
     } else if (key == "sched") {
       synth::SynthSpec spec;
       ok = synth::SynthSpec::parse(value, &spec);

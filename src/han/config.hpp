@@ -33,6 +33,11 @@ struct HanConfig {
                         // copy-in-copy-out p2p module instead of the
                         // shared-memory one (0 = always shared memory)
 
+  // --- multi-rail fields (LookupTable format v4, docs/FABRIC.md) ----------
+  int sf = 1;           // inter-node stripe factor: split each inter
+                        // send into sf slices, one per fabric rail
+                        // (1 = unstriped; clamped to the machine's rails)
+
   friend bool operator==(const HanConfig&, const HanConfig&) = default;
 
   std::string to_string() const;

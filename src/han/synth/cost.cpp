@@ -31,7 +31,7 @@ int chain_pos(const std::string& role) {
 /// memory bus serializes them — the mid stages mr/mb); lanes 1..k are the
 /// per-leader inter lanes (stripe owner of segment i is i % k).
 double walk(const SynthSpec& spec, int u, std::size_t seg_len, int window,
-            int k, int nodes, int ppn, int numa) {
+            int k, int nodes, int ppn, int numa, int sf) {
   // Affine per-task costs in abstract units; the log factor is the tree
   // depth of the level's collective, the byte slopes encode that the
   // inter fabric is the scarcer resource and the cross-domain bus sits
@@ -40,8 +40,12 @@ double walk(const SynthSpec& spec, int u, std::size_t seg_len, int window,
       ppn > 1 ? (1.0 + static_cast<double>(seg_len) / 65536.0) *
                     ceil_log2(ppn)
               : 0.0;
-  const double inter = (4.0 + static_cast<double>(seg_len) / 16384.0) *
-                       ceil_log2(nodes);
+  // Rail striping moves the slices in parallel on disjoint rails: the
+  // byte term divides by sf, the latency term is paid once (all slices
+  // launch together). sf = 1 reproduces the pre-rail expression exactly.
+  const double inter =
+      (4.0 + static_cast<double>(seg_len) / (16384.0 * sf)) *
+      ceil_log2(nodes);
   const double mid =
       numa > 1 ? (1.0 + static_cast<double>(seg_len) / 32768.0) *
                      ceil_log2(numa)
@@ -103,17 +107,19 @@ double walk(const SynthSpec& spec, int u, std::size_t seg_len, int window,
 
 CostPoint symbolic_cost(const SynthSpec& spec, const core::HanConfig& cfg,
                         int nodes, int ppn, std::size_t msg_bytes,
-                        int numa) {
+                        int numa, int rails) {
   const std::size_t m = std::max<std::size_t>(msg_bytes, 1);
   const std::size_t fs = std::max<std::size_t>(cfg.fs, 1);
   const int u = static_cast<int>((m + fs - 1) / fs);
   const std::size_t seg = (m + static_cast<std::size_t>(u) - 1) /
                           static_cast<std::size_t>(u);
   const int k = std::max(1, std::min(spec.leaders, ppn));
+  const int sf = std::max(1, std::min(spec.sf, std::max(1, rails)));
 
   CostPoint c;
-  c.lat = walk(spec, std::min(u, 2), seg, cfg.window, k, nodes, ppn, numa);
-  c.bw = walk(spec, u, seg, cfg.window, k, nodes, ppn, numa);
+  c.lat =
+      walk(spec, std::min(u, 2), seg, cfg.window, k, nodes, ppn, numa, sf);
+  c.bw = walk(spec, u, seg, cfg.window, k, nodes, ppn, numa, sf);
   return c;
 }
 

@@ -44,9 +44,13 @@ struct CostPoint {
 /// docs/HIERARCHY.md) cost a cross-domain hop on the shared intra lane
 /// (the memory bus serializes them with sr/sb), and cost nothing when
 /// numa <= 1 — a flat walk is byte-identical to before the parameter
-/// existed.
+/// existed. `rails` is the machine's NIC count: a spec's rail stripe
+/// (spec.sf, clamped to rails) divides the inter stages' byte term —
+/// slices move in parallel on disjoint rails while the latency term is
+/// paid once. At rails = 1 the walk is byte-identical to the pre-rail
+/// model.
 CostPoint symbolic_cost(const SynthSpec& spec, const core::HanConfig& cfg,
                         int nodes, int ppn, std::size_t msg_bytes,
-                        int numa = 1);
+                        int numa = 1, int rails = 1);
 
 }  // namespace han::synth

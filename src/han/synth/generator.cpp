@@ -51,6 +51,16 @@ std::vector<SynthSpec> enumerate_specs(coll::CollKind kind, int ppn,
   }
   std::sort(ks.begin(), ks.end());
 
+  // Rail-stripe factors, clamped to the machine's rails: a single-rail
+  // machine enumerates exactly the pre-rail grammar.
+  std::vector<int> sfs;
+  for (int s : opts.stripe_factors) {
+    const int ss = std::max(1, std::min(s, std::max(1, opts.rails)));
+    if (std::find(sfs.begin(), sfs.end(), ss) == sfs.end()) sfs.push_back(ss);
+  }
+  if (sfs.empty()) sfs.push_back(1);
+  std::sort(sfs.begin(), sfs.end());
+
   std::vector<SynthSpec> out;
   // Emission orders: every permutation of the chain's stages
   // (std::next_permutation over indices; validate() rejects orders that
@@ -64,13 +74,16 @@ std::vector<SynthSpec> enumerate_specs(coll::CollKind kind, int ppn,
   do {
     for (const std::vector<int>& lags : lag_sets) {
       for (int k : ks) {
-        SynthSpec spec;
-        spec.kind = kind;
-        spec.leaders = k;
-        for (int idx : perm) {
-          spec.stages.push_back({chain[idx], lags[idx]});
+        for (int s : sfs) {
+          SynthSpec spec;
+          spec.kind = kind;
+          spec.leaders = k;
+          spec.sf = s;
+          for (int idx : perm) {
+            spec.stages.push_back({chain[idx], lags[idx]});
+          }
+          push_if_valid(out, std::move(spec));
         }
-        push_if_valid(out, std::move(spec));
       }
     }
   } while (!opts.three_level &&
@@ -84,9 +97,12 @@ std::vector<SynthSpec> enumerate_specs(coll::CollKind kind, int ppn,
   return out;
 }
 
-SynthSpec mutate_spec(const SynthSpec& base, sim::Rng& rng, int ppn) {
+SynthSpec mutate_spec(const SynthSpec& base, sim::Rng& rng, int ppn,
+                      int rails) {
   SynthSpec spec = base;
-  switch (rng.next_below(3)) {
+  // The rail-stripe move only enters the rotation on multi-rail machines,
+  // keeping single-rail mutation sequences identical to the pre-rail ones.
+  switch (rng.next_below(rails > 1 ? 4 : 3)) {
     case 0: {  // bump one stage's lag by +-1
       const std::size_t at = rng.next_below(spec.stages.size());
       const int delta = rng.next_below(2) == 0 ? -1 : 1;
@@ -100,10 +116,15 @@ SynthSpec mutate_spec(const SynthSpec& base, sim::Rng& rng, int ppn) {
       }
       break;
     }
-    default: {  // halve or double the leader stripe count
+    case 2: {  // halve or double the leader stripe count
       const int k =
           rng.next_below(2) == 0 ? spec.leaders / 2 : spec.leaders * 2;
       spec.leaders = std::max(1, std::min(k, ppn));
+      break;
+    }
+    default: {  // halve or double the rail-stripe factor
+      const int s = rng.next_below(2) == 0 ? spec.sf / 2 : spec.sf * 2;
+      spec.sf = std::max(1, std::min(s, std::max(1, rails)));
       break;
     }
   }

@@ -25,6 +25,12 @@ struct GeneratorOptions {
   int max_extra_lag = 2;
   /// Leader counts to try (clamped to ppn; duplicates removed).
   std::vector<int> leader_counts{1, 2, 4};
+  /// Rail-stripe factors to try (clamped to `rails`; duplicates removed).
+  /// Only {1} enumerates on single-rail machines regardless of contents.
+  std::vector<int> stripe_factors{1, 2, 4};
+  /// The target machine's NIC/rail count (MachineProfile::nics_per_node);
+  /// bounds the stripe axis so single-rail grammars are unchanged.
+  int rails = 1;
   /// Enumerate over the three-level ladder's chain (sr.mr.ir.ib.mb.sb /
   /// ib.mb.sb, docs/HIERARCHY.md) instead of the flat one. The six-stage
   /// permutation space explodes factorially, so three-level enumeration
@@ -37,9 +43,12 @@ struct GeneratorOptions {
 std::vector<SynthSpec> enumerate_specs(coll::CollKind kind, int ppn,
                                        const GeneratorOptions& opts = {});
 
-/// One random edit of `base`. The result may be invalid (validate()
-/// non-empty) or equal to base — callers filter; determinism comes from
-/// the caller-owned rng.
-SynthSpec mutate_spec(const SynthSpec& base, sim::Rng& rng, int ppn);
+/// One random edit of `base` (bump a lag, swap adjacent stages,
+/// halve/double leaders, and on multi-rail machines halve/double the
+/// rail stripe). The result may be invalid (validate() non-empty) or
+/// equal to base — callers filter; determinism comes from the
+/// caller-owned rng.
+SynthSpec mutate_spec(const SynthSpec& base, sim::Rng& rng, int ppn,
+                      int rails = 1);
 
 }  // namespace han::synth

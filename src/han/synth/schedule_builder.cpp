@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "han/han_util.hpp"
+#include "han/task/stripe.hpp"
 
 namespace han::synth {
 
@@ -24,6 +25,9 @@ using mpi::ReduceOp;
 using task::Level;
 using task::Op;
 using task::TaskGraph;
+using task::effective_sf;
+using task::striped_ibcast;
+using task::striped_ireduce;
 
 std::shared_ptr<TempBuf> make_temp(TaskGraph& g, bool data_mode,
                                    std::size_t bytes, Datatype t) {
@@ -88,6 +92,10 @@ TaskGraph build_allreduce_three_level(core::HanModule& m,
 
   CollModule* imod = m.inter_module(cfg);
   CollModule* lmod = low_module(m, cfg, send.bytes);
+  sim::Engine* eng = &w.engine();
+  // The schedule's own stripe axis composes with the tuned one: either can
+  // ask for rail striping; effective_sf clamps to the machine's rails.
+  const int sfax = std::max(cfg.sf, spec.sf);
   const CollConfig ircfg{cfg.iralg, cfg.irs};
   const CollConfig ibcfg{cfg.iralg, cfg.ibs};
   const CollConfig mcfg{cfg.malg, cfg.ms};
@@ -159,24 +167,30 @@ TaskGraph build_allreduce_three_level(core::HanModule& m,
         } else if (sr_node[i] >= 0) {
           deps.push_back(sr_node[i]);
         }
+        const int lsf =
+            effective_sf(sfax, w.profile(), contrib.bytes, dtype);
         ir_node[i] =
             g.add({Op::Reduce, Level::Inter, up, t, i, contrib.bytes,
                    std::move(deps),
-                   [imod, up, me_up, contrib, dst, dtype, op, ircfg] {
-                     return imod->ireduce(*up, me_up, /*root=*/0, contrib,
-                                          dst, dtype, op, ircfg);
+                   [eng, imod, up, me_up, contrib, dst, dtype, op, ircfg,
+                    lsf] {
+                     return striped_ireduce(*eng, imod, *up, me_up,
+                                            /*root=*/0, contrib, dst, dtype,
+                                            op, ircfg, lsf);
                    }});
       } else if (slot.role == "ib") {
         if (!has_inter || me_low != owner || me_mid != 0) continue;
         const BufView seg = seg_of(recv, segs, i);
         std::vector<int> deps;
         if (ir_node[i] >= 0) deps.push_back(ir_node[i]);
+        const int lsf = effective_sf(sfax, w.profile(), seg.bytes, dtype);
         ib_node[i] =
             g.add({Op::Bcast, Level::Inter, up, t, i, seg.bytes,
                    std::move(deps),
-                   [imod, up, me_up, seg, dtype, ibcfg] {
-                     return imod->ibcast(*up, me_up, /*root=*/0, seg, dtype,
-                                         ibcfg);
+                   [eng, imod, up, me_up, seg, dtype, ibcfg, lsf] {
+                     return striped_ibcast(*eng, imod, *up, me_up,
+                                           /*root=*/0, seg, dtype, ibcfg,
+                                           lsf);
                    }});
       } else if (slot.role == "mb") {
         if (!has_mid || me_low != owner) continue;
@@ -252,6 +266,9 @@ TaskGraph build_bcast_three_level(core::HanModule& m, const mpi::Comm& comm,
   const bool on_inter = has_inter && hc.same_slots_below(top, me, root);
   CollModule* imod = m.inter_module(cfg);
   CollModule* lmod = low_module(m, cfg, buf.bytes);
+  sim::Engine* eng = &m.world_ref().engine();
+  const machine::MachineProfile& prof = m.world_ref().profile();
+  const int sfax = std::max(cfg.sf, spec.sf);
   const CollConfig icfg{cfg.ibalg, cfg.ibs};
   const CollConfig mcfg{cfg.malg, cfg.ms};
   const Segmenter segs(buf.bytes, cfg.fs, dtype);
@@ -269,11 +286,12 @@ TaskGraph build_bcast_three_level(core::HanModule& m, const mpi::Comm& comm,
       const BufView seg = seg_of(buf, segs, i);
       if (slot.role == "ib") {
         if (!on_inter) continue;
+        const int lsf = effective_sf(sfax, prof, seg.bytes, dtype);
         ib_node[i] =
             g.add({Op::Bcast, Level::Inter, upc, t, i, seg.bytes, {},
-                   [imod, upc, me_up, root_up, seg, dtype, icfg] {
-                     return imod->ibcast(*upc, me_up, root_up, seg, dtype,
-                                         icfg);
+                   [eng, imod, upc, me_up, root_up, seg, dtype, icfg, lsf] {
+                     return striped_ibcast(*eng, imod, *upc, me_up, root_up,
+                                           seg, dtype, icfg, lsf);
                    }});
       } else if (slot.role == "mb") {
         if (!on_mid) continue;
@@ -342,6 +360,8 @@ TaskGraph build_schedule_allreduce(core::HanModule& m, const mpi::Comm& comm,
   }
 
   CollModule* imod = m.inter_module(cfg);
+  sim::Engine* eng = &w.engine();
+  const int sfax = std::max(cfg.sf, spec.sf);
   const CollConfig ircfg{cfg.iralg, cfg.irs};
   const CollConfig ibcfg{cfg.iralg, cfg.ibs};
   const Segmenter segs(send.bytes, cfg.fs, dtype);
@@ -388,22 +408,28 @@ TaskGraph build_schedule_allreduce(core::HanModule& m, const mpi::Comm& comm,
         const BufView dst = seg_of(recv, segs, i);
         std::vector<int> deps;
         if (sr_node[i] >= 0) deps.push_back(sr_node[i]);
+        const int lsf =
+            effective_sf(sfax, w.profile(), contrib.bytes, dtype);
         ir_node[i] =
             g.add({Op::Reduce, Level::Inter, up, t, i, contrib.bytes,
                    std::move(deps),
-                   [imod, up, me_up, contrib, dst, dtype, op, ircfg] {
-                     return imod->ireduce(*up, me_up, /*root=*/0, contrib,
-                                          dst, dtype, op, ircfg);
+                   [eng, imod, up, me_up, contrib, dst, dtype, op, ircfg,
+                    lsf] {
+                     return striped_ireduce(*eng, imod, *up, me_up,
+                                            /*root=*/0, contrib, dst, dtype,
+                                            op, ircfg, lsf);
                    }});
       } else if (slot.role == "ib") {
         if (leader_idx != owner) continue;
         const BufView seg = seg_of(recv, segs, i);
+        const int lsf = effective_sf(sfax, w.profile(), seg.bytes, dtype);
         ib_node[i] =
             g.add({Op::Bcast, Level::Inter, up, t, i, seg.bytes,
                    {ir_node[i]},
-                   [imod, up, me_up, seg, dtype, ibcfg] {
-                     return imod->ibcast(*up, me_up, /*root=*/0, seg, dtype,
-                                         ibcfg);
+                   [eng, imod, up, me_up, seg, dtype, ibcfg, lsf] {
+                     return striped_ibcast(*eng, imod, *up, me_up,
+                                           /*root=*/0, seg, dtype, ibcfg,
+                                           lsf);
                    }});
       } else {  // sb
         if (!has_intra) continue;
@@ -448,6 +474,9 @@ TaskGraph build_schedule_bcast(core::HanModule& m, const mpi::Comm& comm,
   }
 
   CollModule* imod = m.inter_module(cfg);
+  sim::Engine* eng = &m.world_ref().engine();
+  const machine::MachineProfile& prof = m.world_ref().profile();
+  const int sfax = std::max(cfg.sf, spec.sf);
   const CollConfig icfg{cfg.ibalg, cfg.ibs};
   const Segmenter segs(buf.bytes, cfg.fs, dtype);
   const int u = segs.count();
@@ -464,11 +493,14 @@ TaskGraph build_schedule_bcast(core::HanModule& m, const mpi::Comm& comm,
         if (i < 0 || i >= u) continue;
         const BufView seg = seg_of(buf, segs, i);
         if (slot.role == "ib") {
+          const int lsf = effective_sf(sfax, prof, seg.bytes, dtype);
           ib_node[i] =
               g.add({Op::Bcast, Level::Inter, up, t, i, seg.bytes, {},
-                     [imod, up, me_up, root_up, seg, dtype, icfg] {
-                       return imod->ibcast(*up, me_up, root_up, seg, dtype,
-                                           icfg);
+                     [eng, imod, up, me_up, root_up, seg, dtype, icfg,
+                      lsf] {
+                       return striped_ibcast(*eng, imod, *up, me_up,
+                                             root_up, seg, dtype, icfg,
+                                             lsf);
                      }});
         } else {  // sb
           if (!has_intra) continue;

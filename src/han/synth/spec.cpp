@@ -53,7 +53,9 @@ int parse_small_int(const std::string& s, std::size_t* pos) {
 std::string SynthSpec::id() const {
   std::string out = kind_tag(kind) == nullptr ? "??" : kind_tag(kind);
   out += std::to_string(kVersion);
-  out += ":k" + std::to_string(leaders) + ":";
+  out += ":k" + std::to_string(leaders);
+  if (sf != 1) out += ":r" + std::to_string(sf);
+  out += ":";
   for (std::size_t i = 0; i < stages.size(); ++i) {
     if (i > 0) out += '.';
     out += stages[i].role + std::to_string(stages[i].lag);
@@ -83,6 +85,15 @@ bool SynthSpec::parse(const std::string& text, SynthSpec* out) {
   if (spec.leaders < 0) return false;
   if (pos >= text.size() || text[pos] != ':') return false;
   ++pos;
+  // Optional rail-stripe group ":r<sf>" (omitted at the sf=1 default).
+  if (pos < text.size() && text[pos] == 'r' && pos + 1 < text.size() &&
+      text[pos + 1] >= '0' && text[pos + 1] <= '9') {
+    ++pos;
+    spec.sf = parse_small_int(text, &pos);
+    if (spec.sf < 0) return false;
+    if (pos >= text.size() || text[pos] != ':') return false;
+    ++pos;
+  }
   // Stage list: role-lag pairs joined by '.'; at least one stage.
   while (true) {
     if (pos + 2 > text.size()) return false;
@@ -181,6 +192,10 @@ std::string SynthSpec::validate() const {
   }
   if (kind == coll::CollKind::Bcast && leaders != 1) {
     return "synth spec: bcast schedules are single-leader";
+  }
+  if (sf < 1 || sf > kMaxStripe) {
+    return "synth spec: rail stripe " + std::to_string(sf) +
+           " outside [1, " + std::to_string(kMaxStripe) + "]";
   }
   return "";
 }

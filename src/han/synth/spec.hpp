@@ -15,14 +15,17 @@
 // The id grammar is space-free (HanConfig::to_string tokens are
 // space-separated) and versioned:
 //
-//   allreduce:  ar1:k<leaders>:sr<lag>.ir<lag>.ib<lag>.sb<lag>
-//   bcast:      bc1:k1:ib<lag>.sb<lag>
+//   allreduce:  ar1:k<leaders>[:r<sf>]:sr<lag>.ir<lag>.ib<lag>.sb<lag>
+//   bcast:      bc1:k1[:r<sf>]:ib<lag>.sb<lag>
 //
 // Three-level schedules (derived NUMA ladders, docs/HIERARCHY.md) add the
 // mid roles "mr"/"mb" to the same grammar — the dependency chain grows to
 // sr.mr.ir.ib.mb.sb (ib.mb.sb for bcast) whenever either mid role appears.
-// The token syntax is unchanged, so kVersion stays 1: a v1 parser that
-// knows the mid roles reads both shapes, and flat ids are untouched.
+// Multi-rail schedules (docs/FABRIC.md) add the optional rail-stripe
+// group ":r<sf>" after the leader count — each inter stage splits into sf
+// rail-pinned slices; the token is omitted at the sf=1 default. Both are
+// pure grammar extensions that leave every previously valid id unchanged,
+// so kVersion stays 1.
 //
 // Stage order in the id IS the per-step emission order (it fixes the
 // per-comm FIFO order, so it is semantically meaningful — see
@@ -56,10 +59,14 @@ struct SynthSpec {
   static constexpr int kMaxLag = 9;
   /// Upper bound on the leader (stripe) count.
   static constexpr int kMaxLeaders = 64;
+  /// Upper bound on the rail-stripe factor (NIC counts are small).
+  static constexpr int kMaxStripe = 64;
 
   coll::CollKind kind = coll::CollKind::Allreduce;  // Allreduce | Bcast
   std::vector<StageSlot> stages;  // per-step emission order
   int leaders = 1;                // segment-stripe count k (allreduce)
+  int sf = 1;                     // rail-stripe factor of the inter stages
+                                  // (clamped to the machine's rails)
 
   friend bool operator==(const SynthSpec&, const SynthSpec&) = default;
 

@@ -209,7 +209,8 @@ SynthCase run_case(const SynthOptions& opts, CollKind kind,
   const std::string machine_tag =
       std::to_string(opts.nodes) +
       (opts.numa > 1 ? "x" + std::to_string(opts.numa) : "") + "x" +
-      std::to_string(opts.ppn);
+      std::to_string(opts.ppn) +
+      (opts.rails > 1 ? "r" + std::to_string(opts.rails) : "");
   c.name = std::string(coll::coll_kind_name(kind)) + "." + machine_tag +
            "." + sim::format_bytes(bytes);
 
@@ -243,17 +244,18 @@ SynthCase run_case(const SynthOptions& opts, CollKind kind,
     if (!seen.insert(cand.cfg.to_string()).second) return;
     cand.spec = std::move(spec);
     cand.cost = symbolic_cost(cand.spec, cand.cfg, opts.nodes, opts.ppn,
-                              bytes, opts.numa);
+                              bytes, opts.numa, opts.rails);
     pool.push_back(std::move(cand));
   };
-  for (const SynthSpec& spec :
-       enumerate_specs(kind, opts.ppn, opts.grammar)) {
+  GeneratorOptions grammar = opts.grammar;
+  grammar.rails = opts.rails;
+  for (const SynthSpec& spec : enumerate_specs(kind, opts.ppn, grammar)) {
     for (const HanConfig& base : bases) admit(spec, base);
   }
   if (opts.numa > 1) {
     // NUMA machines additionally enumerate the three-level chain
     // (chain-order emission only; mutation explores order — generator.hpp).
-    GeneratorOptions g3 = opts.grammar;
+    GeneratorOptions g3 = grammar;
     g3.three_level = true;
     for (const SynthSpec& spec : enumerate_specs(kind, opts.ppn, g3)) {
       for (const HanConfig& base : bases) admit(spec, base);
@@ -269,7 +271,7 @@ SynthCase run_case(const SynthOptions& opts, CollKind kind,
           pool[frontier[rng.next_below(frontier.size())]];
       HanConfig base = parent.cfg;
       base.sched.clear();
-      admit(mutate_spec(parent.spec, rng, opts.ppn), base);
+      admit(mutate_spec(parent.spec, rng, opts.ppn, opts.rails), base);
     }
     frontier = pareto_frontier(pool);
   }
@@ -314,6 +316,7 @@ SynthCase run_case(const SynthOptions& opts, CollKind kind,
   // three-level ladder — a win means beating it, not just the flat seed.
   machine::MachineProfile profile = machine::make_aries(opts.nodes, opts.ppn);
   if (opts.numa > 1) profile = machine::with_numa(profile, opts.numa);
+  if (opts.rails > 1) profile = machine::with_rails(profile, opts.rails);
   SynthWorld sw(std::move(profile));
   const mpi::Comm& wc = sw.world.world_comm();
   for (Candidate& cand : c.finalists) {

@@ -42,6 +42,12 @@ struct SynthOptions {
   /// enumeration alongside the flat one, and the canonical three-level
   /// ladder shape joins the always-included finalists.
   int numa = 1;
+  /// Fabric rails (NICs per node, docs/FABRIC.md). 1 (the default) keeps
+  /// reports byte-identical to the pre-rail synthesizer. Above 1 the case
+  /// worlds are multi-rail machines (machine::with_rails), the rail-stripe
+  /// axis (":r<sf>" ids) joins the enumeration, and the symbolic cost
+  /// divides the inter byte term by the stripe.
+  int rails = 1;
   std::vector<coll::CollKind> kinds{coll::CollKind::Allreduce,
                                     coll::CollKind::Bcast};
   std::vector<std::size_t> sizes{64 << 10, 1 << 20};

@@ -9,6 +9,7 @@
 #include "han/han_util.hpp"
 #include "han/hierarchy.hpp"
 #include "han/task/shapes.hpp"
+#include "han/task/stripe.hpp"
 
 namespace han::task {
 
@@ -153,6 +154,8 @@ TaskGraph build_bcast(core::HanModule& m, const mpi::Comm& comm, int me,
     return g;
   }
 
+  sim::Engine* eng = &m.world_ref().engine();
+  const machine::MachineProfile& prof = m.world_ref().profile();
   const CollConfig icfg{cfg.ibalg, cfg.ibs};
   const CollConfig mcfg{cfg.malg, cfg.ms};
   const Segmenter segs(buf.bytes, cfg.fs, dtype);
@@ -180,10 +183,13 @@ TaskGraph build_bcast(core::HanModule& m, const mpi::Comm& comm, int me,
     for (int j = l + 1; j < de && deps.empty(); ++j) {
       if (bc[j][i] >= 0) deps.push_back(bc[j][i]);
     }
+    const int lsf = lad.level[l] == Level::Inter
+                        ? effective_sf(cfg.sf, prof, seg.bytes, dtype)
+                        : 1;
     bc[l][i] = g.add({s.op, s.level, c, t, i, seg.bytes, std::move(deps),
-                      [mod, c, me_l, root_l, seg, dtype, lcfg] {
-                        return mod->ibcast(*c, me_l, root_l, seg, dtype,
-                                           lcfg);
+                      [eng, mod, c, me_l, root_l, seg, dtype, lcfg, lsf] {
+                        return striped_ibcast(*eng, mod, *c, me_l, root_l,
+                                              seg, dtype, lcfg, lsf);
                       }});
   });
   return g;
@@ -225,6 +231,7 @@ TaskGraph build_reduce(core::HanModule& m, const mpi::Comm& comm, int me,
     return g;
   }
 
+  sim::Engine* eng = &w.engine();
   const CollConfig ircfg{cfg.iralg, cfg.irs};
   const CollConfig mcfg{cfg.malg, cfg.ms};
   const Segmenter segs(send.bytes, cfg.fs, dtype);
@@ -271,12 +278,17 @@ TaskGraph build_reduce(core::HanModule& m, const mpi::Comm& comm, int me,
         for (int j = l - 1; j >= 0 && deps.empty(); --j) {
           if (red[j][i] >= 0) deps.push_back(red[j][i]);
         }
+        const int lsf = lad.level[l] == Level::Inter
+                            ? effective_sf(cfg.sf, w.profile(), src.bytes,
+                                           dtype)
+                            : 1;
         red[l][i] = g.add({s.op, s.level, c, t, i, src.bytes,
                            std::move(deps),
-                           [mod, c, me_l, root_l, src, dst, dtype, op,
-                            lcfg] {
-                             return mod->ireduce(*c, me_l, root_l, src, dst,
-                                                 dtype, op, lcfg);
+                           [eng, mod, c, me_l, root_l, src, dst, dtype, op,
+                            lcfg, lsf] {
+                             return striped_ireduce(*eng, mod, *c, me_l,
+                                                    root_l, src, dst, dtype,
+                                                    op, lcfg, lsf);
                            }});
       });
   return g;
@@ -323,6 +335,7 @@ TaskGraph build_allreduce(core::HanModule& m, const mpi::Comm& comm, int me,
 
   // Paper §III-B: the inter reduce and bcast share algorithm and root to
   // maximize the opposite-direction overlap on the full-duplex network.
+  sim::Engine* eng = &w.engine();
   const CollConfig ircfg{cfg.iralg, cfg.irs};
   const CollConfig ibcfg{cfg.iralg, cfg.ibs};
   const CollConfig mcfg{cfg.malg, cfg.ms};
@@ -367,11 +380,17 @@ TaskGraph build_allreduce(core::HanModule& m, const mpi::Comm& comm, int me,
           for (int j = l - 1; j >= 0 && deps.empty(); --j) {
             if (red[j][i] >= 0) deps.push_back(red[j][i]);
           }
+          const int lsf = lad.level[l] == Level::Inter
+                              ? effective_sf(cfg.sf, w.profile(), src.bytes,
+                                             dtype)
+                              : 1;
           red[l][i] = g.add({s.op, s.level, c, t, i, src.bytes,
                              std::move(deps),
-                             [mod, c, me_l, src, dst, dtype, op, lcfg] {
-                               return mod->ireduce(*c, me_l, /*root=*/0, src,
-                                                   dst, dtype, op, lcfg);
+                             [eng, mod, c, me_l, src, dst, dtype, op, lcfg,
+                              lsf] {
+                               return striped_ireduce(*eng, mod, *c, me_l,
+                                                      /*root=*/0, src, dst,
+                                                      dtype, op, lcfg, lsf);
                              }});
         } else {  // the descending bcast half
           const CollConfig lcfg = lad.level[l] == Level::Inter ? ibcfg
@@ -387,11 +406,16 @@ TaskGraph build_allreduce(core::HanModule& m, const mpi::Comm& comm, int me,
               if (bc[j][i] >= 0) deps.push_back(bc[j][i]);
             }
           }
+          const int lsf = lad.level[l] == Level::Inter
+                              ? effective_sf(cfg.sf, w.profile(), seg.bytes,
+                                             dtype)
+                              : 1;
           bc[l][i] = g.add({s.op, s.level, c, t, i, seg.bytes,
                             std::move(deps),
-                            [mod, c, me_l, seg, dtype, lcfg] {
-                              return mod->ibcast(*c, me_l, /*root=*/0, seg,
-                                                 dtype, lcfg);
+                            [eng, mod, c, me_l, seg, dtype, lcfg, lsf] {
+                              return striped_ibcast(*eng, mod, *c, me_l,
+                                                    /*root=*/0, seg, dtype,
+                                                    lcfg, lsf);
                             }});
         }
       });
@@ -417,6 +441,7 @@ TaskGraph build_allreduce_multileader(core::HanModule& m,
   const int me_low = hc.low_rank(me);
   CollModule* imod = m.inter_module(cfg);
   CollModule* smod = m.intra_module(cfg);
+  sim::Engine* eng = &w.engine();
   const CollConfig ircfg{cfg.iralg, cfg.irs};
   const CollConfig ibcfg{cfg.iralg, cfg.ibs};
   const Segmenter segs(send.bytes, cfg.fs, dtype);
@@ -447,23 +472,28 @@ TaskGraph build_allreduce_multileader(core::HanModule& m,
       const int i = t - 1;
       const BufView contrib = partial->view(segs.offset(i), segs.length(i));
       const BufView dst = seg_of(recv, segs, i);
+      const int lsf = effective_sf(cfg.sf, w.profile(), contrib.bytes, dtype);
       ir_node[i] =
           g.add({Op::Reduce, Level::Inter, up, t, i, contrib.bytes,
                  {sr_node[i]},
-                 [imod, up, me_up, contrib, dst, dtype, op, ircfg] {
-                   return imod->ireduce(*up, me_up, /*root=*/0, contrib, dst,
-                                        dtype, op, ircfg);
+                 [eng, imod, up, me_up, contrib, dst, dtype, op, ircfg,
+                  lsf] {
+                   return striped_ireduce(*eng, imod, *up, me_up, /*root=*/0,
+                                          contrib, dst, dtype, op, ircfg,
+                                          lsf);
                  }});
     }
     if (leader_idx >= 0 && t >= 2 && t - 2 <= u - 1 &&
         (t - 2) % k == leader_idx) {
       const int i = t - 2;
       const BufView seg = seg_of(recv, segs, i);
+      const int lsf = effective_sf(cfg.sf, w.profile(), seg.bytes, dtype);
       ib_node[i] = g.add({Op::Bcast, Level::Inter, up, t, i, seg.bytes,
                           {ir_node[i]},
-                          [imod, up, me_up, seg, dtype, ibcfg] {
-                            return imod->ibcast(*up, me_up, /*root=*/0, seg,
-                                                dtype, ibcfg);
+                          [eng, imod, up, me_up, seg, dtype, ibcfg, lsf] {
+                            return striped_ibcast(*eng, imod, *up, me_up,
+                                                  /*root=*/0, seg, dtype,
+                                                  ibcfg, lsf);
                           }});
     }
     if (t >= 3 && t - 3 <= u - 1) {

@@ -1,0 +1,89 @@
+// Rail striping of inter-node collective calls (docs/FABRIC.md).
+//
+// On a multi-NIC machine a single inter-node operation drives one NIC and
+// one fabric rail — 1/rails of the node's aggregate bandwidth. The tuned
+// stripe factor `sf` (HanConfig::sf, ExaComm/HiCCL style) splits each
+// inter-node operation into `sf` contiguous slices, slice r pinned to
+// fabric rail r via CollConfig::rail; the slices run as independent
+// module calls (each its own Plan, each on its own NIC lane) and are
+// merged by a zero-cost wait-all gate. Every rank derives the same slice
+// geometry from shared arguments, so cross-rank call-order matching is
+// preserved. At sf == 1 the helpers collapse to the exact original single
+// module call — the 1-rail golden-equivalence guarantee.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "coll/builders.hpp"
+#include "coll/module.hpp"
+#include "machine/machine.hpp"
+#include "simmpi/request.hpp"
+
+namespace han::task {
+
+/// Effective stripe factor of an inter-node operation: the tuned sf
+/// clamped to the machine's rails (striped configs degrade cleanly on
+/// machines with fewer NICs) and to one datatype element per slice.
+inline int effective_sf(int sf, const machine::MachineProfile& profile,
+                        std::size_t bytes, mpi::Datatype dtype) {
+  int e = std::min(sf, profile.nics_per_node);
+  const std::size_t elem = mpi::type_size(dtype);
+  if (elem > 0) {
+    const std::size_t slices = bytes / elem;
+    if (slices < static_cast<std::size_t>(e)) e = static_cast<int>(slices);
+  }
+  return std::max(1, e);
+}
+
+/// Slice geometry of a striped operation: ~bytes/sf per slice, aligned to
+/// the datatype (the Segmenter may emit one extra tail slice after
+/// alignment; rails are assigned modulo sf so it wraps onto rail 0).
+inline coll::Segmenter stripe_slices(std::size_t bytes, int sf,
+                                     mpi::Datatype dtype) {
+  return coll::Segmenter(
+      bytes, (bytes + static_cast<std::size_t>(sf) - 1) / sf, dtype);
+}
+
+inline mpi::Request striped_ibcast(sim::Engine& engine, coll::CollModule* mod,
+                                   const mpi::Comm& comm, int me, int root,
+                                   mpi::BufView buf, mpi::Datatype dtype,
+                                   const coll::CollConfig& cfg, int sf) {
+  if (sf <= 1) return mod->ibcast(comm, me, root, buf, dtype, cfg);
+  const coll::Segmenter sl = stripe_slices(buf.bytes, sf, dtype);
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(sl.count()));
+  for (int r = 0; r < sl.count(); ++r) {
+    coll::CollConfig c = cfg;
+    c.rail = r % sf;
+    reqs.push_back(mod->ibcast(comm, me, root,
+                               buf.slice(sl.offset(r), sl.length(r)), dtype,
+                               c));
+  }
+  return mpi::wait_all(engine, std::move(reqs)).gate();
+}
+
+inline mpi::Request striped_ireduce(sim::Engine& engine,
+                                    coll::CollModule* mod,
+                                    const mpi::Comm& comm, int me, int root,
+                                    mpi::BufView send, mpi::BufView recv,
+                                    mpi::Datatype dtype, mpi::ReduceOp op,
+                                    const coll::CollConfig& cfg, int sf) {
+  if (sf <= 1) {
+    return mod->ireduce(comm, me, root, send, recv, dtype, op, cfg);
+  }
+  const coll::Segmenter sl = stripe_slices(send.bytes, sf, dtype);
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(sl.count()));
+  for (int r = 0; r < sl.count(); ++r) {
+    coll::CollConfig c = cfg;
+    c.rail = r % sf;
+    reqs.push_back(mod->ireduce(comm, me, root,
+                                send.slice(sl.offset(r), sl.length(r)),
+                                recv.slice(sl.offset(r), sl.length(r)),
+                                dtype, op, c));
+  }
+  return mpi::wait_all(engine, std::move(reqs)).gate();
+}
+
+}  // namespace han::task

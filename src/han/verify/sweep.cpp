@@ -361,6 +361,57 @@ void graph_numa_job(SweepResult& out, const char* topo_tag,
   }
 }
 
+/// Multi-rail variants of the stock machines: the stripe axis
+/// (HanConfig::sf, docs/FABRIC.md) is crossed into the space with the
+/// divisors of the machine's NIC count, so every striped slice set gets
+/// the same structural gate as the single-rail pipelines. One job per
+/// (machine, kind).
+void graph_rail_job(SweepResult& out, const char* topo_tag,
+                    machine::MachineProfile profile, CollKind kind,
+                    bool full_space, const std::vector<int>& windows) {
+  const int rails = profile.nics_per_node;
+  GraphWorld gw(std::move(profile));
+  const mpi::Comm& wc = gw.world.world_comm();
+  const int n = wc.size();
+  const std::size_t kBytes = kGraphBytes;
+  tune::SearchSpace space = sweep_space(full_space);
+  for (int d = 1; d <= rails; ++d) {
+    if (rails % d == 0) space.stripe_factors.push_back(d);
+  }
+  for (const HanConfig& cfg : space.enumerate(kind)) {
+    const std::string name = std::string("graph.") + topo_tag + "." +
+                             coll::coll_kind_name(kind) + "_rail." +
+                             cfg.to_string();
+    std::vector<GraphSummary> summaries;
+    bool ok = true;
+    for (int me = 0; me < n && ok; ++me) {
+      task::TaskGraph g;
+      switch (kind) {
+        case CollKind::Bcast:
+          g = task::build_bcast(gw.han, wc, me, 0,
+                                BufView::timing_only(kBytes),
+                                Datatype::Byte, cfg);
+          break;
+        case CollKind::Reduce:
+          g = task::build_reduce(gw.han, wc, me, 0,
+                                 BufView::timing_only(kBytes),
+                                 BufView::timing_only(kBytes),
+                                 Datatype::Int32, mpi::ReduceOp::Sum, cfg);
+          break;
+        default:
+          g = task::build_allreduce(gw.han, wc, me,
+                                    BufView::timing_only(kBytes),
+                                    BufView::timing_only(kBytes),
+                                    Datatype::Int32, mpi::ReduceOp::Sum,
+                                    cfg);
+          break;
+      }
+      ok = checked_summarize(out, name, me, std::move(g), summaries);
+    }
+    if (ok) graph_case(out, name, summaries, windows);
+  }
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -486,6 +537,18 @@ SweepResult run_sweep(const SweepOptions& opts) {
            {CollKind::Bcast, CollKind::Reduce, CollKind::Allreduce}) {
         jobs.push_back([&sm, kind, &opts](SweepResult& frag) {
           graph_numa_job(frag, sm.name, sm.profile, kind, opts.full_space,
+                         opts.windows);
+        });
+      }
+    }
+    // Multi-rail variants: every registered multi-NIC profile is swept
+    // with the stripe axis crossed in, gating striped inter stages too.
+    for (const machine::StockMachine& sm : machine::stock_machines()) {
+      if (sm.profile.nics_per_node <= 1) continue;
+      for (CollKind kind :
+           {CollKind::Bcast, CollKind::Reduce, CollKind::Allreduce}) {
+        jobs.push_back([&sm, kind, &opts](SweepResult& frag) {
+          graph_rail_job(frag, sm.name, sm.profile, kind, opts.full_space,
                          opts.windows);
         });
       }

@@ -6,15 +6,24 @@ namespace han::machine {
 
 ClusterFabric::ClusterFabric(net::FlowNet& net,
                              const MachineProfile& profile)
-    : numa_per_node_(profile.numa_per_node) {
+    : numa_per_node_(profile.numa_per_node), rails_(profile.nics_per_node) {
   HAN_ASSERT(profile.nodes > 0 && profile.procs_per_node > 0);
   HAN_ASSERT(numa_per_node_ >= 1);
-  fabric_ = net.add_resource(
-      "fabric", profile.bisection_factor * profile.nodes *
-                    profile.nic_bandwidth);
+  HAN_ASSERT(rails_ >= 1);
+  // Resource names and creation order at rails_ == 1 are frozen by the
+  // seed goldens ("fabric", "nic_txN", "nic_rxN"); rail suffixes appear
+  // only on multi-rail profiles.
+  fabric_.reserve(rails_);
+  for (int r = 0; r < rails_; ++r) {
+    const std::string name =
+        rails_ == 1 ? "fabric" : "fabric.r" + std::to_string(r);
+    fabric_.push_back(net.add_resource(
+        name, profile.bisection_factor * profile.nodes *
+                  profile.nic_bandwidth));
+  }
   membus_.reserve(static_cast<std::size_t>(profile.nodes) * numa_per_node_);
-  nic_tx_.reserve(profile.nodes);
-  nic_rx_.reserve(profile.nodes);
+  nic_tx_.reserve(static_cast<std::size_t>(profile.nodes) * rails_);
+  nic_rx_.reserve(static_cast<std::size_t>(profile.nodes) * rails_);
   for (int n = 0; n < profile.nodes; ++n) {
     const std::string suffix = std::to_string(n);
     for (int d = 0; d < numa_per_node_; ++d) {
@@ -28,10 +37,14 @@ ClusterFabric::ClusterFabric(net::FlowNet& net,
       numa_link_.push_back(net.add_resource("numalink" + suffix,
                                             profile.inter_numa_bandwidth));
     }
-    nic_tx_.push_back(
-        net.add_resource("nic_tx" + suffix, profile.nic_bandwidth));
-    nic_rx_.push_back(
-        net.add_resource("nic_rx" + suffix, profile.nic_bandwidth));
+    for (int r = 0; r < rails_; ++r) {
+      const std::string rail =
+          rails_ == 1 ? std::string() : ".r" + std::to_string(r);
+      nic_tx_.push_back(net.add_resource("nic_tx" + suffix + rail,
+                                         profile.nic_bandwidth));
+      nic_rx_.push_back(net.add_resource("nic_rx" + suffix + rail,
+                                         profile.nic_bandwidth));
+    }
   }
 }
 
@@ -43,16 +56,25 @@ void ClusterFabric::register_observability(net::FlowNet& net,
   registry.set_meta("machine.ppn", std::to_string(profile.procs_per_node));
   registry.set_meta("machine.numa_per_node",
                     std::to_string(profile.numa_per_node));
-  net.enable_queue_histogram(fabric_, "net.fabric.queue_depth");
+  if (rails_ == 1) {
+    net.enable_queue_histogram(fabric_[0], "net.fabric.queue_depth");
+    return;
+  }
+  registry.set_meta("machine.nics_per_node", std::to_string(rails_));
+  for (int r = 0; r < rails_; ++r) {
+    net.enable_queue_histogram(
+        fabric_[r], "net.fabric.rail" + std::to_string(r) + ".queue_depth");
+  }
 }
 
-void ClusterFabric::inter_path(int src_node, int dst_node,
+void ClusterFabric::inter_path(int src_node, int dst_node, int rail,
                                std::vector<net::ResourceId>& out) const {
   HAN_ASSERT(src_node != dst_node);
+  HAN_ASSERT(rail >= 0 && rail < rails_);
   out.clear();
-  out.push_back(nic_tx_.at(src_node));
-  out.push_back(fabric_);
-  out.push_back(nic_rx_.at(dst_node));
+  out.push_back(nic_tx(src_node, rail));
+  out.push_back(fabric_[rail]);
+  out.push_back(nic_rx(dst_node, rail));
   out.push_back(membus(src_node, 0));
   out.push_back(membus(dst_node, 0));
 }

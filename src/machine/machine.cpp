@@ -75,6 +75,12 @@ MachineProfile with_numa(MachineProfile profile, int domains) {
   return profile;
 }
 
+MachineProfile with_rails(MachineProfile profile, int rails) {
+  HAN_ASSERT_MSG(rails >= 1, "need at least one rail");
+  profile.nics_per_node = rails;
+  return profile;
+}
+
 MachineProfile make_opath(int nodes, int ppn) {
   MachineProfile m;
   m.name = "opath";
@@ -104,6 +110,23 @@ MachineProfile make_opath(int nodes, int ppn) {
   return m;
 }
 
+namespace {
+
+/// Intra-node scaling for the stock multi-rail machines. Nodes with four
+/// injection rails are fat GPU-class nodes (the CommBench/HiCCL
+/// testbeds): their memory systems are provisioned to feed the aggregate
+/// NIC bandwidth, or the extra rails would idle behind the memory bus.
+/// The paper-era intra parameters stay untouched on every 1-rail profile.
+MachineProfile fat_node(MachineProfile m) {
+  m.membus_bandwidth *= 5.0;       // NVLink/HBM-class aggregate
+  m.core_copy_bandwidth *= 7.0;    // copy-engine class
+  m.reduce_bandwidth_scalar *= 6.0;
+  m.reduce_bandwidth_avx *= 6.0;
+  return m;
+}
+
+}  // namespace
+
 const std::vector<StockMachine>& stock_machines() {
   static const std::vector<StockMachine> kStock = [] {
     std::vector<StockMachine> v;
@@ -111,13 +134,16 @@ const std::vector<StockMachine>& stock_machines() {
     v.push_back({"opath2x8", make_opath(2, 8)});
     v.push_back({"aries_numa2x2x4", with_numa(make_aries(2, 8), 2)});
     v.push_back({"opath_numa2x2x4", with_numa(make_opath(2, 8), 2)});
+    v.push_back({"aries_rail4", with_rails(fat_node(make_aries(2, 8)), 4)});
+    v.push_back({"opath_numa2x2x4_rail4",
+                 with_rails(with_numa(fat_node(make_opath(2, 8)), 2), 4)});
     return v;
   }();
   return kStock;
 }
 
 bool make_stock(const std::string& family, int nodes, int ppn, int numa,
-                MachineProfile* out) {
+                MachineProfile* out, int rails) {
   MachineProfile m;
   if (family == "aries") {
     m = make_aries(nodes, ppn);
@@ -126,7 +152,7 @@ bool make_stock(const std::string& family, int nodes, int ppn, int numa,
   } else {
     return false;
   }
-  *out = with_numa(std::move(m), numa);
+  *out = with_rails(with_numa(std::move(m), numa), rails);
   return true;
 }
 

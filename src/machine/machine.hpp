@@ -29,6 +29,18 @@ struct P2pParams {
   EffCurve net_efficiency;              // inter-node bandwidth efficiency
 };
 
+/// How unstriped inter-node traffic picks its rail on a multi-NIC node
+/// when the plan does not pin one explicitly (coll::CollConfig::rail < 0).
+enum class RailPolicy {
+  /// rail = sender's local rank mod rails. Single-leader plans put all
+  /// traffic on rail 0 — CommBench's "fan" baseline — which is exactly
+  /// what makes striping worth tuning.
+  LeaderAffine,
+  /// Deterministic per-sender round-robin across rails: spreads even a
+  /// single sender's messages, balancing rails without plan cooperation.
+  RoundRobin,
+};
+
 struct MachineProfile {
   std::string name;
   int nodes = 0;
@@ -38,6 +50,13 @@ struct MachineProfile {
   sim::Time net_latency = 0.0;     // one-way wire+stack latency
   double nic_bandwidth = 0.0;      // per direction, bytes/sec (full duplex)
   double bisection_factor = 1.0;   // fabric capacity = factor*nodes*nic_bw
+
+  // Multi-rail fabric (CommBench/HiCCL-class nodes). Each node has
+  // `nics_per_node` NICs of `nic_bandwidth` each; NIC r of every node
+  // attaches to fabric rail r, a disjoint network of the same
+  // bisection_factor. 1 (default) is the paper's single-NIC testbeds.
+  int nics_per_node = 1;
+  RailPolicy rail_policy = RailPolicy::LeaderAffine;
 
   // Intra-node memory system.
   sim::Time shm_latency = 0.0;     // shared-memory signalling latency
@@ -82,6 +101,12 @@ MachineProfile make_opath(int nodes = 32, int ppn = 48);
 /// `ppn` must divide evenly by `domains`.
 MachineProfile with_numa(MachineProfile profile, int domains);
 
+/// Give every node `rails` NICs, one per fabric rail. Per-NIC bandwidth
+/// and the per-rail bisection factor are unchanged, so aggregate
+/// inter-node capacity scales by `rails` — reachable only by schedules
+/// that spread traffic across rails.
+MachineProfile with_rails(MachineProfile profile, int rails);
+
 /// A named stock machine shape. The registry is what han_verify sweeps
 /// and what tools pick machines from by name; each family appears both
 /// flat and NUMA-split so derived three-level hierarchies are exercised
@@ -95,10 +120,11 @@ struct StockMachine {
 const std::vector<StockMachine>& stock_machines();
 
 /// Resolve a stock family ("aries" | "opath") at an arbitrary shape,
-/// NUMA-split into `numa` domains (1 = flat). Returns false and leaves
+/// NUMA-split into `numa` domains (1 = flat) with `rails` NICs per node
+/// (1 = the paper's single-rail testbeds). Returns false and leaves
 /// `out` untouched for unknown families.
 bool make_stock(const std::string& family, int nodes, int ppn, int numa,
-                MachineProfile* out);
+                MachineProfile* out, int rails = 1);
 
 /// Open MPI efficiency curve used on both machines: dips between 16KB and
 /// 512KB where the rendezvous pipeline is not yet saturated (Fig. 11).

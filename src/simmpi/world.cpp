@@ -47,8 +47,10 @@ SimWorld::SimWorld(machine::MachineProfile profile, Options options)
   world_comm_ = comms_.back().get();
   world_sync_ = std::make_unique<SyncDomain>(engine_, total);
   jitter_rng_.reseed(options.jitter_seed);
-  net_tx_lane_.resize(total);
+  net_tx_lane_.resize(static_cast<std::size_t>(total) *
+                      profile_.nics_per_node);
   copy_lane_.resize(total);
+  rail_rr_.resize(total, 0);
   flownet_.set_metrics(&metrics_);
   fabric_.register_observability(flownet_, profile_, metrics_);
   msg_counter_ = &metrics_.counter("mpi.messages");
@@ -140,8 +142,20 @@ sim::Time SimWorld::path_latency(int src_world, int dst_world) const {
   return lat;
 }
 
+int SimWorld::resolve_rail(int src_world, int dst_world, int rail) {
+  const int rails = profile_.nics_per_node;
+  if (rails == 1 || src_world == dst_world || same_node(src_world, dst_world)) {
+    return 0;
+  }
+  if (rail >= 0) return rail % rails;
+  if (profile_.rail_policy == machine::RailPolicy::RoundRobin) {
+    return static_cast<int>(rail_rr_[src_world]++ % rails);
+  }
+  return ranks_[src_world].local_rank % rails;  // LeaderAffine
+}
+
 void SimWorld::start_data_flow(int src_world, int dst_world,
-                               std::size_t bytes,
+                               std::size_t bytes, int rail,
                                sim::Engine::Callback done) {
   const sim::Time lat = path_latency(src_world, dst_world);
   std::vector<net::ResourceId> path;
@@ -166,14 +180,17 @@ void SimWorld::start_data_flow(int src_world, int dst_world,
     cap = (cross ? 0.5 : 0.6) * profile_.core_copy_bandwidth;
     lane = &copy_lane_[src_world];
   } else {
-    fabric_.inter_path(ranks_[src_world].node, ranks_[dst_world].node, path);
+    fabric_.inter_path(ranks_[src_world].node, ranks_[dst_world].node, rail,
+                       path);
     // Streams of queued messages run at the peak protocol efficiency; the
     // size-dependent dip of Fig. 11 is charged as a per-message stall in
     // the rendezvous handshake (see start_rendezvous), where back-to-back
     // segments can overlap it.
     cap = profile_.nic_bandwidth *
           p2p_.net_efficiency.at(std::max<std::size_t>(bytes, 64u << 20));
-    lane = &net_tx_lane_[src_world];
+    lane = &net_tx_lane_[static_cast<std::size_t>(src_world) *
+                             profile_.nics_per_node +
+                         rail];
   }
 
   // Wire latency runs concurrently; the transfer itself is FIFO-serialized
@@ -200,7 +217,7 @@ Request SimWorld::isend(const Comm& comm, int src, int dst, Tag tag,
 }
 
 Request SimWorld::isend_ctx(const Comm& comm, int ctx, int src, int dst,
-                            Tag tag, BufView buf) {
+                            Tag tag, BufView buf, int rail) {
   const int s = comm.world_rank(src);
   const int d = comm.world_rank(dst);
   Request sreq = make_request(engine_);
@@ -214,6 +231,7 @@ Request SimWorld::isend_ctx(const Comm& comm, int ctx, int src, int dst,
   msg.dst_world = d;
   msg.tag = tag;
   msg.bytes = buf.bytes;
+  msg.rail = resolve_rail(s, d, rail);
   msg.order = 0;  // stamped at delivery
   if (options_.data_mode && buf.has_data()) {
     msg.payload = std::make_shared<std::vector<std::byte>>(
@@ -228,7 +246,7 @@ Request SimWorld::isend_ctx(const Comm& comm, int ctx, int src, int dst,
                      [this, msg = std::move(msg),
                                                    sreq, eager, s, d]() {
     if (eager) {
-      start_data_flow(s, d, msg.bytes, [this, msg, sreq]() mutable {
+      start_data_flow(s, d, msg.bytes, msg.rail, [this, msg, sreq]() mutable {
         deliver(std::move(msg));
         sreq->complete();
       });
@@ -333,16 +351,18 @@ void SimWorld::start_rendezvous(const ArrivedMsg& msg, PostedRecv pr) {
   auto payload = msg.payload;
   auto send_req = msg.send_req;
   const std::size_t bytes = msg.bytes;
+  const int rail = msg.rail;
   auto recv_buf = pr.buf;
   auto recv_req = pr.req;
 
   ranks_[d].cpu.exec(engine_, p2p_.match_overhead, [this, s, d, handshake,
                                                     payload, send_req, bytes,
-                                                    recv_buf, recv_req]() {
+                                                    rail, recv_buf,
+                                                    recv_req]() {
     engine_.schedule_after(handshake, [this, s, d, payload, send_req, bytes,
-                                       recv_buf, recv_req]() {
-      start_data_flow(s, d, bytes, [this, d, payload, send_req, bytes,
-                                    recv_buf, recv_req]() {
+                                       rail, recv_buf, recv_req]() {
+      start_data_flow(s, d, bytes, rail, [this, d, payload, send_req, bytes,
+                                          recv_buf, recv_req]() {
         if (payload && recv_buf.has_data()) {
           HAN_ASSERT_MSG(recv_buf.bytes >= bytes, "rendezvous truncation");
           std::memcpy(recv_buf.data, payload->data(), bytes);

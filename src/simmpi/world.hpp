@@ -141,8 +141,11 @@ class SimWorld {
   Request isend(const Comm& comm, int src, int dst, Tag tag, BufView buf);
 
   /// Same, but with an explicit matching context (collective traffic).
+  /// `rail` pins an inter-node message to a fabric rail (striped plans);
+  /// -1 (default) lets the profile's RailPolicy pick. Ignored for
+  /// intra-node traffic and on single-rail machines.
   Request isend_ctx(const Comm& comm, int ctx, int src, int dst, Tag tag,
-                    BufView buf);
+                    BufView buf, int rail = -1);
 
   Request irecv(const Comm& comm, int dst, int src, Tag tag, BufView buf);
   Request irecv_ctx(const Comm& comm, int ctx, int dst, int src, Tag tag,
@@ -214,6 +217,7 @@ class SimWorld {
     std::size_t bytes;
     std::shared_ptr<std::vector<std::byte>> payload;  // null timing-only
     bool rndv = false;
+    int rail = 0;      // fabric rail carrying the bulk data (inter-node)
     Request send_req;  // rendezvous: completes when the data flow finishes
     std::uint64_t order;
   };
@@ -240,9 +244,16 @@ class SimWorld {
 
   /// Start the bulk-data movement for a message and invoke `done` when the
   /// last byte lands. Chooses shm vs network path and applies the
-  /// efficiency curve.
+  /// efficiency curve. `rail` is the (already resolved) fabric rail of an
+  /// inter-node transfer; ignored on shm paths.
   void start_data_flow(int src_world, int dst_world, std::size_t bytes,
-                       sim::Engine::Callback done);
+                       int rail, sim::Engine::Callback done);
+
+  /// Resolve a message's fabric rail: explicit requests are clamped into
+  /// range (striped configs degrade cleanly on machines with fewer
+  /// rails); unpinned inter-node traffic follows the profile's
+  /// RailPolicy. Always 0 on single-rail machines.
+  int resolve_rail(int src_world, int dst_world, int rail);
 
   void deliver(ArrivedMsg msg);
   void match_eager(const ArrivedMsg& msg, PostedRecv& pr);
@@ -270,8 +281,12 @@ class SimWorld {
   std::unique_ptr<SyncDomain> world_sync_;
   sim::Rng jitter_rng_;
   // Per-rank FIFO engines: NIC injection order and the single memcpy core.
+  // The NIC lanes are per (rank, rail) — rank-major, rail-minor — so a
+  // striped message stream injects concurrently on every rail instead of
+  // serializing behind one NIC.
   std::vector<SerialLane> net_tx_lane_;
   std::vector<SerialLane> copy_lane_;
+  std::vector<std::uint32_t> rail_rr_;  // per-rank round-robin cursors
   std::vector<net::ResourceId> path_scratch_;
 };
 

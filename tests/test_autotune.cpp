@@ -216,12 +216,12 @@ TEST(LookupTableTest, FormatVersionHeader) {
       &back));
   EXPECT_EQ(back.size(), 1u);
 
-  // An explicit v1, v2, or v3 header parses; newer or mangled headers do
-  // not.
+  // An explicit v1..v4 header parses; newer or mangled headers do not.
   EXPECT_TRUE(LookupTable::deserialize("version 1\n", &back));
   EXPECT_TRUE(LookupTable::deserialize("version 2\n", &back));
   EXPECT_TRUE(LookupTable::deserialize("version 3\n", &back));
-  EXPECT_FALSE(LookupTable::deserialize("version 4\n", &back));
+  EXPECT_TRUE(LookupTable::deserialize("version 4\n", &back));
+  EXPECT_FALSE(LookupTable::deserialize("version 5\n", &back));
   EXPECT_FALSE(LookupTable::deserialize("version 0\n", &back));
   EXPECT_FALSE(LookupTable::deserialize("version two\n", &back));
   EXPECT_FALSE(LookupTable::deserialize("version 2 extra\n", &back));
@@ -291,6 +291,11 @@ TEST(LookupTableTest, RandomizedRoundTripEveryKind) {
                       ? 0
                       : std::size_t{1} <<
                             std::uniform_int_distribution<int>(14, 22)(rng);
+      }
+      // Roughly a third carry a rail-stripe factor (the v4 format
+      // extension: sf, docs/FABRIC.md).
+      if (std::uniform_int_distribution<int>(0, 2)(rng) == 0) {
+        cfg.sf = 1 << std::uniform_int_distribution<int>(1, 4)(rng);
       }
       t.insert(pick(kinds),
                std::uniform_int_distribution<int>(1, 512)(rng),

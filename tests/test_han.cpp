@@ -100,6 +100,28 @@ TEST(HanConfigTest, ParseRejectsGarbage) {
   EXPECT_FALSE(HanConfig::parse("ibalg=quantum", &out));
 }
 
+TEST(HanConfigTest, StripeFactorRoundTripAndRejects) {
+  // sf=1 is the default and never serialized (single-rail strings stay
+  // byte-identical); any other value round-trips.
+  HanConfig c;
+  EXPECT_EQ(c.to_string().find(" sf="), std::string::npos);
+  c.sf = 4;
+  EXPECT_NE(c.to_string().find(" sf=4"), std::string::npos);
+  HanConfig parsed;
+  ASSERT_TRUE(HanConfig::parse(c.to_string(), &parsed));
+  EXPECT_EQ(parsed.sf, 4);
+  EXPECT_EQ(parsed, c);
+
+  // Malformed stripe fields fail loudly instead of defaulting.
+  HanConfig out;
+  EXPECT_FALSE(HanConfig::parse("fs=64K sf=0", &out));
+  EXPECT_FALSE(HanConfig::parse("fs=64K sf=-2", &out));
+  EXPECT_FALSE(HanConfig::parse("fs=64K sf=65", &out));
+  EXPECT_FALSE(HanConfig::parse("fs=64K sf=two", &out));
+  EXPECT_FALSE(HanConfig::parse("fs=64K sf=4x", &out));
+  EXPECT_FALSE(HanConfig::parse("fs=64K sf=", &out));
+}
+
 TEST(HanConfigTest, DefaultHeuristicShape) {
   // Small → libnbc + sm; large → adapt + solo (paper §III-C heuristics).
   const HanConfig small =

@@ -84,6 +84,36 @@ TEST(SynthSpecTest, IdParseRoundTripAcrossGrammar) {
   EXPECT_TRUE(SynthSpec::canonical(CollKind::Bcast).validate().empty());
 }
 
+TEST(SynthSpecTest, StripeTokenRoundTripAcrossGrammar) {
+  // sf=1 is omitted from ids, so pre-rail ids are byte-identical.
+  SynthSpec spec = SynthSpec::canonical(CollKind::Allreduce);
+  EXPECT_EQ(spec.id().find(":r"), std::string::npos);
+  spec.sf = 4;
+  EXPECT_NE(spec.id().find(":r4:"), std::string::npos);
+  SynthSpec back;
+  ASSERT_TRUE(SynthSpec::parse(spec.id(), &back)) << spec.id();
+  EXPECT_EQ(back, spec);
+
+  // A multi-rail grammar enumerates striped specs, and every one
+  // round-trips; a single-rail grammar never emits a stripe token even
+  // when stripe_factors asks for one.
+  synth::GeneratorOptions rail4;
+  rail4.rails = 4;
+  bool striped = false;
+  for (const SynthSpec& s :
+       synth::enumerate_specs(CollKind::Allreduce, 4, rail4)) {
+    EXPECT_TRUE(s.validate().empty()) << s.id();
+    SynthSpec b;
+    ASSERT_TRUE(SynthSpec::parse(s.id(), &b)) << s.id();
+    EXPECT_EQ(b.id(), s.id());
+    striped = striped || s.sf > 1;
+  }
+  EXPECT_TRUE(striped);
+  for (const SynthSpec& s : synth::enumerate_specs(CollKind::Bcast, 4)) {
+    EXPECT_EQ(s.sf, 1) << s.id();
+  }
+}
+
 TEST(SynthSpecTest, RejectsMalformedAndTruncatedIds) {
   const char* bad[] = {
       "",
@@ -103,6 +133,12 @@ TEST(SynthSpecTest, RejectsMalformedAndTruncatedIds) {
       "ar1:k1:ir0.sr0.ib1.sb2",     // equal-lag prerequisite emitted late
       "bc1:k2:ib0.sb1",             // bcast is single-leader
       "bc1:k1:ib0",                 // missing stage
+      "ar1:k1:r:sr0.ir1.ib2.sb3",   // stripe token without a digit
+      "ar1:k1:r0:sr0.ir1.ib2.sb3",  // stripe factor < 1
+      "ar1:k1:r999:sr0.ir1.ib2.sb3",  // stripe factor > kMaxStripe
+      "ar1:k1:r2",                  // stripe token then nothing
+      "ar1:k1:r2sr0.ir1.ib2.sb3",   // missing colon after the stripe
+      "bc1:k1:r:ib0.sb1",           // bcast stripe without a digit
   };
   for (const char* id : bad) {
     SynthSpec spec;
