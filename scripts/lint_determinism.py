@@ -18,7 +18,9 @@ Unordered containers are fine when no code iterates them in an
 order-sensitive way; each such benign use must be listed in ALLOWLIST
 below (file, category, token that must appear on the line). Allowlist
 entries that no longer match anything are themselves errors, so the list
-cannot rot.
+cannot rot — with an explicit diagnostic distinguishing an entry whose
+file was deleted outright from one whose file survives but no longer
+contains the flagged line.
 
 Exit status 0 when every finding is allowlisted and every allowlist entry
 is live; 1 otherwise. Run from the repo root: scripts/lint_determinism.py
@@ -92,8 +94,19 @@ def main():
         else:
             used[hit] = True
 
+    scanned = set(rel for rel, _, _, _ in findings)
     for i, (afile, acat, token) in enumerate(ALLOWLIST):
-        if not used[i]:
+        if used[i]:
+            continue
+        if not os.path.isfile(os.path.join(root, afile)):
+            failures.append(f"stale allowlist entry: ({afile}, {acat}, "
+                            f"'{token}') points at a deleted file — "
+                            f"remove it")
+        elif afile in scanned:
+            failures.append(f"stale allowlist entry: ({afile}, {acat}, "
+                            f"'{token}') no longer matches any flagged "
+                            f"line in that file — remove it")
+        else:
             failures.append(f"stale allowlist entry: ({afile}, {acat}, "
                             f"'{token}') matches nothing — remove it")
 

@@ -260,6 +260,39 @@ double Searcher::measure_collective(CollKind kind, std::size_t msg_bytes,
                 mpi::ReduceOp::Sum, cfg2);
             break;
           }
+          // The linear-phase kinds take no Table II knobs; they run the
+          // decider default path (han::lint measures them for the
+          // cross-kind performance guidelines).
+          case CollKind::Gather: {
+            const std::size_t block =
+                std::max<std::size_t>(bytes / s.comm_->size(), 1);
+            r = s.han_->igather(*s.comm_, pr, 0,
+                                BufView::timing_only(block),
+                                BufView::timing_only(block *
+                                                     s.comm_->size()),
+                                coll::CollConfig{});
+            break;
+          }
+          case CollKind::Scatter: {
+            const std::size_t block =
+                std::max<std::size_t>(bytes / s.comm_->size(), 1);
+            r = s.han_->iscatter(*s.comm_, pr, 0,
+                                 BufView::timing_only(block *
+                                                      s.comm_->size()),
+                                 BufView::timing_only(block),
+                                 coll::CollConfig{});
+            break;
+          }
+          case CollKind::Allgather: {
+            const std::size_t block =
+                std::max<std::size_t>(bytes / s.comm_->size(), 1);
+            r = s.han_->iallgather(*s.comm_, pr,
+                                   BufView::timing_only(block),
+                                   BufView::timing_only(block *
+                                                        s.comm_->size()),
+                                   coll::CollConfig{});
+            break;
+          }
           default:
             HAN_ASSERT_MSG(false, "unsupported kind2 in measure_collective");
         }

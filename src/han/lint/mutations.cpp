@@ -1,0 +1,156 @@
+// The mutation corpus: seeded cost-model defects, each a CostHook that
+// bends the numbers exactly where a real regression would, paired with
+// the diagnostic class the analyzer must catch it with. tests/test_lint
+// runs every entry and asserts detection; CI smoke-runs one to prove the
+// gate exits non-zero.
+#include "han/lint/lint.hpp"
+
+#include <cstring>
+
+#include "simbase/assert.hpp"
+
+namespace han::lint {
+
+namespace {
+
+using coll::CollKind;
+
+double apply_mutation(const char* name, const CostContext& c, double t) {
+  // -- cross-kind defects (caught by sim.* xk.* rules) --
+  if (std::strcmp(name, "xk_allreduce_inflated") == 0) {
+    // A scheduler regression quadruples allreduce alone.
+    if (c.simulated && c.kind == CollKind::Allreduce &&
+        c.scenario[0] == '\0') {
+      return t * 4.0;
+    }
+  } else if (std::strcmp(name, "xk_scatter_pricey") == 0) {
+    // Scatter degenerates to many times a broadcast.
+    if (c.simulated && c.kind == CollKind::Scatter) return t * 6.0;
+  } else if (std::strcmp(name, "xk_rsag_free") == 0) {
+    // reduce_scatter/allgather priced near-free, so their sum undercuts
+    // allreduce.
+    if (c.simulated && (c.kind == CollKind::ReduceScatter ||
+                        c.kind == CollKind::Allgather)) {
+      return t * 0.05;
+    }
+  }
+  // -- size/ppn monotonicity defects --
+  else if (std::strcmp(name, "mono_inverted_size") == 0) {
+    // Cost scales inversely with the message: bigger gets cheaper.
+    return t * (static_cast<double>(32u << 20) /
+                static_cast<double>(c.bytes > 0 ? c.bytes : 1));
+  } else if (std::strcmp(name, "mono_lag_swap") == 0) {
+    // Swapped lag tables: the large-message row is read where the
+    // small-message row belongs, so big transfers price 5x too cheap.
+    if (!c.simulated && c.bytes >= (4u << 20)) return t * 0.2;
+  } else if (std::strcmp(name, "mono_ppn_inverted") == 0) {
+    // Per-rank fan-out cost accounted inversely in ppn.
+    if (c.simulated) return t * (16.0 / static_cast<double>(c.ppn > 0 ? c.ppn : 1));
+  }
+  // -- zcs-continuity defects (caught by model.*.zcs probes) --
+  else if (std::strcmp(name, "zcs_leak") == 0) {
+    // The raw zcs byte value leaks into the symbolic cost, so members of
+    // one routing class no longer price identically.
+    if (!c.simulated && c.cfg && c.cfg->zcs > 0) {
+      return t * (1.0 + 0.01 * static_cast<double>((c.cfg->zcs / 1024) % 7));
+    }
+  } else if (std::strcmp(name, "zcs_cliff") == 0) {
+    // Inverted zcs routing: the p2p fallback is priced off a cliff.
+    if (!c.simulated && c.cfg && c.cfg->zcs > c.cfg->fs) return t * 50.0;
+  } else if (std::strcmp(name, "zcs_free_copy") == 0) {
+    // The copy-in-copy-out path forgets the copy cost entirely.
+    if (!c.simulated && c.cfg && c.cfg->zcs > c.cfg->fs) return t * 0.01;
+  }
+  // -- striping defects (caught by model.*.stripe twins) --
+  else if (std::strcmp(name, "sf_penalty_inverted") == 0) {
+    // Striping charged as a multiplier instead of a divisor.
+    if (!c.simulated && c.cfg && c.cfg->sf > 1) {
+      return t * static_cast<double>(c.cfg->sf);
+    }
+  } else if (std::strcmp(name, "sf_clamp_broken") == 0) {
+    // Broken effective_sf clamp: each extra rail adds overhead instead
+    // of being capped at the NIC count.
+    if (!c.simulated && c.cfg && c.cfg->sf > 1) {
+      return t * (1.0 + 0.2 * static_cast<double>(c.cfg->sf - 1));
+    }
+  } else if (std::strcmp(name, "sf_rail_contention") == 0) {
+    // Phantom rail contention doubles every striped estimate.
+    if (!c.simulated && c.cfg && c.cfg->sf > 1) return t * 2.0;
+  }
+  // -- perturbation-regret defects (caught by perturb.* certification) --
+  else if (std::strcmp(name, "regret_stale_winner") == 0) {
+    // The tuned winner alone degrades badly under any perturbation.
+    if (c.simulated && c.scenario[0] != '\0' && c.winner) return t * 3.0;
+  } else if (std::strcmp(name, "regret_fragile_choice") == 0) {
+    // The winner is fragile specifically to a degraded link.
+    if (c.simulated && std::strcmp(c.scenario, "degraded_link") == 0 &&
+        c.winner) {
+      return t * 2.5;
+    }
+  } else if (std::strcmp(name, "regret_blind_spot") == 0) {
+    // Runner-up candidates measure 4x too fast under perturbation, so
+    // the winner's relative regret explodes.
+    if (c.simulated && c.scenario[0] != '\0' && !c.winner && c.cfg) {
+      return t * 0.25;
+    }
+  } else {
+    HAN_ASSERT_MSG(false, "unknown mutation name");
+  }
+  return t;
+}
+
+}  // namespace
+
+const std::vector<Mutation>& mutation_corpus() {
+  static const std::vector<Mutation> kCorpus = {
+      {"xk_allreduce_inflated", Diag::CrossKindViolation,
+       "scheduler regression quadruples measured allreduce"},
+      {"xk_scatter_pricey", Diag::CrossKindViolation,
+       "scatter measures 6x a broadcast"},
+      {"xk_rsag_free", Diag::CrossKindViolation,
+       "reduce_scatter+allgather priced near-free, undercutting allreduce"},
+      {"mono_inverted_size", Diag::SizeMonotonicity,
+       "cost scales inversely with message size"},
+      {"mono_lag_swap", Diag::SizeMonotonicity,
+       "swapped lag tables make large messages price 5x too cheap"},
+      {"mono_ppn_inverted", Diag::PpnMonotonicity,
+       "per-rank fan-out cost accounted inversely in ppn"},
+      {"zcs_leak", Diag::ZcsDiscontinuity,
+       "raw zcs byte value leaks into the symbolic cost"},
+      {"zcs_cliff", Diag::ZcsDiscontinuity,
+       "inverted zcs routing prices the p2p fallback 50x"},
+      {"zcs_free_copy", Diag::ZcsDiscontinuity,
+       "copy-in-copy-out path forgets the copy cost"},
+      {"sf_penalty_inverted", Diag::StripingRegression,
+       "striping charged as a multiplier instead of a divisor"},
+      {"sf_clamp_broken", Diag::StripingRegression,
+       "broken effective_sf clamp adds per-rail overhead"},
+      {"sf_rail_contention", Diag::StripingRegression,
+       "phantom rail contention doubles striped estimates"},
+      {"regret_stale_winner", Diag::PerturbationRegret,
+       "tuned winner degrades 3x under every perturbation"},
+      {"regret_fragile_choice", Diag::PerturbationRegret,
+       "winner fragile specifically to a degraded link"},
+      {"regret_blind_spot", Diag::PerturbationRegret,
+       "runner-ups measure 4x too fast under perturbation"},
+  };
+  return kCorpus;
+}
+
+const Mutation* find_mutation(const std::string& name) {
+  for (const Mutation& m : mutation_corpus()) {
+    if (name == m.name) return &m;
+  }
+  return nullptr;
+}
+
+CostHook mutation_hook(const std::string& name) {
+  const Mutation* m = find_mutation(name);
+  HAN_ASSERT_MSG(m != nullptr, "unknown mutation name");
+  const char* stable = m->name;  // corpus storage outlives every hook
+  return [stable](const CostContext& c, double t) {
+    return apply_mutation(stable, c, t);
+  };
+}
+
+}  // namespace han::lint

@@ -594,8 +594,16 @@ void verify_lookup(const tune::LookupTable& table, SweepResult& out) {
       continue;
     }
     // Rebuild the schedule exactly as dispatch would: the entry's own
-    // topology, its bucket's message size, its config's window.
-    GraphWorld gw(machine::make_aries(key.nodes, key.ppn));
+    // topology, its bucket's message size, its config's window. Striped
+    // entries (v4 `sf=` tokens, in the config or the sched id itself)
+    // need a multi-rail fabric with at least that many rails — on a
+    // single-rail rebuild effective_sf would clamp to 1 and the striped
+    // schedule would be verified in name only.
+    const int rails = std::max(cfg.sf, spec.sf);
+    GraphWorld gw(rails > 1
+                      ? machine::with_rails(
+                            machine::make_aries(key.nodes, key.ppn), rails)
+                      : machine::make_aries(key.nodes, key.ppn));
     const mpi::Comm& wc = gw.world.world_comm();
     const std::size_t bytes = std::size_t{1} << key.log2_bytes;
     std::vector<GraphSummary> summaries;

@@ -634,6 +634,37 @@ TEST(VerifyGate, ArmedGateLetsCleanPlansThrough) {
   }
 }
 
+// ---- striped lookup entries (v4 `sf=` tokens) --------------------------
+
+// A cached striped schedule must be rebuilt on a multi-rail topology:
+// on a single-rail rebuild effective_sf clamps to 1 and the stripe
+// structure would be verified in name only.
+TEST(VerifyLookup, StripedEntriesReverifyOnMultiRailTopology) {
+  tune::LookupTable table;
+  core::HanConfig cfg;
+  cfg.fs = 256 << 10;
+  cfg.sf = 2;
+  cfg.sched = "bc1:k1:r2:sb1.ib0";
+  table.insert(coll::CollKind::Bcast, 2, 2, 1 << 20, cfg);
+  // A striped config whose sched id itself carries no :r token still
+  // needs the rails (dispatch stripes by HanConfig::sf).
+  core::HanConfig cfg2;
+  cfg2.fs = 256 << 10;
+  cfg2.sf = 4;
+  cfg2.sched = "ar1:k1:sr0.ir1.ib2.sb3";
+  table.insert(coll::CollKind::Allreduce, 2, 2, 1 << 20, cfg2);
+
+  SweepResult sweep;
+  verify_lookup(table, sweep);
+  ASSERT_EQ(sweep.entries.size(), 2u);
+  EXPECT_EQ(sweep.total_errors(), 0) << sweep.summary();
+  EXPECT_EQ(sweep.total_warnings(), 0) << sweep.summary();
+  // The rebuilt graphs really carried work (not degraded to no-ops).
+  for (const SweepEntry& e : sweep.entries) {
+    EXPECT_GT(e.actions, 0) << e.name;
+  }
+}
+
 TEST(VerifyGateDeathTest, RejectedPlanAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(

@@ -1,0 +1,161 @@
+// han_lint — the performance-guideline gate for the autotuner.
+//
+//   han_lint [--smoke] [--machine <name>]... [--sizes 65536,1048576]
+//            [--no-model] [--no-sim] [--no-perturb] [--jobs N]
+//            [--mutate <name>] [--audit-lookup <path>] [--audit-db <path>]
+//            [--json <path>] [--quiet]
+//
+// Runs the han::lint sweep (docs/LINT.md): Hunold-style cross-kind and
+// monotonicity guidelines plus HAN-specific invariants (zcs continuity,
+// stripe regression, decision hysteresis) over every stock machine, and a
+// PICO-style perturbation pass certifying tuned winners under degraded
+// links, straggler nodes, and noisy bandwidths.
+//
+// --jobs N runs the independent lint cases on N threads (0 = one per
+// hardware thread); reports are byte-identical for every N.
+//
+// --mutate <name> seeds one corpus defect into every cost the analyzer
+// consumes — CI smoke-asserts the gate then exits non-zero.
+//
+// --audit-lookup / --audit-db lint saved LookupTable / TuneDb records
+// instead of running the sweep. Exit status: 0 = clean, 2 = errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "autotune/lookup.hpp"
+#include "autotune/tunedb.hpp"
+#include "han/lint/lint.hpp"
+#include "parallel/pool.hpp"
+
+namespace {
+
+bool parse_sizes(const char* arg, std::vector<std::size_t>* out) {
+  out->clear();
+  std::size_t v = 0;
+  bool any = false;
+  for (const char* p = arg;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      v = v * 10 + static_cast<std::size_t>(*p - '0');
+      any = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (!any || v < 1) return false;
+      out->push_back(v);
+      v = 0;
+      any = false;
+      if (*p == '\0') break;
+    } else {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace han;
+  lint::LintOptions opts;
+  bool quiet = false;
+  std::string json_path;
+  std::string lookup_path;
+  std::string db_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--smoke") == 0) {
+      const int jobs = opts.jobs;
+      const lint::CostHook hook = opts.cost_hook;
+      opts = lint::LintOptions::smoke();
+      opts.jobs = jobs;
+      opts.cost_hook = hook;
+    } else if (std::strcmp(a, "--no-model") == 0) {
+      opts.model = false;
+    } else if (std::strcmp(a, "--no-sim") == 0) {
+      opts.sim = false;
+    } else if (std::strcmp(a, "--no-perturb") == 0) {
+      opts.perturb = false;
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(a, "--machine") == 0 && i + 1 < argc) {
+      opts.machines.push_back(argv[++i]);
+    } else if (std::strcmp(a, "--sizes") == 0 && i + 1 < argc) {
+      if (!parse_sizes(argv[++i], &opts.sizes)) {
+        std::fprintf(stderr, "han_lint: bad --sizes list '%s'\n", argv[i]);
+        return 1;
+      }
+    } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+      opts.jobs = han::par::parse_jobs(argv[++i]);
+      if (opts.jobs < 0) {
+        std::fprintf(stderr, "han_lint: bad --jobs value '%s'\n", argv[i]);
+        return 1;
+      }
+    } else if (std::strcmp(a, "--mutate") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+      if (lint::find_mutation(name) == nullptr) {
+        std::fprintf(stderr, "han_lint: unknown mutation '%s'\n", name);
+        return 1;
+      }
+      opts.cost_hook = lint::mutation_hook(name);
+    } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(a, "--audit-lookup") == 0 && i + 1 < argc) {
+      lookup_path = argv[++i];
+    } else if (std::strcmp(a, "--audit-db") == 0 && i + 1 < argc) {
+      db_path = argv[++i];
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: han_lint [--smoke] [--machine <name>]... "
+          "[--sizes N,N,...] [--no-model] [--no-sim] [--no-perturb] "
+          "[--jobs N] [--mutate <name>] [--audit-lookup <path>] "
+          "[--audit-db <path>] [--json <path>] [--quiet]\n");
+      return std::strcmp(a, "--help") == 0 ? 0 : 1;
+    }
+  }
+
+  lint::LintResult result;
+  if (!lookup_path.empty() || !db_path.empty()) {
+    if (!lookup_path.empty()) {
+      const std::optional<tune::LookupTable> table =
+          tune::LookupTable::load(lookup_path);
+      if (!table.has_value()) {
+        std::fprintf(stderr, "han_lint: cannot load lookup table '%s'\n",
+                     lookup_path.c_str());
+        return 1;
+      }
+      lint::lint_lookup(*table, result);
+    }
+    if (!db_path.empty()) {
+      const std::optional<tune::TuneDb> db = tune::TuneDb::load(db_path);
+      if (!db.has_value()) {
+        std::fprintf(stderr, "han_lint: cannot load tuning db '%s'\n",
+                     db_path.c_str());
+        return 1;
+      }
+      lint::lint_tunedb(*db, result);
+    }
+    std::sort(result.entries.begin(), result.entries.end(),
+              [](const lint::LintEntry& a, const lint::LintEntry& b) {
+                return a.name < b.name;
+              });
+  } else {
+    result = lint::run_lint(opts);
+  }
+
+  if (!json_path.empty()) {
+    const std::string j = result.to_json();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "han_lint: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(j.data(), 1, j.size(), f);
+    std::fclose(f);
+  }
+  if (!quiet) {
+    std::fputs(result.summary().c_str(), stdout);
+  }
+  return result.total_errors() == 0 ? 0 : 2;
+}
